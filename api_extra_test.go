@@ -1,0 +1,146 @@
+package blackboxval_test
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blackboxval"
+)
+
+func TestPublicPersistenceWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(41))
+	ds := blackboxval.IncomeDataset(1800, 41).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+
+	model, err := blackboxval.TrainXGB(train, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+		Generators:  blackboxval.KnownTabularGenerators(),
+		Repetitions: 10,
+		ForestSizes: []int{20},
+		Seed:        41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dsPath := filepath.Join(dir, "ds.json")
+	modelPath := filepath.Join(dir, "model.json")
+	predPath := filepath.Join(dir, "pred.json")
+	if err := blackboxval.SaveDataset(dsPath, serving); err != nil {
+		t.Fatal(err)
+	}
+	if err := blackboxval.SaveModel(modelPath, model); err != nil {
+		t.Fatal(err)
+	}
+	if err := blackboxval.SavePredictor(predPath, pred); err != nil {
+		t.Fatal(err)
+	}
+
+	loadedDS, err := blackboxval.LoadDataset(dsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedModel, err := blackboxval.LoadModel(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedPred, err := blackboxval.LoadPredictor(predPath, loadedModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pred.Estimate(serving)
+	got := loadedPred.Estimate(loadedDS)
+	if math.Abs(want-got) > 1e-12 {
+		t.Fatalf("persisted pipeline estimate %v != original %v", got, want)
+	}
+}
+
+type notAPipeline struct{ blackboxval.Model }
+
+func TestSaveModelRejectsNonPipelines(t *testing.T) {
+	err := blackboxval.SaveModel(filepath.Join(t.TempDir(), "x.json"), notAPipeline{})
+	if err == nil {
+		t.Fatal("expected error for non-pipeline model")
+	}
+	if !strings.Contains(err.Error(), "pipeline") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestPublicMonitorFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ds := blackboxval.HeartDataset(2200, 42).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+	model, err := blackboxval.TrainXGB(train, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+		Generators:  blackboxval.KnownTabularGenerators(),
+		Repetitions: 10,
+		ForestSizes: []int{20},
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := blackboxval.NewMonitor(blackboxval.MonitorConfig{Predictor: pred, Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := mon.Observe(serving)
+	if rec.Alarming {
+		t.Fatal("clean batch alarmed at t=0.1")
+	}
+	broken := blackboxval.Scaling{}.Corrupt(serving, 0.95, rng)
+	mon.Observe(broken)
+	s := mon.Summarize()
+	if s.Batches != 2 {
+		t.Fatalf("summary batches = %d", s.Batches)
+	}
+}
+
+func TestPublicExplain(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ds := blackboxval.BankDataset(3000, 43)
+	ref, srv := ds.Split(0.5, rng)
+	col := srv.Frame.Column("duration")
+	for i := range col.Num {
+		col.Num[i] *= 100
+	}
+	report, err := blackboxval.Explain(ref, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := report.Top(1); len(top) == 0 || top[0].Column != "duration" {
+		t.Fatalf("Explain did not pinpoint the scaled column: %+v", report.Top(3))
+	}
+}
+
+func TestPublicProductsDataset(t *testing.T) {
+	ds := blackboxval.ProductsDataset(900, 44)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Classes) != 3 {
+		t.Fatalf("classes = %d", len(ds.Classes))
+	}
+	rng := rand.New(rand.NewSource(44))
+	train, test := ds.Balance(rng).Split(0.7, rng)
+	model, err := blackboxval.TrainXGB(train, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := blackboxval.AccuracyScore(model.PredictProba(test), test.Labels); acc < 0.5 {
+		t.Fatalf("3-class accuracy = %v", acc)
+	}
+}

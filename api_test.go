@@ -1,0 +1,177 @@
+// Tests of the public API surface: everything a downstream user touches
+// must work without importing internal packages.
+package blackboxval_test
+
+import (
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"blackboxval"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := blackboxval.IncomeDataset(2500, 1).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+
+	model, err := blackboxval.TrainXGB(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+		Generators:  blackboxval.KnownTabularGenerators(),
+		Repetitions: 15,
+		ForestSizes: []int{30},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := pred.Estimate(serving)
+	truth := blackboxval.AccuracyScore(model.PredictProba(serving), serving.Labels)
+	if math.Abs(est-truth) > 0.1 {
+		t.Fatalf("estimate %v too far from truth %v", est, truth)
+	}
+
+	val, err := blackboxval.TrainValidator(model, test, blackboxval.ValidatorConfig{
+		Generators: blackboxval.KnownTabularGenerators(),
+		Threshold:  0.1,
+		Batches:    80,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.Violation(serving) {
+		t.Fatal("clean serving batch flagged at t=0.1")
+	}
+	heavy := blackboxval.Scaling{}.Corrupt(serving, 0.9, rng)
+	heavyProba := model.PredictProba(heavy)
+	heavyTruth := blackboxval.AccuracyScore(heavyProba, heavy.Labels)
+	if heavyTruth < (1-0.1)*val.TestScore() && !val.ViolationFromProba(heavyProba) {
+		t.Fatal("heavy scaling corruption not flagged")
+	}
+}
+
+func TestPublicGeneratorsAvailable(t *testing.T) {
+	gens := blackboxval.KnownTabularGenerators()
+	if len(gens) != 4 {
+		t.Fatalf("known generators = %d", len(gens))
+	}
+	if len(blackboxval.UnknownTabularGenerators()) != 3 {
+		t.Fatal("unknown generators wrong")
+	}
+	if len(blackboxval.ImageGenerators()) != 2 {
+		t.Fatal("image generators wrong")
+	}
+	ds := blackboxval.HeartDataset(200, 1)
+	rng := rand.New(rand.NewSource(2))
+	for _, g := range gens {
+		out := g.Corrupt(ds, 0.5, rng)
+		if out.Len() != ds.Len() {
+			t.Fatalf("%s changed row count", g.Name())
+		}
+	}
+}
+
+func TestPublicDatasets(t *testing.T) {
+	cases := map[string]*blackboxval.Dataset{
+		"income":  blackboxval.IncomeDataset(100, 1),
+		"heart":   blackboxval.HeartDataset(100, 1),
+		"bank":    blackboxval.BankDataset(100, 1),
+		"tweets":  blackboxval.TweetsDataset(100, 1),
+		"digits":  blackboxval.DigitsDataset(50, 1),
+		"fashion": blackboxval.FashionDataset(50, 1),
+	}
+	for name, ds := range cases {
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPublicCloudRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := blackboxval.BankDataset(1200, 3).Balance(rng)
+	train, serving := ds.Split(0.7, rng)
+	model, err := blackboxval.TrainLR(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(blackboxval.NewCloudServer(model).Handler())
+	defer srv.Close()
+	client := blackboxval.NewCloudClient(srv.URL)
+	remote := client.PredictProba(serving)
+	local := model.PredictProba(serving)
+	for i := range local.Data {
+		if math.Abs(remote.Data[i]-local.Data[i]) > 1e-9 {
+			t.Fatal("remote and local predictions differ")
+		}
+	}
+	if client.NumClasses() != 2 {
+		t.Fatal("NumClasses wrong after first call")
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := blackboxval.IncomeDataset(2000, 4).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+	model, err := blackboxval.TrainLR(train, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testOut := model.PredictProba(test)
+	detectors := []blackboxval.Detector{
+		blackboxval.NewREL(test),
+		blackboxval.NewBBSE(model, testOut),
+		blackboxval.NewBBSEh(model, testOut),
+	}
+	corrupted := blackboxval.Scaling{}.Corrupt(serving, 0.9, rng)
+	for _, d := range detectors {
+		if d.Violation(serving) {
+			t.Fatalf("%s alarmed on clean data", d.Name())
+		}
+	}
+	// At least the raw-data detector must catch a 90% scaling corruption.
+	if !detectors[0].Violation(corrupted) {
+		t.Fatal("REL missed heavy scaling")
+	}
+}
+
+func TestPublicPredictionStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := blackboxval.IncomeDataset(600, 5)
+	train, rest := ds.Split(0.7, rng)
+	model, err := blackboxval.TrainXGB(train, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := model.PredictProba(rest)
+	feats := blackboxval.PredictionStatistics(proba, 5)
+	if len(feats) != 42 {
+		t.Fatalf("feature count = %d", len(feats))
+	}
+	preds := blackboxval.Predict(proba)
+	if len(preds) != rest.Len() {
+		t.Fatal("Predict length wrong")
+	}
+}
+
+func TestPublicAUCScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := blackboxval.HeartDataset(1500, 6).Balance(rng)
+	train, test := ds.Split(0.7, rng)
+	model, err := blackboxval.TrainXGB(train, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc := blackboxval.AUCScore(model.PredictProba(test), test.Labels)
+	if auc < 0.7 {
+		t.Fatalf("AUC = %v, model should beat chance comfortably", auc)
+	}
+}

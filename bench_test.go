@@ -1,0 +1,293 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per figure, plus ablations and micro
+// benchmarks of the core operations). Each benchmark reports the headline
+// quality metric of its figure via b.ReportMetric, so `go test -bench=.`
+// doubles as a compact reproduction report:
+//
+//	medianAE  — median absolute error of score prediction (Figures 2-4, 7)
+//	f1        — mean F1 of the PPM validator (Figures 5-6, §6.2.1)
+//
+// The benchmarks run at the "quick" experiment scale; use
+// `go run ./cmd/ppm-bench -scale full` for the full evaluation recorded
+// in EXPERIMENTS.md.
+package blackboxval_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"blackboxval"
+	"blackboxval/internal/experiments"
+	"blackboxval/internal/stats"
+)
+
+// benchScale trims the quick scale further so the full benchmark suite
+// stays in the minutes range.
+var benchScale = experiments.Scale{
+	Name:             "bench",
+	TabularRows:      1600,
+	ImageRows:        400,
+	Repetitions:      12,
+	Trials:           6,
+	ValidatorBatches: 60,
+	ForestSizes:      []int{30},
+	Seed:             1,
+}
+
+func reportMedianAE(b *testing.B, medians []float64) {
+	b.Helper()
+	if len(medians) > 0 {
+		b.ReportMetric(stats.Median(medians), "medianAE")
+	}
+}
+
+func benchmarkFigure2(b *testing.B, model string) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2(benchScale, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var medians []float64
+		for _, row := range res.Rows {
+			medians = append(medians, row.MedianAE)
+		}
+		reportMedianAE(b, medians)
+	}
+}
+
+func BenchmarkFigure2aLR(b *testing.B)   { benchmarkFigure2(b, "lr") }
+func BenchmarkFigure2bDNN(b *testing.B)  { benchmarkFigure2(b, "dnn") }
+func BenchmarkFigure2cXGB(b *testing.B)  { benchmarkFigure2(b, "xgb") }
+func BenchmarkFigure2dConv(b *testing.B) { benchmarkFigure2(b, "conv") }
+
+func BenchmarkFigure3UnknownErrors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the nonlinear series' worst-case median, the paper's
+		// headline robustness claim.
+		worst := 0.0
+		for _, p := range res.Nonlinear {
+			if p.Median > worst {
+				worst = p.Median
+			}
+		}
+		b.ReportMetric(worst, "medianAE")
+	}
+}
+
+func BenchmarkFigure4SampleSize(b *testing.B) {
+	scale := benchScale
+	scale.Trials = 4
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the MAE at the largest sample size (the converged regime).
+		var last []float64
+		for _, s := range res.Series {
+			last = append(last, s.Points[len(s.Points)-1].MAE)
+		}
+		reportMedianAE(b, last)
+	}
+}
+
+func reportMeanPPMF1(b *testing.B, res *experiments.ValidationResult) {
+	b.Helper()
+	sum := 0.0
+	for _, row := range res.Rows {
+		sum += row.F1["PPM"]
+	}
+	b.ReportMetric(sum/float64(len(res.Rows)), "f1")
+}
+
+func BenchmarkValidationKnownMixtures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ValidationKnown(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMeanPPMF1(b, res)
+	}
+}
+
+func BenchmarkFigure5UnknownShifts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMeanPPMF1(b, res)
+	}
+}
+
+func BenchmarkFigure6AutoML(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, row := range res.Rows {
+			sum += row.F1["PPM"]
+		}
+		b.ReportMetric(sum/float64(len(res.Rows)), "f1")
+	}
+}
+
+func BenchmarkFigure7CloudModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure7(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maes []float64
+		for _, s := range res.Series {
+			maes = append(maes, s.MAE)
+		}
+		reportMedianAE(b, maes)
+	}
+}
+
+func BenchmarkFigure2aAUC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2AUC(benchScale, "lr")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var medians []float64
+		for _, row := range res.Rows {
+			medians = append(medians, row.MedianAE)
+		}
+		reportMedianAE(b, medians)
+	}
+}
+
+func BenchmarkGeneralizationMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.GeneralizationMatrix(benchScale, "lr")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the worst unknown-error median: the generalization gap.
+		worst := 0.0
+		for _, row := range res.Rows {
+			if !row.Known && row.MedianAE > worst {
+				worst = row.MedianAE
+			}
+		}
+		b.ReportMetric(worst, "medianAE")
+	}
+}
+
+// Ablation benchmarks for the design choices called out in DESIGN.md.
+
+func BenchmarkAblationPercentileStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPercentileStep(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRegressor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRegressor(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTrainingSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTrainingSize(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationKSFeatures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationKSFeatures(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro benchmarks of the deployed-path operations: featurizing a batch
+// of model outputs and producing an estimate must be cheap enough to run
+// on every serving batch.
+
+func benchPredictorSetup(b *testing.B) (*blackboxval.Predictor, blackboxval.Model, *blackboxval.Dataset) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ds := blackboxval.IncomeDataset(2000, 1).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+	model, err := blackboxval.TrainXGB(train, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+		Generators:  blackboxval.KnownTabularGenerators(),
+		Repetitions: 12,
+		ForestSizes: []int{30},
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pred, model, serving
+}
+
+func BenchmarkEstimateServingBatch(b *testing.B) {
+	pred, model, serving := benchPredictorSetup(b)
+	proba := model.PredictProba(serving)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred.EstimateFromProba(proba)
+	}
+}
+
+func BenchmarkBlackBoxPredict(b *testing.B) {
+	_, model, serving := benchPredictorSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.PredictProba(serving)
+	}
+}
+
+func BenchmarkPredictionStatistics(b *testing.B) {
+	_, model, serving := benchPredictorSetup(b)
+	proba := model.PredictProba(serving)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blackboxval.PredictionStatistics(proba, 5)
+	}
+}
+
+func BenchmarkTrainPredictor(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ds := blackboxval.IncomeDataset(1500, 1).Balance(rng)
+	source, _ := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+	model, err := blackboxval.TrainXGB(train, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+			Generators:  blackboxval.KnownTabularGenerators(),
+			Repetitions: 10,
+			ForestSizes: []int{30},
+			Seed:        1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

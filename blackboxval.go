@@ -1,0 +1,113 @@
+// Package blackboxval learns to validate the predictions of black box
+// classifiers on unseen data, reproducing Schelter, Rukat & Biessmann
+// (SIGMOD 2020). Given a pretrained black box model — anything exposing
+// class probabilities, including models served over the network — and a
+// programmatic specification of the error types expected in serving data,
+// the package learns:
+//
+//   - a Predictor (Algorithms 1 & 2 of the paper): a regression model
+//     estimating the black box model's score (accuracy, AUC, ...) on an
+//     unlabeled serving batch from class-wise percentiles of the model's
+//     output distribution, and
+//   - a Validator: a binary classifier deciding whether the score dropped
+//     by more than a user threshold t, combining the percentile features
+//     with Kolmogorov–Smirnov statistics between test-time and
+//     serving-time outputs.
+//
+// Minimal usage:
+//
+//	model, _ := blackboxval.TrainXGB(train, 1)
+//	pred, _ := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+//		Generators: blackboxval.KnownTabularGenerators(),
+//	})
+//	estimate := pred.Estimate(servingBatch) // no labels needed
+//
+// The subpackages used here are re-exported so downstream users never
+// import internal paths.
+package blackboxval
+
+import (
+	"blackboxval/internal/baselines"
+	"blackboxval/internal/core"
+	"blackboxval/internal/data"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/linalg"
+)
+
+// Dataset is a labeled tabular or image dataset.
+type Dataset = data.Dataset
+
+// Model is the black box classifier contract: class probabilities in,
+// nothing else observable.
+type Model = data.Model
+
+// Matrix is the dense matrix type used for model outputs.
+type Matrix = linalg.Matrix
+
+// Generator is an error generator: a parameterized perturbation injecting
+// a typical data error into a dataset copy.
+type Generator = errorgen.Generator
+
+// Predictor estimates the score of a black box model on unlabeled serving
+// batches.
+type Predictor = core.Predictor
+
+// Validator raises alarms when the estimated score drop exceeds a
+// threshold.
+type Validator = core.Validator
+
+// PredictorConfig configures TrainPredictor.
+type PredictorConfig = core.PredictorConfig
+
+// ValidatorConfig configures TrainValidator.
+type ValidatorConfig = core.ValidatorConfig
+
+// ScoreFunc is the scoring function L of the black box model.
+type ScoreFunc = core.ScoreFunc
+
+// Detector is the task-independent baseline contract (REL, BBSE, BBSEh).
+type Detector = baselines.Detector
+
+// TrainPredictor implements Algorithm 1 of the paper: learn a performance
+// predictor for a pretrained black box model from synthetically corrupted
+// copies of the held-out test set.
+func TrainPredictor(model Model, test *Dataset, cfg PredictorConfig) (*Predictor, error) {
+	return core.TrainPredictor(model, test, cfg)
+}
+
+// TrainValidator learns a performance validator: a binary classifier
+// deciding whether the score on a serving batch dropped by more than
+// cfg.Threshold relative to the clean test score.
+func TrainValidator(model Model, test *Dataset, cfg ValidatorConfig) (*Validator, error) {
+	return core.TrainValidator(model, test, cfg)
+}
+
+// PredictionStatistics computes the paper's output featurizer: class-wise
+// percentiles (0, step, ..., 100) of a probability matrix.
+func PredictionStatistics(proba *Matrix, step float64) []float64 {
+	return core.PredictionStatistics(proba, step)
+}
+
+// AccuracyScore scores a probability matrix by argmax accuracy.
+func AccuracyScore(proba *Matrix, y []int) float64 { return core.AccuracyScore(proba, y) }
+
+// AUCScore scores binary problems by area under the ROC curve.
+func AUCScore(proba *Matrix, y []int) float64 { return core.AUCScore(proba, y) }
+
+// Predict returns the argmax class per row of a probability matrix.
+func Predict(proba *Matrix) []int { return data.Predict(proba) }
+
+// NewREL builds the relational shift detection baseline from a clean
+// reference sample.
+func NewREL(reference *Dataset) *baselines.REL { return baselines.NewREL(reference) }
+
+// NewBBSE builds the black box shift detection baseline (soft outputs).
+func NewBBSE(model Model, testOutputs *Matrix) *baselines.BBSE {
+	return baselines.NewBBSE(model, testOutputs)
+}
+
+// NewBBSEh builds the black box shift detection baseline (hard
+// predictions).
+func NewBBSEh(model Model, testOutputs *Matrix) *baselines.BBSEh {
+	return baselines.NewBBSEh(model, testOutputs)
+}

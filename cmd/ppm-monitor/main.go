@@ -1,0 +1,47 @@
+// Command ppm-monitor watches a directory for serving batch CSVs,
+// evaluates each against a trained bundle (see ppm-validate train) and
+// optionally serves the monitoring dashboard over HTTP:
+//
+//	ppm-monitor -bundle bundle -watch /var/spool/batches -addr 127.0.0.1:8090
+//
+// Every new .csv file in the watch directory is scored once; GET
+// /summary, /history and /alarming on the dashboard address expose the
+// monitor state as JSON.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"blackboxval/internal/cli"
+)
+
+func main() {
+	bundle := flag.String("bundle", "bundle", "bundle directory written by ppm-validate train")
+	watch := flag.String("watch", ".", "directory polled for serving batch CSVs")
+	addr := flag.String("addr", "", "dashboard listen address (empty = no dashboard)")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	hysteresis := flag.Int("hysteresis", 1, "consecutive violating batches before alarming")
+	labeled := flag.Bool("labels", false, "batch CSVs carry a trailing label column")
+	maxBatches := flag.Int("max-batches", 0, "stop after N batches (0 = run forever)")
+	flag.Parse()
+
+	mon, run, err := cli.PrepareWatch(cli.WatchOptions{
+		BundleDir: *bundle, WatchDir: *watch, Interval: *interval,
+		Hysteresis: *hysteresis, Labeled: *labeled, MaxBatches: *maxBatches,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *addr != "" {
+		go func() {
+			log.Printf("dashboard at http://%s/summary", *addr)
+			log.Fatal(http.ListenAndServe(*addr, mon.Handler()))
+		}()
+	}
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}

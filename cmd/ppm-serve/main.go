@@ -1,0 +1,58 @@
+// Command ppm-serve trains a black box model on one of the synthetic
+// datasets and hosts it behind the HTTP prediction API — the local
+// stand-in for a cloud ML service like Google AutoML Tables. Point
+// example clients or a performance predictor at the printed address.
+//
+// Usage:
+//
+//	ppm-serve -dataset income -model xgb -addr 127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"blackboxval"
+	"blackboxval/internal/experiments"
+)
+
+func main() {
+	dataset := flag.String("dataset", "income", "dataset to train on (income, heart, bank, tweets, digits, fashion)")
+	model := flag.String("model", "xgb", "model family (lr, dnn, xgb, conv, automl)")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	rows := flag.Int("rows", 4000, "dataset size")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*dataset, *model, *addr, *rows, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(dataset, modelName, addr string, rows int, seed int64) error {
+	scale := experiments.Quick
+	scale.TabularRows = rows
+	scale.ImageRows = rows
+	ds, err := scale.GenerateDataset(dataset, seed)
+	if err != nil {
+		return err
+	}
+	train, test, _ := experiments.Splits(ds, seed)
+
+	var model blackboxval.Model
+	if modelName == "automl" {
+		model, err = blackboxval.AutoSklearn(train, blackboxval.AutoMLConfig{Seed: seed})
+	} else {
+		model, err = scale.TrainModel(modelName, train, seed)
+	}
+	if err != nil {
+		return fmt.Errorf("training %s on %s: %w", modelName, dataset, err)
+	}
+
+	acc := blackboxval.AccuracyScore(model.PredictProba(test), test.Labels)
+	log.Printf("trained %s on %s (%d rows), held-out accuracy %.3f", modelName, dataset, rows, acc)
+	log.Printf("serving POST http://%s/predict_proba", addr)
+	return http.ListenAndServe(addr, blackboxval.NewCloudServer(model).Handler())
+}

@@ -1,0 +1,131 @@
+// Command ppm-validate is the end-to-end operator workflow: train a black
+// box with its performance predictor and validator and persist them as a
+// bundle, then later check unlabeled serving batches (CSV files or live
+// services) against that bundle.
+//
+// Train a bundle on a synthetic dataset (writes three JSON artifacts):
+//
+//	ppm-validate train -dataset income -model xgb -out bundle/
+//
+// Check a serving batch stored as CSV with the schema of the dataset:
+//
+//	ppm-validate check -bundle bundle/ -batch serving.csv
+//
+// Generate a (optionally corrupted) serving batch CSV for demonstration:
+//
+//	ppm-validate genbatch -dataset income -corrupt scaling -magnitude 0.8 -out serving.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blackboxval/internal/cli"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = runTrain(os.Args[2:])
+	case "check":
+		err = runCheck(os.Args[2:])
+	case "genbatch":
+		err = runGenBatch(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ppm-validate train    -dataset <name> -model <lr|dnn|xgb> -rows N -threshold T -out <dir>
+  ppm-validate check    -bundle <dir> -batch <csv> [-labels]
+  ppm-validate genbatch -dataset <name> -corrupt <error> -magnitude M -rows N -out <csv>
+  ppm-validate inspect  -batch <csv>`)
+}
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dataset := fs.String("dataset", "income", "dataset name (income, heart, bank, tweets)")
+	model := fs.String("model", "xgb", "model family (lr, dnn, xgb)")
+	rows := fs.Int("rows", 4000, "dataset size")
+	threshold := fs.Float64("threshold", 0.05, "tolerated relative accuracy drop")
+	out := fs.String("out", "bundle", "output directory")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	report, err := cli.Train(cli.TrainOptions{
+		Dataset: *dataset, Model: *model, Rows: *rows,
+		Threshold: *threshold, OutDir: *out, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}
+
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	bundle := fs.String("bundle", "bundle", "bundle directory written by train")
+	batch := fs.String("batch", "", "CSV file with the serving batch")
+	labeled := fs.Bool("labels", false, "CSV contains a final label column (prints true score too)")
+	fs.Parse(args)
+	if *batch == "" {
+		return fmt.Errorf("-batch is required")
+	}
+	report, err := cli.Check(cli.CheckOptions{BundleDir: *bundle, BatchCSV: *batch, Labeled: *labeled})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}
+
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	batch := fs.String("batch", "", "CSV file to profile")
+	fs.Parse(args)
+	if *batch == "" {
+		return fmt.Errorf("-batch is required")
+	}
+	report, err := cli.Inspect(cli.InspectOptions{BatchCSV: *batch})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}
+
+func runGenBatch(args []string) error {
+	fs := flag.NewFlagSet("genbatch", flag.ExitOnError)
+	dataset := fs.String("dataset", "income", "dataset name")
+	corrupt := fs.String("corrupt", "", "error type (missing, outliers, swapped, scaling, typos, smearing, flipped_sign, leetspeak) or empty for clean")
+	magnitude := fs.Float64("magnitude", 0.5, "corruption magnitude in [0,1]")
+	rows := fs.Int("rows", 1000, "batch size")
+	out := fs.String("out", "serving.csv", "output CSV path")
+	seed := fs.Int64("seed", 99, "random seed")
+	labels := fs.Bool("labels", true, "append the label column (for demo scoring)")
+	fs.Parse(args)
+	report, err := cli.GenBatch(cli.GenBatchOptions{
+		Dataset: *dataset, Corrupt: *corrupt, Magnitude: *magnitude,
+		Rows: *rows, OutCSV: *out, Seed: *seed, WithLabels: *labels,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}

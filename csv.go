@@ -1,0 +1,103 @@
+package blackboxval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+)
+
+// DatasetFromCSV ingests user data: it parses CSV with a header row,
+// infers every column's kind (numeric, categorical or free text), pops
+// the named label column and returns a ready Dataset. Empty cells and
+// "NA"/"null"-style tokens become missing values. Class names are the
+// distinct label values in sorted order.
+//
+// For unlabeled serving batches, pass an empty labelColumn: all labels
+// are zero and a single placeholder class is used (scores computed
+// against such labels are meaningless, but Estimate and Violation never
+// look at them).
+func DatasetFromCSV(r io.Reader, labelColumn string) (*Dataset, error) {
+	df, err := frame.InferCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	if labelColumn == "" {
+		return &Dataset{
+			Frame:   df,
+			Labels:  make([]int, df.NumRows()),
+			Classes: []string{"unlabeled"},
+		}, nil
+	}
+
+	labelCol := df.Column(labelColumn)
+	if labelCol == nil {
+		return nil, fmt.Errorf("blackboxval: CSV has no column %q", labelColumn)
+	}
+	if labelCol.Kind == frame.Numeric {
+		return nil, fmt.Errorf("blackboxval: label column %q is numeric; labels must be class names", labelColumn)
+	}
+	classSet := map[string]bool{}
+	for i, v := range labelCol.Str {
+		if v == "" {
+			return nil, fmt.Errorf("blackboxval: row %d has a missing label", i)
+		}
+		classSet[v] = true
+	}
+	classes := make([]string, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	index := map[string]int{}
+	for i, c := range classes {
+		index[c] = i
+	}
+	labels := make([]int, len(labelCol.Str))
+	for i, v := range labelCol.Str {
+		labels[i] = index[v]
+	}
+
+	features := frame.New()
+	for _, c := range df.Columns() {
+		if c.Name == labelColumn {
+			continue
+		}
+		switch c.Kind {
+		case frame.Numeric:
+			features.AddNumeric(c.Name, c.Num)
+		case frame.Categorical:
+			features.AddCategorical(c.Name, c.Str)
+		case frame.Text:
+			features.AddText(c.Name, c.Str)
+		}
+	}
+	if features.NumCols() == 0 {
+		return nil, fmt.Errorf("blackboxval: CSV has no feature columns besides the label")
+	}
+	ds := &data.Dataset{Frame: features, Labels: labels, Classes: classes}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// WriteDatasetCSV writes a dataset's feature columns (plus, when
+// withLabels is set, a trailing "label" column of class names) as CSV.
+func WriteDatasetCSV(w io.Writer, ds *Dataset, withLabels bool) error {
+	if !ds.Tabular() {
+		return fmt.Errorf("blackboxval: only tabular datasets can be written as CSV")
+	}
+	out := ds.Frame
+	if withLabels {
+		out = ds.Frame.Clone()
+		names := make([]string, ds.Len())
+		for i, y := range ds.Labels {
+			names[i] = ds.Classes[y]
+		}
+		out.AddCategorical("label", names)
+	}
+	return out.WriteCSV(w)
+}

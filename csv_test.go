@@ -1,0 +1,106 @@
+package blackboxval_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"blackboxval"
+)
+
+const sampleCSV = `age,income,job,label
+25,50000,eng,no
+40,NA,doc,yes
+31,72000,eng,yes
+58,39000,nurse,no
+`
+
+func TestDatasetFromCSVLabeled(t *testing.T) {
+	ds, err := blackboxval.DatasetFromCSV(strings.NewReader(sampleCSV), "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 4 {
+		t.Fatalf("rows = %d", ds.Len())
+	}
+	if len(ds.Classes) != 2 || ds.Classes[0] != "no" || ds.Classes[1] != "yes" {
+		t.Fatalf("classes = %v", ds.Classes)
+	}
+	if ds.Labels[0] != 0 || ds.Labels[1] != 1 {
+		t.Fatalf("labels = %v", ds.Labels)
+	}
+	if ds.Frame.Column("label") != nil {
+		t.Fatal("label column leaked into features")
+	}
+	if !math.IsNaN(ds.Frame.Column("income").Num[1]) {
+		t.Fatal("NA not parsed as missing")
+	}
+}
+
+func TestDatasetFromCSVUnlabeled(t *testing.T) {
+	ds, err := blackboxval.DatasetFromCSV(strings.NewReader(sampleCSV), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Frame.Column("label") == nil {
+		t.Fatal("unlabeled mode should keep all columns")
+	}
+	for _, y := range ds.Labels {
+		if y != 0 {
+			t.Fatal("unlabeled dataset should have zero labels")
+		}
+	}
+}
+
+func TestDatasetFromCSVErrors(t *testing.T) {
+	if _, err := blackboxval.DatasetFromCSV(strings.NewReader(sampleCSV), "nope"); err == nil {
+		t.Fatal("missing label column should error")
+	}
+	if _, err := blackboxval.DatasetFromCSV(strings.NewReader("age,label\n5,yes\n6,\n"), "label"); err == nil {
+		t.Fatal("missing label value should error")
+	}
+	if _, err := blackboxval.DatasetFromCSV(strings.NewReader("age,label\n5,yes\n6,no\n"), "age"); err == nil {
+		t.Fatal("numeric label column should error")
+	}
+	if _, err := blackboxval.DatasetFromCSV(strings.NewReader("label\nyes\nno\n"), "label"); err == nil {
+		t.Fatal("label-only CSV should error")
+	}
+}
+
+func TestCSVRoundTripThroughPublicAPI(t *testing.T) {
+	orig := blackboxval.IncomeDataset(50, 1)
+	var buf bytes.Buffer
+	if err := blackboxval.WriteDatasetCSV(&buf, orig, true); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := blackboxval.DatasetFromCSV(&buf, "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != orig.Len() {
+		t.Fatalf("rows = %d, want %d", ds.Len(), orig.Len())
+	}
+	// Class names survive; labels map back consistently.
+	for i := range ds.Labels {
+		if ds.Classes[ds.Labels[i]] != orig.Classes[orig.Labels[i]] {
+			t.Fatalf("row %d label changed", i)
+		}
+	}
+	// A model trained on generated data accepts the round-tripped batch.
+	model, err := blackboxval.TrainLR(blackboxval.IncomeDataset(600, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := model.PredictProba(ds)
+	if proba.Rows != ds.Len() {
+		t.Fatal("prediction on round-tripped CSV failed")
+	}
+}
+
+func TestWriteDatasetCSVRejectsImages(t *testing.T) {
+	ds := blackboxval.DigitsDataset(5, 1)
+	if err := blackboxval.WriteDatasetCSV(&bytes.Buffer{}, ds, false); err == nil {
+		t.Fatal("image dataset should be rejected")
+	}
+}

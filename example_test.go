@@ -1,0 +1,131 @@
+package blackboxval_test
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+
+	"blackboxval"
+)
+
+// The quickstart flow: train a black box, learn a performance predictor
+// for it, and estimate the accuracy on an unlabeled serving batch.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	ds := blackboxval.IncomeDataset(3000, 1).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+
+	model, err := blackboxval.TrainXGB(train, 1)
+	if err != nil {
+		panic(err)
+	}
+	predictor, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+		Generators:  blackboxval.KnownTabularGenerators(),
+		Repetitions: 20,
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	estimate := predictor.Estimate(serving) // no labels needed
+	truth := blackboxval.AccuracyScore(model.PredictProba(serving), serving.Labels)
+	fmt.Println("estimate within 0.1 of truth:", math.Abs(estimate-truth) < 0.1)
+	// Output: estimate within 0.1 of truth: true
+}
+
+// Validators answer the binary question "did accuracy drop more than t?".
+func ExampleTrainValidator() {
+	rng := rand.New(rand.NewSource(2))
+	ds := blackboxval.HeartDataset(3000, 2).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+
+	model, err := blackboxval.TrainXGB(train, 2)
+	if err != nil {
+		panic(err)
+	}
+	validator, err := blackboxval.TrainValidator(model, test, blackboxval.ValidatorConfig{
+		Generators: blackboxval.KnownTabularGenerators(),
+		Threshold:  0.1,
+		Batches:    100,
+		Seed:       2,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	broken := blackboxval.Scaling{}.Corrupt(serving, 0.95, rng)
+	fmt.Println("alarm on clean batch:", validator.Violation(serving))
+	fmt.Println("alarm on catastrophically scaled batch:", validator.Violation(broken))
+	// Output:
+	// alarm on clean batch: false
+	// alarm on catastrophically scaled batch: true
+}
+
+// Explain attributes an alarm to the columns that drifted.
+func ExampleExplain() {
+	rng := rand.New(rand.NewSource(3))
+	ds := blackboxval.BankDataset(3000, 3)
+	reference, serving := ds.Split(0.5, rng)
+
+	// A preprocessing bug scales one column by 1000.
+	col := serving.Frame.Column("balance")
+	for i := range col.Num {
+		col.Num[i] *= 1000
+	}
+
+	report, err := blackboxval.Explain(reference, serving)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("most suspicious column:", report.Top(1)[0].Column)
+	// Output: most suspicious column: balance
+}
+
+// Error generators corrupt dataset copies at a chosen magnitude.
+func ExampleGenerator() {
+	rng := rand.New(rand.NewSource(4))
+	ds := blackboxval.IncomeDataset(100, 4)
+	corrupted := blackboxval.MissingValues{}.Corrupt(ds, 0.5, rng)
+
+	missing := 0
+	for _, name := range []string{"occupation", "marital_status", "sex"} {
+		for _, v := range corrupted.Frame.Column(name).Str {
+			if v == "" {
+				missing++
+			}
+		}
+	}
+	fmt.Println("introduced missing values:", missing > 0)
+	fmt.Println("original untouched:", ds.Frame.Column("occupation").Str[0] != "")
+	// Output:
+	// introduced missing values: true
+	// original untouched: true
+}
+
+// DatasetFromCSV ingests user data with schema inference.
+func ExampleDatasetFromCSV() {
+	csv := `age,city,label
+34,berlin,yes
+28,paris,no
+45,berlin,yes
+`
+	ds, err := blackboxval.DatasetFromCSV(newReader(csv), "label")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rows:", ds.Len())
+	fmt.Println("classes:", ds.Classes)
+	fmt.Println("numeric age:", ds.Frame.Column("age").Num[0])
+	// Output:
+	// rows: 3
+	// classes: [no yes]
+	// numeric age: 34
+}
+
+// newReader avoids importing strings at the top for a single example.
+func newReader(s string) io.Reader { return strings.NewReader(s) }

@@ -1,0 +1,73 @@
+// Cloud model example (the paper's Section 6.3.2 scenario, full
+// contract): the client uploads training data to a simulated cloud AutoML
+// service, the service picks and trains a model server-side, and the
+// client gets back nothing but a prediction URL — the ultimate black box.
+// The performance predictor is then trained purely through that URL and
+// monitors corrupted serving batches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+
+	"blackboxval"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	ds := blackboxval.HeartDataset(5000, 7).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+
+	// ----- "cloud" side: an AutoML service, nothing pre-trained --------
+	service := blackboxval.NewAutoMLServer(blackboxval.AutoMLConfig{Seed: 7, Folds: 2})
+	listener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{Handler: service.Handler()}
+	go server.Serve(listener)
+	defer server.Close()
+	baseURL := "http://" + listener.Addr().String()
+	fmt.Printf("cloud AutoML service at %s\n", baseURL)
+
+	// ----- client side: upload data, get a model URL back --------------
+	client, reported, err := blackboxval.NewAutoMLClient(baseURL).Train(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service trained a model (reported quality %.3f), serving at %s\n",
+		reported, client.BaseURL)
+
+	// The prediction client is a Model; the validation stack runs
+	// against it unchanged.
+	predictor, err := blackboxval.TrainPredictor(client, test, blackboxval.PredictorConfig{
+		Generators:  blackboxval.KnownTabularGenerators(),
+		Repetitions: 40,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote model accuracy on held-out data: %.3f\n\n", predictor.TestScore())
+
+	// Monitor a stream of serving batches, some corrupted.
+	mix := blackboxval.Mixture{Generators: blackboxval.KnownTabularGenerators()}
+	fmt.Printf("%-22s %-12s %-12s\n", "batch", "estimated", "true")
+	for i := 0; i < 6; i++ {
+		batch := serving
+		label := "clean"
+		if i%2 == 1 {
+			batch = mix.Corrupt(serving, rng.Float64(), rng)
+			label = "corrupted"
+		}
+		proba := client.PredictProba(batch)
+		fmt.Printf("%-22s %-12.3f %-12.3f\n",
+			fmt.Sprintf("#%d (%s)", i, label),
+			predictor.EstimateFromProba(proba),
+			blackboxval.AccuracyScore(proba, batch.Labels))
+	}
+}

@@ -1,0 +1,57 @@
+// Image drift example (the paper's digits/fashion scenario): a
+// convolutional network classifies images; upstream camera or pipeline
+// changes rotate and blur the serving images. The performance predictor
+// estimates the accuracy drop from the network's output distribution
+// alone, without a single serving label.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"blackboxval"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	ds := blackboxval.DigitsDataset(1600, 5).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+
+	model, err := blackboxval.TrainConv(train, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("convnet accuracy on held-out digits: %.3f\n\n",
+		blackboxval.AccuracyScore(model.PredictProba(test), test.Labels))
+
+	predictor, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+		Generators:  blackboxval.ImageGenerators(),
+		Repetitions: 25,
+		Seed:        5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %-12s %-12s\n", "drift", "estimated", "true")
+	scenarios := []struct {
+		name      string
+		gen       blackboxval.Generator
+		magnitude float64
+	}{
+		{"none", blackboxval.NoOp{}, 0},
+		{"noise on 30% of images", blackboxval.ImageNoise{}, 0.3},
+		{"noise on 90% of images", blackboxval.ImageNoise{}, 0.9},
+		{"rotation of 30% of images", blackboxval.ImageRotation{}, 0.3},
+		{"rotation of 90% of images", blackboxval.ImageRotation{}, 0.9},
+	}
+	for _, sc := range scenarios {
+		drifted := sc.gen.Corrupt(serving, sc.magnitude, rng)
+		proba := model.PredictProba(drifted)
+		fmt.Printf("%-28s %-12.3f %-12.3f\n", sc.name,
+			predictor.EstimateFromProba(proba),
+			blackboxval.AccuracyScore(proba, drifted.Labels))
+	}
+}

@@ -1,0 +1,113 @@
+// Monitoring example: the full deployment lifecycle. A model bundle
+// (black box + performance predictor + validator) is trained and
+// persisted to disk, reloaded as a serving system would on startup, and
+// wired into a Monitor that watches a stream of serving batches. Halfway
+// through the stream a preprocessing bug starts corrupting the data; the
+// monitor's hysteresis alarm fires after the configured number of
+// consecutive bad batches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"blackboxval"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ppm-bundle-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// ---- training time -------------------------------------------------
+	rng := rand.New(rand.NewSource(11))
+	ds := blackboxval.BankDataset(6000, 11).Balance(rng)
+	source, servingPool := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+
+	model, err := blackboxval.TrainXGB(train, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predictor, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+		Generators: blackboxval.KnownTabularGenerators(),
+		Seed:       11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	validator, err := blackboxval.TrainValidator(model, test, blackboxval.ValidatorConfig{
+		Generators: blackboxval.KnownTabularGenerators(),
+		Threshold:  0.05,
+		Seed:       11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	modelPath := filepath.Join(dir, "model.json")
+	predPath := filepath.Join(dir, "predictor.json")
+	valPath := filepath.Join(dir, "validator.json")
+	for _, step := range []struct {
+		name string
+		err  error
+	}{
+		{"model", blackboxval.SaveModel(modelPath, model)},
+		{"predictor", blackboxval.SavePredictor(predPath, predictor)},
+		{"validator", blackboxval.SaveValidator(valPath, validator)},
+	} {
+		if step.err != nil {
+			log.Fatalf("saving %s: %v", step.name, step.err)
+		}
+	}
+	fmt.Printf("bundle persisted to %s\n", dir)
+
+	// ---- serving time: fresh process state ------------------------------
+	loadedModel, err := blackboxval.LoadModel(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loadedPred, err := blackboxval.LoadPredictor(predPath, loadedModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loadedVal, err := blackboxval.LoadValidator(valPath, loadedModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon, err := blackboxval.NewMonitor(blackboxval.MonitorConfig{
+		Predictor:  loadedPred,
+		Validator:  loadedVal,
+		Threshold:  0.05,
+		Hysteresis: 2, // require 2 consecutive bad batches before paging
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monitoring with alarm line %.3f (reference accuracy %.3f)\n\n",
+		mon.AlarmLine(), loadedPred.TestScore())
+
+	// ---- the serving stream ---------------------------------------------
+	fmt.Printf("%-6s %-10s %-10s %-10s %-8s\n", "batch", "kind", "estimate", "true-acc", "alarm")
+	for i := 0; i < 10; i++ {
+		batch := servingPool.Sample(600, rng)
+		kind := "clean"
+		if i >= 5 {
+			// Deployment of buggy preprocessing code: scales get mangled.
+			batch = blackboxval.Scaling{}.Corrupt(batch, 0.7, rng)
+			kind = "corrupted"
+		}
+		rec := mon.Observe(batch)
+		trueAcc := blackboxval.AccuracyScore(loadedModel.PredictProba(batch), batch.Labels)
+		fmt.Printf("%-6d %-10s %-10.3f %-10.3f %-8v\n", rec.Seq, kind, rec.Estimate, trueAcc, rec.Alarming)
+	}
+
+	s := mon.Summarize()
+	fmt.Printf("\nsummary: %d batches, %d violating, %d alarmed, mean estimate %.3f, min %.3f\n",
+		s.Batches, s.Violations, s.AlarmedBatches, s.MeanEstimate, s.MinEstimate)
+}

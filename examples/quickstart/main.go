@@ -1,0 +1,75 @@
+// Quickstart: train a black box model, learn a performance predictor for
+// it (Algorithm 1 of the paper), and use the predictor to estimate the
+// model's accuracy on unseen, unlabeled — and possibly corrupted —
+// serving data (Algorithm 2). A validator additionally raises alarms when
+// the estimated drop exceeds 5%.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"blackboxval"
+)
+
+func main() {
+	// An e-commerce-style tabular dataset: numeric and categorical
+	// attributes, binary target. In production this would be your data.
+	rng := rand.New(rand.NewSource(1))
+	ds := blackboxval.IncomeDataset(6000, 1).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+
+	// Train the black box. The validation machinery below only ever calls
+	// PredictProba on it — it could equally be a remote model.
+	model, err := blackboxval.TrainXGB(train, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleanProba := model.PredictProba(test)
+	fmt.Printf("black box accuracy on held-out test data: %.3f\n",
+		blackboxval.AccuracyScore(cleanProba, test.Labels))
+
+	// Specify the error types we expect to see in serving data — their
+	// magnitudes are unknown and will be randomized during training.
+	generators := blackboxval.KnownTabularGenerators()
+
+	// Algorithm 1: learn the performance predictor.
+	predictor, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+		Generators:  generators,
+		Repetitions: 60,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Algorithm 2 on clean serving data: the estimate needs NO labels.
+	fmt.Printf("\nclean serving batch:\n")
+	fmt.Printf("  estimated accuracy: %.3f\n", predictor.Estimate(serving))
+	fmt.Printf("  true accuracy:      %.3f (normally unknowable!)\n",
+		blackboxval.AccuracyScore(model.PredictProba(serving), serving.Labels))
+
+	// Now simulate a preprocessing bug: someone changed the scale of
+	// numeric attributes (seconds -> milliseconds).
+	corrupted := blackboxval.Scaling{}.Corrupt(serving, 0.8, rng)
+	proba := model.PredictProba(corrupted)
+	fmt.Printf("\nserving batch with scaling bug:\n")
+	fmt.Printf("  estimated accuracy: %.3f\n", predictor.EstimateFromProba(proba))
+	fmt.Printf("  true accuracy:      %.3f\n",
+		blackboxval.AccuracyScore(proba, corrupted.Labels))
+
+	// The validator turns this into an alarm at a 5% tolerated drop.
+	validator, err := blackboxval.TrainValidator(model, test, blackboxval.ValidatorConfig{
+		Generators: generators,
+		Threshold:  0.05,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvalidator (t=5%%):\n")
+	fmt.Printf("  alarm on clean batch:     %v\n", validator.Violation(serving))
+	fmt.Printf("  alarm on corrupted batch: %v\n", validator.Violation(corrupted))
+}

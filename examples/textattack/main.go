@@ -1,0 +1,49 @@
+// Text attack example (the paper's tweets scenario): a troll-detection
+// classifier faces an adversarial "leetspeak" attack, where attackers
+// change the spelling of their messages ("hello world" -> "h3110 w041d")
+// to evade the model. The performance predictor, trained only on
+// synthetic attacks against held-out data, tracks the resulting accuracy
+// collapse on unlabeled serving traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"blackboxval"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	ds := blackboxval.TweetsDataset(6000, 3).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+
+	model, err := blackboxval.TrainLR(train, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("troll classifier accuracy on held-out tweets: %.3f\n\n",
+		blackboxval.AccuracyScore(model.PredictProba(test), test.Labels))
+
+	predictor, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+		Generators:  []blackboxval.Generator{blackboxval.AdversarialText{}},
+		Repetitions: 60,
+		Seed:        3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-24s %-12s %-12s\n", "attack intensity", "estimated", "true")
+	for _, intensity := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		attacked := blackboxval.AdversarialText{}.Corrupt(serving, intensity, rng)
+		proba := model.PredictProba(attacked)
+		fmt.Printf("%-24s %-12.3f %-12.3f\n",
+			fmt.Sprintf("%.0f%% of tweets", intensity*100),
+			predictor.EstimateFromProba(proba),
+			blackboxval.AccuracyScore(proba, attacked.Labels))
+	}
+	fmt.Println("\nthe estimate requires no labels: an operator can alarm on it directly")
+}

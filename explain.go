@@ -1,0 +1,20 @@
+package blackboxval
+
+import "blackboxval/internal/explain"
+
+// Drift attribution: when an alarm fires, Explain compares the serving
+// batch against a clean reference sample and ranks columns (or derived
+// image/text statistics) by drift suspicion, pointing an engineer at the
+// data that likely caused the drop.
+
+// DriftFinding is the drift evidence for one column or derived statistic.
+type DriftFinding = explain.Finding
+
+// DriftReport ranks all findings, most suspicious first.
+type DriftReport = explain.Report
+
+// Explain compares a serving batch against a clean reference sample of
+// the same schema and returns the ranked drift report.
+func Explain(reference, serving *Dataset) (*DriftReport, error) {
+	return explain.Explain(reference, serving)
+}

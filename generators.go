@@ -1,0 +1,52 @@
+package blackboxval
+
+import "blackboxval/internal/errorgen"
+
+// The error generator types of the paper, re-exported for users who
+// specify expected serving-data errors programmatically. Implement the
+// Generator interface for custom error types.
+type (
+	// MissingValues introduces missing cells into random categorical (or
+	// numeric) columns.
+	MissingValues = errorgen.MissingValues
+	// Outliers adds scaled gaussian noise to random numeric columns.
+	Outliers = errorgen.Outliers
+	// SwappedColumns exchanges values between columns.
+	SwappedColumns = errorgen.SwappedColumns
+	// Scaling multiplies numeric values by 10/100/1000, mimicking unit
+	// bugs.
+	Scaling = errorgen.Scaling
+	// AdversarialText rewrites text as leetspeak, simulating attackers.
+	AdversarialText = errorgen.AdversarialText
+	// EncodingErrors introduces mojibake into categorical values.
+	EncodingErrors = errorgen.EncodingErrors
+	// Typos introduces character-level typos into categorical values.
+	Typos = errorgen.Typos
+	// Smearing moves numeric values by up to ±10%.
+	Smearing = errorgen.Smearing
+	// FlippedSigns multiplies numeric values by -1.
+	FlippedSigns = errorgen.FlippedSigns
+	// EntropyMissing discards values from the examples the model is most
+	// certain about (an adversarially hard missingness pattern).
+	EntropyMissing = errorgen.EntropyMissing
+	// ImageNoise adds gaussian pixel noise to a fraction of images.
+	ImageNoise = errorgen.ImageNoise
+	// ImageRotation rotates a fraction of images by random angles.
+	ImageRotation = errorgen.ImageRotation
+	// Mixture applies a randomly weighted blend of generators.
+	Mixture = errorgen.Mixture
+	// NoOp leaves data untouched (the no-error regime).
+	NoOp = errorgen.NoOp
+)
+
+// KnownTabularGenerators returns the paper's four standard "known" error
+// types for relational data: missing values, outliers, swapped columns
+// and scaling.
+func KnownTabularGenerators() []Generator { return errorgen.KnownTabular() }
+
+// UnknownTabularGenerators returns the held-out "unknown" error types
+// used to evaluate generalization: typos, smearing and flipped signs.
+func UnknownTabularGenerators() []Generator { return errorgen.UnknownTabular() }
+
+// ImageGenerators returns the image error types: noise and rotation.
+func ImageGenerators() []Generator { return errorgen.Image() }

@@ -1,0 +1,3 @@
+module blackboxval
+
+go 1.22

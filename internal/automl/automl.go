@@ -1,0 +1,298 @@
+// Package automl provides automatic machine learning substrates standing
+// in for the AutoML systems of the paper's Section 6.3 (auto-sklearn,
+// TPOT, auto-keras and a large convnet). Each search returns an opaque
+// data.Model: the validation system never learns which family, feature
+// map or hyperparameters were chosen — exactly the AutoML black box
+// contract the paper exploits.
+package automl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/featurize"
+	"blackboxval/internal/linalg"
+	"blackboxval/internal/models"
+)
+
+// Config controls an AutoML search.
+type Config struct {
+	// Folds for cross-validated candidate scoring (default 3).
+	Folds int
+	// HashDims for text featurization (default featurize.DefaultHashDims).
+	HashDims int
+	// EnsembleSize is the number of top models blended by AutoSklearn
+	// (default 3).
+	EnsembleSize int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Folds == 0 {
+		c.Folds = 3
+	}
+	if c.HashDims == 0 {
+		c.HashDims = featurize.DefaultHashDims
+	}
+	if c.EnsembleSize == 0 {
+		c.EnsembleSize = 3
+	}
+}
+
+// Ensemble soft-votes over several trained pipelines, averaging their
+// class probabilities — the ensembling strategy of auto-sklearn.
+type Ensemble struct {
+	members []data.Model
+	classes int
+}
+
+// PredictProba implements data.Model.
+func (e *Ensemble) PredictProba(ds *data.Dataset) *linalg.Matrix {
+	var sum *linalg.Matrix
+	for _, m := range e.members {
+		p := m.PredictProba(ds)
+		if sum == nil {
+			sum = p.Clone()
+			continue
+		}
+		for i := range sum.Data {
+			sum.Data[i] += p.Data[i]
+		}
+	}
+	linalg.Scale(sum, 1/float64(len(e.members)))
+	return sum
+}
+
+// NumClasses implements data.Model.
+func (e *Ensemble) NumClasses() int { return e.classes }
+
+// Size returns the number of ensemble members.
+func (e *Ensemble) Size() int { return len(e.members) }
+
+// scoredCandidate pairs a candidate with its cross-validated accuracy.
+type scoredCandidate struct {
+	cand  models.Candidate
+	score float64
+}
+
+// scoreCandidates cross-validates every candidate on the featurized data.
+func scoreCandidates(X *linalg.Matrix, y []int, classes, folds int, cands []models.Candidate, rng *rand.Rand) ([]scoredCandidate, error) {
+	scored := make([]scoredCandidate, 0, len(cands))
+	for _, cand := range cands {
+		// Reuse GridSearchCV's internals via a single-candidate search to
+		// keep fold assignment consistent.
+		perFoldRng := rand.New(rand.NewSource(rng.Int63()))
+		acc, err := crossValAccuracy(X, y, classes, folds, cand, perFoldRng)
+		if err != nil {
+			return nil, err
+		}
+		scored = append(scored, scoredCandidate{cand: cand, score: acc})
+	}
+	return scored, nil
+}
+
+func crossValAccuracy(X *linalg.Matrix, y []int, classes, folds int, cand models.Candidate, rng *rand.Rand) (float64, error) {
+	if folds > len(y) {
+		folds = len(y)
+	}
+	perm := rng.Perm(len(y))
+	total := 0.0
+	for f := 0; f < folds; f++ {
+		var trainIdx, valIdx []int
+		for i, idx := range perm {
+			if i%folds == f {
+				valIdx = append(valIdx, idx)
+			} else {
+				trainIdx = append(trainIdx, idx)
+			}
+		}
+		trainY := make([]int, len(trainIdx))
+		for i, idx := range trainIdx {
+			trainY[i] = y[idx]
+		}
+		valY := make([]int, len(valIdx))
+		for i, idx := range valIdx {
+			valY[i] = y[idx]
+		}
+		clf := cand.New()
+		if err := clf.Fit(X.SelectRows(trainIdx), trainY, classes); err != nil {
+			return 0, fmt.Errorf("automl: cross-validating %s: %w", cand.Name, err)
+		}
+		total += models.Accuracy(clf.PredictProba(X.SelectRows(valIdx)), valY)
+	}
+	return total / float64(folds), nil
+}
+
+// tabularCandidates is the default search space over model families and
+// hyperparameters for relational data.
+func tabularCandidates(seed int64) []models.Candidate {
+	var cands []models.Candidate
+	cands = append(cands, models.LRCandidates(seed)...)
+	cands = append(cands, models.DNNCandidates(seed)...)
+	cands = append(cands, models.XGBCandidates(seed)...)
+	return cands
+}
+
+// AutoSklearn searches model families and hyperparameters with
+// cross-validation and returns a soft-voting ensemble of the top
+// configurations, mimicking auto-sklearn's ensemble construction.
+func AutoSklearn(train *data.Dataset, cfg Config) (data.Model, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 30))
+
+	feat := &featurize.Pipeline{HashDims: cfg.HashDims}
+	if err := feat.Fit(train); err != nil {
+		return nil, fmt.Errorf("automl: fitting feature map: %w", err)
+	}
+	X, err := feat.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	classes := len(train.Classes)
+
+	scored, err := scoreCandidates(X, y(train), classes, cfg.Folds, tabularCandidates(cfg.Seed), rng)
+	if err != nil {
+		return nil, err
+	}
+	sortByScore(scored)
+	k := cfg.EnsembleSize
+	if k > len(scored) {
+		k = len(scored)
+	}
+	ens := &Ensemble{classes: classes}
+	for _, sc := range scored[:k] {
+		model, err := models.TrainPipeline(train, sc.cand.New(), cfg.HashDims)
+		if err != nil {
+			return nil, fmt.Errorf("automl: refitting %s: %w", sc.cand.Name, err)
+		}
+		ens.members = append(ens.members, model)
+	}
+	return ens, nil
+}
+
+// TPOT performs a greedy pipeline search: it scores all candidate
+// configurations (the "population"), then hill-climbs variations of the
+// winner — a deterministic stand-in for TPOT's genetic programming.
+func TPOT(train *data.Dataset, cfg Config) (data.Model, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 31))
+
+	feat := &featurize.Pipeline{HashDims: cfg.HashDims}
+	if err := feat.Fit(train); err != nil {
+		return nil, err
+	}
+	X, err := feat.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	classes := len(train.Classes)
+	scored, err := scoreCandidates(X, y(train), classes, cfg.Folds, tabularCandidates(cfg.Seed), rng)
+	if err != nil {
+		return nil, err
+	}
+	sortByScore(scored)
+	winner := scored[0]
+
+	// One "generation" of mutations around the winner: vary the GBDT
+	// shrinkage / MLP width if applicable.
+	mutations := mutate(winner.cand, cfg.Seed)
+	if len(mutations) > 0 {
+		mutScored, err := scoreCandidates(X, y(train), classes, cfg.Folds, mutations, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, ms := range mutScored {
+			if ms.score > winner.score {
+				winner = ms
+			}
+		}
+	}
+	return models.TrainPipeline(train, winner.cand.New(), cfg.HashDims)
+}
+
+// mutate derives hyperparameter variations of a winning candidate.
+func mutate(c models.Candidate, seed int64) []models.Candidate {
+	probe := c.New()
+	switch probe.(type) {
+	case *models.GBDTClassifier:
+		return []models.Candidate{
+			{Name: c.Name + "+lr0.1", New: func() models.Classifier {
+				return &models.GBDTClassifier{Trees: 60, MaxDepth: 3, LearningRate: 0.1, Seed: seed}
+			}},
+			{Name: c.Name + "+deep", New: func() models.Classifier {
+				return &models.GBDTClassifier{Trees: 40, MaxDepth: 5, Seed: seed}
+			}},
+		}
+	case *models.MLPClassifier:
+		return []models.Candidate{
+			{Name: c.Name + "+wide", New: func() models.Classifier {
+				return &models.MLPClassifier{Hidden: []int{96, 48}, Seed: seed}
+			}},
+		}
+	default:
+		return nil
+	}
+}
+
+// AutoKeras runs a small neural architecture search over convnet shapes
+// for image data, standing in for auto-keras.
+func AutoKeras(train *data.Dataset, cfg Config) (data.Model, error) {
+	cfg.defaults()
+	if train.Tabular() {
+		return nil, fmt.Errorf("automl: AutoKeras expects image data")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 32))
+
+	feat := &featurize.Pipeline{}
+	if err := feat.Fit(train); err != nil {
+		return nil, err
+	}
+	X, err := feat.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	classes := len(train.Classes)
+	shapes := []struct{ c1, c2, dense int }{
+		{4, 8, 32},
+		{8, 16, 64},
+	}
+	var cands []models.Candidate
+	for _, s := range shapes {
+		s := s
+		cands = append(cands, models.Candidate{
+			Name: fmt.Sprintf("conv(%d,%d,%d)", s.c1, s.c2, s.dense),
+			New: func() models.Classifier {
+				return &models.CNNClassifier{Conv1: s.c1, Conv2: s.c2, Dense: s.dense, Epochs: 2, Seed: cfg.Seed}
+			},
+		})
+	}
+	scored, err := scoreCandidates(X, y(train), classes, 2, cands, rng)
+	if err != nil {
+		return nil, err
+	}
+	sortByScore(scored)
+	return models.TrainPipeline(train, scored[0].cand.New(), 0)
+}
+
+// LargeConvNet trains the paper's fixed large convolutional architecture
+// (proportionally scaled: twice the filters of the default conv model).
+func LargeConvNet(train *data.Dataset, cfg Config) (data.Model, error) {
+	cfg.defaults()
+	if train.Tabular() {
+		return nil, fmt.Errorf("automl: LargeConvNet expects image data")
+	}
+	clf := &models.CNNClassifier{Conv1: 16, Conv2: 32, Dense: 128, Epochs: 3, Seed: cfg.Seed}
+	return models.TrainPipeline(train, clf, 0)
+}
+
+func y(ds *data.Dataset) []int { return ds.Labels }
+
+func sortByScore(scored []scoredCandidate) {
+	for i := 1; i < len(scored); i++ {
+		for j := i; j > 0 && scored[j].score > scored[j-1].score; j-- {
+			scored[j], scored[j-1] = scored[j-1], scored[j]
+		}
+	}
+}

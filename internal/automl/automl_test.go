@@ -1,0 +1,151 @@
+package automl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/linalg"
+	"blackboxval/internal/models"
+)
+
+func TestAutoSklearnProducesAccurateEnsemble(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AutoML search is slow")
+	}
+	rng := rand.New(rand.NewSource(1))
+	ds := datagen.Income(1600, 1)
+	train, test := ds.Split(0.7, rng)
+	model, err := AutoSklearn(train, Config{Seed: 1, Folds: 2, HashDims: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, ok := model.(*Ensemble)
+	if !ok {
+		t.Fatal("AutoSklearn should return an Ensemble")
+	}
+	if ens.Size() != 3 {
+		t.Fatalf("ensemble size = %d", ens.Size())
+	}
+	proba := model.PredictProba(test)
+	if acc := models.Accuracy(proba, test.Labels); acc < 0.7 {
+		t.Fatalf("ensemble accuracy = %v", acc)
+	}
+	// Probabilities remain a distribution after averaging.
+	for i := 0; i < proba.Rows; i++ {
+		sum := 0.0
+		for _, v := range proba.Row(i) {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("ensemble row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestTPOTProducesAccuratePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AutoML search is slow")
+	}
+	rng := rand.New(rand.NewSource(2))
+	ds := datagen.Income(1600, 2)
+	train, test := ds.Split(0.7, rng)
+	model, err := TPOT(train, Config{Seed: 1, Folds: 2, HashDims: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := models.Accuracy(model.PredictProba(test), test.Labels); acc < 0.7 {
+		t.Fatalf("TPOT accuracy = %v", acc)
+	}
+}
+
+func TestAutoKerasOnDigits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AutoML search is slow")
+	}
+	rng := rand.New(rand.NewSource(3))
+	ds := datagen.Digits(600, 3)
+	train, test := ds.Split(0.7, rng)
+	model, err := AutoKeras(train, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := models.Accuracy(model.PredictProba(test), test.Labels); acc < 0.8 {
+		t.Fatalf("auto-keras accuracy = %v", acc)
+	}
+}
+
+func TestAutoKerasRejectsTabular(t *testing.T) {
+	ds := datagen.Income(100, 4)
+	if _, err := AutoKeras(ds, Config{}); err == nil {
+		t.Fatal("expected error for tabular data")
+	}
+	if _, err := LargeConvNet(ds, Config{}); err == nil {
+		t.Fatal("expected error for tabular data")
+	}
+}
+
+func TestLargeConvNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convnet training is slow")
+	}
+	rng := rand.New(rand.NewSource(5))
+	ds := datagen.Digits(500, 5)
+	train, test := ds.Split(0.7, rng)
+	model, err := LargeConvNet(train, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := models.Accuracy(model.PredictProba(test), test.Labels); acc < 0.8 {
+		t.Fatalf("large convnet accuracy = %v", acc)
+	}
+}
+
+type fixedModel struct{ v float64 }
+
+func (f fixedModel) PredictProba(ds *data.Dataset) *linalg.Matrix {
+	out := linalg.NewMatrix(ds.Len(), 2)
+	for i := 0; i < out.Rows; i++ {
+		out.Set(i, 0, f.v)
+		out.Set(i, 1, 1-f.v)
+	}
+	return out
+}
+func (fixedModel) NumClasses() int { return 2 }
+
+func TestEnsembleAveraging(t *testing.T) {
+	ds := datagen.Income(10, 6)
+	ens := &Ensemble{members: []data.Model{fixedModel{0.2}, fixedModel{0.6}}, classes: 2}
+	proba := ens.PredictProba(ds)
+	if math.Abs(proba.At(0, 0)-0.4) > 1e-12 {
+		t.Fatalf("ensemble average = %v, want 0.4", proba.At(0, 0))
+	}
+	if ens.NumClasses() != 2 {
+		t.Fatal("NumClasses wrong")
+	}
+}
+
+func TestSortByScore(t *testing.T) {
+	scored := []scoredCandidate{{score: 0.1}, {score: 0.9}, {score: 0.5}}
+	sortByScore(scored)
+	if scored[0].score != 0.9 || scored[2].score != 0.1 {
+		t.Fatalf("sort wrong: %+v", scored)
+	}
+}
+
+func TestMutateKnowsGBDT(t *testing.T) {
+	cand := models.Candidate{Name: "xgb", New: func() models.Classifier {
+		return &models.GBDTClassifier{Seed: 1}
+	}}
+	if len(mutate(cand, 1)) == 0 {
+		t.Fatal("GBDT should have mutations")
+	}
+	lr := models.Candidate{Name: "lr", New: func() models.Classifier {
+		return &models.SGDClassifier{Seed: 1}
+	}}
+	if len(mutate(lr, 1)) != 0 {
+		t.Fatal("lr should have no mutations")
+	}
+}

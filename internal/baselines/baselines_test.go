@@ -1,0 +1,139 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/linalg"
+	"blackboxval/internal/models"
+)
+
+func splits(t *testing.T, seed int64) (train, test, serving *data.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := datagen.Income(3000, seed)
+	source, serving := ds.Split(0.7, rng)
+	train, test = source.Split(0.6, rng)
+	return train, test, serving
+}
+
+func blackBox(t *testing.T, train *data.Dataset) data.Model {
+	t.Helper()
+	m, err := models.TrainPipeline(train, &models.SGDClassifier{Epochs: 10, Seed: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRELNoAlarmOnCleanData(t *testing.T) {
+	_, test, serving := splits(t, 1)
+	rel := NewREL(test)
+	if !rel.Applicable() {
+		t.Fatal("REL should apply to tabular data")
+	}
+	if rel.Violation(serving) {
+		t.Fatal("REL alarmed on i.i.d. clean serving data")
+	}
+}
+
+func TestRELDetectsScaling(t *testing.T) {
+	_, test, serving := splits(t, 2)
+	rel := NewREL(test)
+	corrupted := errorgen.Scaling{}.Corrupt(serving, 0.8, rand.New(rand.NewSource(3)))
+	if !rel.Violation(corrupted) {
+		t.Fatal("REL missed heavy scaling of raw columns")
+	}
+}
+
+func TestRELDetectsMissingValues(t *testing.T) {
+	_, test, serving := splits(t, 4)
+	rel := NewREL(test)
+	corrupted := errorgen.MissingValues{}.Corrupt(serving, 0.6, rand.New(rand.NewSource(5)))
+	if !rel.Violation(corrupted) {
+		t.Fatal("REL missed massive categorical missingness")
+	}
+}
+
+func TestRELNotApplicableToImages(t *testing.T) {
+	imgs := datagen.Digits(50, 1)
+	rel := NewREL(imgs)
+	if rel.Applicable() {
+		t.Fatal("REL should not be applicable to image data")
+	}
+	if rel.Violation(imgs) {
+		t.Fatal("inapplicable REL must not alarm")
+	}
+}
+
+func TestBBSENoAlarmOnCleanData(t *testing.T) {
+	train, test, serving := splits(t, 6)
+	model := blackBox(t, train)
+	bbse := NewBBSE(model, model.PredictProba(test))
+	if bbse.Violation(serving) {
+		t.Fatal("BBSE alarmed on clean serving data")
+	}
+}
+
+func TestBBSEDetectsOutputShift(t *testing.T) {
+	train, test, serving := splits(t, 7)
+	model := blackBox(t, train)
+	bbse := NewBBSE(model, model.PredictProba(test))
+	corrupted := errorgen.Scaling{}.Corrupt(serving, 0.9, rand.New(rand.NewSource(8)))
+	if !bbse.Violation(corrupted) {
+		t.Fatal("BBSE missed a shift that saturates the model outputs")
+	}
+}
+
+func TestBBSEhDetectsClassCountShift(t *testing.T) {
+	train, test, _ := splits(t, 9)
+	model := blackBox(t, train)
+	bbseh := NewBBSEh(model, model.PredictProba(test))
+	// Synthetic outputs: everything predicted class 0.
+	skewed := linalg.NewMatrix(500, 2)
+	for i := 0; i < 500; i++ {
+		skewed.Set(i, 0, 0.9)
+		skewed.Set(i, 1, 0.1)
+	}
+	if !bbseh.ViolationFromProba(skewed) {
+		t.Fatal("BBSEh missed a total class-count shift")
+	}
+}
+
+func TestBBSEhNoAlarmOnCleanData(t *testing.T) {
+	train, test, serving := splits(t, 10)
+	model := blackBox(t, train)
+	bbseh := NewBBSEh(model, model.PredictProba(test))
+	if bbseh.Violation(serving) {
+		t.Fatal("BBSEh alarmed on clean serving data")
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	_, test, _ := splits(t, 11)
+	if NewREL(test).Name() != "REL" {
+		t.Fatal("REL name")
+	}
+	train, test2, _ := splits(t, 12)
+	model := blackBox(t, train)
+	out := model.PredictProba(test2)
+	if NewBBSE(model, out).Name() != "BBSE" || NewBBSEh(model, out).Name() != "BBSE-h" {
+		t.Fatal("BBSE names")
+	}
+}
+
+func TestCategoryCountsAlignment(t *testing.T) {
+	ref, srv := categoryCounts([]string{"a", "b", "a"}, []string{"b", "c"})
+	if len(ref) != 3 || len(srv) != 3 {
+		t.Fatalf("union size wrong: %v %v", ref, srv)
+	}
+	if ref[0] != 2 || ref[1] != 1 || ref[2] != 0 {
+		t.Fatalf("ref counts = %v", ref)
+	}
+	if srv[0] != 0 || srv[1] != 1 || srv[2] != 1 {
+		t.Fatalf("srv counts = %v", srv)
+	}
+}

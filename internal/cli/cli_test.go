@@ -1,0 +1,167 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// trainSmallBundle builds one small bundle shared across tests of this
+// package (training is the slow part).
+func trainSmallBundle(t *testing.T, dir string) {
+	t.Helper()
+	report, err := Train(TrainOptions{
+		Dataset: "income", Model: "lr", Rows: 1800,
+		Threshold: 0.05, OutDir: dir, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "held-out accuracy") {
+		t.Fatalf("train report missing accuracy: %q", report)
+	}
+	for _, name := range []string{ManifestFile, ModelFile, PredictorFile, ValidatorFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("bundle missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestTrainCheckGenBatchWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "bundle")
+	trainSmallBundle(t, bundle)
+
+	// Clean batch: verdict ok.
+	cleanCSV := filepath.Join(dir, "clean.csv")
+	if _, err := GenBatch(GenBatchOptions{
+		Dataset: "income", Rows: 800, OutCSV: cleanCSV, Seed: 7, WithLabels: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Check(CheckOptions{BundleDir: bundle, BatchCSV: cleanCSV, Labeled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "verdict: ok") {
+		t.Fatalf("clean batch not ok:\n%s", report)
+	}
+	if !strings.Contains(report, "true accuracy") {
+		t.Fatal("labeled check should print the true accuracy")
+	}
+
+	// Catastrophically scaled batch: verdict ALARM.
+	badCSV := filepath.Join(dir, "bad.csv")
+	if _, err := GenBatch(GenBatchOptions{
+		Dataset: "income", Corrupt: "scaling", Magnitude: 0.95,
+		Rows: 800, OutCSV: badCSV, Seed: 8, WithLabels: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	report, err = Check(CheckOptions{BundleDir: bundle, BatchCSV: badCSV, Labeled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "ALARM") {
+		t.Fatalf("catastrophic batch not alarmed:\n%s", report)
+	}
+	if !strings.Contains(report, "most suspicious columns") {
+		t.Fatalf("alarm report lacks drift attribution:\n%s", report)
+	}
+}
+
+func TestCheckUnlabeledBatch(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "bundle")
+	trainSmallBundle(t, bundle)
+	csv := filepath.Join(dir, "batch.csv")
+	if _, err := GenBatch(GenBatchOptions{
+		Dataset: "income", Rows: 500, OutCSV: csv, Seed: 9, WithLabels: false,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Check(CheckOptions{BundleDir: bundle, BatchCSV: csv, Labeled: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(report, "true accuracy") {
+		t.Fatal("unlabeled check must not claim a true accuracy")
+	}
+	if !strings.Contains(report, "estimated accuracy") {
+		t.Fatal("check report missing estimate")
+	}
+}
+
+func TestTrainRejectsUnknownInputs(t *testing.T) {
+	if _, err := Train(TrainOptions{Dataset: "nope", Model: "lr", OutDir: t.TempDir()}); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if _, err := Train(TrainOptions{Dataset: "income", Model: "nope", OutDir: t.TempDir()}); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestGeneratorByName(t *testing.T) {
+	for _, name := range []string{"missing", "outliers", "swapped", "scaling", "typos", "smearing", "flipped_sign", "leetspeak", "none"} {
+		g, err := GeneratorByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Name() != name {
+			t.Fatalf("resolved %q for request %q", g.Name(), name)
+		}
+	}
+	if _, err := GeneratorByName("bogus"); err == nil {
+		t.Fatal("unknown generator should error")
+	}
+}
+
+func TestCheckRejectsMissingBundle(t *testing.T) {
+	if _, err := Check(CheckOptions{BundleDir: t.TempDir(), BatchCSV: "x.csv"}); err == nil {
+		t.Fatal("missing bundle should error")
+	}
+}
+
+func TestReadBatchCSVUnknownLabel(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "bundle")
+	trainSmallBundle(t, bundle)
+	manifest, _, _, _, err := LoadBundle(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := filepath.Join(dir, "bad.csv")
+	if _, err := GenBatch(GenBatchOptions{Dataset: "income", Rows: 5, OutCSV: csv, Seed: 1, WithLabels: true}); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(csv)
+	broken := strings.Replace(string(raw), "<=50K", "WHAT", 1)
+	broken = strings.Replace(broken, ">50K", "WHAT", 1)
+	if err := os.WriteFile(csv, []byte(broken), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBatchCSV(csv, manifest, true); err == nil {
+		t.Fatal("unknown label should error")
+	}
+}
+
+func TestInspect(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "batch.csv")
+	if _, err := GenBatch(GenBatchOptions{Dataset: "income", Rows: 100, OutCSV: csv, Seed: 5, WithLabels: true}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Inspect(InspectOptions{BatchCSV: csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"100 rows", "age", "numeric", "occupation", "categorical", "label"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("inspect report missing %q:\n%s", want, report)
+		}
+	}
+	if _, err := Inspect(InspectOptions{BatchCSV: filepath.Join(dir, "missing.csv")}); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

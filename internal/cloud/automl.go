@@ -1,0 +1,225 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"blackboxval/internal/automl"
+	"blackboxval/internal/data"
+)
+
+// AutoMLServer simulates the full contract of a cloud AutoML service
+// (the paper's Google AutoML Tables setting, Section 6.3.2): clients
+// upload a labeled training dataset, the service runs an AutoML search
+// server-side and returns a model id, and predictions are retrieved per
+// model id. The client never learns the chosen model family, its
+// hyperparameters or its feature map.
+type AutoMLServer struct {
+	// Config controls the server-side AutoML search.
+	Config automl.Config
+
+	mu     sync.Mutex
+	nextID int
+	models map[string]data.Model
+}
+
+// NewAutoMLServer returns a service with the given search configuration.
+func NewAutoMLServer(cfg automl.Config) *AutoMLServer {
+	return &AutoMLServer{Config: cfg, models: map[string]data.Model{}}
+}
+
+// trainRequest is the body of POST /train: a full labeled dataset.
+type trainRequest struct {
+	Dataset json.RawMessage `json:"dataset"`
+}
+
+// trainResponse returns the handle of the trained model.
+type trainResponse struct {
+	ModelID   string  `json:"model_id"`
+	TestScore float64 `json:"test_score"` // service-side holdout accuracy
+}
+
+// Handler returns the HTTP handler implementing the AutoML API:
+//
+//	POST /train                      body: {"dataset": <dataset JSON>} -> {"model_id", "test_score"}
+//	POST /models/<id>/predict_proba  body: predictRequest -> predictResponse
+//	GET  /healthz                    -> 200 ok
+func (s *AutoMLServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/train", s.handleTrain)
+	mux.HandleFunc("/models/", s.handleModel)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *AutoMLServer) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req trainRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "invalid JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ds := &data.Dataset{}
+	if err := json.Unmarshal(req.Dataset, ds); err != nil {
+		http.Error(w, "invalid dataset: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if ds.Len() < 20 {
+		http.Error(w, "dataset too small to train on", http.StatusBadRequest)
+		return
+	}
+
+	// Server-side holdout for the reported quality, then AutoML search.
+	s.mu.Lock()
+	s.nextID++
+	id := "m" + strconv.Itoa(s.nextID)
+	seedOffset := int64(s.nextID)
+	s.mu.Unlock()
+
+	cfg := s.Config
+	cfg.Seed += seedOffset
+	model, err := automl.AutoSklearn(ds, cfg)
+	if err != nil {
+		http.Error(w, "training failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	score := holdoutScore(model, ds)
+
+	s.mu.Lock()
+	s.models[id] = model
+	s.mu.Unlock()
+
+	writeJSONResponse(w, trainResponse{ModelID: id, TestScore: score})
+}
+
+// holdoutScore reports training-data accuracy on a tail slice as a rough
+// service-side quality indicator (the real service reports holdout
+// metrics; this one trains on everything and scores the last 20%).
+func holdoutScore(model data.Model, ds *data.Dataset) float64 {
+	n := ds.Len()
+	cut := n - n/5
+	idx := make([]int, 0, n-cut)
+	for i := cut; i < n; i++ {
+		idx = append(idx, i)
+	}
+	tail := ds.SelectRows(idx)
+	proba := model.PredictProba(tail)
+	hits := 0
+	for i, y := range tail.Labels {
+		best, bestV := 0, proba.At(i, 0)
+		for c := 1; c < proba.Cols; c++ {
+			if proba.At(i, c) > bestV {
+				best, bestV = c, proba.At(i, c)
+			}
+		}
+		if best == y {
+			hits++
+		}
+	}
+	if tail.Len() == 0 {
+		return 0
+	}
+	return float64(hits) / float64(tail.Len())
+}
+
+func (s *AutoMLServer) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var id string
+	var action string
+	if n, err := fmt.Sscanf(r.URL.Path, "/models/%s", &id); n != 1 || err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	for i := range id {
+		if id[i] == '/' {
+			id, action = id[:i], id[i+1:]
+			break
+		}
+	}
+	if action != "predict_proba" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	model, ok := s.models[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown model "+id, http.StatusNotFound)
+		return
+	}
+	(&Server{model: model}).handlePredict(w, r)
+}
+
+func writeJSONResponse(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// AutoMLClient drives a remote AutoML service: upload data, train, and
+// obtain a Client bound to the resulting model.
+type AutoMLClient struct {
+	// BaseURL of the AutoML service.
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewAutoMLClient returns a client for the AutoML service at baseURL.
+func NewAutoMLClient(baseURL string) *AutoMLClient { return &AutoMLClient{BaseURL: baseURL} }
+
+func (c *AutoMLClient) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Train uploads the labeled dataset, waits for the server-side AutoML
+// search and returns a prediction client for the new model plus the
+// service-reported quality.
+func (c *AutoMLClient) Train(ds *data.Dataset) (*Client, float64, error) {
+	dsJSON, err := json.Marshal(ds)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cloud: encoding dataset: %w", err)
+	}
+	payload, err := json.Marshal(trainRequest{Dataset: dsJSON})
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/train", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, 0, fmt.Errorf("cloud: calling train: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, 0, fmt.Errorf("cloud: train returned %s: %s", resp.Status, msg)
+	}
+	var tr trainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, 0, fmt.Errorf("cloud: decoding train response: %w", err)
+	}
+	client := NewClient(c.BaseURL + "/models/" + tr.ModelID)
+	client.HTTPClient = c.HTTPClient
+	return client, tr.TestScore, nil
+}

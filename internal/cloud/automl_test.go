@@ -1,0 +1,118 @@
+package cloud
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"blackboxval/internal/automl"
+	"blackboxval/internal/core"
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/errorgen"
+)
+
+func TestAutoMLServiceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remote AutoML training is slow")
+	}
+	srv := httptest.NewServer(NewAutoMLServer(automl.Config{Seed: 1, Folds: 2, HashDims: 32}).Handler())
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	ds := datagen.Income(2500, 1).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+
+	// Upload the training data, let the service run its AutoML search.
+	client, reported, err := NewAutoMLClient(srv.URL).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reported < 0.6 {
+		t.Fatalf("service-reported quality = %v", reported)
+	}
+
+	// The returned prediction client is a data.Model: the whole
+	// validation stack works against it unchanged.
+	pred, err := core.TrainPredictor(client, test, core.PredictorConfig{
+		Generators:  errorgen.KnownTabular(),
+		Repetitions: 10,
+		ForestSizes: []int{20},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.TestScore() < 0.6 {
+		t.Fatalf("remote model test accuracy = %v", pred.TestScore())
+	}
+	est := pred.Estimate(serving)
+	if est < 0.5 || est > 1 {
+		t.Fatalf("estimate = %v", est)
+	}
+
+	// A second model gets its own id and namespace.
+	client2, _, err := NewAutoMLClient(srv.URL).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.BaseURL == client2.BaseURL {
+		t.Fatal("two trained models share a URL")
+	}
+}
+
+func TestAutoMLServiceRejectsBadRequests(t *testing.T) {
+	srv := httptest.NewServer(NewAutoMLServer(automl.Config{Seed: 1}).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /train = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/train", "application/json", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d", resp.StatusCode)
+	}
+
+	// tiny dataset rejected
+	resp, err = http.Post(srv.URL+"/train", "application/json",
+		strings.NewReader(`{"dataset":{"columns":[{"name":"x","kind":0,"num":[1]}],"labels":[0],"classes":["a"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tiny dataset = %d", resp.StatusCode)
+	}
+
+	// unknown model id
+	resp, err = http.Post(srv.URL+"/models/m999/predict_proba", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model = %d", resp.StatusCode)
+	}
+
+	// bad path
+	resp, err = http.Post(srv.URL+"/models/m1/reticulate", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bad action = %d", resp.StatusCode)
+	}
+}

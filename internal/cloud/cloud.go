@@ -1,0 +1,255 @@
+// Package cloud reproduces the paper's cloud-hosted black box setting
+// (Section 6.3.2, Google AutoML Tables): the model lives behind a network
+// service and the validation system can only exchange serving data for
+// class probabilities. Server wraps any data.Model behind an HTTP JSON
+// API; Client implements data.Model over that API, so predictors and
+// validators can be trained against a remote model without any code
+// changes.
+package cloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+	"blackboxval/internal/imgdata"
+	"blackboxval/internal/linalg"
+)
+
+// wireColumn is the JSON form of one dataframe column. Missing numeric
+// cells are encoded as null (JSON has no NaN).
+type wireColumn struct {
+	Name string     `json:"name"`
+	Kind string     `json:"kind"` // "numeric", "categorical", "text"
+	Num  []*float64 `json:"num,omitempty"`
+	Str  []string   `json:"str,omitempty"`
+}
+
+// predictRequest is the body of POST /predict_proba.
+type predictRequest struct {
+	Columns []wireColumn `json:"columns,omitempty"`
+	// Images are row-major pixel vectors for image models.
+	Images [][]float64 `json:"images,omitempty"`
+	Width  int         `json:"width,omitempty"`
+	Height int         `json:"height,omitempty"`
+}
+
+// predictResponse is the body returned by POST /predict_proba.
+type predictResponse struct {
+	Probabilities [][]float64 `json:"probabilities"`
+	NumClasses    int         `json:"num_classes"`
+}
+
+// encodeRequest serializes the features of a dataset (never its labels:
+// the cloud model must not see ground truth).
+func encodeRequest(ds *data.Dataset) predictRequest {
+	var req predictRequest
+	if ds.Tabular() {
+		for _, c := range ds.Frame.Columns() {
+			wc := wireColumn{Name: c.Name}
+			switch c.Kind {
+			case frame.Numeric:
+				wc.Kind = "numeric"
+				wc.Num = make([]*float64, len(c.Num))
+				for i, v := range c.Num {
+					if !math.IsNaN(v) {
+						v := v
+						wc.Num[i] = &v
+					}
+				}
+			case frame.Categorical:
+				wc.Kind = "categorical"
+				wc.Str = c.Str
+			case frame.Text:
+				wc.Kind = "text"
+				wc.Str = c.Str
+			}
+			req.Columns = append(req.Columns, wc)
+		}
+		return req
+	}
+	req.Images = ds.Images.Pixels
+	req.Width = ds.Images.Width
+	req.Height = ds.Images.Height
+	return req
+}
+
+// decodeRequest reconstructs an unlabeled dataset on the server side.
+func decodeRequest(req predictRequest, numClasses int) (*data.Dataset, error) {
+	ds := &data.Dataset{Classes: make([]string, numClasses)}
+	for i := range ds.Classes {
+		ds.Classes[i] = fmt.Sprintf("class%d", i)
+	}
+	if len(req.Images) > 0 {
+		if req.Width <= 0 || req.Height <= 0 {
+			return nil, fmt.Errorf("cloud: image request lacks dimensions")
+		}
+		set := imgdata.NewSet(req.Width, req.Height)
+		for i, px := range req.Images {
+			if len(px) != req.Width*req.Height {
+				return nil, fmt.Errorf("cloud: image %d has %d pixels, want %d", i, len(px), req.Width*req.Height)
+			}
+			set.Append(px)
+		}
+		ds.Images = set
+		ds.Labels = make([]int, set.Len())
+		return ds, nil
+	}
+	f := frame.New()
+	n := -1
+	for _, wc := range req.Columns {
+		switch wc.Kind {
+		case "numeric":
+			num := make([]float64, len(wc.Num))
+			for i, v := range wc.Num {
+				if v == nil {
+					num[i] = math.NaN()
+				} else {
+					num[i] = *v
+				}
+			}
+			f.AddNumeric(wc.Name, num)
+			n = len(num)
+		case "categorical":
+			f.AddCategorical(wc.Name, wc.Str)
+			n = len(wc.Str)
+		case "text":
+			f.AddText(wc.Name, wc.Str)
+			n = len(wc.Str)
+		default:
+			return nil, fmt.Errorf("cloud: unknown column kind %q", wc.Kind)
+		}
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("cloud: request has no columns or images")
+	}
+	ds.Frame = f
+	ds.Labels = make([]int, n)
+	return ds, nil
+}
+
+// Server exposes a data.Model over HTTP. Mount its Handler and point a
+// Client at the listen address.
+type Server struct {
+	model data.Model
+}
+
+// NewServer wraps a trained model.
+func NewServer(model data.Model) *Server { return &Server{model: model} }
+
+// Handler returns the HTTP handler implementing the prediction API:
+//
+//	POST /predict_proba  body: predictRequest  ->  predictResponse
+//	GET  /healthz        -> 200 ok
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict_proba", s.handlePredict)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req predictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "invalid JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ds, err := decodeRequest(req, s.model.NumClasses())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	proba := s.model.PredictProba(ds)
+	resp := predictResponse{NumClasses: proba.Cols, Probabilities: make([][]float64, proba.Rows)}
+	for i := 0; i < proba.Rows; i++ {
+		resp.Probabilities[i] = append([]float64(nil), proba.Row(i)...)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client is a data.Model backed by a remote prediction service. The
+// validation system treats it exactly like a local model: the ultimate
+// black box.
+type Client struct {
+	// BaseURL of the service, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the default http.DefaultClient.
+	HTTPClient *http.Client
+
+	numClasses int
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// PredictProba implements data.Model by calling the remote service. Like
+// any data.Model it has no error channel; transport failures panic, as a
+// real deployment would page rather than silently continue.
+func (c *Client) PredictProba(ds *data.Dataset) *linalg.Matrix {
+	proba, err := c.Predict(ds)
+	if err != nil {
+		panic(fmt.Sprintf("cloud: prediction request failed: %v", err))
+	}
+	return proba
+}
+
+// Predict is the error-returning variant of PredictProba.
+func (c *Client) Predict(ds *data.Dataset) (*linalg.Matrix, error) {
+	payload, err := json.Marshal(encodeRequest(ds))
+	if err != nil {
+		return nil, fmt.Errorf("cloud: encoding request: %w", err)
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/predict_proba", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("cloud: calling service: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cloud: service returned %s: %s", resp.Status, msg)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("cloud: decoding response: %w", err)
+	}
+	c.numClasses = pr.NumClasses
+	out := linalg.NewMatrix(len(pr.Probabilities), pr.NumClasses)
+	for i, row := range pr.Probabilities {
+		if len(row) != pr.NumClasses {
+			return nil, fmt.Errorf("cloud: row %d has %d probabilities, want %d", i, len(row), pr.NumClasses)
+		}
+		copy(out.Row(i), row)
+	}
+	return out, nil
+}
+
+// NumClasses implements data.Model. It is learned from the first
+// response; call Predict once (e.g. via a health probe batch) before
+// relying on it.
+func (c *Client) NumClasses() int { return c.numClasses }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+)
+
+func makeLabeled(n int) *data.Dataset {
+	x := make([]float64, n)
+	labels := make([]int, n)
+	for i := range x {
+		x[i] = float64(i)
+		labels[i] = i % 2
+	}
+	return &data.Dataset{
+		Frame:   frame.New().AddNumeric("x", x),
+		Labels:  labels,
+		Classes: []string{"a", "b"},
+	}
+}
+
+func TestSubsampleBatchSizesWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := makeLabeled(100)
+		b := SubsampleBatch(ds, rng)
+		// size within [50, 200] per the documented 0.5x..2x range
+		return b.Len() >= 50 && b.Len() <= 200
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsampleBatchPreservesSchemaAndLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := makeLabeled(60)
+	b := SubsampleBatch(ds, rng)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every sampled row must carry a label consistent with its x value
+	// (x even <-> label 0 in the source construction).
+	for i := 0; i < b.Len(); i++ {
+		x := int(b.Frame.Column("x").Num[i])
+		if x%2 != b.Labels[i] {
+			t.Fatalf("row %d: x=%d label=%d", i, x, b.Labels[i])
+		}
+	}
+}
+
+func TestSubsampleBatchJittersComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := makeLabeled(400)
+	sawSkew := false
+	for trial := 0; trial < 40; trial++ {
+		b := SubsampleBatch(ds, rng)
+		counts := b.ClassCounts()
+		frac := float64(counts[0]) / float64(b.Len())
+		if math.Abs(frac-0.5) > 0.03 {
+			sawSkew = true
+		}
+		if frac < 0.2 || frac > 0.8 {
+			t.Fatalf("composition jitter too extreme: %v", frac)
+		}
+	}
+	if !sawSkew {
+		t.Fatal("composition never varied beyond 3% in 40 draws")
+	}
+}
+
+func TestSubsampleBatchTinyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := makeLabeled(2)
+	b := SubsampleBatch(ds, rng)
+	if b.Len() < 1 {
+		t.Fatal("subsample of a tiny dataset must not be empty")
+	}
+}
+
+func TestScoreNoise(t *testing.T) {
+	// Binomial: sqrt(0.5*0.5/100) = 0.05.
+	if got := scoreNoise(0.5, 100); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("scoreNoise(0.5,100) = %v", got)
+	}
+	// Clamped extremes avoid a zero band.
+	if scoreNoise(1.0, 100) <= 0 || scoreNoise(0, 100) <= 0 {
+		t.Fatal("extreme scores should still yield positive noise")
+	}
+	if scoreNoise(0.5, 0) != 0 {
+		t.Fatal("empty batch noise should be 0")
+	}
+	// Noise shrinks with batch size.
+	if scoreNoise(0.8, 1000) >= scoreNoise(0.8, 100) {
+		t.Fatal("noise must shrink with n")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/models"
+)
+
+// The paper's datasets are all binary; these tests verify that the whole
+// validation stack — percentile features, predictor, validator and the
+// multiclass softmax-boosted black box — works for three classes too.
+
+func TestPredictorMulticlassEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ds := datagen.Products(4500, 31).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+
+	model, err := models.TrainPipeline(train, &models.GBDTClassifier{Trees: 25, Seed: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testProba := model.PredictProba(test)
+	if testProba.Cols != 3 {
+		t.Fatalf("proba columns = %d, want 3", testProba.Cols)
+	}
+	if acc := AccuracyScore(testProba, test.Labels); acc < 0.55 {
+		t.Fatalf("3-class accuracy = %v, want clearly above the 0.33 chance level", acc)
+	}
+
+	// Percentile features: one block per class.
+	feats := PredictionStatistics(testProba, 5)
+	if len(feats) != 63 {
+		t.Fatalf("feature count = %d, want 63 (21 x 3 classes)", len(feats))
+	}
+
+	pred, err := TrainPredictor(model, test, PredictorConfig{
+		Generators:  errorgen.KnownTabular(),
+		Repetitions: 25,
+		ForestSizes: []int{40},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean estimate close to truth.
+	proba := model.PredictProba(serving)
+	truth := AccuracyScore(proba, serving.Labels)
+	if diff := math.Abs(pred.EstimateFromProba(proba) - truth); diff > 0.08 {
+		t.Fatalf("clean 3-class estimate off by %v", diff)
+	}
+	// Catastrophic corruption detected.
+	broken := errorgen.Scaling{}.Corrupt(serving, 0.95, rng)
+	bp := model.PredictProba(broken)
+	bTruth := AccuracyScore(bp, broken.Labels)
+	bEst := pred.EstimateFromProba(bp)
+	if bTruth < truth-0.1 && bEst > truth-0.05 {
+		t.Fatalf("3-class predictor missed a drop: est %v, truth %v (clean %v)", bEst, bTruth, truth)
+	}
+}
+
+func TestValidatorMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	ds := datagen.Products(4000, 32).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+	model, err := models.TrainPipeline(train, &models.SGDClassifier{Epochs: 15, Seed: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, err := TrainValidator(model, test, ValidatorConfig{
+		Generators: errorgen.KnownTabular(),
+		Threshold:  0.1,
+		Batches:    100,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.Violation(serving) {
+		t.Fatal("clean 3-class serving data flagged")
+	}
+	broken := errorgen.Scaling{}.Corrupt(serving, 0.95, rng)
+	proba := model.PredictProba(broken)
+	if AccuracyScore(proba, broken.Labels) < 0.9*val.TestScore() && !val.ViolationFromProba(proba) {
+		t.Fatal("catastrophic 3-class corruption not flagged")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"blackboxval/internal/stats"
+)
+
+// StreamAccumulator builds the percentile features of Algorithm 2 from a
+// stream of individual model outputs, without buffering the batch: each
+// class column is tracked by a P² online quantile digest, so memory is
+// O(classes x grid) regardless of how many predictions flow through.
+// This serves deployments where the serving system logs one prediction at
+// a time and batching is impractical.
+type StreamAccumulator struct {
+	classes int
+	step    float64
+	digests []*stats.P2Digest
+}
+
+// NewStreamAccumulator returns an accumulator for the given class count
+// and percentile grid step (0 means the default step of 5).
+func NewStreamAccumulator(classes int, percentileStep float64) *StreamAccumulator {
+	if classes < 2 {
+		panic(fmt.Sprintf("core: need at least 2 classes, got %d", classes))
+	}
+	if percentileStep == 0 {
+		percentileStep = 5
+	}
+	a := &StreamAccumulator{classes: classes, step: percentileStep}
+	grid := stats.PercentileGrid(percentileStep)
+	for c := 0; c < classes; c++ {
+		a.digests = append(a.digests, stats.NewP2Digest(grid))
+	}
+	return a
+}
+
+// Add consumes one model output (a probability row of length classes).
+func (a *StreamAccumulator) Add(probaRow []float64) {
+	if len(probaRow) != a.classes {
+		panic(fmt.Sprintf("core: output row has %d classes, accumulator expects %d", len(probaRow), a.classes))
+	}
+	for c, v := range probaRow {
+		a.digests[c].Add(v)
+	}
+}
+
+// Count returns the number of predictions consumed.
+func (a *StreamAccumulator) Count() int {
+	if len(a.digests) == 0 {
+		return 0
+	}
+	return a.digests[0].Count()
+}
+
+// Features returns the current percentile feature vector, compatible with
+// PredictionStatistics over the same outputs.
+func (a *StreamAccumulator) Features() []float64 {
+	out := make([]float64, 0, a.classes*len(stats.PercentileGrid(a.step)))
+	for _, d := range a.digests {
+		out = append(out, d.Values()...)
+	}
+	return out
+}
+
+// Reset clears the accumulator for the next window.
+func (a *StreamAccumulator) Reset() {
+	grid := stats.PercentileGrid(a.step)
+	for c := range a.digests {
+		a.digests[c] = stats.NewP2Digest(grid)
+	}
+}
+
+// PercentileStep returns the configured grid step.
+func (a *StreamAccumulator) PercentileStep() float64 { return a.step }
+
+// EstimateFromFeatures runs the regression model of Algorithm 2 directly
+// on a percentile feature vector, e.g. one produced by a
+// StreamAccumulator. The vector must use the predictor's percentile step.
+func (p *Predictor) EstimateFromFeatures(feats []float64) float64 {
+	X := matrixFromRow(feats)
+	v := p.reg.Predict(X)[0]
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// NewStreamAccumulator returns an accumulator matched to this predictor's
+// class count and percentile grid.
+func (p *Predictor) NewStreamAccumulator() *StreamAccumulator {
+	step := p.cfg.PercentileStep
+	if step == 0 {
+		step = 5
+	}
+	return NewStreamAccumulator(p.testOutputs.Cols, step)
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/linalg"
+	"blackboxval/internal/models"
+)
+
+// ValidatorConfig controls the training of a performance validator.
+type ValidatorConfig struct {
+	// Generators are the expected error types; validator training batches
+	// are random mixtures of these. Required.
+	Generators []errorgen.Generator
+	// Threshold t is the acceptable relative score drop: serving
+	// predictions are valid while score >= (1-t)*testScore (default 0.05).
+	Threshold float64
+	// Batches is the number of synthetic serving batches used to train
+	// the classifier (default 300).
+	Batches int
+	// PercentileStep for the output featurizer (default 5).
+	PercentileStep float64
+	// UseKSFeatures adds Kolmogorov–Smirnov statistics between test and
+	// serving outputs to the feature set (default true; the ablation
+	// benchmark disables it).
+	DisableKSFeatures bool
+	// Score is the scoring function L (default AccuracyScore).
+	Score ScoreFunc
+	// Trees and Depth configure the gradient-boosted classifier
+	// (defaults 60 and 3).
+	Trees, Depth int
+	// PredictorRepetitions sizes the training of the internal performance
+	// predictor whose score estimate is one of the validator's features
+	// (default 25 per generator).
+	PredictorRepetitions int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *ValidatorConfig) defaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 0.05
+	}
+	if c.Batches == 0 {
+		c.Batches = 300
+	}
+	if c.PercentileStep == 0 {
+		c.PercentileStep = 5
+	}
+	if c.Score == nil {
+		c.Score = AccuracyScore
+	}
+	if c.Trees == 0 {
+		c.Trees = 60
+	}
+	if c.Depth == 0 {
+		c.Depth = 3
+	}
+	if c.PredictorRepetitions == 0 {
+		c.PredictorRepetitions = 25
+	}
+}
+
+// Validator decides whether the black box model's score on an unlabeled
+// serving batch dropped by more than the user's threshold relative to the
+// clean test score. It is a gradient-boosted decision tree over the
+// output-percentile features augmented with hypothesis-test statistics
+// between the retained test outputs Ŷtest and the serving outputs.
+type Validator struct {
+	model data.Model
+	cfg   ValidatorConfig
+
+	clf         *models.GBDTClassifier
+	predictor   *Predictor // supplies the score-estimate feature
+	testScore   float64
+	testOutputs *linalg.Matrix
+	trainPos    int
+	trainTotal  int
+}
+
+// TrainValidator builds a performance validator for the given black box
+// model using corrupted versions of the held-out test set: each batch is
+// hit by a random mixture of the expected error types at random
+// magnitudes, labeled 1 ("violation") when the resulting score falls below
+// (1-t) times the clean test score.
+func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (*Validator, error) {
+	cfg.defaults()
+	if model == nil {
+		return nil, fmt.Errorf("core: model is required")
+	}
+	if len(cfg.Generators) == 0 {
+		return nil, fmt.Errorf("core: at least one error generator is required")
+	}
+	if test.Len() == 0 {
+		return nil, fmt.Errorf("core: empty test set")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 20))
+
+	v := &Validator{model: model, cfg: cfg}
+	// The KS reference Ŷtest and the synthetic training batches must come
+	// from DISJOINT halves of the test data: real serving batches share no
+	// rows with the reference, and a training batch that overlaps the
+	// reference rows would make the clean regime look artificially
+	// well-aligned (D biased toward 0), teaching the classifier to alarm
+	// on every genuinely disjoint batch.
+	refPart, batchPart := test.Split(0.5, rng)
+	v.testOutputs = model.PredictProba(refPart)
+	v.testScore = cfg.Score(model.PredictProba(test), test.Labels)
+
+	// The paper's validator "uses our performance predictions" as input:
+	// train the regression predictor on the reference half (disjoint from
+	// the batch half, so the estimate feature is out-of-sample for every
+	// training batch, as it will be at serving time).
+	var err error
+	v.predictor, err = TrainPredictor(model, refPart, PredictorConfig{
+		Generators:  cfg.Generators,
+		Repetitions: cfg.PredictorRepetitions,
+		ForestSizes: []int{50},
+		Score:       cfg.Score,
+		Seed:        cfg.Seed + 21,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: training the validator's internal predictor: %w", err)
+	}
+
+	mixture := errorgen.Mixture{Generators: cfg.Generators}
+	line := (1 - cfg.Threshold) * v.testScore
+	var feats [][]float64
+	var labels []int
+	for b := 0; b < cfg.Batches || len(labels) < cfg.Batches/2; b++ {
+		if b >= 4*cfg.Batches {
+			break // safety valve if nearly everything lands on the line
+		}
+		batch := SubsampleBatch(batchPart, rng)
+		if b%4 != 0 {
+			// three quarters corrupted, one quarter clean: anchors both
+			// regimes of the decision
+			batch = mixture.Corrupt(batch, rng.Float64(), rng)
+		}
+		proba := model.PredictProba(batch)
+		score := cfg.Score(proba, batch.Labels)
+		// Skip batches whose score lands within the sampling noise of the
+		// decision line: their labels are coin flips that only teach the
+		// classifier noise. (Binomial std of accuracy on a batch of size n.)
+		noise := scoreNoise(score, batch.Len())
+		if diff := score - line; diff > -noise && diff < noise {
+			continue
+		}
+		label := 0
+		if score < line {
+			label = 1
+			v.trainPos++
+		}
+		feats = append(feats, v.features(proba))
+		labels = append(labels, label)
+	}
+	v.trainTotal = len(labels)
+	if v.trainPos == 0 || v.trainPos == v.trainTotal {
+		// Degenerate regime (e.g. errors that cannot move the score past
+		// the line): fall back to including the borderline batches so the
+		// classifier still sees both labels where possible.
+		feats = feats[:0]
+		labels = labels[:0]
+		v.trainPos = 0
+		for b := 0; b < cfg.Batches; b++ {
+			batch := SubsampleBatch(batchPart, rng)
+			if b%4 != 0 {
+				batch = mixture.Corrupt(batch, rng.Float64(), rng)
+			}
+			proba := model.PredictProba(batch)
+			score := cfg.Score(proba, batch.Labels)
+			label := 0
+			if score < line {
+				label = 1
+				v.trainPos++
+			}
+			feats = append(feats, v.features(proba))
+			labels = append(labels, label)
+		}
+		v.trainTotal = len(labels)
+	}
+
+	v.clf = &models.GBDTClassifier{Trees: cfg.Trees, MaxDepth: cfg.Depth, Seed: cfg.Seed}
+	if err := v.clf.Fit(linalg.FromRows(feats), labels, 2); err != nil {
+		return nil, fmt.Errorf("core: fitting validator classifier: %w", err)
+	}
+	return v, nil
+}
+
+// scoreNoise returns one binomial standard deviation of an accuracy-like
+// score measured on a batch of n examples.
+func scoreNoise(score float64, n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	p := score
+	if p < 0.05 {
+		p = 0.05
+	}
+	if p > 0.95 {
+		p = 0.95
+	}
+	return math.Sqrt(p * (1 - p) / float64(n))
+}
+
+// features assembles the validator's feature vector for one batch of
+// model outputs: the regression predictor's score estimate together with
+// its margin over the alarm line, and (unless disabled) the
+// hypothesis-test statistics against the retained test outputs. The raw
+// output percentiles are deliberately NOT included: they encode "was the
+// batch corrupted at all", which correlates with — but is not — the
+// question "did the score drop more than t", and a classifier given both
+// signals overfits the former (corruption of a robust model often leaves
+// its accuracy intact).
+func (v *Validator) features(proba *linalg.Matrix) []float64 {
+	estimate := v.predictor.EstimateFromProba(proba)
+	f := []float64{estimate, estimate - (1-v.cfg.Threshold)*v.testScore}
+	if !v.cfg.DisableKSFeatures {
+		f = append(f, ksFeatures(v.testOutputs, proba)...)
+	}
+	return f
+}
+
+// Violation reports whether the validator predicts that the model's score
+// on the serving batch dropped by more than the threshold. The companion
+// boolean convention matches the baselines: true = raise an alarm.
+func (v *Validator) Violation(serving *data.Dataset) bool {
+	return v.ViolationFromProba(v.model.PredictProba(serving))
+}
+
+// ViolationFromProba is Violation for callers already holding the model
+// outputs.
+func (v *Validator) ViolationFromProba(proba *linalg.Matrix) bool {
+	X := linalg.FromRows([][]float64{v.features(proba)})
+	out := v.clf.PredictProba(X)
+	return out.At(0, 1) >= 0.5
+}
+
+// TestScore returns the clean-test reference score.
+func (v *Validator) TestScore() float64 { return v.testScore }
+
+// Threshold returns the configured acceptable relative drop.
+func (v *Validator) Threshold() float64 { return v.cfg.Threshold }
+
+// TrainBalance reports how many of the synthetic training batches were
+// violations, out of the total — useful for diagnosing degenerate
+// training regimes.
+func (v *Validator) TrainBalance() (violations, total int) {
+	return v.trainPos, v.trainTotal
+}
+
+// ViolationProbability returns the validator classifier's probability
+// that the serving batch violates the threshold, for callers that want to
+// apply their own alarm cutoff or inspect calibration.
+func (v *Validator) ViolationProbability(proba *linalg.Matrix) float64 {
+	X := linalg.FromRows([][]float64{v.features(proba)})
+	return v.clf.PredictProba(X).At(0, 1)
+}

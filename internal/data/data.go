@@ -1,0 +1,163 @@
+// Package data defines the labeled dataset container shared by the whole
+// system. A Dataset is either tabular (backed by a frame.DataFrame) or an
+// image set (backed by imgdata.Set), always with integer class labels.
+// The package also declares Model, the black box contract: the validator
+// side of the system only ever calls PredictProba on a Dataset — it never
+// sees features, weights or the model's feature map.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blackboxval/internal/frame"
+	"blackboxval/internal/imgdata"
+	"blackboxval/internal/linalg"
+)
+
+// Dataset is a labeled dataset. Exactly one of Frame and Images is set.
+type Dataset struct {
+	Frame   *frame.DataFrame
+	Images  *imgdata.Set
+	Labels  []int
+	Classes []string // class names; Labels index into this slice
+}
+
+// Model is the black box classifier contract. Implementations include
+// locally trained pipelines (models.Pipeline), AutoML-selected models and
+// HTTP-served cloud models (cloud.Client). The returned matrix has one
+// row per example and one column per class, rows summing to 1.
+type Model interface {
+	// PredictProba returns class probabilities for every example in ds.
+	PredictProba(ds *Dataset) *linalg.Matrix
+	// NumClasses returns the number of classes the model predicts.
+	NumClasses() int
+}
+
+// Tabular reports whether the dataset is relational.
+func (d *Dataset) Tabular() bool { return d.Frame != nil }
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Labels) }
+
+// Validate checks the internal consistency of the dataset.
+func (d *Dataset) Validate() error {
+	if (d.Frame == nil) == (d.Images == nil) {
+		return fmt.Errorf("data: dataset must have exactly one of Frame or Images")
+	}
+	n := 0
+	if d.Frame != nil {
+		n = d.Frame.NumRows()
+	} else {
+		n = d.Images.Len()
+	}
+	if n != len(d.Labels) {
+		return fmt.Errorf("data: %d examples but %d labels", n, len(d.Labels))
+	}
+	for i, y := range d.Labels {
+		if y < 0 || y >= len(d.Classes) {
+			return fmt.Errorf("data: label %d at row %d out of range [0,%d)", y, i, len(d.Classes))
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{
+		Labels:  append([]int(nil), d.Labels...),
+		Classes: append([]string(nil), d.Classes...),
+	}
+	if d.Frame != nil {
+		out.Frame = d.Frame.Clone()
+	}
+	if d.Images != nil {
+		out.Images = d.Images.Clone()
+	}
+	return out
+}
+
+// SelectRows returns a new dataset with the given rows, in order.
+func (d *Dataset) SelectRows(idx []int) *Dataset {
+	out := &Dataset{
+		Labels:  make([]int, len(idx)),
+		Classes: append([]string(nil), d.Classes...),
+	}
+	for k, i := range idx {
+		out.Labels[k] = d.Labels[i]
+	}
+	if d.Frame != nil {
+		out.Frame = d.Frame.SelectRows(idx)
+	}
+	if d.Images != nil {
+		out.Images = d.Images.SelectRows(idx)
+	}
+	return out
+}
+
+// Split partitions the dataset into two disjoint parts, the first holding
+// frac of the (shuffled) rows. This realizes the paper's disjoint
+// D_source / D_serving and D_train / D_test partitions.
+func (d *Dataset) Split(frac float64, rng *rand.Rand) (*Dataset, *Dataset) {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("data: invalid split fraction %v", frac))
+	}
+	idx := rng.Perm(d.Len())
+	cut := int(float64(len(idx)) * frac)
+	return d.SelectRows(idx[:cut]), d.SelectRows(idx[cut:])
+}
+
+// Sample returns n rows drawn without replacement (or all rows shuffled
+// when n >= Len).
+func (d *Dataset) Sample(n int, rng *rand.Rand) *Dataset {
+	idx := rng.Perm(d.Len())
+	if n < len(idx) {
+		idx = idx[:n]
+	}
+	return d.SelectRows(idx)
+}
+
+// Balance resamples the dataset so all classes have equal counts (the
+// paper balances classes "to make the scores easier to interpret"). It
+// downsamples every class to the size of the rarest one.
+func (d *Dataset) Balance(rng *rand.Rand) *Dataset {
+	byClass := make(map[int][]int)
+	for i, y := range d.Labels {
+		byClass[y] = append(byClass[y], i)
+	}
+	minCount := d.Len()
+	for _, rows := range byClass {
+		if len(rows) < minCount {
+			minCount = len(rows)
+		}
+	}
+	var idx []int
+	for c := 0; c < len(d.Classes); c++ {
+		rows := byClass[c]
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		if len(rows) > minCount {
+			rows = rows[:minCount]
+		}
+		idx = append(idx, rows...)
+	}
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return d.SelectRows(idx)
+}
+
+// ClassCounts returns the number of examples per class.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, len(d.Classes))
+	for _, y := range d.Labels {
+		counts[y]++
+	}
+	return counts
+}
+
+// Predict returns the argmax class per row of a probability matrix.
+func Predict(proba *linalg.Matrix) []int {
+	out := make([]int, proba.Rows)
+	for i := 0; i < proba.Rows; i++ {
+		out[i] = linalg.ArgmaxRow(proba.Row(i))
+	}
+	return out
+}

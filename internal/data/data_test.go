@@ -1,0 +1,171 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blackboxval/internal/frame"
+	"blackboxval/internal/imgdata"
+	"blackboxval/internal/linalg"
+)
+
+func tabular(n int) *Dataset {
+	x := make([]float64, n)
+	labels := make([]int, n)
+	for i := range x {
+		x[i] = float64(i)
+		labels[i] = i % 2
+	}
+	return &Dataset{
+		Frame:   frame.New().AddNumeric("x", x),
+		Labels:  labels,
+		Classes: []string{"no", "yes"},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := tabular(4)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Dataset{Labels: []int{0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("dataset without frame or images should fail validation")
+	}
+	d2 := tabular(4)
+	d2.Labels = []int{0, 1}
+	if err := d2.Validate(); err == nil {
+		t.Fatal("label count mismatch should fail validation")
+	}
+	d3 := tabular(2)
+	d3.Labels[0] = 7
+	if err := d3.Validate(); err == nil {
+		t.Fatal("out-of-range label should fail validation")
+	}
+	both := tabular(1)
+	both.Images = imgdata.NewSet(2, 2)
+	if err := both.Validate(); err == nil {
+		t.Fatal("dataset with both frame and images should fail validation")
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := tabular(40)
+		a, b := d.Split(0.7, rng)
+		if a.Len()+b.Len() != 40 || a.Len() != 28 {
+			return false
+		}
+		seen := map[float64]int{}
+		for _, v := range a.Frame.Column("x").Num {
+			seen[v]++
+		}
+		for _, v := range b.Frame.Column("x").Num {
+			seen[v]++
+		}
+		// Every original row appears exactly once across the two halves.
+		if len(seen) != 40 {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	d := tabular(20)
+	s := d.Sample(5, rand.New(rand.NewSource(1)))
+	if s.Len() != 5 {
+		t.Fatalf("sample size = %d", s.Len())
+	}
+	seen := map[float64]bool{}
+	for _, v := range s.Frame.Column("x").Num {
+		if seen[v] {
+			t.Fatal("sample contains duplicates")
+		}
+		seen[v] = true
+	}
+	// Oversampling returns all rows.
+	if d.Sample(100, rand.New(rand.NewSource(1))).Len() != 20 {
+		t.Fatal("oversample should cap at dataset size")
+	}
+}
+
+func TestBalanceEqualizesClasses(t *testing.T) {
+	n := 30
+	x := make([]float64, n)
+	labels := make([]int, n)
+	for i := range labels {
+		if i < 25 {
+			labels[i] = 0
+		} else {
+			labels[i] = 1
+		}
+	}
+	d := &Dataset{
+		Frame:   frame.New().AddNumeric("x", x),
+		Labels:  labels,
+		Classes: []string{"a", "b"},
+	}
+	b := d.Balance(rand.New(rand.NewSource(1)))
+	counts := b.ClassCounts()
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Fatalf("balanced counts = %v", counts)
+	}
+}
+
+func TestCloneAndSelectRows(t *testing.T) {
+	d := tabular(5)
+	c := d.Clone()
+	c.Labels[0] = 1
+	c.Frame.Column("x").Num[0] = -1
+	if d.Labels[0] != 0 || d.Frame.Column("x").Num[0] != 0 {
+		t.Fatal("clone aliases original")
+	}
+	s := d.SelectRows([]int{4, 0})
+	if s.Len() != 2 || s.Frame.Column("x").Num[0] != 4 || s.Labels[1] != 0 {
+		t.Fatal("SelectRows wrong")
+	}
+}
+
+func TestImageDatasetSelect(t *testing.T) {
+	set := imgdata.NewSet(2, 2)
+	set.Append([]float64{1, 1, 1, 1})
+	set.Append([]float64{0, 0, 0, 0})
+	d := &Dataset{Images: set, Labels: []int{0, 1}, Classes: []string{"bright", "dark"}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Tabular() {
+		t.Fatal("image dataset should not be tabular")
+	}
+	s := d.SelectRows([]int{1})
+	if s.Images.Pixels[0][0] != 0 || s.Labels[0] != 1 {
+		t.Fatal("image SelectRows wrong")
+	}
+}
+
+func TestPredictArgmax(t *testing.T) {
+	proba := linalg.FromRows([][]float64{{0.9, 0.1}, {0.2, 0.8}, {0.5, 0.5}})
+	got := Predict(proba)
+	if got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("Predict = %v", got)
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	d := tabular(5)
+	counts := d.ClassCounts()
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,105 @@
+package data
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"blackboxval/internal/frame"
+	"blackboxval/internal/imgdata"
+)
+
+// JSON serialization of full labeled datasets (the paper publishes
+// "serialized datasets" alongside its models). Missing numeric cells are
+// encoded as null, since JSON has no NaN.
+
+type columnState struct {
+	Name string     `json:"name"`
+	Kind frame.Kind `json:"kind"`
+	Num  []*float64 `json:"num,omitempty"`
+	Str  []string   `json:"str,omitempty"`
+}
+
+type datasetState struct {
+	Columns []columnState `json:"columns,omitempty"`
+	Images  [][]float64   `json:"images,omitempty"`
+	Width   int           `json:"width,omitempty"`
+	Height  int           `json:"height,omitempty"`
+	Labels  []int         `json:"labels"`
+	Classes []string      `json:"classes"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d *Dataset) MarshalJSON() ([]byte, error) {
+	st := datasetState{Labels: d.Labels, Classes: d.Classes}
+	if d.Frame != nil {
+		for _, c := range d.Frame.Columns() {
+			cs := columnState{Name: c.Name, Kind: c.Kind}
+			if c.Kind == frame.Numeric {
+				cs.Num = make([]*float64, len(c.Num))
+				for i, v := range c.Num {
+					if !math.IsNaN(v) {
+						v := v
+						cs.Num[i] = &v
+					}
+				}
+			} else {
+				cs.Str = c.Str
+			}
+			st.Columns = append(st.Columns, cs)
+		}
+	}
+	if d.Images != nil {
+		st.Images = d.Images.Pixels
+		st.Width = d.Images.Width
+		st.Height = d.Images.Height
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Dataset) UnmarshalJSON(b []byte) error {
+	var st datasetState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	d.Labels = st.Labels
+	d.Classes = st.Classes
+	d.Frame = nil
+	d.Images = nil
+	if len(st.Columns) > 0 {
+		f := frame.New()
+		for _, cs := range st.Columns {
+			switch cs.Kind {
+			case frame.Numeric:
+				num := make([]float64, len(cs.Num))
+				for i, v := range cs.Num {
+					if v == nil {
+						num[i] = math.NaN()
+					} else {
+						num[i] = *v
+					}
+				}
+				f.AddNumeric(cs.Name, num)
+			case frame.Categorical:
+				f.AddCategorical(cs.Name, cs.Str)
+			case frame.Text:
+				f.AddText(cs.Name, cs.Str)
+			default:
+				return fmt.Errorf("data: unknown column kind %v", cs.Kind)
+			}
+		}
+		d.Frame = f
+	}
+	if len(st.Images) > 0 {
+		if st.Width <= 0 || st.Height <= 0 {
+			return fmt.Errorf("data: image dataset lacks dimensions")
+		}
+		set := imgdata.NewSet(st.Width, st.Height)
+		for _, px := range st.Images {
+			set.Append(px)
+		}
+		d.Images = set
+	}
+	return d.Validate()
+}

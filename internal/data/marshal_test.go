@@ -1,0 +1,87 @@
+package data
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"blackboxval/internal/frame"
+	"blackboxval/internal/imgdata"
+)
+
+func TestDatasetJSONRoundTripTabular(t *testing.T) {
+	ds := tabular(6)
+	ds.Frame.Column("x").Num[2] = math.NaN()
+	raw, err := json.Marshal(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Dataset
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 6 || len(got.Classes) != 2 {
+		t.Fatalf("shape lost: %+v", got)
+	}
+	if !math.IsNaN(got.Frame.Column("x").Num[2]) {
+		t.Fatal("NaN lost")
+	}
+	if got.Frame.Column("x").Num[1] != 1 {
+		t.Fatal("values lost")
+	}
+}
+
+func TestDatasetJSONRoundTripAllColumnKinds(t *testing.T) {
+	f := frame.New().
+		AddNumeric("n", []float64{1, 2}).
+		AddCategorical("c", []string{"a", ""}).
+		AddText("t", []string{"hello world", "foo"})
+	ds := &Dataset{Frame: f, Labels: []int{0, 1}, Classes: []string{"x", "y"}}
+	raw, err := json.Marshal(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Dataset
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Frame.Column("c").Kind != frame.Categorical || got.Frame.Column("t").Kind != frame.Text {
+		t.Fatal("column kinds lost")
+	}
+	if got.Frame.Column("c").Str[1] != "" {
+		t.Fatal("missing categorical lost")
+	}
+	if got.Frame.Column("t").Str[0] != "hello world" {
+		t.Fatal("text lost")
+	}
+}
+
+func TestDatasetJSONRoundTripImages(t *testing.T) {
+	set := imgdata.NewSet(2, 2)
+	set.Append([]float64{0.1, 0.2, 0.3, 0.4})
+	ds := &Dataset{Images: set, Labels: []int{1}, Classes: []string{"a", "b"}}
+	raw, err := json.Marshal(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Dataset
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Images.Width != 2 || got.Images.Pixels[0][3] != 0.4 {
+		t.Fatal("images lost")
+	}
+}
+
+func TestDatasetJSONRejectsInvalid(t *testing.T) {
+	var ds Dataset
+	// inconsistent label count must fail the embedded Validate
+	bad := `{"columns":[{"name":"x","kind":0,"num":[1,2]}],"labels":[0],"classes":["a"]}`
+	if err := json.Unmarshal([]byte(bad), &ds); err == nil {
+		t.Fatal("inconsistent dataset should fail to unmarshal")
+	}
+	imgBad := `{"images":[[1,2]],"labels":[0],"classes":["a"]}`
+	if err := json.Unmarshal([]byte(imgBad), &ds); err == nil {
+		t.Fatal("image dataset without dimensions should fail")
+	}
+}

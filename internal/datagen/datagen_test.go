@@ -1,0 +1,217 @@
+package datagen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+)
+
+func checkTabular(t *testing.T, d *data.Dataset, n int, numericCols, categoricalCols int) {
+	t.Helper()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != n {
+		t.Fatalf("len = %d, want %d", d.Len(), n)
+	}
+	if got := len(d.Frame.NamesOfKind(frame.Numeric)); got != numericCols {
+		t.Fatalf("numeric cols = %d, want %d", got, numericCols)
+	}
+	if got := len(d.Frame.NamesOfKind(frame.Categorical)); got != categoricalCols {
+		t.Fatalf("categorical cols = %d, want %d", got, categoricalCols)
+	}
+	counts := d.ClassCounts()
+	for c, cnt := range counts {
+		if cnt < n/4 {
+			t.Fatalf("class %d badly imbalanced: %v", c, counts)
+		}
+	}
+}
+
+func TestIncomeShape(t *testing.T) { checkTabular(t, Income(500, 1), 500, 4, 3) }
+func TestHeartShape(t *testing.T)  { checkTabular(t, Heart(500, 1), 500, 5, 3) }
+func TestBankShape(t *testing.T)   { checkTabular(t, Bank(500, 1), 500, 4, 4) }
+
+func TestProductsShapeAndClasses(t *testing.T) {
+	d := Products(600, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Classes) != 3 {
+		t.Fatalf("classes = %d, want 3", len(d.Classes))
+	}
+	counts := d.ClassCounts()
+	for c, cnt := range counts {
+		if cnt < 100 {
+			t.Fatalf("class %d badly imbalanced: %v", c, counts)
+		}
+	}
+	// Class-conditional price signal must exist.
+	var sum [3]float64
+	var n [3]int
+	for i, v := range d.Frame.Column("price").Num {
+		sum[d.Labels[i]] += v
+		n[d.Labels[i]]++
+	}
+	if sum[0]/float64(n[0]) <= sum[2]/float64(n[2]) {
+		t.Fatal("low sellers should be pricier than high sellers")
+	}
+}
+
+func TestTweetsShape(t *testing.T) {
+	d := Tweets(300, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Frame.NamesOfKind(frame.Text)); got != 1 {
+		t.Fatalf("text cols = %d", got)
+	}
+	for _, txt := range d.Frame.Column("text").Str {
+		if len(strings.Fields(txt)) < 3 {
+			t.Fatalf("suspiciously short tweet: %q", txt)
+		}
+	}
+}
+
+func TestTweetsClassSignal(t *testing.T) {
+	d := Tweets(2000, 2)
+	trollHits := map[int]int{}
+	totals := map[int]int{}
+	trollSet := map[string]bool{}
+	for _, w := range trollVocab {
+		trollSet[w] = true
+	}
+	for i, txt := range d.Frame.Column("text").Str {
+		y := d.Labels[i]
+		totals[y]++
+		for _, w := range strings.Fields(txt) {
+			if trollSet[w] {
+				trollHits[y]++
+				break
+			}
+		}
+	}
+	trollRate := float64(trollHits[1]) / float64(totals[1])
+	neutralRate := float64(trollHits[0]) / float64(totals[0])
+	if trollRate-neutralRate < 0.15 {
+		t.Fatalf("troll vocabulary signal too weak: troll=%v neutral=%v", trollRate, neutralRate)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Income(100, 42)
+	b := Income(100, 42)
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ for same seed")
+		}
+	}
+	av := a.Frame.Column("age").Num
+	bv := b.Frame.Column("age").Num
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("values differ for same seed")
+		}
+	}
+	c := Income(100, 43)
+	same := true
+	for i := range av {
+		if av[i] != c.Frame.Column("age").Num[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTabularClassConditionalSignal(t *testing.T) {
+	// Feature means must differ between classes, otherwise no model can
+	// learn anything and every experiment would be vacuous.
+	for name, gen := range map[string]func(int, int64) *data.Dataset{
+		"income": Income, "heart": Heart, "bank": Bank,
+	} {
+		d := gen(4000, 7)
+		col := d.Frame.NamesOfKind(frame.Numeric)[0]
+		var sum [2]float64
+		var cnt [2]int
+		for i, v := range d.Frame.Column(col).Num {
+			sum[d.Labels[i]] += v
+			cnt[d.Labels[i]]++
+		}
+		diff := math.Abs(sum[0]/float64(cnt[0]) - sum[1]/float64(cnt[1]))
+		if diff < 1 {
+			t.Fatalf("%s: class-conditional mean difference too small: %v", name, diff)
+		}
+	}
+}
+
+func TestDigitsShape(t *testing.T) {
+	d := Digits(100, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Images.Width != 28 || d.Images.Height != 28 {
+		t.Fatalf("image size = %dx%d", d.Images.Width, d.Images.Height)
+	}
+	for i := range d.Images.Pixels {
+		for _, v := range d.Images.Pixels[i] {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel out of range: %v", v)
+			}
+		}
+		if d.Images.Mean(i) < 0.01 {
+			t.Fatalf("image %d nearly empty", i)
+		}
+	}
+}
+
+func TestFashionClassesDiffer(t *testing.T) {
+	d := Fashion(400, 3)
+	// Boots have a tall shaft: mass in the upper half should differ
+	// systematically between classes.
+	var upper [2]float64
+	var cnt [2]int
+	for i := range d.Images.Pixels {
+		sum := 0.0
+		for y := 0; y < 14; y++ {
+			for x := 0; x < 28; x++ {
+				sum += d.Images.At(i, x, y)
+			}
+		}
+		upper[d.Labels[i]] += sum
+		cnt[d.Labels[i]]++
+	}
+	sneaker := upper[0] / float64(cnt[0])
+	boot := upper[1] / float64(cnt[1])
+	if boot < sneaker*1.5 {
+		t.Fatalf("boot upper mass %v not clearly above sneaker %v", boot, sneaker)
+	}
+}
+
+func TestDigitsClassesDiffer(t *testing.T) {
+	d := Digits(400, 3)
+	// A "5" has a top bar plus upper-left vertical; a "3" has arcs opening
+	// left. Compare mass in the top-left quadrant.
+	var topLeft [2]float64
+	var cnt [2]int
+	for i := range d.Images.Pixels {
+		sum := 0.0
+		for y := 4; y < 14; y++ {
+			for x := 4; x < 12; x++ {
+				sum += d.Images.At(i, x, y)
+			}
+		}
+		topLeft[d.Labels[i]] += sum
+		cnt[d.Labels[i]]++
+	}
+	three := topLeft[0] / float64(cnt[0])
+	five := topLeft[1] / float64(cnt[1])
+	if five < three*1.2 {
+		t.Fatalf("digit classes not separable by top-left mass: 3=%v 5=%v", three, five)
+	}
+}

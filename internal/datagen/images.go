@@ -1,0 +1,187 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/imgdata"
+)
+
+// imageSize is the side length of generated images, matching MNIST and
+// Fashion-MNIST.
+const imageSize = 28
+
+// canvas is a scratch 28x28 grayscale image under construction.
+type canvas struct {
+	px []float64
+}
+
+func newCanvas() *canvas { return &canvas{px: make([]float64, imageSize*imageSize)} }
+
+// stamp splats a soft dot of the given radius at (x, y).
+func (c *canvas) stamp(x, y, radius, intensity float64) {
+	r := int(math.Ceil(radius + 1))
+	xi, yi := int(math.Round(x)), int(math.Round(y))
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			px, py := xi+dx, yi+dy
+			if px < 0 || px >= imageSize || py < 0 || py >= imageSize {
+				continue
+			}
+			d := math.Hypot(float64(px)-x, float64(py)-y)
+			v := intensity * math.Exp(-d*d/(2*radius*radius))
+			idx := py*imageSize + px
+			if v > c.px[idx] {
+				c.px[idx] = v
+			}
+		}
+	}
+}
+
+// line draws a thick line from (x0,y0) to (x1,y1).
+func (c *canvas) line(x0, y0, x1, y1, thickness float64) {
+	steps := int(math.Hypot(x1-x0, y1-y0)*2) + 1
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		c.stamp(x0+(x1-x0)*t, y0+(y1-y0)*t, thickness, 1)
+	}
+}
+
+// arc draws a circular arc centered at (cx,cy) from angle a0 to a1
+// (radians, standard orientation with y growing downward).
+func (c *canvas) arc(cx, cy, radius, a0, a1, thickness float64) {
+	steps := int(math.Abs(a1-a0)*radius*2) + 1
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		a := a0 + (a1-a0)*t
+		c.stamp(cx+radius*math.Cos(a), cy+radius*math.Sin(a), thickness, 1)
+	}
+}
+
+// fillEllipse fills an axis-aligned ellipse.
+func (c *canvas) fillEllipse(cx, cy, rx, ry, intensity float64) {
+	for y := 0; y < imageSize; y++ {
+		for x := 0; x < imageSize; x++ {
+			dx := (float64(x) - cx) / rx
+			dy := (float64(y) - cy) / ry
+			if dx*dx+dy*dy <= 1 {
+				idx := y*imageSize + x
+				if intensity > c.px[idx] {
+					c.px[idx] = intensity
+				}
+			}
+		}
+	}
+}
+
+// finish applies jitter (translation), mild pixel noise and clamping, and
+// returns the pixel vector.
+func (c *canvas) finish(rng *rand.Rand) []float64 {
+	dx := rng.Intn(5) - 2
+	dy := rng.Intn(5) - 2
+	out := make([]float64, len(c.px))
+	for y := 0; y < imageSize; y++ {
+		for x := 0; x < imageSize; x++ {
+			sx, sy := x-dx, y-dy
+			if sx < 0 || sx >= imageSize || sy < 0 || sy >= imageSize {
+				continue
+			}
+			out[y*imageSize+x] = c.px[sy*imageSize+sx]
+		}
+	}
+	for i := range out {
+		out[i] = imgdata.Clamp(out[i] + rng.NormFloat64()*0.04)
+	}
+	return out
+}
+
+func drawThree(rng *rand.Rand) []float64 {
+	c := newCanvas()
+	th := 1.2 + rng.Float64()*0.6
+	r := 4.5 + rng.Float64()
+	// Two right-open arcs stacked vertically form a "3".
+	c.arc(13, 9, r, -math.Pi*0.75, math.Pi*0.5, th)
+	c.arc(13, 18.5, r, -math.Pi*0.5, math.Pi*0.75, th)
+	return c.finish(rng)
+}
+
+func drawFive(rng *rand.Rand) []float64 {
+	c := newCanvas()
+	th := 1.2 + rng.Float64()*0.6
+	// Top bar, upper-left vertical, lower bowl.
+	c.line(9, 6, 19, 6, th)
+	c.line(9, 6, 9, 13, th)
+	c.arc(13, 17.5, 5, -math.Pi*0.55, math.Pi*0.8, th)
+	return c.finish(rng)
+}
+
+// Digits generates an MNIST-like binary image dataset of handwritten-style
+// digits 3 and 5.
+func Digits(n int, seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	set := imgdata.NewSet(imageSize, imageSize)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		y := rng.Intn(2)
+		labels[i] = y
+		if y == 0 {
+			set.Append(drawThree(rng))
+		} else {
+			set.Append(drawFive(rng))
+		}
+	}
+	flipLabels(labels, 2, 0.02, rng)
+	return &data.Dataset{Images: set, Labels: labels, Classes: []string{"3", "5"}}
+}
+
+func drawSneaker(rng *rand.Rand) []float64 {
+	c := newCanvas()
+	h := 0.5 + rng.Float64()*0.15
+	// Low-profile body plus a flat sole.
+	c.fillEllipse(14, 18, 9+rng.Float64(), 3.5+rng.Float64(), h)
+	c.fillEllipse(19, 17, 4, 3, h*0.9)
+	for x := 4; x < 24; x++ {
+		for y := 21; y < 23; y++ {
+			c.px[y*imageSize+x] = math.Min(1, h+0.3)
+		}
+	}
+	return c.finish(rng)
+}
+
+func drawBoot(rng *rand.Rand) []float64 {
+	c := newCanvas()
+	h := 0.5 + rng.Float64()*0.15
+	// Tall shaft on the left plus a foot section and heel.
+	for x := 8; x < 15; x++ {
+		for y := 5; y < 19; y++ {
+			c.px[y*imageSize+x] = h
+		}
+	}
+	c.fillEllipse(16, 18, 8+rng.Float64(), 3.5, h)
+	for x := 6; x < 25; x++ {
+		for y := 21; y < 24; y++ {
+			c.px[y*imageSize+x] = math.Min(1, h+0.3)
+		}
+	}
+	return c.finish(rng)
+}
+
+// Fashion generates a Fashion-MNIST-like binary image dataset of sneaker
+// vs. ankle boot silhouettes.
+func Fashion(n int, seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	set := imgdata.NewSet(imageSize, imageSize)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		y := rng.Intn(2)
+		labels[i] = y
+		if y == 0 {
+			set.Append(drawSneaker(rng))
+		} else {
+			set.Append(drawBoot(rng))
+		}
+	}
+	flipLabels(labels, 2, 0.03, rng)
+	return &data.Dataset{Images: set, Labels: labels, Classes: []string{"sneaker", "ankle boot"}}
+}

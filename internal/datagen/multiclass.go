@@ -1,0 +1,62 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+)
+
+// Products generates a three-class e-commerce-like dataset (the sales
+// prediction scenario of the paper's introduction): predict whether a
+// competitor product will sell "low", "medium" or "high". It exercises
+// the multiclass paths of the models and of the percentile featurizer
+// (which emits one percentile block per class).
+func Products(n int, seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	brand := categorical{
+		names: []string{"acme", "globex", "initech", "umbrella"},
+		weights: [][]float64{
+			{4, 3, 2, 1}, // low sellers
+			{2, 4, 3, 1}, // medium
+			{1, 2, 4, 3}, // high
+		},
+	}
+	channel := categorical{
+		names: []string{"web", "store", "partner"},
+		weights: [][]float64{
+			{3, 5, 2},
+			{5, 3, 2},
+			{6, 2, 2},
+		},
+	}
+
+	labels := make([]int, n)
+	price := make([]float64, n)
+	rating := make([]float64, n)
+	reviews := make([]float64, n)
+	stock := make([]float64, n)
+	br := make([]string, n)
+	ch := make([]string, n)
+	for i := 0; i < n; i++ {
+		y := rng.Intn(3)
+		labels[i] = y
+		price[i] = math.Max(1, 60-15*float64(y)+rng.NormFloat64()*18)
+		rating[i] = math.Min(5, math.Max(1, 2.8+0.6*float64(y)+rng.NormFloat64()*0.7))
+		reviews[i] = math.Max(0, math.Round(20+90*float64(y)+rng.NormFloat64()*45))
+		stock[i] = math.Max(0, 120+60*float64(y)+rng.NormFloat64()*80)
+		br[i] = brand.sample(y, rng)
+		ch[i] = channel.sample(y, rng)
+	}
+	flipLabels(labels, 3, 0.08, rng)
+
+	f := frame.New().
+		AddNumeric("price", price).
+		AddNumeric("rating", rating).
+		AddNumeric("review_count", reviews).
+		AddNumeric("stock", stock).
+		AddCategorical("brand", br).
+		AddCategorical("channel", ch)
+	return &data.Dataset{Frame: f, Labels: labels, Classes: []string{"low", "medium", "high"}}
+}

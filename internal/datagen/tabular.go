@@ -1,0 +1,222 @@
+// Package datagen generates the six synthetic datasets used by the
+// evaluation, substituting for the public datasets of the paper (adult
+// income, cardiovascular heart, bank marketing, troll tweets, MNIST 3-vs-5
+// and fashion sneaker-vs-boot), which are not available offline. Each
+// generator produces the same schema shape as its original: a mix of
+// numeric and categorical columns (or text, or 28x28 grayscale images)
+// whose distributions are class-conditional with realistic overlap, plus
+// label noise, so that the black box models reach non-trivial but
+// imperfect accuracy and data corruptions degrade it — the properties the
+// performance prediction method actually depends on.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+)
+
+// categorical draws a value from names with class-conditional weights.
+type categorical struct {
+	names   []string
+	weights [][]float64 // weights[class][value]
+}
+
+func (c categorical) sample(class int, rng *rand.Rand) string {
+	w := c.weights[class]
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	r := rng.Float64() * total
+	for i, v := range w {
+		r -= v
+		if r < 0 {
+			return c.names[i]
+		}
+	}
+	return c.names[len(c.names)-1]
+}
+
+// flipLabels flips each label with probability p, simulating Bayes error.
+func flipLabels(labels []int, numClasses int, p float64, rng *rand.Rand) {
+	for i := range labels {
+		if rng.Float64() < p {
+			labels[i] = (labels[i] + 1 + rng.Intn(numClasses-1)) % numClasses
+		}
+	}
+}
+
+// Income generates an adult-census-like dataset: predict whether a person
+// earns more than 50K. Numeric: age, hours_per_week, capital_gain,
+// education_years. Categorical: occupation, marital_status, sex.
+func Income(n int, seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	occupation := categorical{
+		names: []string{"exec", "tech", "service", "manual", "clerical"},
+		weights: [][]float64{
+			{1, 2, 4, 5, 4}, // <=50K
+			{5, 4, 1, 1, 2}, // >50K
+		},
+	}
+	marital := categorical{
+		names: []string{"married", "single", "divorced"},
+		weights: [][]float64{
+			{3, 5, 2},
+			{6, 2, 1},
+		},
+	}
+	sex := categorical{
+		names:   []string{"male", "female"},
+		weights: [][]float64{{5, 5}, {6, 4}},
+	}
+
+	labels := make([]int, n)
+	age := make([]float64, n)
+	hours := make([]float64, n)
+	gain := make([]float64, n)
+	edu := make([]float64, n)
+	occ := make([]string, n)
+	mar := make([]string, n)
+	sx := make([]string, n)
+	for i := 0; i < n; i++ {
+		y := rng.Intn(2)
+		labels[i] = y
+		age[i] = math.Max(17, 36+8*float64(y)+rng.NormFloat64()*12)
+		hours[i] = math.Max(5, 38+6*float64(y)+rng.NormFloat64()*10)
+		if rng.Float64() < 0.1+0.25*float64(y) {
+			gain[i] = math.Abs(rng.NormFloat64()) * 5000 * (1 + 2*float64(y))
+		}
+		edu[i] = math.Max(6, math.Min(20, 10+3*float64(y)+rng.NormFloat64()*2.5))
+		occ[i] = occupation.sample(y, rng)
+		mar[i] = marital.sample(y, rng)
+		sx[i] = sex.sample(y, rng)
+	}
+	flipLabels(labels, 2, 0.08, rng)
+
+	f := frame.New().
+		AddNumeric("age", age).
+		AddNumeric("hours_per_week", hours).
+		AddNumeric("capital_gain", gain).
+		AddNumeric("education_years", edu).
+		AddCategorical("occupation", occ).
+		AddCategorical("marital_status", mar).
+		AddCategorical("sex", sx)
+	return &data.Dataset{Frame: f, Labels: labels, Classes: []string{"<=50K", ">50K"}}
+}
+
+// Heart generates a cardiovascular-disease-like dataset: predict the
+// presence of heart disease. Numeric: age, weight, ap_hi (systolic),
+// ap_lo (diastolic), cholesterol_level. Categorical: smoker, active,
+// glucose.
+func Heart(n int, seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	smoker := categorical{
+		names:   []string{"no", "yes"},
+		weights: [][]float64{{8, 2}, {6, 4}},
+	}
+	active := categorical{
+		names:   []string{"yes", "no"},
+		weights: [][]float64{{8, 2}, {5, 5}},
+	}
+	glucose := categorical{
+		names:   []string{"normal", "above", "high"},
+		weights: [][]float64{{8, 1.5, 0.5}, {5, 3, 2}},
+	}
+
+	labels := make([]int, n)
+	age := make([]float64, n)
+	weight := make([]float64, n)
+	apHi := make([]float64, n)
+	apLo := make([]float64, n)
+	chol := make([]float64, n)
+	smo := make([]string, n)
+	act := make([]string, n)
+	glu := make([]string, n)
+	for i := 0; i < n; i++ {
+		y := rng.Intn(2)
+		labels[i] = y
+		age[i] = math.Max(30, 50+6*float64(y)+rng.NormFloat64()*8)
+		weight[i] = math.Max(45, 72+9*float64(y)+rng.NormFloat64()*13)
+		apHi[i] = math.Max(80, 120+18*float64(y)+rng.NormFloat64()*14)
+		apLo[i] = math.Max(50, 78+10*float64(y)+rng.NormFloat64()*9)
+		chol[i] = math.Max(120, 195+35*float64(y)+rng.NormFloat64()*35)
+		smo[i] = smoker.sample(y, rng)
+		act[i] = active.sample(y, rng)
+		glu[i] = glucose.sample(y, rng)
+	}
+	flipLabels(labels, 2, 0.1, rng)
+
+	f := frame.New().
+		AddNumeric("age", age).
+		AddNumeric("weight", weight).
+		AddNumeric("ap_hi", apHi).
+		AddNumeric("ap_lo", apLo).
+		AddNumeric("cholesterol_level", chol).
+		AddCategorical("smoker", smo).
+		AddCategorical("active", act).
+		AddCategorical("glucose", glu)
+	return &data.Dataset{Frame: f, Labels: labels, Classes: []string{"healthy", "disease"}}
+}
+
+// Bank generates a bank-marketing-like dataset: predict whether a customer
+// subscribes a term deposit. Numeric: age, balance, duration, campaign.
+// Categorical: job, marital, education, contact.
+func Bank(n int, seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	job := categorical{
+		names: []string{"admin", "blue-collar", "management", "retired", "student"},
+		weights: [][]float64{
+			{3, 4, 2, 0.6, 0.4},
+			{3, 2, 3, 1.2, 0.8},
+		},
+	}
+	marital := categorical{
+		names:   []string{"married", "single", "divorced"},
+		weights: [][]float64{{6, 3, 1}, {5, 4, 1}},
+	}
+	education := categorical{
+		names:   []string{"primary", "secondary", "tertiary"},
+		weights: [][]float64{{2, 5, 3}, {1, 4, 5}},
+	}
+	contact := categorical{
+		names:   []string{"cellular", "telephone", "unknown"},
+		weights: [][]float64{{5, 2, 3}, {7, 2, 1}},
+	}
+
+	labels := make([]int, n)
+	age := make([]float64, n)
+	balance := make([]float64, n)
+	duration := make([]float64, n)
+	campaign := make([]float64, n)
+	jb := make([]string, n)
+	mar := make([]string, n)
+	edu := make([]string, n)
+	con := make([]string, n)
+	for i := 0; i < n; i++ {
+		y := rng.Intn(2)
+		labels[i] = y
+		age[i] = math.Max(18, 40+3*float64(y)+rng.NormFloat64()*11)
+		balance[i] = 800 + 900*float64(y) + rng.NormFloat64()*1500
+		duration[i] = math.Max(5, 180+240*float64(y)+rng.NormFloat64()*150)
+		campaign[i] = math.Max(1, math.Round(3.2-1.4*float64(y)+math.Abs(rng.NormFloat64())*2))
+		jb[i] = job.sample(y, rng)
+		mar[i] = marital.sample(y, rng)
+		edu[i] = education.sample(y, rng)
+		con[i] = contact.sample(y, rng)
+	}
+	flipLabels(labels, 2, 0.09, rng)
+
+	f := frame.New().
+		AddNumeric("age", age).
+		AddNumeric("balance", balance).
+		AddNumeric("duration", duration).
+		AddNumeric("campaign", campaign).
+		AddCategorical("job", jb).
+		AddCategorical("marital", mar).
+		AddCategorical("education", edu).
+		AddCategorical("contact", con)
+	return &data.Dataset{Frame: f, Labels: labels, Classes: []string{"no", "yes"}}
+}

@@ -1,0 +1,73 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+)
+
+// Vocabularies for the synthetic cyber-troll dataset. Troll tweets draw a
+// larger share of their tokens from the insult vocabulary; neutral tweets
+// from the benign one. Both share filler words so the classes overlap.
+var (
+	trollVocab = []string{
+		"idiot", "loser", "stupid", "pathetic", "clown", "trash", "moron",
+		"dumb", "worthless", "fool", "shut", "hate", "ugly", "garbage",
+		"ridiculous", "joke", "cry", "failure", "annoying", "weak",
+	}
+	benignVocab = []string{
+		"great", "thanks", "love", "awesome", "happy", "weekend", "coffee",
+		"music", "friends", "sunshine", "weather", "movie", "dinner",
+		"project", "learning", "running", "travel", "beautiful", "excited",
+		"congrats",
+	}
+	fillerVocab = []string{
+		"the", "a", "you", "today", "just", "really", "so", "this", "that",
+		"my", "your", "all", "very", "what", "now", "here", "about", "and",
+	}
+)
+
+// Tweets generates a cyber-troll-like text dataset: one free-text column
+// of short messages, labeled troll vs. neutral.
+func Tweets(n int, seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	labels := make([]int, n)
+	texts := make([]string, n)
+	for i := 0; i < n; i++ {
+		y := rng.Intn(2)
+		labels[i] = y
+		texts[i] = synthTweet(y, rng)
+	}
+	flipLabels(labels, 2, 0.06, rng)
+	f := frame.New().AddText("text", texts)
+	return &data.Dataset{Frame: f, Labels: labels, Classes: []string{"neutral", "troll"}}
+}
+
+func synthTweet(class int, rng *rand.Rand) string {
+	length := 5 + rng.Intn(10)
+	words := make([]string, 0, length)
+	for w := 0; w < length; w++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.45:
+			words = append(words, fillerVocab[rng.Intn(len(fillerVocab))])
+		case r < 0.92:
+			// class-signal token
+			if class == 1 {
+				words = append(words, trollVocab[rng.Intn(len(trollVocab))])
+			} else {
+				words = append(words, benignVocab[rng.Intn(len(benignVocab))])
+			}
+		default:
+			// cross-class token: overlap keeps the task non-trivial
+			if class == 1 {
+				words = append(words, benignVocab[rng.Intn(len(benignVocab))])
+			} else {
+				words = append(words, trollVocab[rng.Intn(len(trollVocab))])
+			}
+		}
+	}
+	return strings.Join(words, " ")
+}

@@ -1,0 +1,228 @@
+// Package errorgen implements the paper's user-specified error generators:
+// parameterized perturbations that inject typical dataset shifts and data
+// errors into serving data (Section 2, "Perturbations"). Each generator
+// corrupts a copy of a dataset with a given magnitude (the fraction of
+// affected cells/rows); the magnitudes are sampled randomly during
+// predictor training because the real-world error probabilities are
+// unknown.
+//
+// Known error types used to train predictors: MissingValues, Outliers,
+// SwappedColumns, Scaling, AdversarialText, ImageNoise, ImageRotation and
+// EntropyMissing. Held-out "unknown" error types used only at evaluation
+// time: Typos, Smearing, FlippedSigns and EncodingErrors.
+package errorgen
+
+import (
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+)
+
+// Generator corrupts datasets with a specific error type. Implementations
+// must not modify the input dataset; they corrupt a deep copy.
+type Generator interface {
+	// Name identifies the error type.
+	Name() string
+	// Corrupt returns a corrupted copy of ds. magnitude in [0,1] is the
+	// fraction of affected cells (or rows, for row-level errors); rng
+	// drives all random choices, including which columns are hit.
+	Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset
+}
+
+// pickColumns selects 1..len(names) random column names, as the paper
+// corrupts "1 to n randomly chosen columns".
+func pickColumns(names []string, rng *rand.Rand) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	k := 1 + rng.Intn(len(names))
+	idx := rng.Perm(len(names))[:k]
+	out := make([]string, k)
+	for i, j := range idx {
+		out[i] = names[j]
+	}
+	return out
+}
+
+// clampMagnitude keeps p in [0,1].
+func clampMagnitude(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// MissingValues introduces missing cells at random into 1..n categorical
+// columns (or, with Numeric set, numeric columns).
+type MissingValues struct {
+	// Numeric corrupts numeric instead of categorical columns.
+	Numeric bool
+}
+
+// Name implements Generator.
+func (m MissingValues) Name() string {
+	if m.Numeric {
+		return "missing_numeric"
+	}
+	return "missing"
+}
+
+// Corrupt implements Generator.
+func (m MissingValues) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	kind := frame.Categorical
+	if m.Numeric {
+		kind = frame.Numeric
+	}
+	for _, name := range pickColumns(out.Frame.NamesOfKind(kind), rng) {
+		col := out.Frame.Column(name)
+		for i := 0; i < col.Len(); i++ {
+			if rng.Float64() < p {
+				frame.SetMissing(col, i)
+			}
+		}
+	}
+	return out
+}
+
+// Outliers corrupts a fraction of values in 1..n numeric columns by
+// adding gaussian noise centered at the data point, with a standard
+// deviation scaled by a random factor from [2,5] of the column's own
+// standard deviation — the paper's outlier perturbation.
+type Outliers struct{}
+
+// Name implements Generator.
+func (Outliers) Name() string { return "outliers" }
+
+// Corrupt implements Generator.
+func (Outliers) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	for _, name := range pickColumns(out.Frame.NamesOfKind(frame.Numeric), rng) {
+		col := out.Frame.Column(name)
+		sd := columnStd(col.Num)
+		scale := 2 + rng.Float64()*3
+		for i, v := range col.Num {
+			if rng.Float64() < p {
+				col.Num[i] = v + rng.NormFloat64()*sd*scale
+			}
+		}
+	}
+	return out
+}
+
+func columnStd(xs []float64) float64 {
+	n := 0
+	sum := 0.0
+	for _, v := range xs {
+		if !math.IsNaN(v) {
+			sum += v
+			n++
+		}
+	}
+	if n < 2 {
+		return 1
+	}
+	mean := sum / float64(n)
+	ss := 0.0
+	for _, v := range xs {
+		if !math.IsNaN(v) {
+			d := v - mean
+			ss += d * d
+		}
+	}
+	sd := math.Sqrt(ss / float64(n))
+	if sd <= 0 {
+		return 1
+	}
+	return sd
+}
+
+// Scaling multiplies a fraction of the values in 1..n numeric columns by
+// a random factor of 10, 100 or 1000, mimicking unit-change bugs in
+// preprocessing code (e.g. seconds accidentally becoming milliseconds).
+type Scaling struct{}
+
+// Name implements Generator.
+func (Scaling) Name() string { return "scaling" }
+
+// Corrupt implements Generator.
+func (Scaling) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	factors := []float64{10, 100, 1000}
+	for _, name := range pickColumns(out.Frame.NamesOfKind(frame.Numeric), rng) {
+		col := out.Frame.Column(name)
+		factor := factors[rng.Intn(len(factors))]
+		for i, v := range col.Num {
+			if rng.Float64() < p {
+				col.Num[i] = v * factor
+			}
+		}
+	}
+	return out
+}
+
+// SwappedColumns exchanges a fraction of the values between pairs of
+// same-kind columns, and simulates categorical/numeric cross-swaps (as
+// caused by buggy input forms) by voiding the numeric cell and replacing
+// the categorical cell with an out-of-vocabulary token.
+type SwappedColumns struct{}
+
+// Name implements Generator.
+func (SwappedColumns) Name() string { return "swapped" }
+
+// Corrupt implements Generator.
+func (SwappedColumns) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	nums := out.Frame.NamesOfKind(frame.Numeric)
+	cats := out.Frame.NamesOfKind(frame.Categorical)
+
+	swapNumeric := func(a, b *frame.Column) {
+		for i := range a.Num {
+			if rng.Float64() < p {
+				a.Num[i], b.Num[i] = b.Num[i], a.Num[i]
+			}
+		}
+	}
+	swapString := func(a, b *frame.Column) {
+		for i := range a.Str {
+			if rng.Float64() < p {
+				a.Str[i], b.Str[i] = b.Str[i], a.Str[i]
+			}
+		}
+	}
+	crossSwap := func(num, cat *frame.Column) {
+		for i := range num.Num {
+			if rng.Float64() < p {
+				// The numeric column receives an unparseable string -> NA;
+				// the categorical column receives a stringified number,
+				// which the one-hot encoder maps to a zero vector.
+				frame.SetMissing(num, i)
+				cat.Str[i] = "__swapped__"
+			}
+		}
+	}
+
+	// Perform one same-kind swap where possible, plus a cross-kind swap,
+	// mirroring the paper's "pairs of categorical and numerical columns".
+	if len(nums) >= 2 {
+		idx := rng.Perm(len(nums))
+		swapNumeric(out.Frame.Column(nums[idx[0]]), out.Frame.Column(nums[idx[1]]))
+	}
+	if len(cats) >= 2 {
+		idx := rng.Perm(len(cats))
+		swapString(out.Frame.Column(cats[idx[0]]), out.Frame.Column(cats[idx[1]]))
+	}
+	if len(nums) >= 1 && len(cats) >= 1 && rng.Float64() < 0.5 {
+		crossSwap(out.Frame.Column(nums[rng.Intn(len(nums))]), out.Frame.Column(cats[rng.Intn(len(cats))]))
+	}
+	return out
+}

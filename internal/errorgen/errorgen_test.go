@@ -1,0 +1,341 @@
+package errorgen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/frame"
+	"blackboxval/internal/linalg"
+)
+
+func testDS() *data.Dataset { return datagen.Income(400, 1) }
+
+// corruptedCells counts cells that differ between two frames.
+func corruptedCells(a, b *data.Dataset) int {
+	diff := 0
+	for _, ca := range a.Frame.Columns() {
+		cb := b.Frame.Column(ca.Name)
+		if ca.Kind == frame.Numeric {
+			for i, v := range ca.Num {
+				va, vb := v, cb.Num[i]
+				if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+					diff++
+				}
+			}
+		} else {
+			for i, v := range ca.Str {
+				if v != cb.Str[i] {
+					diff++
+				}
+			}
+		}
+	}
+	return diff
+}
+
+func TestGeneratorsDoNotMutateInput(t *testing.T) {
+	gens := append(KnownTabular(), UnknownTabular()...)
+	gens = append(gens, EncodingErrors{}, MissingValues{Numeric: true}, NoOp{})
+	for _, g := range gens {
+		orig := testDS()
+		ref := orig.Clone()
+		g.Corrupt(orig, 0.5, rand.New(rand.NewSource(1)))
+		if corruptedCells(orig, ref) != 0 {
+			t.Fatalf("%s mutated its input", g.Name())
+		}
+	}
+}
+
+func TestZeroMagnitudeLeavesDataUnchangedForCellErrors(t *testing.T) {
+	for _, g := range []Generator{MissingValues{}, Outliers{}, Scaling{}, Typos{}, Smearing{}, FlippedSigns{}, EncodingErrors{}} {
+		ds := testDS()
+		out := g.Corrupt(ds, 0, rand.New(rand.NewSource(1)))
+		if corruptedCells(ds, out) != 0 {
+			t.Fatalf("%s corrupted cells at magnitude 0", g.Name())
+		}
+	}
+}
+
+func TestMissingValuesIntroducesMissing(t *testing.T) {
+	ds := testDS()
+	out := MissingValues{}.Corrupt(ds, 0.5, rand.New(rand.NewSource(2)))
+	missing := 0
+	for _, name := range out.Frame.NamesOfKind(frame.Categorical) {
+		col := out.Frame.Column(name)
+		for i := 0; i < col.Len(); i++ {
+			if frame.IsMissing(col, i) {
+				missing++
+			}
+		}
+	}
+	if missing == 0 {
+		t.Fatal("no missing values introduced")
+	}
+	// Numeric columns untouched by the categorical variant.
+	for _, name := range out.Frame.NamesOfKind(frame.Numeric) {
+		col := out.Frame.Column(name)
+		for i := 0; i < col.Len(); i++ {
+			if frame.IsMissing(col, i) {
+				t.Fatal("categorical missing generator hit a numeric column")
+			}
+		}
+	}
+}
+
+func TestMissingValuesNumericVariant(t *testing.T) {
+	ds := testDS()
+	out := MissingValues{Numeric: true}.Corrupt(ds, 0.5, rand.New(rand.NewSource(2)))
+	missing := 0
+	for _, name := range out.Frame.NamesOfKind(frame.Numeric) {
+		col := out.Frame.Column(name)
+		for i := 0; i < col.Len(); i++ {
+			if frame.IsMissing(col, i) {
+				missing++
+			}
+		}
+	}
+	if missing == 0 {
+		t.Fatal("no numeric missing values introduced")
+	}
+}
+
+func TestOutliersChangeScaleOfValues(t *testing.T) {
+	ds := testDS()
+	out := Outliers{}.Corrupt(ds, 0.3, rand.New(rand.NewSource(3)))
+	if corruptedCells(ds, out) == 0 {
+		t.Fatal("outliers changed nothing")
+	}
+}
+
+func TestScalingMultipliesByPowerOfTen(t *testing.T) {
+	ds := testDS()
+	out := Scaling{}.Corrupt(ds, 0.4, rand.New(rand.NewSource(4)))
+	found := false
+	for _, name := range ds.Frame.NamesOfKind(frame.Numeric) {
+		orig := ds.Frame.Column(name).Num
+		corr := out.Frame.Column(name).Num
+		for i := range orig {
+			if orig[i] == corr[i] || orig[i] == 0 {
+				continue
+			}
+			ratio := corr[i] / orig[i]
+			ok := false
+			for _, f := range []float64{10, 100, 1000} {
+				if math.Abs(ratio-f) < 1e-9*f {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("scaling ratio %v is not a power of ten", ratio)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("scaling changed nothing")
+	}
+}
+
+func TestSwappedColumnsExchangesValues(t *testing.T) {
+	ds := testDS()
+	out := SwappedColumns{}.Corrupt(ds, 0.5, rand.New(rand.NewSource(5)))
+	if corruptedCells(ds, out) == 0 {
+		t.Fatal("swap changed nothing")
+	}
+}
+
+func TestLeetspeak(t *testing.T) {
+	if got := Leetspeak("hello total"); got != "h3110 70741" {
+		t.Fatalf("Leetspeak = %q", got)
+	}
+}
+
+func TestAdversarialTextOnTweets(t *testing.T) {
+	ds := datagen.Tweets(200, 1)
+	out := AdversarialText{}.Corrupt(ds, 1.0, rand.New(rand.NewSource(6)))
+	changed := 0
+	for i, v := range out.Frame.Column("text").Str {
+		if v != ds.Frame.Column("text").Str[i] {
+			changed++
+		}
+		if strings.ContainsAny(ds.Frame.Column("text").Str[i], "elo") && v == ds.Frame.Column("text").Str[i] {
+			t.Fatalf("row %d should have been leetspeaked", i)
+		}
+	}
+	if changed < 100 {
+		t.Fatalf("only %d rows changed at magnitude 1", changed)
+	}
+}
+
+func TestTyposBreakVocabulary(t *testing.T) {
+	ds := testDS()
+	out := Typos{}.Corrupt(ds, 1.0, rand.New(rand.NewSource(7)))
+	if corruptedCells(ds, out) == 0 {
+		t.Fatal("typos changed nothing")
+	}
+}
+
+func TestSmearingStaysWithinTenPercent(t *testing.T) {
+	ds := testDS()
+	out := Smearing{}.Corrupt(ds, 1.0, rand.New(rand.NewSource(8)))
+	for _, name := range ds.Frame.NamesOfKind(frame.Numeric) {
+		orig := ds.Frame.Column(name).Num
+		corr := out.Frame.Column(name).Num
+		for i := range orig {
+			if orig[i] == 0 {
+				continue
+			}
+			rel := math.Abs(corr[i]-orig[i]) / math.Abs(orig[i])
+			if rel > 0.100001 {
+				t.Fatalf("smearing moved value by %v%%", rel*100)
+			}
+		}
+	}
+}
+
+func TestFlippedSignsOnlyFlips(t *testing.T) {
+	ds := testDS()
+	out := FlippedSigns{}.Corrupt(ds, 1.0, rand.New(rand.NewSource(9)))
+	flipped := 0
+	for _, name := range ds.Frame.NamesOfKind(frame.Numeric) {
+		orig := ds.Frame.Column(name).Num
+		corr := out.Frame.Column(name).Num
+		for i := range orig {
+			if corr[i] == -orig[i] && orig[i] != 0 {
+				flipped++
+			} else if corr[i] != orig[i] {
+				t.Fatalf("flipped sign produced %v from %v", corr[i], orig[i])
+			}
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("nothing flipped")
+	}
+}
+
+func TestEncodingErrorsProduceMojibake(t *testing.T) {
+	ds := testDS()
+	out := EncodingErrors{}.Corrupt(ds, 1.0, rand.New(rand.NewSource(10)))
+	if corruptedCells(ds, out) == 0 {
+		t.Fatal("encoding errors changed nothing")
+	}
+}
+
+// constModel is a trivial model whose certainty is encoded in the first
+// numeric feature, for testing EntropyMissing.
+type constModel struct{}
+
+func (constModel) PredictProba(ds *data.Dataset) *linalg.Matrix {
+	col := ds.Frame.Columns()[0]
+	out := linalg.NewMatrix(col.Len(), 2)
+	for i := 0; i < col.Len(); i++ {
+		// older rows = more certain
+		p := 0.5 + 0.5*float64(i)/float64(col.Len())
+		out.Set(i, 0, p)
+		out.Set(i, 1, 1-p)
+	}
+	return out
+}
+func (constModel) NumClasses() int { return 2 }
+
+func TestEntropyMissingTargetsEasyExamples(t *testing.T) {
+	ds := testDS()
+	out := EntropyMissing{Model: constModel{}}.Corrupt(ds, 0.25, rand.New(rand.NewSource(11)))
+	// The most certain rows are the last quarter; they should be the
+	// (only) candidates for discarded values.
+	n := ds.Len()
+	missingEarly, missingLate := 0, 0
+	for _, col := range out.Frame.Columns() {
+		for i := 0; i < n; i++ {
+			if frame.IsMissing(col, i) && !frame.IsMissing(ds.Frame.Column(col.Name), i) {
+				if i < n/2 {
+					missingEarly++
+				} else {
+					missingLate++
+				}
+			}
+		}
+	}
+	if missingLate == 0 {
+		t.Fatal("entropy missing discarded nothing")
+	}
+	if missingEarly > 0 {
+		t.Fatalf("entropy missing hit uncertain rows: early=%d late=%d", missingEarly, missingLate)
+	}
+}
+
+func TestImageNoiseAndRotation(t *testing.T) {
+	ds := datagen.Digits(50, 1)
+	for _, g := range Image() {
+		out := g.Corrupt(ds, 1.0, rand.New(rand.NewSource(12)))
+		changed := 0
+		for i := range out.Images.Pixels {
+			for j := range out.Images.Pixels[i] {
+				if out.Images.Pixels[i][j] != ds.Images.Pixels[i][j] {
+					changed++
+					break
+				}
+			}
+		}
+		if changed < 25 {
+			t.Fatalf("%s changed only %d images at magnitude 1", g.Name(), changed)
+		}
+		// input untouched
+		if &out.Images.Pixels[0][0] == &ds.Images.Pixels[0][0] {
+			t.Fatalf("%s aliases input pixels", g.Name())
+		}
+	}
+}
+
+func TestMixtureAppliesAtLeastOne(t *testing.T) {
+	ds := testDS()
+	mix := Mixture{Generators: KnownTabular()}
+	rng := rand.New(rand.NewSource(13))
+	applied := 0
+	for trial := 0; trial < 20; trial++ {
+		out := mix.Corrupt(ds, 0.8, rng)
+		if corruptedCells(ds, out) > 0 {
+			applied++
+		}
+	}
+	// With magnitude 0.8 nearly all trials must actually corrupt data.
+	if applied < 15 {
+		t.Fatalf("mixture corrupted data in only %d/20 trials", applied)
+	}
+}
+
+func TestMixtureName(t *testing.T) {
+	mix := Mixture{Generators: []Generator{MissingValues{}, Scaling{}}}
+	if mix.Name() != "mix(missing+scaling)" {
+		t.Fatalf("name = %q", mix.Name())
+	}
+}
+
+func TestNoOpReturnsIdenticalCopy(t *testing.T) {
+	ds := testDS()
+	out := NoOp{}.Corrupt(ds, 1, rand.New(rand.NewSource(14)))
+	if corruptedCells(ds, out) != 0 {
+		t.Fatal("NoOp changed data")
+	}
+	out.Frame.Column("age").Num[0] = -99
+	if ds.Frame.Column("age").Num[0] == -99 {
+		t.Fatal("NoOp aliases input")
+	}
+}
+
+func TestPickColumnsAlwaysNonEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 50; i++ {
+		got := pickColumns([]string{"a", "b", "c"}, rng)
+		if len(got) == 0 || len(got) > 3 {
+			t.Fatalf("pickColumns returned %v", got)
+		}
+	}
+	if pickColumns(nil, rng) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}

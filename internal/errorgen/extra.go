@@ -1,0 +1,196 @@
+package errorgen
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+)
+
+// Additional error types beyond the paper's evaluation set, following its
+// future-work direction of "investigating the effects of more error
+// types". They are used by the generalization-matrix experiment, which
+// measures how well a predictor trained on the four standard known errors
+// copes with each of these individually.
+
+// CaseShift changes the letter case of categorical values ("eng" ->
+// "ENG"), a classic ingestion bug. Like typos, the corrupted token falls
+// out of the one-hot vocabulary.
+type CaseShift struct{}
+
+// Name implements Generator.
+func (CaseShift) Name() string { return "case_shift" }
+
+// Corrupt implements Generator.
+func (CaseShift) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	for _, name := range pickColumns(out.Frame.NamesOfKind(frame.Categorical), rng) {
+		col := out.Frame.Column(name)
+		upper := rng.Intn(2) == 0
+		for i, v := range col.Str {
+			if v == "" || rng.Float64() >= p {
+				continue
+			}
+			if upper {
+				col.Str[i] = strings.ToUpper(v)
+			} else {
+				col.Str[i] = titleCase(v)
+			}
+		}
+	}
+	return out
+}
+
+// titleCase upper-cases the first letter of each space-separated word.
+func titleCase(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		words[i] = strings.ToUpper(w[:1]) + w[1:]
+	}
+	return strings.Join(words, " ")
+}
+
+// NullTokens replaces categorical values with literal placeholder strings
+// ("null", "N/A", "none") that a sloppy upstream system emitted instead
+// of proper missing markers.
+type NullTokens struct{}
+
+// Name implements Generator.
+func (NullTokens) Name() string { return "null_tokens" }
+
+var nullLiterals = []string{"null", "N/A", "none", "undefined"}
+
+// Corrupt implements Generator.
+func (NullTokens) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	for _, name := range pickColumns(out.Frame.NamesOfKind(frame.Categorical), rng) {
+		col := out.Frame.Column(name)
+		for i, v := range col.Str {
+			if v != "" && rng.Float64() < p {
+				col.Str[i] = nullLiterals[rng.Intn(len(nullLiterals))]
+			}
+		}
+	}
+	return out
+}
+
+// DuplicateRows oversamples a fraction of rows, replacing other rows with
+// copies — a join or retry bug that skews the serving distribution
+// without corrupting any single cell.
+type DuplicateRows struct{}
+
+// Name implements Generator.
+func (DuplicateRows) Name() string { return "duplicate_rows" }
+
+// Corrupt implements Generator.
+func (d DuplicateRows) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	p := clampMagnitude(magnitude)
+	n := ds.Len()
+	if n == 0 {
+		return ds.Clone()
+	}
+	// Duplicate a small pool of source rows over a fraction p of slots.
+	poolSize := n/20 + 1
+	pool := rng.Perm(n)[:poolSize]
+	idx := make([]int, n)
+	for i := range idx {
+		if rng.Float64() < p {
+			idx[i] = pool[rng.Intn(poolSize)]
+		} else {
+			idx[i] = i
+		}
+	}
+	return ds.SelectRows(idx)
+}
+
+// ClippedValues saturates numeric values above a column percentile, like
+// a sensor or a downstream type with limited range.
+type ClippedValues struct{}
+
+// Name implements Generator.
+func (ClippedValues) Name() string { return "clipped" }
+
+// Corrupt implements Generator.
+func (ClippedValues) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	for _, name := range pickColumns(out.Frame.NamesOfKind(frame.Numeric), rng) {
+		col := out.Frame.Column(name)
+		cap := columnPercentile(col.Num, 1-p/2) // stronger magnitude = lower cap
+		for i, v := range col.Num {
+			if v > cap {
+				col.Num[i] = cap
+			}
+		}
+	}
+	return out
+}
+
+// columnPercentile returns the q-quantile (0..1) of the non-missing
+// values, or 0 if none exist.
+func columnPercentile(xs []float64, q float64) float64 {
+	vals := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if v == v { // skip NaN
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	idx := int(q * float64(len(vals)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}
+
+// ShuffledColumn permutes a fraction of the values within one numeric
+// column, destroying the row alignment between that feature and the rest
+// of the record while leaving the marginal distribution identical — a
+// worst case for univariate raw-data drift detection (REL is blind to it
+// by construction).
+type ShuffledColumn struct{}
+
+// Name implements Generator.
+func (ShuffledColumn) Name() string { return "shuffled_column" }
+
+// Corrupt implements Generator.
+func (ShuffledColumn) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	nums := out.Frame.NamesOfKind(frame.Numeric)
+	if len(nums) == 0 {
+		return out
+	}
+	col := out.Frame.Column(nums[rng.Intn(len(nums))])
+	var affected []int
+	for i := range col.Num {
+		if rng.Float64() < p {
+			affected = append(affected, i)
+		}
+	}
+	perm := rng.Perm(len(affected))
+	shuffled := make([]float64, len(affected))
+	for k, j := range perm {
+		shuffled[k] = col.Num[affected[j]]
+	}
+	for k, i := range affected {
+		col.Num[i] = shuffled[k]
+	}
+	return out
+}
+
+// ExtendedTabular returns the additional error types introduced by this
+// reproduction (beyond the paper's evaluation set).
+func ExtendedTabular() []Generator {
+	return []Generator{CaseShift{}, NullTokens{}, DuplicateRows{}, ClippedValues{}, ShuffledColumn{}}
+}

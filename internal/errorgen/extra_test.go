@@ -1,0 +1,188 @@
+package errorgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"blackboxval/internal/frame"
+)
+
+func TestExtendedGeneratorsDoNotMutateInput(t *testing.T) {
+	for _, g := range ExtendedTabular() {
+		orig := testDS()
+		ref := orig.Clone()
+		g.Corrupt(orig, 0.6, rand.New(rand.NewSource(1)))
+		if corruptedCells(orig, ref) != 0 {
+			t.Fatalf("%s mutated its input", g.Name())
+		}
+	}
+}
+
+func TestCaseShiftBreaksVocabulary(t *testing.T) {
+	ds := testDS()
+	out := CaseShift{}.Corrupt(ds, 1.0, rand.New(rand.NewSource(2)))
+	changed := 0
+	for _, name := range ds.Frame.NamesOfKind(frame.Categorical) {
+		orig := ds.Frame.Column(name).Str
+		corr := out.Frame.Column(name).Str
+		for i := range orig {
+			if orig[i] == corr[i] {
+				continue
+			}
+			changed++
+			if !strings.EqualFold(orig[i], corr[i]) {
+				t.Fatalf("case shift altered letters: %q -> %q", orig[i], corr[i])
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("case shift changed nothing")
+	}
+}
+
+func TestNullTokensOnlyUseKnownLiterals(t *testing.T) {
+	ds := testDS()
+	out := NullTokens{}.Corrupt(ds, 1.0, rand.New(rand.NewSource(3)))
+	lits := map[string]bool{}
+	for _, l := range nullLiterals {
+		lits[l] = true
+	}
+	changed := 0
+	for _, name := range ds.Frame.NamesOfKind(frame.Categorical) {
+		orig := ds.Frame.Column(name).Str
+		corr := out.Frame.Column(name).Str
+		for i := range orig {
+			if orig[i] != corr[i] {
+				changed++
+				if !lits[corr[i]] {
+					t.Fatalf("unexpected replacement %q", corr[i])
+				}
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("null tokens changed nothing")
+	}
+}
+
+func TestDuplicateRowsKeepsShape(t *testing.T) {
+	ds := testDS()
+	out := DuplicateRows{}.Corrupt(ds, 0.8, rand.New(rand.NewSource(4)))
+	if out.Len() != ds.Len() {
+		t.Fatalf("row count changed: %d -> %d", ds.Len(), out.Len())
+	}
+	// Heavy duplication collapses the number of distinct ages.
+	distinct := func(xs []float64) int {
+		seen := map[float64]bool{}
+		for _, v := range xs {
+			seen[v] = true
+		}
+		return len(seen)
+	}
+	before := distinct(ds.Frame.Column("age").Num)
+	after := distinct(out.Frame.Column("age").Num)
+	if after >= before {
+		t.Fatalf("duplication did not reduce distinct values: %d -> %d", before, after)
+	}
+}
+
+func TestDuplicateRowsZeroMagnitudeIdentity(t *testing.T) {
+	ds := testDS()
+	out := DuplicateRows{}.Corrupt(ds, 0, rand.New(rand.NewSource(5)))
+	if corruptedCells(ds, out) != 0 {
+		t.Fatal("zero-magnitude duplication changed rows")
+	}
+}
+
+func TestClippedValuesSaturatesTop(t *testing.T) {
+	ds := testDS()
+	out := ClippedValues{}.Corrupt(ds, 0.9, rand.New(rand.NewSource(6)))
+	clippedSomething := false
+	for _, name := range ds.Frame.NamesOfKind(frame.Numeric) {
+		orig := append([]float64(nil), ds.Frame.Column(name).Num...)
+		corr := out.Frame.Column(name).Num
+		sort.Float64s(orig)
+		maxOrig := orig[len(orig)-1]
+		maxCorr := corr[0]
+		for _, v := range corr {
+			if v > maxCorr {
+				maxCorr = v
+			}
+		}
+		if maxCorr < maxOrig {
+			clippedSomething = true
+		}
+		// Clipping never increases values.
+		for i, v := range out.Frame.Column(name).Num {
+			if v > ds.Frame.Column(name).Num[i]+1e-12 {
+				t.Fatal("clipping increased a value")
+			}
+		}
+	}
+	if !clippedSomething {
+		t.Fatal("nothing was clipped at magnitude 0.9")
+	}
+}
+
+func TestShuffledColumnPreservesMarginal(t *testing.T) {
+	ds := testDS()
+	out := ShuffledColumn{}.Corrupt(ds, 1.0, rand.New(rand.NewSource(7)))
+	// Find the shuffled column: same multiset, different order.
+	foundShuffled := false
+	for _, name := range ds.Frame.NamesOfKind(frame.Numeric) {
+		orig := append([]float64(nil), ds.Frame.Column(name).Num...)
+		corr := append([]float64(nil), out.Frame.Column(name).Num...)
+		sameOrder := true
+		for i := range orig {
+			if orig[i] != corr[i] {
+				sameOrder = false
+				break
+			}
+		}
+		if sameOrder {
+			continue
+		}
+		foundShuffled = true
+		sort.Float64s(orig)
+		sort.Float64s(corr)
+		for i := range orig {
+			if math.Abs(orig[i]-corr[i]) > 1e-12 {
+				t.Fatalf("column %s marginal changed by shuffling", name)
+			}
+		}
+	}
+	if !foundShuffled {
+		t.Fatal("no column was shuffled at magnitude 1")
+	}
+}
+
+func TestColumnPercentileHelpers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if columnPercentile(xs, 1) != 5 || columnPercentile(xs, 0) != 1 {
+		t.Fatal("percentile extremes wrong")
+	}
+	if columnPercentile(nil, 0.5) != 0 {
+		t.Fatal("empty column should yield 0")
+	}
+	withNaN := []float64{math.NaN(), 2, 4}
+	if columnPercentile(withNaN, 1) != 4 {
+		t.Fatal("NaN not skipped")
+	}
+}
+
+func TestExtendedTabularList(t *testing.T) {
+	gens := ExtendedTabular()
+	if len(gens) != 5 {
+		t.Fatalf("extended generator count = %d", len(gens))
+	}
+	seen := map[string]bool{}
+	for _, g := range gens {
+		if seen[g.Name()] {
+			t.Fatalf("duplicate generator name %s", g.Name())
+		}
+		seen[g.Name()] = true
+	}
+}

@@ -1,0 +1,51 @@
+package errorgen
+
+import (
+	"math/rand"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzLeetspeak: the adversarial rewriter must never panic and must
+// preserve UTF-8 validity and word count.
+func FuzzLeetspeak(f *testing.F) {
+	f.Add("hello world")
+	f.Add("")
+	f.Add("ümlauts und ĉirkumfleksoj")
+	f.Add("already 1337")
+	f.Fuzz(func(t *testing.T, input string) {
+		if !utf8.ValidString(input) {
+			t.Skip()
+		}
+		out := Leetspeak(input)
+		if !utf8.ValidString(out) {
+			t.Fatalf("invalid UTF-8 from %q: %q", input, out)
+		}
+		if len(out) < len(input) {
+			// replacements are same-width or wider (all 1-byte ASCII)
+			t.Fatalf("leetspeak shrank %q to %q", input, out)
+		}
+	})
+}
+
+// FuzzIntroduceTypo: character-level edits must never panic or return an
+// empty string for non-empty input.
+func FuzzIntroduceTypo(f *testing.F) {
+	f.Add("category", int64(1))
+	f.Add("x", int64(2))
+	f.Add("", int64(3))
+	f.Add("多字节字符", int64(4))
+	f.Fuzz(func(t *testing.T, input string, seed int64) {
+		if !utf8.ValidString(input) {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		out := introduceTypo(input, rng)
+		if input != "" && out == "" {
+			t.Fatalf("typo erased %q entirely", input)
+		}
+		if !utf8.ValidString(out) {
+			t.Fatalf("invalid UTF-8 from %q: %q", input, out)
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package errorgen
+
+import (
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/data"
+)
+
+// ImageNoise adds gaussian pixel noise with a randomly chosen standard
+// deviation (up to 0.5) to a proportion of the input images.
+type ImageNoise struct{}
+
+// Name implements Generator.
+func (ImageNoise) Name() string { return "image_noise" }
+
+// Corrupt implements Generator.
+func (ImageNoise) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	sigma := rng.Float64() * 0.5
+	for i := 0; i < out.Images.Len(); i++ {
+		if rng.Float64() < p {
+			out.Images.AddGaussianNoise(i, sigma, rng)
+		}
+	}
+	return out
+}
+
+// ImageRotation rotates a proportion of the input images by randomly
+// chosen angles.
+type ImageRotation struct{}
+
+// Name implements Generator.
+func (ImageRotation) Name() string { return "image_rotation" }
+
+// Corrupt implements Generator.
+func (ImageRotation) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	for i := 0; i < out.Images.Len(); i++ {
+		if rng.Float64() < p {
+			angle := (rng.Float64()*2 - 1) * math.Pi // up to ±180°
+			out.Images.Rotate(i, angle)
+		}
+	}
+	return out
+}

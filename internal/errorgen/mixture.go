@@ -1,0 +1,81 @@
+package errorgen
+
+import (
+	"math/rand"
+	"strings"
+
+	"blackboxval/internal/data"
+)
+
+// NoOp leaves the data untouched. The absence of errors (perr = 0) is an
+// explicit part of the problem statement, and predictors are trained with
+// clean batches as well so they learn what "no drop" looks like.
+type NoOp struct{}
+
+// Name implements Generator.
+func (NoOp) Name() string { return "none" }
+
+// Corrupt implements Generator.
+func (NoOp) Corrupt(ds *data.Dataset, _ float64, _ *rand.Rand) *data.Dataset {
+	return ds.Clone()
+}
+
+// Mixture applies a randomly weighted blend of error generators: each
+// component hits the data with its own random magnitude bounded by the
+// mixture's overall magnitude. This reproduces the "randomly chosen
+// mixtures of error types (with different probabilities)" protocol of the
+// paper's validation experiments.
+type Mixture struct {
+	Generators []Generator
+	// MinActive is the minimum number of component generators applied
+	// (default 1).
+	MinActive int
+}
+
+// Name implements Generator.
+func (m Mixture) Name() string {
+	names := make([]string, len(m.Generators))
+	for i, g := range m.Generators {
+		names[i] = g.Name()
+	}
+	return "mix(" + strings.Join(names, "+") + ")"
+}
+
+// Corrupt implements Generator.
+func (m Mixture) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	minActive := m.MinActive
+	if minActive <= 0 {
+		minActive = 1
+	}
+	active := 0
+	order := rng.Perm(len(m.Generators))
+	for k, j := range order {
+		remaining := len(m.Generators) - k
+		mustApply := active+remaining <= minActive
+		if !mustApply && rng.Float64() > 0.7 {
+			continue
+		}
+		g := m.Generators[j]
+		out = g.Corrupt(out, rng.Float64()*clampMagnitude(magnitude), rng)
+		active++
+	}
+	return out
+}
+
+// KnownTabular returns the paper's four standard "known" error types for
+// relational data: missing values, outliers, swapped columns and scaling.
+func KnownTabular() []Generator {
+	return []Generator{MissingValues{}, Outliers{}, SwappedColumns{}, Scaling{}}
+}
+
+// UnknownTabular returns the paper's three held-out "unknown" error types
+// used to evaluate generalization: typos, smearing and flipped signs.
+func UnknownTabular() []Generator {
+	return []Generator{Typos{}, Smearing{}, FlippedSigns{}}
+}
+
+// Image returns the error types for image data: noise and rotation.
+func Image() []Generator {
+	return []Generator{ImageNoise{}, ImageRotation{}}
+}

@@ -1,0 +1,103 @@
+package errorgen
+
+import (
+	"math/rand"
+	"sort"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+	"blackboxval/internal/linalg"
+)
+
+// Smearing changes a random proportion of the values of a numeric
+// attribute by a randomly chosen relative amount between -10% and +10%.
+// One of the paper's "unknown" error types: its effect resembles mild
+// gaussian noise, which lets a predictor trained on Outliers generalize.
+type Smearing struct{}
+
+// Name implements Generator.
+func (Smearing) Name() string { return "smearing" }
+
+// Corrupt implements Generator.
+func (Smearing) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	for _, name := range pickColumns(out.Frame.NamesOfKind(frame.Numeric), rng) {
+		col := out.Frame.Column(name)
+		for i, v := range col.Num {
+			if rng.Float64() < p {
+				col.Num[i] = v * (1 + (rng.Float64()*0.2 - 0.1))
+			}
+		}
+	}
+	return out
+}
+
+// FlippedSigns multiplies a random proportion of the values of a numeric
+// attribute by -1. One of the paper's "unknown" error types.
+type FlippedSigns struct{}
+
+// Name implements Generator.
+func (FlippedSigns) Name() string { return "flipped_sign" }
+
+// Corrupt implements Generator.
+func (FlippedSigns) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	for _, name := range pickColumns(out.Frame.NamesOfKind(frame.Numeric), rng) {
+		col := out.Frame.Column(name)
+		for i, v := range col.Num {
+			if rng.Float64() < p {
+				col.Num[i] = -v
+			}
+		}
+	}
+	return out
+}
+
+// EntropyMissing is the paper's active-learning-inspired variant of
+// missing values: examples are ranked by the black box model's prediction
+// uncertainty 1-p_max, and values are discarded from the *easiest*
+// (most certain) examples first, which is far harder to detect from the
+// output distribution than uniformly random missingness.
+type EntropyMissing struct {
+	// Model supplies the uncertainty ranking. Required.
+	Model data.Model
+}
+
+// Name implements Generator.
+func (EntropyMissing) Name() string { return "entropy_missing" }
+
+// Corrupt implements Generator.
+func (e EntropyMissing) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	n := out.Len()
+	if n == 0 {
+		return out
+	}
+	proba := e.Model.PredictProba(ds)
+	uncertainty := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := proba.Row(i)
+		uncertainty[i] = 1 - row[linalg.ArgmaxRow(row)]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Easiest (lowest uncertainty) first.
+	sort.Slice(order, func(a, b int) bool { return uncertainty[order[a]] < uncertainty[order[b]] })
+	affected := order[:int(p*float64(n))]
+
+	cols := out.Frame.NamesOfKind(frame.Categorical)
+	cols = append(cols, out.Frame.NamesOfKind(frame.Numeric)...)
+	picked := pickColumns(cols, rng)
+	for _, name := range picked {
+		col := out.Frame.Column(name)
+		for _, i := range affected {
+			frame.SetMissing(col, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package errorgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/frame"
+)
+
+// Property-based invariants that must hold for every cell-level tabular
+// generator at any magnitude and seed.
+
+func cellGenerators() []Generator {
+	return []Generator{
+		MissingValues{}, MissingValues{Numeric: true}, Outliers{}, Scaling{},
+		Typos{}, Smearing{}, FlippedSigns{}, EncodingErrors{},
+		CaseShift{}, NullTokens{}, ClippedValues{},
+	}
+}
+
+func TestPropertyShapePreserved(t *testing.T) {
+	f := func(seed int64, magRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		magnitude := float64(magRaw) / 255
+		ds := datagen.Income(120, seed)
+		for _, g := range cellGenerators() {
+			out := g.Corrupt(ds, magnitude, rng)
+			if out.Len() != ds.Len() {
+				return false
+			}
+			if out.Frame.NumCols() != ds.Frame.NumCols() {
+				return false
+			}
+			for i, name := range ds.Frame.ColumnNames() {
+				if out.Frame.ColumnNames()[i] != name {
+					return false
+				}
+				if out.Frame.Column(name).Kind != ds.Frame.Column(name).Kind {
+					return false
+				}
+			}
+			// Labels are never touched by data corruption.
+			for i := range ds.Labels {
+				if out.Labels[i] != ds.Labels[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMagnitudeMonotone(t *testing.T) {
+	// Statistically, a higher magnitude must corrupt at least as many
+	// cells (averaged over repetitions to tame randomness).
+	ds := datagen.Income(400, 7)
+	for _, g := range []Generator{MissingValues{}, Scaling{}, Typos{}, FlippedSigns{}} {
+		count := func(magnitude float64) int {
+			total := 0
+			for rep := 0; rep < 5; rep++ {
+				rng := rand.New(rand.NewSource(int64(rep)))
+				out := g.Corrupt(ds, magnitude, rng)
+				total += corruptedCells(ds, out)
+			}
+			return total
+		}
+		low, high := count(0.1), count(0.9)
+		if high <= low {
+			t.Fatalf("%s: magnitude 0.9 corrupted %d cells, 0.1 corrupted %d", g.Name(), high, low)
+		}
+	}
+}
+
+func TestPropertyMagnitudeClamped(t *testing.T) {
+	// Out-of-range magnitudes behave like their clamped values rather
+	// than panicking or corrupting labels.
+	ds := datagen.Income(80, 9)
+	rng := rand.New(rand.NewSource(9))
+	for _, g := range cellGenerators() {
+		if out := g.Corrupt(ds, -3, rng); out.Len() != ds.Len() {
+			t.Fatalf("%s: negative magnitude broke shape", g.Name())
+		}
+		if out := g.Corrupt(ds, 7, rng); out.Len() != ds.Len() {
+			t.Fatalf("%s: huge magnitude broke shape", g.Name())
+		}
+	}
+}
+
+func TestPropertyMissingOnlyAddsMissing(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := datagen.Income(100, seed)
+		out := MissingValues{}.Corrupt(ds, 0.5, rng)
+		for _, name := range ds.Frame.NamesOfKind(frame.Categorical) {
+			orig := ds.Frame.Column(name)
+			corr := out.Frame.Column(name)
+			for i := 0; i < orig.Len(); i++ {
+				// Either unchanged or newly missing — never a new value.
+				if corr.Str[i] != orig.Str[i] && corr.Str[i] != "" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCorruptIncomeBatch(b *testing.B) {
+	ds := datagen.Income(1000, 1)
+	mix := Mixture{Generators: KnownTabular()}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mix.Corrupt(ds, 0.5, rng)
+	}
+}
+
+func BenchmarkRotateImageBatch(b *testing.B) {
+	ds := datagen.Digits(100, 1)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ImageRotation{}.Corrupt(ds, 1.0, rng)
+	}
+}

@@ -1,0 +1,120 @@
+package errorgen
+
+import (
+	"math/rand"
+	"strings"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+)
+
+// AdversarialText simulates an adversarial "leetspeak" attack on text
+// columns: attackers change the spelling of their messages (e.g. "hello
+// world" -> "h3110 w041d") to fool the classifier. A fraction of rows is
+// rewritten entirely.
+type AdversarialText struct{}
+
+// Name implements Generator.
+func (AdversarialText) Name() string { return "leetspeak" }
+
+var leetReplacer = strings.NewReplacer(
+	"e", "3", "E", "3",
+	"l", "1", "L", "1",
+	"o", "0", "O", "0",
+	"a", "4", "A", "4",
+	"t", "7", "T", "7",
+	"i", "!", "I", "!",
+)
+
+// Leetspeak converts text to its leetspeak form.
+func Leetspeak(text string) string { return leetReplacer.Replace(text) }
+
+// Corrupt implements Generator.
+func (AdversarialText) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	for _, name := range out.Frame.NamesOfKind(frame.Text) {
+		col := out.Frame.Column(name)
+		for i, v := range col.Str {
+			if rng.Float64() < p {
+				col.Str[i] = Leetspeak(v)
+			}
+		}
+	}
+	return out
+}
+
+// EncodingErrors introduces mojibake into categorical columns, as caused
+// by mismatched character encodings in ingestion code (the example error
+// generator of the paper's Section 4).
+type EncodingErrors struct{}
+
+// Name implements Generator.
+func (EncodingErrors) Name() string { return "encoding" }
+
+var mojibakeReplacer = strings.NewReplacer(
+	"e", "é",
+	"o", "œ",
+	"u", "ü",
+	"a", "å",
+)
+
+// Corrupt implements Generator.
+func (EncodingErrors) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	for _, name := range pickColumns(out.Frame.NamesOfKind(frame.Categorical), rng) {
+		col := out.Frame.Column(name)
+		for i, v := range col.Str {
+			if v != "" && rng.Float64() < p {
+				col.Str[i] = mojibakeReplacer.Replace(v)
+			}
+		}
+	}
+	return out
+}
+
+// Typos introduces keyboard-style typos into a random proportion of the
+// values of a categorical attribute. One of the paper's "unknown" error
+// types: its effect on the feature map mimics a missing value, since the
+// corrupted token falls out of the one-hot vocabulary.
+type Typos struct{}
+
+// Name implements Generator.
+func (Typos) Name() string { return "typos" }
+
+// Corrupt implements Generator.
+func (Typos) Corrupt(ds *data.Dataset, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	p := clampMagnitude(magnitude)
+	for _, name := range pickColumns(out.Frame.NamesOfKind(frame.Categorical), rng) {
+		col := out.Frame.Column(name)
+		for i, v := range col.Str {
+			if v != "" && rng.Float64() < p {
+				col.Str[i] = introduceTypo(v, rng)
+			}
+		}
+	}
+	return out
+}
+
+// introduceTypo applies one random character-level edit.
+func introduceTypo(s string, rng *rand.Rand) string {
+	runes := []rune(s)
+	if len(runes) == 0 {
+		return s
+	}
+	pos := rng.Intn(len(runes))
+	switch rng.Intn(3) {
+	case 0: // duplicate a character
+		runes = append(runes[:pos+1], runes[pos:]...)
+	case 1: // drop a character
+		runes = append(runes[:pos], runes[pos+1:]...)
+	default: // replace with a neighbor letter
+		runes[pos] = rune('a' + rng.Intn(26))
+	}
+	if len(runes) == 0 {
+		return "x"
+	}
+	return string(runes)
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/core"
+	"blackboxval/internal/data"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/models"
+	"blackboxval/internal/stats"
+)
+
+// AblationRow records predictor quality for one configuration variant.
+type AblationRow struct {
+	Variant string
+	MAE     float64
+	P90     float64
+}
+
+// AblationResult collects one ablation study over the design choices
+// called out in DESIGN.md.
+type AblationResult struct {
+	Study string
+	Rows  []AblationRow
+}
+
+// ablationVariant names a way of building a performance predictor.
+type ablationVariant struct {
+	name string
+	make func(test *data.Dataset, blackBox data.Model) (*core.Predictor, error)
+}
+
+// runPredictorAblation trains the income lr black box once, then measures
+// each predictor variant's MAE over the same corrupted serving trials.
+func runPredictorAblation(scale Scale, study string, variants []ablationVariant) (*AblationResult, error) {
+	ds, err := scale.GenerateDataset("income", scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, test, serving := Splits(ds, scale.Seed)
+	blackBox, err := scale.TrainModel("lr", train, scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	result := &AblationResult{Study: study}
+	for _, v := range variants {
+		pred, err := v.make(test, blackBox)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation variant %s: %w", v.name, err)
+		}
+		rng := rand.New(rand.NewSource(scale.Seed + 800))
+		mixture := errorgen.Mixture{Generators: errorgen.KnownTabular()}
+		var absErrs []float64
+		for trial := 0; trial < scale.Trials; trial++ {
+			batch := mixture.Corrupt(serving, rng.Float64(), rng)
+			proba := blackBox.PredictProba(batch)
+			truth := core.AccuracyScore(proba, batch.Labels)
+			absErrs = append(absErrs, math.Abs(pred.EstimateFromProba(proba)-truth))
+		}
+		result.Rows = append(result.Rows, AblationRow{
+			Variant: v.name,
+			MAE:     stats.Mean(absErrs),
+			P90:     stats.Percentile(absErrs, 90),
+		})
+	}
+	return result, nil
+}
+
+// AblationPercentileStep varies the granularity of the output featurizer:
+// the paper's 5%-step percentile grid vs. coarser alternatives.
+func AblationPercentileStep(scale Scale) (*AblationResult, error) {
+	var variants []ablationVariant
+	for _, step := range []float64{5, 10, 25, 50} {
+		step := step
+		variants = append(variants, ablationVariant{
+			name: fmt.Sprintf("step=%g", step),
+			make: func(test *data.Dataset, bb data.Model) (*core.Predictor, error) {
+				return core.TrainPredictor(bb, test, core.PredictorConfig{
+					Generators:     errorgen.KnownTabular(),
+					Repetitions:    scale.Repetitions,
+					PercentileStep: step,
+					ForestSizes:    scale.ForestSizes,
+					Seed:           scale.Seed,
+				})
+			},
+		})
+	}
+	return runPredictorAblation(scale, "percentile-step", variants)
+}
+
+// AblationRegressor compares the paper's random forest regressor against
+// a gradient-boosted regressor as the performance predictor h.
+func AblationRegressor(scale Scale) (*AblationResult, error) {
+	variants := []ablationVariant{
+		{
+			name: "random-forest",
+			make: func(test *data.Dataset, bb data.Model) (*core.Predictor, error) {
+				return core.TrainPredictor(bb, test, core.PredictorConfig{
+					Generators:  errorgen.KnownTabular(),
+					Repetitions: scale.Repetitions,
+					ForestSizes: scale.ForestSizes,
+					Seed:        scale.Seed,
+				})
+			},
+		},
+		{
+			name: "gbdt-regressor",
+			make: func(test *data.Dataset, bb data.Model) (*core.Predictor, error) {
+				return core.TrainPredictor(bb, test, core.PredictorConfig{
+					Generators:  errorgen.KnownTabular(),
+					Repetitions: scale.Repetitions,
+					Regressor:   &models.GBDTRegressor{Trees: 80, Seed: scale.Seed},
+					Seed:        scale.Seed,
+				})
+			},
+		},
+	}
+	return runPredictorAblation(scale, "regressor", variants)
+}
+
+// AblationTrainingSize varies the number of corrupted datasets per error
+// type used to train the performance predictor.
+func AblationTrainingSize(scale Scale) (*AblationResult, error) {
+	var variants []ablationVariant
+	for _, reps := range []int{5, 15, 50, 100} {
+		reps := reps
+		variants = append(variants, ablationVariant{
+			name: fmt.Sprintf("reps=%d", reps),
+			make: func(test *data.Dataset, bb data.Model) (*core.Predictor, error) {
+				return core.TrainPredictor(bb, test, core.PredictorConfig{
+					Generators:  errorgen.KnownTabular(),
+					Repetitions: reps,
+					ForestSizes: scale.ForestSizes,
+					Seed:        scale.Seed,
+				})
+			},
+		})
+	}
+	return runPredictorAblation(scale, "training-size", variants)
+}
+
+// AblationKSFeatures measures the validator with and without its
+// hypothesis-test features. Rows report 1-F1 in the MAE column so that
+// lower is better, consistent with the other studies.
+func AblationKSFeatures(scale Scale) (*AblationResult, error) {
+	ds, err := scale.GenerateDataset("income", scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, test, serving := Splits(ds, scale.Seed)
+	blackBox, err := scale.TrainModel("lr", train, scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	testScore := core.AccuracyScore(blackBox.PredictProba(test), test.Labels)
+
+	result := &AblationResult{Study: "ks-features (values are 1-F1)"}
+	for _, disable := range []bool{false, true} {
+		validator, err := core.TrainValidator(blackBox, test, core.ValidatorConfig{
+			Generators:        errorgen.KnownTabular(),
+			Threshold:         0.05,
+			Batches:           scale.ValidatorBatches,
+			DisableKSFeatures: disable,
+			Seed:              scale.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(scale.Seed + 900))
+		mixture := errorgen.Mixture{Generators: errorgen.KnownTabular()}
+		var pred, truth []int
+		for trial := 0; trial < scale.Trials*2; trial++ {
+			batch := serving
+			if trial%4 != 0 {
+				batch = mixture.Corrupt(serving, rng.Float64(), rng)
+			}
+			proba := blackBox.PredictProba(batch)
+			tv := 0
+			if core.AccuracyScore(proba, batch.Labels) < (1-0.05)*testScore {
+				tv = 1
+			}
+			pv := 0
+			if validator.ViolationFromProba(proba) {
+				pv = 1
+			}
+			truth = append(truth, tv)
+			pred = append(pred, pv)
+		}
+		name := "with-ks"
+		if disable {
+			name = "without-ks"
+		}
+		result.Rows = append(result.Rows, AblationRow{
+			Variant: name,
+			MAE:     1 - stats.F1Score(pred, truth, 1),
+		})
+	}
+	return result, nil
+}
+
+// Print renders the ablation table.
+func (r *AblationResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation (%s):\n", r.Study)
+	fmt.Fprintf(w, "%-20s %10s %10s\n", "variant", "MAE", "p90")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-20s %10.4f %10.4f\n", row.Variant, row.MAE, row.P90)
+	}
+}

@@ -1,0 +1,126 @@
+// Package experiments contains one runner per table/figure of the
+// paper's evaluation (Section 6), regenerating the same rows and series:
+//
+//	Figure 2a-d  prediction-error distributions for known error types
+//	Figure 3     MAE under increasing fractions of unknown error types
+//	Figure 4     sensitivity to the held-out sample size |Dtest|
+//	§6.2.1       validation F1 under mixtures of known errors
+//	Figure 5     validation F1 under unknown errors
+//	Figure 6     validation F1 for AutoML-trained black boxes
+//	Figure 7     score prediction for a cloud-hosted black box
+//
+// Each runner accepts a Scale so the same code drives quick benchmark
+// runs and the full evaluation recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/models"
+)
+
+// Scale sizes an experimental run.
+type Scale struct {
+	Name             string
+	TabularRows      int // rows per generated tabular dataset
+	ImageRows        int // images per generated image dataset
+	Repetitions      int // corrupted datasets per error type for predictor training
+	Trials           int // serving batches evaluated per cell
+	ValidatorBatches int // training batches for the performance validator
+	ForestSizes      []int
+	Seed             int64
+}
+
+// Quick is sized for benchmarks and CI: every experiment finishes in
+// seconds while preserving the qualitative shape of the results.
+var Quick = Scale{
+	Name:             "quick",
+	TabularRows:      2200,
+	ImageRows:        700,
+	Repetitions:      30,
+	Trials:           14,
+	ValidatorBatches: 120,
+	ForestSizes:      []int{50},
+	Seed:             1,
+}
+
+// Full is sized for the recorded evaluation in EXPERIMENTS.md.
+var Full = Scale{
+	Name:             "full",
+	TabularRows:      6000,
+	ImageRows:        1400,
+	Repetitions:      100,
+	Trials:           40,
+	ValidatorBatches: 300,
+	ForestSizes:      []int{50, 100},
+	Seed:             1,
+}
+
+// TabularDatasets are the relational datasets of the evaluation.
+var TabularDatasets = []string{"income", "heart", "bank"}
+
+// ModelNames are the black box families for relational data.
+var ModelNames = []string{"lr", "dnn", "xgb"}
+
+// Thresholds are the validation thresholds evaluated in the paper.
+var Thresholds = []float64{0.03, 0.05, 0.10}
+
+// GenerateDataset produces the named synthetic dataset at the scale's
+// size.
+func (s Scale) GenerateDataset(name string, seed int64) (*data.Dataset, error) {
+	switch name {
+	case "income":
+		return datagen.Income(s.TabularRows, seed), nil
+	case "heart":
+		return datagen.Heart(s.TabularRows, seed), nil
+	case "bank":
+		return datagen.Bank(s.TabularRows, seed), nil
+	case "tweets":
+		return datagen.Tweets(s.TabularRows, seed), nil
+	case "digits":
+		return datagen.Digits(s.ImageRows, seed), nil
+	case "fashion":
+		return datagen.Fashion(s.ImageRows, seed), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+}
+
+// Splits partitions a dataset following the paper's protocol: a source
+// partition (split again into model-training and held-out test data) and
+// a disjoint unseen serving partition. Classes are balanced first, as in
+// the paper's accuracy experiments.
+func Splits(ds *data.Dataset, seed int64) (train, test, serving *data.Dataset) {
+	rng := rand.New(rand.NewSource(seed + 100))
+	balanced := ds.Balance(rng)
+	source, serving := balanced.Split(0.7, rng)
+	train, test = source.Split(0.6, rng)
+	return train, test, serving
+}
+
+// TrainModel trains the named black box family on the training split.
+// Grid search is skipped at quick scale for speed; the default
+// hyperparameters are the grid winners in the common case.
+func (s Scale) TrainModel(name string, train *data.Dataset, seed int64) (data.Model, error) {
+	var clf models.Classifier
+	switch name {
+	case "lr":
+		clf = &models.SGDClassifier{Seed: seed}
+	case "dnn":
+		clf = &models.MLPClassifier{Seed: seed}
+	case "xgb":
+		clf = &models.GBDTClassifier{Seed: seed}
+	case "conv":
+		clf = &models.CNNClassifier{Seed: seed, Epochs: 3}
+	default:
+		return nil, fmt.Errorf("experiments: unknown model %q", name)
+	}
+	return models.TrainPipeline(train, clf, 256)
+}
+
+// IsLinear reports whether the named model family is linear (used by the
+// Figure 3 breakdown).
+func IsLinear(model string) bool { return model == "lr" }

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny is a minimal scale for smoke tests: the absolute numbers are
+// noisy, but every code path runs.
+var tiny = Scale{
+	Name:             "tiny",
+	TabularRows:      900,
+	ImageRows:        220,
+	Repetitions:      6,
+	Trials:           4,
+	ValidatorBatches: 40,
+	ForestSizes:      []int{20},
+	Seed:             1,
+}
+
+func TestGenerateDatasetNames(t *testing.T) {
+	for _, name := range []string{"income", "heart", "bank", "tweets", "digits", "fashion"} {
+		ds, err := tiny.GenerateDataset(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := tiny.GenerateDataset("nope", 1); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestSplitsDisjointSizes(t *testing.T) {
+	ds, _ := tiny.GenerateDataset("income", 1)
+	train, test, serving := Splits(ds, 1)
+	total := train.Len() + test.Len() + serving.Len()
+	if total == 0 || train.Len() == 0 || test.Len() == 0 || serving.Len() == 0 {
+		t.Fatalf("degenerate splits: %d/%d/%d", train.Len(), test.Len(), serving.Len())
+	}
+	// Balanced upstream: classes roughly equal in the training split.
+	counts := train.ClassCounts()
+	if math.Abs(float64(counts[0]-counts[1])) > float64(train.Len())/4 {
+		t.Fatalf("training split imbalanced: %v", counts)
+	}
+}
+
+func TestTrainModelNames(t *testing.T) {
+	ds, _ := tiny.GenerateDataset("income", 1)
+	train, _, _ := Splits(ds, 1)
+	for _, name := range []string{"lr", "xgb"} {
+		if _, err := tiny.TrainModel(name, train, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := tiny.TrainModel("nope", train, 1); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestFigure2Smoke(t *testing.T) {
+	res, err := Figure2(tiny, "lr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Panel != "a" || len(res.Rows) != 4 {
+		t.Fatalf("panel %s with %d rows", res.Panel, len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.AbsErrors) != tiny.Trials {
+			t.Fatalf("row %s has %d trials", row.Dataset, len(row.AbsErrors))
+		}
+		if row.MedianAE < 0 || row.MedianAE > 0.5 {
+			t.Fatalf("implausible median abs error %v for %s", row.MedianAE, row.Dataset)
+		}
+		if row.TestScore < 0.6 {
+			t.Fatalf("black box too weak on %s: %v", row.Dataset, row.TestScore)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 2(a)") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestFigure2UnknownModel(t *testing.T) {
+	if _, err := Figure2(tiny, "nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFigure4Smoke(t *testing.T) {
+	small := tiny
+	small.Trials = 3
+	res, err := Figure4(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 6 {
+		t.Fatalf("series = %d, want 6", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != len(Figure4Sizes) {
+			t.Fatalf("%s/%s: %d points", s.Dataset, s.Model, len(s.Points))
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "|Dtest|") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestValidationKnownSmoke(t *testing.T) {
+	res, err := ValidationKnown(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 27 { // 3 datasets x 3 models x 3 thresholds
+		t.Fatalf("rows = %d, want 27", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, m := range Methods {
+			f1 := row.F1[m]
+			if f1 < 0 || f1 > 1 || math.IsNaN(f1) {
+				t.Fatalf("invalid F1 %v for %s", f1, m)
+			}
+		}
+	}
+	wins := res.WinsByMethod()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total < len(res.Rows) {
+		t.Fatalf("wins don't cover rows: %v", wins)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "known") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestAblationPercentileStepSmoke(t *testing.T) {
+	res, err := AblationPercentileStep(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "percentile-step") {
+		t.Fatal("print output missing study name")
+	}
+}
+
+func TestAblationKSFeaturesSmoke(t *testing.T) {
+	res, err := AblationKSFeatures(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestFigure3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 3 trains 9 models")
+	}
+	res, err := Figure3(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Linear) != len(Figure3Fractions) || len(res.Nonlinear) != len(Figure3Fractions) {
+		t.Fatal("wrong number of points")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "nonlinear") {
+		t.Fatal("print output missing series")
+	}
+}
+
+func TestFigure7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 7 spins up HTTP servers and AutoML searches")
+	}
+	res, err := Figure7(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if s.MAE < 0 || s.MAE > 0.3 {
+			t.Fatalf("%s: implausible cloud MAE %v", s.Dataset, s.MAE)
+		}
+		if len(s.Points) != tiny.Trials {
+			t.Fatalf("%s: %d points", s.Dataset, len(s.Points))
+		}
+	}
+}
+
+func TestFigure6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 6 runs AutoML searches including convnets")
+	}
+	res, err := Figure6(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 { // 4 systems x 3 thresholds
+		t.Fatalf("rows = %d, want 12", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Dataset == "digits" && row.RELApplicable {
+			t.Fatal("REL should be n/a on image data")
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "n/a") {
+		t.Fatal("print output should mark REL n/a for images")
+	}
+}

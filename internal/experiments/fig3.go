@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/core"
+	"blackboxval/internal/data"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/stats"
+)
+
+// Figure3Point is one x-position of Figure 3: the distribution of the
+// prediction error at a given fraction of unknown error types in the
+// serving data.
+type Figure3Point struct {
+	Fraction        float64
+	Median, P5, P95 float64
+	AbsErrors       []float64
+}
+
+// Figure3Result holds the two series of Figure 3.
+type Figure3Result struct {
+	Linear    []Figure3Point // lr
+	Nonlinear []Figure3Point // dnn and xgb pooled
+}
+
+// Figure3Fractions are the x-axis positions of the figure.
+var Figure3Fractions = []float64{0, 0.25, 0.5, 0.75, 1.0}
+
+// Figure3 reproduces the mixed/unknown-shift experiment (Section 6.1.2):
+// performance predictors are trained on the known error types, then
+// evaluated on serving data where a growing fraction of the corruption
+// comes from error types the predictor never observed (including the
+// adversarial model-entropy-based missingness). The paper finds the
+// linear model's error grows with the unknown fraction while nonlinear
+// models stay flat.
+func Figure3(scale Scale) (*Figure3Result, error) {
+	result := &Figure3Result{}
+	perBucket := map[bool]map[float64][]float64{true: {}, false: {}}
+
+	for di, dataset := range TabularDatasets {
+		ds, err := scale.GenerateDataset(dataset, scale.Seed+int64(di))
+		if err != nil {
+			return nil, err
+		}
+		train, test, serving := Splits(ds, scale.Seed+int64(di))
+		for mi, model := range ModelNames {
+			seed := scale.Seed + int64(di*10+mi)
+			blackBox, err := scale.TrainModel(model, train, seed)
+			if err != nil {
+				return nil, err
+			}
+			known := errorgen.KnownTabular()
+			unknown := []errorgen.Generator{
+				errorgen.Typos{},
+				errorgen.Smearing{},
+				errorgen.FlippedSigns{},
+				errorgen.EntropyMissing{Model: blackBox},
+			}
+			pred, err := core.TrainPredictor(blackBox, test, core.PredictorConfig{
+				Generators:  known,
+				Repetitions: scale.Repetitions,
+				ForestSizes: scale.ForestSizes,
+				Seed:        seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(seed + 300))
+			for _, frac := range Figure3Fractions {
+				for trial := 0; trial < scale.Trials/2+1; trial++ {
+					corrupted := blendErrors(serving, known, unknown, frac, rng)
+					proba := blackBox.PredictProba(corrupted)
+					truth := core.AccuracyScore(proba, corrupted.Labels)
+					est := pred.EstimateFromProba(proba)
+					bucket := perBucket[IsLinear(model)]
+					bucket[frac] = append(bucket[frac], math.Abs(est-truth))
+				}
+			}
+		}
+	}
+
+	for _, frac := range Figure3Fractions {
+		result.Linear = append(result.Linear, summarizePoint(frac, perBucket[true][frac]))
+		result.Nonlinear = append(result.Nonlinear, summarizePoint(frac, perBucket[false][frac]))
+	}
+	return result, nil
+}
+
+// blendErrors corrupts serving data with a magnitude-controlled blend:
+// fraction frac of the corruption budget goes to unknown error types,
+// the rest to known ones.
+func blendErrors(serving *data.Dataset, known, unknown []errorgen.Generator, frac float64, rng *rand.Rand) *data.Dataset {
+	magnitude := 0.1 + rng.Float64()*0.8
+	out := serving
+	if frac < 1 {
+		gen := known[rng.Intn(len(known))]
+		out = gen.Corrupt(out, magnitude*(1-frac), rng)
+	}
+	if frac > 0 {
+		gen := unknown[rng.Intn(len(unknown))]
+		out = gen.Corrupt(out, magnitude*frac, rng)
+	}
+	return out
+}
+
+func summarizePoint(frac float64, absErrs []float64) Figure3Point {
+	return Figure3Point{
+		Fraction:  frac,
+		AbsErrors: absErrs,
+		Median:    stats.Median(absErrs),
+		P5:        stats.Percentile(absErrs, 5),
+		P95:       stats.Percentile(absErrs, 95),
+	}
+}
+
+// Print renders both series.
+func (r *Figure3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3: prediction error vs. fraction of unknown error types")
+	fmt.Fprintf(w, "%-10s %-10s %10s %10s %10s\n", "series", "fraction", "p5", "median", "p95")
+	for _, p := range r.Linear {
+		fmt.Fprintf(w, "%-10s %-10.2f %10.4f %10.4f %10.4f\n", "linear", p.Fraction, p.P5, p.Median, p.P95)
+	}
+	for _, p := range r.Nonlinear {
+		fmt.Fprintf(w, "%-10s %-10.2f %10.4f %10.4f %10.4f\n", "nonlinear", p.Fraction, p.P5, p.Median, p.P95)
+	}
+}

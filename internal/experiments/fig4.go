@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/core"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/stats"
+)
+
+// Figure4Point is the predictor quality at one held-out sample size.
+type Figure4Point struct {
+	TestSize      int
+	MAE, P10, P90 float64
+}
+
+// Figure4Series is one panel of Figure 4 (a dataset/error/model cell).
+type Figure4Series struct {
+	Dataset string
+	Error   string
+	Model   string
+	Points  []Figure4Point
+}
+
+// Figure4Result holds all six panels.
+type Figure4Result struct {
+	Series []Figure4Series
+}
+
+// Figure4Sizes are the |Dtest| values of the paper.
+var Figure4Sizes = []int{10, 50, 100, 250, 500, 750, 1000, 1500}
+
+// Figure4 reproduces the sample-size sensitivity experiment (Section
+// 6.1.3): how many held-out examples does the performance predictor need
+// before its estimates stabilize? Panels: missing values on income and
+// outliers on heart, each for lr, dnn and xgb.
+func Figure4(scale Scale) (*Figure4Result, error) {
+	result := &Figure4Result{}
+	cells := []struct {
+		dataset string
+		gen     errorgen.Generator
+	}{
+		{"income", errorgen.MissingValues{}},
+		{"heart", errorgen.Outliers{}},
+	}
+	for ci, cell := range cells {
+		// Oversize the dataset so even |Dtest|=1500 leaves training and
+		// serving partitions intact.
+		bigScale := scale
+		if bigScale.TabularRows < 5000 {
+			bigScale.TabularRows = 5000
+		}
+		ds, err := bigScale.GenerateDataset(cell.dataset, scale.Seed+int64(ci))
+		if err != nil {
+			return nil, err
+		}
+		train, test, serving := Splits(ds, scale.Seed+int64(ci))
+		for mi, model := range ModelNames {
+			seed := scale.Seed + int64(ci*10+mi)
+			blackBox, err := scale.TrainModel(model, train, seed)
+			if err != nil {
+				return nil, err
+			}
+			series := Figure4Series{Dataset: cell.dataset, Error: cell.gen.Name(), Model: model}
+			rng := rand.New(rand.NewSource(seed + 400))
+			for _, size := range Figure4Sizes {
+				if size > test.Len() {
+					size = test.Len()
+				}
+				sample := test.Sample(size, rng)
+				pred, err := core.TrainPredictor(blackBox, sample, core.PredictorConfig{
+					Generators:  []errorgen.Generator{cell.gen},
+					Repetitions: scale.Repetitions,
+					ForestSizes: scale.ForestSizes,
+					Seed:        seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				var absErrs []float64
+				for trial := 0; trial < scale.Trials; trial++ {
+					corrupted := cell.gen.Corrupt(serving, rng.Float64(), rng)
+					proba := blackBox.PredictProba(corrupted)
+					truth := core.AccuracyScore(proba, corrupted.Labels)
+					est := pred.EstimateFromProba(proba)
+					absErrs = append(absErrs, math.Abs(est-truth))
+				}
+				series.Points = append(series.Points, Figure4Point{
+					TestSize: size,
+					MAE:      stats.Mean(absErrs),
+					P10:      stats.Percentile(absErrs, 10),
+					P90:      stats.Percentile(absErrs, 90),
+				})
+			}
+			result.Series = append(result.Series, series)
+		}
+	}
+	return result, nil
+}
+
+// Print renders the six panels.
+func (r *Figure4Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4: predictor sensitivity to the held-out sample size |Dtest|")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "%s in %s (%s):\n", s.Error, s.Dataset, s.Model)
+		fmt.Fprintf(w, "  %-8s %10s %10s %10s\n", "|Dtest|", "p10", "MAE", "p90")
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "  %-8d %10.4f %10.4f %10.4f\n", p.TestSize, p.P10, p.MAE, p.P90)
+		}
+	}
+}

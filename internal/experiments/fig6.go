@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"blackboxval/internal/automl"
+	"blackboxval/internal/data"
+	"blackboxval/internal/errorgen"
+)
+
+// Figure6Row is one bar group of Figure 6: F1 scores of all methods for
+// one AutoML system at one threshold.
+type Figure6Row struct {
+	System    string
+	Dataset   string
+	Threshold float64
+	F1        map[string]float64
+	// RELApplicable is false for image data, where the raw-column
+	// baseline cannot run (as the paper notes for auto-keras).
+	RELApplicable bool
+}
+
+// Figure6Result collects all AutoML validation rows.
+type Figure6Result struct {
+	Rows []Figure6Row
+}
+
+// Figure6 reproduces the AutoML experiment (Section 6.3.1): black boxes
+// produced by auto-sklearn- and TPOT-style searches on income, and by an
+// auto-keras-style architecture search plus a fixed large convnet on
+// digits, validated under mixtures of known error types.
+func Figure6(scale Scale) (*Figure6Result, error) {
+	result := &Figure6Result{}
+
+	type system struct {
+		name    string
+		dataset string
+		train   func(*data.Dataset) (data.Model, error)
+	}
+	cfg := automl.Config{Seed: scale.Seed, Folds: 2, HashDims: 64}
+	systems := []system{
+		{"auto-sklearn", "income", func(tr *data.Dataset) (data.Model, error) { return automl.AutoSklearn(tr, cfg) }},
+		{"TPOT", "income", func(tr *data.Dataset) (data.Model, error) { return automl.TPOT(tr, cfg) }},
+		{"auto-keras", "digits", func(tr *data.Dataset) (data.Model, error) { return automl.AutoKeras(tr, cfg) }},
+		{"large-convnet", "digits", func(tr *data.Dataset) (data.Model, error) { return automl.LargeConvNet(tr, cfg) }},
+	}
+
+	for si, sys := range systems {
+		seed := scale.Seed + int64(si)
+		ds, err := scale.GenerateDataset(sys.dataset, seed)
+		if err != nil {
+			return nil, err
+		}
+		train, test, serving := Splits(ds, seed)
+		blackBox, err := sys.train(train)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: training %s: %w", sys.name, err)
+		}
+		gens := errorgen.KnownTabular()
+		if sys.dataset == "digits" {
+			gens = errorgen.Image()
+		}
+		rows, err := validationCell(scale, cellSpec{
+			dataset: sys.dataset, model: sys.name, seed: seed,
+			blackBox: blackBox, test: test, serving: serving,
+			trainGens: gens, evalGens: gens,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			result.Rows = append(result.Rows, Figure6Row{
+				System:        sys.name,
+				Dataset:       sys.dataset,
+				Threshold:     row.Threshold,
+				F1:            row.F1,
+				RELApplicable: sys.dataset != "digits",
+			})
+		}
+	}
+	return result, nil
+}
+
+// Print renders the AutoML validation table.
+func (r *Figure6Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6: validation F1 for AutoML-trained black boxes, known error mixtures")
+	fmt.Fprintf(w, "%-14s %-8s %-6s %8s %8s %8s %8s\n",
+		"system", "dataset", "t", "PPM", "BBSE", "BBSE-h", "REL")
+	for _, row := range r.Rows {
+		rel := fmt.Sprintf("%8.3f", row.F1["REL"])
+		if !row.RELApplicable {
+			rel = "     n/a"
+		}
+		fmt.Fprintf(w, "%-14s %-8s %-6.2f %8.3f %8.3f %8.3f %s\n",
+			row.System, row.Dataset, row.Threshold,
+			row.F1["PPM"], row.F1["BBSE"], row.F1["BBSE-h"], rel)
+	}
+}

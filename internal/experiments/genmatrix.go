@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/core"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/stats"
+)
+
+// GenMatrixRow is one row of the error-type generalization matrix: how
+// well a predictor trained on the four standard known error types
+// estimates the score under one specific (possibly never-seen) error.
+type GenMatrixRow struct {
+	Error    string
+	Known    bool // was this error type in the training set?
+	MedianAE float64
+	P90      float64
+}
+
+// GenMatrixResult is the full generalization matrix for one model family.
+type GenMatrixResult struct {
+	Dataset string
+	Model   string
+	Rows    []GenMatrixRow
+}
+
+// GeneralizationMatrix extends the paper's future-work question — "is
+// there a set of errors for training which generalizes to the majority of
+// real world cases?" — by measuring, per individual error type, the
+// prediction error of a predictor trained only on the standard four
+// (missing values, outliers, swapped columns, scaling). Known types act
+// as the control group.
+func GeneralizationMatrix(scale Scale, model string) (*GenMatrixResult, error) {
+	ds, err := scale.GenerateDataset("income", scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, test, serving := Splits(ds, scale.Seed)
+	blackBox, err := scale.TrainModel(model, train, scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	known := errorgen.KnownTabular()
+	pred, err := core.TrainPredictor(blackBox, test, core.PredictorConfig{
+		Generators:  known,
+		Repetitions: scale.Repetitions,
+		ForestSizes: scale.ForestSizes,
+		Seed:        scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	knownNames := map[string]bool{}
+	for _, g := range known {
+		knownNames[g.Name()] = true
+	}
+	evalGens := append(append([]errorgen.Generator{}, known...), errorgen.UnknownTabular()...)
+	evalGens = append(evalGens, errorgen.ExtendedTabular()...)
+	evalGens = append(evalGens, errorgen.EncodingErrors{}, errorgen.EntropyMissing{Model: blackBox})
+
+	result := &GenMatrixResult{Dataset: "income", Model: model}
+	rng := rand.New(rand.NewSource(scale.Seed + 1000))
+	for _, gen := range evalGens {
+		var absErrs []float64
+		for trial := 0; trial < scale.Trials; trial++ {
+			corrupted := gen.Corrupt(serving, rng.Float64(), rng)
+			proba := blackBox.PredictProba(corrupted)
+			truth := core.AccuracyScore(proba, corrupted.Labels)
+			absErrs = append(absErrs, math.Abs(pred.EstimateFromProba(proba)-truth))
+		}
+		result.Rows = append(result.Rows, GenMatrixRow{
+			Error:    gen.Name(),
+			Known:    knownNames[gen.Name()],
+			MedianAE: stats.Median(absErrs),
+			P90:      stats.Percentile(absErrs, 90),
+		})
+	}
+	return result, nil
+}
+
+// Print renders the generalization matrix.
+func (r *GenMatrixResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Error-type generalization matrix (%s on %s; predictor trained on the 4 known types)\n",
+		r.Model, r.Dataset)
+	fmt.Fprintf(w, "%-18s %-8s %10s %10s\n", "error type", "known?", "medianAE", "p90")
+	for _, row := range r.Rows {
+		known := "yes"
+		if !row.Known {
+			known = "no"
+		}
+		fmt.Fprintf(w, "%-18s %-8s %10.4f %10.4f\n", row.Error, known, row.MedianAE, row.P90)
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGeneralizationMatrixSmoke(t *testing.T) {
+	res, err := GeneralizationMatrix(tiny, "lr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "lr" || res.Dataset != "income" {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+	// 4 known + 3 unknown + 5 extended + encoding + entropy = 14 rows.
+	if len(res.Rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(res.Rows))
+	}
+	knownCount := 0
+	for _, row := range res.Rows {
+		if row.Known {
+			knownCount++
+		}
+		if row.MedianAE < 0 || row.MedianAE > 0.5 {
+			t.Fatalf("%s: implausible median AE %v", row.Error, row.MedianAE)
+		}
+		if row.P90 < row.MedianAE {
+			t.Fatalf("%s: p90 %v below median %v", row.Error, row.P90, row.MedianAE)
+		}
+	}
+	if knownCount != 4 {
+		t.Fatalf("known rows = %d, want 4", knownCount)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "generalization matrix") {
+		t.Fatal("print output missing header")
+	}
+	if !strings.Contains(buf.String(), "shuffled_column") {
+		t.Fatal("print output missing extended error type")
+	}
+}
+
+func TestGeneralizationMatrixUnknownModel(t *testing.T) {
+	if _, err := GeneralizationMatrix(tiny, "nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFigure2AUCSmoke(t *testing.T) {
+	res, err := Figure2AUC(tiny, "lr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// AUC of a working binary model lies above chance.
+		if row.TestScore < 0.6 || row.TestScore > 1 {
+			t.Fatalf("%s: implausible test AUC %v", row.Dataset, row.TestScore)
+		}
+		if row.MedianAE > 0.3 {
+			t.Fatalf("%s: AUC prediction error %v way off", row.Dataset, row.MedianAE)
+		}
+	}
+}
+
+func TestStabilitySmoke(t *testing.T) {
+	res, err := Stability(tiny, "lr", []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 2 {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+	if len(res.Cells) != 4 { // income, heart, bank, tweets
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if len(c.Medians) != 2 {
+			t.Fatalf("%s/%s has %d medians", c.Dataset, c.Model, len(c.Medians))
+		}
+		if c.Model != "lr" || c.Dataset == "" {
+			t.Fatalf("cell metadata wrong: %+v", c)
+		}
+		if c.Std < 0 || c.Mean < 0 {
+			t.Fatalf("bad aggregates: %+v", c)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Seed stability") {
+		t.Fatal("print output missing header")
+	}
+}

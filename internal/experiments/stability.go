@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"blackboxval/internal/stats"
+)
+
+// StabilityCell aggregates one Figure 2 cell across seeds.
+type StabilityCell struct {
+	Dataset string
+	Model   string
+	// Medians holds the per-seed median absolute errors.
+	Medians []float64
+	Mean    float64
+	Std     float64
+}
+
+// StabilityResult reports how robust the headline score-prediction
+// quality is to the random seed (data generation, splits, model and
+// predictor training all reseeded).
+type StabilityResult struct {
+	Seeds []int64
+	Cells []StabilityCell
+}
+
+// Stability reruns the Figure 2 panel for the given model across several
+// seeds and reports the spread of the per-cell median absolute error —
+// the reproduction-robustness check a reviewer would ask for.
+func Stability(scale Scale, model string, seeds []int64) (*StabilityResult, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3}
+	}
+	result := &StabilityResult{Seeds: seeds}
+	perCell := map[string][]float64{}
+	var order []string
+	for _, seed := range seeds {
+		seededScale := scale
+		seededScale.Seed = seed
+		res, err := Figure2(seededScale, model)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: stability seed %d: %w", seed, err)
+		}
+		for _, row := range res.Rows {
+			key := row.Dataset + "/" + row.Model
+			if _, ok := perCell[key]; !ok {
+				order = append(order, key)
+			}
+			perCell[key] = append(perCell[key], row.MedianAE)
+		}
+	}
+	for _, key := range order {
+		medians := perCell[key]
+		var dataset, modelName string
+		for i := range key {
+			if key[i] == '/' {
+				dataset, modelName = key[:i], key[i+1:]
+				break
+			}
+		}
+		result.Cells = append(result.Cells, StabilityCell{
+			Dataset: dataset,
+			Model:   modelName,
+			Medians: medians,
+			Mean:    stats.Mean(medians),
+			Std:     stats.StdDev(medians),
+		})
+	}
+	return result, nil
+}
+
+// Print renders the stability table.
+func (r *StabilityResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Seed stability of the Figure 2 median absolute error (%d seeds)\n", len(r.Seeds))
+	fmt.Fprintf(w, "%-10s %-6s %12s %12s %s\n", "dataset", "model", "mean-median", "std", "per-seed medians")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-10s %-6s %12.4f %12.4f %v\n", c.Dataset, c.Model, c.Mean, c.Std, roundAll(c.Medians))
+	}
+}
+
+func roundAll(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(int(v*10000)) / 10000
+	}
+	return out
+}

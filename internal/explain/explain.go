@@ -1,0 +1,305 @@
+// Package explain attributes a raised alarm to the data that likely
+// caused it: given a clean reference sample and a suspicious serving
+// batch, it ranks every column (or, for images, derived image statistics)
+// by drift suspicion using univariate tests and missing-rate deltas. The
+// performance predictor says *that* quality dropped; this package helps
+// an engineer see *where* to look — the debugging step the paper leaves
+// to "ML experts with specialized knowledge".
+package explain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+	"blackboxval/internal/stats"
+)
+
+// Finding is the drift evidence for one column or derived statistic.
+type Finding struct {
+	// Column is the column name, or a derived-statistic name for image
+	// and text evidence (e.g. "text:char_damage", "image:edge_mass").
+	Column string
+	// Kind describes the tested quantity.
+	Kind string
+	// Statistic and PValue come from the univariate two-sample test
+	// (KS for numeric quantities, chi-squared for categorical counts).
+	Statistic float64
+	PValue    float64
+	// MissingDelta is the increase of the missing-value rate in the
+	// serving batch over the reference (0 for derived statistics).
+	MissingDelta float64
+	// Suspicion is the combined ranking score (higher = more suspicious).
+	Suspicion float64
+}
+
+// Report ranks all findings, most suspicious first.
+type Report struct {
+	Findings []Finding
+}
+
+// Top returns the n most suspicious findings.
+func (r *Report) Top(n int) []Finding {
+	if n > len(r.Findings) {
+		n = len(r.Findings)
+	}
+	return r.Findings[:n]
+}
+
+// Suspicious returns the findings whose test rejects at the
+// Bonferroni-corrected 5% level or whose missing rate jumped by more
+// than five points.
+func (r *Report) Suspicious() []Finding {
+	alpha := stats.BonferroniAlpha(0.05, len(r.Findings))
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.PValue < alpha || f.MissingDelta > 0.05 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// String renders the report as a ranked table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %-14s %10s %12s %10s\n", "column", "kind", "stat", "p-value", "missingΔ")
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "%-26s %-14s %10.4f %12.3g %10.3f\n",
+			f.Column, f.Kind, f.Statistic, f.PValue, f.MissingDelta)
+	}
+	return b.String()
+}
+
+// Explain compares a serving batch against a clean reference sample of
+// the same schema and returns the ranked drift report.
+func Explain(reference, serving *data.Dataset) (*Report, error) {
+	if reference.Tabular() != serving.Tabular() {
+		return nil, fmt.Errorf("explain: reference and serving batch have different modalities")
+	}
+	report := &Report{}
+	if reference.Tabular() {
+		if err := explainTabular(report, reference, serving); err != nil {
+			return nil, err
+		}
+	} else {
+		explainImages(report, reference, serving)
+	}
+	sort.SliceStable(report.Findings, func(i, j int) bool {
+		return report.Findings[i].Suspicion > report.Findings[j].Suspicion
+	})
+	return report, nil
+}
+
+func explainTabular(report *Report, reference, serving *data.Dataset) error {
+	for _, refCol := range reference.Frame.Columns() {
+		srvCol := serving.Frame.Column(refCol.Name)
+		if srvCol == nil {
+			return fmt.Errorf("explain: serving batch lacks column %q", refCol.Name)
+		}
+		if srvCol.Kind != refCol.Kind {
+			return fmt.Errorf("explain: column %q changed kind", refCol.Name)
+		}
+		switch refCol.Kind {
+		case frame.Numeric:
+			report.add(numericFinding(refCol, srvCol))
+		case frame.Categorical:
+			report.add(categoricalFinding(refCol, srvCol))
+		case frame.Text:
+			for _, f := range textFindings(refCol, srvCol) {
+				report.add(f)
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Report) add(f Finding) {
+	f.Suspicion = suspicion(f.PValue, f.MissingDelta)
+	r.Findings = append(r.Findings, f)
+}
+
+// suspicion combines the test p-value and the missing-rate jump into a
+// single ranking score: -log10(p) plus a strong bonus per missing point.
+func suspicion(pValue, missingDelta float64) float64 {
+	if pValue <= 0 {
+		pValue = 1e-300
+	}
+	return -math.Log10(pValue) + 50*math.Max(0, missingDelta)
+}
+
+func numericFinding(ref, srv *frame.Column) Finding {
+	refVals, refMissing := splitMissing(ref.Num)
+	srvVals, srvMissing := splitMissing(srv.Num)
+	res := stats.KolmogorovSmirnov(refVals, srvVals)
+	return Finding{
+		Column:       ref.Name,
+		Kind:         "numeric(KS)",
+		Statistic:    res.Statistic,
+		PValue:       res.PValue,
+		MissingDelta: srvMissing - refMissing,
+	}
+}
+
+func splitMissing(xs []float64) (vals []float64, missingRate float64) {
+	missing := 0
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			missing++
+		} else {
+			vals = append(vals, v)
+		}
+	}
+	if len(xs) > 0 {
+		missingRate = float64(missing) / float64(len(xs))
+	}
+	return vals, missingRate
+}
+
+func categoricalFinding(ref, srv *frame.Column) Finding {
+	index := map[string]int{}
+	for _, v := range ref.Str {
+		if _, ok := index[v]; !ok {
+			index[v] = len(index)
+		}
+	}
+	for _, v := range srv.Str {
+		if _, ok := index[v]; !ok {
+			index[v] = len(index)
+		}
+	}
+	refCounts := make([]float64, len(index))
+	srvCounts := make([]float64, len(index))
+	refMissing, srvMissing := 0.0, 0.0
+	for _, v := range ref.Str {
+		refCounts[index[v]]++
+		if v == "" {
+			refMissing++
+		}
+	}
+	for _, v := range srv.Str {
+		srvCounts[index[v]]++
+		if v == "" {
+			srvMissing++
+		}
+	}
+	res := stats.ChiSquareCounts(refCounts, srvCounts)
+	f := Finding{
+		Column:    ref.Name,
+		Kind:      "categorical(χ²)",
+		Statistic: res.Statistic,
+		PValue:    res.PValue,
+	}
+	if len(ref.Str) > 0 && len(srv.Str) > 0 {
+		f.MissingDelta = srvMissing/float64(len(srv.Str)) - refMissing/float64(len(ref.Str))
+	}
+	return f
+}
+
+// textFindings derives numeric summaries per document and KS-tests them:
+// token count (truncation/padding bugs) and the fraction of characters
+// that are neither letters nor spaces (encoding damage, leetspeak).
+func textFindings(ref, srv *frame.Column) []Finding {
+	tokens := func(vals []string) []float64 {
+		out := make([]float64, len(vals))
+		for i, v := range vals {
+			out[i] = float64(len(strings.Fields(v)))
+		}
+		return out
+	}
+	damage := func(vals []string) []float64 {
+		out := make([]float64, len(vals))
+		for i, v := range vals {
+			if len(v) == 0 {
+				continue
+			}
+			bad := 0
+			total := 0
+			for _, r := range v {
+				total++
+				if !unicode.IsLetter(r) && !unicode.IsSpace(r) {
+					bad++
+				}
+			}
+			out[i] = float64(bad) / float64(total)
+		}
+		return out
+	}
+	tokRes := stats.KolmogorovSmirnov(tokens(ref.Str), tokens(srv.Str))
+	dmgRes := stats.KolmogorovSmirnov(damage(ref.Str), damage(srv.Str))
+	return []Finding{
+		{Column: ref.Name + ":token_count", Kind: "text(KS)", Statistic: tokRes.Statistic, PValue: tokRes.PValue},
+		{Column: ref.Name + ":char_damage", Kind: "text(KS)", Statistic: dmgRes.Statistic, PValue: dmgRes.PValue},
+	}
+}
+
+// explainImages tests derived per-image statistics: mean intensity
+// (brightness drift), per-image standard deviation (noise) and the
+// fraction of mass in the 4-pixel border ring (rotation pushes content
+// outward).
+func explainImages(report *Report, reference, serving *data.Dataset) {
+	type derived struct {
+		name string
+		fn   func(px []float64, w, h int) float64
+	}
+	stats3 := []derived{
+		{"image:mean_intensity", func(px []float64, _, _ int) float64 {
+			s := 0.0
+			for _, v := range px {
+				s += v
+			}
+			return s / float64(len(px))
+		}},
+		{"image:pixel_std", func(px []float64, _, _ int) float64 {
+			m := 0.0
+			for _, v := range px {
+				m += v
+			}
+			m /= float64(len(px))
+			ss := 0.0
+			for _, v := range px {
+				d := v - m
+				ss += d * d
+			}
+			return math.Sqrt(ss / float64(len(px)))
+		}},
+		{"image:edge_mass", func(px []float64, w, h int) float64 {
+			const ring = 4
+			edge, total := 0.0, 0.0
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					v := px[y*w+x]
+					total += v
+					if x < ring || x >= w-ring || y < ring || y >= h-ring {
+						edge += v
+					}
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			return edge / total
+		}},
+	}
+	for _, d := range stats3 {
+		refVals := make([]float64, reference.Images.Len())
+		for i, px := range reference.Images.Pixels {
+			refVals[i] = d.fn(px, reference.Images.Width, reference.Images.Height)
+		}
+		srvVals := make([]float64, serving.Images.Len())
+		for i, px := range serving.Images.Pixels {
+			srvVals[i] = d.fn(px, serving.Images.Width, serving.Images.Height)
+		}
+		res := stats.KolmogorovSmirnov(refVals, srvVals)
+		report.add(Finding{
+			Column:    d.name,
+			Kind:      "image(KS)",
+			Statistic: res.Statistic,
+			PValue:    res.PValue,
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package explain
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/frame"
+)
+
+func TestExplainCleanDataNothingSuspicious(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ds := datagen.Income(4000, 10)
+	ref, srv := ds.Split(0.5, rng)
+	report, err := Explain(ref, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Findings) == 0 {
+		t.Fatal("no findings at all")
+	}
+	if sus := report.Suspicious(); len(sus) != 0 {
+		t.Fatalf("clean i.i.d. split flagged: %+v", sus)
+	}
+}
+
+func TestExplainPinpointsScaledColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := datagen.Income(4000, 2)
+	ref, srv := ds.Split(0.5, rng)
+	// Scale exactly one column by hand so the culprit is unambiguous.
+	col := srv.Frame.Column("hours_per_week")
+	for i := range col.Num {
+		col.Num[i] *= 1000
+	}
+	report, err := Explain(ref, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := report.Top(1); len(top) != 1 || top[0].Column != "hours_per_week" {
+		t.Fatalf("top finding = %+v, want hours_per_week", report.Top(3))
+	}
+	if len(report.Suspicious()) == 0 {
+		t.Fatal("scaled column not flagged as suspicious")
+	}
+}
+
+func TestExplainPinpointsMissingness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := datagen.Income(3000, 3)
+	ref, srv := ds.Split(0.5, rng)
+	col := srv.Frame.Column("occupation")
+	for i := 0; i < col.Len(); i += 2 {
+		frame.SetMissing(col, i)
+	}
+	report, err := Explain(ref, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := report.Top(1)[0]
+	if top.Column != "occupation" {
+		t.Fatalf("top finding = %+v", top)
+	}
+	if top.MissingDelta < 0.4 {
+		t.Fatalf("missing delta = %v, want ≈0.5", top.MissingDelta)
+	}
+}
+
+func TestExplainDetectsLeetspeakViaCharDamage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := datagen.Tweets(3000, 4)
+	ref, srv := ds.Split(0.5, rng)
+	attacked := errorgen.AdversarialText{}.Corrupt(srv, 0.8, rng)
+	report, err := Explain(ref, attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDamage := false
+	for _, f := range report.Suspicious() {
+		if strings.HasSuffix(f.Column, ":char_damage") {
+			foundDamage = true
+		}
+	}
+	if !foundDamage {
+		t.Fatalf("char damage not flagged; report:\n%s", report.String())
+	}
+}
+
+func TestExplainImagesDetectNoiseAndRotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := datagen.Digits(600, 5)
+	ref, srv := ds.Split(0.5, rng)
+
+	noisy := errorgen.ImageNoise{}.Corrupt(srv, 1.0, rng)
+	report, err := Explain(ref, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Suspicious()) == 0 {
+		t.Fatalf("heavy noise not flagged:\n%s", report.String())
+	}
+
+	rotated := errorgen.ImageRotation{}.Corrupt(srv, 1.0, rng)
+	report, err = Explain(ref, rotated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeFlagged := false
+	for _, f := range report.Suspicious() {
+		if f.Column == "image:edge_mass" {
+			edgeFlagged = true
+		}
+	}
+	if !edgeFlagged {
+		t.Fatalf("rotation did not move edge mass:\n%s", report.String())
+	}
+}
+
+func TestExplainCleanImagesQuiet(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := datagen.Digits(600, 6)
+	ref, srv := ds.Split(0.5, rng)
+	report, err := Explain(ref, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Suspicious()) != 0 {
+		t.Fatalf("clean image split flagged:\n%s", report.String())
+	}
+}
+
+func TestExplainSchemaErrors(t *testing.T) {
+	tab := datagen.Income(50, 7)
+	img := datagen.Digits(20, 7)
+	if _, err := Explain(tab, img); err == nil {
+		t.Fatal("modality mismatch should error")
+	}
+	other := datagen.Heart(50, 7)
+	if _, err := Explain(tab, other); err == nil {
+		t.Fatal("schema mismatch should error")
+	}
+}
+
+func TestReportTopAndString(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds := datagen.Bank(1000, 8)
+	ref, srv := ds.Split(0.5, rng)
+	report, err := Explain(ref, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.Top(3); len(got) != 3 {
+		t.Fatalf("Top(3) = %d findings", len(got))
+	}
+	if got := report.Top(1000); len(got) != len(report.Findings) {
+		t.Fatal("Top should cap at total findings")
+	}
+	// Ranked descending by suspicion.
+	for i := 1; i < len(report.Findings); i++ {
+		if report.Findings[i].Suspicion > report.Findings[i-1].Suspicion {
+			t.Fatal("findings not sorted")
+		}
+	}
+	if !strings.Contains(report.String(), "p-value") {
+		t.Fatal("String output missing header")
+	}
+}

@@ -1,0 +1,223 @@
+// Package featurize implements the black box model's feature map ϕ: a
+// fit-on-train/transform-later pipeline that standardizes numeric columns,
+// one-hot encodes categorical columns and hashes word-level n-grams of
+// text columns into a fixed-width sparse-ish vector — mirroring the
+// scikit-learn pipeline of the paper's Section 6. Crucially, the
+// performance prediction system never sees this package's output; it is
+// internal to the black box.
+package featurize
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+	"blackboxval/internal/linalg"
+)
+
+// DefaultHashDims is the default width of the hashed text feature space.
+const DefaultHashDims = 512
+
+// Pipeline is a fitted feature map. Fit it on training data once, then
+// apply Transform to any dataset with the same schema.
+type Pipeline struct {
+	HashDims int // width of the hashed n-gram space per text column (0 = DefaultHashDims)
+
+	fitted  bool
+	tabular bool
+	columns []columnEncoder
+	width   int
+}
+
+type columnEncoder struct {
+	name string
+	kind frame.Kind
+	// numeric standardization
+	mean, std float64
+	// categorical vocabulary: category -> offset within this column's block
+	categories map[string]int
+	width      int
+}
+
+// Fit learns the featurization parameters from the training dataset.
+func (p *Pipeline) Fit(ds *data.Dataset) error {
+	if ds.Tabular() {
+		return p.fitTabular(ds.Frame)
+	}
+	// Images: the feature map is the identity on pixel vectors.
+	p.fitted = true
+	p.tabular = false
+	p.width = ds.Images.PixelCount()
+	return nil
+}
+
+func (p *Pipeline) fitTabular(f *frame.DataFrame) error {
+	if f.NumCols() == 0 {
+		return fmt.Errorf("featurize: cannot fit on a frame with no columns")
+	}
+	hashDims := p.HashDims
+	if hashDims <= 0 {
+		hashDims = DefaultHashDims
+	}
+	p.columns = p.columns[:0]
+	p.width = 0
+	for _, c := range f.Columns() {
+		enc := columnEncoder{name: c.Name, kind: c.Kind}
+		switch c.Kind {
+		case frame.Numeric:
+			var vals []float64
+			for _, v := range c.Num {
+				if !math.IsNaN(v) {
+					vals = append(vals, v)
+				}
+			}
+			enc.mean = mean(vals)
+			enc.std = std(vals, enc.mean)
+			if enc.std == 0 {
+				enc.std = 1
+			}
+			enc.width = 1
+		case frame.Categorical:
+			seen := map[string]bool{}
+			for _, v := range c.Str {
+				if v != "" {
+					seen[v] = true
+				}
+			}
+			cats := make([]string, 0, len(seen))
+			for v := range seen {
+				cats = append(cats, v)
+			}
+			sort.Strings(cats)
+			enc.categories = make(map[string]int, len(cats))
+			for i, v := range cats {
+				enc.categories[v] = i
+			}
+			enc.width = len(cats)
+		case frame.Text:
+			enc.width = hashDims
+		}
+		p.columns = append(p.columns, enc)
+		p.width += enc.width
+	}
+	p.fitted = true
+	p.tabular = true
+	return nil
+}
+
+// Width returns the dimensionality of the fitted feature space.
+func (p *Pipeline) Width() int { return p.width }
+
+// Transform featurizes a dataset using the fitted parameters. Unknown
+// categories and missing values map to zero vectors; missing numerics to
+// zero (the standardized mean).
+func (p *Pipeline) Transform(ds *data.Dataset) (*linalg.Matrix, error) {
+	if !p.fitted {
+		return nil, fmt.Errorf("featurize: pipeline not fitted")
+	}
+	if ds.Tabular() != p.tabular {
+		return nil, fmt.Errorf("featurize: dataset modality differs from fitted modality")
+	}
+	if !p.tabular {
+		out := linalg.NewMatrix(ds.Images.Len(), p.width)
+		for i, px := range ds.Images.Pixels {
+			if len(px) != p.width {
+				return nil, fmt.Errorf("featurize: image %d has %d pixels, want %d", i, len(px), p.width)
+			}
+			copy(out.Row(i), px)
+		}
+		return out, nil
+	}
+
+	n := ds.Frame.NumRows()
+	out := linalg.NewMatrix(n, p.width)
+	offset := 0
+	for _, enc := range p.columns {
+		col := ds.Frame.Column(enc.name)
+		if col == nil {
+			return nil, fmt.Errorf("featurize: dataset lacks fitted column %q", enc.name)
+		}
+		if col.Kind != enc.kind {
+			return nil, fmt.Errorf("featurize: column %q is %v, fitted as %v", enc.name, col.Kind, enc.kind)
+		}
+		switch enc.kind {
+		case frame.Numeric:
+			for i := 0; i < n; i++ {
+				v := col.Num[i]
+				if math.IsNaN(v) {
+					continue // missing -> 0 (the standardized mean)
+				}
+				out.Set(i, offset, (v-enc.mean)/enc.std)
+			}
+		case frame.Categorical:
+			for i := 0; i < n; i++ {
+				if j, ok := enc.categories[col.Str[i]]; ok {
+					out.Set(i, offset+j, 1)
+				}
+				// unknown or missing categories produce an all-zero block,
+				// exactly like scikit-learn's handle_unknown="ignore"
+			}
+		case frame.Text:
+			for i := 0; i < n; i++ {
+				hashNGrams(col.Str[i], out.Row(i)[offset:offset+enc.width])
+			}
+		}
+		offset += enc.width
+	}
+	return out, nil
+}
+
+// hashNGrams accumulates word uni- and bi-gram counts of text into dst via
+// the hashing trick, then L2-normalizes the block.
+func hashNGrams(text string, dst []float64) {
+	words := strings.Fields(strings.ToLower(text))
+	dims := len(dst)
+	add := func(gram string) {
+		h := fnv.New32a()
+		h.Write([]byte(gram))
+		dst[int(h.Sum32())%dims]++
+	}
+	for i, w := range words {
+		add(w)
+		if i+1 < len(words) {
+			add(w + " " + words[i+1])
+		}
+	}
+	norm := 0.0
+	for _, v := range dst {
+		norm += v * v
+	}
+	if norm > 0 {
+		inv := 1 / math.Sqrt(norm)
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+func std(xs []float64, m float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

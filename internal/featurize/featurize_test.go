@@ -1,0 +1,200 @@
+package featurize
+
+import (
+	"math"
+	"testing"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
+	"blackboxval/internal/imgdata"
+)
+
+func tabularDS() *data.Dataset {
+	f := frame.New().
+		AddNumeric("x", []float64{1, 2, 3, 4}).
+		AddCategorical("c", []string{"a", "b", "a", "b"}).
+		AddText("t", []string{"hello world", "foo bar", "hello", "bar"})
+	return &data.Dataset{Frame: f, Labels: []int{0, 1, 0, 1}, Classes: []string{"n", "y"}}
+}
+
+func TestFitTransformShapes(t *testing.T) {
+	p := &Pipeline{HashDims: 16}
+	ds := tabularDS()
+	if err := p.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if p.Width() != 1+2+16 {
+		t.Fatalf("width = %d", p.Width())
+	}
+	X, err := p.Transform(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if X.Rows != 4 || X.Cols != 19 {
+		t.Fatalf("shape = %dx%d", X.Rows, X.Cols)
+	}
+}
+
+func TestNumericStandardization(t *testing.T) {
+	p := &Pipeline{HashDims: 8}
+	ds := tabularDS()
+	if err := p.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	X, _ := p.Transform(ds)
+	// mean of {1,2,3,4} is 2.5, std = sqrt(1.25)
+	want := (1 - 2.5) / math.Sqrt(1.25)
+	if math.Abs(X.At(0, 0)-want) > 1e-12 {
+		t.Fatalf("standardized value = %v, want %v", X.At(0, 0), want)
+	}
+	// column mean approx 0
+	sum := 0.0
+	for i := 0; i < 4; i++ {
+		sum += X.At(i, 0)
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("standardized column mean = %v", sum/4)
+	}
+}
+
+func TestMissingNumericMapsToZero(t *testing.T) {
+	f := frame.New().AddNumeric("x", []float64{1, 2, 3, math.NaN()})
+	ds := &data.Dataset{Frame: f, Labels: []int{0, 0, 0, 0}, Classes: []string{"a"}}
+	p := &Pipeline{}
+	if err := p.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	X, _ := p.Transform(ds)
+	if X.At(3, 0) != 0 {
+		t.Fatalf("missing value featurized to %v, want 0", X.At(3, 0))
+	}
+	if math.IsNaN(X.At(3, 0)) {
+		t.Fatal("NaN leaked into features")
+	}
+}
+
+func TestOneHotEncoding(t *testing.T) {
+	p := &Pipeline{HashDims: 4}
+	ds := tabularDS()
+	p.Fit(ds)
+	X, _ := p.Transform(ds)
+	// categories sorted: a -> offset 1, b -> offset 2
+	if X.At(0, 1) != 1 || X.At(0, 2) != 0 {
+		t.Fatalf("row 0 one-hot = %v %v", X.At(0, 1), X.At(0, 2))
+	}
+	if X.At(1, 1) != 0 || X.At(1, 2) != 1 {
+		t.Fatalf("row 1 one-hot = %v %v", X.At(1, 1), X.At(1, 2))
+	}
+}
+
+func TestUnknownCategoryZeroVector(t *testing.T) {
+	p := &Pipeline{HashDims: 4}
+	train := tabularDS()
+	p.Fit(train)
+	serve := tabularDS()
+	serve.Frame.Column("c").Str[0] = "NEVER-SEEN"
+	serve.Frame.Column("c").Str[1] = "" // missing
+	X, err := p.Transform(serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if X.At(0, 1) != 0 || X.At(0, 2) != 0 {
+		t.Fatal("unknown category should produce a zero block")
+	}
+	if X.At(1, 1) != 0 || X.At(1, 2) != 0 {
+		t.Fatal("missing category should produce a zero block")
+	}
+}
+
+func TestTextHashingDeterministicAndNormalized(t *testing.T) {
+	p := &Pipeline{HashDims: 32}
+	ds := tabularDS()
+	p.Fit(ds)
+	X1, _ := p.Transform(ds)
+	X2, _ := p.Transform(ds)
+	for i := range X1.Data {
+		if X1.Data[i] != X2.Data[i] {
+			t.Fatal("hashing not deterministic")
+		}
+	}
+	// text block of row 0 should be L2-normalized
+	norm := 0.0
+	for j := 3; j < 35; j++ {
+		norm += X1.At(0, j) * X1.At(0, j)
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("text block norm² = %v, want 1", norm)
+	}
+}
+
+func TestTextCaseInsensitive(t *testing.T) {
+	f1 := frame.New().AddText("t", []string{"Hello World"})
+	f2 := frame.New().AddText("t", []string{"hello world"})
+	d1 := &data.Dataset{Frame: f1, Labels: []int{0}, Classes: []string{"a"}}
+	d2 := &data.Dataset{Frame: f2, Labels: []int{0}, Classes: []string{"a"}}
+	p := &Pipeline{HashDims: 16}
+	p.Fit(d1)
+	X1, _ := p.Transform(d1)
+	X2, _ := p.Transform(d2)
+	for i := range X1.Data {
+		if X1.Data[i] != X2.Data[i] {
+			t.Fatal("hashing should be case-insensitive")
+		}
+	}
+}
+
+func TestImagePipelineIdentity(t *testing.T) {
+	set := imgdata.NewSet(2, 2)
+	set.Append([]float64{0.1, 0.2, 0.3, 0.4})
+	ds := &data.Dataset{Images: set, Labels: []int{0}, Classes: []string{"a"}}
+	p := &Pipeline{}
+	if err := p.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	X, err := p.Transform(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if X.Rows != 1 || X.Cols != 4 || X.At(0, 2) != 0.3 {
+		t.Fatalf("image transform wrong: %+v", X)
+	}
+}
+
+func TestTransformBeforeFitErrors(t *testing.T) {
+	p := &Pipeline{}
+	if _, err := p.Transform(tabularDS()); err == nil {
+		t.Fatal("expected error for unfitted pipeline")
+	}
+}
+
+func TestSchemaMismatchErrors(t *testing.T) {
+	p := &Pipeline{HashDims: 8}
+	p.Fit(tabularDS())
+	other := &data.Dataset{
+		Frame:   frame.New().AddNumeric("z", []float64{1}),
+		Labels:  []int{0},
+		Classes: []string{"a"},
+	}
+	if _, err := p.Transform(other); err == nil {
+		t.Fatal("expected error for missing column")
+	}
+	set := imgdata.NewSet(2, 2)
+	set.Append([]float64{1, 2, 3, 4})
+	img := &data.Dataset{Images: set, Labels: []int{0}, Classes: []string{"a"}}
+	if _, err := p.Transform(img); err == nil {
+		t.Fatal("expected error for modality mismatch")
+	}
+}
+
+func TestConstantColumnNoNaN(t *testing.T) {
+	f := frame.New().AddNumeric("x", []float64{5, 5, 5})
+	ds := &data.Dataset{Frame: f, Labels: []int{0, 0, 0}, Classes: []string{"a"}}
+	p := &Pipeline{}
+	p.Fit(ds)
+	X, _ := p.Transform(ds)
+	for _, v := range X.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("constant column produced NaN/Inf")
+		}
+	}
+}

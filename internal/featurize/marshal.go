@@ -1,0 +1,64 @@
+package featurize
+
+import (
+	"encoding/json"
+
+	"blackboxval/internal/frame"
+)
+
+// JSON serialization of fitted pipelines, so a trained black box can be
+// shipped to a serving process with its feature map intact.
+
+type encoderState struct {
+	Name       string         `json:"name"`
+	Kind       frame.Kind     `json:"kind"`
+	Mean       float64        `json:"mean,omitempty"`
+	Std        float64        `json:"std,omitempty"`
+	Categories map[string]int `json:"categories,omitempty"`
+	Width      int            `json:"width"`
+}
+
+type pipelineState struct {
+	HashDims int            `json:"hash_dims"`
+	Fitted   bool           `json:"fitted"`
+	Tabular  bool           `json:"tabular"`
+	Columns  []encoderState `json:"columns,omitempty"`
+	Width    int            `json:"width"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Pipeline) MarshalJSON() ([]byte, error) {
+	st := pipelineState{
+		HashDims: p.HashDims,
+		Fitted:   p.fitted,
+		Tabular:  p.tabular,
+		Width:    p.width,
+	}
+	for _, c := range p.columns {
+		st.Columns = append(st.Columns, encoderState{
+			Name: c.name, Kind: c.kind, Mean: c.mean, Std: c.std,
+			Categories: c.categories, Width: c.width,
+		})
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Pipeline) UnmarshalJSON(b []byte) error {
+	var st pipelineState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	p.HashDims = st.HashDims
+	p.fitted = st.Fitted
+	p.tabular = st.Tabular
+	p.width = st.Width
+	p.columns = nil
+	for _, c := range st.Columns {
+		p.columns = append(p.columns, columnEncoder{
+			name: c.Name, kind: c.Kind, mean: c.Mean, std: c.Std,
+			categories: c.Categories, width: c.Width,
+		})
+	}
+	return nil
+}

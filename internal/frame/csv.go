@@ -1,0 +1,109 @@
+package frame
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ColumnSpec declares the name and kind of a CSV column for ReadCSV.
+type ColumnSpec struct {
+	Name string
+	Kind Kind
+}
+
+// ReadCSV parses CSV data with a header row into a dataframe according to
+// specs. Header names must match the specs in order. Empty cells and "NA"
+// become missing values.
+func ReadCSV(r io.Reader, specs []ColumnSpec) (*DataFrame, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading CSV header: %w", err)
+	}
+	if len(header) != len(specs) {
+		return nil, fmt.Errorf("frame: CSV has %d columns, specs declare %d", len(header), len(specs))
+	}
+	for i, s := range specs {
+		if strings.TrimSpace(header[i]) != s.Name {
+			return nil, fmt.Errorf("frame: CSV column %d is %q, spec says %q", i, header[i], s.Name)
+		}
+	}
+
+	nums := make([][]float64, len(specs))
+	strs := make([][]string, len(specs))
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("frame: reading CSV row %d: %w", row, err)
+		}
+		for i, cell := range rec {
+			cell = strings.TrimSpace(cell)
+			if specs[i].Kind == Numeric {
+				if cell == "" || cell == "NA" {
+					nums[i] = append(nums[i], math.NaN())
+					continue
+				}
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("frame: row %d column %q: %w", row, specs[i].Name, err)
+				}
+				nums[i] = append(nums[i], v)
+			} else {
+				if cell == "NA" {
+					cell = ""
+				}
+				strs[i] = append(strs[i], cell)
+			}
+		}
+		row++
+	}
+
+	d := New()
+	for i, s := range specs {
+		switch s.Kind {
+		case Numeric:
+			d.AddNumeric(s.Name, nums[i])
+		case Categorical:
+			d.AddCategorical(s.Name, strs[i])
+		case Text:
+			d.AddText(s.Name, strs[i])
+		}
+	}
+	return d, nil
+}
+
+// WriteCSV writes the dataframe as CSV with a header row. Missing numeric
+// cells are written as "NA"; missing string cells as empty strings.
+func (d *DataFrame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.ColumnNames()); err != nil {
+		return fmt.Errorf("frame: writing CSV header: %w", err)
+	}
+	rec := make([]string, d.NumCols())
+	for i := 0; i < d.NumRows(); i++ {
+		for j, c := range d.cols {
+			if c.Kind == Numeric {
+				if math.IsNaN(c.Num[i]) {
+					rec[j] = "NA"
+				} else {
+					rec[j] = strconv.FormatFloat(c.Num[i], 'g', -1, 64)
+				}
+			} else {
+				rec[j] = c.Str[i]
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("frame: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

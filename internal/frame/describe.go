@@ -1,0 +1,145 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ColumnSummary profiles one column: counts, missingness and, depending
+// on the kind, distribution statistics or the dominant categories.
+type ColumnSummary struct {
+	Name        string
+	Kind        Kind
+	Rows        int
+	Missing     int
+	MissingRate float64
+
+	// Numeric columns.
+	Min, Max, Mean, Std, Median float64
+
+	// Categorical columns: distinct values and the most frequent ones.
+	Distinct  int
+	TopValues []string
+	TopCounts []int
+
+	// Text columns.
+	MeanTokens float64
+}
+
+// Describe profiles every column of the dataframe, the `df.describe()`
+// of this substrate. Used by the ppm-validate inspect workflow to sanity
+// check serving data before it reaches a model.
+func (d *DataFrame) Describe() []ColumnSummary {
+	out := make([]ColumnSummary, 0, d.NumCols())
+	for _, c := range d.cols {
+		s := ColumnSummary{Name: c.Name, Kind: c.Kind, Rows: c.Len()}
+		switch c.Kind {
+		case Numeric:
+			describeNumeric(c, &s)
+		case Categorical:
+			describeCategorical(c, &s)
+		case Text:
+			describeText(c, &s)
+		}
+		if s.Rows > 0 {
+			s.MissingRate = float64(s.Missing) / float64(s.Rows)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func describeNumeric(c *Column, s *ColumnSummary) {
+	vals := make([]float64, 0, len(c.Num))
+	for _, v := range c.Num {
+		if math.IsNaN(v) {
+			s.Missing++
+			continue
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return
+	}
+	sort.Float64s(vals)
+	s.Min, s.Max = vals[0], vals[len(vals)-1]
+	s.Median = vals[len(vals)/2]
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Mean = sum / float64(len(vals))
+	ss := 0.0
+	for _, v := range vals {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(vals)))
+}
+
+func describeCategorical(c *Column, s *ColumnSummary) {
+	counts := map[string]int{}
+	for _, v := range c.Str {
+		if v == "" {
+			s.Missing++
+			continue
+		}
+		counts[v]++
+	}
+	s.Distinct = len(counts)
+	type kv struct {
+		k string
+		n int
+	}
+	ranked := make([]kv, 0, len(counts))
+	for k, n := range counts {
+		ranked = append(ranked, kv{k, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].k < ranked[j].k
+	})
+	for i := 0; i < len(ranked) && i < 3; i++ {
+		s.TopValues = append(s.TopValues, ranked[i].k)
+		s.TopCounts = append(s.TopCounts, ranked[i].n)
+	}
+}
+
+func describeText(c *Column, s *ColumnSummary) {
+	tokens := 0
+	nonMissing := 0
+	for _, v := range c.Str {
+		if v == "" {
+			s.Missing++
+			continue
+		}
+		nonMissing++
+		tokens += len(strings.Fields(v))
+	}
+	if nonMissing > 0 {
+		s.MeanTokens = float64(tokens) / float64(nonMissing)
+	}
+}
+
+// String renders the summary as one table row body.
+func (s ColumnSummary) String() string {
+	switch s.Kind {
+	case Numeric:
+		return fmt.Sprintf("%-22s numeric     missing %5.1f%%  min %.4g  median %.4g  mean %.4g  max %.4g  std %.4g",
+			s.Name, s.MissingRate*100, s.Min, s.Median, s.Mean, s.Max, s.Std)
+	case Categorical:
+		tops := make([]string, len(s.TopValues))
+		for i, v := range s.TopValues {
+			tops[i] = fmt.Sprintf("%s(%d)", v, s.TopCounts[i])
+		}
+		return fmt.Sprintf("%-22s categorical missing %5.1f%%  distinct %d  top %s",
+			s.Name, s.MissingRate*100, s.Distinct, strings.Join(tops, " "))
+	default:
+		return fmt.Sprintf("%-22s text        missing %5.1f%%  mean tokens %.1f",
+			s.Name, s.MissingRate*100, s.MeanTokens)
+	}
+}

@@ -1,0 +1,71 @@
+package frame
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDescribeNumeric(t *testing.T) {
+	d := New().AddNumeric("x", []float64{1, 2, 3, 4, math.NaN()})
+	s := d.Describe()[0]
+	if s.Kind != Numeric || s.Rows != 5 || s.Missing != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.MissingRate-0.2) > 1e-12 {
+		t.Fatalf("missing rate = %v", s.MissingRate)
+	}
+	if !strings.Contains(s.String(), "numeric") {
+		t.Fatal("string render wrong")
+	}
+}
+
+func TestDescribeCategorical(t *testing.T) {
+	d := New().AddCategorical("c", []string{"a", "b", "a", "", "a", "c"})
+	s := d.Describe()[0]
+	if s.Distinct != 3 || s.Missing != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if len(s.TopValues) != 3 || s.TopValues[0] != "a" || s.TopCounts[0] != 3 {
+		t.Fatalf("top values = %v %v", s.TopValues, s.TopCounts)
+	}
+	if !strings.Contains(s.String(), "a(3)") {
+		t.Fatalf("string render = %q", s.String())
+	}
+}
+
+func TestDescribeText(t *testing.T) {
+	d := New().AddText("t", []string{"one two three", "four five", ""})
+	s := d.Describe()[0]
+	if s.Missing != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.MeanTokens-2.5) > 1e-12 {
+		t.Fatalf("mean tokens = %v", s.MeanTokens)
+	}
+}
+
+func TestDescribeAllColumns(t *testing.T) {
+	d := sampleFrame()
+	summaries := d.Describe()
+	if len(summaries) != 3 {
+		t.Fatalf("summaries = %d", len(summaries))
+	}
+	if summaries[0].Name != "age" || summaries[1].Name != "job" || summaries[2].Name != "bio" {
+		t.Fatal("order not preserved")
+	}
+}
+
+func TestDescribeEmptyNumericColumn(t *testing.T) {
+	d := New().AddNumeric("x", []float64{math.NaN(), math.NaN()})
+	s := d.Describe()[0]
+	if s.Missing != 2 || s.MissingRate != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Min != 0 || s.Max != 0 {
+		t.Fatal("fully missing column should keep zero stats")
+	}
+}

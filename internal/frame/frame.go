@@ -1,0 +1,206 @@
+// Package frame implements a small typed dataframe for relational data:
+// numeric columns (with NaN as the missing marker), categorical columns
+// (with "" as the missing marker) and free-text columns. It is the
+// substrate that error generators corrupt and that the featurization
+// pipeline consumes, mirroring the role pandas plays in the paper.
+package frame
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind identifies the type of a column.
+type Kind int
+
+const (
+	// Numeric columns hold float64 values; math.NaN() marks missing cells.
+	Numeric Kind = iota
+	// Categorical columns hold strings from a finite domain; "" marks
+	// missing cells.
+	Categorical
+	// Text columns hold free-form strings (e.g. tweets).
+	Text
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Column is a named, typed vector of values. Exactly one of Num or Str is
+// populated depending on Kind (Str backs both Categorical and Text).
+type Column struct {
+	Name string
+	Kind Kind
+	Num  []float64
+	Str  []string
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	if c.Kind == Numeric {
+		return len(c.Num)
+	}
+	return len(c.Str)
+}
+
+// Clone returns a deep copy of the column.
+func (c *Column) Clone() *Column {
+	out := &Column{Name: c.Name, Kind: c.Kind}
+	if c.Num != nil {
+		out.Num = append([]float64(nil), c.Num...)
+	}
+	if c.Str != nil {
+		out.Str = append([]string(nil), c.Str...)
+	}
+	return out
+}
+
+// DataFrame is an ordered collection of equal-length columns.
+type DataFrame struct {
+	cols  []*Column
+	index map[string]int
+}
+
+// New returns an empty dataframe.
+func New() *DataFrame {
+	return &DataFrame{index: make(map[string]int)}
+}
+
+// AddNumeric appends a numeric column. It panics if the name is taken or
+// the length disagrees with existing columns.
+func (d *DataFrame) AddNumeric(name string, values []float64) *DataFrame {
+	d.add(&Column{Name: name, Kind: Numeric, Num: values})
+	return d
+}
+
+// AddCategorical appends a categorical column.
+func (d *DataFrame) AddCategorical(name string, values []string) *DataFrame {
+	d.add(&Column{Name: name, Kind: Categorical, Str: values})
+	return d
+}
+
+// AddText appends a free-text column.
+func (d *DataFrame) AddText(name string, values []string) *DataFrame {
+	d.add(&Column{Name: name, Kind: Text, Str: values})
+	return d
+}
+
+func (d *DataFrame) add(c *Column) {
+	if _, ok := d.index[c.Name]; ok {
+		panic(fmt.Sprintf("frame: duplicate column %q", c.Name))
+	}
+	if len(d.cols) > 0 && c.Len() != d.NumRows() {
+		panic(fmt.Sprintf("frame: column %q has %d rows, frame has %d", c.Name, c.Len(), d.NumRows()))
+	}
+	d.index[c.Name] = len(d.cols)
+	d.cols = append(d.cols, c)
+}
+
+// NumRows returns the number of rows.
+func (d *DataFrame) NumRows() int {
+	if len(d.cols) == 0 {
+		return 0
+	}
+	return d.cols[0].Len()
+}
+
+// NumCols returns the number of columns.
+func (d *DataFrame) NumCols() int { return len(d.cols) }
+
+// Columns returns the columns in order. Callers must not mutate the slice.
+func (d *DataFrame) Columns() []*Column { return d.cols }
+
+// Column returns the named column, or nil if absent.
+func (d *DataFrame) Column(name string) *Column {
+	i, ok := d.index[name]
+	if !ok {
+		return nil
+	}
+	return d.cols[i]
+}
+
+// ColumnNames returns the column names in order.
+func (d *DataFrame) ColumnNames() []string {
+	names := make([]string, len(d.cols))
+	for i, c := range d.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// NamesOfKind returns the names of all columns of the given kind.
+func (d *DataFrame) NamesOfKind(k Kind) []string {
+	var names []string
+	for _, c := range d.cols {
+		if c.Kind == k {
+			names = append(names, c.Name)
+		}
+	}
+	return names
+}
+
+// Clone returns a deep copy of the dataframe.
+func (d *DataFrame) Clone() *DataFrame {
+	out := New()
+	for _, c := range d.cols {
+		out.add(c.Clone())
+	}
+	return out
+}
+
+// SelectRows returns a new dataframe containing the given rows, in order.
+// Indices may repeat (sampling with replacement).
+func (d *DataFrame) SelectRows(idx []int) *DataFrame {
+	out := New()
+	for _, c := range d.cols {
+		nc := &Column{Name: c.Name, Kind: c.Kind}
+		if c.Kind == Numeric {
+			nc.Num = make([]float64, len(idx))
+			for k, i := range idx {
+				nc.Num[k] = c.Num[i]
+			}
+		} else {
+			nc.Str = make([]string, len(idx))
+			for k, i := range idx {
+				nc.Str[k] = c.Str[i]
+			}
+		}
+		out.add(nc)
+	}
+	return out
+}
+
+// IsMissing reports whether the cell at row i of column c is missing.
+func IsMissing(c *Column, i int) bool {
+	if c.Kind == Numeric {
+		return math.IsNaN(c.Num[i])
+	}
+	return c.Str[i] == ""
+}
+
+// SetMissing marks the cell at row i of column c as missing.
+func SetMissing(c *Column, i int) {
+	if c.Kind == Numeric {
+		c.Num[i] = math.NaN()
+	} else {
+		c.Str[i] = ""
+	}
+}
+
+// Shuffle returns a row permutation of d drawn from rng.
+func (d *DataFrame) Shuffle(rng *rand.Rand) *DataFrame {
+	idx := rng.Perm(d.NumRows())
+	return d.SelectRows(idx)
+}

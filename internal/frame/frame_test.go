@@ -1,0 +1,168 @@
+package frame
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func sampleFrame() *DataFrame {
+	return New().
+		AddNumeric("age", []float64{18, 40, 37}).
+		AddCategorical("job", []string{"eng", "doc", "eng"}).
+		AddText("bio", []string{"hello world", "lorem ipsum", "foo bar"})
+}
+
+func TestAddAndAccess(t *testing.T) {
+	d := sampleFrame()
+	if d.NumRows() != 3 || d.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", d.NumRows(), d.NumCols())
+	}
+	if d.Column("age").Num[1] != 40 {
+		t.Fatal("numeric column wrong")
+	}
+	if d.Column("job").Str[0] != "eng" {
+		t.Fatal("categorical column wrong")
+	}
+	if d.Column("nope") != nil {
+		t.Fatal("missing column should be nil")
+	}
+	names := d.ColumnNames()
+	if len(names) != 3 || names[0] != "age" || names[2] != "bio" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestDuplicateColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().AddNumeric("x", []float64{1}).AddNumeric("x", []float64{2})
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().AddNumeric("x", []float64{1, 2}).AddNumeric("y", []float64{1})
+}
+
+func TestNamesOfKind(t *testing.T) {
+	d := sampleFrame()
+	if got := d.NamesOfKind(Numeric); len(got) != 1 || got[0] != "age" {
+		t.Fatalf("numeric names = %v", got)
+	}
+	if got := d.NamesOfKind(Categorical); len(got) != 1 || got[0] != "job" {
+		t.Fatalf("categorical names = %v", got)
+	}
+	if got := d.NamesOfKind(Text); len(got) != 1 || got[0] != "bio" {
+		t.Fatalf("text names = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := sampleFrame()
+	c := d.Clone()
+	c.Column("age").Num[0] = 99
+	c.Column("job").Str[0] = "nurse"
+	if d.Column("age").Num[0] != 18 || d.Column("job").Str[0] != "eng" {
+		t.Fatal("clone aliases original storage")
+	}
+}
+
+func TestSelectRowsWithRepeats(t *testing.T) {
+	d := sampleFrame()
+	s := d.SelectRows([]int{2, 2, 0})
+	if s.NumRows() != 3 {
+		t.Fatalf("rows = %d", s.NumRows())
+	}
+	if s.Column("age").Num[0] != 37 || s.Column("age").Num[2] != 18 {
+		t.Fatalf("selected ages = %v", s.Column("age").Num)
+	}
+	if s.Column("job").Str[1] != "eng" {
+		t.Fatal("selected job wrong")
+	}
+}
+
+func TestMissingMarkers(t *testing.T) {
+	d := sampleFrame()
+	age := d.Column("age")
+	job := d.Column("job")
+	if IsMissing(age, 0) || IsMissing(job, 0) {
+		t.Fatal("fresh cells should not be missing")
+	}
+	SetMissing(age, 0)
+	SetMissing(job, 1)
+	if !IsMissing(age, 0) || !math.IsNaN(age.Num[0]) {
+		t.Fatal("numeric missing marker wrong")
+	}
+	if !IsMissing(job, 1) || job.Str[1] != "" {
+		t.Fatal("categorical missing marker wrong")
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	d := New().AddNumeric("x", []float64{1, 2, 3, 4, 5})
+	s := d.Shuffle(rand.New(rand.NewSource(1)))
+	sum := 0.0
+	for _, v := range s.Column("x").Num {
+		sum += v
+	}
+	if sum != 15 || s.NumRows() != 5 {
+		t.Fatalf("shuffle lost rows: %v", s.Column("x").Num)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := New().
+		AddNumeric("age", []float64{18, math.NaN()}).
+		AddCategorical("job", []string{"eng", ""}).
+		AddText("bio", []string{"a,b", "quote\"inside"})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	specs := []ColumnSpec{{"age", Numeric}, {"job", Categorical}, {"bio", Text}}
+	got, err := ReadCSV(&buf, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	if got.Column("age").Num[0] != 18 || !math.IsNaN(got.Column("age").Num[1]) {
+		t.Fatalf("age = %v", got.Column("age").Num)
+	}
+	if got.Column("job").Str[1] != "" {
+		t.Fatal("missing categorical not round-tripped")
+	}
+	if got.Column("bio").Str[0] != "a,b" || got.Column("bio").Str[1] != "quote\"inside" {
+		t.Fatalf("bio = %v", got.Column("bio").Str)
+	}
+}
+
+func TestReadCSVHeaderMismatch(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), []ColumnSpec{{"a", Numeric}, {"c", Numeric}})
+	if err == nil {
+		t.Fatal("expected header mismatch error")
+	}
+}
+
+func TestReadCSVBadNumber(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("a\nnot-a-number\n"), []ColumnSpec{{"a", Numeric}})
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Numeric.String() != "numeric" || Categorical.String() != "categorical" || Text.String() != "text" {
+		t.Fatal("kind strings wrong")
+	}
+}

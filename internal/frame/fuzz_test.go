@@ -1,0 +1,71 @@
+package frame
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzInferCSV feeds arbitrary text to the schema-inferring CSV reader:
+// it must either return a structurally consistent dataframe or an error,
+// and never panic.
+func FuzzInferCSV(f *testing.F) {
+	f.Add("a,b\n1,x\n2,y\n")
+	f.Add("age\n1\n2\nNA\n")
+	f.Add("t\nhello world this is text\nmore words here too yes\n")
+	f.Add("")
+	f.Add("a,a\n1,2\n")
+	f.Add("x\n\"unterminated\n")
+	f.Add("h1,h2,h3\n1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		defer func() {
+			if r := recover(); r != nil {
+				// Duplicate headers panic in add(); everything else must not.
+				if !strings.Contains(toString(r), "duplicate column") {
+					t.Fatalf("panic on input %q: %v", input, r)
+				}
+			}
+		}()
+		d, err := InferCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Structural consistency: every column has NumRows entries.
+		n := d.NumRows()
+		for _, c := range d.Columns() {
+			if c.Len() != n {
+				t.Fatalf("column %q has %d rows, frame has %d", c.Name, c.Len(), n)
+			}
+		}
+	})
+}
+
+func toString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	if e, ok := v.(error); ok {
+		return e.Error()
+	}
+	return ""
+}
+
+// FuzzCSVRoundTrip checks that anything InferCSV accepts can be written
+// back out and re-read.
+func FuzzCSVRoundTrip(f *testing.F) {
+	f.Add("a,b\n1,x\n2,y\n")
+	f.Add("n\n1.5\n-2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		defer func() { recover() }() // duplicate headers, see above
+		d, err := InferCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV failed on accepted input: %v", err)
+		}
+		if _, err := InferCSV(strings.NewReader(buf.String())); err != nil && d.NumRows() > 0 {
+			t.Fatalf("round trip failed: %v\noriginal: %q\nwritten: %q", err, input, buf.String())
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package frame
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// InferCSV parses CSV data with a header row, inferring each column's
+// kind from its values, for ingesting user data without a hand-written
+// schema:
+//
+//   - a column whose non-missing cells all parse as numbers is Numeric,
+//   - otherwise, a column with a small distinct-value set is Categorical,
+//   - otherwise it is Text.
+//
+// Empty cells and "NA"/"null"-style tokens count as missing.
+func InferCSV(r io.Reader) (*DataFrame, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading CSV header: %w", err)
+	}
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("frame: reading CSV row %d: %w", len(rows), err)
+		}
+		rows = append(rows, rec)
+	}
+
+	d := New()
+	for j, rawName := range header {
+		name := strings.TrimSpace(rawName)
+		if name == "" {
+			return nil, fmt.Errorf("frame: column %d has an empty header", j)
+		}
+		col := make([]string, len(rows))
+		for i, rec := range rows {
+			col[i] = strings.TrimSpace(rec[j])
+		}
+		switch inferKind(col) {
+		case Numeric:
+			nums := make([]float64, len(col))
+			for i, cell := range col {
+				if isMissingToken(cell) {
+					nums[i] = math.NaN()
+					continue
+				}
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("frame: column %q inferred numeric but row %d holds %q", name, i, cell)
+				}
+				nums[i] = v
+			}
+			d.AddNumeric(name, nums)
+		case Categorical:
+			vals := make([]string, len(col))
+			for i, cell := range col {
+				if !isMissingToken(cell) {
+					vals[i] = cell
+				}
+			}
+			d.AddCategorical(name, vals)
+		default:
+			vals := make([]string, len(col))
+			for i, cell := range col {
+				if !isMissingToken(cell) {
+					vals[i] = cell
+				}
+			}
+			d.AddText(name, vals)
+		}
+	}
+	return d, nil
+}
+
+// missingTokens are cell values treated as missing during inference.
+var missingTokens = map[string]bool{
+	"": true, "NA": true, "N/A": true, "na": true, "null": true,
+	"NULL": true, "none": true, "None": true, "nan": true, "NaN": true,
+}
+
+func isMissingToken(cell string) bool { return missingTokens[cell] }
+
+// inferKind decides the column kind from its raw string values.
+func inferKind(col []string) Kind {
+	nonMissing := 0
+	numeric := 0
+	words := 0
+	distinct := map[string]bool{}
+	for _, cell := range col {
+		if isMissingToken(cell) {
+			continue
+		}
+		nonMissing++
+		distinct[cell] = true
+		words += len(strings.Fields(cell))
+		if _, err := strconv.ParseFloat(cell, 64); err == nil {
+			numeric++
+		}
+	}
+	if nonMissing == 0 {
+		return Categorical // fully missing: treat as categorical of blanks
+	}
+	if numeric == nonMissing {
+		return Numeric
+	}
+	// Multi-word values are prose, not category labels.
+	if float64(words)/float64(nonMissing) > 3 {
+		return Text
+	}
+	// Small distinct-value set relative to the data: categorical.
+	limit := 20
+	if frac := nonMissing / 20; frac > limit {
+		limit = frac
+	}
+	if len(distinct) <= limit {
+		return Categorical
+	}
+	return Text
+}

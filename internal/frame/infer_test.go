@@ -1,0 +1,91 @@
+package frame
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestInferCSVKinds(t *testing.T) {
+	csv := `age,job,bio
+18,eng,loves long walks and graph databases
+40,doc,writes about hospitals and hiking trails every week
+37,eng,cooks elaborate meals and reviews obscure films
+,doc,collects vintage synthesizers and paints tiny robots
+25,nurse,runs marathons and builds mechanical keyboards
+`
+	d, err := InferCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 5 || d.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", d.NumRows(), d.NumCols())
+	}
+	if d.Column("age").Kind != Numeric {
+		t.Fatalf("age inferred as %v", d.Column("age").Kind)
+	}
+	if d.Column("job").Kind != Categorical {
+		t.Fatalf("job inferred as %v", d.Column("job").Kind)
+	}
+	if d.Column("bio").Kind != Text {
+		t.Fatalf("bio inferred as %v", d.Column("bio").Kind)
+	}
+	if !math.IsNaN(d.Column("age").Num[3]) {
+		t.Fatal("empty numeric cell should be missing")
+	}
+}
+
+func TestInferCSVMissingTokens(t *testing.T) {
+	csv := "x,y\n1,a\nNA,null\n3,b\n"
+	d, err := InferCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Column("x").Kind != Numeric {
+		t.Fatal("NA should not break numeric inference")
+	}
+	if !math.IsNaN(d.Column("x").Num[1]) {
+		t.Fatal("NA not treated as missing")
+	}
+	if d.Column("y").Str[1] != "" {
+		t.Fatal("null not treated as missing")
+	}
+}
+
+func TestInferCSVLargeDistinctSetIsText(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("id\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString(strings.Repeat("x", i%7+1))
+		b.WriteString("-")
+		b.WriteString(string(rune('a' + i%26)))
+		b.WriteString(string(rune('a' + (i/26)%26)))
+		b.WriteString("\n")
+	}
+	d, err := InferCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Column("id").Kind != Text {
+		t.Fatalf("high-cardinality strings inferred as %v", d.Column("id").Kind)
+	}
+}
+
+func TestInferCSVErrors(t *testing.T) {
+	if _, err := InferCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := InferCSV(strings.NewReader("a,\n1,2\n")); err == nil {
+		t.Fatal("empty header should error")
+	}
+}
+
+func TestInferCSVFullyMissingColumn(t *testing.T) {
+	d, err := InferCSV(strings.NewReader("a,b\n1,\n2,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Column("b").Kind != Categorical {
+		t.Fatalf("fully missing column inferred as %v", d.Column("b").Kind)
+	}
+}

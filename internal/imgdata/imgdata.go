@@ -1,0 +1,131 @@
+// Package imgdata implements the image substrate for the image
+// classification experiments: fixed-size grayscale image sets with the
+// geometric and noise operations (rotation, additive gaussian noise) that
+// the paper's image error generators apply.
+package imgdata
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Set is a collection of equally sized grayscale images with pixel values
+// in [0,1]. Pixels[i] is the row-major pixel vector of image i.
+type Set struct {
+	Width, Height int
+	Pixels        [][]float64
+}
+
+// NewSet returns an empty image set with the given dimensions.
+func NewSet(width, height int) *Set {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("imgdata: invalid dimensions %dx%d", width, height))
+	}
+	return &Set{Width: width, Height: height}
+}
+
+// Len returns the number of images.
+func (s *Set) Len() int { return len(s.Pixels) }
+
+// PixelCount returns the number of pixels per image.
+func (s *Set) PixelCount() int { return s.Width * s.Height }
+
+// Append adds an image. It panics if the pixel count is wrong.
+func (s *Set) Append(pixels []float64) {
+	if len(pixels) != s.PixelCount() {
+		panic(fmt.Sprintf("imgdata: image has %d pixels, want %d", len(pixels), s.PixelCount()))
+	}
+	s.Pixels = append(s.Pixels, pixels)
+}
+
+// At returns the pixel value of image i at (x, y).
+func (s *Set) At(i, x, y int) float64 { return s.Pixels[i][y*s.Width+x] }
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	out := NewSet(s.Width, s.Height)
+	out.Pixels = make([][]float64, len(s.Pixels))
+	for i, p := range s.Pixels {
+		out.Pixels[i] = append([]float64(nil), p...)
+	}
+	return out
+}
+
+// SelectRows returns a new set containing the given images, in order.
+func (s *Set) SelectRows(idx []int) *Set {
+	out := NewSet(s.Width, s.Height)
+	out.Pixels = make([][]float64, len(idx))
+	for k, i := range idx {
+		out.Pixels[k] = append([]float64(nil), s.Pixels[i]...)
+	}
+	return out
+}
+
+// Clamp clips v into [0,1].
+func Clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// AddGaussianNoise adds N(0, sigma²) noise to every pixel of image i,
+// clamping the result to [0,1]. This implements the paper's "image noise"
+// perturbation.
+func (s *Set) AddGaussianNoise(i int, sigma float64, rng *rand.Rand) {
+	p := s.Pixels[i]
+	for j := range p {
+		p[j] = Clamp(p[j] + rng.NormFloat64()*sigma)
+	}
+}
+
+// Rotate rotates image i by angle radians around its center using
+// bilinear interpolation, implementing the paper's "image rotation"
+// perturbation. Pixels sampled from outside the source are black.
+func (s *Set) Rotate(i int, angle float64) {
+	src := s.Pixels[i]
+	dst := make([]float64, len(src))
+	cx := float64(s.Width-1) / 2
+	cy := float64(s.Height-1) / 2
+	sin, cos := math.Sin(-angle), math.Cos(-angle)
+	for y := 0; y < s.Height; y++ {
+		for x := 0; x < s.Width; x++ {
+			// Inverse-map the destination pixel into the source image.
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			sx := cos*dx - sin*dy + cx
+			sy := sin*dx + cos*dy + cy
+			dst[y*s.Width+x] = s.bilinear(src, sx, sy)
+		}
+	}
+	s.Pixels[i] = dst
+}
+
+func (s *Set) bilinear(src []float64, x, y float64) float64 {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx := x - float64(x0)
+	fy := y - float64(y0)
+	get := func(xi, yi int) float64 {
+		if xi < 0 || xi >= s.Width || yi < 0 || yi >= s.Height {
+			return 0
+		}
+		return src[yi*s.Width+xi]
+	}
+	top := get(x0, y0)*(1-fx) + get(x0+1, y0)*fx
+	bot := get(x0, y0+1)*(1-fx) + get(x0+1, y0+1)*fx
+	return top*(1-fy) + bot*fy
+}
+
+// Mean returns the mean pixel intensity of image i.
+func (s *Set) Mean(i int) float64 {
+	sum := 0.0
+	for _, v := range s.Pixels[i] {
+		sum += v
+	}
+	return sum / float64(len(s.Pixels[i]))
+}

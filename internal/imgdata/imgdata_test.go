@@ -1,0 +1,167 @@
+package imgdata
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func constImage(w, h int, v float64) []float64 {
+	p := make([]float64, w*h)
+	for i := range p {
+		p[i] = v
+	}
+	return p
+}
+
+func TestAppendAndAccess(t *testing.T) {
+	s := NewSet(4, 3)
+	s.Append(constImage(4, 3, 0.5))
+	if s.Len() != 1 || s.PixelCount() != 12 {
+		t.Fatalf("len=%d pixels=%d", s.Len(), s.PixelCount())
+	}
+	if s.At(0, 2, 1) != 0.5 {
+		t.Fatal("At wrong")
+	}
+}
+
+func TestAppendWrongSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSet(2, 2).Append([]float64{1, 2, 3})
+}
+
+func TestCloneAndSelect(t *testing.T) {
+	s := NewSet(2, 2)
+	s.Append([]float64{1, 2, 3, 4})
+	s.Append([]float64{5, 6, 7, 8})
+	c := s.Clone()
+	c.Pixels[0][0] = 99
+	if s.Pixels[0][0] != 1 {
+		t.Fatal("clone aliases pixels")
+	}
+	sel := s.SelectRows([]int{1, 0, 1})
+	if sel.Len() != 3 || sel.Pixels[0][0] != 5 || sel.Pixels[1][0] != 1 {
+		t.Fatal("SelectRows wrong")
+	}
+	sel.Pixels[0][0] = -1
+	if s.Pixels[1][0] != 5 {
+		t.Fatal("SelectRows aliases pixels")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(-0.5) != 0 || Clamp(1.5) != 1 || Clamp(0.3) != 0.3 {
+		t.Fatal("clamp wrong")
+	}
+}
+
+func TestNoiseKeepsRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSet(8, 8)
+		img := make([]float64, 64)
+		for i := range img {
+			img[i] = rng.Float64()
+		}
+		s.Append(img)
+		s.AddGaussianNoise(0, 0.5, rng)
+		for _, v := range s.Pixels[0] {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseZeroSigmaIsIdentity(t *testing.T) {
+	s := NewSet(3, 3)
+	s.Append([]float64{0, .1, .2, .3, .4, .5, .6, .7, .8})
+	want := append([]float64(nil), s.Pixels[0]...)
+	s.AddGaussianNoise(0, 0, rand.New(rand.NewSource(1)))
+	for i, v := range s.Pixels[0] {
+		if v != want[i] {
+			t.Fatal("sigma=0 noise changed pixels")
+		}
+	}
+}
+
+func TestRotateZeroAngleNearIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSet(10, 10)
+	img := make([]float64, 100)
+	for i := range img {
+		img[i] = rng.Float64()
+	}
+	s.Append(img)
+	want := append([]float64(nil), img...)
+	s.Rotate(0, 0)
+	for i, v := range s.Pixels[0] {
+		if math.Abs(v-want[i]) > 1e-12 {
+			t.Fatalf("rotate(0) changed pixel %d: %v -> %v", i, want[i], v)
+		}
+	}
+}
+
+func TestRotateQuarterTurnMovesMass(t *testing.T) {
+	// A bright vertical bar becomes a horizontal bar after a 90° turn.
+	s := NewSet(11, 11)
+	img := make([]float64, 121)
+	for y := 0; y < 11; y++ {
+		img[y*11+5] = 1 // center column
+	}
+	s.Append(img)
+	s.Rotate(0, math.Pi/2)
+	rowSum := 0.0
+	for x := 0; x < 11; x++ {
+		rowSum += s.At(0, x, 5) // center row should now be bright
+	}
+	colSum := 0.0
+	for y := 0; y < 11; y++ {
+		if y == 5 {
+			continue
+		}
+		colSum += s.At(0, 5, y)
+	}
+	if rowSum < 9 {
+		t.Fatalf("center row after 90° rotation too dim: %v", rowSum)
+	}
+	if colSum > 1 {
+		t.Fatalf("original column still bright after rotation: %v", colSum)
+	}
+}
+
+func TestRotatePreservesApproxMass(t *testing.T) {
+	// Small rotations should approximately preserve total intensity of a
+	// centered blob.
+	s := NewSet(16, 16)
+	img := make([]float64, 256)
+	for y := 6; y < 10; y++ {
+		for x := 6; x < 10; x++ {
+			img[y*16+x] = 1
+		}
+	}
+	s.Append(img)
+	before := s.Mean(0)
+	s.Rotate(0, 0.3)
+	after := s.Mean(0)
+	if math.Abs(before-after) > 0.01 {
+		t.Fatalf("rotation lost mass: %v -> %v", before, after)
+	}
+}
+
+func TestMean(t *testing.T) {
+	s := NewSet(2, 2)
+	s.Append([]float64{0, 1, 1, 0})
+	if s.Mean(0) != 0.5 {
+		t.Fatal("mean wrong")
+	}
+}

@@ -1,0 +1,58 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rows, cols int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkMatMul128x256x64(b *testing.B) {
+	a := randomMatrix(128, 256, 1)
+	c := randomMatrix(256, 64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, c)
+	}
+}
+
+func BenchmarkMatMul512x512x128(b *testing.B) {
+	a := randomMatrix(512, 512, 1)
+	c := randomMatrix(512, 128, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, c)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	m := randomMatrix(512, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transpose(m)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	m := randomMatrix(1000, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxRows(m.Clone())
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	x := randomMatrix(1, 1024, 1).Row(0)
+	y := randomMatrix(1, 1024, 2).Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dot(x, y)
+	}
+}

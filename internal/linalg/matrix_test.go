@@ -1,0 +1,218 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixZeroInitialized(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("new matrix not zeroed: %v", m.Data)
+		}
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Fatalf("At wrong: %v", m.Data)
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatal("Set did not update value")
+	}
+	if got := m.Col(1); got[0] != 9 || got[1] != 4 || got[2] != 6 {
+		t.Fatalf("Col(1) = %v", got)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMatMulKnownResult(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	c := MatMul(a, b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(37, 23)
+	b := NewMatrix(23, 41)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	got := MatMul(a, b)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			want := 0.0
+			for k := 0; k < a.Cols; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if !almostEqual(got.At(i, j), want, 1e-9) {
+				t.Fatalf("mismatch at (%d,%d): got %v want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMatMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewMatrix(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()
+		}
+		tt := Transpose(Transpose(m))
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(4, 5)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64() * 10
+		}
+		SoftmaxRows(m)
+		for i := 0; i < m.Rows; i++ {
+			sum := 0.0
+			for _, v := range m.Row(i) {
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if !almostEqual(sum, 1, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxRowsStableForLargeValues(t *testing.T) {
+	m := FromRows([][]float64{{1000, 1001, 999}})
+	SoftmaxRows(m)
+	for _, v := range m.Row(0) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflowed: %v", m.Row(0))
+		}
+	}
+	if ArgmaxRow(m.Row(0)) != 1 {
+		t.Fatalf("argmax after softmax = %d, want 1", ArgmaxRow(m.Row(0)))
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if !almostEqual(got, math.Log(6), 1e-12) {
+		t.Fatalf("LogSumExp = %v, want log(6)", got)
+	}
+	big := LogSumExp([]float64{1e4, 1e4})
+	if !almostEqual(big, 1e4+math.Log(2), 1e-9) {
+		t.Fatalf("LogSumExp large = %v", big)
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	s := m.SelectRows([]int{2, 0})
+	if s.Rows != 2 || s.At(0, 0) != 3 || s.At(1, 0) != 1 {
+		t.Fatalf("SelectRows wrong: %+v", s)
+	}
+}
+
+func TestDotAxpyNorm(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	y := []float64{1, 1, 1}
+	Axpy(2, a, y)
+	if y[0] != 3 || y[1] != 5 || y[2] != 7 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	if !almostEqual(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestArgmaxRowTieBreaksLow(t *testing.T) {
+	if ArgmaxRow([]float64{1, 3, 3, 2}) != 1 {
+		t.Fatal("argmax should pick first maximum")
+	}
+}
+
+func TestAddRowVectorAndScale(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	AddRowVector(m, []float64{10, 20})
+	if m.At(0, 0) != 11 || m.At(1, 1) != 24 {
+		t.Fatalf("AddRowVector wrong: %v", m.Data)
+	}
+	Scale(m, 0.5)
+	if m.At(0, 0) != 5.5 {
+		t.Fatalf("Scale wrong: %v", m.Data)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float64{{1}})
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original data")
+	}
+}

@@ -1,0 +1,105 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"blackboxval/internal/linalg"
+)
+
+func benchData(n, d int, seed int64) (*linalg.Matrix, []int, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := linalg.NewMatrix(n, d)
+	y := make([]int, n)
+	yf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(2)
+		y[i] = c
+		yf[i] = float64(c)
+		for j := 0; j < d; j++ {
+			X.Set(i, j, rng.NormFloat64()+float64(2*c-1))
+		}
+	}
+	return X, y, yf
+}
+
+func BenchmarkSGDClassifierFit(b *testing.B) {
+	X, y, _ := benchData(1000, 30, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf := &SGDClassifier{Epochs: 10, Seed: 1}
+		if err := clf.Fit(X, y, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMLPFit(b *testing.B) {
+	X, y, _ := benchData(500, 30, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf := &MLPClassifier{Hidden: []int{16, 8}, Epochs: 5, Seed: 1}
+		if err := clf.Fit(X, y, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGBDTClassifierFit(b *testing.B) {
+	X, y, _ := benchData(1000, 30, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf := &GBDTClassifier{Trees: 20, Seed: 1}
+		if err := clf.Fit(X, y, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomForestFit(b *testing.B) {
+	X, _, yf := benchData(500, 42, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := &RandomForestRegressor{Trees: 50, Seed: 1}
+		if err := rf.Fit(X, yf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGBDTPredict(b *testing.B) {
+	X, y, _ := benchData(1000, 30, 1)
+	clf := &GBDTClassifier{Trees: 20, Seed: 1}
+	if err := clf.Fit(X, y, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.PredictProba(X)
+	}
+}
+
+func BenchmarkCNNForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	X := linalg.NewMatrix(8, 28*28)
+	y := make([]int, 8)
+	for i := range X.Data {
+		X.Data[i] = rng.Float64()
+	}
+	clf := &CNNClassifier{Epochs: 1, Conv1: 4, Conv2: 8, Dense: 16, Seed: 1}
+	if err := clf.Fit(X, y, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.PredictProba(X)
+	}
+}
+
+func BenchmarkBinning(b *testing.B) {
+	X, _, _ := benchData(2000, 50, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		newBinning(X, 32)
+	}
+}

@@ -1,0 +1,462 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/linalg"
+)
+
+// CNNClassifier is a small convolutional network for the image tasks: two
+// 3x3 convolution layers with ReLU and 2x2 max pooling, a dense ReLU
+// layer with dropout, and a softmax output — the architecture of the
+// paper's "conv" model. The default filter counts are scaled down from
+// the paper's 32/64/128 to keep pure-Go training tractable; the
+// large-convnet configuration in the AutoML experiments scales them up.
+type CNNClassifier struct {
+	ImageSize    int     // input side length (default 28)
+	Conv1        int     // filters in the first conv layer (default 8)
+	Conv2        int     // filters in the second conv layer (default 16)
+	Dense        int     // width of the dense layer (default 64)
+	Dropout      float64 // dropout rate on the dense layer (default 0.25)
+	LearningRate float64 // step size (default 0.05)
+	Epochs       int     // passes over the data (default 4)
+	BatchSize    int     // minibatch size (default 32)
+	Momentum     float64 // SGD momentum (default 0.9)
+	Seed         int64
+
+	classes int
+	// geometry, derived at fit time
+	c1Out, p1Out, c2Out, p2Out, flat int
+
+	w1, w2, wd, wo     *linalg.Matrix // conv1, conv2, dense, output weights
+	b1, b2, bd, bo     []float64
+	vw1, vw2, vwd, vwo *linalg.Matrix
+	vb1, vb2, vbd, vbo []float64
+}
+
+func (c *CNNClassifier) defaults() {
+	if c.ImageSize == 0 {
+		c.ImageSize = 28
+	}
+	if c.Conv1 == 0 {
+		c.Conv1 = 8
+	}
+	if c.Conv2 == 0 {
+		c.Conv2 = 16
+	}
+	if c.Dense == 0 {
+		c.Dense = 64
+	}
+	if c.Dropout == 0 {
+		c.Dropout = 0.25
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 4
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+}
+
+// im2col lowers a (channels x size x size) image to a matrix with one row
+// per output pixel and one column per (channel, ky, kx) patch entry, for
+// valid 3x3 convolution.
+func im2col(img []float64, channels, size int) *linalg.Matrix {
+	out := size - 2
+	m := linalg.NewMatrix(out*out, channels*9)
+	for oy := 0; oy < out; oy++ {
+		for ox := 0; ox < out; ox++ {
+			row := m.Row(oy*out + ox)
+			col := 0
+			for ch := 0; ch < channels; ch++ {
+				base := ch * size * size
+				for ky := 0; ky < 3; ky++ {
+					idx := base + (oy+ky)*size + ox
+					row[col] = img[idx]
+					row[col+1] = img[idx+1]
+					row[col+2] = img[idx+2]
+					col += 3
+				}
+			}
+		}
+	}
+	return m
+}
+
+// col2im scatters patch-gradients back into an image gradient, the
+// adjoint of im2col.
+func col2im(grad *linalg.Matrix, channels, size int) []float64 {
+	out := size - 2
+	img := make([]float64, channels*size*size)
+	for oy := 0; oy < out; oy++ {
+		for ox := 0; ox < out; ox++ {
+			row := grad.Row(oy*out + ox)
+			col := 0
+			for ch := 0; ch < channels; ch++ {
+				base := ch * size * size
+				for ky := 0; ky < 3; ky++ {
+					idx := base + (oy+ky)*size + ox
+					img[idx] += row[col]
+					img[idx+1] += row[col+1]
+					img[idx+2] += row[col+2]
+					col += 3
+				}
+			}
+		}
+	}
+	return img
+}
+
+// maxPool performs 2x2/stride-2 pooling per channel, recording argmax
+// indices for the backward pass.
+func maxPool(img []float64, channels, size int) (pooled []float64, argmax []int, outSize int) {
+	outSize = size / 2
+	pooled = make([]float64, channels*outSize*outSize)
+	argmax = make([]int, len(pooled))
+	for ch := 0; ch < channels; ch++ {
+		base := ch * size * size
+		obase := ch * outSize * outSize
+		for oy := 0; oy < outSize; oy++ {
+			for ox := 0; ox < outSize; ox++ {
+				bestIdx := base + (2*oy)*size + 2*ox
+				best := img[bestIdx]
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := base + (2*oy+dy)*size + (2*ox + dx)
+						if img[idx] > best {
+							best = img[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := obase + oy*outSize + ox
+				pooled[o] = best
+				argmax[o] = bestIdx
+			}
+		}
+	}
+	return pooled, argmax, outSize
+}
+
+// Fit trains the network with minibatch SGD with momentum.
+func (c *CNNClassifier) Fit(X *linalg.Matrix, y []int, classes int) error {
+	c.defaults()
+	if X.Cols != c.ImageSize*c.ImageSize {
+		return fmt.Errorf("models: CNN expects %d pixels, got %d", c.ImageSize*c.ImageSize, X.Cols)
+	}
+	if X.Rows != len(y) {
+		return fmt.Errorf("models: %d rows but %d labels", X.Rows, len(y))
+	}
+	c.classes = classes
+	c.c1Out = c.ImageSize - 2
+	c.p1Out = c.c1Out / 2
+	c.c2Out = c.p1Out - 2
+	c.p2Out = c.c2Out / 2
+	c.flat = c.Conv2 * c.p2Out * c.p2Out
+
+	rng := rand.New(rand.NewSource(c.Seed + 4))
+	initMat := func(rows, cols int, fanIn float64) *linalg.Matrix {
+		m := linalg.NewMatrix(rows, cols)
+		scale := math.Sqrt(2 / fanIn)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64() * scale
+		}
+		return m
+	}
+	c.w1 = initMat(9, c.Conv1, 9)                          // (1*3*3) x C1
+	c.w2 = initMat(c.Conv1*9, c.Conv2, float64(c.Conv1*9)) // (C1*3*3) x C2
+	c.wd = initMat(c.flat, c.Dense, float64(c.flat))
+	c.wo = initMat(c.Dense, classes, float64(c.Dense))
+	c.b1 = make([]float64, c.Conv1)
+	c.b2 = make([]float64, c.Conv2)
+	c.bd = make([]float64, c.Dense)
+	c.bo = make([]float64, classes)
+	c.vw1 = linalg.NewMatrix(9, c.Conv1)
+	c.vw2 = linalg.NewMatrix(c.Conv1*9, c.Conv2)
+	c.vwd = linalg.NewMatrix(c.flat, c.Dense)
+	c.vwo = linalg.NewMatrix(c.Dense, classes)
+	c.vb1 = make([]float64, c.Conv1)
+	c.vb2 = make([]float64, c.Conv2)
+	c.vbd = make([]float64, c.Dense)
+	c.vbo = make([]float64, classes)
+
+	idx := make([]int, X.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < c.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		lr := c.LearningRate / (1 + 0.1*float64(epoch))
+		for start := 0; start < len(idx); start += c.BatchSize {
+			end := start + c.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			c.trainBatch(X, y, idx[start:end], lr, rng)
+		}
+	}
+	return nil
+}
+
+// convForward holds per-image forward state needed for backprop.
+type convForward struct {
+	cols1, cols2 *linalg.Matrix // im2col matrices
+	act1, act2   *linalg.Matrix // post-ReLU conv activations (pixels x filters)
+	pool1, pool2 []float64
+	arg1, arg2   []int
+	dense        []float64 // post-ReLU dense activation
+	dropMask     []bool
+	probs        []float64
+}
+
+// forwardOne runs a single image through the network. dropRng enables
+// dropout when non-nil (training mode).
+func (c *CNNClassifier) forwardOne(img []float64, dropRng *rand.Rand) *convForward {
+	f := &convForward{}
+	// conv1 over the single input channel
+	f.cols1 = im2col(img, 1, c.ImageSize)
+	f.act1 = linalg.MatMul(f.cols1, c.w1)
+	linalg.AddRowVector(f.act1, c.b1)
+	for i, v := range f.act1.Data {
+		if v < 0 {
+			f.act1.Data[i] = 0
+		}
+	}
+	// reorder to channel-major image for pooling
+	chImg1 := pixelsToChannels(f.act1, c.Conv1, c.c1Out)
+	f.pool1, f.arg1, _ = maxPool(chImg1, c.Conv1, c.c1Out)
+
+	// conv2 over Conv1 channels
+	f.cols2 = im2col(f.pool1, c.Conv1, c.p1Out)
+	f.act2 = linalg.MatMul(f.cols2, c.w2)
+	linalg.AddRowVector(f.act2, c.b2)
+	for i, v := range f.act2.Data {
+		if v < 0 {
+			f.act2.Data[i] = 0
+		}
+	}
+	chImg2 := pixelsToChannels(f.act2, c.Conv2, c.c2Out)
+	f.pool2, f.arg2, _ = maxPool(chImg2, c.Conv2, c.c2Out)
+
+	// dense + dropout
+	f.dense = make([]float64, c.Dense)
+	for j := 0; j < c.Dense; j++ {
+		s := c.bd[j]
+		for i, v := range f.pool2 {
+			if v != 0 {
+				s += v * c.wd.At(i, j)
+			}
+		}
+		if s < 0 {
+			s = 0
+		}
+		f.dense[j] = s
+	}
+	if dropRng != nil && c.Dropout > 0 {
+		f.dropMask = make([]bool, c.Dense)
+		keep := 1 - c.Dropout
+		for j := range f.dense {
+			if dropRng.Float64() < c.Dropout {
+				f.dropMask[j] = true
+				f.dense[j] = 0
+			} else {
+				f.dense[j] /= keep // inverted dropout
+			}
+		}
+	}
+
+	// output softmax
+	f.probs = make([]float64, c.classes)
+	copy(f.probs, c.bo)
+	for j := 0; j < c.Dense; j++ {
+		v := f.dense[j]
+		if v == 0 {
+			continue
+		}
+		for k := 0; k < c.classes; k++ {
+			f.probs[k] += v * c.wo.At(j, k)
+		}
+	}
+	for k, v := range f.probs {
+		f.probs[k] = clampLogit(v)
+	}
+	softmaxInPlace(f.probs)
+	return f
+}
+
+// pixelsToChannels converts a (pixels x filters) activation matrix to a
+// channel-major image vector (filters x h x w).
+func pixelsToChannels(act *linalg.Matrix, filters, side int) []float64 {
+	out := make([]float64, filters*side*side)
+	for p := 0; p < act.Rows; p++ {
+		row := act.Row(p)
+		for ch := 0; ch < filters; ch++ {
+			out[ch*side*side+p] = row[ch]
+		}
+	}
+	return out
+}
+
+// channelsToPixels is the inverse layout transform for gradients.
+func channelsToPixels(img []float64, filters, side int) *linalg.Matrix {
+	out := linalg.NewMatrix(side*side, filters)
+	for p := 0; p < side*side; p++ {
+		row := out.Row(p)
+		for ch := 0; ch < filters; ch++ {
+			row[ch] = img[ch*side*side+p]
+		}
+	}
+	return out
+}
+
+func (c *CNNClassifier) trainBatch(X *linalg.Matrix, y []int, batch []int, lr float64, rng *rand.Rand) {
+	gw1 := linalg.NewMatrix(9, c.Conv1)
+	gw2 := linalg.NewMatrix(c.Conv1*9, c.Conv2)
+	gwd := linalg.NewMatrix(c.flat, c.Dense)
+	gwo := linalg.NewMatrix(c.Dense, c.classes)
+	gb1 := make([]float64, c.Conv1)
+	gb2 := make([]float64, c.Conv2)
+	gbd := make([]float64, c.Dense)
+	gbo := make([]float64, c.classes)
+
+	for _, r := range batch {
+		f := c.forwardOne(X.Row(r), rng)
+		// output delta
+		dOut := append([]float64(nil), f.probs...)
+		dOut[y[r]] -= 1
+		for k, d := range dOut {
+			gbo[k] += d
+		}
+		dDense := make([]float64, c.Dense)
+		for j := 0; j < c.Dense; j++ {
+			v := f.dense[j]
+			for k, d := range dOut {
+				if v != 0 {
+					gwo.Data[j*c.classes+k] += v * d
+				}
+				dDense[j] += c.wo.At(j, k) * d
+			}
+		}
+		// dropout + ReLU gates on dense
+		keep := 1 - c.Dropout
+		for j := range dDense {
+			if f.dropMask != nil && f.dropMask[j] {
+				dDense[j] = 0
+				continue
+			}
+			if f.dense[j] == 0 {
+				dDense[j] = 0
+				continue
+			}
+			if f.dropMask != nil {
+				dDense[j] /= keep
+			}
+		}
+		dFlat := make([]float64, c.flat)
+		for j, d := range dDense {
+			if d == 0 {
+				continue
+			}
+			gbd[j] += d
+			for i, v := range f.pool2 {
+				if v != 0 {
+					gwd.Data[i*c.Dense+j] += v * d
+				}
+				dFlat[i] += c.wd.At(i, j) * d
+			}
+		}
+		// unpool into conv2 activation gradient
+		dChImg2 := make([]float64, c.Conv2*c.c2Out*c.c2Out)
+		for o, src := range f.arg2 {
+			dChImg2[src] += dFlat[o]
+		}
+		dAct2 := channelsToPixels(dChImg2, c.Conv2, c.c2Out)
+		for i, v := range f.act2.Data {
+			if v <= 0 {
+				dAct2.Data[i] = 0
+			}
+		}
+		// conv2 gradients
+		gw2Part := linalg.MatMul(linalg.Transpose(f.cols2), dAct2)
+		linalg.Axpy(1, gw2Part.Data, gw2.Data)
+		for p := 0; p < dAct2.Rows; p++ {
+			for ch, d := range dAct2.Row(p) {
+				gb2[ch] += d
+			}
+		}
+		// gradient into pool1 output
+		dCols2 := linalg.MatMul(dAct2, linalg.Transpose(c.w2))
+		dPool1 := col2im(dCols2, c.Conv1, c.p1Out)
+		// unpool into conv1 activation gradient
+		dChImg1 := make([]float64, c.Conv1*c.c1Out*c.c1Out)
+		for o, src := range f.arg1 {
+			dChImg1[src] += dPool1[o]
+		}
+		dAct1 := channelsToPixels(dChImg1, c.Conv1, c.c1Out)
+		for i, v := range f.act1.Data {
+			if v <= 0 {
+				dAct1.Data[i] = 0
+			}
+		}
+		gw1Part := linalg.MatMul(linalg.Transpose(f.cols1), dAct1)
+		linalg.Axpy(1, gw1Part.Data, gw1.Data)
+		for p := 0; p < dAct1.Rows; p++ {
+			for ch, d := range dAct1.Row(p) {
+				gb1[ch] += d
+			}
+		}
+	}
+
+	scale := lr / float64(len(batch))
+	update := func(w, vw *linalg.Matrix, g *linalg.Matrix) {
+		for i := range w.Data {
+			vw.Data[i] = c.Momentum*vw.Data[i] - scale*g.Data[i]
+			w.Data[i] += vw.Data[i]
+		}
+	}
+	updateVec := func(b, vb, g []float64) {
+		for i := range b {
+			vb[i] = c.Momentum*vb[i] - scale*g[i]
+			b[i] += vb[i]
+		}
+	}
+	update(c.w1, c.vw1, gw1)
+	update(c.w2, c.vw2, gw2)
+	update(c.wd, c.vwd, gwd)
+	update(c.wo, c.vwo, gwo)
+	updateVec(c.b1, c.vb1, gb1)
+	updateVec(c.b2, c.vb2, gb2)
+	updateVec(c.bd, c.vbd, gbd)
+	updateVec(c.bo, c.vbo, gbo)
+}
+
+// PredictProba implements Classifier (dropout disabled).
+func (c *CNNClassifier) PredictProba(X *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(X.Rows, c.classes)
+	for i := 0; i < X.Rows; i++ {
+		f := c.forwardOne(X.Row(i), nil)
+		copy(out.Row(i), f.probs)
+	}
+	return out
+}
+
+// ConvCandidates returns a small architecture grid for the conv model.
+func ConvCandidates(seed int64) []Candidate {
+	var cands []Candidate
+	for _, cfg := range []struct{ c1, c2, dense int }{{8, 16, 64}} {
+		cfg := cfg
+		name := fmt.Sprintf("conv(%d,%d,%d)", cfg.c1, cfg.c2, cfg.dense)
+		cands = append(cands, Candidate{Name: name, New: func() Classifier {
+			return &CNNClassifier{Conv1: cfg.c1, Conv2: cfg.c2, Dense: cfg.dense, Seed: seed}
+		}})
+	}
+	return cands
+}

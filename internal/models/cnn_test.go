@@ -1,0 +1,133 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/featurize"
+	"blackboxval/internal/linalg"
+)
+
+func TestIm2ColCol2ImAdjoint(t *testing.T) {
+	// col2im(im2col(x)) on an all-ones gradient counts how many patches
+	// cover each pixel; verify the corner pixel is covered exactly once
+	// and the center 9 times for a single channel.
+	size := 6
+	img := make([]float64, size*size)
+	for i := range img {
+		img[i] = 1
+	}
+	cols := im2col(img, 1, size)
+	if cols.Rows != 16 || cols.Cols != 9 {
+		t.Fatalf("im2col shape = %dx%d", cols.Rows, cols.Cols)
+	}
+	grad := linalg.NewMatrix(cols.Rows, cols.Cols)
+	for i := range grad.Data {
+		grad.Data[i] = 1
+	}
+	back := col2im(grad, 1, size)
+	if back[0] != 1 {
+		t.Fatalf("corner coverage = %v, want 1", back[0])
+	}
+	center := back[3*size+3]
+	if center != 9 {
+		t.Fatalf("center coverage = %v, want 9", center)
+	}
+}
+
+func TestIm2ColValues(t *testing.T) {
+	size := 4
+	img := make([]float64, 16)
+	for i := range img {
+		img[i] = float64(i)
+	}
+	cols := im2col(img, 1, size)
+	// first output pixel patch = rows 0..2, cols 0..2
+	want := []float64{0, 1, 2, 4, 5, 6, 8, 9, 10}
+	for i, v := range want {
+		if cols.At(0, i) != v {
+			t.Fatalf("patch[%d] = %v, want %v", i, cols.At(0, i), v)
+		}
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	img := []float64{
+		1, 2, 5, 0,
+		3, 4, 1, 1,
+		0, 0, 9, 8,
+		0, 7, 6, 5,
+	}
+	pooled, argmax, out := maxPool(img, 1, 4)
+	if out != 2 {
+		t.Fatalf("out size = %d", out)
+	}
+	want := []float64{4, 5, 7, 9}
+	for i, v := range want {
+		if pooled[i] != v {
+			t.Fatalf("pooled = %v, want %v", pooled, want)
+		}
+	}
+	if img[argmax[0]] != 4 || img[argmax[3]] != 9 {
+		t.Fatal("argmax indices wrong")
+	}
+}
+
+func TestCNNLearnsDigits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN training is slow")
+	}
+	train := datagen.Digits(700, 1)
+	test := datagen.Digits(200, 2)
+	feat := &featurize.Pipeline{}
+	if err := feat.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	Xtr, _ := feat.Transform(train)
+	Xte, _ := feat.Transform(test)
+	clf := &CNNClassifier{Epochs: 3, Seed: 1}
+	if err := clf.Fit(Xtr, train.Labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	proba := clf.PredictProba(Xte)
+	checkProba(t, proba)
+	acc := Accuracy(proba, test.Labels)
+	if acc < 0.85 {
+		t.Fatalf("conv accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestCNNRejectsWrongPixelCount(t *testing.T) {
+	clf := &CNNClassifier{Seed: 1}
+	X := linalg.NewMatrix(2, 10)
+	if err := clf.Fit(X, []int{0, 1}, 2); err == nil {
+		t.Fatal("expected error for wrong pixel count")
+	}
+}
+
+func TestCNNProbaRowsSumToOneUntrainedInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN training is slow")
+	}
+	train := datagen.Digits(150, 3)
+	feat := &featurize.Pipeline{}
+	feat.Fit(train)
+	Xtr, _ := feat.Transform(train)
+	clf := &CNNClassifier{Epochs: 1, Conv1: 4, Conv2: 8, Dense: 16, Seed: 1}
+	if err := clf.Fit(Xtr, train.Labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	// All-black and all-white images must still give valid distributions.
+	X := linalg.NewMatrix(2, 28*28)
+	for j := 0; j < 28*28; j++ {
+		X.Set(1, j, 1)
+	}
+	proba := clf.PredictProba(X)
+	checkProba(t, proba)
+	for _, v := range proba.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN probability")
+		}
+	}
+}

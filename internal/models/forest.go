@@ -1,0 +1,135 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"blackboxval/internal/linalg"
+)
+
+// RandomForestRegressor is a bagged ensemble of CART regression trees with
+// per-split feature subsampling — the learner the paper uses as the
+// performance predictor h (a RandomForestRegressor in scikit-learn).
+type RandomForestRegressor struct {
+	Trees       int     // number of trees (default 100)
+	MaxDepth    int     // tree depth (default 8)
+	MinLeaf     int     // minimum samples per leaf (default 2)
+	FeatureFrac float64 // per-split feature subsample (default 0.4)
+	Seed        int64
+
+	trees []*RegressionTree
+}
+
+func (f *RandomForestRegressor) defaults() {
+	if f.Trees == 0 {
+		f.Trees = 100
+	}
+	if f.MaxDepth == 0 {
+		f.MaxDepth = 8
+	}
+	if f.MinLeaf == 0 {
+		f.MinLeaf = 2
+	}
+	if f.FeatureFrac == 0 {
+		f.FeatureFrac = 0.4
+	}
+}
+
+// Fit trains the forest on bootstrap samples of (X, y), parallelizing
+// across trees.
+func (f *RandomForestRegressor) Fit(X *linalg.Matrix, y []float64) error {
+	if X.Rows != len(y) {
+		return fmt.Errorf("models: %d rows but %d targets", X.Rows, len(y))
+	}
+	if X.Rows == 0 {
+		return fmt.Errorf("models: cannot fit forest on empty data")
+	}
+	f.defaults()
+	b := newBinning(X, 32)
+	n := X.Rows
+	f.trees = make([]*RegressionTree, f.Trees)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > f.Trees {
+		workers = f.Trees
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				rng := rand.New(rand.NewSource(f.Seed + int64(t)*7919))
+				rows := make([]int, n)
+				for i := range rows {
+					rows[i] = rng.Intn(n)
+				}
+				tree := &RegressionTree{
+					MaxDepth:    f.MaxDepth,
+					MinLeaf:     f.MinLeaf,
+					FeatureFrac: f.FeatureFrac,
+					Seed:        f.Seed + int64(t),
+				}
+				tree.defaults()
+				tree.fitBinned(b, rows, y, nil)
+				f.trees[t] = tree
+			}
+		}()
+	}
+	for t := 0; t < f.Trees; t++ {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+	return nil
+}
+
+// Predict implements Regressor, averaging the trees.
+func (f *RandomForestRegressor) Predict(X *linalg.Matrix) []float64 {
+	out := make([]float64, X.Rows)
+	if len(f.trees) == 0 {
+		return out
+	}
+	for i := range out {
+		row := X.Row(i)
+		sum := 0.0
+		for _, tree := range f.trees {
+			sum += tree.predictRow(row)
+		}
+		out[i] = sum / float64(len(f.trees))
+	}
+	return out
+}
+
+// PredictWithStd returns, per row, the forest mean and the standard
+// deviation across trees — an ensemble-disagreement uncertainty measure:
+// inputs far from the training distribution land in different leaves per
+// tree and spread the predictions.
+func (f *RandomForestRegressor) PredictWithStd(X *linalg.Matrix) (mean, std []float64) {
+	mean = make([]float64, X.Rows)
+	std = make([]float64, X.Rows)
+	if len(f.trees) == 0 {
+		return mean, std
+	}
+	n := float64(len(f.trees))
+	for i := 0; i < X.Rows; i++ {
+		row := X.Row(i)
+		sum, sumSq := 0.0, 0.0
+		for _, tree := range f.trees {
+			v := tree.predictRow(row)
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		mean[i] = m
+		variance := sumSq/n - m*m
+		if variance > 0 {
+			std[i] = math.Sqrt(variance)
+		}
+	}
+	return mean, std
+}

@@ -1,0 +1,239 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"blackboxval/internal/linalg"
+)
+
+// GBDTClassifier implements gradient-boosted decision trees for
+// classification (the "xgb" black box and the learner behind the
+// performance validator). Binary problems use logistic boosting with
+// Newton leaf values; multiclass problems use one softmax-coupled tree
+// per class per round.
+type GBDTClassifier struct {
+	Trees        int     // boosting rounds (default 40)
+	MaxDepth     int     // tree depth (default 3)
+	LearningRate float64 // shrinkage (default 0.2)
+	MinLeaf      int     // minimum samples per leaf (default 5)
+	FeatureFrac  float64 // per-split feature subsample (default 0.8)
+	Seed         int64
+
+	classes   int
+	baseScore []float64           // initial log-odds per class
+	rounds    [][]*RegressionTree // rounds[r][c]
+}
+
+func (g *GBDTClassifier) defaults() {
+	if g.Trees == 0 {
+		g.Trees = 40
+	}
+	if g.MaxDepth == 0 {
+		g.MaxDepth = 3
+	}
+	if g.LearningRate == 0 {
+		g.LearningRate = 0.2
+	}
+	if g.MinLeaf == 0 {
+		g.MinLeaf = 5
+	}
+	if g.FeatureFrac == 0 {
+		g.FeatureFrac = 0.8
+	}
+}
+
+// Fit trains the boosted ensemble.
+func (g *GBDTClassifier) Fit(X *linalg.Matrix, y []int, classes int) error {
+	if X.Rows != len(y) {
+		return fmt.Errorf("models: %d rows but %d labels", X.Rows, len(y))
+	}
+	if classes < 2 {
+		return fmt.Errorf("models: need at least 2 classes, got %d", classes)
+	}
+	g.defaults()
+	g.classes = classes
+	n := X.Rows
+
+	// Prior log-probabilities as the base score.
+	counts := make([]float64, classes)
+	for _, c := range y {
+		counts[c]++
+	}
+	g.baseScore = make([]float64, classes)
+	for c := range g.baseScore {
+		p := (counts[c] + 1) / float64(n+classes)
+		g.baseScore[c] = math.Log(p)
+	}
+
+	b := newBinning(X, 32)
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+
+	// scores[i*classes+c] accumulates the raw boosted score.
+	scores := make([]float64, n*classes)
+	for i := 0; i < n; i++ {
+		copy(scores[i*classes:(i+1)*classes], g.baseScore)
+	}
+
+	probs := make([]float64, classes)
+	grads := make([]float64, n)
+	hess := make([]float64, n)
+	g.rounds = nil
+	for r := 0; r < g.Trees; r++ {
+		round := make([]*RegressionTree, classes)
+		// Compute softmax probabilities once per round.
+		probMat := make([]float64, n*classes)
+		for i := 0; i < n; i++ {
+			copy(probs, scores[i*classes:(i+1)*classes])
+			softmaxInPlace(probs)
+			copy(probMat[i*classes:(i+1)*classes], probs)
+		}
+		for c := 0; c < classes; c++ {
+			for i := 0; i < n; i++ {
+				p := probMat[i*classes+c]
+				target := 0.0
+				if y[i] == c {
+					target = 1
+				}
+				grads[i] = target - p
+				hess[i] = math.Max(p*(1-p), 1e-6)
+			}
+			tree := &RegressionTree{
+				MaxDepth:    g.MaxDepth,
+				MinLeaf:     g.MinLeaf,
+				FeatureFrac: g.FeatureFrac,
+				Seed:        g.Seed + int64(r*classes+c),
+			}
+			tree.defaults()
+			tree.fitBinned(b, rows, grads, hess)
+			round[c] = tree
+			for i := 0; i < n; i++ {
+				scores[i*classes+c] += g.LearningRate * tree.predictBinned(b, i)
+			}
+		}
+		g.rounds = append(g.rounds, round)
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (g *GBDTClassifier) PredictProba(X *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(X.Rows, g.classes)
+	for i := 0; i < X.Rows; i++ {
+		row := X.Row(i)
+		scores := out.Row(i)
+		copy(scores, g.baseScore)
+		for _, round := range g.rounds {
+			for c, tree := range round {
+				scores[c] += g.LearningRate * tree.predictRow(row)
+			}
+		}
+		for c, v := range scores {
+			scores[c] = clampLogit(v)
+		}
+	}
+	linalg.SoftmaxRows(out)
+	return out
+}
+
+// XGBCandidates returns the paper's grid for the xgb model: number and
+// depth of trees.
+func XGBCandidates(seed int64) []Candidate {
+	var cands []Candidate
+	for _, trees := range []int{20, 40} {
+		for _, depth := range []int{2, 3, 4} {
+			trees, depth := trees, depth
+			name := fmt.Sprintf("xgb(trees=%d,depth=%d)", trees, depth)
+			cands = append(cands, Candidate{Name: name, New: func() Classifier {
+				return &GBDTClassifier{Trees: trees, MaxDepth: depth, Seed: seed}
+			}})
+		}
+	}
+	return cands
+}
+
+// GBDTRegressor implements gradient-boosted trees for regression with
+// squared loss. It is one of the ablation alternatives for the
+// performance predictor h.
+type GBDTRegressor struct {
+	Trees        int     // boosting rounds (default 100)
+	MaxDepth     int     // tree depth (default 3)
+	LearningRate float64 // shrinkage (default 0.1)
+	MinLeaf      int     // minimum samples per leaf (default 3)
+	Seed         int64
+
+	base  float64
+	trees []*RegressionTree
+}
+
+func (g *GBDTRegressor) defaults() {
+	if g.Trees == 0 {
+		g.Trees = 100
+	}
+	if g.MaxDepth == 0 {
+		g.MaxDepth = 3
+	}
+	if g.LearningRate == 0 {
+		g.LearningRate = 0.1
+	}
+	if g.MinLeaf == 0 {
+		g.MinLeaf = 3
+	}
+}
+
+// Fit trains the boosted regression ensemble on squared loss.
+func (g *GBDTRegressor) Fit(X *linalg.Matrix, y []float64) error {
+	if X.Rows != len(y) {
+		return fmt.Errorf("models: %d rows but %d targets", X.Rows, len(y))
+	}
+	g.defaults()
+	n := X.Rows
+	g.base = 0
+	for _, v := range y {
+		g.base += v
+	}
+	if n > 0 {
+		g.base /= float64(n)
+	}
+	b := newBinning(X, 32)
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = g.base
+	}
+	resid := make([]float64, n)
+	g.trees = nil
+	for r := 0; r < g.Trees; r++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		tree := &RegressionTree{MaxDepth: g.MaxDepth, MinLeaf: g.MinLeaf, Seed: g.Seed + int64(r)}
+		tree.defaults()
+		tree.fitBinned(b, rows, resid, nil)
+		g.trees = append(g.trees, tree)
+		for i := 0; i < n; i++ {
+			pred[i] += g.LearningRate * tree.predictBinned(b, i)
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (g *GBDTRegressor) Predict(X *linalg.Matrix) []float64 {
+	out := make([]float64, X.Rows)
+	for i := range out {
+		row := X.Row(i)
+		v := g.base
+		for _, tree := range g.trees {
+			v += g.LearningRate * tree.predictRow(row)
+		}
+		out[i] = v
+	}
+	return out
+}

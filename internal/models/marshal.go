@@ -1,0 +1,427 @@
+package models
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"blackboxval/internal/featurize"
+	"blackboxval/internal/linalg"
+)
+
+// This file implements JSON serialization for every learner, so trained
+// black boxes, predictors and validators can be shipped between processes
+// — the paper publishes "serialized datasets and models" alongside its
+// experiments, and a deployed validator must be loadable next to the
+// serving system without retraining.
+
+// matrixState is the wire form of a dense matrix.
+type matrixState struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+func matrixToState(m *linalg.Matrix) *matrixState {
+	if m == nil {
+		return nil
+	}
+	return &matrixState{Rows: m.Rows, Cols: m.Cols, Data: m.Data}
+}
+
+func stateToMatrix(s *matrixState) (*linalg.Matrix, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if len(s.Data) != s.Rows*s.Cols {
+		return nil, fmt.Errorf("models: matrix state has %d values for %dx%d", len(s.Data), s.Rows, s.Cols)
+	}
+	return &linalg.Matrix{Rows: s.Rows, Cols: s.Cols, Data: s.Data}, nil
+}
+
+// ---- SGDClassifier ----
+
+type sgdState struct {
+	LearningRate float64      `json:"learning_rate"`
+	Lambda       float64      `json:"lambda"`
+	Penalty      Penalty      `json:"penalty"`
+	Epochs       int          `json:"epochs"`
+	BatchSize    int          `json:"batch_size"`
+	Seed         int64        `json:"seed"`
+	Weights      *matrixState `json:"weights"`
+	Bias         []float64    `json:"bias"`
+	Classes      int          `json:"classes"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *SGDClassifier) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sgdState{
+		LearningRate: s.LearningRate, Lambda: s.Lambda, Penalty: s.Penalty,
+		Epochs: s.Epochs, BatchSize: s.BatchSize, Seed: s.Seed,
+		Weights: matrixToState(s.weights), Bias: s.bias, Classes: s.classes,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *SGDClassifier) UnmarshalJSON(b []byte) error {
+	var st sgdState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	w, err := stateToMatrix(st.Weights)
+	if err != nil {
+		return err
+	}
+	s.LearningRate, s.Lambda, s.Penalty = st.LearningRate, st.Lambda, st.Penalty
+	s.Epochs, s.BatchSize, s.Seed = st.Epochs, st.BatchSize, st.Seed
+	s.weights, s.bias, s.classes = w, st.Bias, st.Classes
+	return nil
+}
+
+// ---- MLPClassifier ----
+
+type mlpState struct {
+	Hidden       []int          `json:"hidden"`
+	LearningRate float64        `json:"learning_rate"`
+	Epochs       int            `json:"epochs"`
+	BatchSize    int            `json:"batch_size"`
+	Momentum     float64        `json:"momentum"`
+	Seed         int64          `json:"seed"`
+	Weights      []*matrixState `json:"weights"`
+	Biases       [][]float64    `json:"biases"`
+	Classes      int            `json:"classes"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *MLPClassifier) MarshalJSON() ([]byte, error) {
+	st := mlpState{
+		Hidden: m.Hidden, LearningRate: m.LearningRate, Epochs: m.Epochs,
+		BatchSize: m.BatchSize, Momentum: m.Momentum, Seed: m.Seed,
+		Biases: m.biases, Classes: m.classes,
+	}
+	for _, w := range m.weights {
+		st.Weights = append(st.Weights, matrixToState(w))
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *MLPClassifier) UnmarshalJSON(b []byte) error {
+	var st mlpState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	m.Hidden, m.LearningRate, m.Epochs = st.Hidden, st.LearningRate, st.Epochs
+	m.BatchSize, m.Momentum, m.Seed = st.BatchSize, st.Momentum, st.Seed
+	m.biases, m.classes = st.Biases, st.Classes
+	m.weights = nil
+	for _, ws := range st.Weights {
+		w, err := stateToMatrix(ws)
+		if err != nil {
+			return err
+		}
+		m.weights = append(m.weights, w)
+	}
+	return nil
+}
+
+// ---- RegressionTree ----
+
+type treeNodeState struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int     `json:"l"`
+	Right     int     `json:"r"`
+	Value     float64 `json:"v"`
+}
+
+type treeState struct {
+	MaxDepth    int             `json:"max_depth"`
+	MinLeaf     int             `json:"min_leaf"`
+	FeatureFrac float64         `json:"feature_frac"`
+	Bins        int             `json:"bins"`
+	Seed        int64           `json:"seed"`
+	Nodes       []treeNodeState `json:"nodes"`
+}
+
+func (t *RegressionTree) state() treeState {
+	st := treeState{
+		MaxDepth: t.MaxDepth, MinLeaf: t.MinLeaf,
+		FeatureFrac: t.FeatureFrac, Bins: t.Bins, Seed: t.Seed,
+	}
+	for _, n := range t.nodes {
+		st.Nodes = append(st.Nodes, treeNodeState{
+			Feature: n.feature, Threshold: n.threshold,
+			Left: n.left, Right: n.right, Value: n.value,
+		})
+	}
+	return st
+}
+
+func (t *RegressionTree) restore(st treeState) {
+	t.MaxDepth, t.MinLeaf = st.MaxDepth, st.MinLeaf
+	t.FeatureFrac, t.Bins, t.Seed = st.FeatureFrac, st.Bins, st.Seed
+	t.nodes = nil
+	for _, n := range st.Nodes {
+		t.nodes = append(t.nodes, treeNode{
+			feature: n.Feature, threshold: n.Threshold,
+			left: n.Left, right: n.Right, value: n.Value,
+		})
+	}
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *RegressionTree) MarshalJSON() ([]byte, error) { return json.Marshal(t.state()) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *RegressionTree) UnmarshalJSON(b []byte) error {
+	var st treeState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	t.restore(st)
+	return nil
+}
+
+// ---- GBDTClassifier ----
+
+type gbdtClassifierState struct {
+	Trees        int                 `json:"trees"`
+	MaxDepth     int                 `json:"max_depth"`
+	LearningRate float64             `json:"learning_rate"`
+	MinLeaf      int                 `json:"min_leaf"`
+	FeatureFrac  float64             `json:"feature_frac"`
+	Seed         int64               `json:"seed"`
+	Classes      int                 `json:"classes"`
+	BaseScore    []float64           `json:"base_score"`
+	Rounds       [][]*RegressionTree `json:"rounds"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *GBDTClassifier) MarshalJSON() ([]byte, error) {
+	return json.Marshal(gbdtClassifierState{
+		Trees: g.Trees, MaxDepth: g.MaxDepth, LearningRate: g.LearningRate,
+		MinLeaf: g.MinLeaf, FeatureFrac: g.FeatureFrac, Seed: g.Seed,
+		Classes: g.classes, BaseScore: g.baseScore, Rounds: g.rounds,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *GBDTClassifier) UnmarshalJSON(b []byte) error {
+	var st gbdtClassifierState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	g.Trees, g.MaxDepth, g.LearningRate = st.Trees, st.MaxDepth, st.LearningRate
+	g.MinLeaf, g.FeatureFrac, g.Seed = st.MinLeaf, st.FeatureFrac, st.Seed
+	g.classes, g.baseScore, g.rounds = st.Classes, st.BaseScore, st.Rounds
+	return nil
+}
+
+// ---- GBDTRegressor ----
+
+type gbdtRegressorState struct {
+	Trees        int               `json:"trees"`
+	MaxDepth     int               `json:"max_depth"`
+	LearningRate float64           `json:"learning_rate"`
+	MinLeaf      int               `json:"min_leaf"`
+	Seed         int64             `json:"seed"`
+	Base         float64           `json:"base"`
+	Ensemble     []*RegressionTree `json:"ensemble"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *GBDTRegressor) MarshalJSON() ([]byte, error) {
+	return json.Marshal(gbdtRegressorState{
+		Trees: g.Trees, MaxDepth: g.MaxDepth, LearningRate: g.LearningRate,
+		MinLeaf: g.MinLeaf, Seed: g.Seed, Base: g.base, Ensemble: g.trees,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *GBDTRegressor) UnmarshalJSON(b []byte) error {
+	var st gbdtRegressorState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	g.Trees, g.MaxDepth, g.LearningRate = st.Trees, st.MaxDepth, st.LearningRate
+	g.MinLeaf, g.Seed, g.base, g.trees = st.MinLeaf, st.Seed, st.Base, st.Ensemble
+	return nil
+}
+
+// ---- RandomForestRegressor ----
+
+type forestState struct {
+	Trees       int               `json:"trees"`
+	MaxDepth    int               `json:"max_depth"`
+	MinLeaf     int               `json:"min_leaf"`
+	FeatureFrac float64           `json:"feature_frac"`
+	Seed        int64             `json:"seed"`
+	Ensemble    []*RegressionTree `json:"ensemble"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (f *RandomForestRegressor) MarshalJSON() ([]byte, error) {
+	return json.Marshal(forestState{
+		Trees: f.Trees, MaxDepth: f.MaxDepth, MinLeaf: f.MinLeaf,
+		FeatureFrac: f.FeatureFrac, Seed: f.Seed, Ensemble: f.trees,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *RandomForestRegressor) UnmarshalJSON(b []byte) error {
+	var st forestState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	f.Trees, f.MaxDepth, f.MinLeaf = st.Trees, st.MaxDepth, st.MinLeaf
+	f.FeatureFrac, f.Seed, f.trees = st.FeatureFrac, st.Seed, st.Ensemble
+	return nil
+}
+
+// ---- CNNClassifier ----
+
+type cnnState struct {
+	ImageSize    int          `json:"image_size"`
+	Conv1        int          `json:"conv1"`
+	Conv2        int          `json:"conv2"`
+	Dense        int          `json:"dense"`
+	Dropout      float64      `json:"dropout"`
+	LearningRate float64      `json:"learning_rate"`
+	Epochs       int          `json:"epochs"`
+	BatchSize    int          `json:"batch_size"`
+	Momentum     float64      `json:"momentum"`
+	Seed         int64        `json:"seed"`
+	Classes      int          `json:"classes"`
+	W1           *matrixState `json:"w1"`
+	W2           *matrixState `json:"w2"`
+	WD           *matrixState `json:"wd"`
+	WO           *matrixState `json:"wo"`
+	B1           []float64    `json:"b1"`
+	B2           []float64    `json:"b2"`
+	BD           []float64    `json:"bd"`
+	BO           []float64    `json:"bo"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c *CNNClassifier) MarshalJSON() ([]byte, error) {
+	return json.Marshal(cnnState{
+		ImageSize: c.ImageSize, Conv1: c.Conv1, Conv2: c.Conv2, Dense: c.Dense,
+		Dropout: c.Dropout, LearningRate: c.LearningRate, Epochs: c.Epochs,
+		BatchSize: c.BatchSize, Momentum: c.Momentum, Seed: c.Seed,
+		Classes: c.classes,
+		W1:      matrixToState(c.w1), W2: matrixToState(c.w2),
+		WD: matrixToState(c.wd), WO: matrixToState(c.wo),
+		B1: c.b1, B2: c.b2, BD: c.bd, BO: c.bo,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *CNNClassifier) UnmarshalJSON(b []byte) error {
+	var st cnnState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	var err error
+	c.ImageSize, c.Conv1, c.Conv2, c.Dense = st.ImageSize, st.Conv1, st.Conv2, st.Dense
+	c.Dropout, c.LearningRate, c.Epochs = st.Dropout, st.LearningRate, st.Epochs
+	c.BatchSize, c.Momentum, c.Seed, c.classes = st.BatchSize, st.Momentum, st.Seed, st.Classes
+	if c.w1, err = stateToMatrix(st.W1); err != nil {
+		return err
+	}
+	if c.w2, err = stateToMatrix(st.W2); err != nil {
+		return err
+	}
+	if c.wd, err = stateToMatrix(st.WD); err != nil {
+		return err
+	}
+	if c.wo, err = stateToMatrix(st.WO); err != nil {
+		return err
+	}
+	c.b1, c.b2, c.bd, c.bo = st.B1, st.B2, st.BD, st.BO
+	// Re-derive the geometry that Fit would have computed.
+	c.defaults()
+	c.c1Out = c.ImageSize - 2
+	c.p1Out = c.c1Out / 2
+	c.c2Out = c.p1Out - 2
+	c.p2Out = c.c2Out / 2
+	c.flat = c.Conv2 * c.p2Out * c.p2Out
+	return nil
+}
+
+// ---- classifier registry and Pipeline ----
+
+// classifierTypeName returns the stable wire tag of a classifier type.
+func classifierTypeName(c Classifier) (string, error) {
+	switch c.(type) {
+	case *SGDClassifier:
+		return "sgd", nil
+	case *MLPClassifier:
+		return "mlp", nil
+	case *GBDTClassifier:
+		return "gbdt", nil
+	case *CNNClassifier:
+		return "cnn", nil
+	default:
+		return "", fmt.Errorf("models: cannot serialize classifier type %T", c)
+	}
+}
+
+// newClassifierByName is the inverse of classifierTypeName.
+func newClassifierByName(name string) (Classifier, error) {
+	switch name {
+	case "sgd":
+		return &SGDClassifier{}, nil
+	case "mlp":
+		return &MLPClassifier{}, nil
+	case "gbdt":
+		return &GBDTClassifier{}, nil
+	case "cnn":
+		return &CNNClassifier{}, nil
+	default:
+		return nil, fmt.Errorf("models: unknown classifier type %q", name)
+	}
+}
+
+type pipelineState struct {
+	ClassifierType string              `json:"classifier_type"`
+	Classifier     json.RawMessage     `json:"classifier"`
+	Features       *featurize.Pipeline `json:"features"`
+	Classes        int                 `json:"classes"`
+}
+
+// MarshalJSON implements json.Marshaler for a trained black box pipeline.
+func (p *Pipeline) MarshalJSON() ([]byte, error) {
+	typeName, err := classifierTypeName(p.clf)
+	if err != nil {
+		return nil, err
+	}
+	clfJSON, err := json.Marshal(p.clf)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(pipelineState{
+		ClassifierType: typeName,
+		Classifier:     clfJSON,
+		Features:       p.feat,
+		Classes:        p.classes,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Pipeline) UnmarshalJSON(b []byte) error {
+	var st pipelineState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	clf, err := newClassifierByName(st.ClassifierType)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(st.Classifier, clf); err != nil {
+		return err
+	}
+	p.clf = clf
+	p.feat = st.Features
+	p.classes = st.Classes
+	return nil
+}

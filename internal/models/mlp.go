@@ -1,0 +1,186 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"blackboxval/internal/linalg"
+)
+
+// MLPClassifier is a feed-forward neural network with two ReLU hidden
+// layers and a softmax output, the "dnn" black box of the paper. It is
+// trained with minibatch SGD with momentum on the cross-entropy loss.
+type MLPClassifier struct {
+	Hidden       []int   // hidden layer widths (default [32, 16])
+	LearningRate float64 // step size (default 0.05)
+	Epochs       int     // passes over the data (default 40)
+	BatchSize    int     // minibatch size (default 32)
+	Momentum     float64 // SGD momentum (default 0.9)
+	Seed         int64
+
+	weights []*linalg.Matrix // weights[l]: in x out
+	biases  [][]float64
+	velW    []*linalg.Matrix
+	velB    [][]float64
+	classes int
+}
+
+func (m *MLPClassifier) defaults() {
+	if len(m.Hidden) == 0 {
+		m.Hidden = []int{32, 16}
+	}
+	if m.LearningRate == 0 {
+		m.LearningRate = 0.05
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 40
+	}
+	if m.BatchSize == 0 {
+		m.BatchSize = 32
+	}
+	if m.Momentum == 0 {
+		m.Momentum = 0.9
+	}
+}
+
+// Fit trains the network.
+func (m *MLPClassifier) Fit(X *linalg.Matrix, y []int, classes int) error {
+	if X.Rows != len(y) {
+		return fmt.Errorf("models: %d rows but %d labels", X.Rows, len(y))
+	}
+	m.defaults()
+	rng := rand.New(rand.NewSource(m.Seed + 2))
+	m.classes = classes
+	sizes := append(append([]int{X.Cols}, m.Hidden...), classes)
+	m.weights = nil
+	m.biases = nil
+	m.velW = nil
+	m.velB = nil
+	for l := 0; l+1 < len(sizes); l++ {
+		w := linalg.NewMatrix(sizes[l], sizes[l+1])
+		// He initialization for the ReLU layers.
+		scale := math.Sqrt(2 / float64(sizes[l]))
+		for i := range w.Data {
+			w.Data[i] = rng.NormFloat64() * scale
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, make([]float64, sizes[l+1]))
+		m.velW = append(m.velW, linalg.NewMatrix(sizes[l], sizes[l+1]))
+		m.velB = append(m.velB, make([]float64, sizes[l+1]))
+	}
+
+	idx := make([]int, X.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		lr := m.LearningRate / (1 + 0.02*float64(epoch))
+		for start := 0; start < len(idx); start += m.BatchSize {
+			end := start + m.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			batchY := make([]int, len(batch))
+			for i, r := range batch {
+				batchY[i] = y[r]
+			}
+			m.step(X.SelectRows(batch), batchY, lr)
+		}
+	}
+	return nil
+}
+
+// step runs one forward/backward pass on a minibatch and applies the
+// momentum update.
+func (m *MLPClassifier) step(X *linalg.Matrix, y []int, lr float64) {
+	activations, _ := m.forward(X)
+	batch := float64(X.Rows)
+
+	// delta starts as dL/dlogits for softmax + cross-entropy.
+	delta := activations[len(activations)-1].Clone()
+	for i := 0; i < delta.Rows; i++ {
+		delta.Row(i)[y[i]] -= 1
+	}
+
+	for l := len(m.weights) - 1; l >= 0; l-- {
+		input := activations[l]
+		gradW := linalg.MatMul(linalg.Transpose(input), delta)
+		linalg.Scale(gradW, 1/batch)
+		gradB := make([]float64, delta.Cols)
+		for i := 0; i < delta.Rows; i++ {
+			for j, v := range delta.Row(i) {
+				gradB[j] += v / batch
+			}
+		}
+		if l > 0 {
+			// propagate before updating the weights
+			next := linalg.MatMul(delta, linalg.Transpose(m.weights[l]))
+			// ReLU derivative gate
+			for i := range next.Data {
+				if input.Data[i] <= 0 {
+					next.Data[i] = 0
+				}
+			}
+			delta = next
+		}
+		for i := range m.weights[l].Data {
+			m.velW[l].Data[i] = m.Momentum*m.velW[l].Data[i] - lr*gradW.Data[i]
+			m.weights[l].Data[i] += m.velW[l].Data[i]
+		}
+		for j := range m.biases[l] {
+			m.velB[l][j] = m.Momentum*m.velB[l][j] - lr*gradB[j]
+			m.biases[l][j] += m.velB[l][j]
+		}
+	}
+}
+
+// forward returns the activation of every layer (input first, softmax
+// probabilities last) and the pre-activation of the output layer.
+func (m *MLPClassifier) forward(X *linalg.Matrix) ([]*linalg.Matrix, *linalg.Matrix) {
+	activations := []*linalg.Matrix{X}
+	cur := X
+	for l := range m.weights {
+		z := linalg.MatMul(cur, m.weights[l])
+		linalg.AddRowVector(z, m.biases[l])
+		for i := range z.Data {
+			z.Data[i] = clampLogit(z.Data[i])
+		}
+		if l < len(m.weights)-1 {
+			for i, v := range z.Data {
+				if v < 0 {
+					z.Data[i] = 0
+				}
+			}
+			activations = append(activations, z)
+			cur = z
+			continue
+		}
+		probs := z.Clone()
+		linalg.SoftmaxRows(probs)
+		activations = append(activations, probs)
+		return activations, z
+	}
+	return activations, cur
+}
+
+// PredictProba implements Classifier.
+func (m *MLPClassifier) PredictProba(X *linalg.Matrix) *linalg.Matrix {
+	acts, _ := m.forward(X)
+	return acts[len(acts)-1]
+}
+
+// DNNCandidates returns the paper's grid for the dnn model: layer sizes.
+func DNNCandidates(seed int64) []Candidate {
+	var cands []Candidate
+	for _, hidden := range [][]int{{16, 8}, {32, 16}, {64, 32}} {
+		hidden := hidden
+		name := fmt.Sprintf("dnn(hidden=%v)", hidden)
+		cands = append(cands, Candidate{Name: name, New: func() Classifier {
+			return &MLPClassifier{Hidden: hidden, Seed: seed}
+		}})
+	}
+	return cands
+}

@@ -1,0 +1,173 @@
+// Package models implements the black box classifiers of the paper's
+// evaluation from scratch: a logistic regression trained with SGD (lr), a
+// two-layer feed-forward neural network (dnn), gradient-boosted decision
+// trees (xgb) and a convolutional network for images (conv) — plus the
+// learners the validation system itself needs: CART trees, a random
+// forest regressor (the performance predictor h) and a gradient-boosted
+// classifier (the performance validator). Model selection uses k-fold
+// cross-validation with grid search, as in Section 6 of the paper.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/featurize"
+	"blackboxval/internal/linalg"
+)
+
+// Classifier is a probabilistic classifier over feature matrices.
+type Classifier interface {
+	// Fit trains on feature matrix X with labels y drawn from
+	// {0,...,classes-1}.
+	Fit(X *linalg.Matrix, y []int, classes int) error
+	// PredictProba returns an n x classes matrix of class probabilities.
+	PredictProba(X *linalg.Matrix) *linalg.Matrix
+}
+
+// Regressor is a real-valued predictor over feature matrices.
+type Regressor interface {
+	Fit(X *linalg.Matrix, y []float64) error
+	Predict(X *linalg.Matrix) []float64
+}
+
+// Pipeline couples a fitted feature map with a trained classifier and
+// exposes only the data.Model contract — from the outside it is a black
+// box that maps datasets to class probabilities.
+type Pipeline struct {
+	feat    *featurize.Pipeline
+	clf     Classifier
+	classes int
+}
+
+// TrainPipeline fits the feature map on ds, featurizes it and trains clf,
+// returning the assembled black box.
+func TrainPipeline(ds *data.Dataset, clf Classifier, hashDims int) (*Pipeline, error) {
+	feat := &featurize.Pipeline{HashDims: hashDims}
+	if err := feat.Fit(ds); err != nil {
+		return nil, fmt.Errorf("models: fitting feature map: %w", err)
+	}
+	X, err := feat.Transform(ds)
+	if err != nil {
+		return nil, fmt.Errorf("models: featurizing training data: %w", err)
+	}
+	classes := len(ds.Classes)
+	if err := clf.Fit(X, ds.Labels, classes); err != nil {
+		return nil, fmt.Errorf("models: training classifier: %w", err)
+	}
+	return &Pipeline{feat: feat, clf: clf, classes: classes}, nil
+}
+
+// PredictProba implements data.Model.
+func (p *Pipeline) PredictProba(ds *data.Dataset) *linalg.Matrix {
+	X, err := p.feat.Transform(ds)
+	if err != nil {
+		// The black box contract has no error channel (a remote model
+		// would answer any request); schema mismatch is a programming
+		// error here.
+		panic(fmt.Sprintf("models: featurizing serving data: %v", err))
+	}
+	return p.clf.PredictProba(X)
+}
+
+// NumClasses implements data.Model.
+func (p *Pipeline) NumClasses() int { return p.classes }
+
+// Accuracy is the scoring function L used throughout: fraction of argmax
+// predictions matching the labels.
+func Accuracy(proba *linalg.Matrix, y []int) float64 {
+	if proba.Rows != len(y) {
+		panic("models: probability matrix and labels disagree")
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range y {
+		if linalg.ArgmaxRow(proba.Row(i)) == y[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(y))
+}
+
+// kFoldIndices splits n shuffled row indices into k contiguous folds.
+func kFoldIndices(n, k int, rng *rand.Rand) [][]int {
+	if k < 2 {
+		panic("models: need at least 2 folds")
+	}
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}
+
+// Candidate is one grid-search cell: a name and a factory for a fresh
+// classifier with those hyperparameters.
+type Candidate struct {
+	Name string
+	New  func() Classifier
+}
+
+// GridSearchCV evaluates every candidate with k-fold cross-validated
+// accuracy on (X, y), then refits the best configuration on all the data.
+// It mirrors the paper's "five-fold cross-validation with grid search"
+// training protocol.
+func GridSearchCV(X *linalg.Matrix, y []int, classes, folds int, cands []Candidate, rng *rand.Rand) (Classifier, string, error) {
+	if len(cands) == 0 {
+		return nil, "", fmt.Errorf("models: no candidates to search")
+	}
+	if folds > len(y) {
+		folds = len(y)
+	}
+	bestScore := -1.0
+	bestIdx := 0
+	if len(cands) > 1 {
+		foldIdx := kFoldIndices(len(y), folds, rng)
+		for ci, cand := range cands {
+			score, err := crossValScore(X, y, classes, foldIdx, cand.New)
+			if err != nil {
+				return nil, "", fmt.Errorf("models: cross-validating %s: %w", cand.Name, err)
+			}
+			if score > bestScore {
+				bestScore = score
+				bestIdx = ci
+			}
+		}
+	}
+	best := cands[bestIdx].New()
+	if err := best.Fit(X, y, classes); err != nil {
+		return nil, "", fmt.Errorf("models: refitting %s: %w", cands[bestIdx].Name, err)
+	}
+	return best, cands[bestIdx].Name, nil
+}
+
+func crossValScore(X *linalg.Matrix, y []int, classes int, folds [][]int, newClf func() Classifier) (float64, error) {
+	total := 0.0
+	for f := range folds {
+		var trainIdx []int
+		for g := range folds {
+			if g != f {
+				trainIdx = append(trainIdx, folds[g]...)
+			}
+		}
+		valIdx := folds[f]
+		trainY := make([]int, len(trainIdx))
+		for i, idx := range trainIdx {
+			trainY[i] = y[idx]
+		}
+		valY := make([]int, len(valIdx))
+		for i, idx := range valIdx {
+			valY[i] = y[idx]
+		}
+		clf := newClf()
+		if err := clf.Fit(X.SelectRows(trainIdx), trainY, classes); err != nil {
+			return 0, err
+		}
+		total += Accuracy(clf.PredictProba(X.SelectRows(valIdx)), valY)
+	}
+	return total / float64(len(folds)), nil
+}

@@ -1,0 +1,313 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"blackboxval/internal/linalg"
+)
+
+// treeNode is a node of a CART regression tree. Leaves have feature == -1.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      int // child indices into RegressionTree.nodes
+	right     int
+	value     float64
+}
+
+// RegressionTree is a CART regression tree trained on least squares,
+// using histogram-based split finding for speed. It is the base learner
+// for both the gradient-boosted models and the random forest.
+type RegressionTree struct {
+	MaxDepth    int     // maximum depth (default 3)
+	MinLeaf     int     // minimum samples per leaf (default 5)
+	FeatureFrac float64 // fraction of features considered per split (default 1.0)
+	Bins        int     // histogram bins per feature (default 32)
+	Seed        int64
+
+	nodes []treeNode
+}
+
+func (t *RegressionTree) defaults() {
+	if t.MaxDepth == 0 {
+		t.MaxDepth = 3
+	}
+	if t.MinLeaf == 0 {
+		t.MinLeaf = 5
+	}
+	if t.FeatureFrac == 0 {
+		t.FeatureFrac = 1
+	}
+	if t.Bins == 0 {
+		t.Bins = 32
+	}
+}
+
+// binning holds the shared histogram discretization of a feature matrix.
+// It is computed once per ensemble fit and reused by every tree.
+type binning struct {
+	edges  [][]float64 // per-feature ascending bin upper edges (len bins-1)
+	codes  []uint8     // row-major binned matrix
+	cols   int
+	values [][]float64 // per-feature representative value per bin (bin lower midpoint)
+}
+
+// newBinning discretizes X into at most bins buckets per feature using
+// quantile edges.
+func newBinning(X *linalg.Matrix, bins int) *binning {
+	b := &binning{cols: X.Cols, codes: make([]uint8, len(X.Data))}
+	b.edges = make([][]float64, X.Cols)
+	b.values = make([][]float64, X.Cols)
+	col := make([]float64, X.Rows)
+	for j := 0; j < X.Cols; j++ {
+		for i := 0; i < X.Rows; i++ {
+			col[i] = X.At(i, j)
+		}
+		sorted := append([]float64(nil), col...)
+		sort.Float64s(sorted)
+		var edges []float64
+		for k := 1; k < bins; k++ {
+			q := sorted[k*len(sorted)/bins]
+			if len(edges) == 0 || q > edges[len(edges)-1] {
+				edges = append(edges, q)
+			}
+		}
+		b.edges[j] = edges
+		vals := make([]float64, len(edges)+1)
+		for k := range vals {
+			switch {
+			case k == 0:
+				vals[k] = sorted[0]
+			default:
+				vals[k] = edges[k-1]
+			}
+		}
+		b.values[j] = vals
+		for i := 0; i < X.Rows; i++ {
+			b.codes[i*X.Cols+j] = uint8(binIndex(edges, col[i]))
+		}
+	}
+	return b
+}
+
+// binIndex returns the bucket of v: the count of edges <= v.
+func binIndex(edges []float64, v float64) int {
+	lo, hi := 0, len(edges)
+	if math.IsNaN(v) {
+		return 0
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if edges[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Fit trains the tree on (X, targets) with optional per-row weights used
+// as Newton denominators (hessians) by gradient boosting; pass nil for
+// plain least-squares leaves.
+func (t *RegressionTree) Fit(X *linalg.Matrix, targets []float64) error {
+	t.defaults()
+	b := newBinning(X, t.Bins)
+	rows := make([]int, X.Rows)
+	for i := range rows {
+		rows[i] = i
+	}
+	t.fitBinned(b, rows, targets, nil)
+	return nil
+}
+
+// fitBinned grows the tree on pre-binned data. hessians may be nil.
+func (t *RegressionTree) fitBinned(b *binning, rows []int, grads, hessians []float64) {
+	t.defaults()
+	t.nodes = t.nodes[:0]
+	rng := rand.New(rand.NewSource(t.Seed + 3))
+	t.grow(b, rows, grads, hessians, 0, rng)
+}
+
+// grow recursively builds the subtree over rows and returns its node index.
+func (t *RegressionTree) grow(b *binning, rows []int, grads, hessians []float64, depth int, rng *rand.Rand) int {
+	sumG, sumH := 0.0, 0.0
+	for _, r := range rows {
+		sumG += grads[r]
+		if hessians != nil {
+			sumH += hessians[r]
+		}
+	}
+	if hessians == nil {
+		sumH = float64(len(rows))
+	}
+	leafValue := 0.0
+	if sumH > 1e-12 {
+		leafValue = sumG / sumH
+	}
+
+	nodeIdx := len(t.nodes)
+	t.nodes = append(t.nodes, treeNode{feature: -1, value: leafValue})
+	if depth >= t.MaxDepth || len(rows) < 2*t.MinLeaf {
+		return nodeIdx
+	}
+
+	feat, bin, gain := t.bestSplit(b, rows, grads, hessians, sumG, sumH, rng)
+	if gain <= 1e-12 || feat < 0 {
+		return nodeIdx
+	}
+
+	var left, right []int
+	for _, r := range rows {
+		if int(b.codes[r*b.cols+feat]) <= bin {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < t.MinLeaf || len(right) < t.MinLeaf {
+		return nodeIdx
+	}
+
+	t.nodes[nodeIdx].feature = feat
+	t.nodes[nodeIdx].threshold = b.edges[feat][bin] // split: value < edge goes left
+	t.nodes[nodeIdx].left = t.grow(b, left, grads, hessians, depth+1, rng)
+	t.nodes[nodeIdx].right = t.grow(b, right, grads, hessians, depth+1, rng)
+	return nodeIdx
+}
+
+// bestSplit scans histogram bins of a random feature subset for the split
+// maximizing the variance-reduction (or Newton gain) criterion.
+func (t *RegressionTree) bestSplit(b *binning, rows []int, grads, hessians []float64, sumG, sumH float64, rng *rand.Rand) (feature, bin int, gain float64) {
+	feature, bin = -1, -1
+	parentScore := sumG * sumG / sumH
+
+	nFeat := b.cols
+	featIdx := rng.Perm(nFeat)
+	if t.FeatureFrac < 1 {
+		k := int(math.Ceil(t.FeatureFrac * float64(nFeat)))
+		if k < 1 {
+			k = 1
+		}
+		featIdx = featIdx[:k]
+	}
+
+	histG := make([]float64, t.Bins)
+	histH := make([]float64, t.Bins)
+	histN := make([]int, t.Bins)
+	for _, j := range featIdx {
+		nEdges := len(b.edges[j])
+		if nEdges == 0 {
+			continue // constant feature
+		}
+		for k := 0; k <= nEdges; k++ {
+			histG[k], histH[k] = 0, 0
+			histN[k] = 0
+		}
+		if hessians != nil {
+			for _, r := range rows {
+				c := b.codes[r*b.cols+j]
+				histG[c] += grads[r]
+				histH[c] += hessians[r]
+				histN[c]++
+			}
+		} else {
+			for _, r := range rows {
+				c := b.codes[r*b.cols+j]
+				histG[c] += grads[r]
+				histH[c]++
+				histN[c]++
+			}
+		}
+		leftG, leftH := 0.0, 0.0
+		leftN := 0
+		for k := 0; k < nEdges; k++ { // split after bin k
+			leftG += histG[k]
+			leftH += histH[k]
+			leftN += histN[k]
+			rightN := len(rows) - leftN
+			if leftN < t.MinLeaf || rightN < t.MinLeaf {
+				continue
+			}
+			rightG := sumG - leftG
+			rightH := sumH - leftH
+			if leftH < 1e-12 || rightH < 1e-12 {
+				continue
+			}
+			g := leftG*leftG/leftH + rightG*rightG/rightH - parentScore
+			if g > gain {
+				gain = g
+				feature = j
+				bin = k
+			}
+		}
+	}
+	return feature, bin, gain
+}
+
+// Predict implements Regressor for a fitted tree.
+func (t *RegressionTree) Predict(X *linalg.Matrix) []float64 {
+	out := make([]float64, X.Rows)
+	for i := range out {
+		out[i] = t.predictRow(X.Row(i))
+	}
+	return out
+}
+
+func (t *RegressionTree) predictRow(row []float64) float64 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	idx := 0
+	for {
+		n := t.nodes[idx]
+		if n.feature < 0 {
+			return n.value
+		}
+		// Training splits on bin <= k, i.e. value < edges[k].
+		if row[n.feature] < n.threshold {
+			idx = n.left
+		} else {
+			idx = n.right
+		}
+	}
+}
+
+// predictBinned evaluates the tree on a row of the training binning.
+func (t *RegressionTree) predictBinned(b *binning, row int) float64 {
+	idx := 0
+	for {
+		n := t.nodes[idx]
+		if n.feature < 0 {
+			return n.value
+		}
+		v := b.values[n.feature][b.codes[row*b.cols+n.feature]]
+		if v < n.threshold {
+			idx = n.left
+		} else {
+			idx = n.right
+		}
+	}
+}
+
+// Depth returns the depth of the fitted tree (0 for a stump/leaf).
+func (t *RegressionTree) Depth() int {
+	var depth func(idx int) int
+	depth = func(idx int) int {
+		n := t.nodes[idx]
+		if n.feature < 0 {
+			return 0
+		}
+		l, r := depth(n.left), depth(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return depth(0)
+}

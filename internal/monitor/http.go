@@ -1,0 +1,68 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler exposes the monitor's state over HTTP for dashboards and
+// scrapers:
+//
+//	GET /summary          -> Summary as JSON
+//	GET /history?limit=N  -> the most recent N records (default all retained)
+//	GET /alarming         -> {"alarming": bool, "alarm_line": x}
+//	GET /healthz          -> 200 ok
+//
+// Mount it next to the prediction service so the validation state ships
+// with the model.
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/summary", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, m.Summarize())
+	})
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		history := m.History()
+		if limitStr := r.URL.Query().Get("limit"); limitStr != "" {
+			limit, err := strconv.Atoi(limitStr)
+			if err != nil || limit < 0 {
+				http.Error(w, "invalid limit", http.StatusBadRequest)
+				return
+			}
+			if limit < len(history) {
+				history = history[len(history)-limit:]
+			}
+		}
+		writeJSON(w, history)
+	})
+	mux.HandleFunc("/alarming", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"alarming":   m.Alarming(),
+			"alarm_line": m.AlarmLine(),
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,112 @@
+package monitor
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"blackboxval/internal/errorgen"
+)
+
+func dashboardFixture(t *testing.T) (*Monitor, *httptest.Server) {
+	t.Helper()
+	f := getFixture(t)
+	m, err := New(Config{Predictor: f.pred, Validator: f.val, Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	m.Observe(f.serving)
+	m.Observe(errorgen.Scaling{}.Corrupt(f.serving, 0.95, rng))
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+	return m, srv
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestDashboardSummary(t *testing.T) {
+	_, srv := dashboardFixture(t)
+	var s Summary
+	if code := getJSON(t, srv.URL+"/summary", &s); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if s.Batches != 2 || s.Violations < 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestDashboardHistoryWithLimit(t *testing.T) {
+	_, srv := dashboardFixture(t)
+	var all []Record
+	if code := getJSON(t, srv.URL+"/history", &all); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(all) != 2 {
+		t.Fatalf("history = %d records", len(all))
+	}
+	var last []Record
+	if code := getJSON(t, srv.URL+"/history?limit=1", &last); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(last) != 1 || last[0].Seq != all[1].Seq {
+		t.Fatalf("limited history = %+v", last)
+	}
+	var bad []Record
+	if code := getJSON(t, srv.URL+"/history?limit=-2", &bad); code != http.StatusBadRequest {
+		t.Fatalf("negative limit status = %d", code)
+	}
+}
+
+func TestDashboardAlarming(t *testing.T) {
+	m, srv := dashboardFixture(t)
+	var out map[string]any
+	if code := getJSON(t, srv.URL+"/alarming", &out); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if out["alarming"] != m.Alarming() {
+		t.Fatalf("alarming = %v, monitor says %v", out["alarming"], m.Alarming())
+	}
+	if out["alarm_line"].(float64) != m.AlarmLine() {
+		t.Fatal("alarm line mismatch")
+	}
+}
+
+func TestDashboardMethodGuards(t *testing.T) {
+	_, srv := dashboardFixture(t)
+	resp, err := http.Post(srv.URL+"/summary", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestDashboardHealthz(t *testing.T) {
+	_, srv := dashboardFixture(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,238 @@
+// Package monitor implements the serving-side integration the paper's
+// introduction motivates: "end users and serving systems can raise alarms
+// if this estimate is significantly below the expected prediction quality
+// of the black box model". A Monitor consumes a stream of serving
+// batches, records the performance predictor's estimate for each, applies
+// an alarm policy with optional hysteresis (k consecutive violating
+// batches before an alarm fires, suppressing one-off flukes), and keeps a
+// bounded history for dashboards and postmortems.
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"blackboxval/internal/core"
+	"blackboxval/internal/data"
+	"blackboxval/internal/linalg"
+)
+
+// Config configures a Monitor.
+type Config struct {
+	// Predictor estimates the score per batch. Required.
+	Predictor *core.Predictor
+	// Validator optionally contributes its binary decision per batch; when
+	// set, a batch counts as violating if EITHER the estimate drops below
+	// the threshold line or the validator raises an alarm.
+	Validator *core.Validator
+	// Threshold is the tolerated relative score drop for the
+	// estimate-based alarm (default 0.05).
+	Threshold float64
+	// Hysteresis is the number of consecutive violating batches required
+	// before Alarming flips to true (default 1: alarm immediately).
+	Hysteresis int
+	// HistoryLimit bounds the retained per-batch records (default 1024).
+	HistoryLimit int
+	// WindowSize is the number of single predictions per evaluation
+	// window for row-level observation via ObserveRow (default 500).
+	// Batch-level Observe/ObserveProba ignore it.
+	WindowSize int
+}
+
+func (c *Config) defaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 0.05
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 1
+	}
+	if c.HistoryLimit == 0 {
+		c.HistoryLimit = 1024
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 500
+	}
+}
+
+// Record is the monitoring outcome for one serving batch.
+type Record struct {
+	// Seq is the 0-based index of the batch in the stream.
+	Seq int
+	// Size is the number of examples in the batch.
+	Size int
+	// Estimate is the predictor's score estimate.
+	Estimate float64
+	// EstimateViolation is true when Estimate fell below (1-t)*testScore.
+	EstimateViolation bool
+	// ValidatorViolation is the validator's decision (false when no
+	// validator is configured).
+	ValidatorViolation bool
+	// Violating is the combined per-batch verdict.
+	Violating bool
+	// Alarming reports the monitor state after this batch, i.e. whether
+	// the hysteresis run length has been reached.
+	Alarming bool
+}
+
+// Monitor tracks the estimated performance of one deployed model. It is
+// safe for concurrent use.
+type Monitor struct {
+	cfg  Config
+	line float64 // alarm line: (1-t) * testScore
+
+	mu      sync.Mutex
+	seq     int
+	run     int // current consecutive-violation run length
+	alarms  int
+	history []Record
+	window  *core.StreamAccumulator // lazily created by ObserveRow
+}
+
+// New validates the configuration and returns a ready monitor.
+func New(cfg Config) (*Monitor, error) {
+	cfg.defaults()
+	if cfg.Predictor == nil {
+		return nil, fmt.Errorf("monitor: a predictor is required")
+	}
+	if cfg.Threshold < 0 || cfg.Threshold >= 1 {
+		return nil, fmt.Errorf("monitor: threshold %v out of [0,1)", cfg.Threshold)
+	}
+	if cfg.Hysteresis < 1 {
+		return nil, fmt.Errorf("monitor: hysteresis must be >= 1")
+	}
+	return &Monitor{
+		cfg:  cfg,
+		line: (1 - cfg.Threshold) * cfg.Predictor.TestScore(),
+	}, nil
+}
+
+// Observe runs the black box on the batch and records the outcome. Use
+// ObserveProba when the model outputs are already available (e.g. logged
+// by the serving system).
+func (m *Monitor) Observe(batch *data.Dataset) Record {
+	return m.ObserveProba(m.cfg.Predictor.Model().PredictProba(batch))
+}
+
+// ObserveProba records the outcome for a batch of model outputs.
+func (m *Monitor) ObserveProba(proba *linalg.Matrix) Record {
+	estimate := m.cfg.Predictor.EstimateFromProba(proba)
+	rec := Record{
+		Size:              proba.Rows,
+		Estimate:          estimate,
+		EstimateViolation: estimate < m.line,
+	}
+	if m.cfg.Validator != nil {
+		rec.ValidatorViolation = m.cfg.Validator.ViolationFromProba(proba)
+	}
+	rec.Violating = rec.EstimateViolation || rec.ValidatorViolation
+	m.commit(&rec)
+	return rec
+}
+
+// commit applies the hysteresis state machine and appends to history.
+func (m *Monitor) commit(rec *Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec.Seq = m.seq
+	m.seq++
+	if rec.Violating {
+		m.run++
+	} else {
+		m.run = 0
+	}
+	rec.Alarming = m.run >= m.cfg.Hysteresis
+	if rec.Alarming {
+		m.alarms++
+	}
+	m.history = append(m.history, *rec)
+	if len(m.history) > m.cfg.HistoryLimit {
+		m.history = m.history[len(m.history)-m.cfg.HistoryLimit:]
+	}
+}
+
+// ObserveRow consumes a single model output (one prediction's probability
+// vector) for deployments that cannot batch. Rows accumulate in a P²
+// streaming window of Config.WindowSize predictions; when the window
+// fills, the monitor evaluates it like a batch and returns the resulting
+// record with done=true. Streaming windows use only the estimate-based
+// alarm: the validator's hypothesis-test features need the full output
+// sample and are skipped.
+func (m *Monitor) ObserveRow(probaRow []float64) (rec Record, done bool) {
+	m.mu.Lock()
+	if m.window == nil {
+		m.window = m.cfg.Predictor.NewStreamAccumulator()
+	}
+	m.window.Add(probaRow)
+	if m.window.Count() < m.cfg.WindowSize {
+		m.mu.Unlock()
+		return Record{}, false
+	}
+	feats := m.window.Features()
+	size := m.window.Count()
+	m.window.Reset()
+	m.mu.Unlock()
+
+	estimate := m.cfg.Predictor.EstimateFromFeatures(feats)
+	rec = Record{
+		Size:              size,
+		Estimate:          estimate,
+		EstimateViolation: estimate < m.line,
+	}
+	rec.Violating = rec.EstimateViolation
+	m.commit(&rec)
+	return rec, true
+}
+
+// Alarming reports whether the monitor is currently in the alarm state.
+func (m *Monitor) Alarming() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.run >= m.cfg.Hysteresis
+}
+
+// AlarmLine returns the score below which a batch counts as violating.
+func (m *Monitor) AlarmLine() float64 { return m.line }
+
+// History returns a copy of the retained per-batch records, oldest first.
+func (m *Monitor) History() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Record(nil), m.history...)
+}
+
+// Summary aggregates the monitoring history.
+type Summary struct {
+	Batches        int
+	Violations     int
+	AlarmedBatches int
+	MeanEstimate   float64
+	MinEstimate    float64
+	LastEstimate   float64
+}
+
+// Summarize aggregates the retained history.
+func (m *Monitor) Summarize() Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Summary{Batches: len(m.history)}
+	if len(m.history) == 0 {
+		return s
+	}
+	s.MinEstimate = m.history[0].Estimate
+	sum := 0.0
+	for _, rec := range m.history {
+		sum += rec.Estimate
+		if rec.Estimate < s.MinEstimate {
+			s.MinEstimate = rec.Estimate
+		}
+		if rec.Violating {
+			s.Violations++
+		}
+		if rec.Alarming {
+			s.AlarmedBatches++
+		}
+	}
+	s.MeanEstimate = sum / float64(len(m.history))
+	s.LastEstimate = m.history[len(m.history)-1].Estimate
+	return s
+}

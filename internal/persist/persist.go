@@ -1,0 +1,132 @@
+// Package persist stores and loads the system's trained artifacts —
+// datasets, black box pipelines, performance predictors and validators —
+// as versioned JSON files, mirroring the serialized datasets and models
+// the paper publishes with its experiments. Every artifact is wrapped in
+// an envelope carrying a kind tag and format version, so files are
+// self-describing and loading the wrong artifact kind fails loudly.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"blackboxval/internal/core"
+	"blackboxval/internal/data"
+	"blackboxval/internal/models"
+)
+
+// Version is the current on-disk format version.
+const Version = 1
+
+// Artifact kinds.
+const (
+	KindDataset   = "dataset"
+	KindPipeline  = "pipeline"
+	KindPredictor = "predictor"
+	KindValidator = "validator"
+)
+
+// envelope wraps every serialized artifact.
+type envelope struct {
+	Kind    string          `json:"kind"`
+	Version int             `json:"version"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func save(path, kind string, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("persist: encoding %s: %w", kind, err)
+	}
+	env, err := json.Marshal(envelope{Kind: kind, Version: Version, Payload: body})
+	if err != nil {
+		return fmt.Errorf("persist: encoding envelope: %w", err)
+	}
+	if err := os.WriteFile(path, env, 0o644); err != nil {
+		return fmt.Errorf("persist: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+func load(path, kind string, payload any) error {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("persist: reading %s: %w", path, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("persist: decoding envelope of %s: %w", path, err)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("persist: %s holds a %q artifact, want %q", path, env.Kind, kind)
+	}
+	if env.Version != Version {
+		return fmt.Errorf("persist: %s has format version %d, this build reads %d", path, env.Version, Version)
+	}
+	if err := json.Unmarshal(env.Payload, payload); err != nil {
+		return fmt.Errorf("persist: decoding %s payload: %w", kind, err)
+	}
+	return nil
+}
+
+// SaveDataset writes a labeled dataset to path.
+func SaveDataset(path string, ds *data.Dataset) error { return save(path, KindDataset, ds) }
+
+// LoadDataset reads a labeled dataset from path.
+func LoadDataset(path string) (*data.Dataset, error) {
+	ds := &data.Dataset{}
+	if err := load(path, KindDataset, ds); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// SavePipeline writes a trained black box pipeline (feature map +
+// classifier) to path.
+func SavePipeline(path string, p *models.Pipeline) error { return save(path, KindPipeline, p) }
+
+// LoadPipeline reads a trained black box pipeline from path.
+func LoadPipeline(path string) (*models.Pipeline, error) {
+	p := &models.Pipeline{}
+	if err := load(path, KindPipeline, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SavePredictor writes a trained performance predictor to path. The black
+// box model is not stored; re-attach it after loading.
+func SavePredictor(path string, p *core.Predictor) error { return save(path, KindPredictor, p) }
+
+// LoadPredictor reads a performance predictor from path and attaches the
+// given black box model (pass nil to attach later; EstimateFromProba
+// works without a model).
+func LoadPredictor(path string, model data.Model) (*core.Predictor, error) {
+	p := &core.Predictor{}
+	if err := load(path, KindPredictor, p); err != nil {
+		return nil, err
+	}
+	if model != nil {
+		p.AttachModel(model)
+	}
+	return p, nil
+}
+
+// SaveValidator writes a trained performance validator to path. The black
+// box model is not stored; re-attach it after loading.
+func SaveValidator(path string, v *core.Validator) error { return save(path, KindValidator, v) }
+
+// LoadValidator reads a performance validator from path and attaches the
+// given black box model (pass nil to attach later; ViolationFromProba
+// works without a model).
+func LoadValidator(path string, model data.Model) (*core.Validator, error) {
+	v := &core.Validator{}
+	if err := load(path, KindValidator, v); err != nil {
+		return nil, err
+	}
+	if model != nil {
+		v.AttachModel(model)
+	}
+	return v, nil
+}

@@ -1,0 +1,331 @@
+package persist
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blackboxval/internal/core"
+	"blackboxval/internal/data"
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/linalg"
+	"blackboxval/internal/models"
+)
+
+func tmpPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), name)
+}
+
+func matricesEqual(a, b *linalg.Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDatasetRoundTripTabular(t *testing.T) {
+	ds := datagen.Income(200, 1)
+	ds.Frame.Column("age").Num[0] = math.NaN() // missing survives the trip
+	ds.Frame.Column("occupation").Str[1] = ""
+	path := tmpPath(t, "income.json")
+	if err := SaveDataset(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() || len(got.Classes) != 2 {
+		t.Fatalf("shape lost: %d rows", got.Len())
+	}
+	if !math.IsNaN(got.Frame.Column("age").Num[0]) {
+		t.Fatal("NaN missing marker lost")
+	}
+	if got.Frame.Column("occupation").Str[1] != "" {
+		t.Fatal("categorical missing marker lost")
+	}
+	for i := range ds.Labels {
+		if got.Labels[i] != ds.Labels[i] {
+			t.Fatal("labels differ")
+		}
+	}
+	a := ds.Frame.Column("hours_per_week").Num
+	b := got.Frame.Column("hours_per_week").Num
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("numeric values differ")
+		}
+	}
+}
+
+func TestDatasetRoundTripImages(t *testing.T) {
+	ds := datagen.Digits(30, 1)
+	path := tmpPath(t, "digits.json")
+	if err := SaveDataset(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Images.Width != 28 || got.Images.Len() != 30 {
+		t.Fatal("image shape lost")
+	}
+	for i := range ds.Images.Pixels {
+		for j := range ds.Images.Pixels[i] {
+			if got.Images.Pixels[i][j] != ds.Images.Pixels[i][j] {
+				t.Fatal("pixels differ")
+			}
+		}
+	}
+}
+
+// pipelineRoundTrip trains a classifier, saves and loads the pipeline and
+// checks identical predictions on fresh data.
+func pipelineRoundTrip(t *testing.T, clf models.Classifier, train, probe *data.Dataset) {
+	t.Helper()
+	p, err := models.TrainPipeline(train, clf, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := tmpPath(t, "pipeline.json")
+	if err := SavePipeline(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPipeline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.PredictProba(probe)
+	have := got.PredictProba(probe)
+	if !matricesEqual(want, have, 1e-12) {
+		t.Fatal("loaded pipeline predicts differently")
+	}
+	if got.NumClasses() != p.NumClasses() {
+		t.Fatal("class count lost")
+	}
+}
+
+func TestPipelineRoundTripSGD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := datagen.Income(800, 1)
+	train, probe := ds.Split(0.7, rng)
+	pipelineRoundTrip(t, &models.SGDClassifier{Epochs: 5, Seed: 1}, train, probe)
+}
+
+func TestPipelineRoundTripMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := datagen.Heart(800, 2)
+	train, probe := ds.Split(0.7, rng)
+	pipelineRoundTrip(t, &models.MLPClassifier{Hidden: []int{8, 4}, Epochs: 4, Seed: 1}, train, probe)
+}
+
+func TestPipelineRoundTripGBDT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := datagen.Bank(800, 3)
+	train, probe := ds.Split(0.7, rng)
+	pipelineRoundTrip(t, &models.GBDTClassifier{Trees: 10, Seed: 1}, train, probe)
+}
+
+func TestPipelineRoundTripCNN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN training is slow")
+	}
+	rng := rand.New(rand.NewSource(4))
+	ds := datagen.Digits(160, 4)
+	train, probe := ds.Split(0.7, rng)
+	pipelineRoundTrip(t, &models.CNNClassifier{Epochs: 1, Conv1: 4, Conv2: 8, Dense: 16, Seed: 1}, train, probe)
+}
+
+func TestPredictorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := datagen.Income(1500, 5).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+	model, err := models.TrainPipeline(train, &models.SGDClassifier{Epochs: 8, Seed: 1}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := core.TrainPredictor(model, test, core.PredictorConfig{
+		Generators:  errorgen.KnownTabular(),
+		Repetitions: 10,
+		ForestSizes: []int{20},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := tmpPath(t, "predictor.json")
+	if err := SavePredictor(path, pred); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPredictor(path, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := model.PredictProba(serving)
+	if got.EstimateFromProba(proba) != pred.EstimateFromProba(proba) {
+		t.Fatal("loaded predictor estimates differently")
+	}
+	if got.Estimate(serving) != pred.Estimate(serving) {
+		t.Fatal("attached model path differs")
+	}
+	if got.TestScore() != pred.TestScore() {
+		t.Fatal("test score lost")
+	}
+}
+
+func TestPredictorRoundTripAUC(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := datagen.Income(1200, 6).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+	model, err := models.TrainPipeline(train, &models.SGDClassifier{Epochs: 8, Seed: 1}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := core.TrainPredictor(model, test, core.PredictorConfig{
+		Generators:  errorgen.KnownTabular(),
+		Repetitions: 8,
+		ForestSizes: []int{20},
+		Score:       core.AUCScore,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := tmpPath(t, "predictor-auc.json")
+	if err := SavePredictor(path, pred); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPredictor(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := model.PredictProba(serving)
+	if got.EstimateFromProba(proba) != pred.EstimateFromProba(proba) {
+		t.Fatal("AUC predictor round trip failed")
+	}
+}
+
+func TestValidatorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := datagen.Income(2000, 7).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+	model, err := models.TrainPipeline(train, &models.SGDClassifier{Epochs: 8, Seed: 1}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, err := core.TrainValidator(model, test, core.ValidatorConfig{
+		Generators: errorgen.KnownTabular(),
+		Threshold:  0.05,
+		Batches:    60,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := tmpPath(t, "validator.json")
+	if err := SaveValidator(path, val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadValidator(path, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := model.PredictProba(serving)
+	if got.ViolationFromProba(proba) != val.ViolationFromProba(proba) {
+		t.Fatal("loaded validator decides differently")
+	}
+	if got.ViolationProbability(proba) != val.ViolationProbability(proba) {
+		t.Fatal("loaded validator probability differs")
+	}
+	if got.Threshold() != val.Threshold() || got.TestScore() != val.TestScore() {
+		t.Fatal("validator metadata lost")
+	}
+	if got.Violation(serving) != val.Violation(serving) {
+		t.Fatal("attached model path differs")
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	ds := datagen.Income(50, 8)
+	path := tmpPath(t, "dataset.json")
+	if err := SaveDataset(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPipeline(path); err == nil {
+		t.Fatal("loading a dataset as a pipeline should fail")
+	}
+}
+
+func TestCorruptFileRejected(t *testing.T) {
+	path := tmpPath(t, "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDataset(path); err == nil {
+		t.Fatal("garbage file should fail to load")
+	}
+	if _, err := LoadDataset(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should fail to load")
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	path := tmpPath(t, "future.json")
+	if err := os.WriteFile(path, []byte(`{"kind":"dataset","version":999,"payload":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDataset(path); err == nil {
+		t.Fatal("future version should fail to load")
+	}
+}
+
+func TestPredictorIntervalSurvivesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := datagen.Income(1500, 9).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+	model, err := models.TrainPipeline(train, &models.SGDClassifier{Epochs: 8, Seed: 1}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := core.TrainPredictor(model, test, core.PredictorConfig{
+		Generators:  errorgen.KnownTabular(),
+		Repetitions: 12,
+		ForestSizes: []int{20},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := tmpPath(t, "predictor-interval.json")
+	if err := SavePredictor(path, pred); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPredictor(path, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := model.PredictProba(serving)
+	wantEst, wantLo, wantHi := pred.EstimateInterval(proba, 0.1)
+	gotEst, gotLo, gotHi := got.EstimateInterval(proba, 0.1)
+	if wantEst != gotEst || wantLo != gotLo || wantHi != gotHi {
+		t.Fatalf("interval changed over round trip: [%v %v %v] vs [%v %v %v]",
+			wantLo, wantEst, wantHi, gotLo, gotEst, gotHi)
+	}
+	if wantLo == wantHi {
+		t.Fatal("interval should be non-degenerate with calibration data")
+	}
+}

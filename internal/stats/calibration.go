@@ -1,0 +1,80 @@
+package stats
+
+import "fmt"
+
+// CalibrationBin is one bucket of a reliability diagram.
+type CalibrationBin struct {
+	// Lo and Hi bound the predicted-probability bucket [Lo, Hi).
+	Lo, Hi float64
+	// Count is the number of predictions in the bucket.
+	Count int
+	// MeanPredicted is the average predicted probability in the bucket.
+	MeanPredicted float64
+	// ObservedRate is the empirical positive rate in the bucket.
+	ObservedRate float64
+}
+
+// CalibrationCurve bins predicted probabilities against observed binary
+// outcomes (1 = positive), producing the reliability diagram used to
+// judge whether a probabilistic alarm (e.g. the validator's violation
+// probability) can be thresholded meaningfully. Empty buckets are
+// omitted.
+func CalibrationCurve(predicted []float64, outcomes []int, bins int) []CalibrationBin {
+	if len(predicted) != len(outcomes) {
+		panic("stats: calibration inputs of unequal length")
+	}
+	if bins < 1 {
+		panic("stats: need at least one calibration bin")
+	}
+	sums := make([]float64, bins)
+	hits := make([]int, bins)
+	counts := make([]int, bins)
+	for i, p := range predicted {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("stats: predicted probability %v out of [0,1]", p))
+		}
+		b := int(p * float64(bins))
+		if b == bins {
+			b = bins - 1
+		}
+		sums[b] += p
+		counts[b]++
+		if outcomes[i] == 1 {
+			hits[b]++
+		}
+	}
+	var out []CalibrationBin
+	width := 1.0 / float64(bins)
+	for b := 0; b < bins; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		out = append(out, CalibrationBin{
+			Lo:            float64(b) * width,
+			Hi:            float64(b+1) * width,
+			Count:         counts[b],
+			MeanPredicted: sums[b] / float64(counts[b]),
+			ObservedRate:  float64(hits[b]) / float64(counts[b]),
+		})
+	}
+	return out
+}
+
+// ExpectedCalibrationError summarizes a reliability diagram as the
+// count-weighted mean absolute gap between predicted and observed rates.
+func ExpectedCalibrationError(curve []CalibrationBin) float64 {
+	total := 0
+	weighted := 0.0
+	for _, bin := range curve {
+		total += bin.Count
+		gap := bin.MeanPredicted - bin.ObservedRate
+		if gap < 0 {
+			gap = -gap
+		}
+		weighted += gap * float64(bin.Count)
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / float64(total)
+}

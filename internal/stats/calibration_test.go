@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCalibrationCurvePerfectlyCalibrated(t *testing.T) {
+	// Outcomes drawn exactly from the predicted probabilities.
+	rng := rand.New(rand.NewSource(1))
+	n := 50000
+	predicted := make([]float64, n)
+	outcomes := make([]int, n)
+	for i := range predicted {
+		p := rng.Float64()
+		predicted[i] = p
+		if rng.Float64() < p {
+			outcomes[i] = 1
+		}
+	}
+	curve := CalibrationCurve(predicted, outcomes, 10)
+	if len(curve) != 10 {
+		t.Fatalf("bins = %d", len(curve))
+	}
+	if ece := ExpectedCalibrationError(curve); ece > 0.02 {
+		t.Fatalf("ECE = %v for perfectly calibrated data", ece)
+	}
+	for _, bin := range curve {
+		if bin.MeanPredicted < bin.Lo || bin.MeanPredicted >= bin.Hi+1e-9 {
+			t.Fatalf("bin mean %v outside [%v,%v)", bin.MeanPredicted, bin.Lo, bin.Hi)
+		}
+	}
+}
+
+func TestCalibrationCurveOverconfident(t *testing.T) {
+	// Predictions of 0.9 with a true rate of 0.5: ECE ≈ 0.4.
+	n := 2000
+	predicted := make([]float64, n)
+	outcomes := make([]int, n)
+	for i := range predicted {
+		predicted[i] = 0.9
+		outcomes[i] = i % 2
+	}
+	curve := CalibrationCurve(predicted, outcomes, 10)
+	if len(curve) != 1 {
+		t.Fatalf("expected one occupied bin, got %d", len(curve))
+	}
+	if math.Abs(ExpectedCalibrationError(curve)-0.4) > 1e-9 {
+		t.Fatalf("ECE = %v, want 0.4", ExpectedCalibrationError(curve))
+	}
+}
+
+func TestCalibrationCurveEdgeValues(t *testing.T) {
+	// p=1.0 must land in the last bin, not out of range.
+	curve := CalibrationCurve([]float64{0, 1, 1}, []int{0, 1, 1}, 5)
+	if len(curve) != 2 {
+		t.Fatalf("bins = %d", len(curve))
+	}
+	last := curve[len(curve)-1]
+	if last.Count != 2 || last.ObservedRate != 1 {
+		t.Fatalf("last bin = %+v", last)
+	}
+}
+
+func TestCalibrationCurvePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"length": func() { CalibrationCurve([]float64{0.5}, nil, 5) },
+		"bins":   func() { CalibrationCurve([]float64{0.5}, []int{1}, 0) },
+		"range":  func() { CalibrationCurve([]float64{1.5}, []int{1}, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExpectedCalibrationErrorEmpty(t *testing.T) {
+	if ExpectedCalibrationError(nil) != 0 {
+		t.Fatal("empty curve should have zero ECE")
+	}
+}

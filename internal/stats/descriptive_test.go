@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v, want 5", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("Variance = %v, want 4", Variance(xs))
+	}
+	if StdDev(xs) != 2 {
+		t.Fatalf("StdDev = %v, want 2", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+}
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 35 {
+		t.Fatalf("P50 = %v", got)
+	}
+	// interpolated value: rank = 0.25*4 = 1 -> exactly 20
+	if got := Percentile(xs, 25); got != 20 {
+		t.Fatalf("P25 = %v", got)
+	}
+	// rank = 0.30*4 = 1.2 -> 20 + 0.2*(35-20) = 23
+	if got := Percentile(xs, 30); math.Abs(got-23) > 1e-12 {
+		t.Fatalf("P30 = %v, want 23", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentilesMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		ps := PercentileGrid(5)
+		vals := Percentiles(xs, ps)
+		if len(vals) != 21 {
+			return false
+		}
+		return sort.Float64sAreSorted(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentilesBoundedByExtremes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(30))
+		for i := range xs {
+			xs[i] = rng.Float64()*200 - 100
+		}
+		lo, hi := xs[0], xs[0]
+		for _, v := range xs {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		for _, v := range Percentiles(xs, PercentileGrid(10)) {
+			if v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileGrid(t *testing.T) {
+	grid := PercentileGrid(5)
+	if len(grid) != 21 || grid[0] != 0 || grid[20] != 100 || grid[1] != 5 {
+		t.Fatalf("grid = %v", grid)
+	}
+	grid = PercentileGrid(25)
+	if len(grid) != 5 {
+		t.Fatalf("grid(25) = %v", grid)
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMAE(t *testing.T) {
+	got := MAE([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+	if MAE(nil, nil) != 0 {
+		t.Fatal("empty MAE should be 0")
+	}
+}
+
+func TestAbsErrors(t *testing.T) {
+	got := AbsErrors([]float64{1, 5}, []float64{4, 3})
+	if got[0] != 3 || got[1] != 2 {
+		t.Fatalf("AbsErrors = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{1, 2, 100}) != 2 {
+		t.Fatal("median wrong")
+	}
+}

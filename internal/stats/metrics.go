@@ -1,0 +1,122 @@
+package stats
+
+import "sort"
+
+// Accuracy returns the fraction of predictions matching the true labels.
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("stats: accuracy of unequal length slices")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	hit := 0
+	for i, p := range pred {
+		if p == truth[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(pred))
+}
+
+// Confusion holds binary classification counts for the positive class.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Observe records one prediction/truth pair, treating positive as the
+// positive class label.
+func (c *Confusion) Observe(pred, truth, positive int) {
+	switch {
+	case pred == positive && truth == positive:
+		c.TP++
+	case pred == positive && truth != positive:
+		c.FP++
+	case pred != positive && truth == positive:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positive predictions exist.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when no positive examples exist.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// F1Score computes the F1 score of binary predictions against truth for
+// the given positive label.
+func F1Score(pred, truth []int, positive int) float64 {
+	if len(pred) != len(truth) {
+		panic("stats: F1 of unequal length slices")
+	}
+	var c Confusion
+	for i := range pred {
+		c.Observe(pred[i], truth[i], positive)
+	}
+	return c.F1()
+}
+
+// AUC computes the area under the ROC curve for binary classification,
+// given scores for the positive class and true labels (1 = positive).
+// Ties in scores are handled by the rank-sum (Mann–Whitney) formulation.
+func AUC(scores []float64, truth []int) float64 {
+	if len(scores) != len(truth) {
+		panic("stats: AUC of unequal length slices")
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Assign average ranks to tied scores.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+
+	nPos, nNeg := 0, 0
+	rankSum := 0.0
+	for i, t := range truth {
+		if t == 1 {
+			nPos++
+			rankSum += ranks[i]
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	return (rankSum - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+}

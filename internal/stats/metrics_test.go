@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 0, 1, 1}, []int{1, 1, 1, 0}); got != 0.5 {
+		t.Fatalf("Accuracy = %v, want 0.5", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestF1PerfectAndWorst(t *testing.T) {
+	if got := F1Score([]int{1, 1, 0, 0}, []int{1, 1, 0, 0}, 1); got != 1 {
+		t.Fatalf("perfect F1 = %v", got)
+	}
+	if got := F1Score([]int{0, 0, 1, 1}, []int{1, 1, 0, 0}, 1); got != 0 {
+		t.Fatalf("inverted F1 = %v", got)
+	}
+}
+
+func TestF1KnownValue(t *testing.T) {
+	// TP=2, FP=1, FN=1 -> precision 2/3, recall 2/3, F1 = 2/3.
+	pred := []int{1, 1, 1, 0, 0}
+	truth := []int{1, 1, 0, 1, 0}
+	got := F1Score(pred, truth, 1)
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("F1 = %v, want 2/3", got)
+	}
+}
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Observe(1, 1, 1) // TP
+	c.Observe(1, 0, 1) // FP
+	c.Observe(0, 1, 1) // FN
+	c.Observe(0, 0, 1) // TN
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.F1() != 0.5 {
+		t.Fatalf("metrics = %v %v %v", c.Precision(), c.Recall(), c.F1())
+	}
+}
+
+func TestConfusionZeroDivision(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion must yield zero metrics, not NaN")
+	}
+}
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	truth := []int{1, 1, 0, 0}
+	if got := AUC(scores, truth); got != 1 {
+		t.Fatalf("AUC = %v, want 1", got)
+	}
+	// Inverted scores give AUC 0.
+	if got := AUC([]float64{0.1, 0.2, 0.8, 0.9}, truth); got != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 4000
+	scores := make([]float64, n)
+	truth := make([]int, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		truth[i] = rng.Intn(2)
+	}
+	got := AUC(scores, truth)
+	if math.Abs(got-0.5) > 0.03 {
+		t.Fatalf("random AUC = %v, want ≈0.5", got)
+	}
+}
+
+func TestAUCTiesAveraged(t *testing.T) {
+	// All scores identical: AUC must be exactly 0.5 via rank averaging.
+	got := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []int{1, 0, 1, 0})
+	if got != 0.5 {
+		t.Fatalf("tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCDegenerateClasses(t *testing.T) {
+	if AUC([]float64{0.1, 0.9}, []int{1, 1}) != 0.5 {
+		t.Fatal("single-class AUC should be 0.5")
+	}
+}
+
+func TestAUCInvariantToMonotoneTransform(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50
+		scores := make([]float64, n)
+		scaled := make([]float64, n)
+		truth := make([]int, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			scaled[i] = 3*scores[i] + 7 // strictly monotone transform
+			truth[i] = rng.Intn(2)
+		}
+		return math.Abs(AUC(scores, truth)-AUC(scaled, truth)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

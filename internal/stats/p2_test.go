@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestP2QuantileMatchesExactOnUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		est := NewP2Quantile(p)
+		var all []float64
+		for i := 0; i < 20000; i++ {
+			v := rng.Float64()
+			est.Add(v)
+			all = append(all, v)
+		}
+		exact := Percentile(all, p*100)
+		if math.Abs(est.Value()-exact) > 0.01 {
+			t.Fatalf("p=%v: P² %v vs exact %v", p, est.Value(), exact)
+		}
+	}
+}
+
+func TestP2QuantileMatchesExactOnGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	est := NewP2Quantile(0.5)
+	var all []float64
+	for i := 0; i < 20000; i++ {
+		v := rng.NormFloat64()*10 + 100
+		est.Add(v)
+		all = append(all, v)
+	}
+	exact := Percentile(all, 50)
+	if math.Abs(est.Value()-exact) > 0.3 {
+		t.Fatalf("median: P² %v vs exact %v", est.Value(), exact)
+	}
+}
+
+func TestP2QuantileSmallStreams(t *testing.T) {
+	est := NewP2Quantile(0.5)
+	if est.Value() != 0 {
+		t.Fatal("empty estimator should return 0")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		est.Add(v)
+	}
+	if est.Value() != 2 {
+		t.Fatalf("exact small-stream median = %v, want 2", est.Value())
+	}
+	if est.Count() != 3 {
+		t.Fatalf("count = %d", est.Count())
+	}
+}
+
+func TestP2QuantileBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p=0")
+		}
+	}()
+	NewP2Quantile(0)
+}
+
+func TestP2QuantileSortedInput(t *testing.T) {
+	// Sorted input is the adversarial case for marker algorithms.
+	est := NewP2Quantile(0.9)
+	n := 10000
+	for i := 0; i < n; i++ {
+		est.Add(float64(i))
+	}
+	exact := 0.9 * float64(n-1)
+	if math.Abs(est.Value()-exact) > float64(n)*0.02 {
+		t.Fatalf("sorted stream: P² %v vs exact %v", est.Value(), exact)
+	}
+}
+
+func TestP2DigestMatchesPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	grid := PercentileGrid(5)
+	digest := NewP2Digest(grid)
+	var all []float64
+	for i := 0; i < 20000; i++ {
+		v := rng.Float64()
+		digest.Add(v)
+		all = append(all, v)
+	}
+	exact := Percentiles(all, grid)
+	got := digest.Values()
+	for i := range grid {
+		if math.Abs(got[i]-exact[i]) > 0.015 {
+			t.Fatalf("grid %v: digest %v vs exact %v", grid[i], got[i], exact[i])
+		}
+	}
+	// Extremes are exact.
+	sort.Float64s(all)
+	if got[0] != all[0] || got[len(got)-1] != all[len(all)-1] {
+		t.Fatal("digest extremes should be exact min/max")
+	}
+}
+
+func TestP2DigestEmptyAndCount(t *testing.T) {
+	digest := NewP2Digest(PercentileGrid(25))
+	for _, v := range digest.Values() {
+		if v != 0 {
+			t.Fatal("empty digest should return zeros")
+		}
+	}
+	digest.Add(7)
+	if digest.Count() != 1 {
+		t.Fatal("count wrong")
+	}
+	for _, v := range digest.Values() {
+		if v != 7 {
+			t.Fatalf("single-value digest = %v", digest.Values())
+		}
+	}
+}
+
+func TestP2DigestMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		digest := NewP2Digest(PercentileGrid(10))
+		for i := 0; i < 500; i++ {
+			digest.Add(rng.NormFloat64())
+		}
+		vals := digest.Values()
+		// Interior P² markers are approximate: allow tiny inversions but
+		// require global monotone trend within a small tolerance.
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1]-0.25 {
+				return false
+			}
+		}
+		return vals[0] <= vals[len(vals)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

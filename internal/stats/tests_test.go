@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKSIdenticalSamplesHighP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res := KolmogorovSmirnov(a, b)
+	if res.PValue < 0.01 {
+		t.Fatalf("same-distribution samples rejected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+	if res.Rejected(0.001) {
+		t.Fatal("Rejected(0.001) should be false")
+	}
+}
+
+func TestKSShiftedSamplesLowP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 2
+	}
+	res := KolmogorovSmirnov(a, b)
+	if res.PValue > 1e-6 {
+		t.Fatalf("shifted samples not rejected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+	if !res.Rejected(0.05) {
+		t.Fatal("Rejected(0.05) should be true")
+	}
+}
+
+func TestKSStatisticExact(t *testing.T) {
+	// a entirely below b: D must be 1.
+	res := KolmogorovSmirnov([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if res.Statistic != 1 {
+		t.Fatalf("D = %v, want 1", res.Statistic)
+	}
+	// identical samples: D must be 0, p must be 1.
+	res = KolmogorovSmirnov([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if res.Statistic != 0 || res.PValue != 1 {
+		t.Fatalf("identical samples: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestKSEmptySample(t *testing.T) {
+	res := KolmogorovSmirnov(nil, []float64{1, 2})
+	if res.PValue != 1 {
+		t.Fatalf("empty sample should give p=1, got %v", res.PValue)
+	}
+}
+
+func TestKSPValueInRange(t *testing.T) {
+	for lambda := 0.0; lambda < 5; lambda += 0.05 {
+		p := ksPValue(lambda)
+		if p < 0 || p > 1 {
+			t.Fatalf("ksPValue(%v) = %v out of [0,1]", lambda, p)
+		}
+	}
+	// Known reference point: Q(1.36) ≈ 0.049 (the classic 5% critical value).
+	if p := ksPValue(1.36); math.Abs(p-0.049) > 0.003 {
+		t.Fatalf("ksPValue(1.36) = %v, want ≈0.049", p)
+	}
+}
+
+func TestChiSquareSameDistribution(t *testing.T) {
+	res := ChiSquareCounts([]float64{100, 200, 300}, []float64{105, 195, 298})
+	if res.PValue < 0.1 {
+		t.Fatalf("similar counts rejected: X2=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestChiSquareDifferentDistribution(t *testing.T) {
+	res := ChiSquareCounts([]float64{100, 200, 300}, []float64{300, 200, 100})
+	if res.PValue > 1e-6 {
+		t.Fatalf("divergent counts not rejected: X2=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestChiSquareZeroCategoriesSkipped(t *testing.T) {
+	res := ChiSquareCounts([]float64{0, 50, 50}, []float64{0, 48, 52})
+	if math.IsNaN(res.Statistic) || math.IsNaN(res.PValue) {
+		t.Fatalf("zero category caused NaN: %+v", res)
+	}
+}
+
+func TestChiSquarePValueReference(t *testing.T) {
+	// Chi-squared with 1 df: P(X >= 3.841) ≈ 0.05.
+	if p := ChiSquarePValue(3.841, 1); math.Abs(p-0.05) > 0.002 {
+		t.Fatalf("ChiSquarePValue(3.841,1) = %v, want ≈0.05", p)
+	}
+	// Chi-squared with 5 df: P(X >= 11.070) ≈ 0.05.
+	if p := ChiSquarePValue(11.070, 5); math.Abs(p-0.05) > 0.002 {
+		t.Fatalf("ChiSquarePValue(11.07,5) = %v, want ≈0.05", p)
+	}
+	if ChiSquarePValue(0, 3) != 1 {
+		t.Fatal("P(X>=0) must be 1")
+	}
+}
+
+func TestGammaQMonotoneDecreasingInX(t *testing.T) {
+	prev := 1.0
+	for x := 0.1; x < 20; x += 0.1 {
+		q := gammaQ(2.5, x)
+		if q > prev+1e-12 {
+			t.Fatalf("gammaQ not monotone at x=%v: %v > %v", x, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestBonferroni(t *testing.T) {
+	if BonferroniAlpha(0.05, 5) != 0.01 {
+		t.Fatal("Bonferroni wrong")
+	}
+	if BonferroniAlpha(0.05, 0) != 0.05 {
+		t.Fatal("Bonferroni with n=0 should return alpha")
+	}
+}

@@ -1,0 +1,141 @@
+package blackboxval
+
+import (
+	"math/rand"
+
+	"blackboxval/internal/automl"
+	"blackboxval/internal/cloud"
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/featurize"
+	"blackboxval/internal/models"
+)
+
+// The four black box model families of the paper's evaluation. Each
+// trainer grid-searches hyperparameters with five-fold cross-validation
+// (as in Section 6) and returns an opaque Model.
+
+// TrainLR trains a logistic regression (SGD) black box, grid-searching
+// regularization type and learning rate.
+func TrainLR(train *Dataset, seed int64) (Model, error) {
+	return trainGrid(train, models.LRCandidates(seed), seed)
+}
+
+// TrainDNN trains a two-layer ReLU feed-forward network black box,
+// grid-searching the layer sizes.
+func TrainDNN(train *Dataset, seed int64) (Model, error) {
+	return trainGrid(train, models.DNNCandidates(seed), seed)
+}
+
+// TrainXGB trains a gradient-boosted decision tree black box,
+// grid-searching the number and depth of trees.
+func TrainXGB(train *Dataset, seed int64) (Model, error) {
+	return trainGrid(train, models.XGBCandidates(seed), seed)
+}
+
+// TrainConv trains a convolutional network black box for image datasets.
+func TrainConv(train *Dataset, seed int64) (Model, error) {
+	return trainGrid(train, models.ConvCandidates(seed), seed)
+}
+
+func trainGrid(train *Dataset, cands []models.Candidate, seed int64) (Model, error) {
+	feat := &featurize.Pipeline{}
+	if err := feat.Fit(train); err != nil {
+		return nil, err
+	}
+	X, err := feat.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 40))
+	clf, _, err := models.GridSearchCV(X, train.Labels, len(train.Classes), 5, cands, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Refit a fresh pipeline so feature map + classifier travel together.
+	return models.TrainPipeline(train, clf, featurize.DefaultHashDims)
+}
+
+// AutoML searches standing in for the paper's auto-sklearn, TPOT and
+// auto-keras experiments (Section 6.3).
+
+// AutoMLConfig configures the AutoML searches.
+type AutoMLConfig = automl.Config
+
+// AutoSklearn returns a soft-voting ensemble of the best model
+// configurations found by cross-validated search.
+func AutoSklearn(train *Dataset, cfg AutoMLConfig) (Model, error) {
+	return automl.AutoSklearn(train, cfg)
+}
+
+// TPOT returns the best single pipeline found by greedy search with one
+// round of hyperparameter mutations.
+func TPOT(train *Dataset, cfg AutoMLConfig) (Model, error) { return automl.TPOT(train, cfg) }
+
+// AutoKeras returns the best convnet found by a small architecture
+// search (image data only).
+func AutoKeras(train *Dataset, cfg AutoMLConfig) (Model, error) { return automl.AutoKeras(train, cfg) }
+
+// LargeConvNet trains a fixed large convolutional architecture (image
+// data only).
+func LargeConvNet(train *Dataset, cfg AutoMLConfig) (Model, error) {
+	return automl.LargeConvNet(train, cfg)
+}
+
+// Cloud-hosted black boxes (Section 6.3.2): serve any Model over HTTP and
+// consume it remotely through a client that is itself a Model.
+
+// CloudServer exposes a Model over an HTTP JSON API.
+type CloudServer = cloud.Server
+
+// CloudClient is a Model backed by a remote prediction service.
+type CloudClient = cloud.Client
+
+// NewCloudServer wraps a trained model for serving.
+func NewCloudServer(model Model) *CloudServer { return cloud.NewServer(model) }
+
+// NewCloudClient returns a client for the prediction service at baseURL.
+func NewCloudClient(baseURL string) *CloudClient { return cloud.NewClient(baseURL) }
+
+// AutoMLServer simulates a full cloud AutoML service: upload a labeled
+// dataset over HTTP, the service trains a model server-side, predictions
+// are retrieved per model id — the complete Google AutoML Tables contract
+// of the paper's Section 6.3.2.
+type AutoMLServer = cloud.AutoMLServer
+
+// AutoMLClient drives a remote AutoMLServer: Train uploads data and
+// returns a prediction client (a Model) for the resulting model.
+type AutoMLClient = cloud.AutoMLClient
+
+// NewAutoMLServer returns a cloud AutoML service with the given search
+// configuration.
+func NewAutoMLServer(cfg AutoMLConfig) *AutoMLServer { return cloud.NewAutoMLServer(cfg) }
+
+// NewAutoMLClient returns a client for the AutoML service at baseURL.
+func NewAutoMLClient(baseURL string) *AutoMLClient { return cloud.NewAutoMLClient(baseURL) }
+
+// Synthetic datasets mirroring the schema shape of the paper's six public
+// evaluation datasets (see DESIGN.md for the substitution rationale).
+
+// IncomeDataset generates an adult-census-like dataset (binary income
+// classification over numeric + categorical columns).
+func IncomeDataset(n int, seed int64) *Dataset { return datagen.Income(n, seed) }
+
+// HeartDataset generates a cardiovascular-disease-like dataset.
+func HeartDataset(n int, seed int64) *Dataset { return datagen.Heart(n, seed) }
+
+// BankDataset generates a bank-marketing-like dataset.
+func BankDataset(n int, seed int64) *Dataset { return datagen.Bank(n, seed) }
+
+// TweetsDataset generates a cyber-troll-like text dataset.
+func TweetsDataset(n int, seed int64) *Dataset { return datagen.Tweets(n, seed) }
+
+// DigitsDataset generates an MNIST-like 3-vs-5 image dataset.
+func DigitsDataset(n int, seed int64) *Dataset { return datagen.Digits(n, seed) }
+
+// FashionDataset generates a sneaker-vs-ankle-boot image dataset.
+func FashionDataset(n int, seed int64) *Dataset { return datagen.Fashion(n, seed) }
+
+// ProductsDataset generates a three-class e-commerce dataset (the sales
+// prediction scenario of the paper's introduction), for exercising
+// multiclass models and validators.
+func ProductsDataset(n int, seed int64) *Dataset { return datagen.Products(n, seed) }

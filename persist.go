@@ -1,0 +1,60 @@
+package blackboxval
+
+import (
+	"blackboxval/internal/models"
+	"blackboxval/internal/persist"
+)
+
+// Persistence: trained artifacts are stored as versioned JSON files, like
+// the serialized datasets and models the paper publishes. Predictors and
+// validators are stored WITHOUT their black box model (it may be remote);
+// re-attach one on load, or load with nil and use the *FromProba methods.
+
+// Pipeline is a serializable trained black box (feature map + classifier)
+// produced by TrainLR/TrainDNN/TrainXGB/TrainConv.
+type Pipeline = models.Pipeline
+
+// SaveDataset writes a labeled dataset to path as versioned JSON.
+func SaveDataset(path string, ds *Dataset) error { return persist.SaveDataset(path, ds) }
+
+// LoadDataset reads a labeled dataset from path.
+func LoadDataset(path string) (*Dataset, error) { return persist.LoadDataset(path) }
+
+// SaveModel writes a trained black box pipeline to path. Only locally
+// trained pipelines are serializable; cloud clients are just URLs.
+func SaveModel(path string, model Model) error {
+	p, ok := model.(*Pipeline)
+	if !ok {
+		return errNotAPipeline(model)
+	}
+	return persist.SavePipeline(path, p)
+}
+
+// LoadModel reads a trained black box pipeline from path.
+func LoadModel(path string) (*Pipeline, error) { return persist.LoadPipeline(path) }
+
+// SavePredictor writes a trained performance predictor to path.
+func SavePredictor(path string, p *Predictor) error { return persist.SavePredictor(path, p) }
+
+// LoadPredictor reads a performance predictor from path, attaching the
+// given model (may be nil; EstimateFromProba works without one).
+func LoadPredictor(path string, model Model) (*Predictor, error) {
+	return persist.LoadPredictor(path, model)
+}
+
+// SaveValidator writes a trained performance validator to path.
+func SaveValidator(path string, v *Validator) error { return persist.SaveValidator(path, v) }
+
+// LoadValidator reads a performance validator from path, attaching the
+// given model (may be nil; ViolationFromProba works without one).
+func LoadValidator(path string, model Model) (*Validator, error) {
+	return persist.LoadValidator(path, model)
+}
+
+type pipelineTypeError struct{ model Model }
+
+func (e pipelineTypeError) Error() string {
+	return "blackboxval: only locally trained pipelines can be saved (got a different Model implementation)"
+}
+
+func errNotAPipeline(model Model) error { return pipelineTypeError{model: model} }
