@@ -1,0 +1,26 @@
+# Tier-1 gate for this repository (see README.md "Install"): every
+# change must keep `make check` green. The race target exercises the
+# parallel meta-dataset builder (internal/core/parallel.go) and the
+# forest trainer under the race detector in short mode.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -short -race ./internal/core/... ./internal/models/...
+
+# Speedup table for EXPERIMENTS.md ("Parallel training" section).
+bench:
+	$(GO) test -run NONE -bench 'BenchmarkTrainPredictor' -benchtime 20x .

@@ -13,6 +13,7 @@
 package blackboxval_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -269,6 +270,10 @@ func BenchmarkPredictionStatistics(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainPredictor measures meta-dataset construction plus forest
+// training at several worker-pool widths. Training is bit-identical for
+// every workers value, so the sub-benchmarks differ only in wall-clock
+// time; the speedup table lives in EXPERIMENTS.md.
 func BenchmarkTrainPredictor(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	ds := blackboxval.IncomeDataset(1500, 1).Balance(rng)
@@ -278,16 +283,20 @@ func BenchmarkTrainPredictor(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
-			Generators:  blackboxval.KnownTabularGenerators(),
-			Repetitions: 10,
-			ForestSizes: []int{30},
-			Seed:        1,
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+					Generators:  blackboxval.KnownTabularGenerators(),
+					Repetitions: 10,
+					ForestSizes: []int{30},
+					Workers:     workers,
+					Seed:        1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
 	}
 }

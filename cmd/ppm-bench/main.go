@@ -32,6 +32,7 @@ func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	format := flag.String("format", "text", "output format: text or markdown")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "training goroutines (0 = all cores; results identical for any value)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -45,6 +46,7 @@ func main() {
 		os.Exit(2)
 	}
 	scale.Seed = *seed
+	scale.Workers = *workers
 	if *format != "text" && *format != "markdown" {
 		fmt.Fprintf(os.Stderr, "unknown format %q (want text or markdown)\n", *format)
 		os.Exit(2)

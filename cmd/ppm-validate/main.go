@@ -51,7 +51,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  ppm-validate train    -dataset <name> -model <lr|dnn|xgb> -rows N -threshold T -out <dir>
+  ppm-validate train    -dataset <name> -model <lr|dnn|xgb> -rows N -threshold T -workers W -out <dir>
   ppm-validate check    -bundle <dir> -batch <csv> [-labels]
   ppm-validate genbatch -dataset <name> -corrupt <error> -magnitude M -rows N -out <csv>
   ppm-validate inspect  -batch <csv>`)
@@ -65,10 +65,11 @@ func runTrain(args []string) error {
 	threshold := fs.Float64("threshold", 0.05, "tolerated relative accuracy drop")
 	out := fs.String("out", "bundle", "output directory")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "training goroutines (0 = all cores; results identical for any value)")
 	fs.Parse(args)
 	report, err := cli.Train(cli.TrainOptions{
 		Dataset: *dataset, Model: *model, Rows: *rows,
-		Threshold: *threshold, OutDir: *out, Seed: *seed,
+		Threshold: *threshold, OutDir: *out, Workers: *workers, Seed: *seed,
 	})
 	if err != nil {
 		return err

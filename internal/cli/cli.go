@@ -50,7 +50,11 @@ type TrainOptions struct {
 	Rows      int
 	Threshold float64
 	OutDir    string
-	Seed      int64
+	// Workers bounds the goroutines used for predictor/validator
+	// training (0 = all cores). The trained bundle is bit-identical for
+	// every value.
+	Workers int
+	Seed    int64
 }
 
 // generateDataset builds the named synthetic tabular dataset.
@@ -134,6 +138,7 @@ func Train(opts TrainOptions) (string, error) {
 	gens := generatorsFor(opts.Dataset)
 	pred, err := core.TrainPredictor(model, test, core.PredictorConfig{
 		Generators: gens,
+		Workers:    opts.Workers,
 		Seed:       opts.Seed,
 	})
 	if err != nil {
@@ -142,6 +147,7 @@ func Train(opts TrainOptions) (string, error) {
 	val, err := core.TrainValidator(model, test, core.ValidatorConfig{
 		Generators: gens,
 		Threshold:  opts.Threshold,
+		Workers:    opts.Workers,
 		Seed:       opts.Seed,
 	})
 	if err != nil {

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/linalg"
+)
+
+// workerGrid is the worker counts every determinism test sweeps: strictly
+// serial, a small pool, and an oversubscribed pool (more workers than
+// this container has cores, so the scheduler interleaves them).
+var workerGrid = []int{1, 2, 8}
+
+func TestJobSeedDistinctAcrossStreamsAndJobs(t *testing.T) {
+	seen := make(map[int64][2]int64)
+	for _, stream := range []int64{streamPredictorMeta, streamPredictorGrid, streamPredictorCalib, streamValidatorSetup, streamValidatorBatch} {
+		for job := 0; job < 4096; job++ {
+			s := jobSeed(1, stream, job)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (stream=%d, job=%d) and (stream=%d, job=%d) both map to %d",
+					stream, int64(job), prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{stream, int64(job)}
+		}
+	}
+	// Nearby user seeds must not alias either (splitmix64 scrambles them).
+	if jobSeed(1, streamPredictorMeta, 0) == jobSeed(2, streamPredictorMeta, 0) {
+		t.Fatal("consecutive user seeds alias the same job seed")
+	}
+}
+
+func TestJobRNGReproducible(t *testing.T) {
+	a := jobRNG(7, streamPredictorMeta, 3)
+	b := jobRNG(7, streamPredictorMeta, 3)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("draw %d differs between two RNGs derived from the same triple", i)
+		}
+	}
+}
+
+// TestJobRNGIsolationUnderConcurrency is the shared-RNG audit: every job
+// derives its own generator, so the sequence a job observes must be
+// independent of which other jobs run, in what order, and on how many
+// workers. If any job's draws leaked into another's (the hazard of the
+// old shared *rand.Rand), the concurrent sequences would diverge from
+// the serially recorded ones.
+func TestJobRNGIsolationUnderConcurrency(t *testing.T) {
+	const jobs, draws = 64, 50
+	expected := make([][]float64, jobs)
+	for j := 0; j < jobs; j++ {
+		rng := jobRNG(1, streamPredictorMeta, j)
+		for d := 0; d < draws; d++ {
+			expected[j] = append(expected[j], rng.Float64())
+		}
+	}
+	for _, workers := range workerGrid {
+		got := make([][]float64, jobs)
+		runJobs(workers, jobs, func(j int) {
+			rng := jobRNG(1, streamPredictorMeta, j)
+			seq := make([]float64, 0, draws)
+			for d := 0; d < draws; d++ {
+				seq = append(seq, rng.Float64())
+			}
+			got[j] = seq
+		})
+		for j := range expected {
+			for d := range expected[j] {
+				if got[j][d] != expected[j][d] {
+					t.Fatalf("workers=%d: job %d draw %d = %v, want %v (cross-job RNG leakage)",
+						workers, j, d, got[j][d], expected[j][d])
+				}
+			}
+		}
+	}
+}
+
+func TestRunJobsExecutesEveryJobExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 137
+		counts := make([]int64, n)
+		runJobs(workers, n, func(j int) {
+			atomic.AddInt64(&counts[j], 1)
+		})
+		for j, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, j, c)
+			}
+		}
+	}
+	runJobs(4, 0, func(int) { t.Fatal("no jobs should run for n=0") })
+}
+
+// predictorFixture trains the shared black box and splits once per test.
+func predictorFixture(t *testing.T, seed int64) (data.Model, *data.Dataset, *data.Dataset) {
+	t.Helper()
+	train, test, serving := incomeSplits(t, 1200, seed)
+	return trainBlackBox(t, train), test, serving
+}
+
+func trainPredictorWithWorkers(t *testing.T, model data.Model, test *data.Dataset, workers int) *Predictor {
+	t.Helper()
+	pred, err := TrainPredictor(model, test, PredictorConfig{
+		Generators:  []errorgen.Generator{errorgen.MissingValues{}, errorgen.Scaling{}},
+		Repetitions: 10,
+		ForestSizes: []int{10, 20},
+		Folds:       3,
+		Workers:     workers,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pred
+}
+
+// TestBuildMetaDatasetWorkerInvariance checks the meta-dataset itself —
+// every feature vector and every score — is bit-identical for any worker
+// count, which is the contract everything downstream relies on.
+func TestBuildMetaDatasetWorkerInvariance(t *testing.T) {
+	model, test, _ := predictorFixture(t, 21)
+	cfg := PredictorConfig{
+		Generators:  []errorgen.Generator{errorgen.MissingValues{}, errorgen.Outliers{}},
+		Repetitions: 8,
+		Seed:        5,
+	}
+	cfg.defaults()
+	base := cfg
+	base.Workers = 1
+	wantFeats, wantScores := buildMetaDataset(model, test, base)
+	if len(wantScores) != 2*8+cfg.CleanRepetitions {
+		t.Fatalf("meta-dataset has %d rows", len(wantScores))
+	}
+	for _, workers := range append([]int{0}, workerGrid...) {
+		c := cfg
+		c.Workers = workers
+		feats, scores := buildMetaDataset(model, test, c)
+		if len(feats) != len(wantFeats) || len(scores) != len(wantScores) {
+			t.Fatalf("workers=%d: meta-dataset size %d/%d, want %d/%d",
+				workers, len(feats), len(scores), len(wantFeats), len(wantScores))
+		}
+		for i := range wantScores {
+			if scores[i] != wantScores[i] {
+				t.Fatalf("workers=%d: score %d = %v, want %v", workers, i, scores[i], wantScores[i])
+			}
+			for k := range wantFeats[i] {
+				if feats[i][k] != wantFeats[i][k] {
+					t.Fatalf("workers=%d: feature [%d][%d] = %v, want %v",
+						workers, i, k, feats[i][k], wantFeats[i][k])
+				}
+			}
+		}
+	}
+}
+
+// servingProbas returns a few serving batches (clean and corrupted) to
+// probe trained predictors/validators with.
+func servingProbas(model data.Model, serving *data.Dataset) []*linalg.Matrix {
+	probas := []*linalg.Matrix{model.PredictProba(serving)}
+	for i, gen := range []errorgen.Generator{errorgen.MissingValues{}, errorgen.Scaling{}, errorgen.Typos{}} {
+		rng := jobRNG(99, int64(100+i), 0)
+		probas = append(probas, model.PredictProba(gen.Corrupt(serving, 0.3+0.2*float64(i), rng)))
+	}
+	return probas
+}
+
+func TestTrainPredictorParallelMatchesSerial(t *testing.T) {
+	model, test, serving := predictorFixture(t, 22)
+	serial := trainPredictorWithWorkers(t, model, test, 1)
+	probas := servingProbas(model, serving)
+
+	check := func(workers int, pred *Predictor) {
+		t.Helper()
+		if pred.NumExamples() != serial.NumExamples() {
+			t.Fatalf("workers=%d: NumExamples %d != %d", workers, pred.NumExamples(), serial.NumExamples())
+		}
+		if pred.TrainMAE() != serial.TrainMAE() {
+			t.Fatalf("workers=%d: TrainMAE %v != %v (grid search diverged)", workers, pred.TrainMAE(), serial.TrainMAE())
+		}
+		if len(pred.calibResiduals) != len(serial.calibResiduals) {
+			t.Fatalf("workers=%d: %d calibration residuals, want %d",
+				workers, len(pred.calibResiduals), len(serial.calibResiduals))
+		}
+		for i := range serial.calibResiduals {
+			if pred.calibResiduals[i] != serial.calibResiduals[i] {
+				t.Fatalf("workers=%d: calibration residual %d = %v, want %v",
+					workers, i, pred.calibResiduals[i], serial.calibResiduals[i])
+			}
+		}
+		for i, proba := range probas {
+			got, want := pred.EstimateFromProba(proba), serial.EstimateFromProba(proba)
+			if got != want {
+				t.Fatalf("workers=%d: estimate on batch %d = %v, want %v (bit-identical)", workers, i, got, want)
+			}
+			gotEst, gotUnc := pred.EstimateWithUncertainty(proba)
+			wantEst, wantUnc := serial.EstimateWithUncertainty(proba)
+			if gotEst != wantEst || gotUnc != wantUnc {
+				t.Fatalf("workers=%d: uncertainty-aware estimate (%v, %v) != (%v, %v)",
+					workers, gotEst, gotUnc, wantEst, wantUnc)
+			}
+			_, gotLo, gotHi := pred.EstimateInterval(proba, 0.1)
+			_, wantLo, wantHi := serial.EstimateInterval(proba, 0.1)
+			if gotLo != wantLo || gotHi != wantHi {
+				t.Fatalf("workers=%d: interval [%v,%v] != [%v,%v]", workers, gotLo, gotHi, wantLo, wantHi)
+			}
+		}
+	}
+	for _, workers := range append([]int{0}, workerGrid...) {
+		check(workers, trainPredictorWithWorkers(t, model, test, workers))
+	}
+	// Determinism across repeated runs at the same worker count.
+	check(8, trainPredictorWithWorkers(t, model, test, 8))
+}
+
+func TestTrainValidatorParallelMatchesSerial(t *testing.T) {
+	model, test, serving := predictorFixture(t, 23)
+	trainVal := func(workers int) *Validator {
+		t.Helper()
+		val, err := TrainValidator(model, test, ValidatorConfig{
+			Generators:           errorgen.KnownTabular(),
+			Threshold:            0.05,
+			Batches:              60,
+			PredictorRepetitions: 8,
+			Workers:              workers,
+			Seed:                 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return val
+	}
+	serial := trainVal(1)
+	serialPos, serialTotal := serial.TrainBalance()
+	probas := servingProbas(model, serving)
+
+	for _, workers := range append([]int{0}, workerGrid...) {
+		val := trainVal(workers)
+		pos, total := val.TrainBalance()
+		if pos != serialPos || total != serialTotal {
+			t.Fatalf("workers=%d: training balance %d/%d, want %d/%d (batch grid diverged)",
+				workers, pos, total, serialPos, serialTotal)
+		}
+		if val.TestScore() != serial.TestScore() {
+			t.Fatalf("workers=%d: test score %v != %v", workers, val.TestScore(), serial.TestScore())
+		}
+		for i, proba := range probas {
+			got, want := val.ViolationProbability(proba), serial.ViolationProbability(proba)
+			if got != want {
+				t.Fatalf("workers=%d: violation probability on batch %d = %v, want %v (bit-identical)",
+					workers, i, got, want)
+			}
+			if val.ViolationFromProba(proba) != serial.ViolationFromProba(proba) {
+				t.Fatalf("workers=%d: violation decision on batch %d diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestParallelPredictorStillAccurate guards against the RNG restructuring
+// silently destroying predictor quality: the per-job streams must sample
+// the same corruption curriculum the serial shared-RNG loop did.
+func TestParallelPredictorStillAccurate(t *testing.T) {
+	train, test, serving := incomeSplits(t, 3000, 24)
+	model := trainBlackBox(t, train)
+	pred, err := TrainPredictor(model, test, PredictorConfig{
+		Generators:  []errorgen.Generator{errorgen.MissingValues{}, errorgen.Scaling{}},
+		Repetitions: 40,
+		ForestSizes: []int{50},
+		Workers:     8,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := jobRNG(25, 200, 0)
+	var absErrs []float64
+	for trial := 0; trial < 10; trial++ {
+		corrupted := errorgen.MissingValues{}.Corrupt(serving, rng.Float64(), rng)
+		proba := model.PredictProba(corrupted)
+		absErrs = append(absErrs, math.Abs(pred.EstimateFromProba(proba)-AccuracyScore(proba, corrupted.Labels)))
+	}
+	worst := 0.0
+	for _, e := range absErrs {
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("parallel-trained predictor inaccurate: worst abs error %v (errors %v)", worst, absErrs)
+	}
+}

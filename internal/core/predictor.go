@@ -54,6 +54,12 @@ type PredictorConfig struct {
 	// Regressor overrides the regression learner (default: random forest
 	// with ForestSizes grid search). Used by the ablation benchmarks.
 	Regressor models.Regressor
+	// Workers bounds the goroutine pool building the corruption
+	// meta-dataset and running the grid search (default runtime.NumCPU();
+	// 1 runs strictly serially). Every job derives its own RNG from Seed
+	// and its job index, so the trained predictor is bit-identical for
+	// every Workers value.
+	Workers int
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -115,38 +121,17 @@ func TrainPredictor(model data.Model, test *data.Dataset, cfg PredictorConfig) (
 	if test.Len() == 0 {
 		return nil, fmt.Errorf("core: empty test set")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 10))
 
 	p := &Predictor{model: model, cfg: cfg}
 	p.testOutputs = model.PredictProba(test)
 	p.testScore = cfg.Score(p.testOutputs, test.Labels)
 
-	// Lines 3-12 of Algorithm 1: build the meta-dataset M. Every training
-	// batch is a random subsample of the test set so the featurized output
-	// distributions vary the way real serving batches do — training on the
-	// identical test rows each time would make the clean regime look
-	// artificially degenerate.
-	var features [][]float64
-	var scores []float64
-	addExample := func(ds *data.Dataset) {
-		proba := model.PredictProba(ds)
-		features = append(features, PredictionStatistics(proba, cfg.PercentileStep))
-		scores = append(scores, cfg.Score(proba, ds.Labels))
-	}
-	for _, gen := range cfg.Generators {
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			// Squaring the uniform draw skews the magnitude curriculum
-			// toward small corruptions: the regression needs dense support
-			// near the clean regime to resolve small score drops, while
-			// heavy corruption saturates the model outputs anyway.
-			magnitude := rng.Float64()
-			magnitude *= magnitude
-			addExample(gen.Corrupt(SubsampleBatch(test, rng), magnitude, rng))
-		}
-	}
-	for rep := 0; rep < cfg.CleanRepetitions; rep++ {
-		addExample(SubsampleBatch(test, rng))
-	}
+	// Lines 3-12 of Algorithm 1: build the meta-dataset M across
+	// cfg.Workers goroutines. Every training batch is a random subsample
+	// of the test set so the featurized output distributions vary the way
+	// real serving batches do — training on the identical test rows each
+	// time would make the clean regime look artificially degenerate.
+	features, scores := buildMetaDataset(model, test, cfg)
 	p.numExamples = len(features)
 
 	X := linalg.FromRows(features)
@@ -159,14 +144,14 @@ func TrainPredictor(model data.Model, test *data.Dataset, cfg PredictorConfig) (
 		}
 		p.trainMAE = regressorMAE(p.reg, X, scores)
 	} else {
-		best, bestMAE, err := selectForest(X, scores, cfg, rng)
+		best, bestMAE, err := selectForest(X, scores, cfg, jobRNG(cfg.Seed+10, streamPredictorGrid, 0))
 		if err != nil {
 			return nil, err
 		}
 		p.reg = best
 		p.trainMAE = bestMAE
 	}
-	if err := p.calibrate(X, scores, rng); err != nil {
+	if err := p.calibrate(X, scores, jobRNG(cfg.Seed+10, streamPredictorCalib, 0)); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -240,7 +225,10 @@ func (p *Predictor) EstimateInterval(proba *linalg.Matrix, alpha float64) (est, 
 }
 
 // selectForest grid-searches the forest size by cross-validated MAE and
-// refits the winner on all data.
+// refits the winner on all data. Every (size, fold) cell refits an
+// independent regressor, so the cells run on cfg.Workers goroutines; the
+// per-size MAEs are then aggregated in fold order, keeping the float
+// summation — and the chosen size — deterministic.
 func selectForest(X *linalg.Matrix, y []float64, cfg PredictorConfig, rng *rand.Rand) (models.Regressor, float64, error) {
 	folds := cfg.Folds
 	if folds > len(y) {
@@ -250,14 +238,26 @@ func selectForest(X *linalg.Matrix, y []float64, cfg PredictorConfig, rng *rand.
 	bestMAE := -1.0
 	if len(cfg.ForestSizes) > 1 && folds >= 2 {
 		perm := rng.Perm(len(y))
-		for _, size := range cfg.ForestSizes {
-			mae, err := cvMAE(X, y, perm, folds, func() models.Regressor {
+		cells := len(cfg.ForestSizes) * folds
+		maes := make([]float64, cells)
+		errs := make([]error, cells)
+		runJobs(cfg.Workers, cells, func(j int) {
+			size := cfg.ForestSizes[j/folds]
+			maes[j], errs[j] = foldMAE(X, y, perm, folds, j%folds, func() models.Regressor {
 				return &models.RandomForestRegressor{Trees: size, Seed: cfg.Seed}
 			})
+		})
+		for _, err := range errs {
 			if err != nil {
 				return nil, 0, err
 			}
-			if bestMAE < 0 || mae < bestMAE {
+		}
+		for si, size := range cfg.ForestSizes {
+			total := 0.0
+			for f := 0; f < folds; f++ {
+				total += maes[si*folds+f]
+			}
+			if mae := total / float64(folds); bestMAE < 0 || mae < bestMAE {
 				bestMAE = mae
 				bestSize = size
 			}
@@ -273,32 +273,30 @@ func selectForest(X *linalg.Matrix, y []float64, cfg PredictorConfig, rng *rand.
 	return forest, bestMAE, nil
 }
 
-func cvMAE(X *linalg.Matrix, y []float64, perm []int, folds int, newReg func() models.Regressor) (float64, error) {
-	total := 0.0
-	for f := 0; f < folds; f++ {
-		var trainIdx, valIdx []int
-		for i, idx := range perm {
-			if i%folds == f {
-				valIdx = append(valIdx, idx)
-			} else {
-				trainIdx = append(trainIdx, idx)
-			}
+// foldMAE fits a fresh regressor on every fold except f and returns its
+// MAE on fold f.
+func foldMAE(X *linalg.Matrix, y []float64, perm []int, folds, f int, newReg func() models.Regressor) (float64, error) {
+	var trainIdx, valIdx []int
+	for i, idx := range perm {
+		if i%folds == f {
+			valIdx = append(valIdx, idx)
+		} else {
+			trainIdx = append(trainIdx, idx)
 		}
-		trainY := make([]float64, len(trainIdx))
-		for i, idx := range trainIdx {
-			trainY[i] = y[idx]
-		}
-		valY := make([]float64, len(valIdx))
-		for i, idx := range valIdx {
-			valY[i] = y[idx]
-		}
-		reg := newReg()
-		if err := reg.Fit(X.SelectRows(trainIdx), trainY); err != nil {
-			return 0, err
-		}
-		total += stats.MAE(reg.Predict(X.SelectRows(valIdx)), valY)
 	}
-	return total / float64(folds), nil
+	trainY := make([]float64, len(trainIdx))
+	for i, idx := range trainIdx {
+		trainY[i] = y[idx]
+	}
+	valY := make([]float64, len(valIdx))
+	for i, idx := range valIdx {
+		valY[i] = y[idx]
+	}
+	reg := newReg()
+	if err := reg.Fit(X.SelectRows(trainIdx), trainY); err != nil {
+		return 0, err
+	}
+	return stats.MAE(reg.Predict(X.SelectRows(valIdx)), valY), nil
 }
 
 func regressorMAE(reg models.Regressor, X *linalg.Matrix, y []float64) float64 {

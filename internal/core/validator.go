@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"blackboxval/internal/data"
 	"blackboxval/internal/errorgen"
@@ -37,6 +36,11 @@ type ValidatorConfig struct {
 	// predictor whose score estimate is one of the validator's features
 	// (default 25 per generator).
 	PredictorRepetitions int
+	// Workers bounds the goroutine pool generating synthetic training
+	// batches (default runtime.NumCPU(); 1 runs strictly serially). Every
+	// batch derives its own RNG from Seed and the batch index, so the
+	// trained validator is bit-identical for every Workers value.
+	Workers int
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -98,7 +102,6 @@ func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (
 	if test.Len() == 0 {
 		return nil, fmt.Errorf("core: empty test set")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 20))
 
 	v := &Validator{model: model, cfg: cfg}
 	// The KS reference Ŷtest and the synthetic training batches must come
@@ -107,7 +110,7 @@ func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (
 	// reference rows would make the clean regime look artificially
 	// well-aligned (D biased toward 0), teaching the classifier to alarm
 	// on every genuinely disjoint batch.
-	refPart, batchPart := test.Split(0.5, rng)
+	refPart, batchPart := test.Split(0.5, jobRNG(cfg.Seed+20, streamValidatorSetup, 0))
 	v.testOutputs = model.PredictProba(refPart)
 	v.testScore = cfg.Score(model.PredictProba(test), test.Labels)
 
@@ -121,13 +124,23 @@ func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (
 		Repetitions: cfg.PredictorRepetitions,
 		ForestSizes: []int{50},
 		Score:       cfg.Score,
+		Workers:     cfg.Workers,
 		Seed:        cfg.Seed + 21,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: training the validator's internal predictor: %w", err)
 	}
 
-	mixture := errorgen.Mixture{Generators: cfg.Generators}
+	// The synthetic batches are computed in parallel waves (batch b is a
+	// pure function of cfg.Seed and b); the adaptive filtering below then
+	// consumes them strictly in index order, so the training set is
+	// bit-identical for every worker count.
+	source := &validatorBatchSource{
+		v:         v,
+		mixture:   errorgen.Mixture{Generators: cfg.Generators},
+		batchPart: batchPart,
+		wave:      cfg.Batches,
+	}
 	line := (1 - cfg.Threshold) * v.testScore
 	var feats [][]float64
 	var labels []int
@@ -135,27 +148,20 @@ func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (
 		if b >= 4*cfg.Batches {
 			break // safety valve if nearly everything lands on the line
 		}
-		batch := SubsampleBatch(batchPart, rng)
-		if b%4 != 0 {
-			// three quarters corrupted, one quarter clean: anchors both
-			// regimes of the decision
-			batch = mixture.Corrupt(batch, rng.Float64(), rng)
-		}
-		proba := model.PredictProba(batch)
-		score := cfg.Score(proba, batch.Labels)
+		res := source.get(b)
 		// Skip batches whose score lands within the sampling noise of the
 		// decision line: their labels are coin flips that only teach the
 		// classifier noise. (Binomial std of accuracy on a batch of size n.)
-		noise := scoreNoise(score, batch.Len())
-		if diff := score - line; diff > -noise && diff < noise {
+		noise := scoreNoise(res.score, res.size)
+		if diff := res.score - line; diff > -noise && diff < noise {
 			continue
 		}
 		label := 0
-		if score < line {
+		if res.score < line {
 			label = 1
 			v.trainPos++
 		}
-		feats = append(feats, v.features(proba))
+		feats = append(feats, res.feats)
 		labels = append(labels, label)
 	}
 	v.trainTotal = len(labels)
@@ -167,18 +173,13 @@ func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (
 		labels = labels[:0]
 		v.trainPos = 0
 		for b := 0; b < cfg.Batches; b++ {
-			batch := SubsampleBatch(batchPart, rng)
-			if b%4 != 0 {
-				batch = mixture.Corrupt(batch, rng.Float64(), rng)
-			}
-			proba := model.PredictProba(batch)
-			score := cfg.Score(proba, batch.Labels)
+			res := source.get(b)
 			label := 0
-			if score < line {
+			if res.score < line {
 				label = 1
 				v.trainPos++
 			}
-			feats = append(feats, v.features(proba))
+			feats = append(feats, res.feats)
 			labels = append(labels, label)
 		}
 		v.trainTotal = len(labels)

@@ -84,6 +84,7 @@ func AblationPercentileStep(scale Scale) (*AblationResult, error) {
 					Repetitions:    scale.Repetitions,
 					PercentileStep: step,
 					ForestSizes:    scale.ForestSizes,
+					Workers:        scale.Workers,
 					Seed:           scale.Seed,
 				})
 			},
@@ -103,6 +104,7 @@ func AblationRegressor(scale Scale) (*AblationResult, error) {
 					Generators:  errorgen.KnownTabular(),
 					Repetitions: scale.Repetitions,
 					ForestSizes: scale.ForestSizes,
+					Workers:     scale.Workers,
 					Seed:        scale.Seed,
 				})
 			},
@@ -114,6 +116,7 @@ func AblationRegressor(scale Scale) (*AblationResult, error) {
 					Generators:  errorgen.KnownTabular(),
 					Repetitions: scale.Repetitions,
 					Regressor:   &models.GBDTRegressor{Trees: 80, Seed: scale.Seed},
+					Workers:     scale.Workers,
 					Seed:        scale.Seed,
 				})
 			},
@@ -135,6 +138,7 @@ func AblationTrainingSize(scale Scale) (*AblationResult, error) {
 					Generators:  errorgen.KnownTabular(),
 					Repetitions: reps,
 					ForestSizes: scale.ForestSizes,
+					Workers:     scale.Workers,
 					Seed:        scale.Seed,
 				})
 			},
@@ -165,6 +169,7 @@ func AblationKSFeatures(scale Scale) (*AblationResult, error) {
 			Threshold:         0.05,
 			Batches:           scale.ValidatorBatches,
 			DisableKSFeatures: disable,
+			Workers:           scale.Workers,
 			Seed:              scale.Seed,
 		})
 		if err != nil {

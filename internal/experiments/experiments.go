@@ -31,6 +31,7 @@ type Scale struct {
 	Trials           int // serving batches evaluated per cell
 	ValidatorBatches int // training batches for the performance validator
 	ForestSizes      []int
+	Workers          int // goroutines for meta-dataset construction (0 = all cores)
 	Seed             int64
 }
 

@@ -98,6 +98,7 @@ func figure2Cell(scale Scale, dataset, model string, seed int64, score core.Scor
 		Repetitions: scale.Repetitions,
 		ForestSizes: scale.ForestSizes,
 		Score:       score,
+		Workers:     scale.Workers,
 		Seed:        seed,
 	})
 	if err != nil {

@@ -64,6 +64,7 @@ func Figure3(scale Scale) (*Figure3Result, error) {
 				Generators:  known,
 				Repetitions: scale.Repetitions,
 				ForestSizes: scale.ForestSizes,
+				Workers:     scale.Workers,
 				Seed:        seed,
 			})
 			if err != nil {

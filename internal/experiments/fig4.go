@@ -75,6 +75,7 @@ func Figure4(scale Scale) (*Figure4Result, error) {
 					Generators:  []errorgen.Generator{cell.gen},
 					Repetitions: scale.Repetitions,
 					ForestSizes: scale.ForestSizes,
+					Workers:     scale.Workers,
 					Seed:        seed,
 				})
 				if err != nil {

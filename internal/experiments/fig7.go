@@ -62,6 +62,7 @@ func Figure7(scale Scale) (*Figure7Result, error) {
 			Generators:  errorgen.KnownTabular(),
 			Repetitions: scale.Repetitions,
 			ForestSizes: scale.ForestSizes,
+			Workers:     scale.Workers,
 			Seed:        seed,
 		})
 		if err != nil {

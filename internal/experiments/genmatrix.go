@@ -49,6 +49,7 @@ func GeneralizationMatrix(scale Scale, model string) (*GenMatrixResult, error) {
 		Generators:  known,
 		Repetitions: scale.Repetitions,
 		ForestSizes: scale.ForestSizes,
+		Workers:     scale.Workers,
 		Seed:        scale.Seed,
 	})
 	if err != nil {

@@ -133,6 +133,7 @@ func validationCell(scale Scale, spec cellSpec) ([]ValidationRow, error) {
 			Generators: spec.trainGens,
 			Threshold:  t,
 			Batches:    scale.ValidatorBatches,
+			Workers:    scale.Workers,
 			Seed:       spec.seed,
 		})
 		if err != nil {

@@ -38,7 +38,7 @@ func getFixture(t *testing.T) fixture {
 		}
 		pred, err := core.TrainPredictor(model, test, core.PredictorConfig{
 			Generators:  errorgen.KnownTabular(),
-			Repetitions: 20,
+			Repetitions: 40,
 			ForestSizes: []int{30},
 			Seed:        1,
 		})

@@ -162,9 +162,16 @@ func (d *P2Digest) Add(x float64) {
 // Count returns the number of observations consumed.
 func (d *P2Digest) Count() int { return d.count }
 
-// Values returns the current percentile estimates in grid order.
+// Values returns the current percentile estimates in grid order. For an
+// ascending grid the estimates are rectified to be monotone
+// non-decreasing: the per-point P² estimators are independent, so early
+// in a stream adjacent estimates can cross, which the exact
+// (sort-based) percentiles never do. The running max restores the
+// invariant without hurting accuracy — each clamped value moves toward
+// the true quantile, which is at least the preceding one.
 func (d *P2Digest) Values() []float64 {
 	out := make([]float64, len(d.grid))
+	ascending := true
 	for i, p := range d.grid {
 		switch {
 		case d.count == 0:
@@ -175,6 +182,16 @@ func (d *P2Digest) Values() []float64 {
 			out[i] = d.max
 		default:
 			out[i] = d.estimators[i].Value()
+		}
+		if i > 0 && d.grid[i] < d.grid[i-1] {
+			ascending = false
+		}
+	}
+	if ascending {
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1] {
+				out[i] = out[i-1]
+			}
 		}
 	}
 	return out
