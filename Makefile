@@ -1,13 +1,20 @@
 # Tier-1 gate for this repository (see README.md "Install"): every
 # change must keep `make check` green. The race target exercises the
-# parallel meta-dataset builder (internal/core/parallel.go) and the
-# forest trainer under the race detector in short mode.
+# parallel meta-dataset builder (internal/core/parallel.go), the forest
+# trainer, and the serving-path packages (gateway proxy + monitor, whose
+# shadow tap and dashboard are hit concurrently in production) under the
+# race detector in short mode.
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check lint vet build test race bench bench-gateway demo
 
 check: vet build test race
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -19,8 +26,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -short -race ./internal/core/... ./internal/models/...
+	$(GO) test -short -race ./internal/core/... ./internal/models/... ./internal/gateway/... ./internal/monitor/...
 
 # Speedup table for EXPERIMENTS.md ("Parallel training" section).
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkTrainPredictor' -benchtime 20x .
+
+# Proxy-hop overhead table for EXPERIMENTS.md ("Gateway overhead").
+bench-gateway:
+	$(GO) test -run NONE -bench 'BenchmarkGatewayOverhead' -benchtime 1000x ./internal/gateway/
+
+# Three-process smoke test: boots ppm-serve and ppm-gateway on
+# loopback, fires a request through the proxy and asserts /metrics
+# scrapes (see scripts/demo.sh).
+demo:
+	bash scripts/demo.sh

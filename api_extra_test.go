@@ -3,9 +3,12 @@ package blackboxval_test
 import (
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"blackboxval"
 )
@@ -106,6 +109,71 @@ func TestPublicMonitorFlow(t *testing.T) {
 	s := mon.Summarize()
 	if s.Batches != 2 {
 		t.Fatalf("summary batches = %d", s.Batches)
+	}
+}
+
+func TestPublicGatewayFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ds := blackboxval.IncomeDataset(2000, 43).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+	model, err := blackboxval.TrainXGB(train, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := blackboxval.TrainPredictor(model, test, blackboxval.PredictorConfig{
+		Generators:  blackboxval.KnownTabularGenerators(),
+		Repetitions: 10,
+		ForestSizes: []int{20},
+		Seed:        43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := blackboxval.NewMonitor(blackboxval.MonitorConfig{Predictor: pred, Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backend := httptest.NewServer(blackboxval.NewCloudServer(model).Handler())
+	defer backend.Close()
+	gw, err := blackboxval.NewGateway(blackboxval.GatewayConfig{Backend: backend.URL, Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	gwSrv := httptest.NewServer(gw.Handler())
+	defer gwSrv.Close()
+
+	// A cloud client pointed at the gateway behaves exactly like one
+	// pointed at the backend: the proxy is transparent.
+	remote, err := blackboxval.NewCloudClient(gwSrv.URL).Predict(serving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := model.PredictProba(serving)
+	if remote.Rows != local.Rows || remote.Cols != local.Cols {
+		t.Fatalf("shape via gateway %dx%d, local %dx%d", remote.Rows, remote.Cols, local.Rows, local.Cols)
+	}
+
+	// The shadow tap feeds the monitor off the hot path.
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.ShadowObserved() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("shadow tap never observed the batch")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s := mon.Summarize(); s.Batches != 1 {
+		t.Fatalf("monitor batches = %d, want 1", s.Batches)
+	}
+	resp, err := http.Get(gwSrv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d on clean traffic", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,101 @@
+// Command ppm-gateway is the shadow-validation serving proxy: it sits
+// between clients and a black box model server (e.g. ppm-serve),
+// hardens the path to the backend (timeouts, retries with backoff, a
+// circuit breaker that sheds load while the backend is down), and — off
+// the hot path — taps every response batch into a trained performance
+// predictor so the model's estimated accuracy and alarm state are
+// maintained continuously without labels.
+//
+// Usage:
+//
+//	ppm-validate train -dataset income -model xgb -out bundle
+//	ppm-serve    -dataset income -model xgb -addr 127.0.0.1:8080
+//	ppm-gateway  -backend http://127.0.0.1:8080 -bundle bundle -addr 127.0.0.1:8088
+//
+// Endpoints: POST /predict_proba (proxied), GET /metrics (Prometheus
+// text), GET /status (JSON), GET /healthz (503 while the performance
+// alarm fires), GET /monitor/* (monitor dashboard, with -bundle).
+// Without -bundle the gateway runs as a pure resilience proxy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"blackboxval/internal/cli"
+	"blackboxval/internal/cloud"
+	"blackboxval/internal/gateway"
+	"blackboxval/internal/monitor"
+)
+
+func main() {
+	backend := flag.String("backend", "http://127.0.0.1:8080", "base URL of the model server")
+	bundle := flag.String("bundle", "", "bundle directory written by ppm-validate train (empty = proxy only, no shadow validation)")
+	addr := flag.String("addr", "127.0.0.1:8088", "gateway listen address")
+	hysteresis := flag.Int("hysteresis", 1, "consecutive violating batches before the alarm fires")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-attempt backend timeout")
+	retries := flag.Int("retries", 2, "retry attempts after the first try on transient backend failures")
+	queueSize := flag.Int("shadow-queue", 256, "bounded shadow-validation queue size (drop-oldest under pressure)")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive backend failures that open the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long the breaker stays open before probing")
+	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain deadline")
+	flag.Parse()
+
+	if err := run(*backend, *bundle, *addr, *hysteresis, *timeout, *retries,
+		*queueSize, *breakerFailures, *breakerCooldown, *drain); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(backend, bundle, addr string, hysteresis int, timeout time.Duration,
+	retries, queueSize, breakerFailures int, breakerCooldown, drain time.Duration) error {
+	cfg := gateway.Config{
+		Backend:         backend,
+		RequestTimeout:  timeout,
+		MaxRetries:      retries,
+		ShadowQueueSize: queueSize,
+		Breaker: gateway.BreakerConfig{
+			FailureThreshold: breakerFailures,
+			Cooldown:         breakerCooldown,
+		},
+	}
+
+	if bundle != "" {
+		// The black box stays remote: attach the backend client to the
+		// locally trained validation artifacts.
+		remote := cloud.NewClient(backend)
+		manifest, pred, val, err := cli.LoadServingBundle(bundle, remote)
+		if err != nil {
+			return err
+		}
+		mon, err := monitor.New(monitor.Config{
+			Predictor:  pred,
+			Validator:  val,
+			Threshold:  manifest.Threshold,
+			Hysteresis: hysteresis,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Monitor = mon
+		log.Printf("shadow validation on: %s/%s bundle, reference accuracy %.3f, alarm line %.3f",
+			manifest.Dataset, manifest.Model, manifest.TestScore, mon.AlarmLine())
+	} else {
+		log.Printf("no -bundle given: running as a pure resilience proxy")
+	}
+
+	g, err := gateway.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	log.Printf("proxying POST http://%s/predict_proba -> %s/predict_proba", addr, backend)
+	log.Printf("observability: http://%s/metrics /status /healthz", addr)
+	if err := gateway.ListenAndServe(addr, g.Handler(), drain); err != nil {
+		return fmt.Errorf("gateway: %w", err)
+	}
+	return nil
+}

@@ -12,10 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"time"
 
 	"blackboxval"
 	"blackboxval/internal/experiments"
+	"blackboxval/internal/gateway"
 )
 
 func main() {
@@ -24,14 +25,15 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	rows := flag.Int("rows", 4000, "dataset size")
 	seed := flag.Int64("seed", 1, "random seed")
+	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain deadline")
 	flag.Parse()
 
-	if err := run(*dataset, *model, *addr, *rows, *seed); err != nil {
+	if err := run(*dataset, *model, *addr, *rows, *seed, *drain); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(dataset, modelName, addr string, rows int, seed int64) error {
+func run(dataset, modelName, addr string, rows int, seed int64, drain time.Duration) error {
 	scale := experiments.Quick
 	scale.TabularRows = rows
 	scale.ImageRows = rows
@@ -54,5 +56,7 @@ func run(dataset, modelName, addr string, rows int, seed int64) error {
 	acc := blackboxval.AccuracyScore(model.PredictProba(test), test.Labels)
 	log.Printf("trained %s on %s (%d rows), held-out accuracy %.3f", modelName, dataset, rows, acc)
 	log.Printf("serving POST http://%s/predict_proba", addr)
-	return http.ListenAndServe(addr, blackboxval.NewCloudServer(model).Handler())
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain
+	// in-flight predictions, then exit (shared with ppm-gateway).
+	return gateway.ListenAndServe(addr, blackboxval.NewCloudServer(model).Handler(), drain)
 }

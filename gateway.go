@@ -1,0 +1,38 @@
+package blackboxval
+
+// The shadow-validation gateway: a resilient, observable reverse proxy
+// that puts the performance predictor on the serving path. Traffic to
+// POST /predict_proba is forwarded to the backend model server through
+// a hardened client (timeouts, retries with backoff, circuit breaker)
+// while every response batch is tapped — asynchronously, off the hot
+// path — into a Monitor, so estimated accuracy and alarm state are
+// maintained continuously without labels. See cmd/ppm-gateway for the
+// runnable binary.
+
+import (
+	"net/http"
+	"time"
+
+	"blackboxval/internal/gateway"
+)
+
+// Gateway is the shadow-validation serving proxy.
+type Gateway = gateway.Gateway
+
+// GatewayConfig configures NewGateway.
+type GatewayConfig = gateway.Config
+
+// GatewayStatus is the JSON document the gateway serves at /status.
+type GatewayStatus = gateway.Status
+
+// BreakerConfig tunes the gateway's circuit breaker.
+type BreakerConfig = gateway.BreakerConfig
+
+// NewGateway validates the configuration and returns a ready gateway.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// ListenAndServeGracefully serves handler at addr and drains in-flight
+// requests for up to drain after SIGINT/SIGTERM before returning.
+func ListenAndServeGracefully(addr string, handler http.Handler, drain time.Duration) error {
+	return gateway.ListenAndServe(addr, handler, drain)
+}

@@ -197,6 +197,31 @@ func Train(opts TrainOptions) (string, error) {
 		opts.Model, opts.Dataset, opts.Rows, pred.TestScore(), opts.Threshold*100, opts.OutDir), nil
 }
 
+// LoadServingBundle reads a bundle's manifest, predictor and validator,
+// attaching the given model instead of the bundled pipeline. This is the
+// gateway-startup path: the black box stays remote (a cloud.Client over
+// the backend), while the locally trained validation artifacts ride
+// along. The bundled model file is not required to exist.
+func LoadServingBundle(dir string, model data.Model) (*Manifest, *core.Predictor, *core.Validator, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("cli: reading manifest: %w", err)
+	}
+	var manifest Manifest
+	if err := json.Unmarshal(raw, &manifest); err != nil {
+		return nil, nil, nil, fmt.Errorf("cli: decoding manifest: %w", err)
+	}
+	pred, err := persist.LoadPredictor(filepath.Join(dir, PredictorFile), model)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	val, err := persist.LoadValidator(filepath.Join(dir, ValidatorFile), model)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &manifest, pred, val, nil
+}
+
 // LoadBundle reads a bundle from disk and re-attaches the model.
 func LoadBundle(dir string) (*Manifest, *models.Pipeline, *core.Predictor, *core.Validator, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"blackboxval/internal/cloud"
+	"blackboxval/internal/data"
 )
 
 // trainSmallBundle builds one small bundle shared across tests of this
@@ -68,6 +71,42 @@ func TestTrainCheckGenBatchWorkflow(t *testing.T) {
 	}
 	if !strings.Contains(report, "most suspicious columns") {
 		t.Fatalf("alarm report lacks drift attribution:\n%s", report)
+	}
+}
+
+func TestLoadServingBundleAttachesRemoteModel(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "bundle")
+	trainSmallBundle(t, bundle)
+
+	// The gateway path: validation artifacts from disk, black box remote.
+	remote := cloud.NewClient("http://127.0.0.1:9")
+	manifest, pred, val, err := LoadServingBundle(bundle, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manifest.Dataset != "income" || manifest.Model != "lr" {
+		t.Fatalf("manifest = %+v", manifest)
+	}
+	if pred.TestScore() != manifest.TestScore {
+		t.Fatalf("predictor test score %v != manifest %v", pred.TestScore(), manifest.TestScore)
+	}
+	if pred.Model() != data.Model(remote) {
+		t.Fatal("predictor not attached to the provided remote model")
+	}
+	if val.Threshold() != manifest.Threshold {
+		t.Fatalf("validator threshold %v != manifest %v", val.Threshold(), manifest.Threshold)
+	}
+	// The model file must not be required: a serving host only syncs the
+	// validation artifacts.
+	if err := os.Remove(filepath.Join(bundle, ModelFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadServingBundle(bundle, remote); err != nil {
+		t.Fatalf("serving bundle should load without the model file: %v", err)
+	}
+	if _, _, _, err := LoadServingBundle(t.TempDir(), remote); err == nil {
+		t.Fatal("missing bundle should error")
 	}
 }
 

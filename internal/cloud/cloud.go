@@ -9,9 +9,11 @@ package cloud
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"net/http"
 
@@ -194,6 +196,9 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides the default http.DefaultClient.
 	HTTPClient *http.Client
+	// Logger receives transport failures surfaced through the
+	// error-less data.Model path (nil = the standard logger).
+	Logger *log.Logger
 
 	numClasses int
 }
@@ -209,11 +214,18 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // PredictProba implements data.Model by calling the remote service. Like
-// any data.Model it has no error channel; transport failures panic, as a
-// real deployment would page rather than silently continue.
+// any data.Model it has no error channel; transport failures are logged
+// and then propagated by panicking, as a real deployment would page
+// rather than silently continue. Callers that can handle errors (the
+// gateway's backend path, health probes) should use PredictCtx instead.
 func (c *Client) PredictProba(ds *data.Dataset) *linalg.Matrix {
 	proba, err := c.Predict(ds)
 	if err != nil {
+		logger := c.Logger
+		if logger == nil {
+			logger = log.Default()
+		}
+		logger.Printf("cloud: prediction request to %s failed: %v", c.BaseURL, err)
 		panic(fmt.Sprintf("cloud: prediction request failed: %v", err))
 	}
 	return proba
@@ -221,11 +233,23 @@ func (c *Client) PredictProba(ds *data.Dataset) *linalg.Matrix {
 
 // Predict is the error-returning variant of PredictProba.
 func (c *Client) Predict(ds *data.Dataset) (*linalg.Matrix, error) {
+	return c.PredictCtx(context.Background(), ds)
+}
+
+// PredictCtx calls the remote service under the given context, so
+// callers control per-request timeouts and cancellation. It is the
+// primitive the other predict methods delegate to.
+func (c *Client) PredictCtx(ctx context.Context, ds *data.Dataset) (*linalg.Matrix, error) {
 	payload, err := json.Marshal(encodeRequest(ds))
 	if err != nil {
 		return nil, fmt.Errorf("cloud: encoding request: %w", err)
 	}
-	resp, err := c.httpClient().Post(c.BaseURL+"/predict_proba", "application/json", bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/predict_proba", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("cloud: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("cloud: calling service: %w", err)
 	}
@@ -234,19 +258,49 @@ func (c *Client) Predict(ds *data.Dataset) (*linalg.Matrix, error) {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return nil, fmt.Errorf("cloud: service returned %s: %s", resp.Status, msg)
 	}
-	var pr predictResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		return nil, fmt.Errorf("cloud: decoding response: %w", err)
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: reading response: %w", err)
 	}
-	c.numClasses = pr.NumClasses
+	out, numClasses, err := ParseProbaResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	c.numClasses = numClasses
+	return out, nil
+}
+
+// EncodeRequest serializes a dataset's features (never its labels) as a
+// /predict_proba request body, for callers that speak the wire format
+// directly — e.g. traffic generators driving the gateway.
+func EncodeRequest(ds *data.Dataset) ([]byte, error) {
+	payload, err := json.Marshal(encodeRequest(ds))
+	if err != nil {
+		return nil, fmt.Errorf("cloud: encoding request: %w", err)
+	}
+	return payload, nil
+}
+
+// ParseProbaResponse decodes the JSON body of a /predict_proba response
+// into a probability matrix. It is exported so serving-path components
+// (e.g. the shadow-validation gateway) can tap logged response bodies
+// without re-implementing the wire schema.
+func ParseProbaResponse(body []byte) (proba *linalg.Matrix, numClasses int, err error) {
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return nil, 0, fmt.Errorf("cloud: decoding response: %w", err)
+	}
+	if pr.NumClasses <= 0 {
+		return nil, 0, fmt.Errorf("cloud: response reports %d classes", pr.NumClasses)
+	}
 	out := linalg.NewMatrix(len(pr.Probabilities), pr.NumClasses)
 	for i, row := range pr.Probabilities {
 		if len(row) != pr.NumClasses {
-			return nil, fmt.Errorf("cloud: row %d has %d probabilities, want %d", i, len(row), pr.NumClasses)
+			return nil, 0, fmt.Errorf("cloud: row %d has %d probabilities, want %d", i, len(row), pr.NumClasses)
 		}
 		copy(out.Row(i), row)
 	}
-	return out, nil
+	return out, pr.NumClasses, nil
 }
 
 // NumClasses implements data.Model. It is learned from the first

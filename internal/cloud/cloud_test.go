@@ -1,6 +1,9 @@
 package cloud
 
 import (
+	"bytes"
+	"context"
+	"log"
 	"math"
 	"math/rand"
 	"net/http"
@@ -149,6 +152,66 @@ func TestClientErrorOnUnreachableService(t *testing.T) {
 	ds := datagen.Income(10, 5)
 	if _, err := client.Predict(ds); err == nil {
 		t.Fatal("expected transport error")
+	}
+}
+
+func TestPredictCtxHonorsCancellation(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewClient(srv.URL).PredictCtx(ctx, datagen.Income(10, 6)); err == nil {
+		t.Fatal("cancelled context should surface as an error")
+	}
+}
+
+func TestPredictCtxSurfacesServerErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "model exploded", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	_, err := NewClient(srv.URL).PredictCtx(context.Background(), datagen.Income(10, 7))
+	if err == nil || !strings.Contains(err.Error(), "model exploded") {
+		t.Fatalf("want wrapped server error, got %v", err)
+	}
+}
+
+func TestPredictProbaLogsAndPanicsOnTransportError(t *testing.T) {
+	var buf bytes.Buffer
+	client := NewClient("http://127.0.0.1:1")
+	client.Logger = log.New(&buf, "", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PredictProba should panic on transport failure")
+		}
+		if !strings.Contains(buf.String(), "prediction request") {
+			t.Fatalf("transport failure not logged: %q", buf.String())
+		}
+	}()
+	client.PredictProba(datagen.Income(10, 8))
+}
+
+func TestParseProbaResponse(t *testing.T) {
+	proba, n, err := ParseProbaResponse([]byte(`{"probabilities":[[0.25,0.75],[0.5,0.5]],"num_classes":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || proba.Rows != 2 || proba.Cols != 2 || proba.Row(0)[1] != 0.75 {
+		t.Fatalf("parsed %dx%d classes=%d: %v", proba.Rows, proba.Cols, n, proba.Data)
+	}
+	if _, _, err := ParseProbaResponse([]byte(`{nope`)); err == nil {
+		t.Fatal("invalid JSON should error")
+	}
+	if _, _, err := ParseProbaResponse([]byte(`{"probabilities":[[0.5]],"num_classes":2}`)); err == nil {
+		t.Fatal("ragged row should error")
+	}
+	if _, _, err := ParseProbaResponse([]byte(`{"probabilities":[],"num_classes":0}`)); err == nil {
+		t.Fatal("zero classes should error")
 	}
 }
 

@@ -1,0 +1,111 @@
+package gateway
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"blackboxval/internal/cloud"
+	"blackboxval/internal/core"
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/models"
+	"blackboxval/internal/monitor"
+)
+
+// BenchmarkGatewayOverhead isolates the proxy hop cost ("EXPERIMENTS.md:
+// gateway overhead"). The backend returns a canned 200-row response so
+// model compute does not mask the hop; sub-benchmarks measure the direct
+// call, the proxied call, and the proxied call with the shadow tap
+// feeding a real monitor.
+func BenchmarkGatewayOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ds := datagen.Income(1500, 1).Balance(rng)
+	source, serving := ds.Split(0.7, rng)
+	train, test := source.Split(0.6, rng)
+	model, err := models.TrainPipeline(train, &models.SGDClassifier{Epochs: 5, Seed: 1}, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	batch := serving.Sample(200, rng)
+	reqBody, err := cloud.EncodeRequest(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Canned response: the real model's output for the batch, serialized
+	// once, so every path returns identical bytes.
+	probe := httptest.NewServer(cloud.NewServer(model).Handler())
+	resp, err := http.Post(probe.URL+"/predict_proba", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		b.Fatal(err)
+	}
+	canned, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	probe.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(canned)
+	}))
+	defer backend.Close()
+
+	hammer := func(b *testing.B, url string) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(url+"/predict_proba", "application/json", bytes.NewReader(reqBody))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		hammer(b, backend.URL)
+	})
+
+	b.Run("proxy", func(b *testing.B) {
+		g, err := New(Config{Backend: backend.URL})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer g.Close()
+		srv := httptest.NewServer(g.Handler())
+		defer srv.Close()
+		hammer(b, srv.URL)
+	})
+
+	b.Run("proxy+shadow", func(b *testing.B) {
+		pred, err := core.TrainPredictor(model, test, core.PredictorConfig{
+			Generators:  errorgen.KnownTabular(),
+			Repetitions: 20,
+			ForestSizes: []int{20},
+			Seed:        1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon, err := monitor.New(monitor.Config{Predictor: pred})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := New(Config{Backend: backend.URL, Monitor: mon})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer g.Close()
+		srv := httptest.NewServer(g.Handler())
+		defer srv.Close()
+		hammer(b, srv.URL)
+	})
+}

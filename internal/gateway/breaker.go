@@ -1,0 +1,147 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is shed until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is allowed through; its outcome
+	// decides whether the breaker closes again or re-opens.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs, /status and metric labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive backend failures
+	// that trips the breaker open (default 5).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before letting a
+	// half-open probe through (default 10s).
+	Cooldown time.Duration
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+}
+
+// Breaker is a three-state circuit breaker protecting the backend model
+// server: closed (healthy), open (shedding load) and half-open (probing
+// for recovery). It is safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // test hook
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+
+	// onTransition, when set, observes every state change (metrics).
+	onTransition func(to BreakerState)
+}
+
+// NewBreaker returns a closed breaker with the given configuration.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.defaults()
+	return &Breaker{cfg: cfg, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. When it returns false the
+// caller should shed the request; retryAfter is the remaining cooldown,
+// suitable for a Retry-After response header.
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		remaining := b.cfg.Cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return false, remaining
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		return true, 0
+	default: // BreakerHalfOpen
+		if b.probing {
+			// A probe is already in flight; shed until it resolves.
+			return false, b.cfg.Cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// Success records a successful backend exchange.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state != BreakerClosed {
+		b.probing = false
+		b.transition(BreakerClosed)
+	}
+}
+
+// Failure records a failed backend exchange (transport error or gateway
+// bankruptcy after retries).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: back to shedding for a full cooldown.
+		b.probing = false
+		b.openedAt = b.now()
+		b.transition(BreakerOpen)
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.openedAt = b.now()
+			b.transition(BreakerOpen)
+		}
+	}
+}
+
+// State returns the current breaker position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// transition must be called with b.mu held.
+func (b *Breaker) transition(to BreakerState) {
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(to)
+	}
+}

@@ -1,0 +1,116 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{FailureThreshold: threshold, Cooldown: cooldown})
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if b.State() != BreakerClosed {
+			t.Fatalf("tripped after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should be open after 3 consecutive failures")
+	}
+	if ok, retryAfter := b.Allow(); ok || retryAfter <= 0 {
+		t.Fatalf("open breaker allowed traffic (retryAfter=%v)", retryAfter)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Minute)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures should not trip the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+	clk.advance(61 * time.Second)
+	ok, _ := b.Allow()
+	if !ok || b.State() != BreakerHalfOpen {
+		t.Fatalf("cooldown elapsed: want half-open probe, got allow=%v state=%v", ok, b.State())
+	}
+	// Only one probe at a time.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second concurrent probe allowed")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("probe success should close the breaker")
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("closed breaker must allow traffic")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	clk.advance(61 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("probe not allowed")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("probe failure should reopen the breaker")
+	}
+	// A fresh cooldown applies.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("reopened breaker allowed traffic immediately")
+	}
+	clk.advance(61 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("second probe window not honored")
+	}
+}
+
+func TestBreakerTransitionCallback(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	var seen []BreakerState
+	b.onTransition = func(to BreakerState) { seen = append(seen, to) }
+	b.Failure()
+	clk.advance(2 * time.Second)
+	b.Allow()
+	b.Success()
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" || BreakerHalfOpen.String() != "half_open" {
+		t.Fatal("state strings changed: metric labels depend on them")
+	}
+}

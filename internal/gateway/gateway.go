@@ -1,0 +1,398 @@
+// Package gateway implements the shadow-validation serving proxy: the
+// single production path between clients and a black box model server.
+// It forwards POST /predict_proba traffic through a hardened client
+// path — per-request timeouts, retries with exponential backoff and
+// jitter on transient failures, and a circuit breaker that sheds load
+// with 503/Retry-After while the backend is down — and, off the hot
+// path, taps every successful response batch into a performance
+// Predictor + Monitor (Schelter et al., SIGMOD 2020) so the model's
+// estimated accuracy and alarm state are maintained continuously
+// without labels. Observability: Prometheus text metrics at /metrics,
+// a JSON /status, and a /healthz that turns 503 when the performance
+// alarm fires, so orchestrators can act on model-quality health rather
+// than mere liveness.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"blackboxval/internal/monitor"
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Backend is the base URL of the model server, e.g.
+	// "http://127.0.0.1:8080". Required.
+	Backend string
+	// Monitor receives the shadow traffic tap. Optional: without it the
+	// gateway is a pure resilience proxy (no estimates, /healthz is
+	// liveness-only).
+	Monitor *monitor.Monitor
+	// HTTPClient overrides the transport used to reach the backend.
+	HTTPClient *http.Client
+	// RequestTimeout bounds each backend attempt (default 10s).
+	RequestTimeout time.Duration
+	// MaxRetries is the number of re-attempts after the first try on
+	// transient failures (default 2).
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff schedule: attempt i
+	// waits ~ RetryBaseDelay * 2^i with jitter (default 50ms).
+	RetryBaseDelay time.Duration
+	// Breaker tunes the circuit breaker.
+	Breaker BreakerConfig
+	// ShadowQueueSize bounds the async validation queue (default 256).
+	ShadowQueueSize int
+	// MaxBodyBytes caps accepted request bodies (default 256 MiB, the
+	// same cap the model server applies).
+	MaxBodyBytes int64
+	// Logger receives operational messages (nil = standard logger).
+	Logger *log.Logger
+}
+
+func (c *Config) defaults() {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+}
+
+// Request outcomes used as metric label values.
+const (
+	outcomeOK          = "ok"
+	outcomeUpstream4xx = "upstream_4xx"
+	outcomeUpstream5xx = "upstream_5xx"
+	outcomeBackendDown = "backend_unavailable"
+	outcomeBreakerOpen = "breaker_open"
+	outcomeBadRequest  = "bad_request"
+)
+
+// Gateway is the shadow-validation reverse proxy. Create with New,
+// mount Handler, and Close when done.
+type Gateway struct {
+	cfg     Config
+	breaker *Breaker
+	metrics *Metrics
+	shadow  *shadowTap
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+}
+
+// New validates the configuration and returns a ready gateway.
+func New(cfg Config) (*Gateway, error) {
+	cfg.defaults()
+	if cfg.Backend == "" {
+		return nil, fmt.Errorf("gateway: a backend URL is required")
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		jitter:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	g.breaker = NewBreaker(cfg.Breaker)
+	g.breaker.onTransition = func(to BreakerState) {
+		g.metrics.breakerState.Set(float64(breakerGaugeValue(to)))
+		g.metrics.breakerTransitions.Add(to.String(), 1)
+		g.cfg.Logger.Printf("gateway: circuit breaker -> %s", to)
+	}
+	if cfg.Monitor != nil {
+		g.shadow = newShadowTap(cfg.Monitor, cfg.ShadowQueueSize, cfg.Logger, g.metrics, func(rec monitor.Record) {
+			g.metrics.estimate.Set(rec.Estimate)
+			g.metrics.alarm.Set(boolGauge(cfg.Monitor.Alarming()))
+		})
+		g.metrics.shadowDepth.fn = func() float64 { return float64(g.shadow.Depth()) }
+	}
+	return g, nil
+}
+
+// Close releases the gateway's background resources (the shadow worker
+// drains its queue first).
+func (g *Gateway) Close() {
+	if g.shadow != nil {
+		g.shadow.Close()
+	}
+}
+
+// Metrics exposes the registry (used by tests and the status handler).
+func (g *Gateway) Metrics() *Metrics { return g.metrics }
+
+// Breaker exposes the circuit breaker state.
+func (g *Gateway) Breaker() *Breaker { return g.breaker }
+
+// ShadowObserved reports how many batches the shadow tap has fed to the
+// monitor so far (0 without a monitor). Useful for tests and draining.
+func (g *Gateway) ShadowObserved() int64 {
+	if g.shadow == nil {
+		return 0
+	}
+	return g.shadow.Observed()
+}
+
+// Handler returns the gateway's HTTP surface:
+//
+//	POST /predict_proba  — proxied to the backend, bit-identical body
+//	GET  /metrics        — Prometheus text exposition
+//	GET  /status         — JSON: breaker state, monitor summary
+//	GET  /healthz        — 200 while healthy, 503 while the performance
+//	                       alarm fires
+//	     /monitor/*      — the monitor's own dashboard (when configured)
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict_proba", g.handleProxy)
+	mux.Handle("/metrics", g.metrics.Handler())
+	mux.HandleFunc("/status", g.handleStatus)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	if g.cfg.Monitor != nil {
+		mux.Handle("/monitor/", http.StripPrefix("/monitor", g.cfg.Monitor.Handler()))
+	}
+	return mux
+}
+
+func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		g.finish(outcomeBadRequest, start)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		g.finish(outcomeBadRequest, start)
+		return
+	}
+
+	allowed, retryAfter := g.breaker.Allow()
+	if !allowed {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
+		http.Error(w, "backend circuit breaker open", http.StatusServiceUnavailable)
+		g.finish(outcomeBreakerOpen, start)
+		return
+	}
+
+	resp, err := g.forward(r.Context(), body)
+	if err != nil {
+		g.breaker.Failure()
+		status := http.StatusBadGateway
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, fmt.Sprintf("backend unavailable: %v", err), status)
+		g.finish(outcomeBackendDown, start)
+		return
+	}
+	g.breaker.Success()
+
+	// Relay the backend response bit-identically: headers, status, body.
+	for k, vs := range resp.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+
+	outcome := outcomeOK
+	switch {
+	case resp.status >= 500:
+		outcome = outcomeUpstream5xx
+	case resp.status >= 400:
+		outcome = outcomeUpstream4xx
+	case g.shadow != nil:
+		// Tap the successful batch for shadow validation, off the hot path.
+		g.shadow.Enqueue(resp.body)
+	}
+	g.finish(outcome, start)
+}
+
+// backendResponse is a fully buffered backend reply.
+type backendResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// transientStatus reports backend statuses worth retrying: the backend
+// is overloaded or restarting, not rejecting the request itself.
+func transientStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
+}
+
+// forward relays the request body to the backend with per-attempt
+// timeouts and exponential backoff on transient failures (network
+// errors and 502/503/504 statuses). It returns the first non-transient
+// response, or the last failure once the retry budget is exhausted —
+// a persistent transient failure surfaces as an error so the breaker
+// counts it.
+func (g *Gateway) forward(ctx context.Context, body []byte) (*backendResponse, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := g.attempt(ctx, body)
+		var reason string
+		switch {
+		case err != nil:
+			lastErr = err
+			reason = "network_error"
+			if ctx.Err() != nil {
+				return nil, err
+			}
+		case transientStatus(resp.status):
+			lastErr = fmt.Errorf("backend returned transient status %d", resp.status)
+			reason = "upstream_transient"
+		default:
+			return resp, nil
+		}
+		if attempt >= g.cfg.MaxRetries {
+			return nil, lastErr
+		}
+		g.metrics.retries.Add(reason, 1)
+		if err := g.sleep(ctx, g.backoff(attempt+1)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (g *Gateway) attempt(ctx context.Context, body []byte) (*backendResponse, error) {
+	attemptCtx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, g.cfg.Backend+"/predict_proba", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("building backend request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := g.cfg.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading backend response: %w", err)
+	}
+	return &backendResponse{status: resp.StatusCode, header: resp.Header.Clone(), body: respBody}, nil
+}
+
+// backoff returns the delay before the given (1-based) retry attempt:
+// full jitter over an exponentially growing window.
+func (g *Gateway) backoff(attempt int) time.Duration {
+	window := g.cfg.RetryBaseDelay << (attempt - 1)
+	g.jitterMu.Lock()
+	defer g.jitterMu.Unlock()
+	return window/2 + time.Duration(g.jitter.Int63n(int64(window/2)+1))
+}
+
+func (g *Gateway) sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *Gateway) finish(outcome string, start time.Time) {
+	g.metrics.requests.Add(outcome, 1)
+	g.metrics.latency.Observe(outcome, time.Since(start).Seconds())
+}
+
+// Status is the JSON document served at /status.
+type Status struct {
+	Backend       string           `json:"backend"`
+	BreakerState  string           `json:"breaker_state"`
+	ShadowEnabled bool             `json:"shadow_enabled"`
+	ShadowDepth   int              `json:"shadow_queue_depth,omitempty"`
+	Alarming      bool             `json:"alarming"`
+	AlarmLine     float64          `json:"alarm_line,omitempty"`
+	Monitor       *monitor.Summary `json:"monitor,omitempty"`
+}
+
+func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	st := Status{
+		Backend:       g.cfg.Backend,
+		BreakerState:  g.breaker.State().String(),
+		ShadowEnabled: g.shadow != nil,
+	}
+	if g.cfg.Monitor != nil {
+		st.ShadowDepth = g.shadow.Depth()
+		st.Alarming = g.cfg.Monitor.Alarming()
+		st.AlarmLine = g.cfg.Monitor.AlarmLine()
+		summary := g.cfg.Monitor.Summarize()
+		st.Monitor = &summary
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleHealthz reports model-quality health: 503 while the performance
+// alarm fires so orchestrators can route away from a degraded model,
+// 200 otherwise.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.Monitor != nil && g.cfg.Monitor.Alarming() {
+		http.Error(w, "performance alarm: estimated score below alarm line", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func breakerGaugeValue(s BreakerState) int {
+	switch s {
+	case BreakerClosed:
+		return 0
+	case BreakerHalfOpen:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,203 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePrometheus validates the exposition format line by line and
+// returns the samples keyed by "name{label="v",...}". It fails the test
+// on any malformed line, so every scrape in the suite doubles as a
+// format check.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, fields[3])
+			}
+			typed[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		if valStr != "+Inf" && valStr != "NaN" {
+			if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+				t.Fatalf("line %d: bad sample value %q: %v", ln+1, valStr, err)
+			}
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", ln+1, line)
+			}
+			name = key[:i]
+			for _, pair := range splitLabels(key[i+1 : len(key)-1]) {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 || !strings.HasPrefix(pair[eq+1:], `"`) || !strings.HasSuffix(pair, `"`) {
+					t.Fatalf("line %d: malformed label %q", ln+1, pair)
+				}
+			}
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[base]; !ok {
+				t.Fatalf("line %d: sample %q precedes its TYPE comment", ln+1, name)
+			}
+		}
+		v, _ := strconv.ParseFloat(valStr, 64)
+		samples[key] = v
+	}
+	return samples
+}
+
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func scrape(t *testing.T, m *Metrics) map[string]float64 {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("scrape status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	return parsePrometheus(t, rec.Body.String())
+}
+
+func TestMetricsCountersAndGauges(t *testing.T) {
+	m := newMetrics()
+	m.requests.Add("ok", 3)
+	m.requests.Add("breaker_open", 1)
+	m.retries.Add("network_error", 2)
+	m.breakerState.Set(2)
+	m.estimate.Set(0.87)
+	m.alarm.Set(1)
+	m.shadowDropped.Add("dropped", 5)
+
+	s := scrape(t, m)
+	checks := map[string]float64{
+		`gateway_requests_total{outcome="ok"}`:                  3,
+		`gateway_requests_total{outcome="breaker_open"}`:        1,
+		`gateway_backend_retries_total{reason="network_error"}`: 2,
+		`gateway_breaker_state`:                                 2,
+		`gateway_estimated_score`:                               0.87,
+		`gateway_alarm`:                                         1,
+		`gateway_shadow_batches_total{fate="dropped"}`:          5,
+	}
+	for key, want := range checks {
+		if got, ok := s[key]; !ok || got != want {
+			t.Fatalf("%s = %v (present=%v), want %v\nscrape: %v", key, got, ok, want, s)
+		}
+	}
+}
+
+func TestMetricsHistogram(t *testing.T) {
+	m := newMetrics()
+	m.latency.Observe("ok", 0.003)
+	m.latency.Observe("ok", 0.02)
+	m.latency.Observe("ok", 42) // beyond the last bound: only +Inf
+
+	s := scrape(t, m)
+	if got := s[`gateway_request_duration_seconds_bucket{le="0.005",outcome="ok"}`]; got != 1 {
+		t.Fatalf("le=0.005 bucket = %v, want 1", got)
+	}
+	if got := s[`gateway_request_duration_seconds_bucket{le="0.025",outcome="ok"}`]; got != 2 {
+		t.Fatalf("le=0.025 bucket = %v, want 2", got)
+	}
+	if got := s[`gateway_request_duration_seconds_bucket{le="+Inf",outcome="ok"}`]; got != 3 {
+		t.Fatalf("+Inf bucket = %v, want 3", got)
+	}
+	if got := s[`gateway_request_duration_seconds_count{outcome="ok"}`]; got != 3 {
+		t.Fatalf("count = %v, want 3", got)
+	}
+	sum := s[`gateway_request_duration_seconds_sum{outcome="ok"}`]
+	if sum < 42 || sum > 42.1 {
+		t.Fatalf("sum = %v", sum)
+	}
+	// Buckets must be cumulative (monotone non-decreasing).
+	var keys []string
+	for k := range s {
+		if strings.HasPrefix(k, "gateway_request_duration_seconds_bucket") && !strings.Contains(k, "+Inf") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return bucketBound(t, keys[i]) < bucketBound(t, keys[j])
+	})
+	prev := 0.0
+	for _, k := range keys {
+		if s[k] < prev {
+			t.Fatalf("bucket %s = %v below previous %v (not cumulative)", k, s[k], prev)
+		}
+		prev = s[k]
+	}
+}
+
+func bucketBound(t *testing.T, key string) float64 {
+	t.Helper()
+	i := strings.Index(key, `le="`)
+	rest := key[i+4:]
+	j := strings.IndexByte(rest, '"')
+	v, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		t.Fatalf("bucket key %q: %v", key, err)
+	}
+	return v
+}
+
+func TestMetricsMethodGuard(t *testing.T) {
+	m := newMetrics()
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
+	}
+}
+
+func TestMetricsRenderIsDeterministic(t *testing.T) {
+	m := newMetrics()
+	for i := 0; i < 10; i++ {
+		m.requests.Add(fmt.Sprintf("outcome%d", i), float64(i))
+	}
+	first := httptest.NewRecorder()
+	m.Handler().ServeHTTP(first, httptest.NewRequest("GET", "/metrics", nil))
+	for i := 0; i < 5; i++ {
+		again := httptest.NewRecorder()
+		m.Handler().ServeHTTP(again, httptest.NewRequest("GET", "/metrics", nil))
+		if again.Body.String() != first.Body.String() {
+			t.Fatal("metric rendering order is not deterministic")
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestListenAndServeCtxShutsDownCleanly(t *testing.T) {
+	// Reserve a free port, release it, and serve there.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- listenAndServeCtx(ctx, addr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		}), time.Second)
+	}()
+
+	// Wait for the server to come up, then hit it once.
+	url := "http://" + addr + "/"
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not drain within the deadline")
+	}
+}
+
+func TestListenAndServeCtxSurfacesListenerError(t *testing.T) {
+	err := listenAndServeCtx(context.Background(), "256.0.0.1:bogus", http.NotFoundHandler(), time.Second)
+	if err == nil {
+		t.Fatal("invalid address should surface a listener error")
+	}
+}

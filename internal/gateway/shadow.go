@@ -1,0 +1,135 @@
+package gateway
+
+import (
+	"log"
+	"sync"
+	"sync/atomic"
+
+	"blackboxval/internal/cloud"
+	"blackboxval/internal/monitor"
+)
+
+// shadowTap feeds proxied response bodies into the performance monitor
+// off the hot path. A bounded queue decouples serving latency from
+// shadow-validation cost; under pressure the tap drops the OLDEST
+// queued batch — recency matters more than completeness for drift
+// detection, and traffic must never block on validation.
+type shadowTap struct {
+	mon     *monitor.Monitor
+	logger  *log.Logger
+	metrics *Metrics
+
+	mu    sync.Mutex
+	queue [][]byte // bounded FIFO of raw /predict_proba response bodies
+	cap   int
+	wake  chan struct{} // 1-buffered worker doorbell
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	observed atomic.Int64
+
+	// onRecord observes each monitor record (gauge updates).
+	onRecord func(monitor.Record)
+}
+
+func newShadowTap(mon *monitor.Monitor, capacity int, logger *log.Logger, metrics *Metrics, onRecord func(monitor.Record)) *shadowTap {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	t := &shadowTap{
+		mon:      mon,
+		logger:   logger,
+		metrics:  metrics,
+		cap:      capacity,
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		onRecord: onRecord,
+	}
+	t.wg.Add(1)
+	go t.run()
+	return t
+}
+
+// Enqueue hands one raw response body to the tap. It never blocks: when
+// the queue is full the oldest pending batch is evicted.
+func (t *shadowTap) Enqueue(body []byte) {
+	t.mu.Lock()
+	if len(t.queue) >= t.cap {
+		t.queue = t.queue[1:]
+		t.metrics.shadowDropped.Add("dropped", 1)
+	}
+	t.queue = append(t.queue, body)
+	t.mu.Unlock()
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Depth returns the number of batches waiting in the queue.
+func (t *shadowTap) Depth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.queue)
+}
+
+// Observed returns how many batches reached the monitor (test sync aid).
+func (t *shadowTap) Observed() int64 { return t.observed.Load() }
+
+// Close stops the worker after it drains the current queue.
+func (t *shadowTap) Close() {
+	close(t.done)
+	t.wg.Wait()
+}
+
+func (t *shadowTap) run() {
+	defer t.wg.Done()
+	for {
+		body, ok := t.pop()
+		if ok {
+			t.observe(body)
+			continue
+		}
+		select {
+		case <-t.wake:
+		case <-t.done:
+			// Drain whatever is left so no observed batch is lost on
+			// graceful shutdown, then exit.
+			for {
+				body, ok := t.pop()
+				if !ok {
+					return
+				}
+				t.observe(body)
+			}
+		}
+	}
+}
+
+func (t *shadowTap) pop() ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.queue) == 0 {
+		return nil, false
+	}
+	body := t.queue[0]
+	t.queue = t.queue[1:]
+	return body, true
+}
+
+func (t *shadowTap) observe(body []byte) {
+	proba, _, err := cloud.ParseProbaResponse(body)
+	if err != nil || proba.Rows == 0 {
+		t.metrics.shadowDropped.Add("undecodable", 1)
+		if err != nil && t.logger != nil {
+			t.logger.Printf("gateway: shadow tap cannot decode backend response: %v", err)
+		}
+		return
+	}
+	rec := t.mon.ObserveProba(proba)
+	t.observed.Add(1)
+	t.metrics.shadowDropped.Add("observed", 1)
+	if t.onRecord != nil {
+		t.onRecord(rec)
+	}
+}

@@ -2,9 +2,11 @@ package monitor
 
 import (
 	"encoding/json"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"blackboxval/internal/errorgen"
@@ -89,13 +91,139 @@ func TestDashboardAlarming(t *testing.T) {
 
 func TestDashboardMethodGuards(t *testing.T) {
 	_, srv := dashboardFixture(t)
-	resp, err := http.Post(srv.URL+"/summary", "application/json", nil)
+	for _, path := range []string{"/summary", "/history", "/alarming"} {
+		resp, err := http.Post(srv.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s status = %d, want 405", path, resp.StatusCode)
+		}
+		req, err := http.NewRequest(http.MethodDelete, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("DELETE %s status = %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestDashboardHistoryLimitEdgeCases(t *testing.T) {
+	_, srv := dashboardFixture(t)
+	// Non-numeric limit.
+	var out []Record
+	if code := getJSON(t, srv.URL+"/history?limit=abc", &out); code != http.StatusBadRequest {
+		t.Fatalf("limit=abc status = %d, want 400", code)
+	}
+	// Zero limit is valid and yields an empty slice.
+	out = nil
+	if code := getJSON(t, srv.URL+"/history?limit=0", &out); code != http.StatusOK {
+		t.Fatalf("limit=0 status = %d", code)
+	}
+	if len(out) != 0 {
+		t.Fatalf("limit=0 returned %d records", len(out))
+	}
+	// A limit beyond the history returns everything.
+	out = nil
+	if code := getJSON(t, srv.URL+"/history?limit=9999", &out); code != http.StatusOK {
+		t.Fatalf("limit=9999 status = %d", code)
+	}
+	if len(out) != 2 {
+		t.Fatalf("oversized limit returned %d records, want 2", len(out))
+	}
+}
+
+func TestDashboardEmptyHistory(t *testing.T) {
+	f := getFixture(t)
+	m, err := New(Config{Predictor: f.pred})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("POST status = %d", resp.StatusCode)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	var s Summary
+	if code := getJSON(t, srv.URL+"/summary", &s); code != http.StatusOK {
+		t.Fatalf("summary status = %d", code)
+	}
+	if s.Batches != 0 || s.MeanEstimate != 0 || s.LastEstimate != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	var hist []Record
+	if code := getJSON(t, srv.URL+"/history", &hist); code != http.StatusOK {
+		t.Fatalf("history status = %d", code)
+	}
+	if len(hist) != 0 {
+		t.Fatalf("empty monitor served %d records", len(hist))
+	}
+	var alarming map[string]any
+	if code := getJSON(t, srv.URL+"/alarming", &alarming); code != http.StatusOK {
+		t.Fatalf("alarming status = %d", code)
+	}
+	if alarming["alarming"] != false {
+		t.Fatalf("fresh monitor alarming = %v", alarming["alarming"])
+	}
+}
+
+// TestConcurrentObserveRowAndHandlerReads hammers the row-streaming
+// write path against every dashboard read path under the race detector:
+// the async serving tap (gateway) and scrapers share one monitor.
+func TestConcurrentObserveRowAndHandlerReads(t *testing.T) {
+	f := getFixture(t)
+	m, err := New(Config{Predictor: f.pred, Threshold: 0.05, WindowSize: 50, HistoryLimit: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	proba := f.model.PredictProba(f.serving)
+	const writers, readers, rowsPerWriter = 4, 4, 300
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rowsPerWriter; i++ {
+				m.ObserveRow(proba.Row((w*rowsPerWriter + i) % proba.Rows))
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, path := range []string{"/summary", "/history?limit=5", "/alarming", "/healthz"} {
+					resp, err := http.Get(srv.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// writers*rowsPerWriter rows at window 50 must have produced exactly
+	// total/50 full windows, regardless of interleaving.
+	s := m.Summarize()
+	wantBatches := writers * rowsPerWriter / 50
+	if wantBatches > 16 {
+		wantBatches = 16 // history bound
+	}
+	if s.Batches != wantBatches {
+		t.Fatalf("batches = %d, want %d", s.Batches, wantBatches)
 	}
 }
 

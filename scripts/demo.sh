@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Three-process smoke test for the serving stack:
+#
+#   ppm-serve (backend model server)  <-  ppm-gateway (shadow proxy)  <-  curl
+#
+# Boots both binaries on loopback, fires a smoke request through the
+# proxy, asserts the gateway's /metrics endpoint scrapes as Prometheus
+# text with the traffic accounted for, and shuts both down gracefully
+# (SIGTERM, exercising the shared drain path). Run via `make demo`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SERVE_ADDR=127.0.0.1:18080
+GW_ADDR=127.0.0.1:18088
+WORKDIR="$(mktemp -d)"
+SERVE_PID=""
+GW_PID=""
+
+cleanup() {
+  # SIGTERM first so the graceful drain path runs; escalate only if needed.
+  for pid in "$GW_PID" "$SERVE_PID"; do
+    [ -n "$pid" ] && kill -TERM "$pid" 2>/dev/null || true
+  done
+  for pid in "$GW_PID" "$SERVE_PID"; do
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+wait_for() { # url [attempts]
+  local url="$1" attempts="${2:-100}"
+  for _ in $(seq "$attempts"); do
+    if curl -fsS "$url" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "demo: $url never came up" >&2
+  return 1
+}
+
+echo "demo: building binaries"
+go build -o "$WORKDIR/ppm-serve" ./cmd/ppm-serve
+go build -o "$WORKDIR/ppm-gateway" ./cmd/ppm-gateway
+
+echo "demo: starting ppm-serve on $SERVE_ADDR (small lr model, quick to train)"
+"$WORKDIR/ppm-serve" -dataset income -model lr -rows 1200 -addr "$SERVE_ADDR" \
+  >"$WORKDIR/serve.log" 2>&1 &
+SERVE_PID=$!
+wait_for "http://$SERVE_ADDR/healthz" 300
+
+echo "demo: starting ppm-gateway on $GW_ADDR (proxy mode)"
+"$WORKDIR/ppm-gateway" -backend "http://$SERVE_ADDR" -addr "$GW_ADDR" \
+  >"$WORKDIR/gateway.log" 2>&1 &
+GW_PID=$!
+wait_for "http://$GW_ADDR/healthz"
+
+echo "demo: firing a smoke request through the proxy"
+# An empty JSON object is a well-formed request the backend rejects with
+# 400 — it still exercises the full proxy path (forward, relay, account).
+code="$(curl -s -o /dev/null -w '%{http_code}' \
+  -X POST -H 'Content-Type: application/json' -d '{}' \
+  "http://$GW_ADDR/predict_proba")"
+if [ "$code" != "400" ]; then
+  echo "demo: expected the backend's 400 relayed through the gateway, got $code" >&2
+  cat "$WORKDIR/gateway.log" >&2
+  exit 1
+fi
+
+echo "demo: asserting /metrics scrapes"
+metrics="$(curl -fsS "http://$GW_ADDR/metrics")"
+echo "$metrics" | grep -q '^# TYPE gateway_requests_total counter$' || {
+  echo "demo: /metrics is missing the requests counter TYPE line" >&2; exit 1; }
+echo "$metrics" | grep -q '^gateway_requests_total{outcome="upstream_4xx"} 1$' || {
+  echo "demo: proxied smoke request not accounted in /metrics:" >&2
+  echo "$metrics" | grep gateway_requests_total >&2 || true
+  exit 1
+}
+echo "$metrics" | grep -q '^gateway_breaker_state 0$' || {
+  echo "demo: breaker should be closed" >&2; exit 1; }
+
+echo "demo: checking /status"
+curl -fsS "http://$GW_ADDR/status" | grep -q '"breaker_state":"closed"' || {
+  echo "demo: /status missing breaker state" >&2; exit 1; }
+
+echo "demo: OK — gateway proxied traffic and /metrics scraped cleanly"
