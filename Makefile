@@ -1,9 +1,10 @@
 # Tier-1 gate for this repository (see README.md "Install"): every
 # change must keep `make check` green. The race target exercises the
 # parallel meta-dataset builder (internal/core/parallel.go), the forest
-# trainer, and the serving-path packages (gateway proxy + monitor, whose
-# shadow tap and dashboard are hit concurrently in production) under the
-# race detector in short mode.
+# trainer, the serving-path packages (gateway proxy + monitor, whose
+# shadow tap, /metrics scrape and dashboard are hit concurrently in
+# production), and the telemetry registry/span tree (internal/obs)
+# under the race detector in short mode.
 
 GO ?= go
 
@@ -15,6 +16,9 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	# Prometheus exposition-format conformance (obs.Lint) across every
+	# registry that serves a /metrics endpoint.
+	$(GO) test -run 'Lint|Conformance' ./internal/obs/... ./internal/gateway/... ./internal/monitor/...
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +30,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -short -race ./internal/core/... ./internal/models/... ./internal/gateway/... ./internal/monitor/...
+	$(GO) test -short -race ./internal/core/... ./internal/models/... ./internal/gateway/... ./internal/monitor/... ./internal/obs/...
 
 # Speedup table for EXPERIMENTS.md ("Parallel training" section).
 bench:

@@ -10,10 +10,17 @@
 //
 // Experiments: fig2a fig2b fig2c fig2d fig3 fig4 val-known fig5 fig6 fig7
 // fig2a-auc fig2c-auc gen-matrix ablation-step ablation-regressor
-// ablation-size ablation-ks all
+// ablation-size ablation-ks stability pipeline all
+//
+// The pipeline experiment times the end-to-end training pipeline with
+// internal/obs spans and writes the machine-readable breakdown to
+// -pipeline-out (default BENCH_pipeline.json). -trace prints a span
+// report of every traced training run; -log-level and -log-format
+// control structured logging.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"blackboxval/internal/experiments"
+	"blackboxval/internal/obs"
 	"blackboxval/internal/report"
 )
 
@@ -33,7 +41,16 @@ func main() {
 	format := flag.String("format", "text", "output format: text or markdown")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "training goroutines (0 = all cores; results identical for any value)")
+	trace := flag.Bool("trace", false, "print the per-stage span report of every traced training run to stderr")
+	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json",
+		"file for the machine-readable pipeline benchmark (empty disables; written by -exp pipeline)")
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := obs.SetupLogs("ppm-bench", logCfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -52,9 +69,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*exp, scale, *format); err != nil {
+	if err := run(*exp, scale, *format, *pipelineOut); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	if *trace {
+		fmt.Fprintln(os.Stderr, "=== training stage report ===")
+		obs.DefaultTracer().Report(os.Stderr)
 	}
 }
 
@@ -93,6 +114,7 @@ func runners(scale experiments.Scale) map[string]func() (any, error) {
 		"stability": wrap(func() (any, error) {
 			return experiments.Stability(scale, "lr", []int64{1, 2, 3})
 		}),
+		"pipeline": wrap(func() (any, error) { return experiments.PipelineBench(scale) }),
 	}
 }
 
@@ -102,7 +124,7 @@ var order = []string{
 	"val-known", "fig5", "fig6", "fig7",
 	"fig2a-auc", "fig2c-auc", "gen-matrix-lr", "gen-matrix-xgb",
 	"ablation-step", "ablation-regressor", "ablation-size", "ablation-ks",
-	"stability",
+	"stability", "pipeline",
 }
 
 // aliases map legacy/composite ids to runner ids.
@@ -110,7 +132,7 @@ var aliases = map[string][]string{
 	"gen-matrix": {"gen-matrix-lr", "gen-matrix-xgb"},
 }
 
-func run(exp string, scale experiments.Scale, format string) error {
+func run(exp string, scale experiments.Scale, format, pipelineOut string) error {
 	byID := runners(scale)
 	ids := []string{exp}
 	if exp == "all" {
@@ -137,11 +159,26 @@ func run(exp string, scale experiments.Scale, format string) error {
 		if vr, ok := result.(*experiments.ValidationResult); ok && format == "text" {
 			fmt.Printf("wins by method: %v\n", vr.WinsByMethod())
 		}
+		if pr, ok := result.(*experiments.PipelineResult); ok && pipelineOut != "" {
+			if err := writeJSON(pipelineOut, pr); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Printf("pipeline benchmark written to %s\n", pipelineOut)
+		}
 		if exp == "all" {
 			fmt.Printf("--- %s done in %s ---\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
 	return nil
+}
+
+// writeJSON marshals v with indentation into path.
+func writeJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func emit(result any, format string) error {

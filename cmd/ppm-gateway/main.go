@@ -14,20 +14,25 @@
 //
 // Endpoints: POST /predict_proba (proxied), GET /metrics (Prometheus
 // text), GET /status (JSON), GET /healthz (503 while the performance
-// alarm fires), GET /monitor/* (monitor dashboard, with -bundle).
+// alarm fires), GET /monitor/* (monitor dashboard, with -bundle),
+// GET /debug/pprof/* and /debug/spans (profiling and span traces).
 // Without -bundle the gateway runs as a pure resilience proxy.
+// -log-level and -log-format control structured logging.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	"os"
 	"time"
 
 	"blackboxval/internal/cli"
 	"blackboxval/internal/cloud"
 	"blackboxval/internal/gateway"
 	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
 )
 
 func main() {
@@ -41,21 +46,33 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive backend failures that open the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long the breaker stays open before probing")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain deadline")
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	logger, err := obs.SetupLogs("ppm-gateway", logCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if err := run(*backend, *bundle, *addr, *hysteresis, *timeout, *retries,
-		*queueSize, *breakerFailures, *breakerCooldown, *drain); err != nil {
-		log.Fatal(err)
+		*queueSize, *breakerFailures, *breakerCooldown, *drain, logger); err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
 }
 
 func run(backend, bundle, addr string, hysteresis int, timeout time.Duration,
-	retries, queueSize, breakerFailures int, breakerCooldown, drain time.Duration) error {
+	retries, queueSize, breakerFailures int, breakerCooldown, drain time.Duration,
+	logger *slog.Logger) error {
 	cfg := gateway.Config{
 		Backend:         backend,
 		RequestTimeout:  timeout,
 		MaxRetries:      retries,
 		ShadowQueueSize: queueSize,
+		// Route the gateway's stdlib-style operational log lines through
+		// the structured handler.
+		Logger: obs.StdLogger(logger, slog.LevelInfo),
 		Breaker: gateway.BreakerConfig{
 			FailureThreshold: breakerFailures,
 			Cooldown:         breakerCooldown,
@@ -80,10 +97,10 @@ func run(backend, bundle, addr string, hysteresis int, timeout time.Duration,
 			return err
 		}
 		cfg.Monitor = mon
-		log.Printf("shadow validation on: %s/%s bundle, reference accuracy %.3f, alarm line %.3f",
-			manifest.Dataset, manifest.Model, manifest.TestScore, mon.AlarmLine())
+		logger.Info("shadow validation on", "dataset", manifest.Dataset, "model", manifest.Model,
+			"reference_accuracy", manifest.TestScore, "alarm_line", mon.AlarmLine())
 	} else {
-		log.Printf("no -bundle given: running as a pure resilience proxy")
+		logger.Info("no -bundle given: running as a pure resilience proxy")
 	}
 
 	g, err := gateway.New(cfg)
@@ -91,10 +108,25 @@ func run(backend, bundle, addr string, hysteresis int, timeout time.Duration,
 		return err
 	}
 	defer g.Close()
+	if cfg.Monitor != nil {
+		// Surface the monitor's own families (estimate, alarm line,
+		// batch/violation counters) on the gateway's /metrics endpoint.
+		cfg.Monitor.RegisterMetrics(g.Metrics().Registry())
+	}
 
-	log.Printf("proxying POST http://%s/predict_proba -> %s/predict_proba", addr, backend)
-	log.Printf("observability: http://%s/metrics /status /healthz", addr)
-	if err := gateway.ListenAndServe(addr, g.Handler(), drain); err != nil {
+	// The gateway handler owns /metrics (its own registry) plus the
+	// proxy endpoints; mount the process-wide profiling and span-trace
+	// surface next to it.
+	mux := http.NewServeMux()
+	mux.Handle("/", g.Handler())
+	obs.MountPprof(mux)
+	mux.Handle("/debug/spans", obs.DefaultTracer().Handler())
+
+	logger.Info("proxying", "from", fmt.Sprintf("http://%s/predict_proba", addr),
+		"to", backend+"/predict_proba")
+	logger.Info("observability", "metrics", fmt.Sprintf("http://%s/metrics", addr),
+		"status", "/status", "healthz", "/healthz", "pprof", "/debug/pprof/")
+	if err := gateway.ListenAndServe(addr, mux, drain); err != nil {
 		return fmt.Errorf("gateway: %w", err)
 	}
 	return nil

@@ -6,16 +6,21 @@
 //
 // Every new .csv file in the watch directory is scored once; GET
 // /summary, /history and /alarming on the dashboard address expose the
-// monitor state as JSON.
+// monitor state as JSON. The dashboard address also serves the shared
+// observability surface: GET /metrics (Prometheus text exposition with
+// the ppm_monitor_* families), /debug/pprof/* and /debug/spans.
+// -log-level and -log-format control structured logging.
 package main
 
 import (
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
+	"os"
 	"time"
 
 	"blackboxval/internal/cli"
+	"blackboxval/internal/obs"
 )
 
 func main() {
@@ -26,22 +31,44 @@ func main() {
 	hysteresis := flag.Int("hysteresis", 1, "consecutive violating batches before alarming")
 	labeled := flag.Bool("labels", false, "batch CSVs carry a trailing label column")
 	maxBatches := flag.Int("max-batches", 0, "stop after N batches (0 = run forever)")
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := obs.SetupLogs("ppm-monitor", logCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	mon, run, err := cli.PrepareWatch(cli.WatchOptions{
 		BundleDir: *bundle, WatchDir: *watch, Interval: *interval,
 		Hysteresis: *hysteresis, Labeled: *labeled, MaxBatches: *maxBatches,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
+	mon.RegisterMetrics(obs.Default())
 	if *addr != "" {
 		go func() {
-			log.Printf("dashboard at http://%s/summary", *addr)
-			log.Fatal(http.ListenAndServe(*addr, mon.Handler()))
+			// The dashboard JSON endpoints share the mux with the
+			// process metrics, profiling and span traces.
+			mux := http.NewServeMux()
+			mux.Handle("/", mon.Handler())
+			obs.Mount(mux, obs.Default(), obs.DefaultTracer())
+			logger.Info("dashboard up",
+				"summary", fmt.Sprintf("http://%s/summary", *addr),
+				"metrics", fmt.Sprintf("http://%s/metrics", *addr),
+				"pprof", fmt.Sprintf("http://%s/debug/pprof/", *addr))
+			if err := http.ListenAndServe(*addr, mux); err != nil {
+				logger.Error("dashboard server failed", "err", err)
+				os.Exit(1)
+			}
 		}()
 	}
 	if err := run(); err != nil {
-		log.Fatal(err)
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
 }

@@ -6,17 +6,26 @@
 // Usage:
 //
 //	ppm-serve -dataset income -model xgb -addr 127.0.0.1:8080
+//
+// Besides POST /predict_proba the server exposes the shared
+// observability surface: GET /metrics (Prometheus text exposition,
+// including request counters and latency histograms), /debug/pprof/*
+// and /debug/spans. -log-level and -log-format control structured
+// logging.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	"os"
 	"time"
 
 	"blackboxval"
 	"blackboxval/internal/experiments"
 	"blackboxval/internal/gateway"
+	"blackboxval/internal/obs"
 )
 
 func main() {
@@ -26,14 +35,22 @@ func main() {
 	rows := flag.Int("rows", 4000, "dataset size")
 	seed := flag.Int64("seed", 1, "random seed")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain deadline")
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*dataset, *model, *addr, *rows, *seed, *drain); err != nil {
-		log.Fatal(err)
+	logger, err := obs.SetupLogs("ppm-serve", logCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(*dataset, *model, *addr, *rows, *seed, *drain, logger); err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
 }
 
-func run(dataset, modelName, addr string, rows int, seed int64, drain time.Duration) error {
+func run(dataset, modelName, addr string, rows int, seed int64, drain time.Duration, logger *slog.Logger) error {
 	scale := experiments.Quick
 	scale.TabularRows = rows
 	scale.ImageRows = rows
@@ -54,9 +71,18 @@ func run(dataset, modelName, addr string, rows int, seed int64, drain time.Durat
 	}
 
 	acc := blackboxval.AccuracyScore(model.PredictProba(test), test.Labels)
-	log.Printf("trained %s on %s (%d rows), held-out accuracy %.3f", modelName, dataset, rows, acc)
-	log.Printf("serving POST http://%s/predict_proba", addr)
+	logger.Info("model trained", "model", modelName, "dataset", dataset, "rows", rows, "accuracy", acc)
+
+	// The prediction API plus the shared observability surface, with
+	// request accounting around the model endpoints.
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Middleware(obs.Default(), "ppm-serve", blackboxval.NewCloudServer(model).Handler()))
+	obs.Mount(mux, obs.Default(), obs.DefaultTracer())
+
+	logger.Info("serving", "predict", fmt.Sprintf("http://%s/predict_proba", addr),
+		"metrics", fmt.Sprintf("http://%s/metrics", addr),
+		"pprof", fmt.Sprintf("http://%s/debug/pprof/", addr))
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain
 	// in-flight predictions, then exit (shared with ppm-gateway).
-	return gateway.ListenAndServe(addr, blackboxval.NewCloudServer(model).Handler(), drain)
+	return gateway.ListenAndServe(addr, mux, drain)
 }

@@ -14,14 +14,20 @@
 // Generate a (optionally corrupted) serving batch CSV for demonstration:
 //
 //	ppm-validate genbatch -dataset income -corrupt scaling -magnitude 0.8 -out serving.csv
+//
+// Every subcommand accepts -log-level and -log-format; train also takes
+// -trace, which prints the pipeline span tree (per-stage wall time) to
+// stderr after training.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"blackboxval/internal/cli"
+	"blackboxval/internal/obs"
 )
 
 func main() {
@@ -66,8 +72,13 @@ func runTrain(args []string) error {
 	out := fs.String("out", "bundle", "output directory")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "training goroutines (0 = all cores; results identical for any value)")
+	trace := fs.Bool("trace", false, "print the pipeline span tree to stderr after training")
+	logCfg := registerLogFlags(fs)
 	fs.Parse(args)
-	report, err := cli.Train(cli.TrainOptions{
+	if err := setupLogs(logCfg); err != nil {
+		return err
+	}
+	report, err := cli.TrainCtx(context.Background(), cli.TrainOptions{
 		Dataset: *dataset, Model: *model, Rows: *rows,
 		Threshold: *threshold, OutDir: *out, Workers: *workers, Seed: *seed,
 	})
@@ -75,7 +86,23 @@ func runTrain(args []string) error {
 		return err
 	}
 	fmt.Print(report)
+	if *trace {
+		obs.DefaultTracer().Report(os.Stderr)
+	}
 	return nil
+}
+
+// registerLogFlags attaches the shared -log-level/-log-format flags to a
+// subcommand's flag set; setupLogs applies them after parsing.
+func registerLogFlags(fs *flag.FlagSet) *obs.LogConfig {
+	var cfg obs.LogConfig
+	cfg.RegisterFlags(fs)
+	return &cfg
+}
+
+func setupLogs(cfg *obs.LogConfig) error {
+	_, err := obs.SetupLogs("ppm-validate", *cfg)
+	return err
 }
 
 func runCheck(args []string) error {
@@ -83,7 +110,11 @@ func runCheck(args []string) error {
 	bundle := fs.String("bundle", "bundle", "bundle directory written by train")
 	batch := fs.String("batch", "", "CSV file with the serving batch")
 	labeled := fs.Bool("labels", false, "CSV contains a final label column (prints true score too)")
+	logCfg := registerLogFlags(fs)
 	fs.Parse(args)
+	if err := setupLogs(logCfg); err != nil {
+		return err
+	}
 	if *batch == "" {
 		return fmt.Errorf("-batch is required")
 	}
@@ -98,7 +129,11 @@ func runCheck(args []string) error {
 func runInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	batch := fs.String("batch", "", "CSV file to profile")
+	logCfg := registerLogFlags(fs)
 	fs.Parse(args)
+	if err := setupLogs(logCfg); err != nil {
+		return err
+	}
 	if *batch == "" {
 		return fmt.Errorf("-batch is required")
 	}
@@ -119,7 +154,11 @@ func runGenBatch(args []string) error {
 	out := fs.String("out", "serving.csv", "output CSV path")
 	seed := fs.Int64("seed", 99, "random seed")
 	labels := fs.Bool("labels", true, "append the label column (for demo scoring)")
+	logCfg := registerLogFlags(fs)
 	fs.Parse(args)
+	if err := setupLogs(logCfg); err != nil {
+		return err
+	}
 	report, err := cli.GenBatch(cli.GenBatchOptions{
 		Dataset: *dataset, Corrupt: *corrupt, Magnitude: *magnitude,
 		Rows: *rows, OutCSV: *out, Seed: *seed, WithLabels: *labels,

@@ -6,6 +6,7 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"blackboxval/internal/explain"
 	"blackboxval/internal/frame"
 	"blackboxval/internal/models"
+	"blackboxval/internal/obs"
 	"blackboxval/internal/persist"
 )
 
@@ -105,12 +107,25 @@ func GeneratorByName(name string) (errorgen.Generator, error) {
 // Train builds a bundle: trains the black box, its performance predictor
 // and validator, and writes everything plus a manifest to OutDir.
 func Train(opts TrainOptions) (string, error) {
+	return TrainCtx(context.Background(), opts)
+}
+
+// TrainCtx is Train with telemetry: the whole bundle build is recorded
+// as a "train_bundle" span tree (train_model, train_predictor,
+// train_validator, persist) on the tracer carried by ctx, or the
+// process-default tracer otherwise — ppm-validate's -trace flag prints
+// the resulting stage report.
+func TrainCtx(ctx context.Context, opts TrainOptions) (string, error) {
 	if opts.Rows <= 0 {
 		opts.Rows = 4000
 	}
 	if opts.Threshold == 0 {
 		opts.Threshold = 0.05
 	}
+	ctx, root := obs.StartSpan(ctx, "train_bundle")
+	defer root.End()
+	root.SetMetric("rows", float64(opts.Rows))
+
 	rng := rand.New(rand.NewSource(opts.Seed))
 	ds, err := generateDataset(opts.Dataset, opts.Rows, opts.Seed)
 	if err != nil {
@@ -130,13 +145,15 @@ func Train(opts TrainOptions) (string, error) {
 	default:
 		return "", fmt.Errorf("cli: unknown model %q (want lr, dnn or xgb)", opts.Model)
 	}
+	_, modelSp := obs.StartSpan(ctx, "train_model")
 	model, err := models.TrainPipeline(train, clf, 256)
+	modelSp.End()
 	if err != nil {
 		return "", fmt.Errorf("cli: training black box: %w", err)
 	}
 
 	gens := generatorsFor(opts.Dataset)
-	pred, err := core.TrainPredictor(model, test, core.PredictorConfig{
+	pred, err := core.TrainPredictorCtx(ctx, model, test, core.PredictorConfig{
 		Generators: gens,
 		Workers:    opts.Workers,
 		Seed:       opts.Seed,
@@ -144,7 +161,7 @@ func Train(opts TrainOptions) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("cli: training predictor: %w", err)
 	}
-	val, err := core.TrainValidator(model, test, core.ValidatorConfig{
+	val, err := core.TrainValidatorCtx(ctx, model, test, core.ValidatorConfig{
 		Generators: gens,
 		Threshold:  opts.Threshold,
 		Workers:    opts.Workers,
@@ -154,6 +171,8 @@ func Train(opts TrainOptions) (string, error) {
 		return "", fmt.Errorf("cli: training validator: %w", err)
 	}
 
+	_, persistSp := obs.StartSpan(ctx, "persist")
+	defer persistSp.End()
 	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
 		return "", fmt.Errorf("cli: creating bundle dir: %w", err)
 	}

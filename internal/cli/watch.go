@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
 )
 
 // WatchOptions configures Watch.
@@ -86,12 +88,17 @@ func PrepareWatch(opts WatchOptions) (*monitor.Monitor, func() error, error) {
 				processed[name] = true
 				batches++
 				path := filepath.Join(opts.WatchDir, name)
+				_, sp := obs.StartSpan(context.Background(), "watch_batch")
 				ds, err := ReadBatchCSV(path, manifest, opts.Labeled)
 				if err != nil {
+					sp.End()
 					fmt.Fprintf(opts.Out, "%s: SKIPPED (%v)\n", name, err)
 					continue
 				}
 				rec := mon.Observe(ds)
+				sp.SetMetric("rows", float64(rec.Size))
+				sp.SetMetric("estimate", rec.Estimate)
+				sp.End()
 				status := "ok"
 				if rec.Alarming {
 					status = "ALARM"

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"blackboxval/internal/data"
 	"blackboxval/internal/errorgen"
@@ -110,10 +111,12 @@ func runJobs(workers, n int, fn func(job int)) {
 }
 
 // metaExample is one row of the corruption meta-dataset M: the featurized
-// model outputs on a synthetic serving batch and the true score on it.
+// model outputs on a synthetic serving batch, the true score on it, and
+// the batch size (reported as the rows-scored telemetry).
 type metaExample struct {
 	feats []float64
 	score float64
+	size  int
 }
 
 // buildMetaDataset runs lines 3-12 of Algorithm 1: corrupt the held-out
@@ -122,8 +125,9 @@ type metaExample struct {
 // record (output percentiles, true score) pairs. Jobs run on
 // cfg.Workers goroutines; job j covers generator j/Repetitions,
 // repetition j%Repetitions, with clean batches at the tail of the index
-// space. The returned slices are ordered by job index.
-func buildMetaDataset(model data.Model, test *data.Dataset, cfg PredictorConfig) ([][]float64, []float64) {
+// space. The returned slices are ordered by job index; rows is the total
+// number of serving-batch rows scored, for throughput reporting.
+func buildMetaDataset(model data.Model, test *data.Dataset, cfg PredictorConfig) (features [][]float64, scores []float64, rows int) {
 	corrupted := len(cfg.Generators) * cfg.Repetitions
 	n := corrupted + cfg.CleanRepetitions
 	examples := make([]metaExample, n)
@@ -142,19 +146,26 @@ func buildMetaDataset(model data.Model, test *data.Dataset, cfg PredictorConfig)
 		} else {
 			ds = SubsampleBatch(test, rng)
 		}
+		start := time.Now()
 		proba := model.PredictProba(ds)
+		feats := PredictionStatistics(proba, cfg.PercentileStep)
+		featurizeDuration.Observe(time.Since(start).Seconds())
+		metaExamples.Inc()
+		rowsScored.Add(float64(ds.Len()))
 		examples[j] = metaExample{
-			feats: PredictionStatistics(proba, cfg.PercentileStep),
+			feats: feats,
 			score: cfg.Score(proba, ds.Labels),
+			size:  ds.Len(),
 		}
 	})
-	features := make([][]float64, n)
-	scores := make([]float64, n)
+	features = make([][]float64, n)
+	scores = make([]float64, n)
 	for j, ex := range examples {
 		features[j] = ex.feats
 		scores[j] = ex.score
+		rows += ex.size
 	}
-	return features, scores
+	return features, scores, rows
 }
 
 // validatorBatch is one synthetic serving batch of validator training:
@@ -197,6 +208,7 @@ func (s *validatorBatchSource) get(b int) validatorBatch {
 				// regimes of the decision
 				batch = s.mixture.Corrupt(batch, rng.Float64(), rng)
 			}
+			rowsScored.Add(float64(batch.Len()))
 			proba := s.v.model.PredictProba(batch)
 			s.results[idx] = validatorBatch{
 				feats: s.v.features(proba),

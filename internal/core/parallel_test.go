@@ -131,17 +131,20 @@ func TestBuildMetaDatasetWorkerInvariance(t *testing.T) {
 	cfg.defaults()
 	base := cfg
 	base.Workers = 1
-	wantFeats, wantScores := buildMetaDataset(model, test, base)
+	wantFeats, wantScores, wantRows := buildMetaDataset(model, test, base)
 	if len(wantScores) != 2*8+cfg.CleanRepetitions {
 		t.Fatalf("meta-dataset has %d rows", len(wantScores))
 	}
 	for _, workers := range append([]int{0}, workerGrid...) {
 		c := cfg
 		c.Workers = workers
-		feats, scores := buildMetaDataset(model, test, c)
+		feats, scores, rows := buildMetaDataset(model, test, c)
 		if len(feats) != len(wantFeats) || len(scores) != len(wantScores) {
 			t.Fatalf("workers=%d: meta-dataset size %d/%d, want %d/%d",
 				workers, len(feats), len(scores), len(wantFeats), len(wantScores))
+		}
+		if rows != wantRows {
+			t.Fatalf("workers=%d: rows scored = %d, want %d", workers, rows, wantRows)
 		}
 		for i := range wantScores {
 			if scores[i] != wantScores[i] {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,7 @@ import (
 	"blackboxval/internal/errorgen"
 	"blackboxval/internal/linalg"
 	"blackboxval/internal/models"
+	"blackboxval/internal/obs"
 	"blackboxval/internal/stats"
 )
 
@@ -111,6 +113,16 @@ type Predictor struct {
 // records (output percentiles, true score) pairs, and fits a regression
 // model mapping the former to the latter.
 func TrainPredictor(model data.Model, test *data.Dataset, cfg PredictorConfig) (*Predictor, error) {
+	return TrainPredictorCtx(context.Background(), model, test, cfg)
+}
+
+// TrainPredictorCtx is TrainPredictor with per-stage telemetry: it
+// records a "train_predictor" span (children: meta_dataset,
+// predictor_fit, calibrate) on the tracer carried by ctx — or the
+// process default when ctx carries none — and feeds the shared
+// stage-duration histograms. Training itself is unaffected:
+// instrumentation never touches an RNG stream.
+func TrainPredictorCtx(ctx context.Context, model data.Model, test *data.Dataset, cfg PredictorConfig) (*Predictor, error) {
 	cfg.defaults()
 	if model == nil {
 		return nil, fmt.Errorf("core: model is required")
@@ -122,6 +134,12 @@ func TrainPredictor(model data.Model, test *data.Dataset, cfg PredictorConfig) (
 		return nil, fmt.Errorf("core: empty test set")
 	}
 
+	ctx, root := obs.StartSpan(ctx, "train_predictor")
+	defer root.End()
+	root.SetMetric("rows", float64(test.Len()))
+	root.SetMetric("generators", float64(len(cfg.Generators)))
+	root.SetMetric("workers", float64(resolveWorkers(cfg.Workers)))
+
 	p := &Predictor{model: model, cfg: cfg}
 	p.testOutputs = model.PredictProba(test)
 	p.testScore = cfg.Score(p.testOutputs, test.Labels)
@@ -131,27 +149,40 @@ func TrainPredictor(model data.Model, test *data.Dataset, cfg PredictorConfig) (
 	// of the test set so the featurized output distributions vary the way
 	// real serving batches do — training on the identical test rows each
 	// time would make the clean regime look artificially degenerate.
-	features, scores := buildMetaDataset(model, test, cfg)
+	_, metaSp, metaDone := stageSpan(ctx, "meta_dataset")
+	features, scores, rows := buildMetaDataset(model, test, cfg)
 	p.numExamples = len(features)
+	metaSp.SetMetric("examples", float64(p.numExamples))
+	metaSp.SetMetric("rows_scored", float64(rows))
+	metaDone()
 
 	X := linalg.FromRows(features)
 	// Line 13: train the regression model, grid-searching the forest
 	// size with k-fold cross-validation on MAE.
+	_, fitSp, fitDone := stageSpan(ctx, "predictor_fit")
 	if cfg.Regressor != nil {
 		p.reg = cfg.Regressor
 		if err := p.reg.Fit(X, scores); err != nil {
+			fitDone()
 			return nil, fmt.Errorf("core: fitting custom regressor: %w", err)
 		}
 		p.trainMAE = regressorMAE(p.reg, X, scores)
 	} else {
 		best, bestMAE, err := selectForest(X, scores, cfg, jobRNG(cfg.Seed+10, streamPredictorGrid, 0))
 		if err != nil {
+			fitDone()
 			return nil, err
 		}
 		p.reg = best
 		p.trainMAE = bestMAE
 	}
-	if err := p.calibrate(X, scores, jobRNG(cfg.Seed+10, streamPredictorCalib, 0)); err != nil {
+	fitSp.SetMetric("mae", p.trainMAE)
+	fitDone()
+
+	_, _, calibDone := stageSpan(ctx, "calibrate")
+	err := p.calibrate(X, scores, jobRNG(cfg.Seed+10, streamPredictorCalib, 0))
+	calibDone()
+	if err != nil {
 		return nil, err
 	}
 	return p, nil

@@ -1,0 +1,43 @@
+package core
+
+// Training telemetry. Stage timings land in two places: the span tree
+// carried by the caller's context (per-run wall-time breakdown, exported
+// by ppm-bench and /debug/spans) and the process-global metric registry
+// (cross-run histograms, scraped at /metrics). Instrumentation only
+// reads the clock — it never touches an RNG stream, so the determinism
+// contract of parallel.go is unaffected.
+
+import (
+	"context"
+
+	"blackboxval/internal/obs"
+)
+
+var (
+	stageDuration = obs.Default().HistogramVec(
+		"ppm_training_stage_duration_seconds",
+		"Wall time of each training pipeline stage.",
+		obs.DurationBuckets, "stage")
+	featurizeDuration = obs.Default().Histogram(
+		"ppm_featurize_duration_seconds",
+		"Per-batch wall time of black-box scoring plus output featurization during meta-dataset construction.",
+		obs.DurationBuckets)
+	metaExamples = obs.Default().Counter(
+		"ppm_meta_examples_total",
+		"Synthetic meta-dataset examples generated across all predictor trainings.")
+	rowsScored = obs.Default().Counter(
+		"ppm_rows_scored_total",
+		"Synthetic serving-batch rows pushed through the black box during training.")
+)
+
+// stageSpan opens a child span named after the pipeline stage and
+// returns a completion func that closes the span and feeds the shared
+// stage-duration histogram. The span is returned for callers that
+// attach result metrics (example counts, worker counts) before done().
+func stageSpan(ctx context.Context, stage string) (context.Context, *obs.Span, func()) {
+	ctx, sp := obs.StartSpan(ctx, stage)
+	return ctx, sp, func() {
+		sp.End()
+		stageDuration.Observe(sp.Duration().Seconds(), stage)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"blackboxval/internal/errorgen"
 	"blackboxval/internal/linalg"
 	"blackboxval/internal/models"
+	"blackboxval/internal/obs"
 )
 
 // ValidatorConfig controls the training of a performance validator.
@@ -92,6 +94,16 @@ type Validator struct {
 // magnitudes, labeled 1 ("violation") when the resulting score falls below
 // (1-t) times the clean test score.
 func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (*Validator, error) {
+	return TrainValidatorCtx(context.Background(), model, test, cfg)
+}
+
+// TrainValidatorCtx is TrainValidator with per-stage telemetry: a
+// "train_validator" span (children: validator_setup, the internal
+// predictor's own train_predictor subtree, validator_batches,
+// validator_fit) on the tracer carried by ctx, plus the shared
+// stage-duration histograms. Instrumentation never touches an RNG
+// stream, so the trained validator is identical to TrainValidator's.
+func TrainValidatorCtx(ctx context.Context, model data.Model, test *data.Dataset, cfg ValidatorConfig) (*Validator, error) {
 	cfg.defaults()
 	if model == nil {
 		return nil, fmt.Errorf("core: model is required")
@@ -103,6 +115,12 @@ func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (
 		return nil, fmt.Errorf("core: empty test set")
 	}
 
+	ctx, root := obs.StartSpan(ctx, "train_validator")
+	defer root.End()
+	root.SetMetric("rows", float64(test.Len()))
+	root.SetMetric("generators", float64(len(cfg.Generators)))
+	root.SetMetric("workers", float64(resolveWorkers(cfg.Workers)))
+
 	v := &Validator{model: model, cfg: cfg}
 	// The KS reference Ŷtest and the synthetic training batches must come
 	// from DISJOINT halves of the test data: real serving batches share no
@@ -110,16 +128,18 @@ func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (
 	// reference rows would make the clean regime look artificially
 	// well-aligned (D biased toward 0), teaching the classifier to alarm
 	// on every genuinely disjoint batch.
+	_, _, setupDone := stageSpan(ctx, "validator_setup")
 	refPart, batchPart := test.Split(0.5, jobRNG(cfg.Seed+20, streamValidatorSetup, 0))
 	v.testOutputs = model.PredictProba(refPart)
 	v.testScore = cfg.Score(model.PredictProba(test), test.Labels)
+	setupDone()
 
 	// The paper's validator "uses our performance predictions" as input:
 	// train the regression predictor on the reference half (disjoint from
 	// the batch half, so the estimate feature is out-of-sample for every
 	// training batch, as it will be at serving time).
 	var err error
-	v.predictor, err = TrainPredictor(model, refPart, PredictorConfig{
+	v.predictor, err = TrainPredictorCtx(ctx, model, refPart, PredictorConfig{
 		Generators:  cfg.Generators,
 		Repetitions: cfg.PredictorRepetitions,
 		ForestSizes: []int{50},
@@ -142,6 +162,8 @@ func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (
 		wave:      cfg.Batches,
 	}
 	line := (1 - cfg.Threshold) * v.testScore
+	_, batchSp, batchDone := stageSpan(ctx, "validator_batches")
+	batchRows := 0
 	var feats [][]float64
 	var labels []int
 	for b := 0; b < cfg.Batches || len(labels) < cfg.Batches/2; b++ {
@@ -149,6 +171,7 @@ func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (
 			break // safety valve if nearly everything lands on the line
 		}
 		res := source.get(b)
+		batchRows += res.size
 		// Skip batches whose score lands within the sampling noise of the
 		// decision line: their labels are coin flips that only teach the
 		// classifier noise. (Binomial std of accuracy on a batch of size n.)
@@ -184,9 +207,16 @@ func TrainValidator(model data.Model, test *data.Dataset, cfg ValidatorConfig) (
 		}
 		v.trainTotal = len(labels)
 	}
+	batchSp.SetMetric("batches", float64(v.trainTotal))
+	batchSp.SetMetric("violations", float64(v.trainPos))
+	batchSp.SetMetric("rows_scored", float64(batchRows))
+	batchDone()
 
+	_, _, fitDone := stageSpan(ctx, "validator_fit")
 	v.clf = &models.GBDTClassifier{Trees: cfg.Trees, MaxDepth: cfg.Depth, Seed: cfg.Seed}
-	if err := v.clf.Fit(linalg.FromRows(feats), labels, 2); err != nil {
+	err = v.clf.Fit(linalg.FromRows(feats), labels, 2)
+	fitDone()
+	if err != nil {
 		return nil, fmt.Errorf("core: fitting validator classifier: %w", err)
 	}
 	return v, nil

@@ -1,0 +1,163 @@
+package experiments
+
+// PipelineBench times the end-to-end training pipeline (black box fit,
+// performance predictor, performance validator) on one dataset and
+// reports a per-stage wall-time breakdown extracted from the span tree
+// of internal/obs. ppm-bench serializes the result as
+// BENCH_pipeline.json so timing regressions show up in review diffs
+// the same way the F1/MAE tables do.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"blackboxval/internal/core"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/obs"
+)
+
+// StageTiming is one node of the flattened span tree. Path is the
+// slash-joined span names from the pipeline root (e.g.
+// "train_predictor/meta_dataset").
+type StageTiming struct {
+	Path    string             `json:"path"`
+	Seconds float64            `json:"seconds"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// PipelineResult is the machine-readable pipeline benchmark
+// (BENCH_pipeline.json).
+type PipelineResult struct {
+	Scale        string        `json:"scale"`
+	Dataset      string        `json:"dataset"`
+	Model        string        `json:"model"`
+	Workers      int           `json:"workers"`
+	TestRows     int           `json:"test_rows"`
+	MetaExamples int           `json:"meta_examples"`
+	RowsScored   int           `json:"rows_scored"`
+	TotalSeconds float64       `json:"total_seconds"`
+	RowsPerSec   float64       `json:"rows_per_sec"`
+	Stages       []StageTiming `json:"stages"`
+
+	root *obs.Span // retained for the human-readable report
+}
+
+// PipelineBench trains the income/lr predictor and validator at the
+// given scale under a private tracer and assembles the stage breakdown.
+// Throughput (RowsPerSec) counts the synthetic serving-batch rows pushed
+// through the black box during training, divided by total wall time.
+func PipelineBench(scale Scale) (*PipelineResult, error) {
+	ds, err := scale.GenerateDataset("income", scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, test, _ := Splits(ds, scale.Seed)
+
+	tr := obs.NewTracer(4)
+	ctx, pipe := obs.StartSpan(obs.WithTracer(context.Background(), tr), "pipeline")
+
+	_, modelSp := obs.StartSpan(ctx, "train_model")
+	model, err := scale.TrainModel("lr", train, scale.Seed)
+	modelSp.SetMetric("rows", float64(train.Len()))
+	modelSp.End()
+	if err != nil {
+		return nil, err
+	}
+
+	gens := errorgen.KnownTabular()
+	pred, err := core.TrainPredictorCtx(ctx, model, test, core.PredictorConfig{
+		Generators:  gens,
+		Repetitions: scale.Repetitions,
+		ForestSizes: scale.ForestSizes,
+		Workers:     scale.Workers,
+		Seed:        scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, err = core.TrainValidatorCtx(ctx, model, test, core.ValidatorConfig{
+		Generators: gens,
+		Batches:    scale.ValidatorBatches,
+		Workers:    scale.Workers,
+		Seed:       scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pipe.End()
+
+	res := &PipelineResult{
+		Scale:        scale.Name,
+		Dataset:      "income",
+		Model:        "lr",
+		Workers:      scale.Workers,
+		TestRows:     test.Len(),
+		MetaExamples: pred.NumExamples(),
+		TotalSeconds: pipe.Duration().Seconds(),
+		root:         pipe,
+	}
+	flattenSpans(pipe, "", &res.Stages)
+	for _, st := range res.Stages {
+		if rows, ok := st.Metrics["rows_scored"]; ok {
+			res.RowsScored += int(rows)
+		}
+	}
+	if res.TotalSeconds > 0 {
+		res.RowsPerSec = float64(res.RowsScored) / res.TotalSeconds
+	}
+	return res, nil
+}
+
+// flattenSpans walks the span tree depth-first, appending one
+// StageTiming per span with its slash-joined path.
+func flattenSpans(s *obs.Span, prefix string, out *[]StageTiming) {
+	path := s.Name()
+	if prefix != "" {
+		path = prefix + "/" + s.Name()
+	}
+	js := s.JSON()
+	*out = append(*out, StageTiming{Path: path, Seconds: js.Seconds, Metrics: js.Metrics})
+	for _, c := range s.Children() {
+		flattenSpans(c, path, out)
+	}
+}
+
+// Print renders the human-readable stage report plus the throughput
+// summary line.
+func (r *PipelineResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Pipeline benchmark (scale=%s, dataset=%s, model=%s, workers=%d)\n",
+		r.Scale, r.Dataset, r.Model, r.Workers)
+	if r.root != nil {
+		r.root.Report(w)
+	} else {
+		for _, st := range r.Stages {
+			fmt.Fprintf(w, "%-44s %8.3fs\n", st.Path, st.Seconds)
+		}
+	}
+	fmt.Fprintf(w, "total %.3fs, %d rows scored, %.0f rows/sec\n",
+		r.TotalSeconds, r.RowsScored, r.RowsPerSec)
+}
+
+// StageSeconds returns the duration of the stage at the given path, or
+// 0 when absent — convenience for tests and the markdown renderer.
+func (r *PipelineResult) StageSeconds(path string) float64 {
+	for _, st := range r.Stages {
+		if st.Path == path {
+			return st.Seconds
+		}
+	}
+	return 0
+}
+
+// SortedStagePaths returns all stage paths in depth-first order (the
+// natural order of Stages); exposed so renderers need not re-walk.
+func (r *PipelineResult) SortedStagePaths() []string {
+	paths := make([]string, len(r.Stages))
+	for i, st := range r.Stages {
+		paths[i] = st.Path
+	}
+	sort.Strings(paths)
+	return paths
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func pipelineScale() Scale {
+	s := Quick
+	s.TabularRows = 600
+	s.Repetitions = 4
+	s.ValidatorBatches = 24
+	s.Workers = 2
+	return s
+}
+
+func TestPipelineBench(t *testing.T) {
+	r, err := PipelineBench(pipelineScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalSeconds <= 0 || r.RowsScored <= 0 || r.RowsPerSec <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	if r.MetaExamples == 0 || r.TestRows == 0 {
+		t.Fatalf("missing size metadata: %+v", r)
+	}
+	for _, path := range []string{
+		"pipeline",
+		"pipeline/train_model",
+		"pipeline/train_predictor",
+		"pipeline/train_predictor/meta_dataset",
+		"pipeline/train_predictor/predictor_fit",
+		"pipeline/train_validator",
+		"pipeline/train_validator/validator_batches",
+		"pipeline/train_validator/validator_fit",
+		"pipeline/train_validator/train_predictor",
+	} {
+		if r.StageSeconds(path) <= 0 {
+			t.Fatalf("stage %q missing or zero in %v", path, r.SortedStagePaths())
+		}
+	}
+	// Stage times must nest: the pipeline root bounds every stage.
+	for _, st := range r.Stages {
+		if st.Seconds > r.TotalSeconds {
+			t.Fatalf("stage %s (%vs) exceeds total %vs", st.Path, st.Seconds, r.TotalSeconds)
+		}
+	}
+
+	// The result is the BENCH_pipeline.json payload: it must round-trip
+	// through JSON with the stage breakdown intact.
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PipelineResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Stages) != len(r.Stages) || back.RowsScored != r.RowsScored {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+
+	var out bytes.Buffer
+	r.Print(&out)
+	for _, want := range []string{"Pipeline benchmark", "meta_dataset", "rows/sec"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("text report missing %q:\n%s", want, out.String())
+		}
+	}
+}

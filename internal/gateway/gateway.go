@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
 )
 
 // Config configures a Gateway.
@@ -117,7 +118,7 @@ func New(cfg Config) (*Gateway, error) {
 	g.breaker = NewBreaker(cfg.Breaker)
 	g.breaker.onTransition = func(to BreakerState) {
 		g.metrics.breakerState.Set(float64(breakerGaugeValue(to)))
-		g.metrics.breakerTransitions.Add(to.String(), 1)
+		g.metrics.breakerTransitions.Add(1, to.String())
 		g.cfg.Logger.Printf("gateway: circuit breaker -> %s", to)
 	}
 	if cfg.Monitor != nil {
@@ -125,7 +126,7 @@ func New(cfg Config) (*Gateway, error) {
 			g.metrics.estimate.Set(rec.Estimate)
 			g.metrics.alarm.Set(boolGauge(cfg.Monitor.Alarming()))
 		})
-		g.metrics.shadowDepth.fn = func() float64 { return float64(g.shadow.Depth()) }
+		g.metrics.shadowDepth.SetFunc(func() float64 { return float64(g.shadow.Depth()) })
 	}
 	return g, nil
 }
@@ -160,6 +161,8 @@ func (g *Gateway) ShadowObserved() int64 {
 //	GET  /status         — JSON: breaker state, monitor summary
 //	GET  /healthz        — 200 while healthy, 503 while the performance
 //	                       alarm fires
+//	GET  /debug/pprof/*  — Go profiling endpoints
+//	GET  /debug/spans    — recent span trees as JSON
 //	     /monitor/*      — the monitor's own dashboard (when configured)
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -167,6 +170,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.Handle("/metrics", g.metrics.Handler())
 	mux.HandleFunc("/status", g.handleStatus)
 	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.Handle("/debug/spans", obs.DefaultTracer().Handler())
+	obs.MountPprof(mux)
 	if g.cfg.Monitor != nil {
 		mux.Handle("/monitor/", http.StripPrefix("/monitor", g.cfg.Monitor.Handler()))
 	}
@@ -270,7 +275,7 @@ func (g *Gateway) forward(ctx context.Context, body []byte) (*backendResponse, e
 		if attempt >= g.cfg.MaxRetries {
 			return nil, lastErr
 		}
-		g.metrics.retries.Add(reason, 1)
+		g.metrics.retries.Add(1, reason)
 		if err := g.sleep(ctx, g.backoff(attempt+1)); err != nil {
 			return nil, err
 		}
@@ -322,8 +327,8 @@ func (g *Gateway) sleep(ctx context.Context, d time.Duration) error {
 }
 
 func (g *Gateway) finish(outcome string, start time.Time) {
-	g.metrics.requests.Add(outcome, 1)
-	g.metrics.latency.Observe(outcome, time.Since(start).Seconds())
+	g.metrics.requests.Add(1, outcome)
+	g.metrics.latency.Observe(time.Since(start).Seconds(), outcome)
 }
 
 // Status is the JSON document served at /status.

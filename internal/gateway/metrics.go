@@ -1,247 +1,67 @@
 package gateway
 
-// This file implements the gateway's Prometheus-text-format metrics.
-// The registry is hand-rolled (no client library dependency): a handful
-// of counter, gauge and histogram primitives that render
-// deterministically sorted exposition text, enough for any
-// Prometheus-compatible scraper.
+// The gateway's observability surface, built on the shared telemetry
+// registry (internal/obs). The nine metric families and their
+// exposition output predate the shared registry and are preserved
+// bit-for-bit: same names, HELP text, label names and value
+// formatting, so existing scrape configs and the integration tests
+// keep working unchanged. Each Gateway owns a private Registry so two
+// gateways in one process (tests, multi-backend deployments) never
+// share series.
 
 import (
-	"fmt"
-	"math"
 	"net/http"
-	"sort"
-	"strconv"
-	"sync"
+
+	"blackboxval/internal/obs"
 )
 
 // latencyBuckets are the request-duration histogram bounds in seconds.
 var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
-// counterVec is a monotone counter partitioned by one label.
-type counterVec struct {
-	name, help, label string
-
-	mu   sync.Mutex
-	vals map[string]float64
-}
-
-func newCounterVec(name, help, label string) *counterVec {
-	return &counterVec{name: name, help: help, label: label, vals: map[string]float64{}}
-}
-
-func (c *counterVec) Add(labelValue string, delta float64) {
-	c.mu.Lock()
-	c.vals[labelValue] += delta
-	c.mu.Unlock()
-}
-
-func (c *counterVec) Get(labelValue string) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.vals[labelValue]
-}
-
-func (c *counterVec) render(w *renderer) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	w.header(c.name, c.help, "counter")
-	for _, lv := range sortedKeys(c.vals) {
-		w.sample(c.name, map[string]string{c.label: lv}, c.vals[lv])
-	}
-}
-
-// gauge is a settable float64 value, optionally backed by a callback so
-// the rendered value is always current (e.g. queue depth).
-type gauge struct {
-	name, help string
-	fn         func() float64
-
-	mu  sync.Mutex
-	val float64
-}
-
-func newGauge(name, help string) *gauge { return &gauge{name: name, help: help} }
-
-func newGaugeFunc(name, help string, fn func() float64) *gauge {
-	return &gauge{name: name, help: help, fn: fn}
-}
-
-func (g *gauge) Set(v float64) {
-	g.mu.Lock()
-	g.val = v
-	g.mu.Unlock()
-}
-
-func (g *gauge) Get() float64 {
-	if g.fn != nil {
-		return g.fn()
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.val
-}
-
-func (g *gauge) render(w *renderer) {
-	w.header(g.name, g.help, "gauge")
-	w.sample(g.name, nil, g.Get())
-}
-
-// histogramVec is a cumulative-bucket histogram partitioned by one label.
-type histogramVec struct {
-	name, help, label string
-	bounds            []float64
-
-	mu     sync.Mutex
-	series map[string]*histogramSeries
-}
-
-type histogramSeries struct {
-	counts []uint64
-	sum    float64
-	count  uint64
-}
-
-func newHistogramVec(name, help, label string, bounds []float64) *histogramVec {
-	return &histogramVec{name: name, help: help, label: label, bounds: bounds, series: map[string]*histogramSeries{}}
-}
-
-func (h *histogramVec) Observe(labelValue string, v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := h.series[labelValue]
-	if s == nil {
-		s = &histogramSeries{counts: make([]uint64, len(h.bounds))}
-		h.series[labelValue] = s
-	}
-	for i, bound := range h.bounds {
-		if v <= bound {
-			s.counts[i]++
-		}
-	}
-	s.sum += v
-	s.count++
-}
-
-func (h *histogramVec) Count(labelValue string) uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if s := h.series[labelValue]; s != nil {
-		return s.count
-	}
-	return 0
-}
-
-func (h *histogramVec) render(w *renderer) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	w.header(h.name, h.help, "histogram")
-	for _, lv := range sortedKeys(h.series) {
-		s := h.series[lv]
-		for i, bound := range h.bounds {
-			w.sample(h.name+"_bucket", map[string]string{h.label: lv, "le": formatFloat(bound)}, float64(s.counts[i]))
-		}
-		w.sample(h.name+"_bucket", map[string]string{h.label: lv, "le": "+Inf"}, float64(s.count))
-		w.sample(h.name+"_sum", map[string]string{h.label: lv}, s.sum)
-		w.sample(h.name+"_count", map[string]string{h.label: lv}, float64(s.count))
-	}
-}
-
 // Metrics is the gateway's observability surface, rendered at /metrics.
 type Metrics struct {
-	requests           *counterVec   // gateway_requests_total{outcome=...}
-	latency            *histogramVec // gateway_request_duration_seconds{outcome=...}
-	retries            *counterVec   // gateway_backend_retries_total{reason=...}
-	breakerState       *gauge        // gateway_breaker_state
-	breakerTransitions *counterVec   // gateway_breaker_transitions_total{to=...}
-	shadowDepth        *gauge        // gateway_shadow_queue_depth
-	shadowDropped      *counterVec   // gateway_shadow_batches_total{fate=...}
-	estimate           *gauge        // gateway_estimated_score
-	alarm              *gauge        // gateway_alarm
+	reg *obs.Registry
+
+	requests           *obs.CounterVec   // gateway_requests_total{outcome=...}
+	latency            *obs.HistogramVec // gateway_request_duration_seconds{outcome=...}
+	retries            *obs.CounterVec   // gateway_backend_retries_total{reason=...}
+	breakerState       *obs.Gauge        // gateway_breaker_state
+	breakerTransitions *obs.CounterVec   // gateway_breaker_transitions_total{to=...}
+	shadowDepth        *obs.Gauge        // gateway_shadow_queue_depth
+	shadowDropped      *obs.CounterVec   // gateway_shadow_batches_total{fate=...}
+	estimate           *obs.Gauge        // gateway_estimated_score
+	alarm              *obs.Gauge        // gateway_alarm
 }
 
 func newMetrics() *Metrics {
+	reg := obs.NewRegistry()
 	return &Metrics{
-		requests: newCounterVec("gateway_requests_total",
+		reg: reg,
+		requests: reg.CounterVec("gateway_requests_total",
 			"Proxied /predict_proba requests by outcome.", "outcome"),
-		latency: newHistogramVec("gateway_request_duration_seconds",
-			"Gateway-side request latency by outcome.", "outcome", latencyBuckets),
-		retries: newCounterVec("gateway_backend_retries_total",
+		latency: reg.HistogramVec("gateway_request_duration_seconds",
+			"Gateway-side request latency by outcome.", latencyBuckets, "outcome"),
+		retries: reg.CounterVec("gateway_backend_retries_total",
 			"Backend retry attempts by trigger.", "reason"),
-		breakerState: newGauge("gateway_breaker_state",
+		breakerState: reg.Gauge("gateway_breaker_state",
 			"Circuit breaker position (0=closed, 1=half_open, 2=open)."),
-		breakerTransitions: newCounterVec("gateway_breaker_transitions_total",
+		breakerTransitions: reg.CounterVec("gateway_breaker_transitions_total",
 			"Circuit breaker state transitions by destination.", "to"),
-		shadowDepth: newGauge("gateway_shadow_queue_depth",
+		shadowDepth: reg.Gauge("gateway_shadow_queue_depth",
 			"Batches waiting in the shadow-validation queue."),
-		shadowDropped: newCounterVec("gateway_shadow_batches_total",
+		shadowDropped: reg.CounterVec("gateway_shadow_batches_total",
 			"Shadow-validation batches by fate (observed, dropped, undecodable).", "fate"),
-		estimate: newGauge("gateway_estimated_score",
+		estimate: reg.Gauge("gateway_estimated_score",
 			"Latest shadow-validation score estimate for the backend model."),
-		alarm: newGauge("gateway_alarm",
+		alarm: reg.Gauge("gateway_alarm",
 			"1 while the performance monitor is alarming, else 0."),
 	}
 }
 
-// Handler serves the Prometheus text exposition.
-func (m *Metrics) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "GET required", http.StatusMethodNotAllowed)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		m.render(w)
-	})
-}
+// Registry exposes the gateway's metric registry, e.g. for binaries
+// that register additional families next to the gateway's own.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
-func (m *Metrics) render(w http.ResponseWriter) {
-	r := &renderer{w: w}
-	m.requests.render(r)
-	m.latency.render(r)
-	m.retries.render(r)
-	m.breakerState.render(r)
-	m.breakerTransitions.render(r)
-	m.shadowDepth.render(r)
-	m.shadowDropped.render(r)
-	m.estimate.render(r)
-	m.alarm.render(r)
-}
-
-// renderer writes Prometheus exposition lines.
-type renderer struct{ w http.ResponseWriter }
-
-func (r *renderer) header(name, help, typ string) {
-	fmt.Fprintf(r.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-}
-
-func (r *renderer) sample(name string, labels map[string]string, v float64) {
-	fmt.Fprint(r.w, name)
-	if len(labels) > 0 {
-		fmt.Fprint(r.w, "{")
-		for i, k := range sortedKeys(labels) {
-			if i > 0 {
-				fmt.Fprint(r.w, ",")
-			}
-			fmt.Fprintf(r.w, "%s=%q", k, labels[k])
-		}
-		fmt.Fprint(r.w, "}")
-	}
-	fmt.Fprintf(r.w, " %s\n", formatFloat(v))
-}
-
-func formatFloat(v float64) string {
-	if math.IsInf(v, +1) {
-		return "+Inf"
-	}
-	return strconv.FormatFloat(v, 'g', -1, 64)
-}
-
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
+// Handler serves the Prometheus text exposition with the canonical
+// content type (shared with every other /metrics in the repository).
+func (m *Metrics) Handler() http.Handler { return m.reg.Handler() }

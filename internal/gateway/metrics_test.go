@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"blackboxval/internal/obs"
 )
 
 // parsePrometheus validates the exposition format line by line and
@@ -98,13 +100,13 @@ func scrape(t *testing.T, m *Metrics) map[string]float64 {
 
 func TestMetricsCountersAndGauges(t *testing.T) {
 	m := newMetrics()
-	m.requests.Add("ok", 3)
-	m.requests.Add("breaker_open", 1)
-	m.retries.Add("network_error", 2)
+	m.requests.Add(3, "ok")
+	m.requests.Add(1, "breaker_open")
+	m.retries.Add(2, "network_error")
 	m.breakerState.Set(2)
 	m.estimate.Set(0.87)
 	m.alarm.Set(1)
-	m.shadowDropped.Add("dropped", 5)
+	m.shadowDropped.Add(5, "dropped")
 
 	s := scrape(t, m)
 	checks := map[string]float64{
@@ -125,9 +127,9 @@ func TestMetricsCountersAndGauges(t *testing.T) {
 
 func TestMetricsHistogram(t *testing.T) {
 	m := newMetrics()
-	m.latency.Observe("ok", 0.003)
-	m.latency.Observe("ok", 0.02)
-	m.latency.Observe("ok", 42) // beyond the last bound: only +Inf
+	m.latency.Observe(0.003, "ok")
+	m.latency.Observe(0.02, "ok")
+	m.latency.Observe(42, "ok") // beyond the last bound: only +Inf
 
 	s := scrape(t, m)
 	if got := s[`gateway_request_duration_seconds_bucket{le="0.005",outcome="ok"}`]; got != 1 {
@@ -177,6 +179,49 @@ func bucketBound(t *testing.T, key string) float64 {
 	return v
 }
 
+// TestMetricsExpositionConformance populates every gateway family and
+// lints the rendered exposition with the shared conformance checker:
+// name/label charsets, HELP/TYPE placement, family contiguity, label
+// escaping, and the histogram _bucket/_sum/_count invariants.
+func TestMetricsExpositionConformance(t *testing.T) {
+	m := newMetrics()
+	m.requests.Add(3, "ok")
+	m.requests.Add(1, "upstream_5xx")
+	m.latency.Observe(0.004, "ok")
+	m.latency.Observe(7, "backend_unavailable")
+	m.retries.Add(2, "network_error")
+	m.retries.Add(1, "upstream_transient")
+	m.breakerState.Set(1)
+	m.breakerTransitions.Add(1, "open")
+	m.breakerTransitions.Add(1, "half_open")
+	m.shadowDepth.Set(3)
+	m.shadowDropped.Add(4, "observed")
+	m.shadowDropped.Add(1, "dropped")
+	m.shadowDropped.Add(1, "undecodable")
+	m.estimate.Set(0.91)
+	m.alarm.Set(0)
+
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != obs.ContentType {
+		t.Fatalf("content type = %q, want the canonical %q", got, obs.ContentType)
+	}
+	if errs := obs.Lint(rec.Body.String()); len(errs) > 0 {
+		t.Fatalf("gateway exposition not conformant:\n%v\n%s", errs, rec.Body.String())
+	}
+	// All nine families must be present.
+	for _, fam := range []string{
+		"gateway_requests_total", "gateway_request_duration_seconds",
+		"gateway_backend_retries_total", "gateway_breaker_state",
+		"gateway_breaker_transitions_total", "gateway_shadow_queue_depth",
+		"gateway_shadow_batches_total", "gateway_estimated_score", "gateway_alarm",
+	} {
+		if !strings.Contains(rec.Body.String(), "# TYPE "+fam+" ") {
+			t.Fatalf("family %q missing from exposition", fam)
+		}
+	}
+}
+
 func TestMetricsMethodGuard(t *testing.T) {
 	m := newMetrics()
 	rec := httptest.NewRecorder()
@@ -189,7 +234,7 @@ func TestMetricsMethodGuard(t *testing.T) {
 func TestMetricsRenderIsDeterministic(t *testing.T) {
 	m := newMetrics()
 	for i := 0; i < 10; i++ {
-		m.requests.Add(fmt.Sprintf("outcome%d", i), float64(i))
+		m.requests.Add(float64(i), fmt.Sprintf("outcome%d", i))
 	}
 	first := httptest.NewRecorder()
 	m.Handler().ServeHTTP(first, httptest.NewRequest("GET", "/metrics", nil))

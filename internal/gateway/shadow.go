@@ -56,7 +56,7 @@ func (t *shadowTap) Enqueue(body []byte) {
 	t.mu.Lock()
 	if len(t.queue) >= t.cap {
 		t.queue = t.queue[1:]
-		t.metrics.shadowDropped.Add("dropped", 1)
+		t.metrics.shadowDropped.Add(1, "dropped")
 	}
 	t.queue = append(t.queue, body)
 	t.mu.Unlock()
@@ -120,7 +120,7 @@ func (t *shadowTap) pop() ([]byte, bool) {
 func (t *shadowTap) observe(body []byte) {
 	proba, _, err := cloud.ParseProbaResponse(body)
 	if err != nil || proba.Rows == 0 {
-		t.metrics.shadowDropped.Add("undecodable", 1)
+		t.metrics.shadowDropped.Add(1, "undecodable")
 		if err != nil && t.logger != nil {
 			t.logger.Printf("gateway: shadow tap cannot decode backend response: %v", err)
 		}
@@ -128,7 +128,7 @@ func (t *shadowTap) observe(body []byte) {
 	}
 	rec := t.mon.ObserveProba(proba)
 	t.observed.Add(1)
-	t.metrics.shadowDropped.Add("observed", 1)
+	t.metrics.shadowDropped.Add(1, "observed")
 	if t.onRecord != nil {
 		t.onRecord(rec)
 	}

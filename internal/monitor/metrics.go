@@ -1,0 +1,54 @@
+package monitor
+
+import (
+	"blackboxval/internal/obs"
+)
+
+// RegisterMetrics registers the monitor's metric families on reg
+// (typically obs.Default()) and wires them to this monitor:
+//
+//	ppm_monitor_estimate          gauge   latest score estimate
+//	ppm_monitor_alarm             gauge   1 while the monitor is alarming
+//	ppm_monitor_alarm_line        gauge   score below which a batch violates
+//	ppm_monitor_batches_total     counter observed batches/windows
+//	ppm_monitor_violations_total  counter violating batches
+//	ppm_monitor_alarms_total      counter batches observed in alarm state
+//
+// The gauges are callback-backed, so every scrape reads the live
+// state; the counters are incremented inside commit. All of it is safe
+// to scrape concurrently with Observe/ObserveRow — the registry never
+// holds a family lock while calling back into the monitor, and the
+// monitor never calls the registry while holding its own mutex in a
+// way that could re-enter. Calling RegisterMetrics twice (or for two
+// monitors on one registry) panics via the registry's get-or-create
+// conflict check only if the families were registered with different
+// metadata; the second monitor otherwise takes over the callbacks.
+func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("ppm_monitor_estimate",
+		"Latest score estimate recorded by the performance monitor.",
+		func() float64 { return m.Summarize().LastEstimate })
+	reg.GaugeFunc("ppm_monitor_alarm",
+		"1 while the performance monitor is alarming, else 0.",
+		func() float64 {
+			if m.Alarming() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("ppm_monitor_alarm_line",
+		"Score estimate below which a batch counts as violating ((1-t) * test score).",
+		func() float64 { return m.AlarmLine() })
+
+	batches := reg.Counter("ppm_monitor_batches_total",
+		"Serving batches (or filled streaming windows) observed by the monitor.")
+	violations := reg.Counter("ppm_monitor_violations_total",
+		"Observed batches whose combined verdict was a violation.")
+	alarms := reg.Counter("ppm_monitor_alarms_total",
+		"Observed batches recorded while the monitor was in the alarm state.")
+
+	m.mu.Lock()
+	m.batchesMetric = batches
+	m.violationsMetric = violations
+	m.alarmsMetric = alarms
+	m.mu.Unlock()
+}

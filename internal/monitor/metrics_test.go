@@ -1,0 +1,116 @@
+package monitor
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"blackboxval/internal/obs"
+)
+
+// TestRegisterMetricsConformance checks the monitor's families render a
+// conformant exposition ("Conformance" keeps it in the Makefile lint run).
+func TestRegisterMetricsConformance(t *testing.T) {
+	f := getFixture(t)
+	reg := obs.NewRegistry()
+	m, err := New(Config{Predictor: f.pred, Validator: f.val})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterMetrics(reg)
+
+	proba := f.model.PredictProba(f.serving)
+	for i := 0; i < 3; i++ {
+		m.ObserveProba(proba)
+	}
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != obs.ContentType {
+		t.Fatalf("content type = %q, want %q", got, obs.ContentType)
+	}
+	body := rec.Body.String()
+	if errs := obs.Lint(body); len(errs) > 0 {
+		t.Fatalf("monitor exposition not conformant:\n%v\n%s", errs, body)
+	}
+	for _, want := range []string{
+		"ppm_monitor_batches_total 3",
+		"ppm_monitor_violations_total 0",
+		"ppm_monitor_alarms_total 0",
+		"ppm_monitor_alarm 0",
+		"ppm_monitor_alarm_line ",
+		"ppm_monitor_estimate ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsScrapeConcurrentWithObserveRow drives the row-streaming
+// path while the metrics endpoint and the JSON dashboard are scraped
+// concurrently — the serving deployment's steady state, checked under
+// the race detector by the Makefile race gate.
+func TestMetricsScrapeConcurrentWithObserveRow(t *testing.T) {
+	f := getFixture(t)
+	reg := obs.NewRegistry()
+	m, err := New(Config{Predictor: f.pred, WindowSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterMetrics(reg)
+
+	proba := f.model.PredictProba(f.serving)
+	metrics := reg.Handler()
+	dashboard := m.Handler()
+
+	var writeWG, readWG sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < 300; i++ {
+				m.ObserveRow(proba.Row((w*300 + i) % proba.Rows))
+			}
+		}(w)
+	}
+	for s := 0; s < 2; s++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				metrics.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				if errs := obs.Lint(rec.Body.String()); len(errs) > 0 {
+					t.Errorf("mid-stream exposition not conformant: %v", errs[0])
+					return
+				}
+				for _, path := range []string{"/summary", "/history?limit=5", "/alarming"} {
+					rec := httptest.NewRecorder()
+					dashboard.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+					if rec.Code != 200 {
+						t.Errorf("GET %s = %d", path, rec.Code)
+						return
+					}
+				}
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(done)
+	readWG.Wait()
+
+	// 4 writers x 300 rows at window size 50 = 24 full windows.
+	rec := httptest.NewRecorder()
+	metrics.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "ppm_monitor_batches_total 24") {
+		t.Fatalf("batch counter mismatch:\n%s", rec.Body.String())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"blackboxval/internal/core"
 	"blackboxval/internal/data"
 	"blackboxval/internal/linalg"
+	"blackboxval/internal/obs"
 )
 
 // Config configures a Monitor.
@@ -86,6 +87,11 @@ type Monitor struct {
 	alarms  int
 	history []Record
 	window  *core.StreamAccumulator // lazily created by ObserveRow
+
+	// Counter families wired by RegisterMetrics (nil until then).
+	batchesMetric    *obs.Counter
+	violationsMetric *obs.Counter
+	alarmsMetric     *obs.Counter
 }
 
 // New validates the configuration and returns a ready monitor.
@@ -147,6 +153,15 @@ func (m *Monitor) commit(rec *Record) {
 	m.history = append(m.history, *rec)
 	if len(m.history) > m.cfg.HistoryLimit {
 		m.history = m.history[len(m.history)-m.cfg.HistoryLimit:]
+	}
+	if m.batchesMetric != nil {
+		m.batchesMetric.Inc()
+		if rec.Violating {
+			m.violationsMetric.Inc()
+		}
+		if rec.Alarming {
+			m.alarmsMetric.Inc()
+		}
 	}
 }
 

@@ -1,0 +1,141 @@
+package obs
+
+// HTTP surface shared by every binary: the /metrics exposition
+// handler with the canonical Prometheus content type, the
+// /debug/pprof/* profiling endpoints, the /debug/spans JSON trace
+// export, and a request-instrumentation middleware.
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ContentType is the canonical Prometheus text exposition content
+// type served by every /metrics endpoint in this repository.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry's text exposition at GET.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteTo(w)
+	})
+}
+
+// Handler serves the tracer's retained span trees as JSON at GET.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		out, err := t.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(out)
+	})
+}
+
+// Mount attaches the shared observability surface to mux:
+//
+//	GET /metrics            Prometheus text exposition of reg
+//	GET /debug/spans        JSON export of the tracer's span trees
+//	GET /debug/pprof/*      net/http/pprof profiling endpoints
+//
+// nil reg or tr default to the process-global instances.
+func Mount(mux *http.ServeMux, reg *Registry, tr *Tracer) {
+	if reg == nil {
+		reg = Default()
+	}
+	if tr == nil {
+		tr = DefaultTracer()
+	}
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/spans", tr.Handler())
+	MountPprof(mux)
+}
+
+// MountPprof attaches only the /debug/pprof/* endpoints, for handlers
+// that already serve their own /metrics (the gateway).
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// statusRecorder captures the response status for the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Middleware wraps next with request accounting on reg:
+//
+//	http_requests_total{handler,code}
+//	http_request_duration_seconds{handler}
+//
+// The handler label keeps one serving binary's families distinct from
+// another's when both are scraped into the same Prometheus.
+func Middleware(reg *Registry, handlerName string, next http.Handler) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	requests := reg.CounterVec("http_requests_total",
+		"HTTP requests by handler and status code.", "handler", "code")
+	latency := reg.HistogramVec("http_request_duration_seconds",
+		"HTTP request latency by handler.", DurationBuckets, "handler")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, req)
+		requests.Inc(handlerName, httpStatusClass(rec.status))
+		latency.Observe(time.Since(start).Seconds(), handlerName)
+	})
+}
+
+// httpStatusClass buckets status codes ("200", "404", ...) exactly —
+// low cardinality is preserved because only codes actually emitted by
+// the handlers appear.
+func httpStatusClass(code int) string {
+	switch code {
+	case 200:
+		return "200"
+	case 400:
+		return "400"
+	case 404:
+		return "404"
+	case 405:
+		return "405"
+	case 500:
+		return "500"
+	case 503:
+		return "503"
+	default:
+		// Collapse the long tail by class to bound cardinality.
+		switch {
+		case code < 300:
+			return "2xx"
+		case code < 400:
+			return "3xx"
+		case code < 500:
+			return "4xx"
+		default:
+			return "5xx"
+		}
+	}
+}

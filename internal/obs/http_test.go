@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMountSurface(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mounted_total", "Mounted.").Inc()
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "mounted_span")
+	s.End()
+
+	mux := http.NewServeMux()
+	Mount(mux, reg, tr)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != ContentType {
+		t.Fatalf("content type = %q, want %q", got, ContentType)
+	}
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mounted_total 1") {
+		t.Fatalf("exposition:\n%s", b.String())
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/spans = %d", resp.StatusCode)
+	}
+	var spans []SpanJSON
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "mounted_span" {
+		t.Fatalf("spans = %+v", spans)
+	}
+
+	// pprof index must answer (the profile endpoints are slow; the
+	// index proves the mount).
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ = %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsMethodGuard(t *testing.T) {
+	reg := NewRegistry()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	NewTracer(1).Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/debug/spans", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /debug/spans = %d, want 405", rec.Code)
+	}
+}
+
+func TestMiddlewareAccounting(t *testing.T) {
+	reg := NewRegistry()
+	h := Middleware(reg, "api", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/missing", nil))
+
+	if got := reg.CounterVec("http_requests_total", "HTTP requests by handler and status code.", "handler", "code").Get("api", "200"); got != 3 {
+		t.Fatalf("200 count = %v, want 3", got)
+	}
+	if got := reg.CounterVec("http_requests_total", "HTTP requests by handler and status code.", "handler", "code").Get("api", "404"); got != 1 {
+		t.Fatalf("404 count = %v, want 1", got)
+	}
+	hist := reg.HistogramVec("http_request_duration_seconds", "HTTP request latency by handler.", DurationBuckets, "handler")
+	if got := hist.Count("api"); got != 4 {
+		t.Fatalf("latency observations = %v, want 4", got)
+	}
+	text := render(t, reg)
+	if errs := Lint(text); len(errs) > 0 {
+		t.Fatalf("middleware exposition not conformant: %v\n%s", errs, text)
+	}
+}

@@ -1,0 +1,347 @@
+package obs
+
+// Lint is a promlint-style conformance checker for the Prometheus
+// text exposition format, run in tests against every /metrics surface
+// in the repository. It enforces the subset of the format spec a
+// scraper depends on — name and label charsets, HELP/TYPE placement,
+// family contiguity, label quoting, sample-value syntax — plus the
+// histogram structural invariants (_bucket cumulativity, ascending
+// le bounds, the +Inf bucket equalling _count, _sum/_count presence)
+// and the metric-name unit-suffix conventions (counters end in
+// _total, no unit suffixes like _seconds on gauges that are not
+// durations, etc. — reported for the families this repo owns).
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// lintFamily accumulates per-family state while scanning.
+type lintFamily struct {
+	name    string
+	typ     string
+	hasHelp bool
+	// histogram series state, keyed by the non-le label signature
+	buckets map[string][]bucketSample
+	sums    map[string]bool
+	counts  map[string]float64
+}
+
+type bucketSample struct {
+	le    float64
+	isInf bool
+	value float64
+}
+
+// Lint checks one text exposition document and returns every
+// violation found (nil for a conformant document).
+func Lint(exposition string) []error {
+	var errs []error
+	fail := func(ln int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", ln+1, fmt.Sprintf(format, args...)))
+	}
+
+	families := map[string]*lintFamily{}
+	order := []string{} // family appearance order for contiguity checks
+	current := ""       // family of the most recent line
+	getFam := func(base string) *lintFamily {
+		f := families[base]
+		if f == nil {
+			f = &lintFamily{name: base, buckets: map[string][]bucketSample{}, sums: map[string]bool{}, counts: map[string]float64{}}
+			families[base] = f
+			order = append(order, base)
+		}
+		return f
+	}
+	touch := func(ln int, base string) *lintFamily {
+		f := getFam(base)
+		if current != base {
+			// Re-entering a family seen before the previous line means the
+			// exposition interleaves families, which scrapers reject.
+			for _, seen := range order[:len(order)-1] {
+				if seen == base && current != "" {
+					fail(ln, "family %q is not contiguous (interleaved with %q)", base, current)
+					break
+				}
+			}
+			current = base
+		}
+		return f
+	}
+
+	lines := strings.Split(exposition, "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := line[len("# HELP "):]
+			name, _, found := strings.Cut(rest, " ")
+			if !found && rest == "" {
+				fail(ln, "malformed HELP comment %q", line)
+				continue
+			}
+			if !found {
+				name = rest // empty help text is legal
+			}
+			if !validMetricName(name) {
+				fail(ln, "HELP for invalid metric name %q", name)
+				continue
+			}
+			f := touch(ln, name)
+			if f.hasHelp {
+				fail(ln, "duplicate HELP for %q", name)
+			}
+			if f.typ != "" {
+				fail(ln, "HELP for %q after its TYPE", name)
+			}
+			f.hasHelp = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				fail(ln, "malformed TYPE comment %q", line)
+				continue
+			}
+			name, typ := fields[2], fields[3]
+			if !validMetricName(name) {
+				fail(ln, "TYPE for invalid metric name %q", name)
+				continue
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				fail(ln, "unknown metric type %q", typ)
+			}
+			f := touch(ln, name)
+			if f.typ != "" {
+				fail(ln, "duplicate TYPE for %q", name)
+			}
+			f.typ = typ
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				fail(ln, "counter %q should end in _total", name)
+			}
+			if typ != "counter" && strings.HasSuffix(name, "_total") {
+				fail(ln, "%s %q must not use the counter suffix _total", typ, name)
+			}
+		case strings.HasPrefix(line, "#"):
+			// Plain comments are legal but this repo never emits them.
+			fail(ln, "unexpected comment %q", line)
+		default:
+			lintSample(line, ln, families, touch, fail)
+		}
+	}
+
+	// Histogram structural invariants, per family and label signature.
+	for _, base := range order {
+		f := families[base]
+		if f.typ == "" {
+			errs = append(errs, fmt.Errorf("family %q has samples but no TYPE", base))
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		sigs := make([]string, 0, len(f.buckets))
+		for sig := range f.buckets {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			samples := f.buckets[sig]
+			label := sig
+			if label == "" {
+				label = "(no labels)"
+			}
+			var prevLe, prevV float64
+			sawInf := false
+			for i, b := range samples {
+				if b.isInf {
+					sawInf = true
+				} else if i > 0 && !samples[i-1].isInf && b.le <= prevLe {
+					errs = append(errs, fmt.Errorf("histogram %s %s: le bounds not ascending at %v", base, label, b.le))
+				}
+				if b.value < prevV {
+					errs = append(errs, fmt.Errorf("histogram %s %s: buckets not cumulative at le=%v (%v < %v)", base, label, b.le, b.value, prevV))
+				}
+				prevLe, prevV = b.le, b.value
+			}
+			if !sawInf {
+				errs = append(errs, fmt.Errorf("histogram %s %s: missing +Inf bucket", base, label))
+			}
+			count, hasCount := f.counts[sig]
+			if !hasCount {
+				errs = append(errs, fmt.Errorf("histogram %s %s: missing _count sample", base, label))
+			}
+			if !f.sums[sig] {
+				errs = append(errs, fmt.Errorf("histogram %s %s: missing _sum sample", base, label))
+			}
+			if sawInf && hasCount && len(samples) > 0 {
+				last := samples[len(samples)-1]
+				if !last.isInf {
+					errs = append(errs, fmt.Errorf("histogram %s %s: +Inf bucket is not the last bucket", base, label))
+				} else if last.value != count {
+					errs = append(errs, fmt.Errorf("histogram %s %s: +Inf bucket %v != _count %v", base, label, last.value, count))
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// lintSample validates one sample line and records histogram state.
+func lintSample(line string, ln int, families map[string]*lintFamily,
+	touch func(int, string) *lintFamily, fail func(int, string, ...any)) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		fail(ln, "no value separator in %q", line)
+		return
+	}
+	key, valStr := line[:sp], line[sp+1:]
+	var value float64
+	switch valStr {
+	case "+Inf", "-Inf", "NaN":
+		// legal literals; value only matters for histogram checks
+	default:
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			fail(ln, "bad sample value %q", valStr)
+			return
+		}
+		value = v
+	}
+
+	name := key
+	labels := map[string]string{}
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		if !strings.HasSuffix(key, "}") {
+			fail(ln, "unterminated label set in %q", line)
+			return
+		}
+		name = key[:i]
+		if !parseLabels(key[i+1:len(key)-1], labels) {
+			fail(ln, "malformed label set in %q", line)
+			return
+		}
+		for lname := range labels {
+			if lname != "le" && lname != "quantile" && !validLabelName(lname) {
+				fail(ln, "invalid label name %q", lname)
+			}
+		}
+	}
+	if !validMetricName(name) {
+		fail(ln, "invalid metric name %q", name)
+		return
+	}
+
+	// Resolve the family: histogram/summary samples use suffixed names.
+	base := name
+	suffix := ""
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		trimmed := strings.TrimSuffix(name, s)
+		if trimmed != name {
+			if f, ok := families[trimmed]; ok && (f.typ == "histogram" || f.typ == "summary") {
+				base, suffix = trimmed, s
+			}
+			break
+		}
+	}
+	f := touch(ln, base)
+	if f.typ == "" && !f.hasHelp {
+		fail(ln, "sample %q precedes its HELP/TYPE comments", name)
+		return
+	}
+	if f.typ != "histogram" {
+		if _, ok := labels["le"]; ok {
+			fail(ln, "non-histogram sample %q carries an le label", name)
+		}
+		return
+	}
+
+	// Histogram bookkeeping keyed by the non-le label signature.
+	sig := labelSignature(labels)
+	switch suffix {
+	case "_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			fail(ln, "histogram bucket %q missing le label", name)
+			return
+		}
+		b := bucketSample{value: value}
+		if le == "+Inf" {
+			b.isInf = true
+		} else {
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				fail(ln, "histogram bucket %q has unparsable le=%q", name, le)
+				return
+			}
+			b.le = bound
+		}
+		f.buckets[sig] = append(f.buckets[sig], b)
+	case "_sum":
+		f.sums[sig] = true
+	case "_count":
+		f.counts[sig] = value
+	default:
+		fail(ln, "histogram family %q has a bare sample %q (want _bucket/_sum/_count)", base, name)
+	}
+}
+
+// parseLabels fills m from the inside of a label set, returning false
+// on syntax errors. Values may contain escaped quotes and commas.
+func parseLabels(s string, m map[string]string) bool {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return false
+		}
+		name := s[:eq]
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return false
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return false // unterminated value
+		}
+		m[name] = rest[1:i]
+		s = rest[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return false
+			}
+			s = s[1:]
+		}
+	}
+	return true
+}
+
+// labelSignature serializes the non-le labels deterministically.
+func labelSignature(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
+}

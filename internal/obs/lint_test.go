@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// fullRegistry builds a registry exercising every family kind the
+// package offers, so the conformance test covers the complete render
+// surface.
+func fullRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("plain_total", "Unlabeled counter.").Add(3)
+	cv := r.CounterVec("labeled_total", "Labeled counter.", "outcome", "method")
+	cv.Add(1, "ok", "GET")
+	cv.Add(2, `with"quote`, "POST")
+	r.Gauge("plain_gauge", "Unlabeled gauge.").Set(1.5)
+	r.GaugeFunc("func_gauge", "Callback gauge.", func() float64 { return 2 })
+	h := r.Histogram("plain_duration_seconds", "Unlabeled histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	hv := r.HistogramVec("labeled_duration_seconds", "Labeled histogram.", DurationBuckets, "stage")
+	hv.Observe(0.2, "fit")
+	hv.Observe(0.0004, "featurize")
+	hv.Observe(120, "fit")
+	return r
+}
+
+func TestLintAcceptsFullRegistry(t *testing.T) {
+	text := render(t, fullRegistry())
+	if errs := Lint(text); len(errs) > 0 {
+		t.Fatalf("conformant exposition rejected:\n%v\n%s", errs, text)
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"bad metric name", "# HELP bad-name x\n# TYPE bad-name counter\nbad-name 1\n", "invalid metric name"},
+		{"counter without _total", "# HELP foo x\n# TYPE foo counter\nfoo 1\n", "should end in _total"},
+		{"gauge with _total", "# HELP foo_total x\n# TYPE foo_total gauge\nfoo_total 1\n", "must not use the counter suffix"},
+		{"sample before type", "orphan_metric 1\n", "precedes its HELP/TYPE"},
+		{"duplicate type", "# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n", "duplicate TYPE"},
+		{"help after type", "# TYPE a_total counter\n# HELP a_total x\na_total 1\n", "after its TYPE"},
+		{"bad value", "# HELP a_total x\n# TYPE a_total counter\na_total abc\n", "bad sample value"},
+		{"unterminated labels", "# HELP a_total x\n# TYPE a_total counter\na_total{k=\"v\" 1\n", "unterminated"},
+		{"invalid label name", "# HELP a_total x\n# TYPE a_total counter\na_total{0bad=\"v\"} 1\n", "invalid label name"},
+		{"le on non-histogram", "# HELP a_total x\n# TYPE a_total counter\na_total{le=\"1\"} 1\n", "le label"},
+		{
+			"interleaved families",
+			"# HELP a_total x\n# TYPE a_total counter\na_total 1\n# HELP b_total x\n# TYPE b_total counter\nb_total 1\na_total{k=\"v\"} 1\n",
+			"not contiguous",
+		},
+		{
+			"non-cumulative buckets",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"missing +Inf bucket",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+			"missing +Inf",
+		},
+		{
+			"+Inf disagrees with count",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+			"!= _count",
+		},
+		{
+			"missing sum",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"missing _sum",
+		},
+		{
+			"unsorted le bounds",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+			"not ascending",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := Lint(tc.text)
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					return
+				}
+			}
+			t.Fatalf("want an error containing %q, got %v", tc.want, errs)
+		})
+	}
+}
+
+func TestLintAcceptsLiteralValues(t *testing.T) {
+	text := "# HELP g x\n# TYPE g gauge\ng NaN\n"
+	if errs := Lint(text); len(errs) > 0 {
+		t.Fatalf("NaN literal rejected: %v", errs)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+// Shared structured-logging setup on log/slog. Every binary registers
+// the same two flags (-log-level, -log-format), calls SetupLogs once,
+// and gets a process-default slog logger tagged with its component
+// name — so operators can grep one consistent field across ppm-serve,
+// ppm-gateway and the batch tools, and flip any binary to JSON logs
+// for ingestion pipelines without code changes.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// LogConfig carries the shared logging flags.
+type LogConfig struct {
+	// Level is the minimum severity: debug, info, warn or error.
+	Level string
+	// Format is the handler encoding: text or json.
+	Format string
+}
+
+// RegisterFlags registers -log-level and -log-format on fs.
+func (c *LogConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Level, "log-level", "info", "minimum log severity (debug, info, warn, error)")
+	fs.StringVar(&c.Format, "log-format", "text", "log encoding (text or json)")
+}
+
+// ParseLevel maps a flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// NewLogger builds a component-tagged slog logger writing to w.
+func NewLogger(component string, cfg LogConfig, w io.Writer) (*slog.Logger, error) {
+	level, err := ParseLevel(cfg.Level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(cfg.Format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", cfg.Format)
+	}
+	return slog.New(h).With("component", component), nil
+}
+
+// SetupLogs builds the component logger on stderr, installs it as the
+// slog AND stdlib-log default (so legacy log.Printf calls inside
+// libraries flow through the same handler), and returns it.
+func SetupLogs(component string, cfg LogConfig) (*slog.Logger, error) {
+	logger, err := NewLogger(component, cfg, os.Stderr)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(logger)
+	return logger, nil
+}
+
+// StdLogger bridges a slog logger to a *log.Logger for APIs that take
+// the stdlib type (e.g. gateway.Config.Logger). Messages are emitted
+// at the given level.
+func StdLogger(logger *slog.Logger, level slog.Level) *log.Logger {
+	return slog.NewLogLogger(logger.Handler(), level)
+}

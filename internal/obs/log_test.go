@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestRegisterFlagsDefaults(t *testing.T) {
+	var cfg LogConfig
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg.RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Level != "info" || cfg.Format != "text" {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if err := fs.Parse([]string{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bogus level accepted")
+	}
+}
+
+func TestNewLoggerTextAndJSON(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger("ppm-test", LogConfig{Level: "warn", Format: "text"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("suppressed")
+	logger.Warn("kept", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "suppressed") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filtering broken:\n%s", out)
+	}
+	if !strings.Contains(out, "component=ppm-test") {
+		t.Fatalf("component field missing:\n%s", out)
+	}
+
+	buf.Reset()
+	logger, err = NewLogger("ppm-test", LogConfig{Level: "info", Format: "json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("hello", "n", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line not parseable: %v\n%s", err, buf.String())
+	}
+	if rec["component"] != "ppm-test" || rec["msg"] != "hello" {
+		t.Fatalf("json record = %v", rec)
+	}
+
+	if _, err := NewLogger("x", LogConfig{Format: "yaml"}, &buf); err == nil {
+		t.Fatal("bogus format accepted")
+	}
+}
+
+func TestStdLoggerBridge(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger("bridge", LogConfig{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := StdLogger(logger, slog.LevelInfo)
+	std.Printf("legacy %d", 42)
+	if !strings.Contains(buf.String(), "legacy 42") || !strings.Contains(buf.String(), "component=bridge") {
+		t.Fatalf("bridge output:\n%s", buf.String())
+	}
+}

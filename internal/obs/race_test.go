@@ -1,0 +1,126 @@
+package obs
+
+// Race-detector coverage for the shared Registry and the span tree:
+// concurrent Inc/Add/Set/Observe against concurrent renders, and
+// concurrent span creation/End against tracer export. Run via the
+// Makefile race gate (`go test -short -race ./internal/obs/...`).
+
+import (
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryConcurrentWritesAndRenders(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_ops_total", "Ops.")
+	cv := r.CounterVec("race_outcomes_total", "Outcomes.", "outcome")
+	g := r.Gauge("race_depth", "Depth.")
+	h := r.HistogramVec("race_duration_seconds", "Latency.", []float64{0.01, 0.1, 1}, "op")
+
+	const writers = 8
+	const perWriter = 500
+	var writeWG, renderWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			outcome := []string{"ok", "error"}[w%2]
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				cv.Add(1, outcome)
+				g.Set(float64(i))
+				h.Observe(float64(i%100)/100, "op")
+			}
+		}(w)
+	}
+
+	// Renders interleave with the writers; every snapshot must be
+	// internally consistent (Lint enforces histogram cumulativity).
+	done := make(chan struct{})
+	errCh := make(chan error, 4)
+	for s := 0; s < 4; s++ {
+		renderWG.Add(1)
+		go func() {
+			defer renderWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var b strings.Builder
+				if _, err := r.WriteTo(&b); err != nil {
+					errCh <- err
+					return
+				}
+				if errs := Lint(b.String()); len(errs) > 0 {
+					errCh <- errs[0]
+					return
+				}
+			}
+		}()
+	}
+
+	writeWG.Wait()
+	close(done)
+	renderWG.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("concurrent render produced non-conformant exposition: %v", err)
+	default:
+	}
+
+	if got := c.Get(); got != writers*perWriter {
+		t.Fatalf("counter = %v, want %v", got, writers*perWriter)
+	}
+	if got := cv.Get("ok") + cv.Get("error"); got != writers*perWriter {
+		t.Fatalf("vec total = %v, want %v", got, writers*perWriter)
+	}
+	if got := h.Count("op"); got != uint64(writers*perWriter) {
+		t.Fatalf("histogram count = %v, want %v", got, writers*perWriter)
+	}
+}
+
+func TestSpanTreeConcurrent(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "parallel_stage")
+
+	var wg sync.WaitGroup
+	// Workers attach children concurrently (mirrors runJobs attaching
+	// per-wave spans) while exporters walk the tree.
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, s := StartSpan(ctx, "job")
+				s.SetMetric("idx", float64(i))
+				s.End()
+			}
+		}()
+	}
+	for e := 0; e < 4; e++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := tr.JSON(); err != nil {
+					t.Error(err)
+					return
+				}
+				root.Report(io.Discard)
+				root.Children()
+				root.Duration()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 8*200 {
+		t.Fatalf("children = %d, want %d", got, 8*200)
+	}
+}

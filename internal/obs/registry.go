@@ -1,0 +1,573 @@
+// Package obs is the repository's unified telemetry layer: a
+// dependency-free metrics registry rendered in Prometheus text
+// exposition format, lightweight wall-time span tracing for the
+// training pipeline, and a shared structured-logging setup on
+// log/slog. Every binary mounts the same surface (GET /metrics,
+// /debug/pprof/*, /debug/spans) through Mount, so operators see one
+// consistent observability contract whether they scrape the serving
+// gateway, the model server, or the batch monitor.
+//
+// The registry is deliberately small — counters, gauges and
+// fixed-bucket histograms, each optionally partitioned by labels —
+// but renders deterministically sorted, conformant exposition text
+// (see Lint) that any Prometheus-compatible scraper accepts. All
+// types are safe for concurrent use; rendering takes each family's
+// lock only long enough to snapshot it, so scrapes never block the
+// hot path for long.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DurationBuckets are the default histogram bounds, in seconds, for
+// request- and stage-duration metrics: 1ms to 10s in a coarse
+// logarithmic grid, plus the slow tail up to 60s for training stages.
+var DurationBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// labelKeySep joins label values into a series key. \xff cannot occur
+// in valid UTF-8 label values produced by this codebase.
+const labelKeySep = "\xff"
+
+// kind enumerates the metric family types.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is the common interface of registered metric families.
+type family interface {
+	meta() familyMeta
+	render(w *expositionWriter)
+}
+
+// familyMeta identifies a family for duplicate-registration checks.
+type familyMeta struct {
+	name   string
+	help   string
+	kind   kind
+	labels string // comma-joined label names
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. The zero value is not usable; create with NewRegistry.
+// All registration methods are get-or-create: re-registering an
+// identical (name, help, kind, labels) family returns the existing
+// one, so independent packages can share a process-global registry
+// without coordination. Conflicting re-registration panics — that is
+// a programming error, caught by the first test that hits it.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]family{}}
+}
+
+// defaultRegistry is the process-global registry used by library
+// instrumentation (core training histograms) and served by binaries
+// that have no per-instance registry of their own.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry.
+func Default() *Registry { return defaultRegistry }
+
+// register implements the get-or-create contract shared by all
+// family constructors.
+func (r *Registry) register(m familyMeta, build func() family) family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.families[m.name]; ok {
+		if existing.meta() != m {
+			panic(fmt.Sprintf("obs: conflicting registration of %q: have %+v, want %+v",
+				m.name, existing.meta(), m))
+		}
+		return existing
+	}
+	if !validMetricName(m.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
+	}
+	for _, l := range strings.Split(m.labels, ",") {
+		if l != "" && !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l, m.name))
+		}
+	}
+	fam := build()
+	r.families[m.name] = fam
+	return fam
+}
+
+// Counter registers (or returns) an unlabeled monotone counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := familyMeta{name: name, help: help, kind: kindCounter}
+	return r.register(m, func() family {
+		return &Counter{m: m}
+	}).(*Counter)
+}
+
+// CounterVec registers (or returns) a counter partitioned by the given
+// labels.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	m := familyMeta{name: name, help: help, kind: kindCounter, labels: strings.Join(labels, ",")}
+	return r.register(m, func() family {
+		return &CounterVec{m: m, labels: labels, vals: map[string]float64{}}
+	}).(*CounterVec)
+}
+
+// Gauge registers (or returns) a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := familyMeta{name: name, help: help, kind: kindGauge}
+	return r.register(m, func() family {
+		return &Gauge{m: m}
+	}).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at every
+// scrape (e.g. a queue depth). fn must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *Gauge {
+	g := r.Gauge(name, help)
+	g.SetFunc(fn)
+	return g
+}
+
+// Histogram registers (or returns) an unlabeled fixed-bucket
+// histogram. bounds must be sorted ascending; the implicit +Inf
+// bucket is always appended.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := familyMeta{name: name, help: help, kind: kindHistogram}
+	return r.register(m, func() family {
+		return &Histogram{m: m, bounds: checkBounds(name, bounds), series: map[string]*histogramSeries{}}
+	}).(*Histogram)
+}
+
+// HistogramVec registers (or returns) a fixed-bucket histogram
+// partitioned by the given labels.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	m := familyMeta{name: name, help: help, kind: kindHistogram, labels: strings.Join(labels, ",")}
+	return r.register(m, func() family {
+		return &HistogramVec{Histogram{m: m, labels: labels, bounds: checkBounds(name, bounds), series: map[string]*histogramSeries{}}}
+	}).(*HistogramVec)
+}
+
+func checkBounds(name string, bounds []float64) []float64 {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly ascending at %v", name, bounds[i]))
+		}
+	}
+	return append([]float64(nil), bounds...)
+}
+
+// WriteTo renders the full exposition: families sorted by name, each
+// family's samples sorted by label values, HELP and TYPE comments
+// first. The output is deterministic for a fixed registry state.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]family, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	ew := &expositionWriter{w: w}
+	for _, fam := range fams {
+		fam.render(ew)
+	}
+	return ew.n, ew.err
+}
+
+// Counter is a monotone unlabeled counter.
+type Counter struct {
+	m familyMeta
+
+	mu  sync.Mutex
+	val float64
+}
+
+func (c *Counter) meta() familyMeta { return c.m }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (negative deltas panic: counters are monotone).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("obs: negative delta %v on counter %s", delta, c.m.name))
+	}
+	c.mu.Lock()
+	c.val += delta
+	c.mu.Unlock()
+}
+
+// Get returns the current value.
+func (c *Counter) Get() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.val
+}
+
+func (c *Counter) render(w *expositionWriter) {
+	w.header(c.m)
+	w.sample(c.m.name, nil, nil, c.Get())
+}
+
+// CounterVec is a monotone counter partitioned by one or more labels.
+type CounterVec struct {
+	m      familyMeta
+	labels []string
+
+	mu   sync.Mutex
+	vals map[string]float64
+}
+
+func (c *CounterVec) meta() familyMeta { return c.m }
+
+// Inc adds 1 to the series identified by labelValues.
+func (c *CounterVec) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+// Add adds delta to the series identified by labelValues, creating it
+// on first use. len(labelValues) must match the registered labels.
+func (c *CounterVec) Add(delta float64, labelValues ...string) {
+	if delta < 0 {
+		panic(fmt.Sprintf("obs: negative delta %v on counter %s", delta, c.m.name))
+	}
+	key := c.key(labelValues)
+	c.mu.Lock()
+	c.vals[key] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the current value of one series (0 if never written).
+func (c *CounterVec) Get(labelValues ...string) float64 {
+	key := c.key(labelValues)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[key]
+}
+
+func (c *CounterVec) key(values []string) string {
+	if len(values) != len(c.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d",
+			c.m.name, len(c.labels), len(values)))
+	}
+	return strings.Join(values, labelKeySep)
+}
+
+func (c *CounterVec) render(w *expositionWriter) {
+	c.mu.Lock()
+	keys := sortedKeys(c.vals)
+	snap := make(map[string]float64, len(c.vals))
+	for k, v := range c.vals {
+		snap[k] = v
+	}
+	c.mu.Unlock()
+	w.header(c.m)
+	for _, k := range keys {
+		w.sample(c.m.name, c.labels, strings.Split(k, labelKeySep), snap[k])
+	}
+}
+
+// Gauge is a settable value, optionally backed by a callback so the
+// rendered value is always current.
+type Gauge struct {
+	m familyMeta
+
+	mu  sync.Mutex
+	val float64
+	fn  func() float64
+}
+
+func (g *Gauge) meta() familyMeta { return g.m }
+
+// Set stores v (ignored at render time if a callback is installed).
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+// Add adds delta to the stored value.
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.val += delta
+	g.mu.Unlock()
+}
+
+// SetFunc installs a callback evaluated at every Get/render.
+func (g *Gauge) SetFunc(fn func() float64) {
+	g.mu.Lock()
+	g.fn = fn
+	g.mu.Unlock()
+}
+
+// Get returns the callback value when installed, else the stored value.
+func (g *Gauge) Get() float64 {
+	g.mu.Lock()
+	fn := g.fn
+	if fn == nil {
+		defer g.mu.Unlock()
+		return g.val
+	}
+	g.mu.Unlock()
+	return fn()
+}
+
+func (g *Gauge) render(w *expositionWriter) {
+	w.header(g.m)
+	w.sample(g.m.name, nil, nil, g.Get())
+}
+
+// histogramSeries is the state of one labeled histogram series.
+type histogramSeries struct {
+	counts []uint64 // per-bound cumulative counts
+	sum    float64
+	count  uint64
+}
+
+// Histogram is a fixed-bucket histogram; the unlabeled form has
+// exactly one series keyed by the empty string.
+type Histogram struct {
+	m      familyMeta
+	labels []string
+	bounds []float64
+
+	mu     sync.Mutex
+	series map[string]*histogramSeries
+}
+
+func (h *Histogram) meta() familyMeta { return h.m }
+
+// Observe records v in the unlabeled series.
+func (h *Histogram) Observe(v float64) { h.observe(v, "") }
+
+// Count returns the unlabeled series' observation count.
+func (h *Histogram) Count() uint64 { return h.count("") }
+
+// Sum returns the unlabeled series' observation sum.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s := h.series[""]; s != nil {
+		return s.sum
+	}
+	return 0
+}
+
+func (h *Histogram) observe(v float64, key string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.series[key]
+	if s == nil {
+		s = &histogramSeries{counts: make([]uint64, len(h.bounds))}
+		h.series[key] = s
+	}
+	for i, bound := range h.bounds {
+		if v <= bound {
+			s.counts[i]++
+		}
+	}
+	s.sum += v
+	s.count++
+}
+
+func (h *Histogram) count(key string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s := h.series[key]; s != nil {
+		return s.count
+	}
+	return 0
+}
+
+func (h *Histogram) render(w *expositionWriter) {
+	h.mu.Lock()
+	keys := sortedKeys(h.series)
+	snap := make(map[string]*histogramSeries, len(h.series))
+	for k, s := range h.series {
+		snap[k] = &histogramSeries{counts: append([]uint64(nil), s.counts...), sum: s.sum, count: s.count}
+	}
+	h.mu.Unlock()
+
+	w.header(h.m)
+	for _, k := range keys {
+		s := snap[k]
+		var values []string
+		if len(h.labels) > 0 {
+			values = strings.Split(k, labelKeySep)
+		}
+		bucketLabels := append(append([]string(nil), h.labels...), "le")
+		for i, bound := range h.bounds {
+			w.sample(h.m.name+"_bucket", bucketLabels, append(append([]string(nil), values...), formatFloat(bound)), float64(s.counts[i]))
+		}
+		w.sample(h.m.name+"_bucket", bucketLabels, append(append([]string(nil), values...), "+Inf"), float64(s.count))
+		w.sample(h.m.name+"_sum", h.labels, values, s.sum)
+		w.sample(h.m.name+"_count", h.labels, values, float64(s.count))
+	}
+}
+
+// HistogramVec is a fixed-bucket histogram partitioned by labels.
+type HistogramVec struct {
+	Histogram
+}
+
+// Observe records v in the series identified by labelValues.
+func (h *HistogramVec) Observe(v float64, labelValues ...string) {
+	h.observe(v, h.key(labelValues))
+}
+
+// Count returns the observation count of one series.
+func (h *HistogramVec) Count(labelValues ...string) uint64 {
+	return h.count(h.key(labelValues))
+}
+
+func (h *HistogramVec) key(values []string) string {
+	if len(values) != len(h.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d",
+			h.m.name, len(h.labels), len(values)))
+	}
+	return strings.Join(values, labelKeySep)
+}
+
+// expositionWriter emits Prometheus text exposition lines, tracking
+// byte count and the first write error.
+type expositionWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (e *expositionWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	n, err := fmt.Fprintf(e.w, format, args...)
+	e.n += int64(n)
+	if err != nil {
+		e.err = err
+	}
+}
+
+func (e *expositionWriter) header(m familyMeta) {
+	e.printf("# HELP %s %s\n# TYPE %s %s\n", m.name, escapeHelp(m.help), m.name, m.kind)
+}
+
+// sample writes one exposition line. Label pairs are rendered sorted
+// by label name, matching the pre-refactor gateway output.
+func (e *expositionWriter) sample(name string, labels, values []string, v float64) {
+	if e.err != nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 {
+		type pair struct{ k, v string }
+		pairs := make([]pair, len(labels))
+		for i := range labels {
+			pairs[i] = pair{labels[i], values[i]}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+		b.WriteByte('{')
+		for i, p := range pairs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			// %q escaping (backslash, quote, \n) is a superset of the
+			// exposition format's label-value escaping rules.
+			fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+		}
+		b.WriteByte('}')
+	}
+	e.printf("%s %s\n", b.String(), formatFloat(v))
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text per the
+// exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || name == "le" { // "le" is reserved for histogram buckets
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

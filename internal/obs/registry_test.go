@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterAndVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_done_total", "Finished jobs.")
+	c.Inc()
+	c.Add(2)
+	if got := c.Get(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+
+	cv := r.CounterVec("requests_total", "Requests by outcome and method.", "outcome", "method")
+	cv.Add(2, "ok", "GET")
+	cv.Inc("error", "POST")
+	if got := cv.Get("ok", "GET"); got != 2 {
+		t.Fatalf("vec get = %v, want 2", got)
+	}
+	if got := cv.Get("never", "seen"); got != 0 {
+		t.Fatalf("unseen series = %v, want 0", got)
+	}
+
+	text := render(t, r)
+	for _, want := range []string{
+		"# HELP jobs_done_total Finished jobs.",
+		"# TYPE jobs_done_total counter",
+		"jobs_done_total 3",
+		`requests_total{method="GET",outcome="ok"} 2`,
+		`requests_total{method="POST",outcome="error"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGaugeAndGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth", "Queue depth.")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Get(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+	v := 7.5
+	r.GaugeFunc("live_value", "Callback gauge.", func() float64 { return v })
+	text := render(t, r)
+	if !strings.Contains(text, "queue_depth 3\n") || !strings.Contains(text, "live_value 7.5\n") {
+		t.Fatalf("exposition:\n%s", text)
+	}
+	v = 9
+	if !strings.Contains(render(t, r), "live_value 9\n") {
+		t.Fatal("gauge func not re-evaluated at render")
+	}
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("op_duration_seconds", "Op latency.", []float64{0.01, 0.1, 1}, "op")
+	h.Observe(0.005, "read")
+	h.Observe(0.05, "read")
+	h.Observe(50, "read") // beyond last bound: only +Inf
+	if got := h.Count("read"); got != 3 {
+		t.Fatalf("count = %v, want 3", got)
+	}
+
+	text := render(t, r)
+	for _, want := range []string{
+		`op_duration_seconds_bucket{le="0.01",op="read"} 1`,
+		`op_duration_seconds_bucket{le="0.1",op="read"} 2`,
+		`op_duration_seconds_bucket{le="1",op="read"} 2`,
+		`op_duration_seconds_bucket{le="+Inf",op="read"} 3`,
+		`op_duration_seconds_count{op="read"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if errs := Lint(text); len(errs) > 0 {
+		t.Fatalf("lint errors: %v", errs)
+	}
+}
+
+func TestGetOrCreateAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "Help.")
+	b := r.Counter("x_total", "Help.")
+	if a != b {
+		t.Fatal("re-registering an identical family must return the same instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting registration must panic")
+		}
+	}()
+	r.Gauge("x_total", "Help.")
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("z_total", "Z.", "k")
+	for _, k := range []string{"b", "a", "c", "aa"} {
+		cv.Inc(k)
+	}
+	r.Gauge("a_gauge", "A.")
+	first := render(t, r)
+	for i := 0; i < 5; i++ {
+		if render(t, r) != first {
+			t.Fatal("rendering is not deterministic")
+		}
+	}
+	// Families sorted by name: a_gauge before z_total.
+	if strings.Index(first, "a_gauge") > strings.Index(first, "z_total") {
+		t.Fatalf("families not sorted:\n%s", first)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("esc_total", "Escapes.", "v")
+	cv.Inc(`quote " backslash \ newline` + "\n")
+	text := render(t, r)
+	if errs := Lint(text); len(errs) > 0 {
+		t.Fatalf("lint rejects escaped label value: %v\n%s", errs, text)
+	}
+	if !strings.Contains(text, `\"`) || !strings.Contains(text, `\\`) || !strings.Contains(text, `\n`) {
+		t.Fatalf("label value not escaped:\n%s", text)
+	}
+}

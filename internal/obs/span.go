@@ -1,0 +1,278 @@
+package obs
+
+// Lightweight span tracing for the training pipeline. A Span measures
+// the wall time of one named stage; spans started under a context that
+// already carries a span become children, so a traced run yields a
+// tree (train_validator -> internal_predictor -> build_meta_dataset).
+// Completed root spans are recorded in a bounded Tracer ring, exported
+// as JSON at /debug/spans and rendered as a human-readable stage
+// report by Report. Tracing never touches the RNG streams, so the
+// determinism contract of DESIGN.md §8 is unaffected.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type spanCtxKey struct{}
+type tracerCtxKey struct{}
+
+// Span is one timed stage. Create with StartSpan and finish with End;
+// all methods are safe for concurrent use (parallel stages may attach
+// children from worker goroutines).
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration // 0 while running
+	metrics  map[string]float64
+	children []*Span
+
+	tracer *Tracer // set on root spans only
+}
+
+// StartSpan begins a span named name. If ctx carries a span, the new
+// span is attached as its child; otherwise it is a root span that will
+// be recorded — on End — into the tracer carried by ctx, or the
+// process-default tracer when none is set. The returned context
+// carries the new span for further nesting.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		parent.addChild(s)
+	} else if tr, ok := ctx.Value(tracerCtxKey{}).(*Tracer); ok && tr != nil {
+		s.tracer = tr
+	} else {
+		s.tracer = defaultTracer
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// WithTracer returns a context whose root spans record into tr.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return context.WithValue(ctx, tracerCtxKey{}, tr)
+}
+
+// End stops the span's clock. Root spans are recorded into their
+// tracer. End is idempotent; only the first call sets the duration.
+func (s *Span) End() {
+	s.mu.Lock()
+	if s.dur != 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.dur = time.Since(s.start)
+	if s.dur == 0 {
+		s.dur = time.Nanosecond // preserve "ended" even on coarse clocks
+	}
+	tr := s.tracer
+	s.mu.Unlock()
+	if tr != nil {
+		tr.record(s)
+	}
+}
+
+// SetMetric attaches a numeric annotation (rows, workers, examples...)
+// shown in the JSON export and the stage report.
+func (s *Span) SetMetric(key string, v float64) {
+	s.mu.Lock()
+	if s.metrics == nil {
+		s.metrics = map[string]float64{}
+	}
+	s.metrics[key] = v
+	s.mu.Unlock()
+}
+
+// Name returns the span's stage name.
+func (s *Span) Name() string { return s.name }
+
+// Duration returns the elapsed time: final once End was called, the
+// running wall time otherwise.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur != 0 {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Children returns a snapshot of the direct child spans.
+func (s *Span) Children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Child returns the first direct child with the given name, or nil.
+func (s *Span) Child(name string) *Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.children {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Metric returns the annotation value and whether it was set.
+func (s *Span) Metric(key string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.metrics[key]
+	return v, ok
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// SpanJSON is the wire form of a span tree (/debug/spans).
+type SpanJSON struct {
+	Name     string             `json:"name"`
+	Start    time.Time          `json:"start"`
+	Seconds  float64            `json:"seconds"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Children []SpanJSON         `json:"children,omitempty"`
+}
+
+// JSON converts the span tree to its exportable form.
+func (s *Span) JSON() SpanJSON {
+	s.mu.Lock()
+	out := SpanJSON{Name: s.name, Start: s.start, Seconds: s.durationLocked().Seconds()}
+	if len(s.metrics) > 0 {
+		out.Metrics = make(map[string]float64, len(s.metrics))
+		for k, v := range s.metrics {
+			out.Metrics[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.JSON())
+	}
+	return out
+}
+
+// durationLocked returns the duration; callers must hold s.mu.
+func (s *Span) durationLocked() time.Duration {
+	if s.dur != 0 {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Report renders the span tree as an indented stage report:
+//
+//	train_predictor                    2.31s  100.0%  rows=880
+//	  build_meta_dataset               1.80s   77.9%  examples=128
+//	  fit_regressor                    0.35s   15.2%
+//
+// Percentages are relative to the root span's duration.
+func (s *Span) Report(w io.Writer) {
+	total := s.Duration().Seconds()
+	if total <= 0 {
+		total = 1
+	}
+	s.report(w, 0, total)
+}
+
+func (s *Span) report(w io.Writer, depth int, total float64) {
+	d := s.Duration()
+	label := strings.Repeat("  ", depth) + s.name
+	line := fmt.Sprintf("%-36s %9s %6.1f%%", label, d.Round(time.Microsecond), 100*d.Seconds()/total)
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.metrics))
+	for k := range s.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		line += fmt.Sprintf("  %s=%g", k, s.metrics[k])
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	fmt.Fprintln(w, line)
+	for _, c := range children {
+		c.report(w, depth+1, total)
+	}
+}
+
+// Tracer retains the most recent completed root spans in a bounded
+// ring, newest last.
+type Tracer struct {
+	mu    sync.Mutex
+	cap   int
+	roots []*Span
+}
+
+// defaultTracer records root spans started without an explicit tracer.
+var defaultTracer = NewTracer(64)
+
+// DefaultTracer returns the process-global tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// NewTracer returns a tracer retaining up to capacity root spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{cap: capacity}
+}
+
+func (t *Tracer) record(root *Span) {
+	t.mu.Lock()
+	t.roots = append(t.roots, root)
+	if len(t.roots) > t.cap {
+		t.roots = t.roots[len(t.roots)-t.cap:]
+	}
+	t.mu.Unlock()
+}
+
+// Traces returns the retained root spans, oldest first.
+func (t *Tracer) Traces() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Last returns the most recently completed root span, or nil.
+func (t *Tracer) Last() *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.roots) == 0 {
+		return nil
+	}
+	return t.roots[len(t.roots)-1]
+}
+
+// JSON marshals the retained traces (oldest first).
+func (t *Tracer) JSON() ([]byte, error) {
+	roots := t.Traces()
+	out := make([]SpanJSON, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, r.JSON())
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Report renders the stage report of every retained trace, oldest
+// first, separated by blank lines.
+func (t *Tracer) Report(w io.Writer) {
+	for i, r := range t.Traces() {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		r.Report(w)
+	}
+}

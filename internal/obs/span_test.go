@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "train")
+	cctx, child := StartSpan(ctx, "meta_dataset")
+	child.SetMetric("examples", 128)
+	_, grand := StartSpan(cctx, "featurize")
+	grand.End()
+	child.End()
+	_, fit := StartSpan(ctx, "fit")
+	fit.End()
+	root.End()
+
+	got := tr.Traces()
+	if len(got) != 1 {
+		t.Fatalf("tracer retained %d roots, want 1 (children must not be recorded as roots)", len(got))
+	}
+	if got[0] != root {
+		t.Fatal("recorded root is not the started root")
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "meta_dataset" || kids[1].Name() != "fit" {
+		t.Fatalf("children = %v", kids)
+	}
+	if root.Child("meta_dataset").Child("featurize") == nil {
+		t.Fatal("grandchild not attached")
+	}
+	if v, ok := root.Child("meta_dataset").Metric("examples"); !ok || v != 128 {
+		t.Fatalf("metric = %v (ok=%v)", v, ok)
+	}
+	if root.Duration() <= 0 {
+		t.Fatal("root duration not positive")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	_, s := StartSpan(context.Background(), "once")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Fatal("second End changed the duration")
+	}
+}
+
+func TestDefaultTracerFallback(t *testing.T) {
+	before := len(DefaultTracer().Traces())
+	_, s := StartSpan(context.Background(), "orphan")
+	s.End()
+	if got := len(DefaultTracer().Traces()); got != before+1 {
+		t.Fatalf("default tracer grew by %d, want 1", got-before)
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(3)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, s := StartSpan(ctx, "burst")
+		s.End()
+	}
+	if got := len(tr.Traces()); got != 3 {
+		t.Fatalf("ring retained %d, want 3", got)
+	}
+}
+
+func TestSpanJSONAndReport(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "pipeline")
+	root.SetMetric("rows", 1000)
+	_, stage := StartSpan(ctx, "stage_a")
+	stage.End()
+	root.End()
+
+	raw, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []SpanJSON
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("JSON export not parseable: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0].Name != "pipeline" || len(decoded[0].Children) != 1 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded[0].Metrics["rows"] != 1000 {
+		t.Fatalf("metrics = %v", decoded[0].Metrics)
+	}
+	if decoded[0].Seconds <= 0 {
+		t.Fatal("root seconds not positive")
+	}
+
+	var b strings.Builder
+	root.Report(&b)
+	report := b.String()
+	if !strings.Contains(report, "pipeline") || !strings.Contains(report, "  stage_a") {
+		t.Fatalf("report:\n%s", report)
+	}
+	if !strings.Contains(report, "rows=1000") {
+		t.Fatalf("report missing metric annotation:\n%s", report)
+	}
+	if !strings.Contains(report, "100.0%") {
+		t.Fatalf("report missing root percentage:\n%s", report)
+	}
+}

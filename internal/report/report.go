@@ -31,6 +31,8 @@ func Markdown(result any) (string, error) {
 		return ablation(r), nil
 	case *experiments.StabilityResult:
 		return stability(r), nil
+	case *experiments.PipelineResult:
+		return pipeline(r), nil
 	default:
 		return "", fmt.Errorf("report: no markdown renderer for %T", result)
 	}
@@ -178,4 +180,19 @@ func ablation(r *experiments.AblationResult) string {
 	}
 	return fmt.Sprintf("### Ablation — %s\n\n%s", r.Study,
 		table([]string{"variant", "MAE", "p90"}, rows))
+}
+
+func pipeline(r *experiments.PipelineResult) string {
+	var rows [][]string
+	for _, st := range r.Stages {
+		pct := 0.0
+		if r.TotalSeconds > 0 {
+			pct = 100 * st.Seconds / r.TotalSeconds
+		}
+		rows = append(rows, []string{st.Path, f3(st.Seconds), fmt.Sprintf("%.1f%%", pct)})
+	}
+	return fmt.Sprintf("### Pipeline benchmark (scale=%s, dataset=%s, model=%s, workers=%d)\n\n%s\nTotal %.3fs, %d rows scored, %.0f rows/sec.\n",
+		r.Scale, r.Dataset, r.Model, r.Workers,
+		table([]string{"stage", "seconds", "share"}, rows),
+		r.TotalSeconds, r.RowsScored, r.RowsPerSec)
 }
