@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test race bench bench-gateway demo
+.PHONY: check lint vet build test race bench bench-gateway demo audit
 
 check: vet build test race
 
@@ -42,6 +42,17 @@ bench-gateway:
 
 # Three-process smoke test: boots ppm-serve and ppm-gateway on
 # loopback, fires a request through the proxy and asserts /metrics
-# scrapes (see scripts/demo.sh).
+# scrapes, then reruns with shadow validation + alerting and drives a
+# corruption ramp through the drift timeline (see scripts/demo.sh).
 demo:
 	bash scripts/demo.sh
+
+# Deep pass over the serving-path observability stack: format/exposition
+# lint, vet, and the race detector (full, not -short) across the
+# telemetry store + alert engine (internal/obs/...), the gateway and the
+# monitor. `make check` stays the broad tier-1 gate; `audit` is the
+# focused one to run after touching the timeline, alerting or
+# correlation code.
+audit: lint
+	$(GO) vet ./internal/obs/... ./internal/gateway/... ./internal/monitor/...
+	$(GO) test -race ./internal/obs/... ./internal/gateway/... ./internal/monitor/...

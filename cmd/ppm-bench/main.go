@@ -10,13 +10,15 @@
 //
 // Experiments: fig2a fig2b fig2c fig2d fig3 fig4 val-known fig5 fig6 fig7
 // fig2a-auc fig2c-auc gen-matrix ablation-step ablation-regressor
-// ablation-size ablation-ks stability pipeline all
+// ablation-size ablation-ks stability pipeline timeline all
 //
 // The pipeline experiment times the end-to-end training pipeline with
 // internal/obs spans and writes the machine-readable breakdown to
-// -pipeline-out (default BENCH_pipeline.json). -trace prints a span
-// report of every traced training run; -log-level and -log-format
-// control structured logging.
+// -pipeline-out (default BENCH_pipeline.json). The timeline experiment
+// measures the drift-timeline store (windows/sec ingest, /timeline
+// render latency) and writes -timeline-out (default
+// BENCH_timeline.json). -trace prints a span report of every traced
+// training run; -log-level and -log-format control structured logging.
 package main
 
 import (
@@ -44,6 +46,8 @@ func main() {
 	trace := flag.Bool("trace", false, "print the per-stage span report of every traced training run to stderr")
 	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json",
 		"file for the machine-readable pipeline benchmark (empty disables; written by -exp pipeline)")
+	timelineOut := flag.String("timeline-out", "BENCH_timeline.json",
+		"file for the machine-readable timeline benchmark (empty disables; written by -exp timeline)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -69,7 +73,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*exp, scale, *format, *pipelineOut); err != nil {
+	if err := run(*exp, scale, *format, *pipelineOut, *timelineOut); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -115,6 +119,7 @@ func runners(scale experiments.Scale) map[string]func() (any, error) {
 			return experiments.Stability(scale, "lr", []int64{1, 2, 3})
 		}),
 		"pipeline": wrap(func() (any, error) { return experiments.PipelineBench(scale) }),
+		"timeline": wrap(func() (any, error) { return experiments.TimelineBench(scale) }),
 	}
 }
 
@@ -124,7 +129,7 @@ var order = []string{
 	"val-known", "fig5", "fig6", "fig7",
 	"fig2a-auc", "fig2c-auc", "gen-matrix-lr", "gen-matrix-xgb",
 	"ablation-step", "ablation-regressor", "ablation-size", "ablation-ks",
-	"stability", "pipeline",
+	"stability", "pipeline", "timeline",
 }
 
 // aliases map legacy/composite ids to runner ids.
@@ -132,7 +137,7 @@ var aliases = map[string][]string{
 	"gen-matrix": {"gen-matrix-lr", "gen-matrix-xgb"},
 }
 
-func run(exp string, scale experiments.Scale, format, pipelineOut string) error {
+func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut string) error {
 	byID := runners(scale)
 	ids := []string{exp}
 	if exp == "all" {
@@ -164,6 +169,12 @@ func run(exp string, scale experiments.Scale, format, pipelineOut string) error 
 				return fmt.Errorf("%s: %w", id, err)
 			}
 			fmt.Printf("pipeline benchmark written to %s\n", pipelineOut)
+		}
+		if tr, ok := result.(*experiments.TimelineResult); ok && timelineOut != "" {
+			if err := writeJSON(timelineOut, tr); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Printf("timeline benchmark written to %s\n", timelineOut)
 		}
 		if exp == "all" {
 			fmt.Printf("--- %s done in %s ---\n\n", id, time.Since(start).Round(time.Millisecond))

@@ -12,12 +12,17 @@
 //	ppm-serve    -dataset income -model xgb -addr 127.0.0.1:8080
 //	ppm-gateway  -backend http://127.0.0.1:8080 -bundle bundle -addr 127.0.0.1:8088
 //
-// Endpoints: POST /predict_proba (proxied), GET /metrics (Prometheus
-// text), GET /status (JSON), GET /healthz (503 while the performance
-// alarm fires), GET /monitor/* (monitor dashboard, with -bundle),
-// GET /debug/pprof/* and /debug/spans (profiling and span traces).
-// Without -bundle the gateway runs as a pure resilience proxy.
-// -log-level and -log-format control structured logging.
+// Endpoints: POST /predict_proba (proxied, X-Request-ID minted and
+// pinned on every response), GET /metrics (Prometheus text), GET
+// /status (JSON), GET /healthz (503 while the performance alarm
+// fires), GET /monitor/* (HTML drift dashboard plus /monitor/timeline
+// JSON, with -bundle), GET /debug/pprof/* and /debug/spans (profiling
+// and span traces). Without -bundle the gateway runs as a pure
+// resilience proxy. -alert-rules loads threshold-for-duration alert
+// rules evaluated on every drift-timeline window close and
+// -alert-webhook POSTs the firing/resolved events to an HTTP endpoint
+// (see ppm-traffic sink). -log-level and -log-format control
+// structured logging.
 package main
 
 import (
@@ -46,6 +51,11 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive backend failures that open the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long the breaker stays open before probing")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain deadline")
+	refresh := flag.Duration("refresh", 5*time.Second, "monitor dashboard auto-refresh interval (<=0 disables)")
+	timelineWindow := flag.Int("timeline-window", 1, "batches aggregated into one drift-timeline window")
+	timelineCapacity := flag.Int("timeline-capacity", 128, "retained drift-timeline windows")
+	alertRules := flag.String("alert-rules", "", "JSON alert rule file (empty = alerting off)")
+	alertWebhook := flag.String("alert-webhook", "", "webhook URL receiving alert events as JSON POSTs")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -55,43 +65,67 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*backend, *bundle, *addr, *hysteresis, *timeout, *retries,
-		*queueSize, *breakerFailures, *breakerCooldown, *drain, logger); err != nil {
+	dashRefresh := *refresh
+	if dashRefresh <= 0 {
+		dashRefresh = -1 // monitor treats negative as "auto-refresh off"
+	}
+	opts := options{
+		backend: *backend, bundle: *bundle, addr: *addr,
+		hysteresis: *hysteresis, timeout: *timeout, retries: *retries,
+		queueSize: *queueSize, breakerFailures: *breakerFailures,
+		breakerCooldown: *breakerCooldown, drain: *drain,
+		refresh: dashRefresh, timelineWindow: *timelineWindow,
+		timelineCapacity: *timelineCapacity,
+		alertRules:       *alertRules, alertWebhook: *alertWebhook,
+	}
+	if err := run(opts, logger); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(backend, bundle, addr string, hysteresis int, timeout time.Duration,
-	retries, queueSize, breakerFailures int, breakerCooldown, drain time.Duration,
-	logger *slog.Logger) error {
+// options carries the parsed flags into run.
+type options struct {
+	backend, bundle, addr            string
+	hysteresis, retries, queueSize   int
+	breakerFailures                  int
+	timeout, breakerCooldown, drain  time.Duration
+	refresh                          time.Duration
+	timelineWindow, timelineCapacity int
+	alertRules, alertWebhook         string
+}
+
+func run(opts options, logger *slog.Logger) error {
 	cfg := gateway.Config{
-		Backend:         backend,
-		RequestTimeout:  timeout,
-		MaxRetries:      retries,
-		ShadowQueueSize: queueSize,
+		Backend:         opts.backend,
+		RequestTimeout:  opts.timeout,
+		MaxRetries:      opts.retries,
+		ShadowQueueSize: opts.queueSize,
 		// Route the gateway's stdlib-style operational log lines through
 		// the structured handler.
 		Logger: obs.StdLogger(logger, slog.LevelInfo),
 		Breaker: gateway.BreakerConfig{
-			FailureThreshold: breakerFailures,
-			Cooldown:         breakerCooldown,
+			FailureThreshold: opts.breakerFailures,
+			Cooldown:         opts.breakerCooldown,
 		},
 	}
 
-	if bundle != "" {
+	if opts.bundle != "" {
 		// The black box stays remote: attach the backend client to the
 		// locally trained validation artifacts.
-		remote := cloud.NewClient(backend)
-		manifest, pred, val, err := cli.LoadServingBundle(bundle, remote)
+		remote := cloud.NewClient(opts.backend)
+		manifest, pred, val, err := cli.LoadServingBundle(opts.bundle, remote)
 		if err != nil {
 			return err
 		}
 		mon, err := monitor.New(monitor.Config{
-			Predictor:  pred,
-			Validator:  val,
-			Threshold:  manifest.Threshold,
-			Hysteresis: hysteresis,
+			Predictor:        pred,
+			Validator:        val,
+			Threshold:        manifest.Threshold,
+			Hysteresis:       opts.hysteresis,
+			TimelineWindow:   opts.timelineWindow,
+			TimelineCapacity: opts.timelineCapacity,
+			DashboardRefresh: opts.refresh,
 		})
 		if err != nil {
 			return err
@@ -99,6 +133,8 @@ func run(backend, bundle, addr string, hysteresis int, timeout time.Duration,
 		cfg.Monitor = mon
 		logger.Info("shadow validation on", "dataset", manifest.Dataset, "model", manifest.Model,
 			"reference_accuracy", manifest.TestScore, "alarm_line", mon.AlarmLine())
+	} else if opts.alertRules != "" {
+		return fmt.Errorf("-alert-rules needs -bundle (no monitor, no drift timeline)")
 	} else {
 		logger.Info("no -bundle given: running as a pure resilience proxy")
 	}
@@ -112,6 +148,21 @@ func run(backend, bundle, addr string, hysteresis int, timeout time.Duration,
 		// Surface the monitor's own families (estimate, alarm line,
 		// batch/violation counters) on the gateway's /metrics endpoint.
 		cfg.Monitor.RegisterMetrics(g.Metrics().Registry())
+		// Alert metrics land on the same registry so one /metrics scrape
+		// covers the proxy, the monitor and the alert engine.
+		_, closeAlerts, err := cli.WireAlerts(cfg.Monitor, cli.AlertOptions{
+			RulesPath:  opts.alertRules,
+			WebhookURL: opts.alertWebhook,
+			Registry:   g.Metrics().Registry(),
+			Logger:     logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer closeAlerts()
+		if opts.alertRules != "" {
+			logger.Info("alerting on", "rules", opts.alertRules, "webhook", opts.alertWebhook)
+		}
 	}
 
 	// The gateway handler owns /metrics (its own registry) plus the
@@ -122,11 +173,11 @@ func run(backend, bundle, addr string, hysteresis int, timeout time.Duration,
 	obs.MountPprof(mux)
 	mux.Handle("/debug/spans", obs.DefaultTracer().Handler())
 
-	logger.Info("proxying", "from", fmt.Sprintf("http://%s/predict_proba", addr),
-		"to", backend+"/predict_proba")
-	logger.Info("observability", "metrics", fmt.Sprintf("http://%s/metrics", addr),
+	logger.Info("proxying", "from", fmt.Sprintf("http://%s/predict_proba", opts.addr),
+		"to", opts.backend+"/predict_proba")
+	logger.Info("observability", "metrics", fmt.Sprintf("http://%s/metrics", opts.addr),
 		"status", "/status", "healthz", "/healthz", "pprof", "/debug/pprof/")
-	if err := gateway.ListenAndServe(addr, mux, drain); err != nil {
+	if err := gateway.ListenAndServe(opts.addr, mux, opts.drain); err != nil {
 		return fmt.Errorf("gateway: %w", err)
 	}
 	return nil

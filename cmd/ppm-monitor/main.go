@@ -4,12 +4,16 @@
 //
 //	ppm-monitor -bundle bundle -watch /var/spool/batches -addr 127.0.0.1:8090
 //
-// Every new .csv file in the watch directory is scored once; GET
-// /summary, /history and /alarming on the dashboard address expose the
-// monitor state as JSON. The dashboard address also serves the shared
+// Every new .csv file in the watch directory is scored once; GET /
+// serves the auto-refreshing HTML drift dashboard (-refresh tunes its
+// poll cadence) and /summary, /history, /alarming and /timeline expose
+// the monitor state as JSON. -alert-rules loads threshold-for-duration
+// alert rules (JSON) evaluated on every timeline window close, and
+// -alert-webhook POSTs the firing/resolved events to an HTTP endpoint
+// (see ppm-traffic sink). The dashboard address also serves the shared
 // observability surface: GET /metrics (Prometheus text exposition with
-// the ppm_monitor_* families), /debug/pprof/* and /debug/spans.
-// -log-level and -log-format control structured logging.
+// the ppm_monitor_* and ppm_alert* families), /debug/pprof/* and
+// /debug/spans. -log-level and -log-format control structured logging.
 package main
 
 import (
@@ -31,6 +35,11 @@ func main() {
 	hysteresis := flag.Int("hysteresis", 1, "consecutive violating batches before alarming")
 	labeled := flag.Bool("labels", false, "batch CSVs carry a trailing label column")
 	maxBatches := flag.Int("max-batches", 0, "stop after N batches (0 = run forever)")
+	refresh := flag.Duration("refresh", 5*time.Second, "dashboard auto-refresh interval (<=0 disables)")
+	timelineWindow := flag.Int("timeline-window", 1, "batches aggregated into one drift-timeline window")
+	timelineCapacity := flag.Int("timeline-capacity", 128, "retained drift-timeline windows")
+	alertRules := flag.String("alert-rules", "", "JSON alert rule file (empty = alerting off)")
+	alertWebhook := flag.String("alert-webhook", "", "webhook URL receiving alert events as JSON POSTs")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -41,24 +50,42 @@ func main() {
 		os.Exit(2)
 	}
 
+	dashRefresh := *refresh
+	if dashRefresh <= 0 {
+		dashRefresh = -1 // monitor treats negative as "auto-refresh off"
+	}
 	mon, run, err := cli.PrepareWatch(cli.WatchOptions{
 		BundleDir: *bundle, WatchDir: *watch, Interval: *interval,
 		Hysteresis: *hysteresis, Labeled: *labeled, MaxBatches: *maxBatches,
+		TimelineWindow: *timelineWindow, TimelineCapacity: *timelineCapacity,
+		DashboardRefresh: dashRefresh,
 	})
 	if err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 	mon.RegisterMetrics(obs.Default())
+	_, closeAlerts, err := cli.WireAlerts(mon, cli.AlertOptions{
+		RulesPath: *alertRules, WebhookURL: *alertWebhook, Logger: logger,
+	})
+	if err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+	defer closeAlerts()
+	if *alertRules != "" {
+		logger.Info("alerting on", "rules", *alertRules, "webhook", *alertWebhook)
+	}
 	if *addr != "" {
 		go func() {
-			// The dashboard JSON endpoints share the mux with the
-			// process metrics, profiling and span traces.
+			// The dashboard (HTML at /, JSON endpoints beside it) shares
+			// the mux with the process metrics, profiling and span traces.
 			mux := http.NewServeMux()
 			mux.Handle("/", mon.Handler())
 			obs.Mount(mux, obs.Default(), obs.DefaultTracer())
 			logger.Info("dashboard up",
-				"summary", fmt.Sprintf("http://%s/summary", *addr),
+				"dashboard", fmt.Sprintf("http://%s/", *addr),
+				"timeline", fmt.Sprintf("http://%s/timeline", *addr),
 				"metrics", fmt.Sprintf("http://%s/metrics", *addr),
 				"pprof", fmt.Sprintf("http://%s/debug/pprof/", *addr))
 			if err := http.ListenAndServe(*addr, mux); err != nil {

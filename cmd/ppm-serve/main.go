@@ -10,8 +10,10 @@
 // Besides POST /predict_proba the server exposes the shared
 // observability surface: GET /metrics (Prometheus text exposition,
 // including request counters and latency histograms), /debug/pprof/*
-// and /debug/spans. -log-level and -log-format control structured
-// logging.
+// and /debug/spans. An incoming X-Request-ID (minted by ppm-gateway)
+// is echoed on the response and attached to the request span, so one
+// correlation id follows a batch end to end. -log-level and
+// -log-format control structured logging.
 package main
 
 import (

@@ -1,0 +1,85 @@
+// Command ppm-traffic drives demo and test workloads against the
+// shadow-validation gateway, and doubles as the webhook receiver the
+// alerting demo needs.
+//
+// Send mode replays a synthetic serving workload with an optional
+// corruption ramp — leading clean batches, then a linearly growing
+// error magnitude — so the drift timeline and alert rules have a
+// deterministic scenario to react to:
+//
+//	ppm-traffic send -target http://127.0.0.1:8088 -dataset income \
+//	    -batches 6 -rows 500 -corrupt scaling -max-magnitude 0.95
+//
+// Sink mode runs a tiny webhook receiver; point -alert-webhook at it
+// and poll GET /count (or /events) to see delivered alerts:
+//
+//	ppm-traffic sink -addr 127.0.0.1:8099
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"blackboxval/internal/cli"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "send":
+		err = runSend(os.Args[2:])
+	case "sink":
+		err = runSink(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppm-traffic:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ppm-traffic send -target URL [-dataset income] [-batches 6] [-rows 500]
+               [-corrupt NAME] [-max-magnitude 0.95] [-clean 2]
+               [-interval 0s] [-seed 1]
+  ppm-traffic sink -addr HOST:PORT`)
+}
+
+func runSend(args []string) error {
+	fs := flag.NewFlagSet("send", flag.ExitOnError)
+	target := fs.String("target", "http://127.0.0.1:8088", "gateway base URL")
+	dataset := fs.String("dataset", "income", "synthetic dataset (income, heart, bank, tweets)")
+	batches := fs.Int("batches", 6, "serving batches to send")
+	rows := fs.Int("rows", 500, "rows per batch")
+	corrupt := fs.String("corrupt", "", "error generator for the ramp (empty = all clean)")
+	maxMagnitude := fs.Float64("max-magnitude", 0.95, "final corruption magnitude of the ramp")
+	clean := fs.Int("clean", 2, "leading clean batches before the ramp")
+	interval := fs.Duration("interval", 0, "pause between batches")
+	seed := fs.Int64("seed", 1, "workload seed")
+	fs.Parse(args)
+	return cli.SendTraffic(cli.TrafficOptions{
+		Target: *target, Dataset: *dataset, Batches: *batches, Rows: *rows,
+		Corrupt: *corrupt, MaxMagnitude: *maxMagnitude, CleanBatches: *clean,
+		Interval: *interval, Seed: *seed,
+	})
+}
+
+func runSink(args []string) error {
+	fs := flag.NewFlagSet("sink", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8099", "sink listen address")
+	fs.Parse(args)
+	sink := &cli.AlertSink{}
+	fmt.Printf("alert sink listening on http://%s (POST /, GET /count, GET /events)\n", *addr)
+	srv := &http.Server{Addr: *addr, Handler: sink.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,71 @@
+package cli
+
+// Alert wiring shared by ppm-monitor and ppm-gateway: both binaries
+// accept -alert-rules/-alert-webhook and hand the parsed flags to
+// WireAlerts, which loads the rule file, builds the engine (plus the
+// webhook notifier when configured), registers the alert metric
+// families and hooks the engine onto the monitor's drift timeline.
+
+import (
+	"fmt"
+	"log/slog"
+
+	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
+	"blackboxval/internal/obs/alert"
+)
+
+// AlertOptions configures WireAlerts.
+type AlertOptions struct {
+	// RulesPath is the JSON rule file (empty = alerting off).
+	RulesPath string
+	// WebhookURL optionally receives alert events as JSON POSTs.
+	WebhookURL string
+	// Registry receives ppm_alerts_total / ppm_alert_active
+	// (nil = obs.Default()).
+	Registry *obs.Registry
+	// Logger receives the structured alert events (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+// WireAlerts attaches an alert engine to the monitor's drift timeline.
+// With an empty RulesPath it is a no-op. The returned close function
+// drains the webhook's delivery queue (call it on shutdown); it is
+// never nil.
+func WireAlerts(mon *monitor.Monitor, opts AlertOptions) (*alert.Engine, func(), error) {
+	if opts.RulesPath == "" {
+		if opts.WebhookURL != "" {
+			return nil, nil, fmt.Errorf("cli: -alert-webhook needs -alert-rules")
+		}
+		return nil, func() {}, nil
+	}
+	rules, err := alert.LoadRules(opts.RulesPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := alert.Config{Rules: rules, Logger: opts.Logger}
+	closer := func() {}
+	if opts.WebhookURL != "" {
+		webhook, err := alert.NewWebhook(alert.WebhookConfig{
+			URL:    opts.WebhookURL,
+			Logger: opts.Logger,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Notifier = webhook
+		closer = webhook.Close
+	}
+	engine, err := alert.New(cfg)
+	if err != nil {
+		closer()
+		return nil, nil, err
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	engine.RegisterMetrics(reg)
+	mon.Timeline().OnWindowClose(engine.Evaluate)
+	return engine, closer, nil
+}

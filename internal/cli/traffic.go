@@ -1,0 +1,168 @@
+package cli
+
+// Traffic generation and the alert sink behind cmd/ppm-traffic: the
+// send side replays a synthetic serving workload through a gateway with
+// an optional corruption ramp (clean batches first, then a linearly
+// growing error magnitude — the deterministic drift scenario used by
+// the demo and the e2e tests), and the sink side is a tiny webhook
+// receiver that scripts can poll to assert an alert actually arrived.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"blackboxval/internal/cloud"
+	"blackboxval/internal/obs"
+)
+
+// TrafficOptions configures SendTraffic.
+type TrafficOptions struct {
+	// Target is the base URL posted to (the gateway), e.g.
+	// "http://127.0.0.1:8088".
+	Target string
+	// Dataset names the synthetic dataset (income, heart, bank, tweets).
+	Dataset string
+	// Batches is how many serving batches to send (default 6).
+	Batches int
+	// Rows per batch (default 500).
+	Rows int
+	// Corrupt names the error generator for the ramp (empty = all clean).
+	Corrupt string
+	// MaxMagnitude is the ramp's final corruption magnitude (default 0.95).
+	MaxMagnitude float64
+	// CleanBatches is how many leading batches stay uncorrupted
+	// (default 2 when Corrupt is set).
+	CleanBatches int
+	// Interval pauses between batches (default none).
+	Interval time.Duration
+	// Seed makes the generated workload reproducible.
+	Seed int64
+	// HTTPClient overrides the transport (tests inject fakes).
+	HTTPClient *http.Client
+	// Out receives one log line per batch (default os.Stdout).
+	Out io.Writer
+}
+
+// SendTraffic generates the workload and posts each batch to
+// Target/predict_proba, logging the status and the X-Request-ID the
+// gateway minted for each. It fails fast on the first non-2xx response.
+func SendTraffic(opts TrafficOptions) error {
+	if opts.Out == nil {
+		opts.Out = os.Stdout
+	}
+	if opts.Batches <= 0 {
+		opts.Batches = 6
+	}
+	if opts.Rows <= 0 {
+		opts.Rows = 500
+	}
+	if opts.MaxMagnitude <= 0 {
+		opts.MaxMagnitude = 0.95
+	}
+	if opts.CleanBatches <= 0 && opts.Corrupt != "" {
+		opts.CleanBatches = 2
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	clean, err := generateDataset(opts.Dataset, opts.Rows, opts.Seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	for i := 0; i < opts.Batches; i++ {
+		batch := clean
+		magnitude := 0.0
+		if opts.Corrupt != "" && i >= opts.CleanBatches {
+			gen, err := GeneratorByName(opts.Corrupt)
+			if err != nil {
+				return err
+			}
+			// Linear ramp over the corrupted tail, ending at MaxMagnitude.
+			corrupted := opts.Batches - opts.CleanBatches
+			magnitude = opts.MaxMagnitude * float64(i-opts.CleanBatches+1) / float64(corrupted)
+			batch = gen.Corrupt(clean, magnitude, rng)
+		}
+		body, err := cloud.EncodeRequest(batch)
+		if err != nil {
+			return err
+		}
+		resp, err := opts.HTTPClient.Post(opts.Target+"/predict_proba", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("cli: batch %d: %w", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			return fmt.Errorf("cli: batch %d: target returned %d", i, resp.StatusCode)
+		}
+		fmt.Fprintf(opts.Out, "batch %d: %d rows, magnitude %.2f, status %d, request_id %s\n",
+			i, opts.Rows, magnitude, resp.StatusCode, resp.Header.Get(obs.RequestIDHeader))
+		if opts.Interval > 0 && i < opts.Batches-1 {
+			time.Sleep(opts.Interval)
+		}
+	}
+	return nil
+}
+
+// AlertSink is an in-memory webhook receiver for demos and tests:
+// POST / stores the JSON body, GET /count and GET /events expose what
+// arrived so shell scripts can poll for delivery.
+type AlertSink struct {
+	mu     sync.Mutex
+	events []json.RawMessage
+}
+
+// Count returns how many events the sink has received.
+func (s *AlertSink) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Handler serves the sink's HTTP surface:
+//
+//	POST /        -> store the JSON body, 204
+//	GET  /count   -> {"count": N}
+//	GET  /events  -> JSON array of the raw stored payloads
+//	GET  /healthz -> 200 ok
+func (s *AlertSink) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/" {
+			http.Error(w, "POST / only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil || !json.Valid(body) {
+			http.Error(w, "invalid JSON body", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		s.events = append(s.events, json.RawMessage(body))
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/count", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"count\": %d}\n", s.Count())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		events := append([]json.RawMessage(nil), s.events...)
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(events)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

@@ -1,0 +1,113 @@
+package cli
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"blackboxval/internal/obs"
+)
+
+func TestSendTrafficRampsCorruption(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/predict_proba" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		n := calls.Add(1)
+		w.Header().Set(obs.RequestIDHeader, fmt.Sprintf("req-%d", n))
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := SendTraffic(TrafficOptions{
+		Target: srv.URL, Dataset: "income", Batches: 4, Rows: 60,
+		Corrupt: "scaling", MaxMagnitude: 0.8, CleanBatches: 2,
+		Seed: 5, Out: &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("backend saw %d batches, want 4", calls.Load())
+	}
+	log := out.String()
+	// Two clean batches, then a linear ramp ending at the max magnitude.
+	if got := strings.Count(log, "magnitude 0.00"); got != 2 {
+		t.Fatalf("clean batches = %d, want 2:\n%s", got, log)
+	}
+	for _, want := range []string{"magnitude 0.40", "magnitude 0.80", "request_id req-1", "request_id req-4"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestSendTrafficFailsOnNon2xx(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	err := SendTraffic(TrafficOptions{
+		Target: srv.URL, Dataset: "income", Batches: 1, Rows: 20, Out: &bytes.Buffer{},
+	})
+	if err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("expected 500 error, got %v", err)
+	}
+}
+
+func TestSendTrafficRejectsUnknownNames(t *testing.T) {
+	if err := SendTraffic(TrafficOptions{
+		Target: "http://127.0.0.1:1", Dataset: "nope", Batches: 1, Out: &bytes.Buffer{},
+	}); err == nil {
+		t.Fatal("unknown dataset should error before any request")
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	if err := SendTraffic(TrafficOptions{
+		Target: srv.URL, Dataset: "income", Batches: 3, Rows: 20,
+		Corrupt: "no-such-generator", Out: &bytes.Buffer{},
+	}); err == nil {
+		t.Fatal("unknown generator should error once the ramp starts")
+	}
+}
+
+func TestAlertSink(t *testing.T) {
+	sink := &AlertSink{}
+	h := sink.Handler()
+
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(method, path, strings.NewReader(body)))
+		return rr
+	}
+
+	if rr := do(http.MethodPost, "/", `{"rule": "r1", "state": "firing"}`); rr.Code != http.StatusNoContent {
+		t.Fatalf("POST valid JSON = %d, want 204", rr.Code)
+	}
+	if rr := do(http.MethodPost, "/", "not json"); rr.Code != http.StatusBadRequest {
+		t.Fatalf("POST invalid JSON = %d, want 400", rr.Code)
+	}
+	if rr := do(http.MethodGet, "/", ""); rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET / = %d, want 405", rr.Code)
+	}
+	if sink.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", sink.Count())
+	}
+	if rr := do(http.MethodGet, "/count", ""); !strings.Contains(rr.Body.String(), `"count": 1`) {
+		t.Fatalf("GET /count = %q", rr.Body.String())
+	}
+	if rr := do(http.MethodGet, "/events", ""); !strings.Contains(rr.Body.String(), `"rule":"r1"`) {
+		t.Fatalf("GET /events = %q", rr.Body.String())
+	}
+	if rr := do(http.MethodGet, "/healthz", ""); rr.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", rr.Code)
+	}
+}

@@ -30,6 +30,15 @@ type WatchOptions struct {
 	// MaxBatches stops the watcher after processing this many batches
 	// (0 = run until Stop is closed). Tests and one-shot runs use this.
 	MaxBatches int
+	// TimelineWindow is how many batches aggregate into one drift-timeline
+	// window (0 = monitor default of 1).
+	TimelineWindow int
+	// TimelineCapacity bounds the retained timeline windows (0 = monitor
+	// default of 128).
+	TimelineCapacity int
+	// DashboardRefresh is the HTML dashboard's auto-refresh interval
+	// (0 = monitor default of 5s; <0 disables auto-refresh).
+	DashboardRefresh time.Duration
 	// Stop terminates the loop when closed.
 	Stop <-chan struct{}
 	// Out receives the per-batch log lines.
@@ -62,10 +71,13 @@ func PrepareWatch(opts WatchOptions) (*monitor.Monitor, func() error, error) {
 		return nil, nil, err
 	}
 	mon, err := monitor.New(monitor.Config{
-		Predictor:  pred,
-		Validator:  val,
-		Threshold:  manifest.Threshold,
-		Hysteresis: opts.Hysteresis,
+		Predictor:        pred,
+		Validator:        val,
+		Threshold:        manifest.Threshold,
+		Hysteresis:       opts.Hysteresis,
+		TimelineWindow:   opts.TimelineWindow,
+		TimelineCapacity: opts.TimelineCapacity,
+		DashboardRefresh: opts.DashboardRefresh,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,122 @@
+package experiments
+
+// TimelineBench measures the drift-timeline store of internal/obs on
+// the two paths production exercises: ingest (Record + Commit of a
+// monitor-shaped batch of series samples, windows closing every
+// WindowBatches commits) and render (the JSON serialization behind the
+// /timeline endpoint, taken from a concurrent-safe snapshot).
+// ppm-bench serializes the result as BENCH_timeline.json so timeline
+// throughput regressions show up in review diffs the same way the
+// pipeline timings do.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"blackboxval/internal/obs"
+)
+
+// timelineSeries mirrors the series the monitor feeds per observed
+// batch (see monitor.feedTimeline): the core verdict series plus the
+// per-class drift statistics for a binary classifier.
+var timelineSeries = []string{
+	"estimate", "alarm", "violation", "batch_size",
+	"ks_max", "ks_class_0", "ks_class_1",
+	"p50_shift_class_0", "p50_shift_class_1",
+}
+
+// TimelineResult is the machine-readable timeline benchmark
+// (BENCH_timeline.json). Render latencies are in milliseconds.
+type TimelineResult struct {
+	Scale          string  `json:"scale"`
+	Batches        int     `json:"batches"`
+	SeriesPerBatch int     `json:"series_per_batch"`
+	WindowBatches  int     `json:"window_batches"`
+	Capacity       int     `json:"capacity"`
+	Windows        int     `json:"windows"`
+	IngestSeconds  float64 `json:"ingest_seconds"`
+	BatchesPerSec  float64 `json:"batches_per_sec"`
+	WindowsPerSec  float64 `json:"windows_per_sec"`
+	Renders        int     `json:"renders"`
+	RenderMeanMs   float64 `json:"render_mean_ms"`
+	RenderMaxMs    float64 `json:"render_max_ms"`
+	RenderBytes    int     `json:"render_bytes"`
+}
+
+// TimelineBench ingests a synthetic monitor workload into a TimeSeries
+// ring at the given scale, then times the JSON render of the full
+// retained timeline. The sample values come from a seeded generator so
+// the serialized output is reproducible for a given scale and seed.
+func TimelineBench(scale Scale) (*TimelineResult, error) {
+	batches, renders := 20_000, 50
+	if scale.Name == "full" {
+		batches, renders = 200_000, 200
+	}
+	const windowBatches, capacity = 8, 256
+
+	ts, err := obs.NewTimeSeries(obs.TimeSeriesConfig{
+		Capacity:      capacity,
+		WindowBatches: windowBatches,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(scale.Seed))
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		for _, name := range timelineSeries {
+			ts.Record(name, rng.Float64())
+		}
+		ts.Commit()
+	}
+	ingest := time.Since(start)
+
+	res := &TimelineResult{
+		Scale:          scale.Name,
+		Batches:        batches,
+		SeriesPerBatch: len(timelineSeries),
+		WindowBatches:  windowBatches,
+		Capacity:       capacity,
+		Windows:        ts.Len(),
+		IngestSeconds:  ingest.Seconds(),
+		Renders:        renders,
+	}
+	if s := ingest.Seconds(); s > 0 {
+		res.BatchesPerSec = float64(batches) / s
+		res.WindowsPerSec = float64(batches/windowBatches) / s
+	}
+
+	// Render path: the snapshot + JSON serialization a /timeline scrape
+	// performs against the fully populated ring.
+	var total, max time.Duration
+	for i := 0; i < renders; i++ {
+		t0 := time.Now()
+		buf, err := json.Marshal(ts.Windows())
+		d := time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: rendering timeline: %w", err)
+		}
+		res.RenderBytes = len(buf)
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	res.RenderMeanMs = total.Seconds() * 1000 / float64(renders)
+	res.RenderMaxMs = max.Seconds() * 1000
+	return res, nil
+}
+
+// Print renders the human-readable throughput summary.
+func (r *TimelineResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Timeline benchmark (scale=%s, %d batches x %d series, window=%d, capacity=%d)\n",
+		r.Scale, r.Batches, r.SeriesPerBatch, r.WindowBatches, r.Capacity)
+	fmt.Fprintf(w, "ingest  %8.3fs  %12.0f batches/sec  %10.0f windows/sec\n",
+		r.IngestSeconds, r.BatchesPerSec, r.WindowsPerSec)
+	fmt.Fprintf(w, "render  %d windows as %d JSON bytes: mean %.3fms, max %.3fms over %d renders\n",
+		r.Windows, r.RenderBytes, r.RenderMeanMs, r.RenderMaxMs, r.Renders)
+}

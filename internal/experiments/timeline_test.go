@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTimelineBench(t *testing.T) {
+	scale := Quick
+	scale.Seed = 1
+	res, err := TimelineBench(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != res.Capacity {
+		t.Fatalf("ring should be full: %d windows, capacity %d", res.Windows, res.Capacity)
+	}
+	if res.Batches%res.WindowBatches != 0 {
+		t.Fatalf("batches %d not a multiple of window %d", res.Batches, res.WindowBatches)
+	}
+	if res.BatchesPerSec <= 0 || res.WindowsPerSec <= 0 {
+		t.Fatalf("throughput missing: %+v", res)
+	}
+	if res.RenderBytes == 0 || res.RenderMeanMs <= 0 || res.RenderMaxMs < res.RenderMeanMs {
+		t.Fatalf("render stats inconsistent: %+v", res)
+	}
+
+	// The serialized form is what lands in BENCH_timeline.json.
+	buf, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"batches_per_sec", "windows_per_sec", "render_mean_ms", "render_bytes"} {
+		if !strings.Contains(string(buf), key) {
+			t.Fatalf("JSON missing %q: %s", key, buf)
+		}
+	}
+
+	var out bytes.Buffer
+	res.Print(&out)
+	if !strings.Contains(out.String(), "batches/sec") {
+		t.Fatalf("text report missing throughput: %s", out.String())
+	}
+}

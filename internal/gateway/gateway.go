@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blackboxval/internal/monitor"
@@ -60,6 +62,9 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logger receives operational messages (nil = standard logger).
 	Logger *log.Logger
+	// Tracer retains per-request span trees for /debug/spans (nil =
+	// obs.DefaultTracer()). Tests inject private tracers here.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) defaults() {
@@ -79,6 +84,9 @@ func (c *Config) defaults() {
 	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.DefaultTracer()
 	}
 }
 
@@ -100,6 +108,15 @@ type Gateway struct {
 	metrics *Metrics
 	shadow  *shadowTap
 
+	// Request-id mint: a random per-process prefix plus a sequence, so
+	// ids from gateway restarts never collide in aggregated logs.
+	idPrefix string
+	idSeq    atomic.Int64
+	// lastFailID remembers the request id of the most recent backend
+	// failure, so a breaker trip can be correlated to the request that
+	// caused it.
+	lastFailID atomic.Value // string
+
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
 }
@@ -115,11 +132,18 @@ func New(cfg Config) (*Gateway, error) {
 		metrics: newMetrics(),
 		jitter:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	g.idPrefix = fmt.Sprintf("gw-%04x", g.jitter.Intn(1<<16))
+	g.lastFailID.Store("")
 	g.breaker = NewBreaker(cfg.Breaker)
 	g.breaker.onTransition = func(to BreakerState) {
 		g.metrics.breakerState.Set(float64(breakerGaugeValue(to)))
 		g.metrics.breakerTransitions.Add(1, to.String())
 		g.cfg.Logger.Printf("gateway: circuit breaker -> %s", to)
+		// Structured trip event with the request id of the most recent
+		// backend failure (empty on success-driven transitions), so a
+		// trip can be traced back to the request that caused it.
+		id, _ := g.lastFailID.Load().(string)
+		slog.Warn("gateway breaker transition", "state", to.String(), "request_id", id)
 	}
 	if cfg.Monitor != nil {
 		g.shadow = newShadowTap(cfg.Monitor, cfg.ShadowQueueSize, cfg.Logger, g.metrics, func(rec monitor.Record) {
@@ -170,7 +194,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.Handle("/metrics", g.metrics.Handler())
 	mux.HandleFunc("/status", g.handleStatus)
 	mux.HandleFunc("/healthz", g.handleHealthz)
-	mux.Handle("/debug/spans", obs.DefaultTracer().Handler())
+	mux.Handle("/debug/spans", g.cfg.Tracer.Handler())
 	obs.MountPprof(mux)
 	if g.cfg.Monitor != nil {
 		mux.Handle("/monitor/", http.StripPrefix("/monitor", g.cfg.Monitor.Handler()))
@@ -178,61 +202,95 @@ func (g *Gateway) Handler() http.Handler {
 	return mux
 }
 
+// mintRequestID returns the next correlation id, e.g. "gw-3f2a-00000017".
+func (g *Gateway) mintRequestID() string {
+	return fmt.Sprintf("%s-%08d", g.idPrefix, g.idSeq.Add(1))
+}
+
 func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+
+	// Correlate before anything can fail: reuse the client's id or mint
+	// one, pin it on the response header (every status class, including
+	// the error paths below), and carry it on the request span.
+	id := r.Header.Get(obs.RequestIDHeader)
+	if id == "" {
+		id = g.mintRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, id)
+	_, span := obs.StartSpan(obs.WithTracer(r.Context(), g.cfg.Tracer), "gateway_request")
+	span.SetAttr("request_id", id)
+
+	outcome := outcomeBadRequest
+	status := http.StatusOK
+	defer func() {
+		span.SetAttr("outcome", outcome)
+		span.SetMetric("status", float64(status))
+		span.End()
+		g.finish(outcome, start)
+		slog.Debug("gateway request", "request_id", id, "outcome", outcome,
+			"status", status, "duration", time.Since(start))
+	}()
+
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		g.finish(outcomeBadRequest, start)
+		status = http.StatusMethodNotAllowed
+		http.Error(w, "POST required", status)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		g.finish(outcomeBadRequest, start)
+		status = http.StatusBadRequest
+		http.Error(w, err.Error(), status)
 		return
 	}
 
 	allowed, retryAfter := g.breaker.Allow()
 	if !allowed {
+		outcome, status = outcomeBreakerOpen, http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
-		http.Error(w, "backend circuit breaker open", http.StatusServiceUnavailable)
-		g.finish(outcomeBreakerOpen, start)
+		http.Error(w, "backend circuit breaker open", status)
 		return
 	}
 
-	resp, err := g.forward(r.Context(), body)
+	resp, err := g.forward(r.Context(), body, id)
 	if err != nil {
+		g.lastFailID.Store(id)
 		g.breaker.Failure()
-		status := http.StatusBadGateway
+		outcome, status = outcomeBackendDown, http.StatusBadGateway
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			status = http.StatusGatewayTimeout
 		}
 		http.Error(w, fmt.Sprintf("backend unavailable: %v", err), status)
-		g.finish(outcomeBackendDown, start)
 		return
 	}
 	g.breaker.Success()
 
 	// Relay the backend response bit-identically: headers, status, body.
+	// The correlation header is already pinned above; skip the backend's
+	// echo of it so the client never sees a duplicate.
 	for k, vs := range resp.header {
+		if http.CanonicalHeaderKey(k) == http.CanonicalHeaderKey(obs.RequestIDHeader) {
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
 	}
+	status = resp.status
 	w.WriteHeader(resp.status)
 	w.Write(resp.body)
 
-	outcome := outcomeOK
+	outcome = outcomeOK
 	switch {
 	case resp.status >= 500:
 		outcome = outcomeUpstream5xx
 	case resp.status >= 400:
 		outcome = outcomeUpstream4xx
 	case g.shadow != nil:
-		// Tap the successful batch for shadow validation, off the hot path.
-		g.shadow.Enqueue(resp.body)
+		// Tap the successful batch for shadow validation, off the hot
+		// path; the id rides along into the monitor observation.
+		g.shadow.Enqueue(resp.body, id)
 	}
-	g.finish(outcome, start)
 }
 
 // backendResponse is a fully buffered backend reply.
@@ -254,10 +312,10 @@ func transientStatus(code int) bool {
 // response, or the last failure once the retry budget is exhausted —
 // a persistent transient failure surfaces as an error so the breaker
 // counts it.
-func (g *Gateway) forward(ctx context.Context, body []byte) (*backendResponse, error) {
+func (g *Gateway) forward(ctx context.Context, body []byte, id string) (*backendResponse, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, err := g.attempt(ctx, body)
+		resp, err := g.attempt(ctx, body, id)
 		var reason string
 		switch {
 		case err != nil:
@@ -282,7 +340,7 @@ func (g *Gateway) forward(ctx context.Context, body []byte) (*backendResponse, e
 	}
 }
 
-func (g *Gateway) attempt(ctx context.Context, body []byte) (*backendResponse, error) {
+func (g *Gateway) attempt(ctx context.Context, body []byte, id string) (*backendResponse, error) {
 	attemptCtx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, g.cfg.Backend+"/predict_proba", bytes.NewReader(body))
@@ -290,6 +348,7 @@ func (g *Gateway) attempt(ctx context.Context, body []byte) (*backendResponse, e
 		return nil, fmt.Errorf("building backend request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, id)
 	client := g.cfg.HTTPClient
 	if client == nil {
 		client = http.DefaultClient

@@ -415,9 +415,9 @@ func TestShadowQueueDropsOldest(t *testing.T) {
 		done:    make(chan struct{}),
 		metrics: newMetrics(),
 	}
-	tap.Enqueue([]byte("a"))
-	tap.Enqueue([]byte("b"))
-	tap.Enqueue([]byte("c"))
+	tap.Enqueue([]byte("a"), "id-a")
+	tap.Enqueue([]byte("b"), "id-b")
+	tap.Enqueue([]byte("c"), "id-c")
 	if tap.Depth() != 2 {
 		t.Fatalf("depth = %d, want 2", tap.Depth())
 	}
@@ -426,8 +426,11 @@ func TestShadowQueueDropsOldest(t *testing.T) {
 	}
 	first, _ := tap.pop()
 	second, _ := tap.pop()
-	if string(first) != "b" || string(second) != "c" {
-		t.Fatalf("queue kept %q,%q — oldest should have been evicted", first, second)
+	if string(first.body) != "b" || string(second.body) != "c" {
+		t.Fatalf("queue kept %q,%q — oldest should have been evicted", first.body, second.body)
+	}
+	if first.requestID != "id-b" || second.requestID != "id-c" {
+		t.Fatalf("request ids did not ride along: %q,%q", first.requestID, second.requestID)
 	}
 	if _, ok := tap.pop(); ok {
 		t.Fatal("queue should be empty")

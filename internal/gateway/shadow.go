@@ -20,7 +20,7 @@ type shadowTap struct {
 	metrics *Metrics
 
 	mu    sync.Mutex
-	queue [][]byte // bounded FIFO of raw /predict_proba response bodies
+	queue []shadowItem // bounded FIFO of raw /predict_proba response bodies
 	cap   int
 	wake  chan struct{} // 1-buffered worker doorbell
 	done  chan struct{}
@@ -50,15 +50,23 @@ func newShadowTap(mon *monitor.Monitor, capacity int, logger *log.Logger, metric
 	return t
 }
 
-// Enqueue hands one raw response body to the tap. It never blocks: when
-// the queue is full the oldest pending batch is evicted.
-func (t *shadowTap) Enqueue(body []byte) {
+// shadowItem is one queued batch: the raw backend response plus the
+// correlation id of the serving request that produced it.
+type shadowItem struct {
+	body      []byte
+	requestID string
+}
+
+// Enqueue hands one raw response body and its request id to the tap. It
+// never blocks: when the queue is full the oldest pending batch is
+// evicted.
+func (t *shadowTap) Enqueue(body []byte, requestID string) {
 	t.mu.Lock()
 	if len(t.queue) >= t.cap {
 		t.queue = t.queue[1:]
 		t.metrics.shadowDropped.Add(1, "dropped")
 	}
-	t.queue = append(t.queue, body)
+	t.queue = append(t.queue, shadowItem{body: body, requestID: requestID})
 	t.mu.Unlock()
 	select {
 	case t.wake <- struct{}{}:
@@ -85,9 +93,9 @@ func (t *shadowTap) Close() {
 func (t *shadowTap) run() {
 	defer t.wg.Done()
 	for {
-		body, ok := t.pop()
+		item, ok := t.pop()
 		if ok {
-			t.observe(body)
+			t.observe(item)
 			continue
 		}
 		select {
@@ -96,29 +104,29 @@ func (t *shadowTap) run() {
 			// Drain whatever is left so no observed batch is lost on
 			// graceful shutdown, then exit.
 			for {
-				body, ok := t.pop()
+				item, ok := t.pop()
 				if !ok {
 					return
 				}
-				t.observe(body)
+				t.observe(item)
 			}
 		}
 	}
 }
 
-func (t *shadowTap) pop() ([]byte, bool) {
+func (t *shadowTap) pop() (shadowItem, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.queue) == 0 {
-		return nil, false
+		return shadowItem{}, false
 	}
-	body := t.queue[0]
+	item := t.queue[0]
 	t.queue = t.queue[1:]
-	return body, true
+	return item, true
 }
 
-func (t *shadowTap) observe(body []byte) {
-	proba, _, err := cloud.ParseProbaResponse(body)
+func (t *shadowTap) observe(item shadowItem) {
+	proba, _, err := cloud.ParseProbaResponse(item.body)
 	if err != nil || proba.Rows == 0 {
 		t.metrics.shadowDropped.Add(1, "undecodable")
 		if err != nil && t.logger != nil {
@@ -126,7 +134,7 @@ func (t *shadowTap) observe(body []byte) {
 		}
 		return
 	}
-	rec := t.mon.ObserveProba(proba)
+	rec := t.mon.ObserveProbaID(proba, item.requestID)
 	t.observed.Add(1)
 	t.metrics.shadowDropped.Add(1, "observed")
 	if t.onRecord != nil {

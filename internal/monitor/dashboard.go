@@ -1,0 +1,144 @@
+package monitor
+
+// The HTML drift dashboard served at the monitor's root: a static page
+// whose inline script polls GET /timeline and redraws an estimate
+// sparkline against the alarm line, the KS drift trace and a recent-
+// window table. The refresh cadence is configured server-side
+// (Config.DashboardRefresh) and delivered to the page inside the
+// timeline document, so operators tune it with a flag, not by editing
+// JavaScript.
+
+import (
+	"fmt"
+	"net/http"
+
+	"blackboxval/internal/obs"
+)
+
+// TimelineDoc is the JSON document served at GET /timeline.
+type TimelineDoc struct {
+	// AlarmLine is the score below which a batch violates.
+	AlarmLine float64 `json:"alarm_line"`
+	// WindowBatches is how many batches aggregate into one window.
+	WindowBatches int `json:"window_batches"`
+	// Capacity is the ring bound on retained windows.
+	Capacity int `json:"capacity"`
+	// RefreshMillis is the dashboard's poll interval (0 = no auto-refresh).
+	RefreshMillis int `json:"refresh_ms"`
+	// Alarming is the monitor's live alarm state.
+	Alarming bool `json:"alarming"`
+	// Windows are the retained closed windows, oldest first.
+	Windows []obs.Window `json:"windows"`
+}
+
+// TimelineDoc snapshots the drift timeline for the JSON endpoint.
+func (m *Monitor) TimelineDoc() TimelineDoc {
+	return TimelineDoc{
+		AlarmLine:     m.AlarmLine(),
+		WindowBatches: m.timeline.WindowBatches(),
+		Capacity:      m.timeline.Capacity(),
+		RefreshMillis: int(m.DashboardRefresh().Milliseconds()),
+		Alarming:      m.Alarming(),
+		Windows:       m.timeline.Windows(),
+	}
+}
+
+func (m *Monitor) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML)
+}
+
+// dashboardHTML is deliberately dependency-free: no template engine, no
+// asset pipeline, one fetch target. The page reads every dynamic value —
+// including its own refresh interval — from /timeline.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>ppm drift timeline</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #222; }
+  h1 { font-size: 1.2rem; }
+  .status { margin: .5rem 0 1rem; }
+  .badge { padding: .15rem .5rem; border-radius: .25rem; color: #fff; }
+  .ok { background: #2a7d2a; }
+  .alarm { background: #b02a2a; }
+  svg { border: 1px solid #ddd; background: #fafafa; }
+  table { border-collapse: collapse; margin-top: 1rem; }
+  th, td { border: 1px solid #ccc; padding: .25rem .6rem; text-align: right; }
+  th { background: #f0f0f0; }
+  td.alarming { background: #f6d5d5; }
+  .meta { color: #666; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>Performance-predictor drift timeline</h1>
+<div class="status">
+  state: <span id="state" class="badge ok">loading…</span>
+  <span class="meta" id="meta"></span>
+</div>
+<svg id="chart" width="720" height="160" viewBox="0 0 720 160"></svg>
+<table>
+  <thead><tr><th>window</th><th>batches</th><th>estimate</th><th>ks_max</th><th>alarm</th></tr></thead>
+  <tbody id="rows"></tbody>
+</table>
+<script>
+"use strict";
+function line(points, color) {
+  if (!points.length) return "";
+  var d = points.map(function (p, i) { return (i ? "L" : "M") + p[0].toFixed(1) + " " + p[1].toFixed(1); }).join(" ");
+  return '<path d="' + d + '" fill="none" stroke="' + color + '" stroke-width="1.5"/>';
+}
+function seriesMean(w, name) {
+  var a = w.series && w.series[name];
+  return a && a.count ? a.sum / a.count : null;
+}
+function render(doc) {
+  var windows = doc.windows || [];
+  var state = document.getElementById("state");
+  state.textContent = doc.alarming ? "ALARM" : "ok";
+  state.className = "badge " + (doc.alarming ? "alarm" : "ok");
+  document.getElementById("meta").textContent =
+    windows.length + " windows · " + doc.window_batches + " batch(es)/window · alarm line " +
+    doc.alarm_line.toFixed(4) + (doc.refresh_ms > 0 ? " · refresh " + doc.refresh_ms + "ms" : "");
+
+  var W = 720, H = 160, pad = 8;
+  var xs = function (i) { return windows.length < 2 ? W / 2 : pad + i * (W - 2 * pad) / (windows.length - 1); };
+  var ys = function (v) { return H - pad - v * (H - 2 * pad); }; // scores live in [0,1]
+  var est = [], ks = [];
+  windows.forEach(function (w, i) {
+    var e = seriesMean(w, "estimate"); if (e !== null) est.push([xs(i), ys(Math.max(0, Math.min(1, e)))]);
+    var k = seriesMean(w, "ks_max"); if (k !== null) ks.push([xs(i), ys(Math.max(0, Math.min(1, k)))]);
+  });
+  var alarmY = ys(Math.max(0, Math.min(1, doc.alarm_line)));
+  document.getElementById("chart").innerHTML =
+    '<line x1="0" x2="' + W + '" y1="' + alarmY + '" y2="' + alarmY + '" stroke="#b02a2a" stroke-dasharray="4 3"/>' +
+    line(est, "#2255aa") + line(ks, "#cc8800");
+
+  var rows = windows.slice(-12).reverse().map(function (w) {
+    var e = seriesMean(w, "estimate"), k = seriesMean(w, "ks_max"), a = seriesMean(w, "alarm");
+    return "<tr><td>" + w.index + "</td><td>" + w.batches + "</td><td>" +
+      (e === null ? "–" : e.toFixed(4)) + "</td><td>" + (k === null ? "–" : k.toFixed(4)) +
+      '</td><td class="' + (a ? "alarming" : "") + '">' + (a ? "yes" : "no") + "</td></tr>";
+  });
+  document.getElementById("rows").innerHTML = rows.join("");
+}
+function poll() {
+  fetch("timeline").then(function (r) { return r.json(); }).then(function (doc) {
+    render(doc);
+    if (doc.refresh_ms > 0) setTimeout(poll, doc.refresh_ms);
+  }).catch(function () { setTimeout(poll, 5000); });
+}
+poll();
+</script>
+</body>
+</html>
+`

@@ -10,15 +10,25 @@ import (
 // Handler exposes the monitor's state over HTTP for dashboards and
 // scrapers:
 //
+//	GET /                 -> HTML drift dashboard (auto-refreshing)
 //	GET /summary          -> Summary as JSON
 //	GET /history?limit=N  -> the most recent N records (default all retained)
 //	GET /alarming         -> {"alarming": bool, "alarm_line": x}
+//	GET /timeline         -> TimelineDoc: the windowed drift timeline as JSON
 //	GET /healthz          -> 200 ok
 //
 // Mount it next to the prediction service so the validation state ships
 // with the model.
 func (m *Monitor) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/", m.handleDashboard)
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, m.TimelineDoc())
+	})
 	mux.HandleFunc("/summary", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)

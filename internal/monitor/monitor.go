@@ -11,11 +11,13 @@ package monitor
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"blackboxval/internal/core"
 	"blackboxval/internal/data"
 	"blackboxval/internal/linalg"
 	"blackboxval/internal/obs"
+	"blackboxval/internal/stats"
 )
 
 // Config configures a Monitor.
@@ -38,6 +40,15 @@ type Config struct {
 	// window for row-level observation via ObserveRow (default 500).
 	// Batch-level Observe/ObserveProba ignore it.
 	WindowSize int
+	// TimelineWindow is how many observed batches aggregate into one
+	// drift-timeline window (default 1: one window per batch).
+	TimelineWindow int
+	// TimelineCapacity bounds the retained closed timeline windows
+	// (default 128).
+	TimelineCapacity int
+	// DashboardRefresh is the auto-refresh interval of the HTML
+	// dashboard's /timeline poll (default 5s; <0 disables auto-refresh).
+	DashboardRefresh time.Duration
 }
 
 func (c *Config) defaults() {
@@ -52,6 +63,15 @@ func (c *Config) defaults() {
 	}
 	if c.WindowSize == 0 {
 		c.WindowSize = 500
+	}
+	if c.TimelineWindow <= 0 {
+		c.TimelineWindow = 1
+	}
+	if c.TimelineCapacity <= 0 {
+		c.TimelineCapacity = 128
+	}
+	if c.DashboardRefresh == 0 {
+		c.DashboardRefresh = 5 * time.Second
 	}
 }
 
@@ -73,6 +93,21 @@ type Record struct {
 	// Alarming reports the monitor state after this batch, i.e. whether
 	// the hysteresis run length has been reached.
 	Alarming bool
+	// RequestID is the end-to-end correlation id of the serving request
+	// that produced this batch (empty when the caller did not carry one,
+	// e.g. file-watch batches or ObserveRow windows).
+	RequestID string `json:",omitempty"`
+	// KS holds the per-class two-sample Kolmogorov–Smirnov D statistic
+	// between this batch's output column and the held-out test outputs.
+	// Nil for row-streamed windows (no full output sample available).
+	KS []float64 `json:",omitempty"`
+	// KSMax is the largest per-class KS statistic — the headline drift
+	// signal for the timeline.
+	KSMax float64 `json:",omitempty"`
+	// P50Shift is the per-class shift of the output median against the
+	// test outputs (serving p50 minus test p50). Nil for row-streamed
+	// windows.
+	P50Shift []float64 `json:",omitempty"`
 }
 
 // Monitor tracks the estimated performance of one deployed model. It is
@@ -80,6 +115,15 @@ type Record struct {
 type Monitor struct {
 	cfg  Config
 	line float64 // alarm line: (1-t) * testScore
+
+	// timeline is the windowed drift store fed by commit; it has its own
+	// lock and is fed outside m.mu, so OnWindowClose hooks (the alert
+	// engine) may call back into the monitor.
+	timeline *obs.TimeSeries
+	// refCols / refP50 are the per-class reference distributions (held-out
+	// test outputs) that serving batches drift against.
+	refCols [][]float64
+	refP50  []float64
 
 	mu      sync.Mutex
 	seq     int
@@ -106,10 +150,27 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.Hysteresis < 1 {
 		return nil, fmt.Errorf("monitor: hysteresis must be >= 1")
 	}
-	return &Monitor{
-		cfg:  cfg,
-		line: (1 - cfg.Threshold) * cfg.Predictor.TestScore(),
-	}, nil
+	timeline, err := obs.NewTimeSeries(obs.TimeSeriesConfig{
+		Capacity:      cfg.TimelineCapacity,
+		WindowBatches: cfg.TimelineWindow,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %w", err)
+	}
+	m := &Monitor{
+		cfg:      cfg,
+		line:     (1 - cfg.Threshold) * cfg.Predictor.TestScore(),
+		timeline: timeline,
+	}
+	if ref := cfg.Predictor.TestOutputs(); ref != nil && ref.Rows > 0 {
+		m.refCols = make([][]float64, ref.Cols)
+		m.refP50 = make([]float64, ref.Cols)
+		for c := 0; c < ref.Cols; c++ {
+			m.refCols[c] = ref.Col(c)
+			m.refP50[c] = stats.Percentile(m.refCols[c], 50)
+		}
+	}
+	return m, nil
 }
 
 // Observe runs the black box on the batch and records the outcome. Use
@@ -121,24 +182,56 @@ func (m *Monitor) Observe(batch *data.Dataset) Record {
 
 // ObserveProba records the outcome for a batch of model outputs.
 func (m *Monitor) ObserveProba(proba *linalg.Matrix) Record {
+	return m.ObserveProbaID(proba, "")
+}
+
+// ObserveProbaID is ObserveProba with an end-to-end correlation id: the
+// gateway passes the request's X-Request-ID so a serving request can be
+// traced from proxy log to shadow-validation verdict.
+func (m *Monitor) ObserveProbaID(proba *linalg.Matrix, requestID string) Record {
 	estimate := m.cfg.Predictor.EstimateFromProba(proba)
 	rec := Record{
 		Size:              proba.Rows,
 		Estimate:          estimate,
 		EstimateViolation: estimate < m.line,
+		RequestID:         requestID,
 	}
 	if m.cfg.Validator != nil {
 		rec.ValidatorViolation = m.cfg.Validator.ViolationFromProba(proba)
 	}
 	rec.Violating = rec.EstimateViolation || rec.ValidatorViolation
+	m.drift(&rec, proba)
 	m.commit(&rec)
 	return rec
 }
 
-// commit applies the hysteresis state machine and appends to history.
+// drift fills the per-class distribution-shift statistics: the
+// two-sample KS D between each serving output column and the held-out
+// test outputs, and the shift of the column median. Skipped when the
+// predictor kept no test outputs or the batch's class count disagrees
+// with the reference (a misconfigured backend should not panic the
+// monitor).
+func (m *Monitor) drift(rec *Record, proba *linalg.Matrix) {
+	if m.refCols == nil || proba.Cols != len(m.refCols) || proba.Rows == 0 {
+		return
+	}
+	rec.KS = make([]float64, proba.Cols)
+	rec.P50Shift = make([]float64, proba.Cols)
+	for c := 0; c < proba.Cols; c++ {
+		col := proba.Col(c)
+		rec.KS[c] = stats.KolmogorovSmirnov(col, m.refCols[c]).Statistic
+		rec.P50Shift[c] = stats.Percentile(col, 50) - m.refP50[c]
+		if rec.KS[c] > rec.KSMax {
+			rec.KSMax = rec.KS[c]
+		}
+	}
+}
+
+// commit applies the hysteresis state machine, appends to history and
+// feeds the drift timeline. The timeline is fed after m.mu is released:
+// window-close hooks run on this goroutine and may read the monitor.
 func (m *Monitor) commit(rec *Record) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	rec.Seq = m.seq
 	m.seq++
 	if rec.Violating {
@@ -163,6 +256,33 @@ func (m *Monitor) commit(rec *Record) {
 			m.alarmsMetric.Inc()
 		}
 	}
+	m.mu.Unlock()
+	m.feedTimeline(rec)
+}
+
+// feedTimeline appends one record's signals to the drift timeline as a
+// committed batch. Series names are stable API: dashboards and alert
+// rules address them.
+func (m *Monitor) feedTimeline(rec *Record) {
+	m.timeline.Record("estimate", rec.Estimate)
+	m.timeline.Record("alarm", boolSeries(rec.Alarming))
+	m.timeline.Record("violation", boolSeries(rec.Violating))
+	m.timeline.Record("batch_size", float64(rec.Size))
+	if rec.KS != nil {
+		m.timeline.Record("ks_max", rec.KSMax)
+		for c := range rec.KS {
+			m.timeline.Record(fmt.Sprintf("ks_class_%d", c), rec.KS[c])
+			m.timeline.Record(fmt.Sprintf("p50_shift_class_%d", c), rec.P50Shift[c])
+		}
+	}
+	m.timeline.Commit()
+}
+
+func boolSeries(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // ObserveRow consumes a single model output (one prediction's probability
@@ -207,6 +327,20 @@ func (m *Monitor) Alarming() bool {
 
 // AlarmLine returns the score below which a batch counts as violating.
 func (m *Monitor) AlarmLine() float64 { return m.line }
+
+// Timeline returns the windowed drift store. Register alert engines on
+// it with Timeline().OnWindowClose(engine.Evaluate) before traffic
+// starts.
+func (m *Monitor) Timeline() *obs.TimeSeries { return m.timeline }
+
+// DashboardRefresh returns the configured dashboard auto-refresh
+// interval (<= 0 means auto-refresh is disabled).
+func (m *Monitor) DashboardRefresh() time.Duration {
+	if m.cfg.DashboardRefresh < 0 {
+		return 0
+	}
+	return m.cfg.DashboardRefresh
+}
 
 // History returns a copy of the retained per-batch records, oldest first.
 func (m *Monitor) History() []Record {

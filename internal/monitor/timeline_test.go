@@ -1,0 +1,197 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"blackboxval/internal/errorgen"
+)
+
+func TestTimelineFeedAndDriftStats(t *testing.T) {
+	f := getFixture(t)
+	m, err := New(Config{Predictor: f.pred, Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRec := m.Observe(f.serving)
+	if cleanRec.KS == nil || cleanRec.P50Shift == nil {
+		t.Fatal("drift stats missing on a batch observation")
+	}
+	classes := f.pred.TestOutputs().Cols
+	if len(cleanRec.KS) != classes || len(cleanRec.P50Shift) != classes {
+		t.Fatalf("drift stats have %d/%d entries, want %d classes",
+			len(cleanRec.KS), len(cleanRec.P50Shift), classes)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	broken := errorgen.Scaling{}.Corrupt(f.serving, 0.95, rng)
+	brokenRec := m.Observe(broken)
+	if brokenRec.KSMax <= cleanRec.KSMax {
+		t.Fatalf("corruption should raise KSMax: clean %v broken %v",
+			cleanRec.KSMax, brokenRec.KSMax)
+	}
+
+	windows := m.Timeline().Windows()
+	if len(windows) != 2 {
+		t.Fatalf("timeline windows = %d, want 2", len(windows))
+	}
+	last := windows[1]
+	for _, series := range []string{"estimate", "alarm", "violation", "batch_size", "ks_max"} {
+		if _, ok := last.Series[series]; !ok {
+			t.Fatalf("timeline window missing series %q (have %v)", series, last.Series)
+		}
+	}
+	if got := last.Series["estimate"].Last; got != brokenRec.Estimate {
+		t.Fatalf("timeline estimate = %v, want %v", got, brokenRec.Estimate)
+	}
+	if got := last.Series["ks_max"].Last; got != brokenRec.KSMax {
+		t.Fatalf("timeline ks_max = %v, want %v", got, brokenRec.KSMax)
+	}
+	if _, ok := last.Series["ks_class_0"]; !ok {
+		t.Fatal("per-class KS series missing")
+	}
+	if _, ok := last.Series["p50_shift_class_0"]; !ok {
+		t.Fatal("per-class p50 shift series missing")
+	}
+}
+
+func TestTimelineWindowAggregation(t *testing.T) {
+	f := getFixture(t)
+	m, err := New(Config{Predictor: f.pred, TimelineWindow: 2, TimelineCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := f.model.PredictProba(f.serving)
+	for i := 0; i < 4; i++ {
+		m.ObserveProba(proba)
+	}
+	windows := m.Timeline().Windows()
+	if len(windows) != 2 {
+		t.Fatalf("4 batches at 2/window -> %d windows, want 2", len(windows))
+	}
+	if windows[0].Batches != 2 || windows[0].Series["estimate"].Count != 2 {
+		t.Fatalf("window aggregation = %+v", windows[0])
+	}
+}
+
+func TestObserveProbaIDCarriesRequestID(t *testing.T) {
+	f := getFixture(t)
+	m, err := New(Config{Predictor: f.pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := f.model.PredictProba(f.serving)
+	rec := m.ObserveProbaID(proba, "gw-00000042")
+	if rec.RequestID != "gw-00000042" {
+		t.Fatalf("record request id = %q", rec.RequestID)
+	}
+	hist := m.History()
+	if hist[len(hist)-1].RequestID != "gw-00000042" {
+		t.Fatal("request id not retained in history")
+	}
+	// Plain ObserveProba leaves the id empty and omits it from JSON.
+	m.ObserveProba(proba)
+	buf, err := json.Marshal(m.History())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"RequestID":"gw-00000042"`) {
+		t.Fatalf("history JSON missing request id: %s", buf)
+	}
+	if strings.Count(string(buf), "RequestID") != 1 {
+		t.Fatalf("empty request ids should be omitted: %s", buf)
+	}
+}
+
+func TestObserveRowFeedsTimelineWithoutDriftStats(t *testing.T) {
+	f := getFixture(t)
+	m, err := New(Config{Predictor: f.pred, WindowSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := f.model.PredictProba(f.serving)
+	for i := 0; i < 100; i++ {
+		m.ObserveRow(proba.Row(i))
+	}
+	windows := m.Timeline().Windows()
+	if len(windows) != 1 {
+		t.Fatalf("timeline windows = %d, want 1", len(windows))
+	}
+	if _, ok := windows[0].Series["estimate"]; !ok {
+		t.Fatal("streamed window missing estimate")
+	}
+	// Row streaming keeps no output sample, so no KS series appear.
+	if _, ok := windows[0].Series["ks_max"]; ok {
+		t.Fatal("streamed window should not carry KS stats")
+	}
+}
+
+func TestTimelineEndpointAndDashboard(t *testing.T) {
+	f := getFixture(t)
+	m, err := New(Config{Predictor: f.pred, DashboardRefresh: 1234 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(f.serving)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/timeline status = %d", resp.StatusCode)
+	}
+	var doc TimelineDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.RefreshMillis != 1234 {
+		t.Fatalf("refresh_ms = %d, want 1234 (flag-configured)", doc.RefreshMillis)
+	}
+	if doc.AlarmLine != m.AlarmLine() || doc.WindowBatches != 1 || doc.Capacity != 128 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if len(doc.Windows) != 1 || doc.Windows[0].Series["estimate"].Count != 1 {
+		t.Fatalf("windows = %+v", doc.Windows)
+	}
+
+	page, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, page)
+	if page.StatusCode != http.StatusOK || !strings.Contains(page.Header.Get("Content-Type"), "text/html") {
+		t.Fatalf("dashboard status = %d content-type = %q", page.StatusCode, page.Header.Get("Content-Type"))
+	}
+	// The page polls the timeline endpoint by relative URL, so it works
+	// both standalone and under the gateway's /monitor/ prefix.
+	if !strings.Contains(body, `fetch("timeline")`) {
+		t.Fatal("dashboard does not poll /timeline")
+	}
+	if !strings.Contains(body, "refresh_ms") {
+		t.Fatal("dashboard ignores the server-configured refresh interval")
+	}
+
+	if resp, _ := http.Get(srv.URL + "/definitely-not-here"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}

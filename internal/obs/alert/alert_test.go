@@ -1,0 +1,244 @@
+package alert
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"blackboxval/internal/obs"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// window builds a closed window with one single-sample series per entry.
+func window(idx int64, series map[string]float64) obs.Window {
+	w := obs.Window{Index: idx, End: time.Unix(idx, 0), Batches: 1,
+		Series: map[string]obs.Aggregate{}}
+	for name, v := range series {
+		w.Series[name] = obs.Aggregate{Count: 1, Sum: v, Min: v, Max: v, Last: v}
+	}
+	return w
+}
+
+func TestEngineFiresOnceWithHysteresis(t *testing.T) {
+	var events []Event
+	eng, err := New(Config{
+		Rules: []Rule{{
+			Name: "estimate_low", Series: "estimate", Op: "<", Threshold: 0.85,
+			ForWindows: 3, ClearWindows: 2,
+		}},
+		Logger:   quietLogger(),
+		Notifier: NotifierFunc(func(ev Event) { events = append(events, ev) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	eng.RegisterMetrics(reg)
+
+	// Two breaching windows: below ForWindows, nothing fires.
+	eng.Evaluate(window(0, map[string]float64{"estimate": 0.80}))
+	eng.Evaluate(window(1, map[string]float64{"estimate": 0.79}))
+	if len(events) != 0 {
+		t.Fatalf("fired early: %+v", events)
+	}
+	// Third consecutive breach fires exactly once.
+	eng.Evaluate(window(2, map[string]float64{"estimate": 0.78}))
+	if len(events) != 1 || events[0].State != "firing" || events[0].Rule != "estimate_low" {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].WindowIndex != 2 || events[0].Value != 0.78 {
+		t.Fatalf("firing event = %+v", events[0])
+	}
+	// Continued breaching does not re-fire (no flapping).
+	eng.Evaluate(window(3, map[string]float64{"estimate": 0.70}))
+	eng.Evaluate(window(4, map[string]float64{"estimate": 0.60}))
+	if len(events) != 1 {
+		t.Fatalf("flapped: %+v", events)
+	}
+	if got := eng.Active(); len(got) != 1 || got[0] != "estimate_low" {
+		t.Fatalf("Active = %v", got)
+	}
+
+	// One clean window is not enough to resolve (ClearWindows: 2)...
+	eng.Evaluate(window(5, map[string]float64{"estimate": 0.95}))
+	if len(events) != 1 {
+		t.Fatalf("resolved early: %+v", events)
+	}
+	// ...and a relapse inside the clear period resets the clear counter
+	// without re-firing.
+	eng.Evaluate(window(6, map[string]float64{"estimate": 0.80}))
+	eng.Evaluate(window(7, map[string]float64{"estimate": 0.95}))
+	if len(events) != 1 {
+		t.Fatalf("unexpected edge during relapse: %+v", events)
+	}
+	// Second consecutive clean window resolves.
+	eng.Evaluate(window(8, map[string]float64{"estimate": 0.96}))
+	if len(events) != 2 || events[1].State != "resolved" {
+		t.Fatalf("events = %+v", events)
+	}
+	if len(eng.Active()) != 0 {
+		t.Fatalf("still active after resolve: %v", eng.Active())
+	}
+
+	// A fresh excursion fires again.
+	for i := int64(9); i < 12; i++ {
+		eng.Evaluate(window(i, map[string]float64{"estimate": 0.5}))
+	}
+	if len(events) != 3 || events[2].State != "firing" {
+		t.Fatalf("refire events = %+v", events)
+	}
+
+	// Metrics: two firing edges, currently active.
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp := b.String()
+	if !strings.Contains(exp, `ppm_alerts_total{rule="estimate_low"} 2`) {
+		t.Fatalf("missing alerts_total:\n%s", exp)
+	}
+	if !strings.Contains(exp, `ppm_alert_active{rule="estimate_low"} 1`) {
+		t.Fatalf("missing alert_active:\n%s", exp)
+	}
+}
+
+func TestEngineMissingSeriesCountsAsClear(t *testing.T) {
+	var events []Event
+	eng, err := New(Config{
+		Rules: []Rule{{
+			Name: "ks_high", Series: "ks_max", Op: ">=", Threshold: 0.3,
+		}},
+		Logger:   quietLogger(),
+		Notifier: NotifierFunc(func(ev Event) { events = append(events, ev) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Evaluate(window(0, map[string]float64{"ks_max": 0.4}))
+	if len(events) != 1 || events[0].State != "firing" {
+		t.Fatalf("events = %+v", events)
+	}
+	// A window without the series resolves (default ClearWindows 1).
+	eng.Evaluate(window(1, map[string]float64{"other": 1}))
+	if len(events) != 2 || events[1].State != "resolved" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestEngineReduceKinds(t *testing.T) {
+	var fired int
+	eng, err := New(Config{
+		Rules: []Rule{{
+			Name: "spike", Series: "lat", Op: ">", Threshold: 10, Reduce: "max",
+		}},
+		Logger:   quietLogger(),
+		Notifier: NotifierFunc(func(Event) { fired++ }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean is 4 but max is 11: the max reduction breaches.
+	w := obs.Window{Index: 0, Batches: 1, Series: map[string]obs.Aggregate{
+		"lat": {Count: 3, Sum: 12, Min: 0.5, Max: 11, Last: 0.5},
+	}}
+	eng.Evaluate(w)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	cases := []Rule{
+		{Series: "x", Op: "<", Threshold: 1},                            // no name
+		{Name: "r", Op: "<", Threshold: 1},                              // no series
+		{Name: "r", Series: "x", Op: "!=", Threshold: 1},                // bad op
+		{Name: "r", Series: "x", Op: "<", Threshold: 1, Reduce: "mode"}, // bad reduce
+	}
+	for i, r := range cases {
+		if _, err := New(Config{Rules: []Rule{r}, Logger: quietLogger()}); err == nil {
+			t.Fatalf("case %d: rule %+v should be rejected", i, r)
+		}
+	}
+	if _, err := New(Config{Logger: quietLogger()}); err == nil {
+		t.Fatal("empty rule set should be rejected")
+	}
+	dup := Rule{Name: "r", Series: "x", Op: "<", Threshold: 1}
+	if _, err := New(Config{Rules: []Rule{dup, dup}, Logger: quietLogger()}); err == nil {
+		t.Fatal("duplicate names should be rejected")
+	}
+
+	// Defaults normalize.
+	eng, err := New(Config{Rules: []Rule{{Name: "r", Series: "x", Op: "<", Threshold: 1}},
+		Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eng.Rules()[0]
+	if got.ForWindows != 1 || got.ClearWindows != 1 || got.Severity != "warning" {
+		t.Fatalf("defaults = %+v", got)
+	}
+}
+
+func TestEngineAsTimeSeriesHook(t *testing.T) {
+	ts, err := obs.NewTimeSeries(obs.TimeSeriesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	eng, err := New(Config{
+		Rules: []Rule{{
+			Name: "alarm_on", Series: "alarm", Op: ">=", Threshold: 1, ForWindows: 2,
+		}},
+		Logger:   quietLogger(),
+		Notifier: NotifierFunc(func(ev Event) { events = append(events, ev) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.OnWindowClose(eng.Evaluate)
+	for _, alarm := range []float64{0, 1, 1, 1} {
+		ts.Record("alarm", alarm)
+		ts.Commit()
+	}
+	if len(events) != 1 || events[0].State != "firing" || events[0].WindowIndex != 2 {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestLoadRules(t *testing.T) {
+	dir := t.TempDir()
+
+	bare := filepath.Join(dir, "bare.json")
+	os.WriteFile(bare, []byte(`[{"name":"a","series":"estimate","op":"<","threshold":0.85,"for_windows":3}]`), 0o644)
+	rules, err := LoadRules(bare)
+	if err != nil || len(rules) != 1 || rules[0].Name != "a" || rules[0].ForWindows != 3 {
+		t.Fatalf("bare = %+v, %v", rules, err)
+	}
+
+	wrapped := filepath.Join(dir, "wrapped.json")
+	os.WriteFile(wrapped, []byte(`{"rules":[{"name":"b","series":"ks_max","op":">=","threshold":0.3,"severity":"critical"}]}`), 0o644)
+	rules, err = LoadRules(wrapped)
+	if err != nil || len(rules) != 1 || rules[0].Severity != "critical" {
+		t.Fatalf("wrapped = %+v, %v", rules, err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"not_rules": 1}`), 0o644)
+	if _, err := LoadRules(bad); err == nil {
+		t.Fatal("object without rules key should error")
+	}
+	os.WriteFile(bad, []byte(`{{{`), 0o644)
+	if _, err := LoadRules(bad); err == nil {
+		t.Fatal("malformed JSON should error")
+	}
+	if _, err := LoadRules(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

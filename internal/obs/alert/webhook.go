@@ -1,0 +1,193 @@
+package alert
+
+// Webhook delivers alert events as JSON POSTs to an HTTP endpoint.
+// Delivery is asynchronous: Notify enqueues onto a bounded channel and
+// returns immediately (dropping when the queue is full, never blocking
+// the monitoring path), while a single worker goroutine drains the
+// queue and retries transient failures with full-jitter backoff — the
+// same discipline the gateway uses for backend retries.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WebhookConfig configures a Webhook notifier.
+type WebhookConfig struct {
+	// URL is the endpoint POSTed to (required).
+	URL string
+	// Timeout bounds each delivery attempt (default 5s).
+	Timeout time.Duration
+	// MaxRetries is how many re-attempts follow a failed delivery
+	// (default 2, so up to 3 attempts total).
+	MaxRetries int
+	// RetryBaseDelay seeds the full-jitter backoff window
+	// (default 100ms).
+	RetryBaseDelay time.Duration
+	// HTTPClient overrides the transport (default: a client with
+	// Timeout). Tests inject fakes here.
+	HTTPClient *http.Client
+	// Logger receives delivery failures (nil = slog.Default()).
+	Logger *slog.Logger
+	// QueueSize bounds the pending-event queue (default 64).
+	QueueSize int
+	// Jitter overrides the backoff randomness source; nil uses a
+	// time-seeded source.
+	Jitter *rand.Rand
+}
+
+// Webhook is an asynchronous Notifier. Create with NewWebhook, stop
+// with Close.
+type Webhook struct {
+	url    string
+	client *http.Client
+	logger *slog.Logger
+
+	maxRetries int
+	baseDelay  time.Duration
+
+	jmu    sync.Mutex
+	jitter *rand.Rand
+
+	queue chan Event
+	done  chan struct{}
+
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	failed    atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// NewWebhook validates cfg, starts the delivery worker and returns the
+// notifier.
+func NewWebhook(cfg WebhookConfig) (*Webhook, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("alert: webhook needs a URL")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: cfg.Timeout}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.Jitter == nil {
+		cfg.Jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	wh := &Webhook{
+		url:        cfg.URL,
+		client:     cfg.HTTPClient,
+		logger:     cfg.Logger,
+		maxRetries: cfg.MaxRetries,
+		baseDelay:  cfg.RetryBaseDelay,
+		jitter:     cfg.Jitter,
+		queue:      make(chan Event, cfg.QueueSize),
+		done:       make(chan struct{}),
+	}
+	go wh.worker()
+	return wh, nil
+}
+
+// Notify enqueues ev for delivery, dropping it when the queue is full.
+func (w *Webhook) Notify(ev Event) {
+	select {
+	case w.queue <- ev:
+	default:
+		w.dropped.Add(1)
+		w.logger.Warn("alert webhook queue full, event dropped",
+			"rule", ev.Rule, "state", ev.State)
+	}
+}
+
+// Close stops accepting events, drains the queue and waits for the
+// worker to finish in-flight deliveries.
+func (w *Webhook) Close() {
+	w.closeOnce.Do(func() { close(w.queue) })
+	<-w.done
+}
+
+// Delivered reports successfully POSTed events.
+func (w *Webhook) Delivered() int64 { return w.delivered.Load() }
+
+// Dropped reports events rejected by the full queue.
+func (w *Webhook) Dropped() int64 { return w.dropped.Load() }
+
+// Failed reports events abandoned after exhausting retries.
+func (w *Webhook) Failed() int64 { return w.failed.Load() }
+
+// worker drains the queue until Close.
+func (w *Webhook) worker() {
+	defer close(w.done)
+	for ev := range w.queue {
+		if err := w.deliver(ev); err != nil {
+			w.failed.Add(1)
+			w.logger.Error("alert webhook delivery failed",
+				"rule", ev.Rule, "state", ev.State, "err", err)
+			continue
+		}
+		w.delivered.Add(1)
+	}
+}
+
+// deliver POSTs one event, retrying transient failures (network errors
+// and 5xx responses) with full-jitter backoff: the sleep before attempt
+// n is drawn uniformly from the upper half of base<<n, matching the
+// gateway's backoff so a retry storm decorrelates.
+func (w *Webhook) deliver(ev Event) error {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("encoding event: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= w.maxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(w.backoff(attempt))
+		}
+		resp, err := w.client.Post(w.url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code < 500 {
+			if code >= 300 {
+				// Client errors are not retryable: the payload or the
+				// endpoint is wrong and repeating won't change that.
+				return fmt.Errorf("webhook returned %d", code)
+			}
+			return nil
+		}
+		lastErr = fmt.Errorf("webhook returned %d", code)
+	}
+	return fmt.Errorf("after %d attempts: %w", w.maxRetries+1, lastErr)
+}
+
+func (w *Webhook) backoff(attempt int) time.Duration {
+	window := w.baseDelay << (attempt - 1)
+	w.jmu.Lock()
+	d := window/2 + time.Duration(w.jitter.Int63n(int64(window/2)+1))
+	w.jmu.Unlock()
+	return d
+}

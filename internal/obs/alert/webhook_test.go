@@ -1,0 +1,175 @@
+package alert
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testEvent(rule string) Event {
+	return Event{Rule: rule, Series: "estimate", State: "firing",
+		Value: 0.7, Threshold: 0.85, Op: "<", Severity: "warning"}
+}
+
+func TestWebhookDeliversJSON(t *testing.T) {
+	var mu sync.Mutex
+	var got []Event
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type = %q", ct)
+		}
+		var ev Event
+		if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	wh, err := NewWebhook(WebhookConfig{URL: srv.URL, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh.Notify(testEvent("estimate_low"))
+	wh.Notify(testEvent("ks_high"))
+	wh.Close()
+
+	if wh.Delivered() != 2 || wh.Dropped() != 0 || wh.Failed() != 0 {
+		t.Fatalf("delivered=%d dropped=%d failed=%d", wh.Delivered(), wh.Dropped(), wh.Failed())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0].Rule != "estimate_low" || got[1].Rule != "ks_high" {
+		t.Fatalf("payloads = %+v", got)
+	}
+}
+
+func TestWebhookRetriesTransientFailure(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+	}))
+	defer srv.Close()
+
+	wh, err := NewWebhook(WebhookConfig{
+		URL: srv.URL, Logger: quietLogger(),
+		RetryBaseDelay: time.Millisecond,
+		Jitter:         rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh.Notify(testEvent("estimate_low"))
+	wh.Close()
+
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (one retry)", calls.Load())
+	}
+	if wh.Delivered() != 1 || wh.Failed() != 0 {
+		t.Fatalf("delivered=%d failed=%d", wh.Delivered(), wh.Failed())
+	}
+}
+
+func TestWebhookGivesUpAfterRetriesExhausted(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	wh, err := NewWebhook(WebhookConfig{
+		URL: srv.URL, Logger: quietLogger(),
+		MaxRetries: 2, RetryBaseDelay: time.Millisecond,
+		Jitter: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh.Notify(testEvent("estimate_low"))
+	wh.Close()
+
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3 (initial + 2 retries)", calls.Load())
+	}
+	if wh.Failed() != 1 || wh.Delivered() != 0 {
+		t.Fatalf("failed=%d delivered=%d", wh.Failed(), wh.Delivered())
+	}
+}
+
+func TestWebhookDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	wh, err := NewWebhook(WebhookConfig{URL: srv.URL, Logger: quietLogger(),
+		RetryBaseDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh.Notify(testEvent("estimate_low"))
+	wh.Close()
+
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (4xx is terminal)", calls.Load())
+	}
+	if wh.Failed() != 1 {
+		t.Fatalf("failed = %d", wh.Failed())
+	}
+}
+
+func TestWebhookDropsWhenQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+
+	wh, err := NewWebhook(WebhookConfig{URL: srv.URL, Logger: quietLogger(), QueueSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First event occupies the worker; second fills the queue; the rest
+	// must be dropped without blocking.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 5; i++ {
+			wh.Notify(testEvent("estimate_low"))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Notify blocked on a full queue")
+	}
+	close(release)
+	wh.Close()
+
+	if wh.Dropped() == 0 {
+		t.Fatalf("dropped = %d, want > 0", wh.Dropped())
+	}
+	if wh.Delivered()+wh.Dropped()+wh.Failed() != 5 {
+		t.Fatalf("accounting: delivered=%d dropped=%d failed=%d",
+			wh.Delivered(), wh.Dropped(), wh.Failed())
+	}
+}
+
+func TestWebhookConfigValidation(t *testing.T) {
+	if _, err := NewWebhook(WebhookConfig{}); err == nil {
+		t.Fatal("missing URL should be rejected")
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSpanAttrsInJSONAndReport(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "gateway_request")
+	sp.SetAttr("request_id", "abc-00000001")
+	sp.SetAttr("outcome", "ok")
+	sp.SetMetric("bytes", 42)
+	sp.End()
+
+	if v, ok := sp.Attr("request_id"); !ok || v != "abc-00000001" {
+		t.Fatalf("Attr = %q, %v", v, ok)
+	}
+	if _, ok := sp.Attr("missing"); ok {
+		t.Fatal("missing attr should not be found")
+	}
+
+	buf, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []SpanJSON
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Attrs["request_id"] != "abc-00000001" || out[0].Attrs["outcome"] != "ok" {
+		t.Fatalf("span export = %+v", out)
+	}
+
+	var report strings.Builder
+	sp.Report(&report)
+	if !strings.Contains(report.String(), "request_id=abc-00000001") {
+		t.Fatalf("report missing attr: %q", report.String())
+	}
+}
+
+func TestMiddlewareEchoesRequestID(t *testing.T) {
+	reg := NewRegistry()
+	h := Middleware(reg, "test", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+	req.Header.Set(RequestIDHeader, "gw-0001")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if got := rr.Header().Get(RequestIDHeader); got != "gw-0001" {
+		t.Fatalf("echoed id = %q, want gw-0001", got)
+	}
+
+	// Without an incoming id the middleware mints nothing: only the
+	// gateway is the id authority.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if got := rr.Header().Get(RequestIDHeader); got != "" {
+		t.Fatalf("unexpected minted id %q", got)
+	}
+}

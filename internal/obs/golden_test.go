@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/exposition.golden from the current render")
+
+// goldenRegistry builds one registry exercising every family shape the
+// exposition renderer supports: plain and labeled counters, settable
+// and callback gauges, a labeled gauge, and plain and labeled
+// histograms (the labeled histogram is the trickiest surface: per-series
+// le buckets interleaved with the partition labels).
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+
+	reg.Counter("ppm_batches_total", "Observed batches.").Add(7)
+
+	rv := reg.CounterVec("ppm_alerts_total", "Alerts fired by rule.", "rule")
+	rv.Add(2, "estimate_low")
+	rv.Inc("ks_high")
+
+	reg.Gauge("ppm_estimate", "Latest score estimate.").Set(0.8725)
+	reg.GaugeFunc("ppm_queue_depth", "Shadow queue depth.", func() float64 { return 3 })
+
+	gv := reg.GaugeVec("ppm_alert_active", "1 while a rule's alert is active.", "rule")
+	gv.Set(1, "estimate_low")
+	gv.Set(0, "ks_high")
+
+	h := reg.Histogram("ppm_window_close_seconds", "Window close latency.", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.004, 0.02, 0.5} {
+		h.Observe(v)
+	}
+
+	hv := reg.HistogramVec("ppm_request_seconds", "Request latency by outcome \\ escaped\nhelp.",
+		[]float64{0.05, 0.5}, "outcome")
+	hv.Observe(0.01, "ok")
+	hv.Observe(0.3, "ok")
+	hv.Observe(0.7, "upstream_5xx")
+
+	return reg
+}
+
+// TestExpositionGoldenConformance diffs the full multi-family render
+// against a checked-in golden so the Prometheus text format cannot
+// silently regress, and keeps the render conformant per obs.Lint.
+// Refresh intentionally with: go test ./internal/obs -run Golden -update-golden
+func TestExpositionGoldenConformance(t *testing.T) {
+	var b strings.Builder
+	if _, err := goldenRegistry().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	if errs := Lint(got); len(errs) != 0 {
+		t.Fatalf("golden render fails lint: %v", errs)
+	}
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Determinism: a second render of the same state is byte-identical.
+	var again strings.Builder
+	if _, err := goldenRegistry().WriteTo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != got {
+		t.Fatal("render is not deterministic")
+	}
+}

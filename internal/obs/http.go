@@ -6,6 +6,7 @@ package obs
 // export, and a request-instrumentation middleware.
 
 import (
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"time"
@@ -84,13 +85,21 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// RequestIDHeader carries the end-to-end correlation id minted by the
+// gateway and propagated to the backend: one id links the proxy log
+// line, the backend call and the shadow-validation verdict.
+const RequestIDHeader = "X-Request-ID"
+
 // Middleware wraps next with request accounting on reg:
 //
 //	http_requests_total{handler,code}
 //	http_request_duration_seconds{handler}
 //
 // The handler label keeps one serving binary's families distinct from
-// another's when both are scraped into the same Prometheus.
+// another's when both are scraped into the same Prometheus. An incoming
+// X-Request-ID is echoed on the response and attached to the (debug
+// level) access log line, so a request proxied through the gateway is
+// correlatable on the backend side too.
 func Middleware(reg *Registry, handlerName string, next http.Handler) http.Handler {
 	if reg == nil {
 		reg = Default()
@@ -101,10 +110,18 @@ func Middleware(reg *Registry, handlerName string, next http.Handler) http.Handl
 		"HTTP request latency by handler.", DurationBuckets, "handler")
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		start := time.Now()
+		id := req.Header.Get(RequestIDHeader)
+		if id != "" {
+			w.Header().Set(RequestIDHeader, id)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, req)
 		requests.Inc(handlerName, httpStatusClass(rec.status))
 		latency.Observe(time.Since(start).Seconds(), handlerName)
+		if id != "" {
+			slog.Debug("request", "handler", handlerName, "method", req.Method,
+				"path", req.URL.Path, "code", rec.status, "request_id", id)
+		}
 	})
 }
 

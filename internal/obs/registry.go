@@ -152,6 +152,15 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) *Gauge {
 	return g
 }
 
+// GaugeVec registers (or returns) a gauge partitioned by the given
+// labels.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	m := familyMeta{name: name, help: help, kind: kindGauge, labels: strings.Join(labels, ",")}
+	return r.register(m, func() family {
+		return &GaugeVec{m: m, labels: labels, vals: map[string]float64{}}
+	}).(*GaugeVec)
+}
+
 // Histogram registers (or returns) an unlabeled fixed-bucket
 // histogram. bounds must be sorted ascending; the implicit +Inf
 // bucket is always appended.
@@ -345,6 +354,64 @@ func (g *Gauge) Get() float64 {
 func (g *Gauge) render(w *expositionWriter) {
 	w.header(g.m)
 	w.sample(g.m.name, nil, nil, g.Get())
+}
+
+// GaugeVec is a settable gauge partitioned by one or more labels.
+type GaugeVec struct {
+	m      familyMeta
+	labels []string
+
+	mu   sync.Mutex
+	vals map[string]float64
+}
+
+func (g *GaugeVec) meta() familyMeta { return g.m }
+
+// Set stores v in the series identified by labelValues, creating it on
+// first use. len(labelValues) must match the registered labels.
+func (g *GaugeVec) Set(v float64, labelValues ...string) {
+	key := g.key(labelValues)
+	g.mu.Lock()
+	g.vals[key] = v
+	g.mu.Unlock()
+}
+
+// Add adds delta to the series identified by labelValues.
+func (g *GaugeVec) Add(delta float64, labelValues ...string) {
+	key := g.key(labelValues)
+	g.mu.Lock()
+	g.vals[key] += delta
+	g.mu.Unlock()
+}
+
+// Get returns the current value of one series (0 if never written).
+func (g *GaugeVec) Get(labelValues ...string) float64 {
+	key := g.key(labelValues)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.vals[key]
+}
+
+func (g *GaugeVec) key(values []string) string {
+	if len(values) != len(g.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d",
+			g.m.name, len(g.labels), len(values)))
+	}
+	return strings.Join(values, labelKeySep)
+}
+
+func (g *GaugeVec) render(w *expositionWriter) {
+	g.mu.Lock()
+	keys := sortedKeys(g.vals)
+	snap := make(map[string]float64, len(g.vals))
+	for k, v := range g.vals {
+		snap[k] = v
+	}
+	g.mu.Unlock()
+	w.header(g.m)
+	for _, k := range keys {
+		w.sample(g.m.name, g.labels, strings.Split(k, labelKeySep), snap[k])
+	}
 }
 
 // histogramSeries is the state of one labeled histogram series.

@@ -33,6 +33,7 @@ type Span struct {
 	mu       sync.Mutex
 	dur      time.Duration // 0 while running
 	metrics  map[string]float64
+	attrs    map[string]string
 	children []*Span
 
 	tracer *Tracer // set on root spans only
@@ -90,6 +91,28 @@ func (s *Span) SetMetric(key string, v float64) {
 	s.mu.Unlock()
 }
 
+// SetAttr attaches a string annotation (request id, outcome, dataset
+// name...) shown in the JSON export and the stage report. Unlike
+// SetMetric it carries identity, not measurement — it is how one
+// request's correlation id travels from the proxy log line into the
+// span export.
+func (s *Span) SetAttr(key, value string) {
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Attr returns the annotation value and whether it was set.
+func (s *Span) Attr(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.attrs[key]
+	return v, ok
+}
+
 // Name returns the span's stage name.
 func (s *Span) Name() string { return s.name }
 
@@ -143,6 +166,7 @@ type SpanJSON struct {
 	Start    time.Time          `json:"start"`
 	Seconds  float64            `json:"seconds"`
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Attrs    map[string]string  `json:"attrs,omitempty"`
 	Children []SpanJSON         `json:"children,omitempty"`
 }
 
@@ -154,6 +178,12 @@ func (s *Span) JSON() SpanJSON {
 		out.Metrics = make(map[string]float64, len(s.metrics))
 		for k, v := range s.metrics {
 			out.Metrics[k] = v
+		}
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			out.Attrs[k] = v
 		}
 	}
 	children := append([]*Span(nil), s.children...)
@@ -199,6 +229,14 @@ func (s *Span) report(w io.Writer, depth int, total float64) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		line += fmt.Sprintf("  %s=%g", k, s.metrics[k])
+	}
+	attrKeys := make([]string, 0, len(s.attrs))
+	for k := range s.attrs {
+		attrKeys = append(attrKeys, k)
+	}
+	sort.Strings(attrKeys)
+	for _, k := range attrKeys {
+		line += fmt.Sprintf("  %s=%s", k, s.attrs[k])
 	}
 	children := append([]*Span(nil), s.children...)
 	s.mu.Unlock()

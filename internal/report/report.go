@@ -33,6 +33,8 @@ func Markdown(result any) (string, error) {
 		return stability(r), nil
 	case *experiments.PipelineResult:
 		return pipeline(r), nil
+	case *experiments.TimelineResult:
+		return timeline(r), nil
 	default:
 		return "", fmt.Errorf("report: no markdown renderer for %T", result)
 	}
@@ -195,4 +197,17 @@ func pipeline(r *experiments.PipelineResult) string {
 		r.Scale, r.Dataset, r.Model, r.Workers,
 		table([]string{"stage", "seconds", "share"}, rows),
 		r.TotalSeconds, r.RowsScored, r.RowsPerSec)
+}
+
+func timeline(r *experiments.TimelineResult) string {
+	rows := [][]string{
+		{"ingest batches/sec", fmt.Sprintf("%.0f", r.BatchesPerSec)},
+		{"ingest windows/sec", fmt.Sprintf("%.0f", r.WindowsPerSec)},
+		{"render mean ms", f3(r.RenderMeanMs)},
+		{"render max ms", f3(r.RenderMaxMs)},
+		{"render bytes", fmt.Sprintf("%d", r.RenderBytes)},
+	}
+	return fmt.Sprintf("### Timeline benchmark (scale=%s, %d batches x %d series, window=%d, capacity=%d)\n\n%s",
+		r.Scale, r.Batches, r.SeriesPerBatch, r.WindowBatches, r.Capacity,
+		table([]string{"metric", "value"}, rows))
 }

@@ -1,28 +1,37 @@
 #!/usr/bin/env bash
-# Three-process smoke test for the serving stack:
+# Smoke test for the serving stack, in two acts:
 #
-#   ppm-serve (backend model server)  <-  ppm-gateway (shadow proxy)  <-  curl
+#   ppm-serve (backend model server)  <-  ppm-gateway (shadow proxy)  <-  curl / ppm-traffic
+#                                              |
+#                                              +-> ppm-traffic sink (alert webhook)
 #
-# Boots both binaries on loopback, fires a smoke request through the
-# proxy, asserts the gateway's /metrics endpoint scrapes as Prometheus
-# text with the traffic accounted for, and shuts both down gracefully
-# (SIGTERM, exercising the shared drain path). Run via `make demo`.
+# Act 1 boots the backend and a proxy-mode gateway, fires a smoke
+# request and asserts the gateway's /metrics endpoint scrapes as
+# Prometheus text with the traffic accounted for. Act 2 trains a small
+# validation bundle, restarts the gateway with shadow validation and an
+# alert rule wired to a webhook sink, drives a corruption ramp through
+# it with ppm-traffic, and asserts the drift timeline filled, the alert
+# reached the sink, and every response carried an X-Request-ID. Both
+# acts shut down gracefully (SIGTERM, exercising the shared drain
+# path). Run via `make demo`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SERVE_ADDR=127.0.0.1:18080
 GW_ADDR=127.0.0.1:18088
+SINK_ADDR=127.0.0.1:18099
 WORKDIR="$(mktemp -d)"
 SERVE_PID=""
 GW_PID=""
+SINK_PID=""
 
 cleanup() {
   # SIGTERM first so the graceful drain path runs; escalate only if needed.
-  for pid in "$GW_PID" "$SERVE_PID"; do
+  for pid in "$GW_PID" "$SERVE_PID" "$SINK_PID"; do
     [ -n "$pid" ] && kill -TERM "$pid" 2>/dev/null || true
   done
-  for pid in "$GW_PID" "$SERVE_PID"; do
+  for pid in "$GW_PID" "$SERVE_PID" "$SINK_PID"; do
     [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
   done
   rm -rf "$WORKDIR"
@@ -42,6 +51,8 @@ wait_for() { # url [attempts]
 echo "demo: building binaries"
 go build -o "$WORKDIR/ppm-serve" ./cmd/ppm-serve
 go build -o "$WORKDIR/ppm-gateway" ./cmd/ppm-gateway
+go build -o "$WORKDIR/ppm-validate" ./cmd/ppm-validate
+go build -o "$WORKDIR/ppm-traffic" ./cmd/ppm-traffic
 
 echo "demo: starting ppm-serve on $SERVE_ADDR (small lr model, quick to train)"
 "$WORKDIR/ppm-serve" -dataset income -model lr -rows 1200 -addr "$SERVE_ADDR" \
@@ -83,4 +94,81 @@ echo "demo: checking /status"
 curl -fsS "http://$GW_ADDR/status" | grep -q '"breaker_state":"closed"' || {
   echo "demo: /status missing breaker state" >&2; exit 1; }
 
-echo "demo: OK — gateway proxied traffic and /metrics scraped cleanly"
+echo "demo: act 1 OK — gateway proxied traffic and /metrics scraped cleanly"
+
+# ---- Act 2: shadow validation, drift timeline, alerting -------------
+
+echo "demo: training a validation bundle (small lr model)"
+"$WORKDIR/ppm-validate" train -dataset income -model lr -rows 1200 \
+  -threshold 0.05 -out "$WORKDIR/bundle" >"$WORKDIR/train.log" 2>&1
+
+cat >"$WORKDIR/rules.json" <<'EOF'
+{"rules": [
+  {"name": "accuracy_alarm", "series": "alarm", "op": ">=", "threshold": 1,
+   "reduce": "max", "for_windows": 1, "clear_windows": 2, "severity": "critical"}
+]}
+EOF
+
+echo "demo: starting the alert webhook sink on $SINK_ADDR"
+"$WORKDIR/ppm-traffic" sink -addr "$SINK_ADDR" >"$WORKDIR/sink.log" 2>&1 &
+SINK_PID=$!
+wait_for "http://$SINK_ADDR/healthz"
+
+echo "demo: restarting the gateway with shadow validation + alerting"
+kill -TERM "$GW_PID" && wait "$GW_PID" 2>/dev/null || true
+"$WORKDIR/ppm-gateway" -backend "http://$SERVE_ADDR" -addr "$GW_ADDR" \
+  -bundle "$WORKDIR/bundle" \
+  -alert-rules "$WORKDIR/rules.json" -alert-webhook "http://$SINK_ADDR/" \
+  >"$WORKDIR/gateway2.log" 2>&1 &
+GW_PID=$!
+wait_for "http://$GW_ADDR/healthz"
+
+echo "demo: driving a corruption ramp through the proxy"
+"$WORKDIR/ppm-traffic" send -target "http://$GW_ADDR" -dataset income \
+  -batches 6 -rows 300 -corrupt scaling -max-magnitude 0.95 -clean 2 \
+  | tee "$WORKDIR/traffic.log"
+grep -q 'request_id gw-' "$WORKDIR/traffic.log" || {
+  echo "demo: ppm-traffic responses missing gateway-minted request ids" >&2; exit 1; }
+
+echo "demo: asserting every response carries X-Request-ID (even errors)"
+curl -s -o /dev/null -D "$WORKDIR/headers" \
+  -X POST -H 'Content-Type: application/json' -d '{}' \
+  "http://$GW_ADDR/predict_proba"
+grep -qi '^x-request-id:' "$WORKDIR/headers" || {
+  echo "demo: 4xx response lost the X-Request-ID header" >&2
+  cat "$WORKDIR/headers" >&2; exit 1; }
+
+echo "demo: asserting the drift timeline filled"
+# The shadow tap observes batches asynchronously; poll until windows
+# with series aggregates show up on /monitor/timeline.
+timeline_ok=""
+for _ in $(seq 50); do
+  if curl -fsS "http://$GW_ADDR/monitor/timeline" | grep -q '"estimate"'; then
+    timeline_ok=1; break
+  fi
+  sleep 0.2
+done
+[ -n "$timeline_ok" ] || {
+  echo "demo: /monitor/timeline never produced a window with series data:" >&2
+  curl -fsS "http://$GW_ADDR/monitor/timeline" >&2 || true
+  cat "$WORKDIR/gateway2.log" >&2; exit 1; }
+
+echo "demo: waiting for the alert to reach the webhook sink"
+alert_ok=""
+for _ in $(seq 50); do
+  count="$(curl -fsS "http://$SINK_ADDR/count" | sed 's/[^0-9]//g')"
+  if [ -n "$count" ] && [ "$count" -ge 1 ]; then alert_ok=1; break; fi
+  sleep 0.2
+done
+[ -n "$alert_ok" ] || {
+  echo "demo: the corruption ramp never produced a webhook alert:" >&2
+  curl -fsS "http://$SINK_ADDR/events" >&2 || true
+  cat "$WORKDIR/gateway2.log" >&2; exit 1; }
+curl -fsS "http://$SINK_ADDR/events" | grep -q '"state":"firing"' || {
+  echo "demo: sink events missing a firing alert" >&2; exit 1; }
+
+echo "demo: asserting alert metrics on /metrics"
+curl -fsS "http://$GW_ADDR/metrics" | grep -q '^ppm_alerts_total{rule="accuracy_alarm"} ' || {
+  echo "demo: ppm_alerts_total missing from the gateway registry" >&2; exit 1; }
+
+echo "demo: OK — proxying, drift timeline, alerting and request correlation all verified"
