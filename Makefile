@@ -3,8 +3,9 @@
 # parallel meta-dataset builder (internal/core/parallel.go), the forest
 # trainer, the serving-path packages (gateway proxy + monitor, whose
 # shadow tap, /metrics scrape and dashboard are hit concurrently in
-# production), and the telemetry registry/span tree (internal/obs)
-# under the race detector in short mode.
+# production), and the telemetry registry/span tree plus the alert
+# engine and incident flight recorder (internal/obs/...) under the
+# race detector in short mode.
 
 GO ?= go
 
@@ -40,19 +41,22 @@ bench:
 bench-gateway:
 	$(GO) test -run NONE -bench 'BenchmarkGatewayOverhead' -benchtime 1000x ./internal/gateway/
 
-# Three-process smoke test: boots ppm-serve and ppm-gateway on
-# loopback, fires a request through the proxy and asserts /metrics
-# scrapes, then reruns with shadow validation + alerting and drives a
-# corruption ramp through the drift timeline (see scripts/demo.sh).
+# Three-act smoke test: boots ppm-serve and ppm-gateway on loopback,
+# fires a request through the proxy and asserts /metrics scrapes;
+# reruns with shadow validation + alerting and drives a corruption
+# ramp through the drift timeline; then reruns with the incident
+# flight recorder, ramps a single-column corruption and asserts the
+# auto-captured bundle names that column (see scripts/demo.sh).
 demo:
 	bash scripts/demo.sh
 
 # Deep pass over the serving-path observability stack: format/exposition
 # lint, vet, and the race detector (full, not -short) across the
-# telemetry store + alert engine (internal/obs/...), the gateway and the
-# monitor. `make check` stays the broad tier-1 gate; `audit` is the
-# focused one to run after touching the timeline, alerting or
-# correlation code.
+# telemetry store + alert engine + incident flight recorder
+# (internal/obs/... includes internal/obs/incident), the gateway and
+# the monitor. `make check` stays the broad tier-1 gate; `audit` is the
+# focused one to run after touching the timeline, alerting, incident
+# or correlation code.
 audit: lint
 	$(GO) vet ./internal/obs/... ./internal/gateway/... ./internal/monitor/...
 	$(GO) test -race ./internal/obs/... ./internal/gateway/... ./internal/monitor/...

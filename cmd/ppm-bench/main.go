@@ -55,6 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	obs.RegisterRuntimeMetrics(obs.Default())
 
 	var scale experiments.Scale
 	switch *scaleName {

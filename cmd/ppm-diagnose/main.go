@@ -1,0 +1,92 @@
+// Command ppm-diagnose renders incident flight-recorder bundles (the
+// JSON files written by ppm-gateway/ppm-monitor under -incident-dir,
+// or fetched from GET /debug/incidents/{id}) into human-readable
+// markdown incident reports:
+//
+//	ppm-diagnose incidents/inc-000003.json
+//	ppm-diagnose -dir incidents            # newest bundle in the ring
+//	ppm-diagnose -dir incidents -out report.md
+//
+// The report leads with the ranked per-column drift attribution — the
+// REL test battery (two-sample KS per numeric column, chi-squared per
+// categorical column, Bonferroni-corrected) between the bundle's
+// serving-row reservoir and the trained reference sample — followed by
+// the predicted-class histogram shift, the worst-scoring batches with
+// their X-Request-IDs, and the drift-timeline excerpt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"blackboxval/internal/obs/incident"
+	"blackboxval/internal/report"
+)
+
+func main() {
+	dir := flag.String("dir", "", "incident retention directory; renders the newest bundle (alternative to positional files)")
+	out := flag.String("out", "", "output file (empty = stdout)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ppm-diagnose [-dir DIR | BUNDLE.json ...] [-out FILE]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	paths := flag.Args()
+	if *dir != "" {
+		newest, err := newestBundle(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		paths = append(paths, newest)
+	}
+	if len(paths) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sections []string
+	for _, path := range paths {
+		b, err := incident.LoadBundle(path)
+		if err != nil {
+			fatal(err)
+		}
+		md, err := report.Markdown(b)
+		if err != nil {
+			fatal(err)
+		}
+		sections = append(sections, md)
+	}
+	doc := strings.Join(sections, "\n")
+	if *out == "" {
+		fmt.Print(doc)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d report(s) to %s\n", len(sections), *out)
+}
+
+// newestBundle picks the latest inc-*.json in the retention ring; the
+// zero-padded sequence ids make lexical order chronological.
+func newestBundle(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "inc-*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("no incident bundles (inc-*.json) in %s", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppm-diagnose:", err)
+	os.Exit(1)
+}

@@ -21,8 +21,12 @@
 // resilience proxy. -alert-rules loads threshold-for-duration alert
 // rules evaluated on every drift-timeline window close and
 // -alert-webhook POSTs the firing/resolved events to an HTTP endpoint
-// (see ppm-traffic sink). -log-level and -log-format control
-// structured logging.
+// (see ppm-traffic sink). With -bundle the incident flight recorder is
+// on: every alert fire transition (or POST /debug/incidents/trigger)
+// captures a diagnostic bundle with per-column drift attribution, and
+// GET /debug/incidents lists the retained ones (-incident-dir persists
+// them as JSON; render with ppm-diagnose). -log-level and -log-format
+// control structured logging.
 package main
 
 import (
@@ -35,9 +39,11 @@ import (
 
 	"blackboxval/internal/cli"
 	"blackboxval/internal/cloud"
+	"blackboxval/internal/data"
 	"blackboxval/internal/gateway"
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
+	"blackboxval/internal/obs/incident"
 )
 
 func main() {
@@ -56,6 +62,10 @@ func main() {
 	timelineCapacity := flag.Int("timeline-capacity", 128, "retained drift-timeline windows")
 	alertRules := flag.String("alert-rules", "", "JSON alert rule file (empty = alerting off)")
 	alertWebhook := flag.String("alert-webhook", "", "webhook URL receiving alert events as JSON POSTs")
+	incidentDir := flag.String("incident-dir", "", "directory retaining incident bundles as JSON (empty = in-memory only)")
+	incidentRows := flag.Int("incident-rows", 0, "incident reservoir size in raw serving rows (0 = default 512)")
+	incidentMax := flag.Int("incident-max", 0, "retained incident bundles (0 = default 16)")
+	incidentSeed := flag.Int64("incident-seed", 0, "incident reservoir sampling seed (0 = default 1)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -77,6 +87,8 @@ func main() {
 		refresh: dashRefresh, timelineWindow: *timelineWindow,
 		timelineCapacity: *timelineCapacity,
 		alertRules:       *alertRules, alertWebhook: *alertWebhook,
+		incidentDir: *incidentDir, incidentRows: *incidentRows,
+		incidentMax: *incidentMax, incidentSeed: *incidentSeed,
 	}
 	if err := run(opts, logger); err != nil {
 		logger.Error("fatal", "err", err)
@@ -93,6 +105,9 @@ type options struct {
 	refresh                          time.Duration
 	timelineWindow, timelineCapacity int
 	alertRules, alertWebhook         string
+	incidentDir                      string
+	incidentRows, incidentMax        int
+	incidentSeed                     int64
 }
 
 func run(opts options, logger *slog.Logger) error {
@@ -110,14 +125,16 @@ func run(opts options, logger *slog.Logger) error {
 		},
 	}
 
+	var manifest *cli.Manifest
 	if opts.bundle != "" {
 		// The black box stays remote: attach the backend client to the
 		// locally trained validation artifacts.
 		remote := cloud.NewClient(opts.backend)
-		manifest, pred, val, err := cli.LoadServingBundle(opts.bundle, remote)
+		m, pred, val, err := cli.LoadServingBundle(opts.bundle, remote)
 		if err != nil {
 			return err
 		}
+		manifest = m
 		mon, err := monitor.New(monitor.Config{
 			Predictor:        pred,
 			Validator:        val,
@@ -131,6 +148,13 @@ func run(opts options, logger *slog.Logger) error {
 			return err
 		}
 		cfg.Monitor = mon
+		// Recover the raw serving rows from each proxied request body so
+		// the incident recorder's reservoir samples real feature vectors,
+		// not just model outputs.
+		classes := append([]string(nil), manifest.Classes...)
+		cfg.RawDecoder = func(body []byte) (*data.Dataset, error) {
+			return cloud.DecodeRequest(body, classes)
+		}
 		logger.Info("shadow validation on", "dataset", manifest.Dataset, "model", manifest.Model,
 			"reference_accuracy", manifest.TestScore, "alarm_line", mon.AlarmLine())
 	} else if opts.alertRules != "" {
@@ -144,15 +168,35 @@ func run(opts options, logger *slog.Logger) error {
 		return err
 	}
 	defer g.Close()
+	// Go runtime self-telemetry rides the same /metrics scrape as the
+	// proxy and monitor families.
+	obs.RegisterRuntimeMetrics(g.Metrics().Registry())
+
+	var rec *incident.Recorder
 	if cfg.Monitor != nil {
 		// Surface the monitor's own families (estimate, alarm line,
 		// batch/violation counters) on the gateway's /metrics endpoint.
 		cfg.Monitor.RegisterMetrics(g.Metrics().Registry())
+		// The incident flight recorder samples every shadow-observed
+		// batch; alert fire transitions (below) auto-capture bundles.
+		rec, err = cli.WireIncidents(cfg.Monitor, cli.IncidentOptions{
+			BundleDir:     opts.bundle,
+			Dir:           opts.incidentDir,
+			MaxBundles:    opts.incidentMax,
+			ReservoirRows: opts.incidentRows,
+			Seed:          opts.incidentSeed,
+			Registry:      g.Metrics().Registry(),
+			Logger:        logger,
+		})
+		if err != nil {
+			return err
+		}
 		// Alert metrics land on the same registry so one /metrics scrape
 		// covers the proxy, the monitor and the alert engine.
 		_, closeAlerts, err := cli.WireAlerts(cfg.Monitor, cli.AlertOptions{
 			RulesPath:  opts.alertRules,
 			WebhookURL: opts.alertWebhook,
+			Notifier:   rec.AlertNotifier(),
 			Registry:   g.Metrics().Registry(),
 			Logger:     logger,
 		})
@@ -172,6 +216,12 @@ func run(opts options, logger *slog.Logger) error {
 	mux.Handle("/", g.Handler())
 	obs.MountPprof(mux)
 	mux.Handle("/debug/spans", obs.DefaultTracer().Handler())
+	if rec != nil {
+		mux.Handle(incident.MountPath, rec.Handler())
+		mux.Handle(incident.MountPath+"/", rec.Handler())
+		logger.Info("incident recorder on", "list", incident.MountPath,
+			"dir", opts.incidentDir)
+	}
 
 	logger.Info("proxying", "from", fmt.Sprintf("http://%s/predict_proba", opts.addr),
 		"to", opts.backend+"/predict_proba")

@@ -12,8 +12,13 @@
 // -alert-webhook POSTs the firing/resolved events to an HTTP endpoint
 // (see ppm-traffic sink). The dashboard address also serves the shared
 // observability surface: GET /metrics (Prometheus text exposition with
-// the ppm_monitor_* and ppm_alert* families), /debug/pprof/* and
-// /debug/spans. -log-level and -log-format control structured logging.
+// the ppm_monitor_*, ppm_alert* and ppm_incident_* families),
+// /debug/pprof/*, /debug/spans and /debug/incidents (the incident
+// flight recorder: alert fire transitions — or POST
+// /debug/incidents/trigger — capture diagnostic bundles with
+// per-column drift attribution; -incident-dir persists them as JSON;
+// render with ppm-diagnose). -log-level and -log-format control
+// structured logging.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"blackboxval/internal/cli"
 	"blackboxval/internal/obs"
+	"blackboxval/internal/obs/incident"
 )
 
 func main() {
@@ -40,6 +46,10 @@ func main() {
 	timelineCapacity := flag.Int("timeline-capacity", 128, "retained drift-timeline windows")
 	alertRules := flag.String("alert-rules", "", "JSON alert rule file (empty = alerting off)")
 	alertWebhook := flag.String("alert-webhook", "", "webhook URL receiving alert events as JSON POSTs")
+	incidentDir := flag.String("incident-dir", "", "directory retaining incident bundles as JSON (empty = in-memory only)")
+	incidentRows := flag.Int("incident-rows", 0, "incident reservoir size in raw serving rows (0 = default 512)")
+	incidentMax := flag.Int("incident-max", 0, "retained incident bundles (0 = default 16)")
+	incidentSeed := flag.Int64("incident-seed", 0, "incident reservoir sampling seed (0 = default 1)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -65,8 +75,22 @@ func main() {
 		os.Exit(1)
 	}
 	mon.RegisterMetrics(obs.Default())
+	obs.RegisterRuntimeMetrics(obs.Default())
+	rec, err := cli.WireIncidents(mon, cli.IncidentOptions{
+		BundleDir:     *bundle,
+		Dir:           *incidentDir,
+		MaxBundles:    *incidentMax,
+		ReservoirRows: *incidentRows,
+		Seed:          *incidentSeed,
+		Logger:        logger,
+	})
+	if err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 	_, closeAlerts, err := cli.WireAlerts(mon, cli.AlertOptions{
-		RulesPath: *alertRules, WebhookURL: *alertWebhook, Logger: logger,
+		RulesPath: *alertRules, WebhookURL: *alertWebhook,
+		Notifier: rec.AlertNotifier(), Logger: logger,
 	})
 	if err != nil {
 		logger.Error("fatal", "err", err)
@@ -82,6 +106,8 @@ func main() {
 			// the mux with the process metrics, profiling and span traces.
 			mux := http.NewServeMux()
 			mux.Handle("/", mon.Handler())
+			mux.Handle(incident.MountPath, rec.Handler())
+			mux.Handle(incident.MountPath+"/", rec.Handler())
 			obs.Mount(mux, obs.Default(), obs.DefaultTracer())
 			logger.Info("dashboard up",
 				"dashboard", fmt.Sprintf("http://%s/", *addr),

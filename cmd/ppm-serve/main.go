@@ -79,6 +79,7 @@ func run(dataset, modelName, addr string, rows int, seed int64, drain time.Durat
 	// request accounting around the model endpoints.
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.Middleware(obs.Default(), "ppm-serve", blackboxval.NewCloudServer(model).Handler()))
+	obs.RegisterRuntimeMetrics(obs.Default())
 	obs.Mount(mux, obs.Default(), obs.DefaultTracer())
 
 	logger.Info("serving", "predict", fmt.Sprintf("http://%s/predict_proba", addr),

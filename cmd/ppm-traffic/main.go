@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"blackboxval/internal/cli"
+	"blackboxval/internal/obs"
 )
 
 func main() {
@@ -50,8 +51,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ppm-traffic send -target URL [-dataset income] [-batches 6] [-rows 500]
-               [-corrupt NAME] [-max-magnitude 0.95] [-clean 2]
-               [-interval 0s] [-seed 1]
+               [-corrupt NAME] [-corrupt-column COL] [-max-magnitude 0.95]
+               [-clean 2] [-interval 0s] [-seed 1]
   ppm-traffic sink -addr HOST:PORT`)
 }
 
@@ -62,6 +63,7 @@ func runSend(args []string) error {
 	batches := fs.Int("batches", 6, "serving batches to send")
 	rows := fs.Int("rows", 500, "rows per batch")
 	corrupt := fs.String("corrupt", "", "error generator for the ramp (empty = all clean)")
+	column := fs.String("corrupt-column", "", "scale exactly this numeric column instead of the generator's random pick (attribution ground truth)")
 	maxMagnitude := fs.Float64("max-magnitude", 0.95, "final corruption magnitude of the ramp")
 	clean := fs.Int("clean", 2, "leading clean batches before the ramp")
 	interval := fs.Duration("interval", 0, "pause between batches")
@@ -69,8 +71,8 @@ func runSend(args []string) error {
 	fs.Parse(args)
 	return cli.SendTraffic(cli.TrafficOptions{
 		Target: *target, Dataset: *dataset, Batches: *batches, Rows: *rows,
-		Corrupt: *corrupt, MaxMagnitude: *maxMagnitude, CleanBatches: *clean,
-		Interval: *interval, Seed: *seed,
+		Corrupt: *corrupt, Column: *column, MaxMagnitude: *maxMagnitude,
+		CleanBatches: *clean, Interval: *interval, Seed: *seed,
 	})
 }
 
@@ -78,6 +80,7 @@ func runSink(args []string) error {
 	fs := flag.NewFlagSet("sink", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8099", "sink listen address")
 	fs.Parse(args)
+	obs.RegisterRuntimeMetrics(obs.Default())
 	sink := &cli.AlertSink{}
 	fmt.Printf("alert sink listening on http://%s (POST /, GET /count, GET /events)\n", *addr)
 	srv := &http.Server{Addr: *addr, Handler: sink.Handler(), ReadHeaderTimeout: 5 * time.Second}

@@ -101,8 +101,11 @@ func registerLogFlags(fs *flag.FlagSet) *obs.LogConfig {
 }
 
 func setupLogs(cfg *obs.LogConfig) error {
-	_, err := obs.SetupLogs("ppm-validate", *cfg)
-	return err
+	if _, err := obs.SetupLogs("ppm-validate", *cfg); err != nil {
+		return err
+	}
+	obs.RegisterRuntimeMetrics(obs.Default())
+	return nil
 }
 
 func runCheck(args []string) error {

@@ -17,6 +17,7 @@ package baselines
 
 import (
 	"math"
+	"sort"
 
 	"blackboxval/internal/data"
 	"blackboxval/internal/frame"
@@ -67,30 +68,87 @@ func (r *REL) Applicable() bool { return r.reference.Tabular() && r.numTests > 0
 
 // Violation implements Detector.
 func (r *REL) Violation(serving *data.Dataset) bool {
-	if !r.Applicable() {
-		return false
-	}
-	alpha := stats.BonferroniAlpha(Alpha, r.numTests)
-	for _, name := range r.reference.Frame.NamesOfKind(frame.Numeric) {
-		ref := dropNaN(r.reference.Frame.Column(name).Num)
-		srv := dropNaN(serving.Frame.Column(name).Num)
-		if stats.KolmogorovSmirnov(ref, srv).Rejected(alpha) {
-			return true
-		}
-		// A column whose missingness rate exploded is also a shift, even
-		// if the observed values are identically distributed.
-		if missingRateJump(r.reference.Frame.Column(name).Num, serving.Frame.Column(name).Num) {
-			return true
-		}
-	}
-	for _, name := range r.reference.Frame.NamesOfKind(frame.Categorical) {
-		refCounts, srvCounts := categoryCounts(
-			r.reference.Frame.Column(name).Str, serving.Frame.Column(name).Str)
-		if stats.ChiSquareCounts(refCounts, srvCounts).Rejected(alpha) {
+	atts, _ := r.Attribute(serving)
+	for _, a := range atts {
+		if a.Rejected {
 			return true
 		}
 	}
 	return false
+}
+
+// ColumnAttribution is one row of REL's per-column evidence: which test
+// ran, how strong the shift signal is, and whether it survives the
+// Bonferroni-corrected significance level. It is the unit of ranked
+// drift attribution consumed by incident bundles and reports.
+type ColumnAttribution struct {
+	Column    string  `json:"column"`
+	Kind      string  `json:"kind"` // "numeric" or "categorical"
+	Test      string  `json:"test"` // "ks" or "chi2"
+	Statistic float64 `json:"statistic"`
+	PValue    float64 `json:"p_value"`
+	Rejected  bool    `json:"rejected"`
+	// MissingDelta is the serving-minus-reference missing rate for
+	// numeric columns (an exploded missingness rate counts as shift
+	// even when the observed values are identically distributed).
+	MissingDelta float64 `json:"missing_delta,omitempty"`
+}
+
+// Attribute runs REL's per-column loop against a serving batch and
+// returns every column's test result ranked most-suspicious first
+// (rejected columns before accepted ones, then ascending p-value,
+// descending statistic, column name as the final deterministic
+// tie-break), plus the Bonferroni-corrected alpha the rejections were
+// judged at. Violation is exactly "any attribution rejected"; the
+// incident flight recorder uses the full ranking to name the columns
+// that drifted.
+func (r *REL) Attribute(serving *data.Dataset) ([]ColumnAttribution, float64) {
+	if !r.Applicable() || !serving.Tabular() {
+		return nil, Alpha
+	}
+	alpha := stats.BonferroniAlpha(Alpha, r.numTests)
+	var out []ColumnAttribution
+	for _, name := range r.reference.Frame.NamesOfKind(frame.Numeric) {
+		refRaw := r.reference.Frame.Column(name).Num
+		srvRaw := serving.Frame.Column(name).Num
+		res := stats.KolmogorovSmirnov(dropNaN(refRaw), dropNaN(srvRaw))
+		out = append(out, ColumnAttribution{
+			Column:       name,
+			Kind:         "numeric",
+			Test:         "ks",
+			Statistic:    res.Statistic,
+			PValue:       res.PValue,
+			Rejected:     res.Rejected(alpha) || missingRateJump(refRaw, srvRaw),
+			MissingDelta: missingRate(srvRaw) - missingRate(refRaw),
+		})
+	}
+	for _, name := range r.reference.Frame.NamesOfKind(frame.Categorical) {
+		refCounts, srvCounts := categoryCounts(
+			r.reference.Frame.Column(name).Str, serving.Frame.Column(name).Str)
+		res := stats.ChiSquareCounts(refCounts, srvCounts)
+		out = append(out, ColumnAttribution{
+			Column:    name,
+			Kind:      "categorical",
+			Test:      "chi2",
+			Statistic: res.Statistic,
+			PValue:    res.PValue,
+			Rejected:  res.Rejected(alpha),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Rejected != b.Rejected {
+			return a.Rejected
+		}
+		if a.PValue != b.PValue {
+			return a.PValue < b.PValue
+		}
+		if a.Statistic != b.Statistic {
+			return a.Statistic > b.Statistic
+		}
+		return a.Column < b.Column
+	})
+	return out, alpha
 }
 
 func dropNaN(xs []float64) []float64 {
@@ -212,3 +270,9 @@ func classCounts(proba *linalg.Matrix) []float64 {
 	}
 	return counts
 }
+
+// PredictedClassCounts histograms the argmax predictions of a
+// probability matrix — the statistic BBSEh tests on. Exported so the
+// incident flight recorder can report predicted-class histogram shift
+// with exactly the same counting rule as the baseline.
+func PredictedClassCounts(proba *linalg.Matrix) []float64 { return classCounts(proba) }

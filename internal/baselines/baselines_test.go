@@ -137,3 +137,75 @@ func TestCategoryCountsAlignment(t *testing.T) {
 		t.Fatalf("srv counts = %v", srv)
 	}
 }
+
+// scaleColumn multiplies a fraction of one numeric column by 1000,
+// leaving every other column untouched — the targeted corruption the
+// incident flight recorder must attribute back to that column.
+func scaleColumn(ds *data.Dataset, column string, fraction float64, seed int64) *data.Dataset {
+	out := ds.Clone()
+	col := out.Frame.Column(column)
+	rng := rand.New(rand.NewSource(seed))
+	for i, v := range col.Num {
+		if rng.Float64() < fraction {
+			col.Num[i] = v * 1000
+		}
+	}
+	return out
+}
+
+func TestAttributeRanksCorruptedColumnFirst(t *testing.T) {
+	_, test, serving := splits(t, 11)
+	rel := NewREL(test)
+
+	atts, alpha := rel.Attribute(scaleColumn(serving, "age", 0.8, 12))
+	if len(atts) == 0 {
+		t.Fatal("no attributions for tabular serving data")
+	}
+	if want := Alpha / float64(len(atts)); alpha != want {
+		t.Fatalf("corrected alpha = %v, want Bonferroni %v", alpha, want)
+	}
+	if atts[0].Column != "age" {
+		t.Fatalf("top attribution = %q, want corrupted column age (full ranking: %+v)", atts[0].Column, atts)
+	}
+	if !atts[0].Rejected || atts[0].Test != "ks" || atts[0].Kind != "numeric" {
+		t.Fatalf("top attribution not a rejected numeric KS result: %+v", atts[0])
+	}
+	if atts[0].PValue >= alpha {
+		t.Fatalf("top p-value %v not under corrected alpha %v", atts[0].PValue, alpha)
+	}
+	// Ranking and Violation must agree: any rejection means violation.
+	if !rel.Violation(scaleColumn(serving, "age", 0.8, 12)) {
+		t.Fatal("Violation disagrees with a rejected attribution")
+	}
+}
+
+func TestAttributeCleanServingAcceptsAllColumns(t *testing.T) {
+	_, test, serving := splits(t, 13)
+	rel := NewREL(test)
+	atts, _ := rel.Attribute(serving)
+	for _, a := range atts {
+		if a.Rejected {
+			t.Fatalf("clean i.i.d. serving data rejected column %+v", a)
+		}
+	}
+}
+
+func TestAttributeInapplicable(t *testing.T) {
+	imgs := datagen.Digits(40, 2)
+	rel := NewREL(imgs)
+	if atts, alpha := rel.Attribute(imgs); atts != nil || alpha != Alpha {
+		t.Fatalf("inapplicable REL: atts=%v alpha=%v, want nil and uncorrected Alpha", atts, alpha)
+	}
+}
+
+func TestPredictedClassCounts(t *testing.T) {
+	proba := linalg.NewMatrix(4, 2)
+	for i, cls := range []int{0, 1, 1, 1} {
+		proba.Set(i, cls, 0.9)
+		proba.Set(i, 1-cls, 0.1)
+	}
+	counts := PredictedClassCounts(proba)
+	if len(counts) != 2 || counts[0] != 1 || counts[1] != 3 {
+		t.Fatalf("PredictedClassCounts = %v, want [1 3]", counts)
+	}
+}

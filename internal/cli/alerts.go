@@ -21,6 +21,10 @@ type AlertOptions struct {
 	RulesPath string
 	// WebhookURL optionally receives alert events as JSON POSTs.
 	WebhookURL string
+	// Notifier is an extra event consumer composed alongside the webhook
+	// (typically an incident recorder's AlertNotifier, so alert fire
+	// transitions auto-capture flight-recorder bundles). Optional.
+	Notifier alert.Notifier
 	// Registry receives ppm_alerts_total / ppm_alert_active
 	// (nil = obs.Default()).
 	Registry *obs.Registry
@@ -53,8 +57,10 @@ func WireAlerts(mon *monitor.Monitor, opts AlertOptions) (*alert.Engine, func(),
 		if err != nil {
 			return nil, nil, err
 		}
-		cfg.Notifier = webhook
+		cfg.Notifier = alert.Notifiers(webhook, opts.Notifier)
 		closer = webhook.Close
+	} else {
+		cfg.Notifier = opts.Notifier
 	}
 	engine, err := alert.New(cfg)
 	if err != nil {

@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"blackboxval/internal/cloud"
+	"blackboxval/internal/data"
+	"blackboxval/internal/frame"
 	"blackboxval/internal/obs"
 )
 
@@ -35,6 +37,13 @@ type TrafficOptions struct {
 	Rows int
 	// Corrupt names the error generator for the ramp (empty = all clean).
 	Corrupt string
+	// Column, when set, overrides Corrupt's random column pick with a
+	// targeted single-column scaling corruption of the named numeric
+	// column (each value is multiplied by 1000 with per-value probability
+	// equal to the ramp magnitude). This is the deterministic
+	// attribution scenario: the incident recorder should rank exactly
+	// this column first.
+	Column string
 	// MaxMagnitude is the ramp's final corruption magnitude (default 0.95).
 	MaxMagnitude float64
 	// CleanBatches is how many leading batches stay uncorrupted
@@ -76,19 +85,32 @@ func SendTraffic(opts TrafficOptions) error {
 	if err != nil {
 		return err
 	}
+	if opts.Column != "" {
+		col := clean.Frame.Column(opts.Column)
+		if col == nil || col.Kind != frame.Numeric {
+			return fmt.Errorf("cli: -corrupt-column %q is not a numeric column of %s", opts.Column, opts.Dataset)
+		}
+		if opts.CleanBatches <= 0 {
+			opts.CleanBatches = 2
+		}
+	}
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 	for i := 0; i < opts.Batches; i++ {
 		batch := clean
 		magnitude := 0.0
-		if opts.Corrupt != "" && i >= opts.CleanBatches {
-			gen, err := GeneratorByName(opts.Corrupt)
-			if err != nil {
-				return err
-			}
+		if (opts.Corrupt != "" || opts.Column != "") && i >= opts.CleanBatches {
 			// Linear ramp over the corrupted tail, ending at MaxMagnitude.
 			corrupted := opts.Batches - opts.CleanBatches
 			magnitude = opts.MaxMagnitude * float64(i-opts.CleanBatches+1) / float64(corrupted)
-			batch = gen.Corrupt(clean, magnitude, rng)
+			if opts.Column != "" {
+				batch = CorruptColumn(clean, opts.Column, magnitude, rng)
+			} else {
+				gen, err := GeneratorByName(opts.Corrupt)
+				if err != nil {
+					return err
+				}
+				batch = gen.Corrupt(clean, magnitude, rng)
+			}
 		}
 		body, err := cloud.EncodeRequest(batch)
 		if err != nil {
@@ -110,6 +132,29 @@ func SendTraffic(opts TrafficOptions) error {
 		}
 	}
 	return nil
+}
+
+// CorruptColumn applies a scaling corruption (x1000, per-value
+// probability = magnitude) to one named numeric column — the targeted
+// variant of errorgen.Scaling, used by the incident-attribution demo
+// and e2e tests where the ground-truth drifted column must be known.
+func CorruptColumn(ds *data.Dataset, column string, magnitude float64, rng *rand.Rand) *data.Dataset {
+	out := ds.Clone()
+	col := out.Frame.Column(column)
+	if col == nil || col.Kind != frame.Numeric {
+		return out
+	}
+	if magnitude < 0 {
+		magnitude = 0
+	} else if magnitude > 1 {
+		magnitude = 1
+	}
+	for i, v := range col.Num {
+		if rng.Float64() < magnitude {
+			col.Num[i] = v * 1000
+		}
+	}
+	return out
 }
 
 // AlertSink is an in-memory webhook receiver for demos and tests:

@@ -281,6 +281,25 @@ func EncodeRequest(ds *data.Dataset) ([]byte, error) {
 	return payload, nil
 }
 
+// DecodeRequest reconstructs the unlabeled serving rows from a raw
+// /predict_proba request body. classes names the model's classes (the
+// decoded dataset needs a class list; pass the manifest's). It is
+// exported so the shadow-validation gateway can recover the raw
+// feature columns of a tapped request for incident forensics without
+// re-implementing the wire schema.
+func DecodeRequest(body []byte, classes []string) (*data.Dataset, error) {
+	var req predictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("cloud: decoding request: %w", err)
+	}
+	ds, err := decodeRequest(req, len(classes))
+	if err != nil {
+		return nil, err
+	}
+	ds.Classes = append([]string(nil), classes...)
+	return ds, nil
+}
+
 // ParseProbaResponse decodes the JSON body of a /predict_proba response
 // into a probability matrix. It is exported so serving-path components
 // (e.g. the shadow-validation gateway) can tap logged response bodies

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blackboxval/internal/data"
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
 )
@@ -57,6 +58,13 @@ type Config struct {
 	Breaker BreakerConfig
 	// ShadowQueueSize bounds the async validation queue (default 256).
 	ShadowQueueSize int
+	// RawDecoder, when set alongside Monitor, decodes each tapped
+	// request body back into the raw serving rows (cloud.DecodeRequest
+	// with the bundle's class list) so the monitor's batch observers —
+	// the incident flight recorder's reservoir — see the features that
+	// produced the outputs. Nil disables raw capture: the tap then
+	// carries response bodies only, exactly as before.
+	RawDecoder func(reqBody []byte) (*data.Dataset, error)
 	// MaxBodyBytes caps accepted request bodies (default 256 MiB, the
 	// same cap the model server applies).
 	MaxBodyBytes int64
@@ -149,7 +157,7 @@ func New(cfg Config) (*Gateway, error) {
 		g.shadow = newShadowTap(cfg.Monitor, cfg.ShadowQueueSize, cfg.Logger, g.metrics, func(rec monitor.Record) {
 			g.metrics.estimate.Set(rec.Estimate)
 			g.metrics.alarm.Set(boolGauge(cfg.Monitor.Alarming()))
-		})
+		}, cfg.RawDecoder)
 		g.metrics.shadowDepth.SetFunc(func() float64 { return float64(g.shadow.Depth()) })
 	}
 	return g, nil
@@ -288,8 +296,9 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		outcome = outcomeUpstream4xx
 	case g.shadow != nil:
 		// Tap the successful batch for shadow validation, off the hot
-		// path; the id rides along into the monitor observation.
-		g.shadow.Enqueue(resp.body, id)
+		// path; the id rides along into the monitor observation, and the
+		// request body too when raw capture is on.
+		g.shadow.EnqueueWithRequest(body, resp.body, id)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"blackboxval/internal/cloud"
+	"blackboxval/internal/data"
 	"blackboxval/internal/monitor"
 )
 
@@ -30,29 +31,37 @@ type shadowTap struct {
 
 	// onRecord observes each monitor record (gauge updates).
 	onRecord func(monitor.Record)
+	// rawDecoder, when set, recovers the raw serving rows from the
+	// request body so monitor batch observers (the incident reservoir)
+	// see them. Nil = response-only tap.
+	rawDecoder func(reqBody []byte) (*data.Dataset, error)
 }
 
-func newShadowTap(mon *monitor.Monitor, capacity int, logger *log.Logger, metrics *Metrics, onRecord func(monitor.Record)) *shadowTap {
+func newShadowTap(mon *monitor.Monitor, capacity int, logger *log.Logger, metrics *Metrics, onRecord func(monitor.Record), rawDecoder func([]byte) (*data.Dataset, error)) *shadowTap {
 	if capacity <= 0 {
 		capacity = 256
 	}
 	t := &shadowTap{
-		mon:      mon,
-		logger:   logger,
-		metrics:  metrics,
-		cap:      capacity,
-		wake:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
-		onRecord: onRecord,
+		mon:        mon,
+		logger:     logger,
+		metrics:    metrics,
+		cap:        capacity,
+		wake:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		onRecord:   onRecord,
+		rawDecoder: rawDecoder,
 	}
 	t.wg.Add(1)
 	go t.run()
 	return t
 }
 
-// shadowItem is one queued batch: the raw backend response plus the
-// correlation id of the serving request that produced it.
+// shadowItem is one queued batch: the raw backend response, optionally
+// the request body that produced it (only retained when a raw decoder
+// wants it — doubling queue memory for nothing is not worth it), plus
+// the correlation id of the serving request.
 type shadowItem struct {
+	reqBody   []byte
 	body      []byte
 	requestID string
 }
@@ -61,12 +70,22 @@ type shadowItem struct {
 // never blocks: when the queue is full the oldest pending batch is
 // evicted.
 func (t *shadowTap) Enqueue(body []byte, requestID string) {
+	t.EnqueueWithRequest(nil, body, requestID)
+}
+
+// EnqueueWithRequest is Enqueue carrying the request body as well, for
+// raw-row capture. The request body is dropped at the door when no
+// decoder is configured.
+func (t *shadowTap) EnqueueWithRequest(reqBody, body []byte, requestID string) {
+	if t.rawDecoder == nil {
+		reqBody = nil
+	}
 	t.mu.Lock()
 	if len(t.queue) >= t.cap {
 		t.queue = t.queue[1:]
 		t.metrics.shadowDropped.Add(1, "dropped")
 	}
-	t.queue = append(t.queue, shadowItem{body: body, requestID: requestID})
+	t.queue = append(t.queue, shadowItem{reqBody: reqBody, body: body, requestID: requestID})
 	t.mu.Unlock()
 	select {
 	case t.wake <- struct{}{}:
@@ -134,7 +153,20 @@ func (t *shadowTap) observe(item shadowItem) {
 		}
 		return
 	}
-	rec := t.mon.ObserveProbaID(proba, item.requestID)
+	var batch *data.Dataset
+	if t.rawDecoder != nil && item.reqBody != nil {
+		ds, err := t.rawDecoder(item.reqBody)
+		if err != nil {
+			// Attribution degrades gracefully: observe the outputs anyway.
+			t.metrics.shadowDropped.Add(1, "raw_undecodable")
+			if t.logger != nil {
+				t.logger.Printf("gateway: shadow tap cannot decode request body: %v", err)
+			}
+		} else {
+			batch = ds
+		}
+	}
+	rec := t.mon.ObserveBatchProbaID(batch, proba, item.requestID)
 	t.observed.Add(1)
 	t.metrics.shadowDropped.Add(1, "observed")
 	if t.onRecord != nil {

@@ -52,7 +52,7 @@ func (m *Monitor) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	setMonitorHeaders(w, "text/html; charset=utf-8")
 	fmt.Fprint(w, dashboardHTML)
 }
 
@@ -84,6 +84,7 @@ const dashboardHTML = `<!doctype html>
 <div class="status">
   state: <span id="state" class="badge ok">loading…</span>
   <span class="meta" id="meta"></span>
+  <span class="meta"><a href="/debug/incidents/view">incidents</a></span>
 </div>
 <svg id="chart" width="720" height="160" viewBox="0 0 720 160"></svg>
 <table>

@@ -65,13 +65,23 @@ func (m *Monitor) Handler() http.Handler {
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		setMonitorHeaders(w, "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
 }
 
+// setMonitorHeaders applies the shared response hygiene of every
+// monitor endpoint: an explicit Content-Type and Cache-Control:
+// no-store, because all of them report live model state that a cache
+// (or a browser's back button) must never serve stale.
+func setMonitorHeaders(w http.ResponseWriter, contentType string) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Cache-Control", "no-store")
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	setMonitorHeaders(w, "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}

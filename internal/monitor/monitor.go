@@ -125,12 +125,13 @@ type Monitor struct {
 	refCols [][]float64
 	refP50  []float64
 
-	mu      sync.Mutex
-	seq     int
-	run     int // current consecutive-violation run length
-	alarms  int
-	history []Record
-	window  *core.StreamAccumulator // lazily created by ObserveRow
+	mu        sync.Mutex
+	seq       int
+	run       int // current consecutive-violation run length
+	alarms    int
+	history   []Record
+	window    *core.StreamAccumulator // lazily created by ObserveRow
+	observers []BatchObserver
 
 	// Counter families wired by RegisterMetrics (nil until then).
 	batchesMetric    *obs.Counter
@@ -173,22 +174,57 @@ func New(cfg Config) (*Monitor, error) {
 	return m, nil
 }
 
+// BatchObserver receives every observed batch after its record is
+// committed: the raw serving rows (nil when the caller only had model
+// outputs, or for row-streamed windows), the model outputs (nil for
+// row-streamed windows) and the committed record. Observers run
+// synchronously on the observing goroutine, before the batch's signals
+// feed the drift timeline — so by the time a window close fires an
+// alert hook, observers (e.g. the incident flight recorder's
+// reservoir) have already seen the triggering batch.
+type BatchObserver func(batch *data.Dataset, proba *linalg.Matrix, rec Record)
+
+// OnObserve registers fn as a batch observer. Register before traffic
+// starts.
+func (m *Monitor) OnObserve(fn BatchObserver) {
+	m.mu.Lock()
+	m.observers = append(m.observers, fn)
+	m.mu.Unlock()
+}
+
+func (m *Monitor) notifyObservers(batch *data.Dataset, proba *linalg.Matrix, rec Record) {
+	m.mu.Lock()
+	observers := m.observers
+	m.mu.Unlock()
+	for _, fn := range observers {
+		fn(batch, proba, rec)
+	}
+}
+
 // Observe runs the black box on the batch and records the outcome. Use
 // ObserveProba when the model outputs are already available (e.g. logged
 // by the serving system).
 func (m *Monitor) Observe(batch *data.Dataset) Record {
-	return m.ObserveProba(m.cfg.Predictor.Model().PredictProba(batch))
+	return m.ObserveBatchProbaID(batch, m.cfg.Predictor.Model().PredictProba(batch), "")
 }
 
 // ObserveProba records the outcome for a batch of model outputs.
 func (m *Monitor) ObserveProba(proba *linalg.Matrix) Record {
-	return m.ObserveProbaID(proba, "")
+	return m.ObserveBatchProbaID(nil, proba, "")
 }
 
 // ObserveProbaID is ObserveProba with an end-to-end correlation id: the
 // gateway passes the request's X-Request-ID so a serving request can be
 // traced from proxy log to shadow-validation verdict.
 func (m *Monitor) ObserveProbaID(proba *linalg.Matrix, requestID string) Record {
+	return m.ObserveBatchProbaID(nil, proba, requestID)
+}
+
+// ObserveBatchProbaID is the full observation entry point: model
+// outputs plus, when the caller has them, the raw serving rows that
+// produced them (handed to batch observers for incident forensics) and
+// the end-to-end correlation id. batch may be nil.
+func (m *Monitor) ObserveBatchProbaID(batch *data.Dataset, proba *linalg.Matrix, requestID string) Record {
 	estimate := m.cfg.Predictor.EstimateFromProba(proba)
 	rec := Record{
 		Size:              proba.Rows,
@@ -201,7 +237,9 @@ func (m *Monitor) ObserveProbaID(proba *linalg.Matrix, requestID string) Record 
 	}
 	rec.Violating = rec.EstimateViolation || rec.ValidatorViolation
 	m.drift(&rec, proba)
-	m.commit(&rec)
+	m.commitState(&rec)
+	m.notifyObservers(batch, proba, rec)
+	m.feedTimeline(&rec)
 	return rec
 }
 
@@ -227,10 +265,11 @@ func (m *Monitor) drift(rec *Record, proba *linalg.Matrix) {
 	}
 }
 
-// commit applies the hysteresis state machine, appends to history and
-// feeds the drift timeline. The timeline is fed after m.mu is released:
-// window-close hooks run on this goroutine and may read the monitor.
-func (m *Monitor) commit(rec *Record) {
+// commitState applies the hysteresis state machine and appends to
+// history under m.mu. Callers feed the drift timeline afterwards (see
+// feedTimeline), outside the lock: window-close hooks run on this
+// goroutine and may read the monitor.
+func (m *Monitor) commitState(rec *Record) {
 	m.mu.Lock()
 	rec.Seq = m.seq
 	m.seq++
@@ -257,7 +296,6 @@ func (m *Monitor) commit(rec *Record) {
 		}
 	}
 	m.mu.Unlock()
-	m.feedTimeline(rec)
 }
 
 // feedTimeline appends one record's signals to the drift timeline as a
@@ -314,7 +352,9 @@ func (m *Monitor) ObserveRow(probaRow []float64) (rec Record, done bool) {
 		EstimateViolation: estimate < m.line,
 	}
 	rec.Violating = rec.EstimateViolation
-	m.commit(&rec)
+	m.commitState(&rec)
+	m.notifyObservers(nil, nil, rec)
+	m.feedTimeline(&rec)
 	return rec, true
 }
 
@@ -327,6 +367,11 @@ func (m *Monitor) Alarming() bool {
 
 // AlarmLine returns the score below which a batch counts as violating.
 func (m *Monitor) AlarmLine() float64 { return m.line }
+
+// Predictor returns the performance predictor the monitor estimates
+// with (its retained test outputs are the reference distribution the
+// incident flight recorder attributes drift against).
+func (m *Monitor) Predictor() *core.Predictor { return m.cfg.Predictor }
 
 // Timeline returns the windowed drift store. Register alert engines on
 // it with Timeline().OnWindowClose(engine.Evaluate) before traffic

@@ -7,10 +7,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"blackboxval/internal/data"
 	"blackboxval/internal/errorgen"
+	"blackboxval/internal/linalg"
+	"blackboxval/internal/obs"
 )
 
 func TestTimelineFeedAndDriftStats(t *testing.T) {
@@ -194,4 +198,155 @@ func readAll(t *testing.T, resp *http.Response) string {
 		t.Fatal(err)
 	}
 	return string(buf)
+}
+
+// TestOnObserveOrdering pins the observer contract the incident flight
+// recorder depends on: by the time a BatchObserver runs, the record is
+// committed to history (so a capture sees consistent state), and the
+// batch has NOT yet fed the timeline — so an OnWindowClose alert hook
+// that triggers a capture always finds the triggering batch already in
+// the observer's reservoir.
+func TestOnObserveOrdering(t *testing.T) {
+	f := getFixture(t)
+	m, err := New(Config{Predictor: f.pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := f.model.PredictProba(f.serving)
+
+	var observed, closed int
+	m.Timeline().OnWindowClose(func(obs.Window) {
+		if observed != closed+1 {
+			t.Errorf("window %d closed before its batch observer ran (observed=%d)", closed, observed)
+		}
+		closed++
+	})
+	m.OnObserve(func(batch *data.Dataset, p *linalg.Matrix, rec Record) {
+		observed++
+		if batch != f.serving || p != proba {
+			t.Error("observer did not receive the observed batch and outputs")
+		}
+		if rec.RequestID != "req-7" {
+			t.Errorf("observer record request id = %q", rec.RequestID)
+		}
+		hist := m.History()
+		if len(hist) == 0 || hist[len(hist)-1].Seq != rec.Seq {
+			t.Error("observer ran before the record was committed to history")
+		}
+		if got := m.Timeline().Len(); got != closed {
+			t.Errorf("timeline advanced to %d windows before observers ran", got)
+		}
+	})
+
+	m.ObserveBatchProbaID(f.serving, proba, "req-7")
+	m.ObserveBatchProbaID(f.serving, proba, "req-7")
+	if observed != 2 || closed != 2 {
+		t.Fatalf("observed=%d closed=%d, want 2/2", observed, closed)
+	}
+}
+
+// TestTimelineWraparoundRacingScrape wraps the timeline ring several
+// times over while a scraper hammers /timeline and an OnWindowClose
+// hook (standing in for the alert engine) observes every close. Run
+// under -race this pins the snapshot isolation of closed windows.
+func TestTimelineWraparoundRacingScrape(t *testing.T) {
+	f := getFixture(t)
+	const capacity, batches = 4, 32
+	m, err := New(Config{Predictor: f.pred, TimelineCapacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := f.model.PredictProba(f.serving)
+
+	var closes atomic.Int64
+	m.Timeline().OnWindowClose(func(obs.Window) { closes.Add(1) })
+
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < batches; i++ {
+			m.ObserveProba(proba)
+		}
+	}()
+	for {
+		resp, err := http.Get(srv.URL + "/timeline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc TimelineDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(doc.Windows) > capacity {
+			t.Fatalf("ring exceeded capacity: %d windows", len(doc.Windows))
+		}
+		// Every scrape, mid-wraparound or not, sees a gapless suffix of
+		// the window stream.
+		for j := 1; j < len(doc.Windows); j++ {
+			if doc.Windows[j].Index != doc.Windows[j-1].Index+1 {
+				t.Fatalf("window indices not contiguous: %d after %d",
+					doc.Windows[j].Index, doc.Windows[j-1].Index)
+			}
+		}
+		select {
+		case <-done:
+		default:
+			continue
+		}
+		break
+	}
+
+	if got := closes.Load(); got != batches {
+		t.Fatalf("OnWindowClose fired %d times, want %d", got, batches)
+	}
+	windows := m.Timeline().Windows()
+	if len(windows) != capacity {
+		t.Fatalf("retained %d windows, want capacity %d", len(windows), capacity)
+	}
+	if last := windows[len(windows)-1].Index; last != batches-1 {
+		t.Fatalf("newest window index = %d, want %d", last, batches-1)
+	}
+}
+
+// TestMonitorResponseHeaderHygiene asserts every monitor endpoint
+// declares its media type and opts out of caching — monitoring state
+// is live data; a cached /summary hides an outage.
+func TestMonitorResponseHeaderHygiene(t *testing.T) {
+	f := getFixture(t)
+	m, err := New(Config{Predictor: f.pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(f.serving)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	cases := []struct{ path, ctPrefix string }{
+		{"/", "text/html"},
+		{"/timeline", "application/json"},
+		{"/summary", "application/json"},
+		{"/history", "application/json"},
+		{"/alarming", "application/json"},
+		{"/healthz", "text/plain"},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(srv.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", c.path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, c.ctPrefix) {
+			t.Errorf("%s Content-Type = %q, want prefix %q", c.path, ct, c.ctPrefix)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", c.path, cc)
+		}
+	}
 }

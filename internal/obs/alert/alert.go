@@ -114,6 +114,30 @@ type NotifierFunc func(Event)
 // Notify calls f.
 func (f NotifierFunc) Notify(ev Event) { f(ev) }
 
+// Notifiers fans every event out to several notifiers in order,
+// skipping nils, so one engine can drive e.g. a webhook and the
+// incident flight recorder at once. Returns nil when every argument is
+// nil, so callers can pass the result straight to Config.Notifier.
+func Notifiers(ns ...Notifier) Notifier {
+	live := make([]Notifier, 0, len(ns))
+	for _, n := range ns {
+		if n != nil {
+			live = append(live, n)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return NotifierFunc(func(ev Event) {
+		for _, n := range live {
+			n.Notify(ev)
+		}
+	})
+}
+
 // Config configures an Engine.
 type Config struct {
 	// Rules are the alert rules (at least one).

@@ -242,3 +242,24 @@ func TestLoadRules(t *testing.T) {
 		t.Fatal("missing file should error")
 	}
 }
+
+func TestNotifiersFanOut(t *testing.T) {
+	var a, b []string
+	n := Notifiers(
+		NotifierFunc(func(ev Event) { a = append(a, ev.Rule) }),
+		nil, // nils are tolerated so call sites can pass optional hooks
+		NotifierFunc(func(ev Event) { b = append(b, ev.Rule) }),
+	)
+	n.Notify(Event{Rule: "r1"})
+	n.Notify(Event{Rule: "r2"})
+	if len(a) != 2 || len(b) != 2 || a[0] != "r1" || b[1] != "r2" {
+		t.Fatalf("fan-out: a=%v b=%v", a, b)
+	}
+	if Notifiers() != nil || Notifiers(nil, nil) != nil {
+		t.Fatal("empty fan-out should collapse to nil")
+	}
+	single := NotifierFunc(func(Event) {})
+	if got := Notifiers(nil, single); got == nil {
+		t.Fatal("single notifier lost")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -150,28 +151,45 @@ func (w *Webhook) worker() {
 	}
 }
 
-// deliver POSTs one event, retrying transient failures (network errors
-// and 5xx responses) with full-jitter backoff: the sleep before attempt
-// n is drawn uniformly from the upper half of base<<n, matching the
-// gateway's backoff so a retry storm decorrelates.
+// retryAfterCap bounds how long a server-provided Retry-After can make
+// the worker sleep: the queue is bounded and other events are waiting
+// behind the stalled one.
+const retryAfterCap = 30 * time.Second
+
+// deliver POSTs one event, retrying transient failures (network errors,
+// 429 and 5xx responses) with full-jitter backoff: the sleep before
+// attempt n is drawn uniformly from the upper half of base<<n, matching
+// the gateway's backoff so a retry storm decorrelates. When a 429 or
+// 503 carries a Retry-After header the server's own pacing wins
+// (capped at retryAfterCap) — backing off faster than the endpoint
+// asked for just burns the remaining attempts.
 func (w *Webhook) deliver(ev Event) error {
 	body, err := json.Marshal(ev)
 	if err != nil {
 		return fmt.Errorf("encoding event: %w", err)
 	}
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt <= w.maxRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(w.backoff(attempt))
+			if retryAfter > 0 {
+				time.Sleep(retryAfter)
+			} else {
+				time.Sleep(w.backoff(attempt))
+			}
 		}
+		retryAfter = 0
 		resp, err := w.client.Post(w.url, "application/json", bytes.NewReader(body))
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		code := resp.StatusCode
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+		}
 		resp.Body.Close()
-		if code < 500 {
+		if code < 500 && code != http.StatusTooManyRequests {
 			if code >= 300 {
 				// Client errors are not retryable: the payload or the
 				// endpoint is wrong and repeating won't change that.
@@ -182,6 +200,31 @@ func (w *Webhook) deliver(ev Event) error {
 		lastErr = fmt.Errorf("webhook returned %d", code)
 	}
 	return fmt.Errorf("after %d attempts: %w", w.maxRetries+1, lastErr)
+}
+
+// parseRetryAfter interprets a Retry-After header value — either
+// delta-seconds or an HTTP-date (RFC 9110 §10.2.3) — as a sleep
+// duration relative to now, clamped to [0, retryAfterCap]. Returns 0
+// for absent or malformed values, falling back to jittered backoff.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(v); err == nil {
+		d = at.Sub(now)
+	} else {
+		return 0
+	}
+	if d < 0 {
+		return 0
+	}
+	if d > retryAfterCap {
+		return retryAfterCap
+	}
+	return d
 }
 
 func (w *Webhook) backoff(attempt int) time.Duration {

@@ -173,3 +173,92 @@ func TestWebhookConfigValidation(t *testing.T) {
 		t.Fatal("missing URL should be rejected")
 	}
 }
+
+func TestWebhookRetries429(t *testing.T) {
+	// 429 used to be terminal (any code < 500); it is retryable now.
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+	}))
+	defer srv.Close()
+
+	wh, err := NewWebhook(WebhookConfig{
+		URL: srv.URL, Logger: quietLogger(),
+		RetryBaseDelay: time.Millisecond,
+		Jitter:         rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh.Notify(testEvent("estimate_low"))
+	wh.Close()
+
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (429 must be retried)", calls.Load())
+	}
+	if wh.Delivered() != 1 || wh.Failed() != 0 {
+		t.Fatalf("delivered=%d failed=%d", wh.Delivered(), wh.Failed())
+	}
+}
+
+func TestWebhookHonorsRetryAfter(t *testing.T) {
+	// The server asks for a 1s pause; the configured backoff would only
+	// wait ~1ms, so a gap near a second proves the header won.
+	var calls atomic.Int32
+	var firstAt, secondAt time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt = time.Now()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			secondAt = time.Now()
+		}
+	}))
+	defer srv.Close()
+
+	wh, err := NewWebhook(WebhookConfig{
+		URL: srv.URL, Logger: quietLogger(),
+		RetryBaseDelay: time.Millisecond,
+		Jitter:         rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh.Notify(testEvent("estimate_low"))
+	wh.Close()
+
+	if calls.Load() != 2 || wh.Delivered() != 1 {
+		t.Fatalf("calls=%d delivered=%d", calls.Load(), wh.Delivered())
+	}
+	if gap := secondAt.Sub(firstAt); gap < 900*time.Millisecond {
+		t.Fatalf("retry happened after %v, want >= ~1s (Retry-After ignored?)", gap)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"5", 5 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"garbage", 0},
+		{"86400", retryAfterCap}, // clamped
+		{now.Add(10 * time.Second).Format(http.TimeFormat), 10 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // past date
+		{now.Add(time.Hour).Format(http.TimeFormat), retryAfterCap},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

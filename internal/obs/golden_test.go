@@ -21,6 +21,11 @@ func goldenRegistry() *Registry {
 
 	reg.Counter("ppm_batches_total", "Observed batches.").Add(7)
 
+	// Callback counter — the shape runtime self-telemetry uses for
+	// cumulative GC pause seconds (a gauge named *_total would fail Lint).
+	reg.CounterFunc("ppm_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.", func() float64 { return 1.25 })
+
 	rv := reg.CounterVec("ppm_alerts_total", "Alerts fired by rule.", "rule")
 	rv.Add(2, "estimate_low")
 	rv.Inc("ks_high")

@@ -1,0 +1,395 @@
+package incident
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"blackboxval/internal/data"
+	"blackboxval/internal/datagen"
+	"blackboxval/internal/linalg"
+	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
+	"blackboxval/internal/obs/alert"
+)
+
+// corruptAge scales the "age" column by 1000 with per-value probability
+// magnitude — the targeted single-column drift the attribution must pin.
+func corruptAge(ds *data.Dataset, magnitude float64, seed int64) *data.Dataset {
+	out := ds.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	col := out.Frame.Column("age")
+	for i, v := range col.Num {
+		if rng.Float64() < magnitude {
+			col.Num[i] = v * 1000
+		}
+	}
+	return out
+}
+
+// skewedProba builds a degenerate proba matrix predicting class 0 for
+// every row (argmax histogram fully collapsed).
+func skewedProba(rows int) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, 2)
+	for i := 0; i < rows; i++ {
+		m.Set(i, 0, 0.9)
+		m.Set(i, 1, 0.1)
+	}
+	return m
+}
+
+// balancedProba alternates the predicted class.
+func balancedProba(rows int) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, 2)
+	for i := 0; i < rows; i++ {
+		hi, lo := 0, 1
+		if i%2 == 1 {
+			hi, lo = 1, 0
+		}
+		m.Set(i, hi, 0.8)
+		m.Set(i, lo, 0.2)
+	}
+	return m
+}
+
+func TestReservoirDeterminism(t *testing.T) {
+	feed := func(s *reservoir) {
+		for i := int64(0); i < 5; i++ {
+			s.offer(datagen.Income(200, 10+i))
+		}
+	}
+	a, b := newReservoir(64, 7), newReservoir(64, 7)
+	feed(a)
+	feed(b)
+	da, db := a.dataset(nil), b.dataset(nil)
+	if da.Len() != 64 || db.Len() != 64 {
+		t.Fatalf("lens = %d, %d, want 64", da.Len(), db.Len())
+	}
+	ja, _ := json.Marshal(da.Frame.Columns())
+	jb, _ := json.Marshal(db.Frame.Columns())
+	if string(ja) != string(jb) {
+		t.Fatal("same seed + same stream produced different retained sets")
+	}
+
+	// A different seed retains a different sample of the same stream.
+	c := newReservoir(64, 8)
+	feed(c)
+	jc, _ := json.Marshal(c.dataset(nil).Frame.Columns())
+	if string(jc) == string(ja) {
+		t.Fatal("different seeds retained identical sets (RNG not wired?)")
+	}
+}
+
+func TestReservoirSkipsMismatchedSchema(t *testing.T) {
+	s := newReservoir(32, 1)
+	s.offer(datagen.Income(50, 1))
+	s.offer(datagen.Heart(50, 1)) // different columns: must be skipped
+	if s.skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", s.skipped)
+	}
+	if s.seen != 50 {
+		t.Fatalf("seen = %d, want 50 (mismatched rows must not advance the stream)", s.seen)
+	}
+}
+
+func TestCaptureAttributesCorruptedColumn(t *testing.T) {
+	reference := datagen.Income(2000, 1)
+	rec, err := New(Config{
+		Reference:     reference,
+		RefOutputs:    balancedProba(400),
+		Classes:       []string{"<=50K", ">50K"},
+		ReservoirRows: 256,
+		Logger:        quietLogger(),
+		Registry:      obs.NewRegistry(),
+		Tracer:        obs.NewTracer(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.RegisterMetrics(nil) // so the bundle's metrics snapshot is non-empty
+
+	// Two clean batches, then three heavily corrupted ones; every batch
+	// predicts only class 0 so the class histogram collapses too.
+	for i := int64(0); i < 2; i++ {
+		batch := datagen.Income(300, 20+i)
+		rec.ObserveBatch(batch, skewedProba(300), monitor.Record{Seq: int(i), Estimate: 0.8, Size: 300})
+	}
+	for i := int64(0); i < 3; i++ {
+		batch := corruptAge(datagen.Income(300, 30+i), 0.9, 40+i)
+		rec.ObserveBatch(batch, skewedProba(300), monitor.Record{
+			Seq: int(2 + i), RequestID: "req-bad", Estimate: 0.4, Size: 300, Violating: true,
+		})
+	}
+
+	b, err := rec.Capture("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TopColumn() != "age" {
+		t.Fatalf("top column = %q, want age\nattribution: %+v", b.TopColumn(), b.Attribution)
+	}
+	if !b.Attribution[0].Rejected {
+		t.Fatal("corrupted column not rejected")
+	}
+	if b.CorrectedAlpha >= 0.05 {
+		t.Fatalf("corrected alpha = %v, want Bonferroni-reduced below 0.05", b.CorrectedAlpha)
+	}
+	if b.ReservoirRows != 256 || b.RowsSeen != 1500 || b.BatchesSeen != 5 {
+		t.Fatalf("provenance: rows=%d seen=%d batches=%d", b.ReservoirRows, b.RowsSeen, b.BatchesSeen)
+	}
+	if b.ClassShift == nil || !b.ClassShift.Rejected {
+		t.Fatalf("class shift = %+v, want rejected (all predictions collapsed to one class)", b.ClassShift)
+	}
+	if len(b.WorstBatches) == 0 || b.WorstBatches[0].RequestID != "req-bad" || b.WorstBatches[0].Estimate != 0.4 {
+		t.Fatalf("worst batches = %+v", b.WorstBatches)
+	}
+	if b.Metrics == "" {
+		t.Fatal("bundle carries no metrics snapshot")
+	}
+
+	md := b.Markdown()
+	for _, want := range []string{"# Incident " + b.ID, "| 1 | age |", "req-bad", "Per-column drift attribution"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRetentionRingPersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Dir:        dir,
+		MaxBundles: 2,
+		Logger:     quietLogger(),
+		Registry:   obs.NewRegistry(),
+		Tracer:     obs.NewTracer(8),
+	}
+	rec, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rec.Capture("test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bundles := rec.Bundles()
+	if len(bundles) != 2 {
+		t.Fatalf("retained %d bundles, want 2", len(bundles))
+	}
+	if bundles[0].ID != "inc-000001" || bundles[1].ID != "inc-000002" {
+		t.Fatalf("retained ids: %s, %s (oldest must be evicted)", bundles[0].ID, bundles[1].ID)
+	}
+	onDisk, _ := filepath.Glob(filepath.Join(dir, "inc-*.json"))
+	if len(onDisk) != 2 {
+		t.Fatalf("on disk: %v, want 2 files", onDisk)
+	}
+
+	// A fresh recorder over the same dir resumes the ring and the id
+	// counter.
+	rec2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec2.Bundles(); len(got) != 2 || got[1].ID != "inc-000002" {
+		t.Fatalf("reloaded bundles: %+v", got)
+	}
+	b, err := rec2.Capture("after-restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != "inc-000003" {
+		t.Fatalf("id after reload = %s, want inc-000003", b.ID)
+	}
+
+	// Unreadable files are skipped, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "inc-999999.json"), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("corrupt bundle file must not break construction: %v", err)
+	}
+	if _, err := LoadBundle(filepath.Join(dir, "inc-999999.json")); err == nil {
+		t.Fatal("LoadBundle accepted garbage")
+	}
+}
+
+func TestAlertNotifierCooldownAndStates(t *testing.T) {
+	rec, err := New(Config{
+		Cooldown: time.Minute,
+		Logger:   quietLogger(),
+		Registry: obs.NewRegistry(),
+		Tracer:   obs.NewTracer(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	rec.now = func() time.Time { return now }
+
+	n := rec.AlertNotifier()
+	n.Notify(alert.Event{Rule: "estimate_low", State: "resolved"}) // ignored
+	n.Notify(alert.Event{Rule: "estimate_low", State: "firing", Severity: "page"})
+	n.Notify(alert.Event{Rule: "estimate_low", State: "firing"}) // inside cooldown
+	if got := len(rec.Bundles()); got != 1 {
+		t.Fatalf("bundles after flapping rule = %d, want 1 (cooldown)", got)
+	}
+	b := rec.Bundles()[0]
+	if b.Reason != "alert:estimate_low" || b.Rule != "estimate_low" || b.Severity != "page" {
+		t.Fatalf("bundle = %+v", b)
+	}
+
+	// Manual captures bypass the cooldown; a later alert fires again
+	// once the cooldown has elapsed.
+	if _, err := rec.Capture(""); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	n.Notify(alert.Event{Rule: "ks_high", State: "firing"})
+	bundles := rec.Bundles()
+	if len(bundles) != 3 || bundles[1].Reason != "manual" || bundles[2].Reason != "alert:ks_high" {
+		reasons := make([]string, len(bundles))
+		for i, b := range bundles {
+			reasons[i] = b.Reason
+		}
+		t.Fatalf("reasons = %v", reasons)
+	}
+}
+
+func TestRecorderMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec, err := New(Config{
+		ReservoirRows: 16,
+		Logger:        quietLogger(),
+		Registry:      reg,
+		Tracer:        obs.NewTracer(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.RegisterMetrics(nil) // nil = the configured registry
+	rec.ObserveBatch(datagen.Income(10, 1), nil, monitor.Record{Size: 10})
+	if _, err := rec.Capture("test"); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if errs := obs.Lint(got); len(errs) != 0 {
+		t.Fatalf("incident families fail lint: %v", errs)
+	}
+	for _, want := range []string{
+		`ppm_incident_captures_total{trigger="manual"} 1`,
+		"ppm_incident_bundles 1",
+		"ppm_incident_reservoir_rows 10",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reference := datagen.Income(500, 1)
+	rec, err := New(Config{
+		Reference:     reference,
+		ReservoirRows: 64,
+		Logger:        quietLogger(),
+		Registry:      obs.NewRegistry(),
+		Tracer:        obs.NewTracer(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rec.Handler())
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp, sb.String()
+	}
+
+	// Empty list first.
+	resp, body := get(MountPath)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"incidents":[]`) {
+		t.Fatalf("empty list: %d %q", resp.StatusCode, body)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+	if _, body = get(MountPath + "/latest"); !strings.Contains(body, "no such incident") {
+		t.Fatalf("latest on empty ring: %q", body)
+	}
+
+	// Trigger requires POST.
+	resp, _ = get(MountPath + "/trigger")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET trigger = %d, want 405", resp.StatusCode)
+	}
+	rec.ObserveBatch(corruptAge(datagen.Income(200, 5), 0.9, 6), nil, monitor.Record{Size: 200, RequestID: "req-1"})
+	post, err := http.Post(srv.URL+MountPath+"/trigger", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var triggered Bundle
+	if err := json.NewDecoder(post.Body).Decode(&triggered); err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusOK || triggered.ID == "" || triggered.Reason != "manual" {
+		t.Fatalf("trigger: %d %+v", post.StatusCode, triggered)
+	}
+
+	resp, body = get(MountPath)
+	if !strings.Contains(body, triggered.ID) || !strings.Contains(body, `"top_column":"age"`) {
+		t.Fatalf("list after trigger: %q", body)
+	}
+	if _, body = get(MountPath + "/" + triggered.ID); !strings.Contains(body, `"id":"`+triggered.ID+`"`) {
+		t.Fatalf("bundle by id: %q", body)
+	}
+	resp, body = get(MountPath + "/" + triggered.ID + "/report")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/markdown") {
+		t.Fatalf("report content type = %q", ct)
+	}
+	if !strings.Contains(body, "# Incident "+triggered.ID) {
+		t.Fatalf("report body: %q", body)
+	}
+	resp, body = get(MountPath + "/view")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("view content type = %q", ct)
+	}
+	if !strings.Contains(body, triggered.ID) {
+		t.Fatalf("view body missing bundle id")
+	}
+	if resp, _ = get(MountPath + "/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id = %d, want 404", resp.StatusCode)
+	}
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

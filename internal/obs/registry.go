@@ -127,6 +127,16 @@ func (r *Registry) Counter(name, help string) *Counter {
 	}).(*Counter)
 }
 
+// CounterFunc registers a counter whose value is computed by fn at
+// every scrape (e.g. cumulative GC pause seconds read from the
+// runtime). fn must be safe to call concurrently and must be monotone
+// non-decreasing — the registry trusts the callback on that.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) *Counter {
+	c := r.Counter(name, help)
+	c.SetFunc(fn)
+	return c
+}
+
 // CounterVec registers (or returns) a counter partitioned by the given
 // labels.
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
@@ -215,12 +225,14 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	return ew.n, ew.err
 }
 
-// Counter is a monotone unlabeled counter.
+// Counter is a monotone unlabeled counter, optionally backed by a
+// callback so the rendered value is always current.
 type Counter struct {
 	m familyMeta
 
 	mu  sync.Mutex
 	val float64
+	fn  func() float64
 }
 
 func (c *Counter) meta() familyMeta { return c.m }
@@ -229,6 +241,7 @@ func (c *Counter) meta() familyMeta { return c.m }
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds delta (negative deltas panic: counters are monotone).
+// Ignored at render time if a callback is installed.
 func (c *Counter) Add(delta float64) {
 	if delta < 0 {
 		panic(fmt.Sprintf("obs: negative delta %v on counter %s", delta, c.m.name))
@@ -238,11 +251,25 @@ func (c *Counter) Add(delta float64) {
 	c.mu.Unlock()
 }
 
-// Get returns the current value.
+// SetFunc installs a callback evaluated at every Get/render. The
+// callback must be monotone non-decreasing to keep the counter
+// contract.
+func (c *Counter) SetFunc(fn func() float64) {
+	c.mu.Lock()
+	c.fn = fn
+	c.mu.Unlock()
+}
+
+// Get returns the callback value when installed, else the stored value.
 func (c *Counter) Get() float64 {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.val
+	fn := c.fn
+	if fn == nil {
+		defer c.mu.Unlock()
+		return c.val
+	}
+	c.mu.Unlock()
+	return fn()
 }
 
 func (c *Counter) render(w *expositionWriter) {

@@ -1,0 +1,62 @@
+package obs
+
+// Go runtime self-telemetry: every binary registers the same four
+// families so an operator can tell a leaking process from a drifting
+// model with one /metrics scrape. Reading runtime.MemStats triggers a
+// brief stop-the-world, so the callbacks share one cached snapshot
+// refreshed at most once per second — scraping /metrics in a tight
+// loop cannot degrade the serving path.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// processStart anchors ppm_process_uptime_seconds.
+var processStart = time.Now()
+
+// memStatsCache rate-limits runtime.ReadMemStats across all callback
+// evaluations (several gauges per scrape, any number of registries).
+var memStatsCache struct {
+	mu      sync.Mutex
+	at      time.Time
+	stats   runtime.MemStats
+	staleOK time.Duration
+}
+
+func readMemStats() runtime.MemStats {
+	memStatsCache.mu.Lock()
+	defer memStatsCache.mu.Unlock()
+	if memStatsCache.staleOK == 0 {
+		memStatsCache.staleOK = time.Second
+	}
+	if time.Since(memStatsCache.at) >= memStatsCache.staleOK {
+		runtime.ReadMemStats(&memStatsCache.stats)
+		memStatsCache.at = time.Now()
+	}
+	return memStatsCache.stats
+}
+
+// RegisterRuntimeMetrics registers the process self-telemetry families
+// (goroutine count, heap in use, cumulative GC pause time, uptime) as
+// callbacks on reg, so the values are read at scrape time. reg == nil
+// registers on the process-global Default registry. Safe to call more
+// than once — registration is get-or-create.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		reg = Default()
+	}
+	reg.GaugeFunc("ppm_go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("ppm_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(readMemStats().HeapAlloc) })
+	reg.CounterFunc("ppm_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(readMemStats().PauseTotalNs) / 1e9 })
+	reg.GaugeFunc("ppm_process_uptime_seconds",
+		"Seconds since the process started.",
+		func() float64 { return time.Since(processStart).Seconds() })
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	// Get-or-create: a second registration of the same families must not
+	// panic (every binary calls this next to other registrations).
+	RegisterRuntimeMetrics(reg)
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if errs := Lint(got); len(errs) != 0 {
+		t.Fatalf("runtime families fail lint: %v", errs)
+	}
+	for _, fam := range []string{
+		"ppm_go_goroutines",
+		"ppm_go_heap_alloc_bytes",
+		"ppm_go_gc_pause_seconds_total",
+		"ppm_process_uptime_seconds",
+	} {
+		if !strings.Contains(got, "# TYPE "+fam+" ") {
+			t.Errorf("exposition missing family %s:\n%s", fam, got)
+		}
+	}
+
+	if v := reg.Gauge("ppm_go_goroutines", "Number of live goroutines.").Get(); v < 1 {
+		t.Errorf("goroutines = %v, want >= 1", v)
+	}
+	if v := reg.Gauge("ppm_go_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).").Get(); v <= 0 {
+		t.Errorf("heap alloc = %v, want > 0", v)
+	}
+	if v := reg.Counter("ppm_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.").Get(); v < 0 {
+		t.Errorf("gc pause total = %v, want >= 0", v)
+	}
+	if v := reg.Gauge("ppm_process_uptime_seconds", "Seconds since the process started.").Get(); v <= 0 {
+		t.Errorf("uptime = %v, want > 0", v)
+	}
+}
+
+func TestCounterFuncOverridesStoredValue(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.CounterFunc("ppm_cb_total", "Callback counter.", func() float64 { return 42 })
+	c.Add(5) // stored value is ignored while the callback is installed
+	if got := c.Get(); got != 42 {
+		t.Fatalf("Get() = %v, want callback value 42", got)
+	}
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ppm_cb_total 42\n") {
+		t.Fatalf("render does not use callback value:\n%s", b.String())
+	}
+}

@@ -8,11 +8,16 @@ import (
 	"strings"
 
 	"blackboxval/internal/experiments"
+	"blackboxval/internal/obs/incident"
 )
 
 // Markdown renders any experiment result type as a markdown section.
+// Incident bundles render here too, so ppm-diagnose shares the
+// experiment pipeline's entry point.
 func Markdown(result any) (string, error) {
 	switch r := result.(type) {
+	case *incident.Bundle:
+		return r.Markdown(), nil
 	case *experiments.Figure2Result:
 		return figure2(r), nil
 	case *experiments.Figure3Result:

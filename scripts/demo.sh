@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Smoke test for the serving stack, in two acts:
+# Smoke test for the serving stack, in three acts:
 #
 #   ppm-serve (backend model server)  <-  ppm-gateway (shadow proxy)  <-  curl / ppm-traffic
 #                                              |
@@ -11,9 +11,13 @@
 # validation bundle, restarts the gateway with shadow validation and an
 # alert rule wired to a webhook sink, drives a corruption ramp through
 # it with ppm-traffic, and asserts the drift timeline filled, the alert
-# reached the sink, and every response carried an X-Request-ID. Both
-# acts shut down gracefully (SIGTERM, exercising the shared drain
-# path). Run via `make demo`.
+# reached the sink, and every response carried an X-Request-ID. Act 3
+# restarts the gateway with the incident flight recorder, ramps a
+# single-column corruption (-corrupt-column age) through it, and
+# asserts the alert auto-captured an incident bundle whose per-column
+# attribution ranks the corrupted column first, then renders it with
+# ppm-diagnose. All acts shut down gracefully (SIGTERM, exercising the
+# shared drain path). Run via `make demo`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,6 +57,7 @@ go build -o "$WORKDIR/ppm-serve" ./cmd/ppm-serve
 go build -o "$WORKDIR/ppm-gateway" ./cmd/ppm-gateway
 go build -o "$WORKDIR/ppm-validate" ./cmd/ppm-validate
 go build -o "$WORKDIR/ppm-traffic" ./cmd/ppm-traffic
+go build -o "$WORKDIR/ppm-diagnose" ./cmd/ppm-diagnose
 
 echo "demo: starting ppm-serve on $SERVE_ADDR (small lr model, quick to train)"
 "$WORKDIR/ppm-serve" -dataset income -model lr -rows 1200 -addr "$SERVE_ADDR" \
@@ -171,4 +176,63 @@ echo "demo: asserting alert metrics on /metrics"
 curl -fsS "http://$GW_ADDR/metrics" | grep -q '^ppm_alerts_total{rule="accuracy_alarm"} ' || {
   echo "demo: ppm_alerts_total missing from the gateway registry" >&2; exit 1; }
 
-echo "demo: OK — proxying, drift timeline, alerting and request correlation all verified"
+# ---- Act 3: incident flight recorder with drift attribution ---------
+
+# The act-2 rule fires on the very first alarming window, when the
+# reservoir has barely seen corrupted rows; holding the alarm for two
+# windows lets the capture accumulate enough drifted mass for a
+# decisive attribution.
+cat >"$WORKDIR/rules3.json" <<'EOF'
+{"rules": [
+  {"name": "accuracy_alarm", "series": "alarm", "op": ">=", "threshold": 1,
+   "reduce": "max", "for_windows": 2, "clear_windows": 2, "severity": "critical"}
+]}
+EOF
+
+echo "demo: restarting the gateway with the incident flight recorder"
+kill -TERM "$GW_PID" && wait "$GW_PID" 2>/dev/null || true
+"$WORKDIR/ppm-gateway" -backend "http://$SERVE_ADDR" -addr "$GW_ADDR" \
+  -bundle "$WORKDIR/bundle" \
+  -alert-rules "$WORKDIR/rules3.json" -alert-webhook "http://$SINK_ADDR/" \
+  -incident-dir "$WORKDIR/incidents" \
+  >"$WORKDIR/gateway3.log" 2>&1 &
+GW_PID=$!
+wait_for "http://$GW_ADDR/healthz"
+
+echo "demo: asserting runtime self-telemetry on /metrics"
+curl -fsS "http://$GW_ADDR/metrics" | grep -q '^ppm_go_goroutines ' || {
+  echo "demo: ppm_go_goroutines missing from the gateway registry" >&2; exit 1; }
+
+echo "demo: ramping a single-column corruption (age x1000) through the proxy"
+"$WORKDIR/ppm-traffic" send -target "http://$GW_ADDR" -dataset income \
+  -batches 7 -rows 300 -corrupt-column age -max-magnitude 0.95 -clean 2 \
+  >"$WORKDIR/traffic3.log" 2>&1
+
+echo "demo: waiting for the alert to auto-capture an incident bundle"
+incident_ok=""
+for _ in $(seq 50); do
+  if curl -fsS "http://$GW_ADDR/debug/incidents" | grep -q '"inc-'; then
+    incident_ok=1; break
+  fi
+  sleep 0.2
+done
+[ -n "$incident_ok" ] || {
+  echo "demo: the corruption ramp never auto-captured an incident:" >&2
+  curl -fsS "http://$GW_ADDR/debug/incidents" >&2 || true
+  cat "$WORKDIR/gateway3.log" >&2; exit 1; }
+
+echo "demo: asserting the bundle attributes the drift to the corrupted column"
+curl -fsS "http://$GW_ADDR/debug/incidents" | grep -q '"top_column":"age"' || {
+  echo "demo: incident attribution did not rank the corrupted column first:" >&2
+  curl -fsS "http://$GW_ADDR/debug/incidents" >&2 || true
+  exit 1; }
+curl -fsS "http://$GW_ADDR/debug/incidents/latest" | grep -q '"reason":"alert:' || {
+  echo "demo: latest bundle was not captured by the alert hook" >&2; exit 1; }
+
+echo "demo: rendering the bundle with ppm-diagnose"
+"$WORKDIR/ppm-diagnose" -dir "$WORKDIR/incidents" >"$WORKDIR/incident.md"
+grep -q '| 1 | age |' "$WORKDIR/incident.md" || {
+  echo "demo: ppm-diagnose report does not rank age first:" >&2
+  cat "$WORKDIR/incident.md" >&2; exit 1; }
+
+echo "demo: OK — proxying, drift timeline, alerting, request correlation and incident capture all verified"
