@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test race bench bench-gateway demo audit
+.PHONY: check lint vet build test race bench bench-gateway demo audit fuzz
 
 check: vet build test race
 
@@ -19,7 +19,7 @@ lint:
 	$(GO) vet ./...
 	# Prometheus exposition-format conformance (obs.Lint) across every
 	# registry that serves a /metrics endpoint.
-	$(GO) test -run 'Lint|Conformance' ./internal/obs/... ./internal/gateway/... ./internal/monitor/...
+	$(GO) test -run 'Lint|Conformance' ./internal/obs/... ./internal/gateway/... ./internal/monitor/... ./internal/fed/...
 
 vet:
 	$(GO) vet ./...
@@ -31,7 +31,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -short -race ./internal/core/... ./internal/models/... ./internal/gateway/... ./internal/monitor/... ./internal/obs/...
+	$(GO) test -short -race ./internal/core/... ./internal/models/... ./internal/gateway/... ./internal/monitor/... ./internal/obs/... ./internal/stats/... ./internal/fed/...
 
 # Speedup table for EXPERIMENTS.md ("Parallel training" section).
 bench:
@@ -53,10 +53,19 @@ demo:
 # Deep pass over the serving-path observability stack: format/exposition
 # lint, vet, and the race detector (full, not -short) across the
 # telemetry store + alert engine + incident flight recorder
-# (internal/obs/... includes internal/obs/incident), the gateway and
-# the monitor. `make check` stays the broad tier-1 gate; `audit` is the
-# focused one to run after touching the timeline, alerting, incident
-# or correlation code.
+# (internal/obs/... includes internal/obs/incident), the gateway, the
+# monitor, the mergeable sketches (internal/stats) and the federation
+# aggregator (internal/fed, whose /federate handler and ScrapeOnce run
+# concurrently with ObserveRow in production). `make check` stays the
+# broad tier-1 gate; `audit` is the focused one to run after touching
+# the timeline, alerting, incident, correlation or federation code.
 audit: lint
-	$(GO) vet ./internal/obs/... ./internal/gateway/... ./internal/monitor/...
-	$(GO) test -race ./internal/obs/... ./internal/gateway/... ./internal/monitor/...
+	$(GO) vet ./internal/obs/... ./internal/gateway/... ./internal/monitor/... ./internal/stats/... ./internal/fed/...
+	$(GO) test -race ./internal/obs/... ./internal/gateway/... ./internal/monitor/... ./internal/stats/... ./internal/fed/...
+
+# Short coverage-guided fuzz budgets for the deterministic-merge
+# invariants: sketch merge (associativity/commutativity vs the union
+# stream) and the serialized round-trips. Seeds live in testdata.
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzKLLMerge -fuzztime 10s ./internal/stats
+	$(GO) test -run NONE -fuzz FuzzKLLRoundTrip -fuzztime 10s ./internal/stats

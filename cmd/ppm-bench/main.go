@@ -10,15 +10,19 @@
 //
 // Experiments: fig2a fig2b fig2c fig2d fig3 fig4 val-known fig5 fig6 fig7
 // fig2a-auc fig2c-auc gen-matrix ablation-step ablation-regressor
-// ablation-size ablation-ks stability pipeline timeline all
+// ablation-size ablation-ks stability pipeline timeline federate all
 //
 // The pipeline experiment times the end-to-end training pipeline with
 // internal/obs spans and writes the machine-readable breakdown to
 // -pipeline-out (default BENCH_pipeline.json). The timeline experiment
 // measures the drift-timeline store (windows/sec ingest, /timeline
 // render latency) and writes -timeline-out (default
-// BENCH_timeline.json). -trace prints a span report of every traced
-// training run; -log-level and -log-format control structured logging.
+// BENCH_timeline.json). The federate experiment measures the fleet
+// aggregation layer (merged-vs-single sketch quantiles, /federate
+// decode+merge throughput, fleet p99 vs naive shard rollup) and writes
+// -federate-out (default BENCH_federate.json). -trace prints a span
+// report of every traced training run; -log-level and -log-format
+// control structured logging.
 package main
 
 import (
@@ -48,6 +52,8 @@ func main() {
 		"file for the machine-readable pipeline benchmark (empty disables; written by -exp pipeline)")
 	timelineOut := flag.String("timeline-out", "BENCH_timeline.json",
 		"file for the machine-readable timeline benchmark (empty disables; written by -exp timeline)")
+	federateOut := flag.String("federate-out", "BENCH_federate.json",
+		"file for the machine-readable federation benchmark (empty disables; written by -exp federate)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -74,7 +80,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*exp, scale, *format, *pipelineOut, *timelineOut); err != nil {
+	if err := run(*exp, scale, *format, *pipelineOut, *timelineOut, *federateOut); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -121,6 +127,7 @@ func runners(scale experiments.Scale) map[string]func() (any, error) {
 		}),
 		"pipeline": wrap(func() (any, error) { return experiments.PipelineBench(scale) }),
 		"timeline": wrap(func() (any, error) { return experiments.TimelineBench(scale) }),
+		"federate": wrap(func() (any, error) { return experiments.FederateBench(scale) }),
 	}
 }
 
@@ -130,7 +137,7 @@ var order = []string{
 	"val-known", "fig5", "fig6", "fig7",
 	"fig2a-auc", "fig2c-auc", "gen-matrix-lr", "gen-matrix-xgb",
 	"ablation-step", "ablation-regressor", "ablation-size", "ablation-ks",
-	"stability", "pipeline", "timeline",
+	"stability", "pipeline", "timeline", "federate",
 }
 
 // aliases map legacy/composite ids to runner ids.
@@ -138,7 +145,7 @@ var aliases = map[string][]string{
 	"gen-matrix": {"gen-matrix-lr", "gen-matrix-xgb"},
 }
 
-func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut string) error {
+func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut, federateOut string) error {
 	byID := runners(scale)
 	ids := []string{exp}
 	if exp == "all" {
@@ -176,6 +183,12 @@ func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut s
 				return fmt.Errorf("%s: %w", id, err)
 			}
 			fmt.Printf("timeline benchmark written to %s\n", timelineOut)
+		}
+		if fr, ok := result.(*experiments.FederateResult); ok && federateOut != "" {
+			if err := writeJSON(federateOut, fr); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Printf("federation benchmark written to %s\n", federateOut)
 		}
 		if exp == "all" {
 			fmt.Printf("--- %s done in %s ---\n\n", id, time.Since(start).Round(time.Millisecond))

@@ -58,6 +58,7 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long the breaker stays open before probing")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain deadline")
 	refresh := flag.Duration("refresh", 5*time.Second, "monitor dashboard auto-refresh interval (<=0 disables)")
+	replica := flag.String("replica", "", "replica name advertised in /federate documents (empty = generated id prefix)")
 	timelineWindow := flag.Int("timeline-window", 1, "batches aggregated into one drift-timeline window")
 	timelineCapacity := flag.Int("timeline-capacity", 128, "retained drift-timeline windows")
 	alertRules := flag.String("alert-rules", "", "JSON alert rule file (empty = alerting off)")
@@ -80,7 +81,7 @@ func main() {
 		dashRefresh = -1 // monitor treats negative as "auto-refresh off"
 	}
 	opts := options{
-		backend: *backend, bundle: *bundle, addr: *addr,
+		backend: *backend, bundle: *bundle, addr: *addr, replica: *replica,
 		hysteresis: *hysteresis, timeout: *timeout, retries: *retries,
 		queueSize: *queueSize, breakerFailures: *breakerFailures,
 		breakerCooldown: *breakerCooldown, drain: *drain,
@@ -99,6 +100,7 @@ func main() {
 // options carries the parsed flags into run.
 type options struct {
 	backend, bundle, addr            string
+	replica                          string
 	hysteresis, retries, queueSize   int
 	breakerFailures                  int
 	timeout, breakerCooldown, drain  time.Duration
@@ -113,6 +115,7 @@ type options struct {
 func run(opts options, logger *slog.Logger) error {
 	cfg := gateway.Config{
 		Backend:         opts.backend,
+		ReplicaName:     opts.replica,
 		RequestTimeout:  opts.timeout,
 		MaxRetries:      opts.retries,
 		ShadowQueueSize: opts.queueSize,

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"blackboxval/internal/cli"
@@ -50,7 +51,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  ppm-traffic send -target URL [-dataset income] [-batches 6] [-rows 500]
+  ppm-traffic send -target URL [-targets URL,URL,...] [-dataset income] [-batches 6] [-rows 500]
                [-corrupt NAME] [-corrupt-column COL] [-max-magnitude 0.95]
                [-clean 2] [-interval 0s] [-seed 1]
   ppm-traffic sink -addr HOST:PORT`)
@@ -59,6 +60,7 @@ func usage() {
 func runSend(args []string) error {
 	fs := flag.NewFlagSet("send", flag.ExitOnError)
 	target := fs.String("target", "http://127.0.0.1:8088", "gateway base URL")
+	targets := fs.String("targets", "", "comma-separated gateway base URLs; batch i goes to target i mod N (overrides -target)")
 	dataset := fs.String("dataset", "income", "synthetic dataset (income, heart, bank, tweets)")
 	batches := fs.Int("batches", 6, "serving batches to send")
 	rows := fs.Int("rows", 500, "rows per batch")
@@ -69,8 +71,16 @@ func runSend(args []string) error {
 	interval := fs.Duration("interval", 0, "pause between batches")
 	seed := fs.Int64("seed", 1, "workload seed")
 	fs.Parse(args)
+	var targetList []string
+	if *targets != "" {
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targetList = append(targetList, t)
+			}
+		}
+	}
 	return cli.SendTraffic(cli.TrafficOptions{
-		Target: *target, Dataset: *dataset, Batches: *batches, Rows: *rows,
+		Target: *target, Targets: targetList, Dataset: *dataset, Batches: *batches, Rows: *rows,
 		Corrupt: *corrupt, Column: *column, MaxMagnitude: *maxMagnitude,
 		CleanBatches: *clean, Interval: *interval, Seed: *seed,
 	})

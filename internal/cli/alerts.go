@@ -32,11 +32,31 @@ type AlertOptions struct {
 	Logger *slog.Logger
 }
 
+// WindowSource is anything that emits closed timeline windows in
+// order: a replica's obs.TimeSeries or the federation aggregator's
+// merged fleet timeline. The alert engine doesn't care which.
+type WindowSource interface {
+	OnWindowClose(func(obs.Window))
+}
+
 // WireAlerts attaches an alert engine to the monitor's drift timeline.
 // With an empty RulesPath it is a no-op. The returned close function
 // drains the webhook's delivery queue (call it on shutdown); it is
 // never nil.
 func WireAlerts(mon *monitor.Monitor, opts AlertOptions) (*alert.Engine, func(), error) {
+	// The monitor's timeline is only needed once a rule file is given;
+	// a nil monitor is fine for the no-op and misconfiguration paths.
+	var src WindowSource
+	if mon != nil {
+		src = mon.Timeline()
+	}
+	return WireAlertEngine(src, opts)
+}
+
+// WireAlertEngine attaches an alert engine to any window source — the
+// shared body behind WireAlerts (replica timelines) and WireFederation
+// (the merged fleet timeline).
+func WireAlertEngine(src WindowSource, opts AlertOptions) (*alert.Engine, func(), error) {
 	if opts.RulesPath == "" {
 		if opts.WebhookURL != "" {
 			return nil, nil, fmt.Errorf("cli: -alert-webhook needs -alert-rules")
@@ -72,6 +92,6 @@ func WireAlerts(mon *monitor.Monitor, opts AlertOptions) (*alert.Engine, func(),
 		reg = obs.Default()
 	}
 	engine.RegisterMetrics(reg)
-	mon.Timeline().OnWindowClose(engine.Evaluate)
+	src.OnWindowClose(engine.Evaluate)
 	return engine, closer, nil
 }

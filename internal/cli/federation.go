@@ -1,0 +1,143 @@
+package cli
+
+// Federation wiring behind cmd/ppm-aggregate: parse the -replicas flag
+// into shard configs, build the fed.Aggregator, hook the stock alert
+// engine onto the merged fleet timeline (same rule files, same webhook
+// notifier as a single replica), and optionally attach the fleet
+// incident capture.
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+	"time"
+
+	"blackboxval/internal/fed"
+	"blackboxval/internal/obs"
+	"blackboxval/internal/obs/alert"
+)
+
+// FederationOptions configures WireFederation.
+type FederationOptions struct {
+	// Replicas are "name=url" pairs (or bare URLs, which get synthetic
+	// shard-N names). URLs without a scheme get "http://"; URLs without
+	// a path get "/federate" appended.
+	Replicas []string
+	// Interval is the scrape cadence (default 2s).
+	Interval time.Duration
+	// Timeout bounds each per-replica fetch (default 1s).
+	Timeout time.Duration
+	// StaleAfter is the shard staleness bound (default 5×Interval).
+	StaleAfter time.Duration
+	// Capacity bounds the merged fleet window ring (default 128).
+	Capacity int
+	// RefreshMillis is the fleet dashboard poll interval.
+	RefreshMillis int
+	// AlertRulesPath / AlertWebhookURL mirror the replica alert flags,
+	// applied to the merged fleet timeline.
+	AlertRulesPath  string
+	AlertWebhookURL string
+	// IncidentDir, when set, captures fleet incident files on alert
+	// fire; IncidentMax bounds the ring.
+	IncidentDir string
+	IncidentMax int
+	// Registry receives the ppm_federate_* and alert families
+	// (nil = obs.Default()).
+	Registry *obs.Registry
+	// Logger receives structured events (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+// ParseReplicas turns -replicas values into shard configs.
+func ParseReplicas(specs []string) ([]fed.ReplicaConfig, error) {
+	var out []fed.ReplicaConfig
+	for i, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, url := "", spec
+		if eq := strings.Index(spec, "="); eq >= 0 && !strings.Contains(spec[:eq], "/") {
+			name, url = spec[:eq], spec[eq+1:]
+		}
+		if name == "" {
+			name = fmt.Sprintf("shard-%d", i)
+		}
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		rest := url[strings.Index(url, "://")+3:]
+		if !strings.Contains(rest, "/") {
+			url += "/federate"
+		} else if strings.HasSuffix(url, "/") {
+			url += "federate"
+		}
+		if rest == "" || strings.HasPrefix(rest, "/") {
+			return nil, fmt.Errorf("cli: replica %q has no host", spec)
+		}
+		out = append(out, fed.ReplicaConfig{Name: name, URL: url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cli: -replicas needs at least one name=url entry")
+	}
+	return out, nil
+}
+
+// WireFederation builds the aggregator, wires alerts and incident
+// capture over the merged fleet timeline, and registers the federation
+// metric families. The caller starts scraping with agg.Run(ctx). The
+// returned close function drains the alert webhook queue; it is never
+// nil.
+func WireFederation(opts FederationOptions) (*fed.Aggregator, *alert.Engine, func(), error) {
+	replicas, err := ParseReplicas(opts.Replicas)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	agg, err := fed.New(fed.Config{
+		Replicas:      replicas,
+		Interval:      opts.Interval,
+		Timeout:       opts.Timeout,
+		StaleAfter:    opts.StaleAfter,
+		Capacity:      opts.Capacity,
+		RefreshMillis: opts.RefreshMillis,
+		Logger:        opts.Logger,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	agg.RegisterMetrics(reg)
+
+	var notifier alert.Notifier
+	if opts.IncidentDir != "" {
+		capture, err := fed.NewCapture(agg, fed.CaptureConfig{
+			Dir:    opts.IncidentDir,
+			Max:    opts.IncidentMax,
+			Logger: opts.Logger,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		notifier = capture.Notifier()
+	}
+	engine, closer, err := WireAlertEngine(agg, AlertOptions{
+		RulesPath:  opts.AlertRulesPath,
+		WebhookURL: opts.AlertWebhookURL,
+		Notifier:   notifier,
+		Registry:   reg,
+		Logger:     opts.Logger,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if engine != nil {
+		agg.SetAlarming(func() bool { return len(engine.Active()) > 0 })
+	}
+	return agg, engine, closer, nil
+}

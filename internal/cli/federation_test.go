@@ -1,0 +1,119 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"blackboxval/internal/fed"
+	"blackboxval/internal/obs"
+)
+
+func TestParseReplicas(t *testing.T) {
+	got, err := ParseReplicas([]string{
+		"a=http://h1:1/federate",
+		"http://h2:2",
+		"h3:3",
+		"b=h4:4/",
+		" ",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fed.ReplicaConfig{
+		{Name: "a", URL: "http://h1:1/federate"},
+		{Name: "shard-1", URL: "http://h2:2/federate"},
+		{Name: "shard-2", URL: "http://h3:3/federate"},
+		{Name: "b", URL: "http://h4:4/federate"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d replicas, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replica %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := ParseReplicas(nil); err == nil {
+		t.Fatal("empty replica list accepted")
+	}
+	if _, err := ParseReplicas([]string{""}); err == nil {
+		t.Fatal("blank replica list accepted")
+	}
+}
+
+// TestWireFederation wires the full fleet stack — aggregator, alert
+// engine over the merged timeline, incident capture, metrics — against
+// a fake replica whose estimate breaches the rule.
+func TestWireFederation(t *testing.T) {
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		ts, err := obs.NewTimeSeries(obs.TimeSeriesConfig{WindowBatches: 1})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ts.Record("estimate", 0.10)
+		ts.Commit()
+		json.NewEncoder(w).Encode(fed.Doc{
+			Version:   fed.DocVersion,
+			Replica:   "a",
+			Quantiles: ts.Quantiles(),
+			AlarmLine: 0.5,
+			Observed:  1,
+			Windows:   ts.Windows(),
+		})
+	}))
+	defer replica.Close()
+
+	rules := filepath.Join(t.TempDir(), "rules.json")
+	ruleJSON := `[{"name":"estimate_low","series":"estimate","op":"<","threshold":0.5}]`
+	if err := os.WriteFile(rules, []byte(ruleJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	incidentDir := t.TempDir()
+	reg := obs.NewRegistry()
+	agg, engine, closer, err := WireFederation(FederationOptions{
+		Replicas:       []string{"a=" + replica.URL + "/federate"},
+		Interval:       time.Hour,
+		Timeout:        2 * time.Second,
+		AlertRulesPath: rules,
+		IncidentDir:    incidentDir,
+		Registry:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer()
+	if engine == nil {
+		t.Fatal("no engine wired despite rules")
+	}
+
+	agg.ScrapeOnce(context.Background())
+	if len(agg.Windows()) != 1 {
+		t.Fatalf("fleet merged %d windows, want 1", len(agg.Windows()))
+	}
+	if active := engine.Active(); len(active) != 1 || active[0] != "estimate_low" {
+		t.Fatalf("active alerts = %v, want [estimate_low]", active)
+	}
+	if !agg.Alarming() {
+		t.Fatal("aggregator not alarming while the engine is")
+	}
+	// The firing edge must have captured a fleet incident.
+	files, err := filepath.Glob(filepath.Join(incidentDir, "fleet-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("incident files = %v (err %v), want one", files, err)
+	}
+
+	// Misconfiguration surfaces at wire time.
+	if _, _, _, err := WireFederation(FederationOptions{Replicas: []string{"x"}, AlertWebhookURL: "http://w", Registry: obs.NewRegistry()}); err == nil {
+		t.Fatal("webhook without rules accepted")
+	}
+	if _, _, _, err := WireFederation(FederationOptions{}); err == nil {
+		t.Fatal("no replicas accepted")
+	}
+}

@@ -29,6 +29,11 @@ type TrafficOptions struct {
 	// Target is the base URL posted to (the gateway), e.g.
 	// "http://127.0.0.1:8088".
 	Target string
+	// Targets, when non-empty, shards the workload round-robin: batch i
+	// goes to Targets[i%len(Targets)] — the dispatch layout the
+	// federation determinism contract assumes (DESIGN.md §13). Target
+	// is ignored when set.
+	Targets []string
 	// Dataset names the synthetic dataset (income, heart, bank, tweets).
 	Dataset string
 	// Batches is how many serving batches to send (default 6).
@@ -116,7 +121,11 @@ func SendTraffic(opts TrafficOptions) error {
 		if err != nil {
 			return err
 		}
-		resp, err := opts.HTTPClient.Post(opts.Target+"/predict_proba", "application/json", bytes.NewReader(body))
+		target := opts.Target
+		if len(opts.Targets) > 0 {
+			target = opts.Targets[i%len(opts.Targets)]
+		}
+		resp, err := opts.HTTPClient.Post(target+"/predict_proba", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return fmt.Errorf("cli: batch %d: %w", i, err)
 		}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFederateBench(t *testing.T) {
+	scale := Quick
+	scale.Seed = 1
+	res, err := FederateBench(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quantiles) != 4 {
+		t.Fatalf("quantile table has %d rows, want 4: %+v", len(res.Quantiles), res.Quantiles)
+	}
+	for _, row := range res.Quantiles {
+		// FederateBench itself errors on a nonzero delta; belt and braces.
+		if row.MergedDelta != 0 {
+			t.Fatalf("q=%g: merged != single (delta %g)", row.Q, row.MergedDelta)
+		}
+		// The log-bucket sketch guarantees a small relative error.
+		if row.RelativeErr > 0.02 {
+			t.Fatalf("q=%g: sketch error %.4f exceeds 2%%", row.Q, row.RelativeErr)
+		}
+	}
+	if res.DocsPerSec <= 0 || res.WindowsPerSec <= 0 || res.DocBytes == 0 {
+		t.Fatalf("ingest stats missing: %+v", res)
+	}
+	if len(res.ShardP99s) != res.Shards || res.FleetP99 <= 0 || res.MaxShardP99 < res.FleetP99 {
+		// Max over shards can never be below the fleet quantile of the
+		// union stream's upper shard; on the skewed fleet it is above it.
+		t.Fatalf("skew stats inconsistent: %+v", res)
+	}
+
+	buf, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"merged_minus_single", "docs_per_sec", "fleet_p99", "max_shard_p99"} {
+		if !strings.Contains(string(buf), key) {
+			t.Fatalf("JSON missing %q: %s", key, buf)
+		}
+	}
+
+	var out bytes.Buffer
+	res.Print(&out)
+	if !strings.Contains(out.String(), "docs/sec") || !strings.Contains(out.String(), "fleet p99") {
+		t.Fatalf("text report incomplete: %s", out.String())
+	}
+}

@@ -1,0 +1,242 @@
+package fed_test
+
+// End-to-end federation flow: real gateways proxying to a real model
+// backend, ppm-traffic's corruption ramp dispatched round-robin across
+// three replicas over HTTP, the aggregator scraping /federate, and the
+// alert engine deciding over the merged fleet timeline. The fleet must
+// fire the same alert, once, in the same window as a single-replica
+// run over the identical workload — and killing a replica mid-ramp
+// must degrade to the stale-shards gauge, never a missing or false
+// alert.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"blackboxval/internal/cli"
+	"blackboxval/internal/cloud"
+	"blackboxval/internal/fed"
+	"blackboxval/internal/gateway"
+	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs/alert"
+)
+
+// e2eGateway is one replica: gateway + monitor + HTTP servers.
+type e2eGateway struct {
+	mon *monitor.Monitor
+	srv *httptest.Server
+}
+
+// newE2EGateways boots n gateways sharing one model backend. Each
+// gateway gets its own monitor with a one-batch timeline window.
+func newE2EGateways(t *testing.T, f fixture, n int) []e2eGateway {
+	t.Helper()
+	backend := httptest.NewServer(cloud.NewServer(f.model).Handler())
+	t.Cleanup(backend.Close)
+	out := make([]e2eGateway, n)
+	for i := range out {
+		mon := newMonitor(t, f, 1)
+		g, err := gateway.New(gateway.Config{
+			Backend:     backend.URL,
+			Monitor:     mon,
+			ReplicaName: fmt.Sprintf("gw-%d", i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(g.Close)
+		srv := httptest.NewServer(g.Handler())
+		t.Cleanup(srv.Close)
+		out[i] = e2eGateway{mon: mon, srv: srv}
+	}
+	return out
+}
+
+// waitObserved blocks until every gateway's monitor has committed its
+// share of the workload (the shadow tap is asynchronous).
+func waitObserved(t *testing.T, gws []e2eGateway, perReplica []int) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for i, gw := range gws {
+		for gw.mon.Observed() < perReplica[i] {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d observed %d batches, want %d",
+					i, gw.mon.Observed(), perReplica[i])
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// e2eTraffic is the deterministic corruption ramp both topologies
+// replay: 12 batches, 2 clean, then a ramp on one income column.
+func e2eTraffic(t *testing.T, targets []string) {
+	t.Helper()
+	err := cli.SendTraffic(cli.TrafficOptions{
+		Targets:      targets,
+		Dataset:      "income",
+		Batches:      12,
+		Rows:         80,
+		Column:       "age",
+		CleanBatches: 2,
+		MaxMagnitude: 0.95,
+		Seed:         7,
+		Out:          io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scrapeFleet builds an aggregator over the gateways, wires an alert
+// engine, scrapes once and returns windows + events + the engine.
+func scrapeFleet(t *testing.T, gws []e2eGateway, staleAfter time.Duration) (*fed.Aggregator, *collector, *alert.Engine) {
+	t.Helper()
+	cfg := fed.Config{Interval: time.Hour, Timeout: 5 * time.Second, StaleAfter: staleAfter}
+	for i, gw := range gws {
+		cfg.Replicas = append(cfg.Replicas, fed.ReplicaConfig{
+			Name: fmt.Sprintf("gw-%d", i), URL: gw.srv.URL + "/federate",
+		})
+	}
+	agg, err := fed.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collector{}
+	engine := newEngine(t, sink)
+	agg.OnWindowClose(engine.Evaluate)
+	agg.SetAlarming(func() bool { return len(engine.Active()) > 0 })
+	agg.ScrapeOnce(context.Background())
+	return agg, sink, engine
+}
+
+// TestE2EFleetVsSingleGateway is the parity test: the same ramp
+// through 3 gateways (fleet, windows of 1 batch each, merged 3-up)
+// versus 1 gateway (windows of 3 batches), same rule, same decisions —
+// the fleet must fire the same alert exactly once in the same window.
+func TestE2EFleetVsSingleGateway(t *testing.T) {
+	f := getFixture(t)
+	backend := httptest.NewServer(cloud.NewServer(f.model).Handler())
+	t.Cleanup(backend.Close)
+
+	// Reference: one gateway, TimelineWindow=3 → 4 windows over 12
+	// batches, engine wired straight onto the monitor's timeline.
+	refMon := newMonitor(t, f, 3)
+	refG, err := gateway.New(gateway.Config{Backend: backend.URL, Monitor: refMon, ReplicaName: "ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(refG.Close)
+	refSrv := httptest.NewServer(refG.Handler())
+	t.Cleanup(refSrv.Close)
+	refSink := &collector{}
+	refEngine := newEngine(t, refSink)
+	refMon.Timeline().OnWindowClose(refEngine.Evaluate)
+	e2eTraffic(t, []string{refSrv.URL})
+	waitObserved(t, []e2eGateway{{mon: refMon, srv: refSrv}}, []int{12})
+
+	// Fleet: three gateways, TimelineWindow=1, batches round-robin.
+	gws := newE2EGateways(t, f, 3)
+	targets := make([]string, len(gws))
+	for i, gw := range gws {
+		targets[i] = gw.srv.URL
+	}
+	e2eTraffic(t, targets)
+	waitObserved(t, gws, []int{4, 4, 4})
+	agg, fleetSink, _ := scrapeFleet(t, gws, time.Hour)
+
+	fleetWs := agg.Windows()
+	refWs := refMon.Timeline().Windows()
+	if len(fleetWs) != 4 || len(refWs) != 4 {
+		t.Fatalf("windows: fleet %d ref %d, want 4", len(fleetWs), len(refWs))
+	}
+	for i := range fleetWs {
+		got := canonicalWindow(t, fleetWs[i], true)
+		want := canonicalWindow(t, refWs[i], false)
+		if got != want {
+			t.Fatalf("window %d: fleet != single gateway\nfleet:  %s\nsingle: %s", i, got, want)
+		}
+	}
+
+	fleetEvents, refEvents := project(fleetSink.events()), project(refSink.events())
+	if fmt.Sprint(fleetEvents) != fmt.Sprint(refEvents) {
+		t.Fatalf("alert events diverge\nfleet:  %v\nsingle: %v", fleetEvents, refEvents)
+	}
+	firing := 0
+	for _, ev := range fleetEvents {
+		if ev.State == "firing" {
+			firing++
+		}
+	}
+	if firing != 1 {
+		t.Fatalf("fleet fired %d times, want exactly once: %v", firing, fleetEvents)
+	}
+}
+
+// TestE2EReplicaDeathDegrades kills one of three gateways mid-ramp:
+// the fleet keeps merging the survivors, reports exactly one stale
+// shard, and the alert engine does not fire off the staleness itself.
+func TestE2EReplicaDeathDegrades(t *testing.T) {
+	f := getFixture(t)
+	gws := newE2EGateways(t, f, 3)
+	targets := make([]string, len(gws))
+	for i, gw := range gws {
+		targets[i] = gw.srv.URL
+	}
+
+	// First half of a clean workload across all three replicas.
+	err := cli.SendTraffic(cli.TrafficOptions{
+		Targets: targets, Dataset: "income", Batches: 6, Rows: 60, Seed: 7, Out: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitObserved(t, gws, []int{2, 2, 2})
+
+	agg, sink, engine := scrapeFleet(t, gws, 50*time.Millisecond)
+	if got := len(agg.Windows()); got != 2 {
+		t.Fatalf("fleet merged %d windows before the death, want 2", got)
+	}
+
+	// Kill replica 1 mid-run, keep serving the survivors, let the
+	// staleness bound lapse, scrape again.
+	gws[1].srv.Close()
+	err = cli.SendTraffic(cli.TrafficOptions{
+		Targets: []string{targets[0], targets[2]}, Dataset: "income",
+		Batches: 2, Rows: 60, Seed: 9, Out: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitObserved(t, []e2eGateway{gws[0], gws[2]}, []int{3, 3})
+	time.Sleep(80 * time.Millisecond)
+	report := agg.ScrapeOnce(context.Background())
+
+	if report.Stale != 1 || agg.StaleShards() != 1 {
+		t.Fatalf("stale shards = %d/%d, want 1", report.Stale, agg.StaleShards())
+	}
+	ws := agg.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("fleet has %d windows after degradation, want 3", len(ws))
+	}
+	last := ws[len(ws)-1]
+	if last.Series["fleet_stale_shards"].Last != 1 {
+		t.Fatalf("fleet_stale_shards = %v, want 1", last.Series["fleet_stale_shards"].Last)
+	}
+	// The degraded window merged two replicas' batches, not a fabricated
+	// third share.
+	if got := last.Series["estimate"].Count; got != 2 {
+		t.Fatalf("degraded window merged %d batches of estimate, want 2", got)
+	}
+	// Clean traffic + a dead replica must NOT fire the drift alert.
+	if evs := sink.events(); len(evs) != 0 {
+		t.Fatalf("staleness produced alert events: %v", project(evs))
+	}
+	if len(engine.Active()) != 0 || agg.Alarming() {
+		t.Fatal("staleness flipped the fleet alarm")
+	}
+}

@@ -1,0 +1,230 @@
+package fed
+
+// The aggregator's HTTP surface, mounted by cmd/ppm-aggregate:
+//
+//	GET /          fleet dashboard (merged estimate sparkline + shard table)
+//	GET /timeline  merged fleet timeline, same document shape as a
+//	               replica's /timeline so existing tooling points at either
+//	GET /federate  fleet re-export of the merged view (aggregators compose)
+//	GET /status    per-shard scrape health
+//	GET /healthz   200 ok / 503 when the fleet alert engine is firing
+//
+// /metrics and /debug/* stay the caller's responsibility (cmd wires the
+// shared obs registry) so the fed package needs no exposition logic.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
+)
+
+// TimelineDoc renders the merged fleet view in the replica timeline
+// document shape (monitor.TimelineDoc), so dashboards and scripts work
+// against a replica and a fleet interchangeably. WindowBatches is the
+// fleet per-window batch total (shards × per-shard batches).
+func (a *Aggregator) TimelineDoc() monitor.TimelineDoc {
+	alarm := a.Alarming()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	batches := 0
+	for _, sh := range a.shards {
+		if sh.doc != nil {
+			batches += sh.doc.WindowBatches
+		}
+	}
+	return monitor.TimelineDoc{
+		AlarmLine:     a.alarmLine,
+		WindowBatches: batches,
+		Capacity:      a.cfg.Capacity,
+		RefreshMillis: a.cfg.RefreshMillis,
+		Alarming:      alarm,
+		Windows:       append([]obs.Window(nil), a.fleet...),
+	}
+}
+
+// Handler serves the aggregator's HTTP surface.
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		if !guardGet(w, r) {
+			return
+		}
+		setHeaders(w, "text/html; charset=utf-8")
+		fmt.Fprint(w, fleetDashboardHTML)
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		if !guardGet(w, r) {
+			return
+		}
+		writeJSON(w, a.TimelineDoc())
+	})
+	mux.HandleFunc("/federate", func(w http.ResponseWriter, r *http.Request) {
+		if !guardGet(w, r) {
+			return
+		}
+		writeJSON(w, a.FleetDoc())
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if !guardGet(w, r) {
+			return
+		}
+		writeJSON(w, a.Status())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !guardGet(w, r) {
+			return
+		}
+		setHeaders(w, "text/plain; charset=utf-8")
+		if a.Alarming() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "alarming")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func guardGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func setHeaders(w http.ResponseWriter, contentType string) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Cache-Control", "no-store")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	setHeaders(w, "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// fleetDashboardHTML mirrors the replica dashboard's dependency-free
+// style: one page, inline script, polling /timeline for the merged
+// drift trace and /status for shard health.
+const fleetDashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>ppm fleet timeline</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #222; }
+  h1 { font-size: 1.2rem; }
+  .status { margin: .5rem 0 1rem; }
+  .badge { padding: .15rem .5rem; border-radius: .25rem; color: #fff; }
+  .ok { background: #2a7d2a; }
+  .alarm { background: #b02a2a; }
+  .stale { background: #b07a2a; }
+  svg { border: 1px solid #ddd; background: #fafafa; }
+  table { border-collapse: collapse; margin-top: 1rem; }
+  th, td { border: 1px solid #ccc; padding: .25rem .6rem; text-align: right; }
+  th { background: #f0f0f0; }
+  td.bad { background: #f6d5d5; }
+  td.name { text-align: left; }
+  .meta { color: #666; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>Fleet drift timeline</h1>
+<div class="status">
+  state: <span id="state" class="badge ok">loading…</span>
+  <span id="stale" class="badge stale" style="display:none"></span>
+  <span class="meta" id="meta"></span>
+</div>
+<svg id="chart" width="720" height="160" viewBox="0 0 720 160"></svg>
+<h2 style="font-size:1rem">Shards</h2>
+<table>
+  <thead><tr><th>replica</th><th>observed</th><th>max window</th><th>fails</th><th>state</th></tr></thead>
+  <tbody id="shards"></tbody>
+</table>
+<h2 style="font-size:1rem">Merged windows</h2>
+<table>
+  <thead><tr><th>window</th><th>batches</th><th>estimate</th><th>fleet ks_max</th><th>stale shards</th></tr></thead>
+  <tbody id="rows"></tbody>
+</table>
+<script>
+"use strict";
+function line(points, color) {
+  if (!points.length) return "";
+  var d = points.map(function (p, i) { return (i ? "L" : "M") + p[0].toFixed(1) + " " + p[1].toFixed(1); }).join(" ");
+  return '<path d="' + d + '" fill="none" stroke="' + color + '" stroke-width="1.5"/>';
+}
+function seriesMean(w, name) {
+  var a = w.series && w.series[name];
+  return a && a.count ? a.sum / a.count : null;
+}
+function renderTimeline(doc) {
+  var windows = doc.windows || [];
+  var state = document.getElementById("state");
+  state.textContent = doc.alarming ? "ALARM" : "ok";
+  state.className = "badge " + (doc.alarming ? "alarm" : "ok");
+  document.getElementById("meta").textContent =
+    windows.length + " merged windows · " + doc.window_batches + " batch(es)/window · alarm line " +
+    doc.alarm_line.toFixed(4) + (doc.refresh_ms > 0 ? " · refresh " + doc.refresh_ms + "ms" : "");
+
+  var W = 720, H = 160, pad = 8;
+  var xs = function (i) { return windows.length < 2 ? W / 2 : pad + i * (W - 2 * pad) / (windows.length - 1); };
+  var ys = function (v) { return H - pad - v * (H - 2 * pad); };
+  var est = [], ks = [];
+  windows.forEach(function (w, i) {
+    var e = seriesMean(w, "estimate"); if (e !== null) est.push([xs(i), ys(Math.max(0, Math.min(1, e)))]);
+    var k = seriesMean(w, "fleet_ks_max"); if (k !== null) ks.push([xs(i), ys(Math.max(0, Math.min(1, k)))]);
+  });
+  var alarmY = ys(Math.max(0, Math.min(1, doc.alarm_line)));
+  document.getElementById("chart").innerHTML =
+    '<line x1="0" x2="' + W + '" y1="' + alarmY + '" y2="' + alarmY + '" stroke="#b02a2a" stroke-dasharray="4 3"/>' +
+    line(est, "#2255aa") + line(ks, "#cc8800");
+
+  var rows = windows.slice(-12).reverse().map(function (w) {
+    var e = seriesMean(w, "estimate"), k = seriesMean(w, "fleet_ks_max"), s = seriesMean(w, "fleet_stale_shards");
+    return "<tr><td>" + w.index + "</td><td>" + w.batches + "</td><td>" +
+      (e === null ? "–" : e.toFixed(4)) + "</td><td>" + (k === null ? "–" : k.toFixed(4)) +
+      '</td><td class="' + (s ? "bad" : "") + '">' + (s === null ? "–" : s) + "</td></tr>";
+  });
+  document.getElementById("rows").innerHTML = rows.join("");
+  return doc.refresh_ms;
+}
+function renderStatus(st) {
+  var staleBadge = document.getElementById("stale");
+  if (st.stale_shards > 0) {
+    staleBadge.style.display = "";
+    staleBadge.textContent = st.stale_shards + " stale shard" + (st.stale_shards > 1 ? "s" : "");
+  } else {
+    staleBadge.style.display = "none";
+  }
+  var rows = (st.replicas || []).map(function (r) {
+    return '<tr><td class="name">' + r.name + "</td><td>" + r.observed + "</td><td>" +
+      (r.max_window < 0 ? "–" : r.max_window) + "</td><td>" + r.fails +
+      '</td><td class="' + (r.stale ? "bad" : "") + '">' +
+      (r.stale ? "STALE" : (r.alarming ? "alarming" : "ok")) + "</td></tr>";
+  });
+  document.getElementById("shards").innerHTML = rows.join("");
+}
+function poll() {
+  Promise.all([
+    fetch("timeline").then(function (r) { return r.json(); }),
+    fetch("status").then(function (r) { return r.json(); })
+  ]).then(function (res) {
+    var refresh = renderTimeline(res[0]);
+    renderStatus(res[1]);
+    if (refresh > 0) setTimeout(poll, refresh);
+  }).catch(function () { setTimeout(poll, 5000); });
+}
+poll();
+</script>
+</body>
+</html>
+`

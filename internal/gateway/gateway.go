@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"blackboxval/internal/data"
+	"blackboxval/internal/fed"
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
 )
@@ -68,6 +69,10 @@ type Config struct {
 	// MaxBodyBytes caps accepted request bodies (default 256 MiB, the
 	// same cap the model server applies).
 	MaxBodyBytes int64
+	// ReplicaName identifies this gateway in /federate documents and on
+	// fleet dashboards (default: the request-id prefix, which is unique
+	// per process).
+	ReplicaName string
 	// Logger receives operational messages (nil = standard logger).
 	Logger *log.Logger
 	// Tracer retains per-request span trees for /debug/spans (nil =
@@ -196,6 +201,8 @@ func (g *Gateway) ShadowObserved() int64 {
 //	GET  /debug/pprof/*  — Go profiling endpoints
 //	GET  /debug/spans    — recent span trees as JSON
 //	     /monitor/*      — the monitor's own dashboard (when configured)
+//	GET  /federate       — mergeable drift state for fleet aggregation
+//	                       (when a monitor is configured)
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict_proba", g.handleProxy)
@@ -206,6 +213,11 @@ func (g *Gateway) Handler() http.Handler {
 	obs.MountPprof(mux)
 	if g.cfg.Monitor != nil {
 		mux.Handle("/monitor/", http.StripPrefix("/monitor", g.cfg.Monitor.Handler()))
+		replica := g.cfg.ReplicaName
+		if replica == "" {
+			replica = g.idPrefix
+		}
+		mux.Handle("/federate", fed.ReplicaHandler(g.cfg.Monitor, replica))
 	}
 	return mux
 }

@@ -121,9 +121,13 @@ type Monitor struct {
 	// engine) may call back into the monitor.
 	timeline *obs.TimeSeries
 	// refCols / refP50 are the per-class reference distributions (held-out
-	// test outputs) that serving batches drift against.
-	refCols [][]float64
-	refP50  []float64
+	// test outputs) that serving batches drift against. refSketches are
+	// the same distributions as mergeable sketches — the static half of
+	// the drift-test sufficient statistics /federate ships, so a fleet
+	// aggregator can recompute KS against merged serving distributions.
+	refCols     [][]float64
+	refP50      []float64
+	refSketches map[string]*stats.KLL
 
 	mu        sync.Mutex
 	seq       int
@@ -166,9 +170,15 @@ func New(cfg Config) (*Monitor, error) {
 	if ref := cfg.Predictor.TestOutputs(); ref != nil && ref.Rows > 0 {
 		m.refCols = make([][]float64, ref.Cols)
 		m.refP50 = make([]float64, ref.Cols)
+		m.refSketches = make(map[string]*stats.KLL, ref.Cols)
 		for c := 0; c < ref.Cols; c++ {
 			m.refCols[c] = ref.Col(c)
 			m.refP50[c] = stats.Percentile(m.refCols[c], 50)
+			sk := stats.NewKLL()
+			for _, v := range m.refCols[c] {
+				sk.Add(v)
+			}
+			m.refSketches[probaSeries(c)] = sk
 		}
 	}
 	return m, nil
@@ -239,7 +249,7 @@ func (m *Monitor) ObserveBatchProbaID(batch *data.Dataset, proba *linalg.Matrix,
 	m.drift(&rec, proba)
 	m.commitState(&rec)
 	m.notifyObservers(batch, proba, rec)
-	m.feedTimeline(&rec)
+	m.feedTimeline(&rec, proba)
 	return rec
 }
 
@@ -300,8 +310,11 @@ func (m *Monitor) commitState(rec *Record) {
 
 // feedTimeline appends one record's signals to the drift timeline as a
 // committed batch. Series names are stable API: dashboards and alert
-// rules address them.
-func (m *Monitor) feedTimeline(rec *Record) {
+// rules address them. When the batch's raw model outputs are available
+// they feed per-class proba_class_<c> series, whose window sketches are
+// the serving-side drift-test sufficient statistics the federation
+// layer merges across replicas.
+func (m *Monitor) feedTimeline(rec *Record, proba *linalg.Matrix) {
 	m.timeline.Record("estimate", rec.Estimate)
 	m.timeline.Record("alarm", boolSeries(rec.Alarming))
 	m.timeline.Record("violation", boolSeries(rec.Violating))
@@ -313,7 +326,18 @@ func (m *Monitor) feedTimeline(rec *Record) {
 			m.timeline.Record(fmt.Sprintf("p50_shift_class_%d", c), rec.P50Shift[c])
 		}
 	}
+	if proba != nil {
+		for c := 0; c < proba.Cols; c++ {
+			m.timeline.RecordAll(probaSeries(c), proba.Col(c))
+		}
+	}
 	m.timeline.Commit()
+}
+
+// probaSeries names the timeline series carrying the model's output
+// distribution for one class.
+func probaSeries(class int) string {
+	return fmt.Sprintf("proba_class_%d", class)
 }
 
 func boolSeries(b bool) float64 {
@@ -354,7 +378,7 @@ func (m *Monitor) ObserveRow(probaRow []float64) (rec Record, done bool) {
 	rec.Violating = rec.EstimateViolation
 	m.commitState(&rec)
 	m.notifyObservers(nil, nil, rec)
-	m.feedTimeline(&rec)
+	m.feedTimeline(&rec, nil)
 	return rec, true
 }
 
@@ -377,6 +401,22 @@ func (m *Monitor) Predictor() *core.Predictor { return m.cfg.Predictor }
 // it with Timeline().OnWindowClose(engine.Evaluate) before traffic
 // starts.
 func (m *Monitor) Timeline() *obs.TimeSeries { return m.timeline }
+
+// ReferenceSketches returns the per-class reference output
+// distributions (held-out test outputs) as mergeable sketches, keyed by
+// the proba_class_<c> series names they drift against. Nil when the
+// predictor retained no test outputs. The sketches are shared and must
+// be treated as immutable.
+func (m *Monitor) ReferenceSketches() map[string]*stats.KLL { return m.refSketches }
+
+// Observed returns the number of batches (or streamed windows) the
+// monitor has committed — the replica-side progress counter /federate
+// exposes so aggregators and tests can tell when traffic has drained.
+func (m *Monitor) Observed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
 
 // DashboardRefresh returns the configured dashboard auto-refresh
 // interval (<= 0 means auto-refresh is disabled).

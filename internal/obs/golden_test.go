@@ -37,6 +37,26 @@ func goldenRegistry() *Registry {
 	gv.Set(1, "estimate_low")
 	gv.Set(0, "ks_high")
 
+	// The federation families ppm-aggregate exports (fed.RegisterMetrics),
+	// frozen here so their exposition shape cannot drift either.
+	reg.GaugeFunc("ppm_federate_replicas",
+		"Number of replicas this aggregator scrapes.", func() float64 { return 3 })
+	reg.GaugeFunc("ppm_federate_stale_shards",
+		"Replicas whose last successful /federate scrape is older than the staleness bound.",
+		func() float64 { return 1 })
+	reg.GaugeFunc("ppm_federate_fleet_windows",
+		"Merged fleet windows currently retained in the ring.", func() float64 { return 12 })
+	reg.Counter("ppm_federate_scrapes_total",
+		"Completed scrape cycles across all replicas.").Add(9)
+	reg.Counter("ppm_federate_scrape_errors_total",
+		"Failed per-replica /federate fetches.").Add(2)
+	reg.Counter("ppm_federate_windows_merged_total",
+		"Fleet windows merged and emitted to the fleet timeline.").Add(12)
+	reg.Counter("ppm_federate_missed_windows_total",
+		"Shard windows evicted from a replica ring before the fleet could merge them.")
+	reg.Counter("ppm_federate_reference_mismatch_total",
+		"Scrapes that found a replica with reference distributions diverging from the fleet's.")
+
 	h := reg.Histogram("ppm_window_close_seconds", "Window close latency.", []float64{0.001, 0.01, 0.1})
 	for _, v := range []float64{0.0005, 0.004, 0.02, 0.5} {
 		h.Observe(v)

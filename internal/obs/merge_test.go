@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// feedRoundRobin distributes batches of samples round-robin across n
+// shard TimeSeries (batch i goes to shard i mod n) and feeds the union
+// stream to a single-node TimeSeries — the canonical sharding layout
+// the federation layer assumes.
+func feedRoundRobin(t *testing.T, batches [][]float64, shards int, shardBatches int) (*TimeSeries, []*TimeSeries) {
+	t.Helper()
+	single, err := NewTimeSeries(TimeSeriesConfig{WindowBatches: shards * shardBatches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]*TimeSeries, shards)
+	for i := range parts {
+		parts[i], err = NewTimeSeries(TimeSeriesConfig{WindowBatches: shardBatches})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, batch := range batches {
+		for _, v := range batch {
+			single.Record("lat", v)
+			parts[i%shards].Record("lat", v)
+		}
+		single.Commit()
+		parts[i%shards].Commit()
+	}
+	return single, parts
+}
+
+// stripTimes zeroes the wall-clock fields, the only part of a window
+// that legitimately differs between a fleet and a single node.
+func stripTimes(ws []Window) []Window {
+	out := make([]Window, len(ws))
+	for i, w := range ws {
+		w.Start, w.End = time.Time{}, time.Time{}
+		out[i] = w
+	}
+	return out
+}
+
+// TestMergeWindowsBitEqualUnionStream pins the distributed determinism
+// contract at the obs layer: with batches dispatched round-robin,
+// merging the shards' aligned windows (in shard order) reproduces the
+// single-node union-stream window bit-for-bit — count, exact sum, min,
+// max, last, and every sketch quantile.
+func TestMergeWindowsBitEqualUnionStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, shards := range []int{1, 3, 5} {
+		for _, shardBatches := range []int{1, 2} {
+			const windows = 4
+			nBatches := shards * shardBatches * windows
+			batches := make([][]float64, nBatches)
+			for i := range batches {
+				batch := make([]float64, 40)
+				for j := range batch {
+					batch[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)-3))
+				}
+				batches[i] = batch
+			}
+			single, parts := feedRoundRobin(t, batches, shards, shardBatches)
+			quantiles := single.Quantiles()
+
+			singleWs := single.Windows()
+			if len(singleWs) != windows {
+				t.Fatalf("single node closed %d windows, want %d", len(singleWs), windows)
+			}
+			for wi := 0; wi < windows; wi++ {
+				aligned := make([]Window, 0, shards)
+				for _, p := range parts {
+					pw := p.Windows()
+					if len(pw) != windows {
+						t.Fatalf("shard closed %d windows, want %d", len(pw), windows)
+					}
+					aligned = append(aligned, pw[wi])
+				}
+				merged, ok := MergeWindowSet(aligned, quantiles)
+				if !ok {
+					t.Fatal("empty merge")
+				}
+				got, err := json.Marshal(stripTimes([]Window{merged}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := json.Marshal(stripTimes([]Window{singleWs[wi]}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != string(want) {
+					t.Fatalf("shards=%d window %d: merged != union\nmerged: %s\nunion:  %s",
+						shards, wi, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFleetP99IsNotMaxOfShardP99s is the aggregate-of-aggregates
+// regression: on a skewed split (one shard holds the slow tail) the
+// true fleet p99 must come from the merged distribution, and must
+// differ from both the max and the mean of the per-shard p99s.
+func TestFleetP99IsNotMaxOfShardP99s(t *testing.T) {
+	quantiles := []float64{50, 99}
+	fast, err := NewTimeSeries(TimeSeriesConfig{WindowBatches: 1, Quantiles: quantiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewTimeSeries(TimeSeriesConfig{WindowBatches: 1, Quantiles: quantiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 900 fast requests at ~1ms; 100 slow ones spread 100..1000ms on
+	// the other shard. Fleet p99 sits just inside the slow tail
+	// (~920ms rank in the union), while max(shard p99s) is the slow
+	// shard's own p99 (~990ms) — a different answer.
+	for i := 0; i < 900; i++ {
+		fast.Record("lat", 1+float64(i%10)*0.01)
+	}
+	for i := 0; i < 100; i++ {
+		slow.Record("lat", 100+float64(i)*9)
+	}
+	fw, _ := fast.CloseWindow()
+	sw, _ := slow.CloseWindow()
+	merged := MergeWindows(fw, sw, quantiles)
+
+	fleetP99 := merged.Series["lat"].Quantiles["p99"]
+	shardMax := math.Max(fw.Series["lat"].Quantiles["p99"], sw.Series["lat"].Quantiles["p99"])
+	shardMean := (fw.Series["lat"].Quantiles["p99"] + sw.Series["lat"].Quantiles["p99"]) / 2
+	if fleetP99 == shardMax {
+		t.Fatalf("fleet p99 %v equals max of shard p99s — still aggregating aggregates", fleetP99)
+	}
+	if fleetP99 == shardMean {
+		t.Fatalf("fleet p99 %v equals mean of shard p99s", fleetP99)
+	}
+	// The union stream has 1000 samples; rank 0.99·999 ≈ 989 lands at
+	// the ~89th slow sample ≈ 900ms. Sanity-band the merged answer.
+	if fleetP99 < 800 || fleetP99 > 950 {
+		t.Fatalf("fleet p99 = %v, want ~900 (inside the slow tail, below its p99)", fleetP99)
+	}
+	// Mean must be count-weighted, not a mean of shard means.
+	fleetMean := merged.Series["lat"].Mean()
+	naive := (fw.Series["lat"].Mean() + sw.Series["lat"].Mean()) / 2
+	if fleetMean == naive {
+		t.Fatalf("fleet mean %v equals mean of shard means", fleetMean)
+	}
+	if merged.Series["lat"].Count != 1000 {
+		t.Fatalf("merged count = %d, want 1000", merged.Series["lat"].Count)
+	}
+}
+
+func TestMergeAggregatesDisjointSeriesAndEmpties(t *testing.T) {
+	a, err := NewTimeSeries(TimeSeriesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Record("only_a", 1)
+	a.Commit()
+	b, err := NewTimeSeries(TimeSeriesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Record("only_b", 2)
+	b.Commit()
+	aw, _ := a.Last()
+	bw, _ := b.Last()
+	merged := MergeWindows(aw, bw, []float64{50})
+	if merged.Series["only_a"].Last != 1 || merged.Series["only_b"].Last != 2 {
+		t.Fatalf("disjoint series lost: %+v", merged.Series)
+	}
+	if merged.Batches != 2 {
+		t.Fatalf("batches = %d, want 2", merged.Batches)
+	}
+	if _, ok := MergeWindowSet(nil, nil); ok {
+		t.Fatal("empty window set should not merge")
+	}
+
+	// Legacy aggregates without exact fields degrade to float addition
+	// instead of dropping data.
+	legacy := Aggregate{Count: 2, Sum: 10, Min: 4, Max: 6, Last: 6}
+	got := MergeAggregates(legacy, legacy, []float64{50})
+	if got.Count != 4 || got.Sum != 20 || got.Quantiles != nil {
+		t.Fatalf("legacy merge = %+v", got)
+	}
+}
+
+func TestMergeDoesNotAliasInputs(t *testing.T) {
+	ts, err := NewTimeSeries(TimeSeriesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Record("x", 5)
+	ts.Commit()
+	w, _ := ts.Last()
+	merged := MergeWindows(w, w, []float64{50})
+	mergedAgg := merged.Series["x"]
+	mergedAgg.Sketch.Add(1e9)
+	mergedAgg.SumExact.Add(1e9)
+	if w.Series["x"].Sketch.Count() != 1 {
+		t.Fatal("merged sketch aliases the input window's sketch")
+	}
+	if w.Series["x"].SumExact.Value() != 5 {
+		t.Fatal("merged sum aliases the input window's accumulator")
+	}
+}
+
+func TestSeriesNames(t *testing.T) {
+	ws := []Window{
+		{Series: map[string]Aggregate{"b": {}, "a": {}}},
+		{Series: map[string]Aggregate{"c": {}, "a": {}}},
+	}
+	got := SeriesNames(ws)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("SeriesNames = %v", got)
+	}
+}

@@ -27,9 +27,9 @@ type TimeSeriesConfig struct {
 	// window before it closes automatically (default 1: every batch is
 	// its own window).
 	WindowBatches int
-	// Quantiles are the percentiles in (0,100) tracked per series by an
-	// online P² sketch (default 50, 90, 99). Values outside (0,100) are
-	// rejected by NewTimeSeries.
+	// Quantiles are the percentiles in (0,100) tracked per series by a
+	// mergeable deterministic quantile sketch (default 50, 90, 99).
+	// Values outside (0,100) are rejected by NewTimeSeries.
 	Quantiles []float64
 }
 
@@ -56,6 +56,15 @@ type Aggregate struct {
 	Last float64 `json:"last"`
 	// Quantiles holds the sketch estimates keyed "p50", "p90", ...
 	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	// SumExact is the order-invariant exact accumulator behind Sum,
+	// carried so federated merges reproduce the single-node sum
+	// bit-for-bit instead of re-adding shard floats.
+	SumExact *stats.ExactSum `json:"sum_exact,omitempty"`
+	// Sketch is the mergeable quantile sketch behind Quantiles — the
+	// sufficient statistic /federate ships so fleet quantiles and drift
+	// tests are computed over merged distributions, never aggregated
+	// from per-shard point estimates.
+	Sketch *stats.KLL `json:"sketch,omitempty"`
 }
 
 // Mean returns the window mean (0 for an empty aggregate).
@@ -103,9 +112,10 @@ type Window struct {
 
 // openSeries accumulates one series of the currently open window.
 type openSeries struct {
-	count               int
-	sum, min, max, last float64
-	sketch              *stats.P2Digest
+	count          int
+	min, max, last float64
+	sum            *stats.ExactSum
+	sketch         *stats.KLL
 }
 
 // TimeSeries is the windowed drift timeline store. It is safe for
@@ -139,12 +149,30 @@ func NewTimeSeries(cfg TimeSeriesConfig) (*TimeSeries, error) {
 func (ts *TimeSeries) Record(series string, v float64) {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
+	ts.recordLocked(series, v)
+}
+
+// RecordAll adds a batch of samples to the named series under a single
+// lock acquisition — the bulk path the monitor uses to feed per-class
+// output distributions into the timeline.
+func (ts *TimeSeries) RecordAll(series string, vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, v := range vs {
+		ts.recordLocked(series, v)
+	}
+}
+
+func (ts *TimeSeries) recordLocked(series string, v float64) {
 	if ts.openStart.IsZero() {
 		ts.openStart = time.Now()
 	}
 	s := ts.open[series]
 	if s == nil {
-		s = &openSeries{sketch: stats.NewP2Digest(ts.cfg.Quantiles)}
+		s = &openSeries{sum: stats.NewExactSum(), sketch: stats.NewKLL()}
 		ts.open[series] = s
 	}
 	if s.count == 0 || v < s.min {
@@ -154,7 +182,7 @@ func (ts *TimeSeries) Record(series string, v float64) {
 		s.max = v
 	}
 	s.count++
-	s.sum += v
+	s.sum.Add(v)
 	s.last = v
 	s.sketch.Add(v)
 }
@@ -207,12 +235,16 @@ func (ts *TimeSeries) closeLocked() (Window, []func(Window)) {
 		w.Start = w.End
 	}
 	for name, s := range ts.open {
-		agg := Aggregate{Count: s.count, Sum: s.sum, Min: s.min, Max: s.max, Last: s.last}
+		// The open map is reset below, so the accumulator and sketch
+		// transfer into the immutable window without copying.
+		agg := Aggregate{
+			Count: s.count, Sum: s.sum.Value(), Min: s.min, Max: s.max, Last: s.last,
+			SumExact: s.sum, Sketch: s.sketch,
+		}
 		if s.count > 0 {
-			vals := s.sketch.Values()
-			agg.Quantiles = make(map[string]float64, len(vals))
-			for i, q := range ts.cfg.Quantiles {
-				agg.Quantiles[quantileKey(q)] = vals[i]
+			agg.Quantiles = make(map[string]float64, len(ts.cfg.Quantiles))
+			for _, q := range ts.cfg.Quantiles {
+				agg.Quantiles[quantileKey(q)] = s.sketch.Quantile(q / 100)
 			}
 		}
 		w.Series[name] = agg
@@ -273,3 +305,8 @@ func (ts *TimeSeries) Capacity() int { return ts.cfg.Capacity }
 
 // WindowBatches returns the configured commits-per-window.
 func (ts *TimeSeries) WindowBatches() int { return ts.cfg.WindowBatches }
+
+// Quantiles returns a copy of the configured percentile grid.
+func (ts *TimeSeries) Quantiles() []float64 {
+	return append([]float64(nil), ts.cfg.Quantiles...)
+}

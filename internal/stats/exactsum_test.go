@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// randomFinite draws a float64 uniformly over bit patterns, rejecting
+// NaN/Inf — so subnormals, huge magnitudes and both signs all occur.
+func randomFinite(rng *rand.Rand) float64 {
+	for {
+		b := rng.Uint64()
+		if (b>>52)&0x7ff != 0x7ff {
+			return math.Float64frombits(b)
+		}
+	}
+}
+
+// bigSum computes the exact sum with math/big at a precision wide
+// enough (the register is 2176 bits) that no intermediate rounding
+// occurs, then rounds once to float64 — the reference ExactSum must hit
+// bit-for-bit.
+func bigSum(xs []float64) float64 {
+	total := new(big.Float).SetPrec(2400).SetMode(big.ToNearestEven)
+	for _, x := range xs {
+		total.Add(total, new(big.Float).SetPrec(2400).SetFloat64(x))
+	}
+	v, _ := total.Float64()
+	return v
+}
+
+func TestExactSumMatchesBigFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			switch rng.Intn(4) {
+			case 0: // ordinary magnitudes
+				xs[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-6))
+			case 1: // full-range bit patterns (subnormals, huge values)
+				xs[i] = randomFinite(rng)
+			case 2: // catastrophic cancellation fodder
+				xs[i] = math.Ldexp(1+rng.Float64(), 900)
+				if rng.Intn(2) == 0 {
+					xs[i] = -xs[i]
+				}
+			default: // tiny values that naive summation loses
+				xs[i] = math.Ldexp(rng.Float64(), -1000)
+			}
+		}
+		s := NewExactSum()
+		for _, x := range xs {
+			s.Add(x)
+		}
+		want := bigSum(xs)
+		got := s.Value()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: ExactSum = %g (%x), big.Float = %g (%x)",
+				trial, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestExactSumOrderAndGroupingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = randomFinite(rng)
+	}
+
+	sequential := NewExactSum()
+	for _, x := range xs {
+		sequential.Add(x)
+	}
+
+	shuffled := append([]float64(nil), xs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	reordered := NewExactSum()
+	for _, x := range shuffled {
+		reordered.Add(x)
+	}
+	if !sequential.Equal(reordered) {
+		t.Fatal("shuffled order changed the accumulator state")
+	}
+
+	// Random partition into 4 shards, merged in shard order.
+	shards := make([]*ExactSum, 4)
+	for i := range shards {
+		shards[i] = NewExactSum()
+	}
+	for _, x := range xs {
+		shards[rng.Intn(4)].Add(x)
+	}
+	merged := NewExactSum()
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	if !sequential.Equal(merged) {
+		t.Fatal("merge of shard partition differs from sequential accumulation")
+	}
+	if math.Float64bits(sequential.Value()) != math.Float64bits(merged.Value()) {
+		t.Fatalf("values differ: %g vs %g", sequential.Value(), merged.Value())
+	}
+}
+
+func TestExactSumNaiveSumLosesWhatExactSumKeeps(t *testing.T) {
+	// 1 + 1e-18 added 1e4 times: the tiny terms vanish under naive
+	// left-to-right addition but must survive exactly here.
+	s := NewExactSum()
+	naive := 0.0
+	s.Add(1)
+	naive += 1
+	for i := 0; i < 10000; i++ {
+		s.Add(1e-18)
+		naive += 1e-18
+	}
+	want := bigSum(append([]float64{1}, repeat(1e-18, 10000)...))
+	if got := s.Value(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("ExactSum = %v, want %v", got, want)
+	}
+	if naive == s.Value() {
+		t.Skip("naive summation happened to be exact on this platform")
+	}
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestExactSumCancellation(t *testing.T) {
+	s := NewExactSum()
+	s.Add(math.MaxFloat64)
+	s.Add(-math.MaxFloat64)
+	s.Add(math.SmallestNonzeroFloat64)
+	s.Add(-math.SmallestNonzeroFloat64)
+	if !s.IsZero() {
+		t.Fatal("exact cancellation should leave a zero register")
+	}
+	if v := s.Value(); v != 0 || math.Signbit(v) {
+		t.Fatalf("Value = %v, want +0", v)
+	}
+}
+
+func TestExactSumNonfinite(t *testing.T) {
+	s := NewExactSum()
+	s.Add(1)
+	s.Add(math.Inf(1))
+	if v := s.Value(); !math.IsInf(v, 1) {
+		t.Fatalf("Value = %v, want +Inf", v)
+	}
+	o := NewExactSum()
+	o.Add(math.Inf(-1))
+	s.Merge(o)
+	if v := s.Value(); !math.IsNaN(v) {
+		t.Fatalf("Value = %v, want NaN (+Inf plus -Inf)", v)
+	}
+	n := NewExactSum()
+	n.Add(math.NaN())
+	if v := n.Value(); !math.IsNaN(v) {
+		t.Fatalf("Value = %v, want NaN", v)
+	}
+}
+
+func TestExactSumJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		s := NewExactSum()
+		for i := 0; i < 50; i++ {
+			s.Add(randomFinite(rng))
+		}
+		buf, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf2, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != string(buf2) {
+			t.Fatal("JSON encoding is not deterministic")
+		}
+		back := NewExactSum()
+		if err := json.Unmarshal(buf, back); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Equal(back) {
+			t.Fatal("JSON round trip changed the accumulator state")
+		}
+	}
+	// Negative totals use the sign-magnitude form.
+	s := NewExactSum()
+	s.Add(-123.456)
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewExactSum()
+	if err := json.Unmarshal(buf, back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Value(); got != -123.456 {
+		t.Fatalf("round trip = %v, want -123.456", got)
+	}
+}

@@ -162,6 +162,41 @@ func (d *P2Digest) Add(x float64) {
 // Count returns the number of observations consumed.
 func (d *P2Digest) Count() int { return d.count }
 
+// Quantile returns the estimate for q in [0,1] (0 = exact min, 1 =
+// exact max), interpolating linearly between the digest's grid points.
+// It adapts the digest to the QuantileEstimator interface shared with
+// the mergeable KLL sketch.
+func (d *P2Digest) Quantile(q float64) float64 {
+	if d.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.min
+	}
+	if q >= 1 {
+		return d.max
+	}
+	p := q * 100
+	vals := d.Values()
+	// Extend the grid with the exact extremes so any p interpolates.
+	grid := append([]float64{0}, d.grid...)
+	grid = append(grid, 100)
+	ext := append([]float64{d.min}, vals...)
+	ext = append(ext, d.max)
+	for i := 1; i < len(grid); i++ {
+		if p > grid[i] {
+			continue
+		}
+		lo, hi := grid[i-1], grid[i]
+		if hi == lo {
+			return ext[i]
+		}
+		t := (p - lo) / (hi - lo)
+		return ext[i-1] + t*(ext[i]-ext[i-1])
+	}
+	return d.max
+}
+
 // Values returns the current percentile estimates in grid order. For an
 // ascending grid the estimates are rectified to be monotone
 // non-decreasing: the per-point P² estimators are independent, so early

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Smoke test for the serving stack, in three acts:
+# Smoke test for the serving stack, in four acts:
 #
 #   ppm-serve (backend model server)  <-  ppm-gateway (shadow proxy)  <-  curl / ppm-traffic
 #                                              |
@@ -16,26 +16,35 @@
 # single-column corruption (-corrupt-column age) through it, and
 # asserts the alert auto-captured an incident bundle whose per-column
 # attribution ranks the corrupted column first, then renders it with
-# ppm-diagnose. All acts shut down gracefully (SIGTERM, exercising the
-# shared drain path). Run via `make demo`.
+# ppm-diagnose. Act 4 boots a second gateway replica plus ppm-aggregate
+# over both, round-robins a corruption ramp across the replicas with
+# ppm-traffic -targets, and asserts the merged fleet timeline fills,
+# the fleet alert reaches the sink (with /healthz flipping to 503),
+# and that killing one replica degrades to the stale-shards gauge
+# instead of a false alarm. All acts shut down gracefully (SIGTERM,
+# exercising the shared drain path). Run via `make demo`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SERVE_ADDR=127.0.0.1:18080
 GW_ADDR=127.0.0.1:18088
+GW2_ADDR=127.0.0.1:18089
+AGG_ADDR=127.0.0.1:18090
 SINK_ADDR=127.0.0.1:18099
 WORKDIR="$(mktemp -d)"
 SERVE_PID=""
 GW_PID=""
+GW2_PID=""
+AGG_PID=""
 SINK_PID=""
 
 cleanup() {
   # SIGTERM first so the graceful drain path runs; escalate only if needed.
-  for pid in "$GW_PID" "$SERVE_PID" "$SINK_PID"; do
+  for pid in "$AGG_PID" "$GW_PID" "$GW2_PID" "$SERVE_PID" "$SINK_PID"; do
     [ -n "$pid" ] && kill -TERM "$pid" 2>/dev/null || true
   done
-  for pid in "$GW_PID" "$SERVE_PID" "$SINK_PID"; do
+  for pid in "$AGG_PID" "$GW_PID" "$GW2_PID" "$SERVE_PID" "$SINK_PID"; do
     [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
   done
   rm -rf "$WORKDIR"
@@ -58,6 +67,7 @@ go build -o "$WORKDIR/ppm-gateway" ./cmd/ppm-gateway
 go build -o "$WORKDIR/ppm-validate" ./cmd/ppm-validate
 go build -o "$WORKDIR/ppm-traffic" ./cmd/ppm-traffic
 go build -o "$WORKDIR/ppm-diagnose" ./cmd/ppm-diagnose
+go build -o "$WORKDIR/ppm-aggregate" ./cmd/ppm-aggregate
 
 echo "demo: starting ppm-serve on $SERVE_ADDR (small lr model, quick to train)"
 "$WORKDIR/ppm-serve" -dataset income -model lr -rows 1200 -addr "$SERVE_ADDR" \
@@ -96,7 +106,11 @@ echo "$metrics" | grep -q '^gateway_breaker_state 0$' || {
   echo "demo: breaker should be closed" >&2; exit 1; }
 
 echo "demo: checking /status"
-curl -fsS "http://$GW_ADDR/status" | grep -q '"breaker_state":"closed"' || {
+# NB: assertions capture the body first — `curl | grep -q` under
+# pipefail can fail spuriously when grep matches early and curl takes a
+# write error on the closed pipe.
+status_body="$(curl -fsS "http://$GW_ADDR/status")"
+echo "$status_body" | grep -q '"breaker_state":"closed"' || {
   echo "demo: /status missing breaker state" >&2; exit 1; }
 
 echo "demo: act 1 OK — gateway proxied traffic and /metrics scraped cleanly"
@@ -148,7 +162,8 @@ echo "demo: asserting the drift timeline filled"
 # with series aggregates show up on /monitor/timeline.
 timeline_ok=""
 for _ in $(seq 50); do
-  if curl -fsS "http://$GW_ADDR/monitor/timeline" | grep -q '"estimate"'; then
+  tl_body="$(curl -fsS "http://$GW_ADDR/monitor/timeline" 2>/dev/null || true)"
+  if echo "$tl_body" | grep -q '"estimate"'; then
     timeline_ok=1; break
   fi
   sleep 0.2
@@ -169,11 +184,13 @@ done
   echo "demo: the corruption ramp never produced a webhook alert:" >&2
   curl -fsS "http://$SINK_ADDR/events" >&2 || true
   cat "$WORKDIR/gateway2.log" >&2; exit 1; }
-curl -fsS "http://$SINK_ADDR/events" | grep -q '"state":"firing"' || {
+sink_events="$(curl -fsS "http://$SINK_ADDR/events")"
+echo "$sink_events" | grep -q '"state":"firing"' || {
   echo "demo: sink events missing a firing alert" >&2; exit 1; }
 
 echo "demo: asserting alert metrics on /metrics"
-curl -fsS "http://$GW_ADDR/metrics" | grep -q '^ppm_alerts_total{rule="accuracy_alarm"} ' || {
+gw2_metrics="$(curl -fsS "http://$GW_ADDR/metrics")"
+echo "$gw2_metrics" | grep -q '^ppm_alerts_total{rule="accuracy_alarm"} ' || {
   echo "demo: ppm_alerts_total missing from the gateway registry" >&2; exit 1; }
 
 # ---- Act 3: incident flight recorder with drift attribution ---------
@@ -200,7 +217,8 @@ GW_PID=$!
 wait_for "http://$GW_ADDR/healthz"
 
 echo "demo: asserting runtime self-telemetry on /metrics"
-curl -fsS "http://$GW_ADDR/metrics" | grep -q '^ppm_go_goroutines ' || {
+gw3_metrics="$(curl -fsS "http://$GW_ADDR/metrics")"
+echo "$gw3_metrics" | grep -q '^ppm_go_goroutines ' || {
   echo "demo: ppm_go_goroutines missing from the gateway registry" >&2; exit 1; }
 
 echo "demo: ramping a single-column corruption (age x1000) through the proxy"
@@ -211,7 +229,8 @@ echo "demo: ramping a single-column corruption (age x1000) through the proxy"
 echo "demo: waiting for the alert to auto-capture an incident bundle"
 incident_ok=""
 for _ in $(seq 50); do
-  if curl -fsS "http://$GW_ADDR/debug/incidents" | grep -q '"inc-'; then
+  inc_body="$(curl -fsS "http://$GW_ADDR/debug/incidents" 2>/dev/null || true)"
+  if echo "$inc_body" | grep -q '"inc-'; then
     incident_ok=1; break
   fi
   sleep 0.2
@@ -222,11 +241,13 @@ done
   cat "$WORKDIR/gateway3.log" >&2; exit 1; }
 
 echo "demo: asserting the bundle attributes the drift to the corrupted column"
-curl -fsS "http://$GW_ADDR/debug/incidents" | grep -q '"top_column":"age"' || {
+incidents_body="$(curl -fsS "http://$GW_ADDR/debug/incidents")"
+echo "$incidents_body" | grep -q '"top_column":"age"' || {
   echo "demo: incident attribution did not rank the corrupted column first:" >&2
-  curl -fsS "http://$GW_ADDR/debug/incidents" >&2 || true
+  echo "$incidents_body" >&2
   exit 1; }
-curl -fsS "http://$GW_ADDR/debug/incidents/latest" | grep -q '"reason":"alert:' || {
+latest_body="$(curl -fsS "http://$GW_ADDR/debug/incidents/latest")"
+echo "$latest_body" | grep -q '"reason":"alert:' || {
   echo "demo: latest bundle was not captured by the alert hook" >&2; exit 1; }
 
 echo "demo: rendering the bundle with ppm-diagnose"
@@ -235,4 +256,100 @@ grep -q '| 1 | age |' "$WORKDIR/incident.md" || {
   echo "demo: ppm-diagnose report does not rank age first:" >&2
   cat "$WORKDIR/incident.md" >&2; exit 1; }
 
-echo "demo: OK — proxying, drift timeline, alerting, request correlation and incident capture all verified"
+# ---- Act 4: two replicas, fleet aggregation, stale-shard degradation
+
+echo "demo: restarting gateway replica gw-a (shadow validation, no local alerting)"
+kill -TERM "$GW_PID" && wait "$GW_PID" 2>/dev/null || true
+"$WORKDIR/ppm-gateway" -backend "http://$SERVE_ADDR" -addr "$GW_ADDR" \
+  -bundle "$WORKDIR/bundle" -replica gw-a \
+  >"$WORKDIR/gateway4a.log" 2>&1 &
+GW_PID=$!
+echo "demo: starting gateway replica gw-b on $GW2_ADDR"
+"$WORKDIR/ppm-gateway" -backend "http://$SERVE_ADDR" -addr "$GW2_ADDR" \
+  -bundle "$WORKDIR/bundle" -replica gw-b \
+  >"$WORKDIR/gateway4b.log" 2>&1 &
+GW2_PID=$!
+wait_for "http://$GW_ADDR/healthz"
+wait_for "http://$GW2_ADDR/healthz"
+
+echo "demo: starting ppm-aggregate over both replicas on $AGG_ADDR"
+# Alerting moves to the fleet level: the same rule file as act 2, now
+# evaluated on the merged timeline and webhooked to the same sink.
+"$WORKDIR/ppm-aggregate" \
+  -replicas "gw-a=http://$GW_ADDR,gw-b=http://$GW2_ADDR" \
+  -addr "$AGG_ADDR" -interval 500ms -stale-after 2s \
+  -alert-rules "$WORKDIR/rules.json" -alert-webhook "http://$SINK_ADDR/" \
+  >"$WORKDIR/aggregate.log" 2>&1 &
+AGG_PID=$!
+wait_for "http://$AGG_ADDR/healthz"
+fleet_dash="$(curl -fsS "http://$AGG_ADDR/")"
+echo "$fleet_dash" | grep -q 'Fleet drift timeline' || {
+  echo "demo: fleet dashboard did not render" >&2; exit 1; }
+
+sink_before="$(curl -fsS "http://$SINK_ADDR/count" | sed 's/[^0-9]//g')"
+
+echo "demo: round-robining a corruption ramp across both replicas"
+"$WORKDIR/ppm-traffic" send -targets "http://$GW_ADDR,http://$GW2_ADDR" \
+  -dataset income -batches 8 -rows 300 -corrupt scaling -max-magnitude 0.95 \
+  -clean 2 >"$WORKDIR/traffic4.log" 2>&1
+
+echo "demo: waiting for the merged fleet timeline to fill"
+fleet_ok=""
+for _ in $(seq 50); do
+  fleet_tl="$(curl -fsS "http://$AGG_ADDR/timeline" 2>/dev/null || true)"
+  if echo "$fleet_tl" | grep -q '"estimate"'; then
+    fleet_ok=1; break
+  fi
+  sleep 0.2
+done
+[ -n "$fleet_ok" ] || {
+  echo "demo: aggregator /timeline never produced a merged window:" >&2
+  curl -fsS "http://$AGG_ADDR/timeline" >&2 || true
+  cat "$WORKDIR/aggregate.log" >&2; exit 1; }
+
+echo "demo: waiting for the fleet alert to reach the webhook sink"
+fleet_alert=""
+for _ in $(seq 50); do
+  count="$(curl -fsS "http://$SINK_ADDR/count" | sed 's/[^0-9]//g')"
+  if [ -n "$count" ] && [ "$count" -gt "${sink_before:-0}" ]; then fleet_alert=1; break; fi
+  sleep 0.2
+done
+[ -n "$fleet_alert" ] || {
+  echo "demo: the fleet-level alert never reached the sink:" >&2
+  cat "$WORKDIR/aggregate.log" >&2; exit 1; }
+
+echo "demo: asserting the aggregator /healthz reports 503 while the fleet alarm is active"
+agg_code="$(curl -s -o /dev/null -w '%{http_code}' "http://$AGG_ADDR/healthz")"
+if [ "$agg_code" != "503" ]; then
+  echo "demo: aggregator /healthz returned $agg_code during an active fleet alert" >&2
+  exit 1
+fi
+
+echo "demo: asserting federation metrics on the aggregator /metrics"
+agg_metrics="$(curl -fsS "http://$AGG_ADDR/metrics")"
+echo "$agg_metrics" | grep -q '^ppm_federate_replicas 2$' || {
+  echo "demo: ppm_federate_replicas gauge wrong:" >&2
+  echo "$agg_metrics" | grep ppm_federate >&2 || true; exit 1; }
+echo "$agg_metrics" | grep -q '^ppm_federate_windows_merged_total [1-9]' || {
+  echo "demo: no fleet windows merged" >&2; exit 1; }
+
+echo "demo: killing replica gw-b and waiting for stale-shard degradation"
+kill -TERM "$GW2_PID" && wait "$GW2_PID" 2>/dev/null || true
+GW2_PID=""
+stale_ok=""
+for _ in $(seq 50); do
+  stale_metrics="$(curl -fsS "http://$AGG_ADDR/metrics" 2>/dev/null || true)"
+  if echo "$stale_metrics" | grep -q '^ppm_federate_stale_shards 1$'; then
+    stale_ok=1; break
+  fi
+  sleep 0.2
+done
+[ -n "$stale_ok" ] || {
+  echo "demo: dead replica never surfaced as a stale shard:" >&2
+  curl -fsS "http://$AGG_ADDR/metrics" | grep ppm_federate >&2 || true
+  cat "$WORKDIR/aggregate.log" >&2; exit 1; }
+agg_status="$(curl -fsS "http://$AGG_ADDR/status")"
+echo "$agg_status" | grep -q '"stale":true' || {
+  echo "demo: /status does not flag the dead replica as stale" >&2; exit 1; }
+
+echo "demo: OK — proxying, drift timeline, alerting, request correlation, incident capture and fleet federation all verified"
