@@ -4,8 +4,9 @@
 # trainer, the serving-path packages (gateway proxy + monitor, whose
 # shadow tap, /metrics scrape and dashboard are hit concurrently in
 # production), and the telemetry registry/span tree plus the alert
-# engine and incident flight recorder (internal/obs/...) under the
-# race detector in short mode.
+# engine and incident flight recorder (internal/obs/...), and the
+# label-feedback store (internal/labels) under the race detector in
+# short mode.
 
 GO ?= go
 
@@ -31,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -short -race ./internal/core/... ./internal/models/... ./internal/gateway/... ./internal/monitor/... ./internal/obs/... ./internal/stats/... ./internal/fed/...
+	$(GO) test -short -race ./internal/core/... ./internal/models/... ./internal/gateway/... ./internal/monitor/... ./internal/obs/... ./internal/stats/... ./internal/fed/... ./internal/labels/...
 
 # Speedup table for EXPERIMENTS.md ("Parallel training" section).
 bench:
@@ -60,12 +61,15 @@ demo:
 # broad tier-1 gate; `audit` is the focused one to run after touching
 # the timeline, alerting, incident, correlation or federation code.
 audit: lint
-	$(GO) vet ./internal/obs/... ./internal/gateway/... ./internal/monitor/... ./internal/stats/... ./internal/fed/...
-	$(GO) test -race ./internal/obs/... ./internal/gateway/... ./internal/monitor/... ./internal/stats/... ./internal/fed/...
+	$(GO) vet ./internal/obs/... ./internal/gateway/... ./internal/monitor/... ./internal/stats/... ./internal/fed/... ./internal/labels/...
+	$(GO) test -race ./internal/obs/... ./internal/gateway/... ./internal/monitor/... ./internal/stats/... ./internal/fed/... ./internal/labels/...
 
 # Short coverage-guided fuzz budgets for the deterministic-merge
-# invariants: sketch merge (associativity/commutativity vs the union
-# stream) and the serialized round-trips. Seeds live in testdata.
+# invariants — sketch merge (associativity/commutativity vs the union
+# stream) and the serialized round-trips — plus the /labels ingestion
+# decoder (attacker-facing JSON on the serving mux). Seeds live in
+# testdata.
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzKLLMerge -fuzztime 10s ./internal/stats
 	$(GO) test -run NONE -fuzz FuzzKLLRoundTrip -fuzztime 10s ./internal/stats
+	$(GO) test -run NONE -fuzz FuzzLabelsDecode -fuzztime 10s ./internal/labels

@@ -10,7 +10,7 @@
 //
 // Experiments: fig2a fig2b fig2c fig2d fig3 fig4 val-known fig5 fig6 fig7
 // fig2a-auc fig2c-auc gen-matrix ablation-step ablation-regressor
-// ablation-size ablation-ks stability pipeline timeline federate all
+// ablation-size ablation-ks stability pipeline timeline federate labels all
 //
 // The pipeline experiment times the end-to-end training pipeline with
 // internal/obs spans and writes the machine-readable breakdown to
@@ -20,7 +20,11 @@
 // BENCH_timeline.json). The federate experiment measures the fleet
 // aggregation layer (merged-vs-single sketch quantiles, /federate
 // decode+merge throughput, fleet p99 vs naive shard rollup) and writes
-// -federate-out (default BENCH_federate.json). -trace prints a span
+// -federate-out (default BENCH_federate.json). The labels experiment
+// validates the label-feedback subsystem (credible-interval coverage on
+// a lagged ramp, active-vs-uniform label efficiency, conformal coverage,
+// join throughput) and writes -labels-out (default BENCH_labels.json).
+// -trace prints a span
 // report of every traced training run; -log-level and -log-format
 // control structured logging.
 package main
@@ -54,6 +58,8 @@ func main() {
 		"file for the machine-readable timeline benchmark (empty disables; written by -exp timeline)")
 	federateOut := flag.String("federate-out", "BENCH_federate.json",
 		"file for the machine-readable federation benchmark (empty disables; written by -exp federate)")
+	labelsOut := flag.String("labels-out", "BENCH_labels.json",
+		"file for the machine-readable label-feedback benchmark (empty disables; written by -exp labels)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -80,7 +86,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*exp, scale, *format, *pipelineOut, *timelineOut, *federateOut); err != nil {
+	if err := run(*exp, scale, *format, *pipelineOut, *timelineOut, *federateOut, *labelsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -128,6 +134,7 @@ func runners(scale experiments.Scale) map[string]func() (any, error) {
 		"pipeline": wrap(func() (any, error) { return experiments.PipelineBench(scale) }),
 		"timeline": wrap(func() (any, error) { return experiments.TimelineBench(scale) }),
 		"federate": wrap(func() (any, error) { return experiments.FederateBench(scale) }),
+		"labels":   wrap(func() (any, error) { return experiments.LabelsBench(scale) }),
 	}
 }
 
@@ -137,7 +144,7 @@ var order = []string{
 	"val-known", "fig5", "fig6", "fig7",
 	"fig2a-auc", "fig2c-auc", "gen-matrix-lr", "gen-matrix-xgb",
 	"ablation-step", "ablation-regressor", "ablation-size", "ablation-ks",
-	"stability", "pipeline", "timeline", "federate",
+	"stability", "pipeline", "timeline", "federate", "labels",
 }
 
 // aliases map legacy/composite ids to runner ids.
@@ -145,7 +152,7 @@ var aliases = map[string][]string{
 	"gen-matrix": {"gen-matrix-lr", "gen-matrix-xgb"},
 }
 
-func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut, federateOut string) error {
+func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut, federateOut, labelsOut string) error {
 	byID := runners(scale)
 	ids := []string{exp}
 	if exp == "all" {
@@ -189,6 +196,12 @@ func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut, 
 				return fmt.Errorf("%s: %w", id, err)
 			}
 			fmt.Printf("federation benchmark written to %s\n", federateOut)
+		}
+		if lr, ok := result.(*experiments.LabelsResult); ok && labelsOut != "" {
+			if err := writeJSON(labelsOut, lr); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Printf("label-feedback benchmark written to %s\n", labelsOut)
 		}
 		if exp == "all" {
 			fmt.Printf("--- %s done in %s ---\n\n", id, time.Since(start).Round(time.Millisecond))

@@ -25,8 +25,12 @@
 // on: every alert fire transition (or POST /debug/incidents/trigger)
 // captures a diagnostic bundle with per-column drift attribution, and
 // GET /debug/incidents lists the retained ones (-incident-dir persists
-// them as JSON; render with ppm-diagnose). -log-level and -log-format
-// control structured logging.
+// them as JSON; render with ppm-diagnose). With -bundle the label
+// feedback loop is also on: POST /labels ingests delayed ground truth
+// joined by X-Request-ID, GET /labels/requests serves the active
+// (Thompson) labeling worklist, GET /labels/status the Bayesian
+// assessment (-label-lag/-label-pending/-label-seed tune it).
+// -log-level and -log-format control structured logging.
 package main
 
 import (
@@ -41,6 +45,7 @@ import (
 	"blackboxval/internal/cloud"
 	"blackboxval/internal/data"
 	"blackboxval/internal/gateway"
+	"blackboxval/internal/labels"
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
 	"blackboxval/internal/obs/incident"
@@ -67,6 +72,9 @@ func main() {
 	incidentRows := flag.Int("incident-rows", 0, "incident reservoir size in raw serving rows (0 = default 512)")
 	incidentMax := flag.Int("incident-max", 0, "retained incident bundles (0 = default 16)")
 	incidentSeed := flag.Int64("incident-seed", 0, "incident reservoir sampling seed (0 = default 1)")
+	labelLag := flag.Int64("label-lag", 0, "label join horizon in drift-timeline windows (0 = default 64)")
+	labelPending := flag.Int("label-pending", 0, "served batches retained awaiting labels (0 = default 512)")
+	labelSeed := flag.Int64("label-seed", 0, "active-sampling RNG seed (0 = default 1)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -90,6 +98,7 @@ func main() {
 		alertRules:       *alertRules, alertWebhook: *alertWebhook,
 		incidentDir: *incidentDir, incidentRows: *incidentRows,
 		incidentMax: *incidentMax, incidentSeed: *incidentSeed,
+		labelLag: *labelLag, labelPending: *labelPending, labelSeed: *labelSeed,
 	}
 	if err := run(opts, logger); err != nil {
 		logger.Error("fatal", "err", err)
@@ -110,6 +119,8 @@ type options struct {
 	incidentDir                      string
 	incidentRows, incidentMax        int
 	incidentSeed                     int64
+	labelLag, labelSeed              int64
+	labelPending                     int
 }
 
 func run(opts options, logger *slog.Logger) error {
@@ -176,10 +187,25 @@ func run(opts options, logger *slog.Logger) error {
 	obs.RegisterRuntimeMetrics(g.Metrics().Registry())
 
 	var rec *incident.Recorder
+	var lstore *labels.Store
 	if cfg.Monitor != nil {
 		// Surface the monitor's own families (estimate, alarm line,
 		// batch/violation counters) on the gateway's /metrics endpoint.
 		cfg.Monitor.RegisterMetrics(g.Metrics().Registry())
+		// The label-feedback store rides the same shadow batch stream:
+		// delayed ground truth POSTed to /labels joins against what this
+		// gateway served, assessed as Beta-Bernoulli credible intervals on
+		// the drift timeline next to h's unlabeled estimate.
+		lstore, err = cli.WireLabels(cfg.Monitor, cli.LabelOptions{
+			MaxLagWindows: opts.labelLag,
+			MaxPending:    opts.labelPending,
+			Seed:          opts.labelSeed,
+			Registry:      g.Metrics().Registry(),
+			Logger:        logger,
+		})
+		if err != nil {
+			return err
+		}
 		// The incident flight recorder samples every shadow-observed
 		// batch; alert fire transitions (below) auto-capture bundles.
 		rec, err = cli.WireIncidents(cfg.Monitor, cli.IncidentOptions{
@@ -188,6 +214,7 @@ func run(opts options, logger *slog.Logger) error {
 			MaxBundles:    opts.incidentMax,
 			ReservoirRows: opts.incidentRows,
 			Seed:          opts.incidentSeed,
+			Labels:        lstore,
 			Registry:      g.Metrics().Registry(),
 			Logger:        logger,
 		})
@@ -224,6 +251,12 @@ func run(opts options, logger *slog.Logger) error {
 		mux.Handle(incident.MountPath+"/", rec.Handler())
 		logger.Info("incident recorder on", "list", incident.MountPath,
 			"dir", opts.incidentDir)
+	}
+	if lstore != nil {
+		mux.Handle("/labels", lstore.Handler())
+		mux.Handle("/labels/", lstore.Handler())
+		logger.Info("label feedback on", "ingest", "POST /labels",
+			"worklist", "GET /labels/requests", "status", "GET /labels/status")
 	}
 
 	logger.Info("proxying", "from", fmt.Sprintf("http://%s/predict_proba", opts.addr),

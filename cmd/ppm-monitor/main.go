@@ -17,8 +17,13 @@
 // flight recorder: alert fire transitions — or POST
 // /debug/incidents/trigger — capture diagnostic bundles with
 // per-column drift attribution; -incident-dir persists them as JSON;
-// render with ppm-diagnose). -log-level and -log-format control
-// structured logging.
+// render with ppm-diagnose). The label-feedback endpoints ride the same
+// address: POST /labels ingests delayed ground truth joined by
+// X-Request-ID, GET /labels/requests serves the active labeling
+// worklist and GET /labels/status the Bayesian assessment
+// (-label-lag/-label-pending/-label-seed tune it; distinct from the
+// -labels bool, which marks CSVs that already carry labels).
+// -log-level and -log-format control structured logging.
 package main
 
 import (
@@ -50,6 +55,9 @@ func main() {
 	incidentRows := flag.Int("incident-rows", 0, "incident reservoir size in raw serving rows (0 = default 512)")
 	incidentMax := flag.Int("incident-max", 0, "retained incident bundles (0 = default 16)")
 	incidentSeed := flag.Int64("incident-seed", 0, "incident reservoir sampling seed (0 = default 1)")
+	labelLag := flag.Int64("label-lag", 0, "label join horizon in drift-timeline windows (0 = default 64)")
+	labelPending := flag.Int("label-pending", 0, "served batches retained awaiting labels (0 = default 512)")
+	labelSeed := flag.Int64("label-seed", 0, "active-sampling RNG seed (0 = default 1)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -76,12 +84,23 @@ func main() {
 	}
 	mon.RegisterMetrics(obs.Default())
 	obs.RegisterRuntimeMetrics(obs.Default())
+	lstore, err := cli.WireLabels(mon, cli.LabelOptions{
+		MaxLagWindows: *labelLag,
+		MaxPending:    *labelPending,
+		Seed:          *labelSeed,
+		Logger:        logger,
+	})
+	if err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 	rec, err := cli.WireIncidents(mon, cli.IncidentOptions{
 		BundleDir:     *bundle,
 		Dir:           *incidentDir,
 		MaxBundles:    *incidentMax,
 		ReservoirRows: *incidentRows,
 		Seed:          *incidentSeed,
+		Labels:        lstore,
 		Logger:        logger,
 	})
 	if err != nil {
@@ -108,6 +127,8 @@ func main() {
 			mux.Handle("/", mon.Handler())
 			mux.Handle(incident.MountPath, rec.Handler())
 			mux.Handle(incident.MountPath+"/", rec.Handler())
+			mux.Handle("/labels", lstore.Handler())
+			mux.Handle("/labels/", lstore.Handler())
 			obs.Mount(mux, obs.Default(), obs.DefaultTracer())
 			logger.Info("dashboard up",
 				"dashboard", fmt.Sprintf("http://%s/", *addr),

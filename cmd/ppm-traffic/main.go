@@ -10,6 +10,15 @@
 //	ppm-traffic send -target http://127.0.0.1:8088 -dataset income \
 //	    -batches 6 -rows 500 -corrupt scaling -max-magnitude 0.95
 //
+// With -label-lag N the sender also replays delayed ground truth:
+// after batch i is served, the true labels of batch i-N are POSTed to
+// the target's /labels endpoint (tail flushed at the end), closing the
+// label-feedback loop the monitor's Bayesian assessment rides on.
+// -label-budget B switches to active mode — only the rows the
+// target's GET /labels/requests worklist asks for are labeled, B per
+// due batch, under -label-policy ts|uniform. A ramp whose batches all
+// fail exits non-zero; partial failures are logged and skipped.
+//
 // Sink mode runs a tiny webhook receiver; point -alert-webhook at it
 // and poll GET /count (or /events) to see delivered alerts:
 //
@@ -54,6 +63,7 @@ func usage() {
   ppm-traffic send -target URL [-targets URL,URL,...] [-dataset income] [-batches 6] [-rows 500]
                [-corrupt NAME] [-corrupt-column COL] [-max-magnitude 0.95]
                [-clean 2] [-interval 0s] [-seed 1]
+               [-label-lag N] [-label-budget N] [-label-policy ts|uniform]
   ppm-traffic sink -addr HOST:PORT`)
 }
 
@@ -70,6 +80,9 @@ func runSend(args []string) error {
 	clean := fs.Int("clean", 2, "leading clean batches before the ramp")
 	interval := fs.Duration("interval", 0, "pause between batches")
 	seed := fs.Int64("seed", 1, "workload seed")
+	labelLag := fs.Int("label-lag", -1, "replay true labels N batches behind the ramp (-1 = no label replay)")
+	labelBudget := fs.Int("label-budget", 0, "budget mode: label only the rows GET /labels/requests asks for, N per due batch (0 = full batches)")
+	labelPolicy := fs.String("label-policy", "ts", "budget-mode worklist policy: ts or uniform")
 	fs.Parse(args)
 	var targetList []string
 	if *targets != "" {
@@ -79,11 +92,17 @@ func runSend(args []string) error {
 			}
 		}
 	}
-	return cli.SendTraffic(cli.TrafficOptions{
+	opts := cli.TrafficOptions{
 		Target: *target, Targets: targetList, Dataset: *dataset, Batches: *batches, Rows: *rows,
 		Corrupt: *corrupt, Column: *column, MaxMagnitude: *maxMagnitude,
 		CleanBatches: *clean, Interval: *interval, Seed: *seed,
-	})
+		LabelBudget: *labelBudget, LabelPolicy: *labelPolicy,
+	}
+	if *labelLag >= 0 {
+		opts.ReplayLabels = true
+		opts.LabelLag = *labelLag
+	}
+	return cli.SendTraffic(opts)
 }
 
 func runSink(args []string) error {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"blackboxval/internal/labels"
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
 	"blackboxval/internal/obs/incident"
@@ -35,6 +36,9 @@ type IncidentOptions struct {
 	ReservoirRows int
 	// Seed fixes the reservoir's sampling stream (0 = default 1).
 	Seed int64
+	// Labels, when set, snapshots the label-feedback assessment into
+	// every captured bundle (see WireLabels).
+	Labels *labels.Store
 	// Registry receives the ppm_incident_* families (nil = obs.Default()).
 	Registry *obs.Registry
 	// Logger receives capture logs (nil = slog.Default()).
@@ -69,6 +73,7 @@ func WireIncidents(mon *monitor.Monitor, opts IncidentOptions) (*incident.Record
 		MaxBundles:    opts.MaxBundles,
 		ReservoirRows: opts.ReservoirRows,
 		Seed:          opts.Seed,
+		Labels:        opts.Labels,
 		Registry:      opts.Registry,
 		Logger:        opts.Logger,
 	}

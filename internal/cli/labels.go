@@ -1,0 +1,59 @@
+package cli
+
+// Label-feedback wiring shared by ppm-monitor and ppm-gateway: both
+// binaries accept -label-lag/-label-pending/-label-seed and hand the
+// parsed flags to WireLabels, which builds the store on the monitor's
+// drift timeline, hooks it onto the batch stream and registers its
+// metric families. Mount the store's Handler at /labels (the gateway
+// does this via gateway.Config.Labels) and pass the store to
+// WireIncidents via IncidentOptions.Labels so captured bundles carry
+// the assessment snapshot.
+
+import (
+	"log/slog"
+
+	"blackboxval/internal/labels"
+	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
+)
+
+// LabelOptions configures WireLabels.
+type LabelOptions struct {
+	// MaxLagWindows is the join horizon in drift-timeline windows
+	// (0 = default 64).
+	MaxLagWindows int64
+	// MaxPending bounds the served batches retained while waiting for
+	// labels (0 = default 512).
+	MaxPending int
+	// Level is the credible/prediction interval level (0 = default 0.95).
+	Level float64
+	// Seed drives the active-sampling policies' RNG (0 = default 1).
+	Seed int64
+	// Registry receives the ppm_labels_* families (nil = obs.Default()).
+	Registry *obs.Registry
+	// Logger receives join anomalies (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+// WireLabels attaches the label-feedback store to the monitor: every
+// shadow-observed batch is remembered by X-Request-ID, delayed true
+// labels posted to /labels join against it, and the Beta-Bernoulli
+// assessment series (labeled_acc_mean/lo95/hi95, labeled_coverage,
+// label_lag, h_abs_gap, h_interval_lo/hi) land on the same drift
+// timeline as h's unlabeled estimate.
+func WireLabels(mon *monitor.Monitor, opts LabelOptions) (*labels.Store, error) {
+	store, err := labels.New(labels.Config{
+		Timeline:      mon.Timeline(),
+		MaxLagWindows: opts.MaxLagWindows,
+		MaxPending:    opts.MaxPending,
+		Level:         opts.Level,
+		Seed:          opts.Seed,
+		Logger:        opts.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	store.RegisterMetrics(opts.Registry)
+	mon.OnObserve(store.ObserveBatch)
+	return store, nil
+}

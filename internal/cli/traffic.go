@@ -58,6 +58,23 @@ type TrafficOptions struct {
 	Interval time.Duration
 	// Seed makes the generated workload reproducible.
 	Seed int64
+	// ReplayLabels replays delayed ground truth: after batch i succeeds,
+	// the true labels of batch i-LabelLag are POSTed to the /labels
+	// endpoint of the target that served it, and the tail is flushed when
+	// the ramp ends. Labels are the generator's ground truth — corruption
+	// perturbs features only, so the labeled accuracy genuinely collapses
+	// while h may or may not notice.
+	ReplayLabels bool
+	// LabelLag is the replay delay in batches (0 = labels arrive right
+	// after their own batch).
+	LabelLag int
+	// LabelBudget switches the replay to budget mode: instead of full
+	// batches, each due step asks GET /labels/requests?budget=N which
+	// rows are worth labeling and posts only those (0 = full batches).
+	LabelBudget int
+	// LabelPolicy is the budget-mode worklist policy: "ts" (default) or
+	// "uniform".
+	LabelPolicy string
 	// HTTPClient overrides the transport (tests inject fakes).
 	HTTPClient *http.Client
 	// Out receives one log line per batch (default os.Stdout).
@@ -66,7 +83,13 @@ type TrafficOptions struct {
 
 // SendTraffic generates the workload and posts each batch to
 // Target/predict_proba, logging the status and the X-Request-ID the
-// gateway minted for each. It fails fast on the first non-2xx response.
+// gateway minted for each. Local errors (unknown dataset, unknown
+// generator, encoding) still fail fast, but per-batch delivery
+// failures are logged and the ramp continues — the run errors only
+// when every request failed, so a flaky target degrades the workload
+// instead of truncating it while a dead target exits non-zero with a
+// clear message. With ReplayLabels the ground truth follows the ramp
+// LabelLag batches behind (see the option docs).
 func SendTraffic(opts TrafficOptions) error {
 	if opts.Out == nil {
 		opts.Out = os.Stdout
@@ -100,6 +123,9 @@ func SendTraffic(opts TrafficOptions) error {
 		}
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	replay := newLabelReplayer(opts)
+	succeeded, failed := 0, 0
+	var lastErr error
 	for i := 0; i < opts.Batches; i++ {
 		batch := clean
 		magnitude := 0.0
@@ -127,20 +153,180 @@ func SendTraffic(opts TrafficOptions) error {
 		}
 		resp, err := opts.HTTPClient.Post(target+"/predict_proba", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return fmt.Errorf("cli: batch %d: %w", i, err)
+			failed++
+			lastErr = err
+			fmt.Fprintf(opts.Out, "batch %d: send failed: %v\n", i, err)
+			continue
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-			return fmt.Errorf("cli: batch %d: target returned %d", i, resp.StatusCode)
+			failed++
+			lastErr = fmt.Errorf("target returned %d", resp.StatusCode)
+			fmt.Fprintf(opts.Out, "batch %d: send failed: status %d\n", i, resp.StatusCode)
+			continue
 		}
+		succeeded++
 		fmt.Fprintf(opts.Out, "batch %d: %d rows, magnitude %.2f, status %d, request_id %s\n",
 			i, opts.Rows, magnitude, resp.StatusCode, resp.Header.Get(obs.RequestIDHeader))
+		replay.sent(opts, resp.Header.Get(obs.RequestIDHeader), batch.Labels, target)
 		if opts.Interval > 0 && i < opts.Batches-1 {
 			time.Sleep(opts.Interval)
 		}
 	}
+	replay.flush(opts)
+	if succeeded == 0 {
+		return fmt.Errorf("cli: every batch failed (%d/%d); last error: %w", failed, opts.Batches, lastErr)
+	}
 	return nil
+}
+
+// labelReplayer holds the delayed-ground-truth backlog during a ramp:
+// batch i's true labels are posted once batch i+LabelLag has been
+// served (or at flush time for the tail).
+type labelReplayer struct {
+	enabled bool
+	backlog []labelBacklogEntry
+	byID    map[string][]int
+	posted  int // backlog entries already replayed
+	rows    int64
+	errors  int
+}
+
+type labelBacklogEntry struct {
+	id     string
+	labels []int
+	target string
+}
+
+func newLabelReplayer(opts TrafficOptions) *labelReplayer {
+	return &labelReplayer{enabled: opts.ReplayLabels, byID: map[string][]int{}}
+}
+
+// sent records a successfully served batch and replays the entry that
+// just crossed the lag horizon, if any.
+func (r *labelReplayer) sent(opts TrafficOptions, id string, labels []int, target string) {
+	if !r.enabled || id == "" {
+		return
+	}
+	r.backlog = append(r.backlog, labelBacklogEntry{id: id, labels: labels, target: target})
+	r.byID[id] = labels
+	for r.posted < len(r.backlog)-opts.LabelLag {
+		r.replay(opts, r.backlog[r.posted])
+		r.posted++
+	}
+}
+
+// flush replays the tail entries still inside the lag window after the
+// ramp ends, then logs the replay summary.
+func (r *labelReplayer) flush(opts TrafficOptions) {
+	if !r.enabled {
+		return
+	}
+	for ; r.posted < len(r.backlog); r.posted++ {
+		r.replay(opts, r.backlog[r.posted])
+	}
+	fmt.Fprintf(opts.Out, "labels: replayed %d rows over %d batches (lag %d, budget %d, errors %d)\n",
+		r.rows, len(r.backlog), opts.LabelLag, opts.LabelBudget, r.errors)
+}
+
+// replay posts one backlog entry's ground truth. In full mode the whole
+// batch goes out; in budget mode the target's own worklist decides
+// which rows are worth labeling and only those are posted. Failures are
+// logged and counted, never fatal: losing labels is a degradation the
+// monitor's coverage metrics surface, not a reason to kill the ramp.
+func (r *labelReplayer) replay(opts TrafficOptions, e labelBacklogEntry) {
+	records, err := r.buildRecords(opts, e)
+	if err != nil {
+		r.errors++
+		fmt.Fprintf(opts.Out, "labels: batch %s: %v\n", e.id, err)
+		return
+	}
+	if len(records) == 0 {
+		return
+	}
+	body, err := json.Marshal(map[string]any{"records": records})
+	if err != nil {
+		r.errors++
+		return
+	}
+	resp, err := opts.HTTPClient.Post(e.target+"/labels", "application/json", bytes.NewReader(body))
+	if err != nil {
+		r.errors++
+		fmt.Fprintf(opts.Out, "labels: batch %s: post failed: %v\n", e.id, err)
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		r.errors++
+		fmt.Fprintf(opts.Out, "labels: batch %s: post failed: status %d\n", e.id, resp.StatusCode)
+		return
+	}
+	for _, rec := range records {
+		r.rows += int64(len(rec.Labels))
+	}
+}
+
+// trafficLabelRecord mirrors labels.Record on the wire without
+// importing the package (the traffic generator speaks pure HTTP, like
+// a real labeling system would).
+type trafficLabelRecord struct {
+	RequestID string `json:"request_id"`
+	Rows      []int  `json:"rows,omitempty"`
+	Labels    []int  `json:"labels"`
+}
+
+func (r *labelReplayer) buildRecords(opts TrafficOptions, e labelBacklogEntry) ([]trafficLabelRecord, error) {
+	if opts.LabelBudget <= 0 {
+		return []trafficLabelRecord{{RequestID: e.id, Labels: e.labels}}, nil
+	}
+	// Budget mode: ask the target which rows are worth an annotator's
+	// time. The worklist may span several retained batches; answer for
+	// every id we know the ground truth of.
+	policy := opts.LabelPolicy
+	if policy == "" {
+		policy = "ts"
+	}
+	resp, err := opts.HTTPClient.Get(fmt.Sprintf("%s/labels/requests?budget=%d&policy=%s",
+		e.target, opts.LabelBudget, policy))
+	if err != nil {
+		return nil, fmt.Errorf("worklist: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("worklist: status %d", resp.StatusCode)
+	}
+	var work struct {
+		Requests []struct {
+			RequestID string `json:"request_id"`
+			Row       int    `json:"row"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&work); err != nil {
+		return nil, fmt.Errorf("worklist: %w", err)
+	}
+	grouped := map[string]*trafficLabelRecord{}
+	var order []string
+	for _, item := range work.Requests {
+		truth, ok := r.byID[item.RequestID]
+		if !ok || item.Row < 0 || item.Row >= len(truth) {
+			continue
+		}
+		rec := grouped[item.RequestID]
+		if rec == nil {
+			rec = &trafficLabelRecord{RequestID: item.RequestID}
+			grouped[item.RequestID] = rec
+			order = append(order, item.RequestID)
+		}
+		rec.Rows = append(rec.Rows, item.Row)
+		rec.Labels = append(rec.Labels, truth[item.Row])
+	}
+	records := make([]trafficLabelRecord, 0, len(order))
+	for _, id := range order {
+		records = append(records, *grouped[id])
+	}
+	return records, nil
 }
 
 // CorruptColumn applies a scaling corruption (x1000, per-value

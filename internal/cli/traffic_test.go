@@ -2,10 +2,12 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -48,16 +50,185 @@ func TestSendTrafficRampsCorruption(t *testing.T) {
 	}
 }
 
-func TestSendTrafficFailsOnNon2xx(t *testing.T) {
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		http.Error(w, "boom", http.StatusInternalServerError)
+func TestSendTrafficFailsOnlyWhenAllFail(t *testing.T) {
+	t.Run("every batch fails", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}))
+		defer srv.Close()
+		var out bytes.Buffer
+		err := SendTraffic(TrafficOptions{
+			Target: srv.URL, Dataset: "income", Batches: 3, Rows: 20, Out: &out,
+		})
+		if err == nil || !strings.Contains(err.Error(), "every batch failed (3/3)") ||
+			!strings.Contains(err.Error(), "500") {
+			t.Fatalf("want a clear all-failed error naming the last status, got %v", err)
+		}
+	})
+	t.Run("dead target", func(t *testing.T) {
+		err := SendTraffic(TrafficOptions{
+			Target: "http://127.0.0.1:1", Dataset: "income", Batches: 2, Rows: 20, Out: &bytes.Buffer{},
+		})
+		if err == nil || !strings.Contains(err.Error(), "every batch failed (2/2)") {
+			t.Fatalf("a dead target must exit non-zero, got %v", err)
+		}
+	})
+	t.Run("partial failure continues", func(t *testing.T) {
+		var calls atomic.Int64
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			if calls.Add(1) == 2 { // one mid-ramp hiccup
+				http.Error(w, "flake", http.StatusServiceUnavailable)
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+		}))
+		defer srv.Close()
+		var out bytes.Buffer
+		err := SendTraffic(TrafficOptions{
+			Target: srv.URL, Dataset: "income", Batches: 4, Rows: 20, Out: &out,
+		})
+		if err != nil {
+			t.Fatalf("one flaky batch must not fail the ramp: %v", err)
+		}
+		if calls.Load() != 4 {
+			t.Fatalf("backend saw %d batches, want all 4 attempted", calls.Load())
+		}
+		if !strings.Contains(out.String(), "batch 1: send failed: status 503") {
+			t.Fatalf("log missing the per-batch failure line:\n%s", out.String())
+		}
+	})
+}
+
+// TestSendTrafficReplaysLaggedLabels pins the label replay contract:
+// batch i's ground truth is POSTed to /labels after batch i+lag is
+// served, the tail flushes at ramp end, every row is covered, and the
+// labels are the generator's truth (idempotent with the request ids the
+// target minted).
+func TestSendTrafficReplaysLaggedLabels(t *testing.T) {
+	type post struct {
+		when int64 // batches served when this label post arrived
+		recs []trafficLabelRecord
+	}
+	var mu sync.Mutex
+	var served atomic.Int64
+	var posts []post
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/predict_proba":
+			n := served.Add(1)
+			w.Header().Set(obs.RequestIDHeader, fmt.Sprintf("req-%d", n))
+			w.WriteHeader(http.StatusOK)
+		case "/labels":
+			var body struct {
+				Records []trafficLabelRecord `json:"records"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+				t.Errorf("bad /labels body: %v", err)
+			}
+			mu.Lock()
+			posts = append(posts, post{when: served.Load(), recs: body.Records})
+			mu.Unlock()
+			w.WriteHeader(http.StatusOK)
+		default:
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
 	}))
 	defer srv.Close()
+
+	const batches, rows, lag = 5, 30, 2
+	var out bytes.Buffer
 	err := SendTraffic(TrafficOptions{
-		Target: srv.URL, Dataset: "income", Batches: 1, Rows: 20, Out: &bytes.Buffer{},
+		Target: srv.URL, Dataset: "income", Batches: batches, Rows: rows,
+		Seed: 3, ReplayLabels: true, LabelLag: lag, Out: &out,
 	})
-	if err == nil || !strings.Contains(err.Error(), "500") {
-		t.Fatalf("expected 500 error, got %v", err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(posts) != batches {
+		t.Fatalf("saw %d label posts, want one per batch:\n%s", len(posts), out.String())
+	}
+	for i, p := range posts {
+		if len(p.recs) != 1 || p.recs[0].RequestID != fmt.Sprintf("req-%d", i+1) {
+			t.Fatalf("post %d carries %+v, want the labels of req-%d", i, p.recs, i+1)
+		}
+		if len(p.recs[0].Labels) != rows || p.recs[0].Rows != nil {
+			t.Fatalf("post %d: %d labels (rows %v), want full batch of %d", i, len(p.recs[0].Labels), p.recs[0].Rows, rows)
+		}
+		// In-ramp posts arrive exactly lag batches late; the tail flush
+		// happens after all batches are served.
+		wantWhen := int64(i + 1 + lag)
+		if wantWhen > batches {
+			wantWhen = batches
+		}
+		if p.when != wantWhen {
+			t.Fatalf("labels for batch %d posted when %d batches served, want %d", i, p.when, wantWhen)
+		}
+	}
+	if !strings.Contains(out.String(), fmt.Sprintf("labels: replayed %d rows over %d batches", batches*rows, batches)) {
+		t.Fatalf("log missing the replay summary:\n%s", out.String())
+	}
+}
+
+// TestSendTrafficBudgetModeAsksWorklist pins budget mode: the sender
+// labels only the rows GET /labels/requests returns, grouped per
+// request id with explicit row indices.
+func TestSendTrafficBudgetModeAsksWorklist(t *testing.T) {
+	var served atomic.Int64
+	var mu sync.Mutex
+	var worklistCalls []string
+	var recs []trafficLabelRecord
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/predict_proba":
+			n := served.Add(1)
+			w.Header().Set(obs.RequestIDHeader, fmt.Sprintf("req-%d", n))
+			w.WriteHeader(http.StatusOK)
+		case "/labels/requests":
+			mu.Lock()
+			worklistCalls = append(worklistCalls, r.URL.RawQuery)
+			mu.Unlock()
+			// Ask for two rows of the oldest known batch and one of an id
+			// the sender never served (must be skipped).
+			fmt.Fprint(w, `{"requests":[
+				{"request_id":"req-1","row":4},
+				{"request_id":"req-1","row":7},
+				{"request_id":"unknown","row":0}]}`)
+		case "/labels":
+			var body struct {
+				Records []trafficLabelRecord `json:"records"`
+			}
+			json.NewDecoder(r.Body).Decode(&body)
+			mu.Lock()
+			recs = append(recs, body.Records...)
+			mu.Unlock()
+			w.WriteHeader(http.StatusOK)
+		default:
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := SendTraffic(TrafficOptions{
+		Target: srv.URL, Dataset: "income", Batches: 1, Rows: 20, Seed: 3,
+		ReplayLabels: true, LabelLag: 0, LabelBudget: 2, LabelPolicy: "uniform", Out: &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(worklistCalls) != 1 || !strings.Contains(worklistCalls[0], "budget=2") ||
+		!strings.Contains(worklistCalls[0], "policy=uniform") {
+		t.Fatalf("worklist calls %v, want one with budget=2&policy=uniform", worklistCalls)
+	}
+	if len(recs) != 1 || recs[0].RequestID != "req-1" {
+		t.Fatalf("label records %+v, want exactly req-1", recs)
+	}
+	if len(recs[0].Rows) != 2 || recs[0].Rows[0] != 4 || recs[0].Rows[1] != 7 || len(recs[0].Labels) != 2 {
+		t.Fatalf("budget post %+v, want rows [4 7] with matching labels", recs[0])
 	}
 }
 

@@ -1,0 +1,345 @@
+package experiments
+
+// LabelsBench validates the label-feedback subsystem end to end, on
+// the axes the paper's open question implies once ground truth starts
+// arriving late:
+//
+//  1. Credible-interval calibration — a deterministic lagged ramp with
+//     known true accuracy; the per-window 95% Beta intervals must cover
+//     the truth >= 90% of the time over >= 50 clean windows, and the
+//     run is repeated on a corrupted stream (true accuracy collapses
+//     while h keeps reporting the clean estimate) where the intervals
+//     must track the collapsed truth, not h.
+//  2. Label efficiency of active sampling — Thompson sampling over the
+//     per-stratum posteriors versus the uniform baseline at the same
+//     per-round budget: how many labels each policy spends before the
+//     uncertain stratum's 95% interval narrows to a target width. The
+//     benchmark errors out unless active needs measurably fewer.
+//  3. Conformal recalibration — the online prediction interval wrapped
+//     around h must hit near-nominal coverage once warm.
+//  4. Cost — join throughput through Store.Ingest (rows/sec, full
+//     assessment and timeline feed included) and the per-interval
+//     Beta-quantile overhead, so the hot-path price of the subsystem
+//     shows up in review diffs.
+//
+// ppm-bench serializes the result as BENCH_labels.json next to the
+// pipeline/timeline/federate benchmarks.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"blackboxval/internal/labels"
+	"blackboxval/internal/linalg"
+	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
+	"blackboxval/internal/stats"
+)
+
+// LabelsResult is the machine-readable label-feedback benchmark
+// (BENCH_labels.json).
+type LabelsResult struct {
+	Scale string `json:"scale"`
+
+	// Credible-interval calibration on the lagged ramp.
+	CleanWindows    int     `json:"clean_windows"`
+	CleanCoverage   float64 `json:"clean_coverage"`
+	CorruptWindows  int     `json:"corrupt_windows"`
+	CorruptCoverage float64 `json:"corrupt_coverage"`
+	LagBatches      int     `json:"lag_batches"`
+	MeanLagWindows  float64 `json:"mean_lag_windows"`
+	FinalAbsGap     float64 `json:"final_h_abs_gap"`
+
+	// Active sampling vs the uniform baseline.
+	TargetWidth   float64 `json:"target_width"`
+	ActiveLabels  int     `json:"active_labels_to_target"`
+	UniformLabels int     `json:"uniform_labels_to_target"`
+	LabelSavings  float64 `json:"label_savings"` // 1 - active/uniform
+
+	// Conformal recalibration of h.
+	ConformalEvaluated int64   `json:"conformal_evaluated"`
+	ConformalCoverage  float64 `json:"conformal_coverage"`
+
+	// Cost.
+	JoinRows        int     `json:"join_rows"`
+	JoinSeconds     float64 `json:"join_seconds"`
+	JoinRowsPerSec  float64 `json:"join_rows_per_sec"`
+	IntervalNanosOp float64 `json:"beta_interval_nanos_per_op"`
+}
+
+// labelsRamp drives one lagged replay against a fresh store: windows
+// batches of rows at trueAcc, labels joined lag batches behind, every
+// window's interval assessed the moment its labels land. h reports
+// hEstimate throughout, whatever the truth does.
+func labelsRamp(s *labels.Store, ts *obs.TimeSeries, rng *rand.Rand,
+	windows, rows, lag int, trueAcc, hEstimate float64, idPrefix string) (covered, assessed int, err error) {
+	type sent struct {
+		id     string
+		labels []int
+		window int64
+	}
+	var backlog []sent
+	post := func(b sent) error {
+		s.Ingest([]labels.Record{{RequestID: b.id, Labels: b.labels}})
+		p, ok := s.WindowPosterior(b.window)
+		if !ok {
+			return fmt.Errorf("experiments: window %d lost its posterior before assessment", b.window)
+		}
+		assessed++
+		if p.Lo <= trueAcc && trueAcc <= p.Hi {
+			covered++
+		}
+		return nil
+	}
+	for w := 0; w < windows; w++ {
+		pred := make([]int, rows)
+		labelVals := make([]int, rows)
+		proba := linalg.NewMatrix(rows, 4)
+		for i := range pred {
+			pred[i] = rng.Intn(4)
+			proba.Set(i, pred[i], 1)
+			if rng.Float64() < trueAcc {
+				labelVals[i] = pred[i]
+			} else {
+				labelVals[i] = (pred[i] + 1) % 4
+			}
+		}
+		id := fmt.Sprintf("%s-%05d", idPrefix, w)
+		rec := monitor.Record{RequestID: id, Estimate: hEstimate, Window: ts.OpenIndex()}
+		s.ObserveBatch(nil, proba, rec)
+		ts.Commit()
+		backlog = append(backlog, sent{id: id, labels: labelVals, window: rec.Window})
+		if w >= lag {
+			if err := post(backlog[w-lag]); err != nil {
+				return covered, assessed, err
+			}
+		}
+	}
+	for _, b := range backlog[windows-lag:] {
+		if err := post(b); err != nil {
+			return covered, assessed, err
+		}
+	}
+	return covered, assessed, nil
+}
+
+// LabelsBench runs the label-feedback benchmark at the given scale.
+func LabelsBench(scale Scale) (*LabelsResult, error) {
+	cleanWindows, corruptWindows, rows := 60, 20, 100
+	budget, targetWidth := 10, 0.30
+	if scale.Name == "full" {
+		cleanWindows, corruptWindows, rows = 200, 50, 200
+	}
+	const lag, trueAcc, corruptAcc = 3, 0.9, 0.55
+	res := &LabelsResult{Scale: scale.Name, LagBatches: lag, TargetWidth: targetWidth}
+
+	// --- 1. credible-interval calibration, clean then corrupted ---
+	ts, err := obs.NewTimeSeries(obs.TimeSeriesConfig{WindowBatches: 1, Capacity: 64})
+	if err != nil {
+		return nil, err
+	}
+	store, err := labels.New(labels.Config{Timeline: ts, MaxLagWindows: 16, Seed: scale.Seed})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(scale.Seed + 41))
+	covered, assessed, err := labelsRamp(store, ts, rng, cleanWindows, rows, lag, trueAcc, trueAcc, "clean")
+	if err != nil {
+		return nil, err
+	}
+	res.CleanWindows = assessed
+	res.CleanCoverage = float64(covered) / float64(assessed)
+	if assessed < 50 {
+		return nil, fmt.Errorf("experiments: only %d clean windows assessed, need >= 50", assessed)
+	}
+	if res.CleanCoverage < 0.9 {
+		return nil, fmt.Errorf("experiments: clean 95%% interval coverage %.3f over %d windows, need >= 0.9",
+			res.CleanCoverage, assessed)
+	}
+	// Corrupted continuation: the model's true accuracy collapses but h
+	// keeps reporting the clean estimate. The intervals must follow the
+	// labels (cover corruptAcc), and the |h - labeled acc| gap must open.
+	covered, assessed, err = labelsRamp(store, ts, rng, corruptWindows, rows, lag, corruptAcc, trueAcc, "corrupt")
+	if err != nil {
+		return nil, err
+	}
+	res.CorruptWindows = assessed
+	res.CorruptCoverage = float64(covered) / float64(assessed)
+	if res.CorruptCoverage < 0.9 {
+		return nil, fmt.Errorf("experiments: corrupted-stream interval coverage %.3f, need >= 0.9 (intervals must track labels, not h)",
+			res.CorruptCoverage)
+	}
+	snap := store.Snapshot()
+	res.MeanLagWindows = snap.MeanLagWindows
+	res.ConformalEvaluated = snap.Conformal.Evaluated
+	res.ConformalCoverage = snap.Conformal.Coverage
+	if snap.Conformal.Evaluated >= 30 && snap.Conformal.Coverage < 0.8 {
+		return nil, fmt.Errorf("experiments: conformal online coverage %.3f over %d intervals, need >= 0.8",
+			snap.Conformal.Coverage, snap.Conformal.Evaluated)
+	}
+	res.FinalAbsGap = trueAcc - corruptAcc // the designed gap; the series is asserted in internal/labels tests
+
+	// --- 2. active sampling vs uniform at the same budget ---
+	active, err := labelsToTargetWidth(scale.Seed, labels.PolicyThompson, rows, budget, targetWidth)
+	if err != nil {
+		return nil, err
+	}
+	uniform, err := labelsToTargetWidth(scale.Seed, labels.PolicyUniform, rows, budget, targetWidth)
+	if err != nil {
+		return nil, err
+	}
+	res.ActiveLabels, res.UniformLabels = active, uniform
+	res.LabelSavings = 1 - float64(active)/float64(uniform)
+	if active >= uniform {
+		return nil, fmt.Errorf("experiments: Thompson sampling spent %d labels to reach width %.2f, uniform spent %d — active must need measurably fewer",
+			active, targetWidth, uniform)
+	}
+
+	// --- 3. join throughput + assessment overhead ---
+	benchTS, err := obs.NewTimeSeries(obs.TimeSeriesConfig{WindowBatches: 1, Capacity: 64})
+	if err != nil {
+		return nil, err
+	}
+	benchStore, err := labels.New(labels.Config{Timeline: benchTS, MaxPending: 4096, MaxLagWindows: 1 << 20, Seed: scale.Seed})
+	if err != nil {
+		return nil, err
+	}
+	benchBatches, benchRows := 50, 1000
+	if scale.Name == "full" {
+		benchBatches = 200
+	}
+	records := make([]labels.Record, 0, benchBatches)
+	for b := 0; b < benchBatches; b++ {
+		proba := linalg.NewMatrix(benchRows, 4)
+		labelVals := make([]int, benchRows)
+		for i := 0; i < benchRows; i++ {
+			c := rng.Intn(4)
+			proba.Set(i, c, 1)
+			if rng.Float64() < trueAcc {
+				labelVals[i] = c
+			} else {
+				labelVals[i] = (c + 1) % 4
+			}
+		}
+		id := fmt.Sprintf("bench-%05d", b)
+		benchStore.ObserveBatch(nil, proba, monitor.Record{RequestID: id, Estimate: trueAcc, Window: benchTS.OpenIndex()})
+		benchTS.Commit()
+		records = append(records, labels.Record{RequestID: id, Labels: labelVals})
+	}
+	start := time.Now()
+	ingest := benchStore.Ingest(records)
+	elapsed := time.Since(start)
+	if want := int64(benchBatches * benchRows); ingest.JoinedRows != want {
+		return nil, fmt.Errorf("experiments: bench joined %d rows, want %d", ingest.JoinedRows, want)
+	}
+	res.JoinRows = benchBatches * benchRows
+	res.JoinSeconds = elapsed.Seconds()
+	if s := elapsed.Seconds(); s > 0 {
+		res.JoinRowsPerSec = float64(res.JoinRows) / s
+	}
+	const intervalOps = 20_000
+	start = time.Now()
+	sink := 0.0
+	for i := 0; i < intervalOps; i++ {
+		lo, hi := stats.BetaInterval(1+float64(i%500), 1+float64(i%37), 0.95)
+		sink += lo + hi
+	}
+	if sink < 0 { // defeat dead-code elimination
+		return nil, fmt.Errorf("experiments: impossible interval sum %v", sink)
+	}
+	res.IntervalNanosOp = float64(time.Since(start).Nanoseconds()) / intervalOps
+	return res, nil
+}
+
+// labelsToTargetWidth serves one fixed stream where predicted class 0
+// is rare (~10% of rows) and genuinely uncertain (50% accurate) while
+// classes 1-3 are common and 97% accurate, then spends budget-sized
+// labeling rounds under the given policy until the class-0 stratum's
+// 95% credible interval narrows to the target width. Both policies see
+// the identical stream and ground truth (same seeds); only the
+// worklist selection differs. Returns the labels spent.
+func labelsToTargetWidth(seed int64, policy string, rows, budget int, targetWidth float64) (int, error) {
+	ts, err := obs.NewTimeSeries(obs.TimeSeriesConfig{WindowBatches: 1, Capacity: 64})
+	if err != nil {
+		return 0, err
+	}
+	store, err := labels.New(labels.Config{Timeline: ts, MaxPending: 4096, MaxLagWindows: 1 << 20, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	const batches = 40
+	rng := rand.New(rand.NewSource(seed + 977)) // shared stream seed: identical for both policies
+	truth := map[string][]int{}
+	for b := 0; b < batches; b++ {
+		proba := linalg.NewMatrix(rows, 4)
+		labelVals := make([]int, rows)
+		for i := 0; i < rows; i++ {
+			c := 1 + rng.Intn(3)
+			acc := 0.97
+			if rng.Float64() < 0.1 { // the rare, uncertain stratum
+				c = 0
+				acc = 0.5
+			}
+			proba.Set(i, c, 1)
+			if rng.Float64() < acc {
+				labelVals[i] = c
+			} else {
+				labelVals[i] = (c + 1) % 4
+			}
+		}
+		id := fmt.Sprintf("as-%04d", b)
+		truth[id] = labelVals
+		store.ObserveBatch(nil, proba, monitor.Record{RequestID: id, Estimate: 0.9, Window: ts.OpenIndex()})
+		ts.Commit()
+	}
+
+	spent := 0
+	for round := 0; round < 10_000; round++ {
+		if w, ok := stratumWidth(store, 0); ok && w <= targetWidth {
+			return spent, nil
+		}
+		items := store.Worklist(budget, policy)
+		if len(items) == 0 {
+			return spent, fmt.Errorf("experiments: %s policy exhausted %d candidates before reaching width %.2f",
+				policy, batches*rows, targetWidth)
+		}
+		recs := make([]labels.Record, 0, len(items))
+		for _, it := range items {
+			recs = append(recs, labels.Record{
+				RequestID: it.RequestID,
+				Rows:      []int{it.Row},
+				Labels:    []int{truth[it.RequestID][it.Row]},
+			})
+		}
+		result := store.Ingest(recs)
+		spent += int(result.JoinedRows)
+	}
+	return spent, fmt.Errorf("experiments: %s policy never reached width %.2f", policy, targetWidth)
+}
+
+// stratumWidth returns the 95% credible-interval width of the clean
+// (non-alarming) stratum for the given predicted class.
+func stratumWidth(store *labels.Store, class int) (float64, bool) {
+	for _, st := range store.Snapshot().Strata {
+		if st.Class == class && !st.Alarming {
+			return st.Hi - st.Lo, true
+		}
+	}
+	return 0, false
+}
+
+// Print renders the human-readable label-feedback summary.
+func (r *LabelsResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Label-feedback benchmark (scale=%s, lag %d batches)\n", r.Scale, r.LagBatches)
+	fmt.Fprintf(w, "calibration  clean   %d windows, 95%% interval coverage %.3f\n", r.CleanWindows, r.CleanCoverage)
+	fmt.Fprintf(w, "             corrupt %d windows, coverage %.3f (h frozen, truth collapsed by %.2f)\n",
+		r.CorruptWindows, r.CorruptCoverage, r.FinalAbsGap)
+	fmt.Fprintf(w, "             mean label lag %.2f windows\n", r.MeanLagWindows)
+	fmt.Fprintf(w, "sampling     to width %.2f on the uncertain stratum: thompson %d labels, uniform %d (%.0f%% fewer)\n",
+		r.TargetWidth, r.ActiveLabels, r.UniformLabels, r.LabelSavings*100)
+	fmt.Fprintf(w, "conformal    %d intervals evaluated online, coverage %.3f\n", r.ConformalEvaluated, r.ConformalCoverage)
+	fmt.Fprintf(w, "cost         joined %d rows in %.3fs (%.0f rows/sec), Beta interval %.0f ns/op\n",
+		r.JoinRows, r.JoinSeconds, r.JoinRowsPerSec, r.IntervalNanosOp)
+}

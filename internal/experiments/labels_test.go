@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLabelsBench(t *testing.T) {
+	scale := Quick
+	scale.Seed = 1
+	res, err := LabelsBench(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hard acceptance bars are enforced inside LabelsBench (it
+	// returns an error when violated); re-check the headline numbers so
+	// a silently weakened assertion shows up here too.
+	if res.CleanWindows < 50 || res.CleanCoverage < 0.9 {
+		t.Fatalf("clean coverage %.3f over %d windows, want >= 0.9 over >= 50", res.CleanCoverage, res.CleanWindows)
+	}
+	if res.CorruptCoverage < 0.9 {
+		t.Fatalf("corrupted-stream coverage %.3f, want >= 0.9", res.CorruptCoverage)
+	}
+	if res.ActiveLabels >= res.UniformLabels || res.LabelSavings <= 0 {
+		t.Fatalf("active sampling spent %d labels vs uniform %d — must be measurably fewer", res.ActiveLabels, res.UniformLabels)
+	}
+	if res.MeanLagWindows < 1 {
+		t.Fatalf("mean label lag %.2f windows, the lag-%d ramp must register as late", res.MeanLagWindows, res.LagBatches)
+	}
+	if res.JoinRowsPerSec <= 0 || res.IntervalNanosOp <= 0 {
+		t.Fatalf("cost stats missing: %+v", res)
+	}
+
+	buf, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"clean_coverage", "active_labels_to_target", "join_rows_per_sec", "conformal_coverage"} {
+		if !strings.Contains(string(buf), key) {
+			t.Fatalf("JSON missing %q: %s", key, buf)
+		}
+	}
+
+	var out bytes.Buffer
+	res.Print(&out)
+	for _, want := range []string{"interval coverage", "thompson", "rows/sec"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("text report missing %q: %s", want, out.String())
+		}
+	}
+}
+
+// TestLabelsBenchDeterministicSampling pins that the active-vs-uniform
+// comparison is reproducible: same seed, same label counts.
+func TestLabelsBenchDeterministicSampling(t *testing.T) {
+	a, err := labelsToTargetWidth(7, "ts", 100, 10, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := labelsToTargetWidth(7, "ts", 100, 10, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("Thompson label spend not deterministic under a fixed seed: %d vs %d", a, b)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"blackboxval/internal/labels"
 	"blackboxval/internal/obs"
 	"blackboxval/internal/stats"
 )
@@ -450,6 +451,23 @@ func (a *Aggregator) enrichLocked(w *obs.Window, now time.Time) {
 		if found {
 			w.Series["fleet_ks_max"] = scalarAggregate(ksMax)
 		}
+	}
+	// Fleet label-feedback posterior: the labeled_correct series carries
+	// per-row 0/1 samples, so its merged Count/Sum are exact fleet-wide
+	// label counts (shard-invariant via ExactSum) and the Beta posterior
+	// over them is identical to the one a single process joining every
+	// label would hold. Uniform Beta(1,1) prior, matching labels.Config.
+	if agg, ok := w.Series[labels.SeriesCorrect]; ok && agg.Count > 0 {
+		sum := agg.Sum
+		if agg.SumExact != nil {
+			sum = agg.SumExact.Value()
+		}
+		alpha := 1 + sum
+		beta := 1 + float64(agg.Count) - sum
+		lo, hi := stats.BetaInterval(alpha, beta, 0.95)
+		w.Series["fleet_labeled_acc_mean"] = scalarAggregate(stats.BetaMean(alpha, beta))
+		w.Series["fleet_labeled_acc_lo95"] = scalarAggregate(lo)
+		w.Series["fleet_labeled_acc_hi95"] = scalarAggregate(hi)
 	}
 	w.Series["fleet_stale_shards"] = scalarAggregate(float64(a.staleShardsLocked(now)))
 }

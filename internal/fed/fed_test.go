@@ -23,11 +23,13 @@ import (
 	"blackboxval/internal/datagen"
 	"blackboxval/internal/errorgen"
 	"blackboxval/internal/fed"
+	"blackboxval/internal/labels"
 	"blackboxval/internal/linalg"
 	"blackboxval/internal/models"
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
 	"blackboxval/internal/obs/alert"
+	"blackboxval/internal/stats"
 )
 
 // fixture trains one small black box + predictor shared by the fed
@@ -670,5 +672,67 @@ func TestConcurrentFederateAndObserve(t *testing.T) {
 	agg.ScrapeOnce(context.Background())
 	if got := len(agg.Windows()); got != 8 {
 		t.Fatalf("fleet holds %d windows after race run, want 8", got)
+	}
+}
+
+// TestFleetLabeledAccuracyPosterior checks the aggregator derives the
+// fleet label-feedback posterior from the merged labeled_correct
+// counts, and that the derivation is shard-invariant: two shards each
+// holding part of the labels yield exactly the posterior a single node
+// joining every label would hold, because the per-row 0/1 series
+// merges by exact counts (ExactSum), not by averaging shard posteriors.
+func TestFleetLabeledAccuracyPosterior(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	parts := make([]*obs.TimeSeries, 2)
+	var err error
+	for i := range parts {
+		parts[i], err = obs.NewTimeSeries(obs.TimeSeriesConfig{WindowBatches: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, correct := 0, 0
+	for s, n := range []int{40, 25} { // deliberately uneven shards
+		for j := 0; j < n; j++ {
+			v := 0.0
+			if rng.Float64() < 0.8 {
+				v = 1
+				correct++
+			}
+			total++
+			parts[s].Record(labels.SeriesCorrect, v)
+		}
+		parts[s].Commit()
+	}
+
+	var urls []string
+	for i := range parts {
+		fr := &fakeReplica{}
+		fr.set(tsDoc(parts[i], shardName(i)))
+		srv := httptest.NewServer(fr.handler())
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+	}
+	agg := newAggregator(t, urls, nil)
+	if report := agg.ScrapeOnce(context.Background()); report.Emitted != 1 {
+		t.Fatalf("scrape report %+v, want 1 emission", report)
+	}
+	w := agg.Windows()[0]
+
+	cor, ok := w.Series[labels.SeriesCorrect]
+	if !ok || cor.Count != total || cor.SumExact == nil {
+		t.Fatalf("merged labeled_correct = %+v, want count %d with exact sum", cor, total)
+	}
+	alpha := 1 + float64(correct)
+	beta := 1 + float64(total-correct)
+	wantLo, wantHi := stats.BetaInterval(alpha, beta, 0.95)
+	if got := w.Series["fleet_labeled_acc_mean"].Last; got != stats.BetaMean(alpha, beta) {
+		t.Errorf("fleet_labeled_acc_mean = %v, want %v (Beta(%v,%v))", got, stats.BetaMean(alpha, beta), alpha, beta)
+	}
+	if lo := w.Series["fleet_labeled_acc_lo95"].Last; lo != wantLo {
+		t.Errorf("fleet_labeled_acc_lo95 = %v, want %v", lo, wantLo)
+	}
+	if hi := w.Series["fleet_labeled_acc_hi95"].Last; hi != wantHi {
+		t.Errorf("fleet_labeled_acc_hi95 = %v, want %v", hi, wantHi)
 	}
 }

@@ -32,6 +32,7 @@ import (
 
 	"blackboxval/internal/data"
 	"blackboxval/internal/fed"
+	"blackboxval/internal/labels"
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
 )
@@ -45,6 +46,11 @@ type Config struct {
 	// gateway is a pure resilience proxy (no estimates, /healthz is
 	// liveness-only).
 	Monitor *monitor.Monitor
+	// Labels, when set, mounts the label-feedback endpoints (/labels,
+	// /labels/requests, /labels/status) so delayed ground truth posted by
+	// labeling systems joins the shadow traffic this gateway served. The
+	// store must be registered as a batch observer on the same Monitor.
+	Labels *labels.Store
 	// HTTPClient overrides the transport used to reach the backend.
 	HTTPClient *http.Client
 	// RequestTimeout bounds each backend attempt (default 10s).
@@ -203,6 +209,9 @@ func (g *Gateway) ShadowObserved() int64 {
 //	     /monitor/*      — the monitor's own dashboard (when configured)
 //	GET  /federate       — mergeable drift state for fleet aggregation
 //	                       (when a monitor is configured)
+//	     /labels*        — delayed ground-truth ingestion, the active
+//	                       sampling worklist, and assessment status
+//	                       (when a label store is configured)
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict_proba", g.handleProxy)
@@ -218,6 +227,10 @@ func (g *Gateway) Handler() http.Handler {
 			replica = g.idPrefix
 		}
 		mux.Handle("/federate", fed.ReplicaHandler(g.cfg.Monitor, replica))
+	}
+	if g.cfg.Labels != nil {
+		mux.Handle("/labels", g.cfg.Labels.Handler())
+		mux.Handle("/labels/", g.cfg.Labels.Handler())
 	}
 	return mux
 }

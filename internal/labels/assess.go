@@ -1,0 +1,102 @@
+package labels
+
+// assess.go is the Bayesian assessment layer (Ji et al., "Active
+// Bayesian Assessment for Black-Box Classifiers"): Beta-Bernoulli
+// posteriors over accuracy, maintained by exact conjugate updates —
+// one per served timeline window, one per predicted class, one per
+// stratum (predicted class × alarm state, the active sampler's arms)
+// and one overall. Credible intervals come from the exact quantile
+// function in internal/stats; seeded sampling is only used where the
+// policy needs randomness (Thompson draws in sampler.go).
+
+import (
+	"sort"
+
+	"blackboxval/internal/stats"
+)
+
+// Posterior is a Beta-Bernoulli accuracy posterior: Beta(A, B) where A
+// counts the prior pseudo-successes plus observed correct predictions
+// and B the failures. The zero value is invalid; start from a prior
+// via newPosterior.
+type Posterior struct {
+	A, B float64
+	// Labeled/Correct are the observed (prior-free) tallies behind A/B,
+	// kept so snapshots can report raw evidence next to the posterior.
+	Labeled int64
+	Correct int64
+}
+
+func newPosterior(alpha0, beta0 float64) *Posterior {
+	return &Posterior{A: alpha0, B: beta0}
+}
+
+// Observe applies one exact conjugate update.
+func (p *Posterior) Observe(correct bool) {
+	p.Labeled++
+	if correct {
+		p.Correct++
+		p.A++
+	} else {
+		p.B++
+	}
+}
+
+// Mean returns the posterior mean A/(A+B).
+func (p *Posterior) Mean() float64 { return stats.BetaMean(p.A, p.B) }
+
+// Interval returns the equal-tailed credible interval at the given
+// level.
+func (p *Posterior) Interval(level float64) (lo, hi float64) {
+	return stats.BetaInterval(p.A, p.B, level)
+}
+
+// PosteriorSummary is the JSON-facing view of one posterior.
+type PosteriorSummary struct {
+	Labeled int64   `json:"labeled"`
+	Correct int64   `json:"correct"`
+	Mean    float64 `json:"mean"`
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+}
+
+func (p *Posterior) summary(level float64) PosteriorSummary {
+	lo, hi := p.Interval(level)
+	return PosteriorSummary{
+		Labeled: p.Labeled, Correct: p.Correct,
+		Mean: p.Mean(), Lo: lo, Hi: hi,
+	}
+}
+
+// stratumKey identifies one active-sampling arm: the predicted class
+// of a served row crossed with the monitor's alarm state when the row
+// was served.
+type stratumKey struct {
+	class    int
+	alarming bool
+}
+
+// StratumSummary reports one stratum's posterior.
+type StratumSummary struct {
+	Class    int  `json:"class"`
+	Alarming bool `json:"alarming"`
+	PosteriorSummary
+}
+
+// sortedStrata returns the stratum keys in deterministic order (class
+// ascending, clean before alarming) — every iteration over the strata
+// map goes through this so Thompson trajectories and snapshots are
+// reproducible.
+func sortedStrata(m map[stratumKey]*Posterior) []stratumKey {
+	keys := make([]stratumKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].class != keys[j].class {
+			return keys[i].class < keys[j].class
+		}
+		return !keys[i].alarming && keys[j].alarming
+	})
+	return keys
+}

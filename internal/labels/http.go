@@ -1,0 +1,151 @@
+package labels
+
+// http.go is the subsystem's wire surface, mounted under /labels on
+// the gateway and monitor muxes:
+//
+//	POST /labels           -> ingest {"records":[{request_id, rows?, labels}]}
+//	GET  /labels/requests  -> budgeted worklist (?budget=N&policy=ts|uniform)
+//	GET  /labels/status    -> Snapshot JSON
+//
+// The ingest decoder is bounded and strict (size cap, record caps, no
+// trailing garbage) — it is the fuzz target FuzzLabelsDecode hardens.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+const (
+	// MaxBodyBytes bounds one POST /labels body.
+	MaxBodyBytes = 4 << 20
+	// maxRecords bounds the records in one ingest call.
+	maxRecords = 10000
+	// maxRowsPerRecord bounds one record's label vector.
+	maxRowsPerRecord = 100000
+	// maxWorklist bounds one GET /labels/requests response.
+	maxWorklist = 10000
+)
+
+// IngestRequest is the POST /labels body.
+type IngestRequest struct {
+	Records []Record `json:"records"`
+}
+
+// DecodeIngest parses and validates one ingest body. It enforces the
+// record and row caps and rejects trailing data, so a malformed or
+// adversarial body cannot balloon the join state.
+func DecodeIngest(r io.Reader) (*IngestRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxBodyBytes))
+	var req IngestRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("labels: decoding body: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("labels: trailing data after request object")
+	}
+	if len(req.Records) == 0 {
+		return nil, fmt.Errorf("labels: no records")
+	}
+	if len(req.Records) > maxRecords {
+		return nil, fmt.Errorf("labels: %d records exceeds the cap %d", len(req.Records), maxRecords)
+	}
+	for i, rec := range req.Records {
+		if rec.RequestID == "" {
+			return nil, fmt.Errorf("labels: record %d: request_id is required", i)
+		}
+		if len(rec.Labels) == 0 {
+			return nil, fmt.Errorf("labels: record %d: labels are required", i)
+		}
+		if len(rec.Labels) > maxRowsPerRecord {
+			return nil, fmt.Errorf("labels: record %d: %d labels exceeds the cap %d", i, len(rec.Labels), maxRowsPerRecord)
+		}
+		if rec.Rows != nil && len(rec.Rows) != len(rec.Labels) {
+			return nil, fmt.Errorf("labels: record %d: %d rows vs %d labels", i, len(rec.Rows), len(rec.Labels))
+		}
+	}
+	return &req, nil
+}
+
+// Handler serves the subsystem. It accepts paths both with and without
+// the /labels prefix, so it works mounted via mux.Handle("/labels",
+// h) + mux.Handle("/labels/", h) or standalone in tests.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := strings.TrimPrefix(r.URL.Path, "/labels")
+		switch path {
+		case "", "/":
+			s.handleIngest(w, r)
+		case "/requests":
+			s.handleRequests(w, r)
+		case "/status":
+			s.handleStatus(w, r)
+		default:
+			http.NotFound(w, r)
+		}
+	})
+}
+
+func (s *Store) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	req, err := DecodeIngest(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, s.Ingest(req.Records))
+}
+
+func (s *Store) handleRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	budget := 100
+	if b := r.URL.Query().Get("budget"); b != "" {
+		v, err := strconv.Atoi(b)
+		if err != nil || v <= 0 {
+			http.Error(w, "invalid budget", http.StatusBadRequest)
+			return
+		}
+		budget = v
+	}
+	if budget > maxWorklist {
+		budget = maxWorklist
+	}
+	policy := r.URL.Query().Get("policy")
+	switch policy {
+	case "", PolicyThompson, PolicyUniform:
+	default:
+		http.Error(w, fmt.Sprintf("unknown policy %q (want %s or %s)", policy, PolicyThompson, PolicyUniform), http.StatusBadRequest)
+		return
+	}
+	items := s.Worklist(budget, policy)
+	if items == nil {
+		items = []WorkItem{}
+	}
+	writeJSON(w, map[string]any{"requests": items})
+}
+
+func (s *Store) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

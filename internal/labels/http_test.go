@@ -1,0 +1,141 @@
+package labels
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Store, *httptest.Server) {
+	t.Helper()
+	s, ts := newTestStore(t, Config{})
+	serve(s, ts, "req-1", []int{0, 1, 2}, 0.8, false)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func TestHTTPIngestAndStatus(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/labels", "application/json",
+		strings.NewReader(`{"records":[{"request_id":"req-1","labels":[0,1,0]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control %q", cc)
+	}
+	var res IngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.JoinedRows != 3 {
+		t.Fatalf("ingest result %+v", res)
+	}
+
+	st, err := http.Get(srv.URL + "/labels/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(st.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.RowsLabeled != 3 || snap.RowsCorrect != 2 {
+		t.Fatalf("status snapshot %+v", snap)
+	}
+}
+
+func TestHTTPWorklist(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/labels/requests?budget=2&policy=ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Requests []WorkItem `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Requests) != 2 {
+		t.Fatalf("worklist %+v, want 2 items", body.Requests)
+	}
+	for _, it := range body.Requests {
+		if it.RequestID != "req-1" {
+			t.Fatalf("unexpected request id %q", it.RequestID)
+		}
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, srv := newTestServer(t)
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/labels", `{not json`, http.StatusBadRequest},
+		{"POST", "/labels", `{"records":[]}`, http.StatusBadRequest},
+		{"POST", "/labels", `{"records":[{"request_id":"","labels":[1]}]}`, http.StatusBadRequest},
+		{"POST", "/labels", `{"records":[{"request_id":"x","labels":[1]}]}{"x":1}`, http.StatusBadRequest},
+		{"GET", "/labels", "", http.StatusMethodNotAllowed},
+		{"POST", "/labels/requests", "", http.StatusMethodNotAllowed},
+		{"GET", "/labels/requests?budget=-1", "", http.StatusBadRequest},
+		{"GET", "/labels/requests?policy=bogus", "", http.StatusBadRequest},
+		{"GET", "/labels/nope", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func FuzzLabelsDecode(f *testing.F) {
+	f.Add([]byte(`{"records":[{"request_id":"a","labels":[0,1]}]}`))
+	f.Add([]byte(`{"records":[{"request_id":"a","rows":[3],"labels":[1]}]}`))
+	f.Add([]byte(`{"records":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"records":[{"request_id":"a","labels":[0]}]} trailing`))
+	f.Add([]byte(`{"records":[{"request_id":"a","rows":[1,2],"labels":[0]}]}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		req, err := DecodeIngest(strings.NewReader(string(raw)))
+		if err != nil {
+			return
+		}
+		// A decoded request must satisfy every documented invariant —
+		// the join path relies on them.
+		if len(req.Records) == 0 || len(req.Records) > maxRecords {
+			t.Fatalf("decoder passed record count %d", len(req.Records))
+		}
+		for _, rec := range req.Records {
+			if rec.RequestID == "" || len(rec.Labels) == 0 || len(rec.Labels) > maxRowsPerRecord {
+				t.Fatalf("decoder passed invalid record %+v", rec)
+			}
+			if rec.Rows != nil && len(rec.Rows) != len(rec.Labels) {
+				t.Fatalf("decoder passed rows/labels mismatch %+v", rec)
+			}
+		}
+	})
+}

@@ -1,0 +1,284 @@
+package labels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blackboxval/internal/linalg"
+	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
+	"blackboxval/internal/stats"
+)
+
+// newTestStore builds a store over a fresh one-batch-per-window
+// timeline.
+func newTestStore(t *testing.T, cfg Config) (*Store, *obs.TimeSeries) {
+	t.Helper()
+	ts, err := obs.NewTimeSeries(obs.TimeSeriesConfig{Capacity: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Timeline = ts
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ts
+}
+
+// probaFor builds a proba matrix whose argmax per row follows pred.
+func probaFor(pred []int, classes int) *linalg.Matrix {
+	m := linalg.NewMatrix(len(pred), classes)
+	for i, c := range pred {
+		for j := 0; j < classes; j++ {
+			m.Set(i, j, 0.1)
+		}
+		m.Set(i, c, 0.8)
+	}
+	return m
+}
+
+// serve mimics the monitor's observation path: stamp the open window,
+// observe, commit the timeline (closing the window in the default
+// one-batch-per-window config).
+func serve(s *Store, ts *obs.TimeSeries, id string, pred []int, estimate float64, alarming bool) monitor.Record {
+	rec := monitor.Record{
+		RequestID: id,
+		Size:      len(pred),
+		Estimate:  estimate,
+		Alarming:  alarming,
+		Window:    ts.OpenIndex(),
+	}
+	s.ObserveBatch(nil, probaFor(pred, 4), rec)
+	ts.Commit()
+	return rec
+}
+
+func TestJoinIdempotency(t *testing.T) {
+	s, ts := newTestStore(t, Config{})
+	serve(s, ts, "req-1", []int{0, 1, 2, 3}, 0.8, false)
+
+	res := s.Ingest([]Record{{RequestID: "req-1", Labels: []int{0, 1, 0, 3}}})
+	if res.JoinedRows != 4 || res.Duplicates != 0 {
+		t.Fatalf("first join: %+v", res)
+	}
+	snapBefore := s.Snapshot()
+
+	// Duplicate post: idempotent no-op, posterior untouched.
+	res = s.Ingest([]Record{{RequestID: "req-1", Labels: []int{0, 1, 0, 3}}})
+	if res.JoinedRows != 0 || res.Duplicates != 4 {
+		t.Fatalf("duplicate join: %+v", res)
+	}
+	snapAfter := s.Snapshot()
+	if snapAfter.Overall != snapBefore.Overall || snapAfter.RowsLabeled != snapBefore.RowsLabeled {
+		t.Fatalf("duplicate post moved the posterior: %+v vs %+v", snapAfter.Overall, snapBefore.Overall)
+	}
+
+	// Unknown id: buffered, then joined when the batch shows up.
+	res = s.Ingest([]Record{{RequestID: "req-2", Labels: []int{1, 1}}})
+	if res.Buffered != 1 || res.JoinedRows != 0 {
+		t.Fatalf("unknown id: %+v", res)
+	}
+	serve(s, ts, "req-2", []int{1, 0}, 0.8, false)
+	snap := s.Snapshot()
+	if snap.RowsLabeled != 6 {
+		t.Fatalf("buffered labels did not join on arrival: %+v", snap)
+	}
+	if snap.PendingPosts != 0 {
+		t.Fatalf("pending buffer not drained: %+v", snap)
+	}
+	if snap.RowsCorrect != 3+1 { // req-1: rows 0,1,3 correct; req-2: row 0 correct
+		t.Fatalf("rows correct = %d, want 4", snap.RowsCorrect)
+	}
+}
+
+func TestJoinLateBeyondLag(t *testing.T) {
+	s, ts := newTestStore(t, Config{MaxLagWindows: 3})
+	serve(s, ts, "req-old", []int{0, 0}, 0.8, false) // served in window 0
+	// Advance to open window 3: lag exactly at the horizon.
+	for i := 0; i < 2; i++ {
+		serve(s, ts, "", []int{0}, 0.8, false)
+	}
+	res := s.Ingest([]Record{{RequestID: "req-old", Labels: []int{0, 0}}})
+	if res.JoinedRows != 2 {
+		t.Fatalf("join at the horizon edge: %+v", res)
+	}
+
+	serve(s, ts, "req-stale", []int{0, 0}, 0.8, false) // window 3
+	// Three more windows: open index reaches 7, one past the horizon,
+	// while the batch itself was still retained at the last observation.
+	for i := 0; i < 3; i++ {
+		serve(s, ts, "", []int{0}, 0.8, false)
+	}
+	res = s.Ingest([]Record{{RequestID: "req-stale", Labels: []int{0, 0}}})
+	if res.DroppedLate != 2 || res.JoinedRows != 0 {
+		t.Fatalf("late-beyond-lag post not dropped: %+v", res)
+	}
+
+	// One window further the batch is evicted outright: labels for it
+	// are indistinguishable from unknown ids and land in the buffer.
+	serve(s, ts, "", []int{0}, 0.8, false)
+	res = s.Ingest([]Record{{RequestID: "req-stale", Labels: []int{0, 0}}})
+	if res.Buffered != 1 {
+		t.Fatalf("labels for evicted batch: %+v", res)
+	}
+
+	// Buffered posts expire on the same horizon: the served batches
+	// above also advanced the clock past req-never's arrival.
+	s.Ingest([]Record{{RequestID: "req-never", Labels: []int{0}}})
+	for i := 0; i < 5; i++ {
+		serve(s, ts, "x", []int{0}, 0.8, false) // dup id after first: ignored for join, still expires buffers
+	}
+	if snap := s.Snapshot(); snap.Counters.DroppedPending == 0 {
+		t.Fatalf("expired buffered post not counted: %+v", snap.Counters)
+	}
+}
+
+func TestPartialThenFullJoin(t *testing.T) {
+	s, ts := newTestStore(t, Config{})
+	serve(s, ts, "req-1", []int{0, 1, 2, 3}, 0.8, false)
+	res := s.Ingest([]Record{{RequestID: "req-1", Rows: []int{1, 3}, Labels: []int{1, 0}}})
+	if res.JoinedRows != 2 {
+		t.Fatalf("partial join: %+v", res)
+	}
+	// Full-batch post afterwards: the two already labeled rows are
+	// idempotent duplicates, the other two join.
+	res = s.Ingest([]Record{{RequestID: "req-1", Labels: []int{0, 1, 2, 3}}})
+	if res.JoinedRows != 2 || res.Duplicates != 2 {
+		t.Fatalf("full-after-partial join: %+v", res)
+	}
+	snap := s.Snapshot()
+	if snap.RowsLabeled != 4 || snap.Coverage != 1 {
+		t.Fatalf("coverage after full join: %+v", snap)
+	}
+}
+
+func TestInvalidRecords(t *testing.T) {
+	s, ts := newTestStore(t, Config{})
+	serve(s, ts, "req-1", []int{0, 1}, 0.8, false)
+	res := s.Ingest([]Record{
+		{RequestID: "req-1", Rows: []int{5}, Labels: []int{0}},  // row out of range
+		{RequestID: "req-1", Rows: []int{0}, Labels: []int{-2}}, // negative label
+		{RequestID: "", Labels: []int{0}},                       // no id
+		{RequestID: "req-1", Rows: []int{0, 1}, Labels: []int{0}},
+	})
+	if res.JoinedRows != 0 {
+		t.Fatalf("invalid rows joined: %+v", res)
+	}
+	if res.Invalid == 0 {
+		t.Fatalf("invalid rows not counted: %+v", res)
+	}
+}
+
+func TestPosteriorMatchesExactConjugate(t *testing.T) {
+	s, ts := newTestStore(t, Config{})
+	rng := rand.New(rand.NewSource(3))
+	n, correct := 0, 0
+	for b := 0; b < 20; b++ {
+		pred := make([]int, 50)
+		labelVals := make([]int, 50)
+		for i := range pred {
+			pred[i] = rng.Intn(4)
+			if rng.Float64() < 0.85 {
+				labelVals[i] = pred[i]
+				correct++
+			} else {
+				labelVals[i] = (pred[i] + 1) % 4
+			}
+			n++
+		}
+		id := string(rune('a' + b))
+		serve(s, ts, id, pred, 0.85, false)
+		s.Ingest([]Record{{RequestID: id, Labels: labelVals}})
+	}
+	snap := s.Snapshot()
+	a, bb := 1+float64(correct), 1+float64(n-correct)
+	wantLo, wantHi := stats.BetaInterval(a, bb, 0.95)
+	if snap.Overall.Labeled != int64(n) || snap.Overall.Correct != int64(correct) {
+		t.Fatalf("tallies: %+v, want %d/%d", snap.Overall, correct, n)
+	}
+	if math.Abs(snap.Overall.Mean-stats.BetaMean(a, bb)) > 1e-12 ||
+		math.Abs(snap.Overall.Lo-wantLo) > 1e-12 || math.Abs(snap.Overall.Hi-wantHi) > 1e-12 {
+		t.Fatalf("posterior %+v disagrees with exact conjugate Beta(%v,%v)", snap.Overall, a, bb)
+	}
+}
+
+func TestConformalRanks(t *testing.T) {
+	c := newConformal(0.2, 16, 5)
+	if _, _, ok := c.interval(0.5); ok {
+		t.Fatal("interval emitted during warmup")
+	}
+	for _, r := range []float64{-0.04, -0.02, -0.01, 0.01, 0.02, 0.03, 0.05, 0.06, 0.08} {
+		c.push(r)
+	}
+	// n=9, alpha=0.2: loRank=floor(0.1*10)=1 -> min residual,
+	// hiRank=ceil(0.9*10)=9 -> max residual.
+	lo, hi, ok := c.interval(0.5)
+	if !ok {
+		t.Fatal("interval missing after warmup")
+	}
+	if math.Abs(lo-(0.5-0.04)) > 1e-12 || math.Abs(hi-(0.5+0.08)) > 1e-12 {
+		t.Fatalf("interval (%v, %v), want (0.46, 0.58)", lo, hi)
+	}
+	c.score(lo, hi, 0.47)
+	c.score(lo, hi, 0.9)
+	if cov := c.coverage(); math.Abs(cov-0.5) > 1e-12 {
+		t.Fatalf("online coverage %v, want 0.5", cov)
+	}
+}
+
+func TestTimelineSeriesAndMergePrimitive(t *testing.T) {
+	s, ts := newTestStore(t, Config{})
+	serve(s, ts, "req-1", []int{0, 1, 1, 0}, 0.8, false)
+	serve(s, ts, "req-2", []int{1, 1}, 0.8, false)
+	// Labels for req-1 land in the currently open window (index 2).
+	s.Ingest([]Record{{RequestID: "req-1", Labels: []int{0, 1, 0, 0}}}) // 3 correct of 4
+	serve(s, ts, "", []int{0}, 0.8, false)                              // close window 2
+
+	wins := ts.Windows()
+	w := wins[2]
+	agg, ok := w.Series[SeriesCorrect]
+	if !ok {
+		t.Fatalf("window 2 missing %s: %v", SeriesCorrect, w.Series)
+	}
+	if agg.Count != 4 || agg.Sum != 3 {
+		t.Fatalf("labeled_correct count/sum = %d/%v, want 4/3", agg.Count, agg.Sum)
+	}
+	if agg.SumExact == nil {
+		t.Fatal("labeled_correct window lost its exact-sum accumulator (fed merge needs it)")
+	}
+	lag := w.Series[SeriesLag]
+	if lag.Count != 1 || lag.Last != 2 {
+		t.Fatalf("label_lag = %+v, want one sample of 2", lag)
+	}
+	for _, name := range []string{SeriesAccMean, SeriesAccLo, SeriesAccHi, SeriesCoverage, SeriesAbsGap} {
+		if _, ok := w.Series[name]; !ok {
+			t.Errorf("window 2 missing series %s", name)
+		}
+	}
+	mean := w.Series[SeriesAccMean].Last
+	want := stats.BetaMean(1+3, 1+1)
+	if math.Abs(mean-want) > 1e-12 {
+		t.Fatalf("labeled_acc_mean %v, want %v", mean, want)
+	}
+}
+
+func TestServedEvictionBounds(t *testing.T) {
+	s, ts := newTestStore(t, Config{MaxPending: 4, MaxLagWindows: 100})
+	for i := 0; i < 10; i++ {
+		serve(s, ts, string(rune('a'+i)), []int{0, 1}, 0.8, false)
+	}
+	snap := s.Snapshot()
+	if snap.PendingBatches != 4 {
+		t.Fatalf("pending batches %d, want 4", snap.PendingBatches)
+	}
+	if snap.Counters.EvictedBatches != 6 {
+		t.Fatalf("evicted %d, want 6", snap.Counters.EvictedBatches)
+	}
+	// Labels for an evicted batch: its id is gone, so they buffer.
+	res := s.Ingest([]Record{{RequestID: "a", Labels: []int{0, 0}}})
+	if res.Buffered != 1 {
+		t.Fatalf("labels for evicted batch: %+v", res)
+	}
+}

@@ -1,0 +1,102 @@
+package labels
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildSampled sets up a store with two strata of very different
+// posteriors: class 0 near 50% accuracy (high Bernoulli variance),
+// class 1 near 99% (low variance), plus plenty of unlabeled candidates
+// in both.
+func buildSampled(t *testing.T, seed int64) *Store {
+	t.Helper()
+	s, ts := newTestStore(t, Config{Seed: seed})
+	// Evidence batches: labeled immediately.
+	pred := make([]int, 100)
+	labelVals := make([]int, 100)
+	for i := range pred {
+		if i < 50 {
+			pred[i] = 0
+			labelVals[i] = i % 2 // class 0: 50% correct
+		} else {
+			pred[i] = 1
+			labelVals[i] = 1 // class 1: ~always correct
+		}
+	}
+	labelVals[99] = 0 // one miss so Beta(51,2), not degenerate
+	serve(s, ts, "evidence", pred, 0.8, false)
+	s.Ingest([]Record{{RequestID: "evidence", Labels: labelVals}})
+	// Candidate batches: unlabeled, both classes.
+	for b := 0; b < 4; b++ {
+		cand := make([]int, 40)
+		for i := range cand {
+			cand[i] = i % 2
+		}
+		serve(s, ts, string(rune('a'+b)), cand, 0.8, false)
+	}
+	return s
+}
+
+func TestWorklistDeterministicUnderSeed(t *testing.T) {
+	for _, policy := range []string{PolicyThompson, PolicyUniform} {
+		a := buildSampled(t, 42)
+		b := buildSampled(t, 42)
+		for call := 0; call < 3; call++ {
+			wa := a.Worklist(17, policy)
+			wb := b.Worklist(17, policy)
+			if !reflect.DeepEqual(wa, wb) {
+				t.Fatalf("policy %s call %d diverged under identical seeds:\n%v\nvs\n%v", policy, call, wa, wb)
+			}
+			if len(wa) != 17 {
+				t.Fatalf("policy %s returned %d items, want 17", policy, len(wa))
+			}
+		}
+		// A different seed must be allowed to pick differently (uniform
+		// certainly will; Thompson with these posteriors almost surely).
+		c := buildSampled(t, 43)
+		if w := c.Worklist(17, PolicyUniform); reflect.DeepEqual(w, a.Worklist(17, PolicyUniform)) {
+			t.Log("seed 43 matched seed 42 (possible but unlikely); not failing")
+		}
+	}
+}
+
+func TestThompsonPrefersUncertainStratum(t *testing.T) {
+	s := buildSampled(t, 7)
+	items := s.Worklist(60, PolicyThompson)
+	if len(items) != 60 {
+		t.Fatalf("worklist returned %d items, want 60", len(items))
+	}
+	class0 := 0
+	for _, it := range items {
+		if it.Class == 0 {
+			class0++
+		}
+	}
+	// Class 0 sits at p≈0.5 with the same evidence mass as class 1 at
+	// p≈0.98: its sampled variance dominates, so the budget should lean
+	// heavily toward it.
+	if class0 <= 40 {
+		t.Fatalf("Thompson spent only %d/60 on the uncertain stratum", class0)
+	}
+}
+
+func TestWorklistExcludesLabeledRows(t *testing.T) {
+	s, ts := newTestStore(t, Config{})
+	serve(s, ts, "req-1", []int{0, 0, 0, 0}, 0.8, false)
+	s.Ingest([]Record{{RequestID: "req-1", Rows: []int{0, 2}, Labels: []int{0, 0}}})
+	items := s.Worklist(10, PolicyThompson)
+	if len(items) != 2 {
+		t.Fatalf("worklist %v, want exactly the 2 unlabeled rows", items)
+	}
+	for _, it := range items {
+		if it.Row != 1 && it.Row != 3 {
+			t.Fatalf("worklist offered already-labeled row %d", it.Row)
+		}
+	}
+	// Labeling everything empties the pool.
+	s.Ingest([]Record{{RequestID: "req-1", Labels: []int{0, 0, 0, 0}}})
+	if items := s.Worklist(10, PolicyThompson); len(items) != 0 {
+		t.Fatalf("worklist after full labeling: %v", items)
+	}
+}

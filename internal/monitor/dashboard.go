@@ -2,11 +2,12 @@ package monitor
 
 // The HTML drift dashboard served at the monitor's root: a static page
 // whose inline script polls GET /timeline and redraws an estimate
-// sparkline against the alarm line, the KS drift trace and a recent-
-// window table. The refresh cadence is configured server-side
-// (Config.DashboardRefresh) and delivered to the page inside the
-// timeline document, so operators tune it with a flag, not by editing
-// JavaScript.
+// sparkline against the alarm line, the KS drift trace, the labeled-
+// accuracy credible band (when the label-feedback store feeds the
+// timeline) and a recent-window table. The refresh cadence is
+// configured server-side (Config.DashboardRefresh) and delivered to
+// the page inside the timeline document, so operators tune it with a
+// flag, not by editing JavaScript.
 
 import (
 	"fmt"
@@ -88,7 +89,7 @@ const dashboardHTML = `<!doctype html>
 </div>
 <svg id="chart" width="720" height="160" viewBox="0 0 720 160"></svg>
 <table>
-  <thead><tr><th>window</th><th>batches</th><th>estimate</th><th>ks_max</th><th>alarm</th></tr></thead>
+  <thead><tr><th>window</th><th>batches</th><th>estimate</th><th>labeled acc [95% CI]</th><th>ks_max</th><th>alarm</th></tr></thead>
   <tbody id="rows"></tbody>
 </table>
 <script>
@@ -102,6 +103,16 @@ function seriesMean(w, name) {
   var a = w.series && w.series[name];
   return a && a.count ? a.sum / a.count : null;
 }
+function seriesLast(w, name) {
+  var a = w.series && w.series[name];
+  return a && a.count ? a.last : null;
+}
+function band(los, his, color) {
+  if (los.length < 2) return "";
+  var pts = los.concat(his.slice().reverse());
+  var d = pts.map(function (p, i) { return (i ? "L" : "M") + p[0].toFixed(1) + " " + p[1].toFixed(1); }).join(" ") + " Z";
+  return '<path d="' + d + '" fill="' + color + '" fill-opacity="0.25" stroke="none"/>';
+}
 function render(doc) {
   var windows = doc.windows || [];
   var state = document.getElementById("state");
@@ -114,20 +125,32 @@ function render(doc) {
   var W = 720, H = 160, pad = 8;
   var xs = function (i) { return windows.length < 2 ? W / 2 : pad + i * (W - 2 * pad) / (windows.length - 1); };
   var ys = function (v) { return H - pad - v * (H - 2 * pad); }; // scores live in [0,1]
-  var est = [], ks = [];
+  var est = [], ks = [], lab = [], lablo = [], labhi = [];
   windows.forEach(function (w, i) {
     var e = seriesMean(w, "estimate"); if (e !== null) est.push([xs(i), ys(Math.max(0, Math.min(1, e)))]);
     var k = seriesMean(w, "ks_max"); if (k !== null) ks.push([xs(i), ys(Math.max(0, Math.min(1, k)))]);
+    // The labeled-accuracy posterior: last value per window is the most
+    // recent Beta interval the label joins produced there.
+    var m = seriesLast(w, "labeled_acc_mean"), lo = seriesLast(w, "labeled_acc_lo95"), hi = seriesLast(w, "labeled_acc_hi95");
+    if (m !== null && lo !== null && hi !== null) {
+      lab.push([xs(i), ys(Math.max(0, Math.min(1, m)))]);
+      lablo.push([xs(i), ys(Math.max(0, Math.min(1, lo)))]);
+      labhi.push([xs(i), ys(Math.max(0, Math.min(1, hi)))]);
+    }
   });
   var alarmY = ys(Math.max(0, Math.min(1, doc.alarm_line)));
   document.getElementById("chart").innerHTML =
     '<line x1="0" x2="' + W + '" y1="' + alarmY + '" y2="' + alarmY + '" stroke="#b02a2a" stroke-dasharray="4 3"/>' +
+    band(lablo, labhi, "#2a7d2a") + line(lab, "#2a7d2a") +
     line(est, "#2255aa") + line(ks, "#cc8800");
 
   var rows = windows.slice(-12).reverse().map(function (w) {
     var e = seriesMean(w, "estimate"), k = seriesMean(w, "ks_max"), a = seriesMean(w, "alarm");
+    var m = seriesLast(w, "labeled_acc_mean"), lo = seriesLast(w, "labeled_acc_lo95"), hi = seriesLast(w, "labeled_acc_hi95");
+    var labCell = (m === null || lo === null || hi === null) ? "–" :
+      m.toFixed(3) + " [" + lo.toFixed(3) + ", " + hi.toFixed(3) + "]";
     return "<tr><td>" + w.index + "</td><td>" + w.batches + "</td><td>" +
-      (e === null ? "–" : e.toFixed(4)) + "</td><td>" + (k === null ? "–" : k.toFixed(4)) +
+      (e === null ? "–" : e.toFixed(4)) + "</td><td>" + labCell + "</td><td>" + (k === null ? "–" : k.toFixed(4)) +
       '</td><td class="' + (a ? "alarming" : "") + '">' + (a ? "yes" : "no") + "</td></tr>";
   });
   document.getElementById("rows").innerHTML = rows.join("");

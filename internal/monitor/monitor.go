@@ -97,6 +97,10 @@ type Record struct {
 	// that produced this batch (empty when the caller did not carry one,
 	// e.g. file-watch batches or ObserveRow windows).
 	RequestID string `json:",omitempty"`
+	// Window is the drift-timeline window index this batch lands in —
+	// the served-at timestamp label feedback joins against, so label lag
+	// is measured in windows rather than inferred from Seq.
+	Window int64
 	// KS holds the per-class two-sample Kolmogorov–Smirnov D statistic
 	// between this batch's output column and the held-out test outputs.
 	// Nil for row-streamed windows (no full output sample available).
@@ -241,6 +245,7 @@ func (m *Monitor) ObserveBatchProbaID(batch *data.Dataset, proba *linalg.Matrix,
 		Estimate:          estimate,
 		EstimateViolation: estimate < m.line,
 		RequestID:         requestID,
+		Window:            m.timeline.OpenIndex(),
 	}
 	if m.cfg.Validator != nil {
 		rec.ValidatorViolation = m.cfg.Validator.ViolationFromProba(proba)
@@ -374,6 +379,7 @@ func (m *Monitor) ObserveRow(probaRow []float64) (rec Record, done bool) {
 		Size:              size,
 		Estimate:          estimate,
 		EstimateViolation: estimate < m.line,
+		Window:            m.timeline.OpenIndex(),
 	}
 	rec.Violating = rec.EstimateViolation
 	m.commitState(&rec)

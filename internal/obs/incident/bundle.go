@@ -15,9 +15,16 @@ import (
 	"time"
 
 	"blackboxval/internal/baselines"
+	"blackboxval/internal/labels"
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
 )
+
+// WindowSpan brackets a range of drift-timeline window indices.
+type WindowSpan struct {
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+}
 
 // BatchRef points an incident at one monitored serving batch, carrying
 // the X-Request-ID needed to find it again in /history, the gateway
@@ -63,6 +70,14 @@ type Bundle struct {
 	RowsSeen      int64 `json:"rows_seen"`
 	BatchesSeen   int64 `json:"batches_seen"`
 	Seed          int64 `json:"seed"`
+	// ReservoirWindows is the served_at window-index span of the rows
+	// currently retained in the reservoir (nil while empty).
+	ReservoirWindows *WindowSpan `json:"reservoir_windows,omitempty"`
+
+	// Labels is the label-feedback snapshot at capture time: the
+	// labeled-accuracy credible interval an operator reads next to h's
+	// unlabeled estimate. Nil when no label store was wired.
+	Labels *labels.Snapshot `json:"labels,omitempty"`
 
 	// Attribution is the ranked per-column drift evidence (most
 	// suspicious first) and the Bonferroni-corrected alpha it was
@@ -103,11 +118,34 @@ func (b *Bundle) Markdown() string {
 		fmt.Fprintf(&w, " (alarm line %.4f)", b.AlarmLine)
 	}
 	w.WriteString("\n")
-	fmt.Fprintf(&w, "- reservoir: %d rows sampled from %d seen across %d batches (seed %d)\n",
+	fmt.Fprintf(&w, "- reservoir: %d rows sampled from %d seen across %d batches (seed %d)",
 		b.ReservoirRows, b.RowsSeen, b.BatchesSeen, b.Seed)
+	if ws := b.ReservoirWindows; ws != nil {
+		fmt.Fprintf(&w, ", served in windows %d–%d", ws.Min, ws.Max)
+	}
+	w.WriteString("\n")
 	if s := b.Summary; s != nil {
 		fmt.Fprintf(&w, "- history: %d batches, %d violations, %d alarmed; estimate mean %.4f min %.4f last %.4f\n",
 			s.Batches, s.Violations, s.AlarmedBatches, s.MeanEstimate, s.MinEstimate, s.LastEstimate)
+	}
+
+	if l := b.Labels; l != nil {
+		w.WriteString("\n## Label feedback\n\n")
+		fmt.Fprintf(&w, "- labeled accuracy: %.4f [%.4f, %.4f] at %.0f%% credibility (%d of %d served rows labeled, coverage %.1f%%)\n",
+			l.Overall.Mean, l.Overall.Lo, l.Overall.Hi, l.Level*100,
+			l.RowsLabeled, l.RowsServed, l.Coverage*100)
+		fmt.Fprintf(&w, "- label lag: last %d windows, mean %.1f; pending: %d batches, %d buffered posts\n",
+			l.LastLagWindows, l.MeanLagWindows, l.PendingBatches, l.PendingPosts)
+		fmt.Fprintf(&w, "- recalibrated h interval: [%.4f, %.4f] (conformal, %d residuals, online coverage %.3f)\n",
+			l.Conformal.LastLo, l.Conformal.LastHi, l.Conformal.Residuals, l.Conformal.Coverage)
+		if len(l.Strata) > 0 {
+			w.WriteString("\n| stratum (class, alarm) | labeled | correct | mean | interval |\n")
+			w.WriteString("|------------------------|--------:|--------:|-----:|----------|\n")
+			for _, st := range l.Strata {
+				fmt.Fprintf(&w, "| class %d, alarming=%v | %d | %d | %.4f | [%.4f, %.4f] |\n",
+					st.Class, st.Alarming, st.Labeled, st.Correct, st.Mean, st.Lo, st.Hi)
+			}
+		}
 	}
 
 	w.WriteString("\n## Per-column drift attribution\n\n")

@@ -34,6 +34,7 @@ import (
 	"blackboxval/internal/baselines"
 	"blackboxval/internal/data"
 	"blackboxval/internal/frame"
+	"blackboxval/internal/labels"
 	"blackboxval/internal/linalg"
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
@@ -56,6 +57,11 @@ type Config struct {
 	// Monitor, when set, contributes its timeline excerpt, summary and
 	// alarm line to captured bundles.
 	Monitor *monitor.Monitor
+	// Labels, when set, snapshots the label-feedback subsystem into
+	// captured bundles: the labeled-accuracy credible interval next to
+	// h's estimate, per-stratum posteriors, join/lag state and the
+	// conformal recalibration interval.
+	Labels *labels.Store
 	// Dir is the on-disk retention ring ("" = in-memory only). Existing
 	// bundles in Dir are loaded at construction time.
 	Dir string
@@ -200,7 +206,7 @@ func (r *Recorder) ObserveBatch(batch *data.Dataset, proba *linalg.Matrix, rec m
 	defer r.mu.Unlock()
 	r.batchesSeen++
 	if batch != nil && batch.Tabular() {
-		r.res.offer(batch)
+		r.res.offer(batch, rec.Window)
 	}
 	if proba != nil && proba.Rows > 0 {
 		r.classRing = append(r.classRing, baselines.PredictedClassCounts(proba))
@@ -273,6 +279,7 @@ func (r *Recorder) capture(reason string, ev *alert.Event) (*Bundle, error) {
 	batches := r.batchesSeen
 	worst := append([]BatchRef(nil), r.worst...)
 	servingCounts := sumCounts(r.classRing)
+	wmin, wmax, wok := r.res.windowSpan()
 	id := fmt.Sprintf("inc-%06d", r.nextSeq)
 	r.nextSeq++
 	r.mu.Unlock()
@@ -289,6 +296,13 @@ func (r *Recorder) capture(reason string, ev *alert.Event) (*Bundle, error) {
 	}
 	if serving != nil {
 		b.ReservoirRows = serving.Len()
+	}
+	if wok {
+		b.ReservoirWindows = &WindowSpan{Min: wmin, Max: wmax}
+	}
+	if r.cfg.Labels != nil {
+		snap := r.cfg.Labels.Snapshot()
+		b.Labels = &snap
 	}
 	if ev != nil {
 		b.Rule = ev.Rule
@@ -417,6 +431,7 @@ type reservoir struct {
 	kinds   []frame.Kind
 	cols    [][]float64 // numeric storage per column (len == filled)
 	strs    [][]string  // string storage per column
+	wins    []int64     // served_at drift-timeline window index per slot
 	classes []string
 	skipped int64
 }
@@ -437,8 +452,11 @@ func newReservoir(k int, seed int64) *reservoir {
 
 func (s *reservoir) len() int { return s.filled }
 
-// offer feeds every row of a tabular batch through Algorithm R.
-func (s *reservoir) offer(batch *data.Dataset) {
+// offer feeds every row of a tabular batch through Algorithm R. window
+// is the drift-timeline window the batch was served in; each retained
+// slot remembers it, so label joins and lag metrics read served_at
+// directly instead of inferring time from request-id sequence numbers.
+func (s *reservoir) offer(batch *data.Dataset, window int64) {
 	columns := batch.Frame.Columns()
 	if len(columns) == 0 {
 		s.skipped++
@@ -462,15 +480,35 @@ func (s *reservoir) offer(batch *data.Dataset) {
 		switch {
 		case s.filled < s.k:
 			s.appendRow(columns, row)
+			s.wins = append(s.wins, window)
 			s.filled++
 		default:
 			// Replace a random slot with probability k/(seen+1).
 			if j := s.rng.Int63n(s.seen + 1); j < int64(s.k) {
 				s.setRow(columns, row, int(j))
+				s.wins[j] = window
 			}
 		}
 		s.seen++
 	}
+}
+
+// windowSpan reports the oldest and newest served_at window indices of
+// the retained rows (ok=false while the reservoir is empty).
+func (s *reservoir) windowSpan() (min, max int64, ok bool) {
+	if len(s.wins) == 0 {
+		return 0, 0, false
+	}
+	min, max = s.wins[0], s.wins[0]
+	for _, w := range s.wins[1:] {
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	return min, max, true
 }
 
 func (s *reservoir) matches(columns []*frame.Column) bool {

@@ -63,7 +63,7 @@ func balancedProba(rows int) *linalg.Matrix {
 func TestReservoirDeterminism(t *testing.T) {
 	feed := func(s *reservoir) {
 		for i := int64(0); i < 5; i++ {
-			s.offer(datagen.Income(200, 10+i))
+			s.offer(datagen.Income(200, 10+i), i)
 		}
 	}
 	a, b := newReservoir(64, 7), newReservoir(64, 7)
@@ -90,8 +90,8 @@ func TestReservoirDeterminism(t *testing.T) {
 
 func TestReservoirSkipsMismatchedSchema(t *testing.T) {
 	s := newReservoir(32, 1)
-	s.offer(datagen.Income(50, 1))
-	s.offer(datagen.Heart(50, 1)) // different columns: must be skipped
+	s.offer(datagen.Income(50, 1), 0)
+	s.offer(datagen.Heart(50, 1), 1) // different columns: must be skipped
 	if s.skipped != 1 {
 		t.Fatalf("skipped = %d, want 1", s.skipped)
 	}

@@ -275,6 +275,16 @@ func (ts *TimeSeries) OnWindowClose(fn func(Window)) {
 	ts.mu.Unlock()
 }
 
+// OpenIndex returns the index the currently open window will carry
+// when it closes. Batch observers use it to stamp served batches with
+// their timeline window, so late label joins can compute lag in
+// windows instead of inferring time from request-id sequence numbers.
+func (ts *TimeSeries) OpenIndex() int64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.next
+}
+
 // Windows returns a snapshot of the retained closed windows, oldest
 // first. The Window structs (and their Series maps) are immutable.
 func (ts *TimeSeries) Windows() []Window {

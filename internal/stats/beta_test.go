@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// oracleBetaCDF is the closed-form regularized incomplete beta for
+// integer shapes: I_x(a, b) = sum_{j=a}^{a+b-1} C(a+b-1, j) x^j (1-x)^(a+b-1-j)
+// (the binomial-tail identity). It shares no code with BetaCDF.
+func oracleBetaCDF(x float64, a, b int) float64 {
+	n := a + b - 1
+	sum := 0.0
+	for j := a; j <= n; j++ {
+		sum += binom(n, j) * math.Pow(x, float64(j)) * math.Pow(1-x, float64(n-j))
+	}
+	return sum
+}
+
+func binom(n, k int) float64 {
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c *= float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+func TestBetaCDFAgainstClosedForm(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {2, 2}, {1, 5}, {5, 1}, {3, 7}, {20, 5}, {50, 50}, {200, 17}}
+	for _, s := range shapes {
+		a, b := s[0], s[1]
+		for x := 0.01; x < 1; x += 0.07 {
+			got := BetaCDF(x, float64(a), float64(b))
+			want := oracleBetaCDF(x, a, b)
+			if math.Abs(got-want) > 1e-10 {
+				t.Errorf("BetaCDF(%v, %d, %d) = %v, closed form %v", x, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestBetaCDFGoldenValues(t *testing.T) {
+	cases := []struct {
+		x, a, b, want float64
+	}{
+		{0.5, 1, 1, 0.5},           // uniform
+		{0.3, 1, 1, 0.3},           // uniform
+		{0.5, 2, 2, 0.5},           // symmetric: 3x^2-2x^3 at 1/2
+		{0.25, 2, 2, 0.15625},      // 3(1/16)-2(1/64)
+		{0.3, 2, 5, 0.579825},      // 1 - 0.7^6 - 6*0.3*0.7^5
+		{0.7, 2, 1, 0.49},          // CDF x^2
+		{0.7, 1, 2, 0.91},          // CDF 1-(1-x)^2
+		{0.2, 1, 10, 0.8926258176}, // 1-0.8^10
+	}
+	for _, c := range cases {
+		got := BetaCDF(c.x, c.a, c.b)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("BetaCDF(%v, %v, %v) = %.12f, want %.12f", c.x, c.a, c.b, got, c.want)
+		}
+	}
+	if got := BetaCDF(-0.1, 2, 3); got != 0 {
+		t.Errorf("BetaCDF below support = %v, want 0", got)
+	}
+	if got := BetaCDF(1.5, 2, 3); got != 1 {
+		t.Errorf("BetaCDF above support = %v, want 1", got)
+	}
+}
+
+func TestBetaQuantileGoldenIntervals(t *testing.T) {
+	// Closed-form quantiles: Beta(1,1) q(p)=p; Beta(2,1) CDF=x^2 so
+	// q(p)=sqrt(p); Beta(1,2) CDF=1-(1-x)^2 so q(p)=1-sqrt(1-p);
+	// Beta(1,n) CDF=1-(1-x)^n so q(p)=1-(1-p)^(1/n).
+	cases := []struct {
+		a, b, level    float64
+		wantLo, wantHi float64
+	}{
+		{1, 1, 0.95, 0.025, 0.975},
+		{2, 1, 0.95, math.Sqrt(0.025), math.Sqrt(0.975)},
+		{1, 2, 0.95, 1 - math.Sqrt(0.975), 1 - math.Sqrt(0.025)},
+		{1, 10, 0.90, 1 - math.Pow(0.95, 0.1), 1 - math.Pow(0.05, 0.1)},
+		{1, 1, 0.50, 0.25, 0.75},
+	}
+	for _, c := range cases {
+		lo, hi := BetaInterval(c.a, c.b, c.level)
+		if math.Abs(lo-c.wantLo) > 1e-9 || math.Abs(hi-c.wantHi) > 1e-9 {
+			t.Errorf("BetaInterval(%v,%v,%v) = (%.9f, %.9f), want (%.9f, %.9f)",
+				c.a, c.b, c.level, lo, hi, c.wantLo, c.wantHi)
+		}
+	}
+}
+
+func TestBetaQuantileInvertsCDF(t *testing.T) {
+	shapes := [][2]float64{{1, 1}, {2, 5}, {37, 4}, {150, 150}, {400, 13}}
+	for _, s := range shapes {
+		a, b := s[0], s[1]
+		for _, p := range []float64{0.001, 0.025, 0.25, 0.5, 0.75, 0.975, 0.999} {
+			x := BetaQuantile(p, a, b)
+			back := BetaCDF(x, a, b)
+			if math.Abs(back-p) > 1e-9 {
+				t.Errorf("BetaCDF(BetaQuantile(%v, %v, %v)) = %v", p, a, b, back)
+			}
+		}
+	}
+	if BetaQuantile(0, 3, 4) != 0 || BetaQuantile(1, 3, 4) != 1 {
+		t.Error("quantile endpoints must be 0 and 1")
+	}
+}
+
+func TestBetaIntervalShrinksWithEvidence(t *testing.T) {
+	// A posterior over accuracy must tighten as labels accumulate:
+	// width(1+9n, 1+n) strictly decreases in n for a 90%-accurate stream.
+	prev := math.Inf(1)
+	for _, n := range []float64{10, 100, 1000, 10000} {
+		lo, hi := BetaInterval(1+0.9*n, 1+0.1*n, 0.95)
+		if w := hi - lo; w >= prev {
+			t.Fatalf("interval width %v did not shrink (prev %v) at n=%v", w, prev, n)
+		} else {
+			prev = w
+		}
+		if lo >= 0.9 || hi <= 0.9 {
+			t.Fatalf("interval (%v, %v) at n=%v excludes the truth 0.9", lo, hi, n)
+		}
+	}
+}
+
+func TestSampleBetaDeterministicAndCalibrated(t *testing.T) {
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		x, y := SampleBeta(a, 3.5, 2), SampleBeta(b, 3.5, 2)
+		if x != y {
+			t.Fatalf("draw %d diverged under identical seeds: %v vs %v", i, x, y)
+		}
+		if x <= 0 || x >= 1 {
+			t.Fatalf("draw %d out of (0,1): %v", i, x)
+		}
+	}
+	// Moment check: mean of Beta(8,2) is 0.8.
+	rng := rand.New(rand.NewSource(11))
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += SampleBeta(rng, 8, 2)
+	}
+	if mean := sum / n; math.Abs(mean-0.8) > 0.01 {
+		t.Errorf("sample mean %v, want ~0.8", mean)
+	}
+}

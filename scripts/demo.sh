@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Smoke test for the serving stack, in four acts:
+# Smoke test for the serving stack, in five acts:
 #
 #   ppm-serve (backend model server)  <-  ppm-gateway (shadow proxy)  <-  curl / ppm-traffic
 #                                              |
@@ -21,8 +21,14 @@
 # ppm-traffic -targets, and asserts the merged fleet timeline fills,
 # the fleet alert reaches the sink (with /healthz flipping to 503),
 # and that killing one replica degrades to the stale-shards gauge
-# instead of a false alarm. All acts shut down gracefully (SIGTERM,
-# exercising the shared drain path). Run via `make demo`.
+# instead of a false alarm. Act 5 closes the label-feedback loop: the
+# gateway restarts with an alert rule on |h - labeled accuracy|, a
+# corruption ramp runs with ground truth replayed one batch behind
+# (ppm-traffic -label-lag 1), and the act asserts the labels joined,
+# the Bayesian credible interval narrowed, the labeled-accuracy series
+# reached the drift timeline, and the gap rule fired on the corrupted
+# tail. All acts shut down gracefully (SIGTERM, exercising the shared
+# drain path). Run via `make demo`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -352,4 +358,86 @@ agg_status="$(curl -fsS "http://$AGG_ADDR/status")"
 echo "$agg_status" | grep -q '"stale":true' || {
   echo "demo: /status does not flag the dead replica as stale" >&2; exit 1; }
 
-echo "demo: OK — proxying, drift timeline, alerting, request correlation, incident capture and fleet federation all verified"
+# ---- Act 5: label feedback — lagged ground truth closes the loop ----
+
+echo "demo: stopping the aggregator (act 5 is single-replica)"
+kill -TERM "$AGG_PID" && wait "$AGG_PID" 2>/dev/null || true
+AGG_PID=""
+
+# The gap rule watches |h - labeled accuracy|: h keeps estimating from
+# unlabeled batch statistics while the replayed ground truth says what
+# the model actually scored. The ramp uses flipped_sign — one of the
+# paper's held-out *unknown* error types h was never trained on (the
+# bundle trains on the four known tabular types) — so h stays confident
+# while the labels disagree; only the delayed ground truth exposes the
+# gap. (A known type like scaling would NOT fire this rule: act-2's h
+# tracks it to within ~0.03.)
+cat >"$WORKDIR/rules5.json" <<'EOF'
+{"rules": [
+  {"name": "h_acc_gap", "series": "h_abs_gap", "op": ">=", "threshold": 0.15,
+   "reduce": "max", "for_windows": 1, "clear_windows": 2, "severity": "critical"}
+]}
+EOF
+
+echo "demo: restarting the gateway with label feedback + the |h - acc| gap rule"
+kill -TERM "$GW_PID" && wait "$GW_PID" 2>/dev/null || true
+"$WORKDIR/ppm-gateway" -backend "http://$SERVE_ADDR" -addr "$GW_ADDR" \
+  -bundle "$WORKDIR/bundle" \
+  -alert-rules "$WORKDIR/rules5.json" -alert-webhook "http://$SINK_ADDR/" \
+  >"$WORKDIR/gateway5.log" 2>&1 &
+GW_PID=$!
+wait_for "http://$GW_ADDR/healthz"
+
+sink_before5="$(curl -fsS "http://$SINK_ADDR/count" | sed 's/[^0-9]//g')"
+
+echo "demo: driving an unknown-error ramp with ground truth replayed one batch behind"
+"$WORKDIR/ppm-traffic" send -target "http://$GW_ADDR" -dataset income \
+  -batches 8 -rows 300 -corrupt flipped_sign -max-magnitude 0.95 -clean 3 \
+  -label-lag 1 >"$WORKDIR/traffic5.log" 2>&1
+grep -q 'labels: replayed' "$WORKDIR/traffic5.log" || {
+  echo "demo: ppm-traffic never replayed labels:" >&2
+  cat "$WORKDIR/traffic5.log" >&2; exit 1; }
+
+echo "demo: waiting for the labels to join and the credible interval to narrow"
+labels_ok=""
+for _ in $(seq 50); do
+  labels_status="$(curl -fsS "http://$GW_ADDR/labels/status" 2>/dev/null || true)"
+  joined="$(echo "$labels_status" | sed -n 's/.*"rows_labeled":\([0-9]*\).*/\1/p')"
+  if [ -n "$joined" ] && [ "$joined" -ge 2400 ]; then labels_ok=1; break; fi
+  sleep 0.2
+done
+[ -n "$labels_ok" ] || {
+  echo "demo: /labels/status never accounted the replayed ground truth:" >&2
+  echo "$labels_status" >&2
+  cat "$WORKDIR/gateway5.log" >&2; exit 1; }
+# With ~2400 labeled rows the Beta(1,1) prior's 0.95-wide interval must
+# have collapsed; 0.1 is loose for the demo's clean/corrupt mix.
+overall="$(echo "$labels_status" | grep -o '"overall":{[^}]*}')"
+acc_lo="$(echo "$overall" | sed -n 's/.*"lo":\([0-9.e-]*\).*/\1/p')"
+acc_hi="$(echo "$overall" | sed -n 's/.*"hi":\([0-9.e-]*\).*/\1/p')"
+awk -v lo="$acc_lo" -v hi="$acc_hi" 'BEGIN { exit !(hi > lo && hi - lo < 0.1) }' || {
+  echo "demo: labeled-accuracy interval [$acc_lo, $acc_hi] did not narrow" >&2
+  echo "$labels_status" >&2; exit 1; }
+
+echo "demo: asserting the labeled-accuracy series reached the drift timeline"
+tl5_body="$(curl -fsS "http://$GW_ADDR/monitor/timeline")"
+echo "$tl5_body" | grep -q '"labeled_acc_mean"' || {
+  echo "demo: /monitor/timeline is missing the labeled_acc_mean series" >&2; exit 1; }
+
+echo "demo: waiting for the |h - acc| gap alert to reach the sink"
+gap_alert=""
+for _ in $(seq 50); do
+  count="$(curl -fsS "http://$SINK_ADDR/count" | sed 's/[^0-9]//g')"
+  if [ -n "$count" ] && [ "$count" -gt "${sink_before5:-0}" ]; then gap_alert=1; break; fi
+  sleep 0.2
+done
+[ -n "$gap_alert" ] || {
+  echo "demo: the corrupted tail never fired the h_acc_gap rule:" >&2
+  curl -fsS "http://$GW_ADDR/monitor/timeline" >&2 || true
+  cat "$WORKDIR/gateway5.log" >&2; exit 1; }
+sink5_events="$(curl -fsS "http://$SINK_ADDR/events")"
+echo "$sink5_events" | grep -q '"rule":"h_acc_gap"' || {
+  echo "demo: sink events missing the h_acc_gap rule" >&2
+  echo "$sink5_events" >&2; exit 1; }
+
+echo "demo: OK — proxying, drift timeline, alerting, request correlation, incident capture, fleet federation and label feedback all verified"
