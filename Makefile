@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test race bench bench-gateway demo audit fuzz
+.PHONY: check lint vet build test race bench bench-gateway bench-serving demo audit fuzz
 
 check: vet build test race
 
@@ -42,12 +42,20 @@ bench:
 bench-gateway:
 	$(GO) test -run NONE -bench 'BenchmarkGatewayOverhead' -benchtime 1000x ./internal/gateway/
 
-# Three-act smoke test: boots ppm-serve and ppm-gateway on loopback,
-# fires a request through the proxy and asserts /metrics scrapes;
-# reruns with shadow validation + alerting and drives a corruption
-# ramp through the drift timeline; then reruns with the incident
-# flight recorder, ramps a single-column corruption and asserts the
-# auto-captured bundle names that column (see scripts/demo.sh).
+# Serving SLO observatory benchmark ("Serving SLO observatory" in
+# EXPERIMENTS.md): regenerates BENCH_serving.json (per-stage
+# p50/p99/p999, rows/sec, allocs/op via ppm-bench -exp serving) and
+# runs the allocs/op regression gate, which fails when a per-row
+# allocation creeps onto the gateway hot path (skipped under -short).
+bench-serving:
+	$(GO) run ./cmd/ppm-bench -exp serving
+	$(GO) test -run TestServingAllocGate -count=1 -v ./internal/gateway/
+
+# Six-act smoke test: proxying + /metrics, shadow validation with
+# alerting, incident capture with drift attribution, fleet federation
+# with stale-shard degradation, lagged label feedback, and the serving
+# SLO observatory (open-loop ramp past the burn-rate threshold,
+# alert-triggered profile capture) — see scripts/demo.sh.
 demo:
 	bash scripts/demo.sh
 
@@ -72,4 +80,5 @@ audit: lint
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzKLLMerge -fuzztime 10s ./internal/stats
 	$(GO) test -run NONE -fuzz FuzzKLLRoundTrip -fuzztime 10s ./internal/stats
+	$(GO) test -run NONE -fuzz FuzzLatencyHistMerge -fuzztime 10s ./internal/stats
 	$(GO) test -run NONE -fuzz FuzzLabelsDecode -fuzztime 10s ./internal/labels

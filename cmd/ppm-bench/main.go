@@ -10,7 +10,8 @@
 //
 // Experiments: fig2a fig2b fig2c fig2d fig3 fig4 val-known fig5 fig6 fig7
 // fig2a-auc fig2c-auc gen-matrix ablation-step ablation-regressor
-// ablation-size ablation-ks stability pipeline timeline federate labels all
+// ablation-size ablation-ks stability pipeline timeline federate labels
+// serving all
 //
 // The pipeline experiment times the end-to-end training pipeline with
 // internal/obs spans and writes the machine-readable breakdown to
@@ -24,6 +25,9 @@
 // validates the label-feedback subsystem (credible-interval coverage on
 // a lagged ramp, active-vs-uniform label efficiency, conformal coverage,
 // join throughput) and writes -labels-out (default BENCH_labels.json).
+// The serving experiment drives a canned-backend gateway through the
+// serving SLO observatory (per-stage p50/p99/p999, rows/sec, allocs/op)
+// and writes -serving-out (default BENCH_serving.json).
 // -trace prints a span
 // report of every traced training run; -log-level and -log-format
 // control structured logging.
@@ -60,6 +64,8 @@ func main() {
 		"file for the machine-readable federation benchmark (empty disables; written by -exp federate)")
 	labelsOut := flag.String("labels-out", "BENCH_labels.json",
 		"file for the machine-readable label-feedback benchmark (empty disables; written by -exp labels)")
+	servingOut := flag.String("serving-out", "BENCH_serving.json",
+		"file for the machine-readable serving hot-path benchmark (empty disables; written by -exp serving)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -86,7 +92,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*exp, scale, *format, *pipelineOut, *timelineOut, *federateOut, *labelsOut); err != nil {
+	if err := run(*exp, scale, *format, *pipelineOut, *timelineOut, *federateOut, *labelsOut, *servingOut); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -135,6 +141,7 @@ func runners(scale experiments.Scale) map[string]func() (any, error) {
 		"timeline": wrap(func() (any, error) { return experiments.TimelineBench(scale) }),
 		"federate": wrap(func() (any, error) { return experiments.FederateBench(scale) }),
 		"labels":   wrap(func() (any, error) { return experiments.LabelsBench(scale) }),
+		"serving":  wrap(func() (any, error) { return experiments.ServingBench(scale) }),
 	}
 }
 
@@ -144,7 +151,7 @@ var order = []string{
 	"val-known", "fig5", "fig6", "fig7",
 	"fig2a-auc", "fig2c-auc", "gen-matrix-lr", "gen-matrix-xgb",
 	"ablation-step", "ablation-regressor", "ablation-size", "ablation-ks",
-	"stability", "pipeline", "timeline", "federate", "labels",
+	"stability", "pipeline", "timeline", "federate", "labels", "serving",
 }
 
 // aliases map legacy/composite ids to runner ids.
@@ -152,7 +159,7 @@ var aliases = map[string][]string{
 	"gen-matrix": {"gen-matrix-lr", "gen-matrix-xgb"},
 }
 
-func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut, federateOut, labelsOut string) error {
+func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut, federateOut, labelsOut, servingOut string) error {
 	byID := runners(scale)
 	ids := []string{exp}
 	if exp == "all" {
@@ -202,6 +209,12 @@ func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut, 
 				return fmt.Errorf("%s: %w", id, err)
 			}
 			fmt.Printf("label-feedback benchmark written to %s\n", labelsOut)
+		}
+		if sr, ok := result.(*experiments.ServingResult); ok && servingOut != "" {
+			if err := writeJSON(servingOut, sr); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Printf("serving benchmark written to %s\n", servingOut)
 		}
 		if exp == "all" {
 			fmt.Printf("--- %s done in %s ---\n\n", id, time.Since(start).Round(time.Millisecond))

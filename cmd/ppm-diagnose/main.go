@@ -12,7 +12,10 @@
 // categorical column, Bonferroni-corrected) between the bundle's
 // serving-row reservoir and the trained reference sample — followed by
 // the predicted-class histogram shift, the worst-scoring batches with
-// their X-Request-IDs, and the drift-timeline excerpt.
+// their X-Request-IDs, the serving SLO snapshot (stage quantiles and
+// slowest-request exemplars), the embedded pprof profile sizes, and
+// the drift-timeline excerpt. -extract-profiles DIR additionally
+// writes each bundle's CPU+heap pprof pair to DIR for go tool pprof.
 package main
 
 import (
@@ -30,8 +33,9 @@ import (
 func main() {
 	dir := flag.String("dir", "", "incident retention directory; renders the newest bundle (alternative to positional files)")
 	out := flag.String("out", "", "output file (empty = stdout)")
+	extract := flag.String("extract-profiles", "", "directory receiving each bundle's embedded pprof pair as <bundle>-cpu.pprof / <bundle>-heap.pprof (open with go tool pprof)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ppm-diagnose [-dir DIR | BUNDLE.json ...] [-out FILE]")
+		fmt.Fprintln(os.Stderr, "usage: ppm-diagnose [-dir DIR | BUNDLE.json ...] [-out FILE] [-extract-profiles DIR]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,6 +64,11 @@ func main() {
 			fatal(err)
 		}
 		sections = append(sections, md)
+		if *extract != "" {
+			if err := extractProfiles(*extract, path, b); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	doc := strings.Join(sections, "\n")
 	if *out == "" {
@@ -70,6 +79,39 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d report(s) to %s\n", len(sections), *out)
+}
+
+// extractProfiles writes a bundle's embedded pprof pair (captured by
+// the gateway's alert-triggered profiler) next to each other in dir,
+// named after the bundle file, so they open directly with go tool
+// pprof. Bundles without profiles are skipped with a note — profiling
+// is best-effort (cooldown, busy profiler).
+func extractProfiles(dir, bundlePath string, b *incident.Bundle) error {
+	if b.Profiles == nil {
+		fmt.Fprintf(os.Stderr, "ppm-diagnose: %s carries no profiles (capture skipped or pre-profiling bundle)\n", bundlePath)
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(filepath.Base(bundlePath), ".json")
+	for _, p := range []struct {
+		suffix string
+		data   []byte
+	}{
+		{"cpu", b.Profiles.CPU},
+		{"heap", b.Profiles.Heap},
+	} {
+		if len(p.data) == 0 {
+			continue
+		}
+		path := filepath.Join(dir, base+"-"+p.suffix+".pprof")
+		if err := os.WriteFile(path, p.data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ppm-diagnose: wrote %s (%d bytes)\n", path, len(p.data))
+	}
+	return nil
 }
 
 // newestBundle picks the latest inc-*.json in the retention ring; the

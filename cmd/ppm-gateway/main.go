@@ -21,9 +21,18 @@
 // resilience proxy. -alert-rules loads threshold-for-duration alert
 // rules evaluated on every drift-timeline window close and
 // -alert-webhook POSTs the firing/resolved events to an HTTP endpoint
-// (see ppm-traffic sink). With -bundle the incident flight recorder is
+// (see ppm-traffic sink). The serving SLO observatory is always on:
+// every proxied request is timed per stage into mergeable latency
+// histograms with X-Request-ID exemplars, exposed as ppm_serving_*
+// metric families, a GET /slo JSON document, latency panels on the
+// dashboards and the /federate document, and burn-rate series
+// (-slo-budget/-slo-target/-slo-window tune the budget and windows;
+// -burn-threshold tunes the built-in fast+slow burn-rate alert pair,
+// <=0 disables it). With -bundle the incident flight recorder is
 // on: every alert fire transition (or POST /debug/incidents/trigger)
-// captures a diagnostic bundle with per-column drift attribution, and
+// captures a diagnostic bundle with per-column drift attribution —
+// plus a bounded CPU+heap pprof pair (-profile-cpu/-profile-cooldown)
+// and the serving SLO snapshot with its slowest-request exemplars — and
 // GET /debug/incidents lists the retained ones (-incident-dir persists
 // them as JSON; render with ppm-diagnose). With -bundle the label
 // feedback loop is also on: POST /labels ingests delayed ground truth
@@ -48,6 +57,7 @@ import (
 	"blackboxval/internal/labels"
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
+	"blackboxval/internal/obs/alert"
 	"blackboxval/internal/obs/incident"
 )
 
@@ -75,6 +85,12 @@ func main() {
 	labelLag := flag.Int64("label-lag", 0, "label join horizon in drift-timeline windows (0 = default 64)")
 	labelPending := flag.Int("label-pending", 0, "served batches retained awaiting labels (0 = default 512)")
 	labelSeed := flag.Int64("label-seed", 0, "active-sampling RNG seed (0 = default 1)")
+	sloBudget := flag.Duration("slo-budget", 0, "per-request latency budget (0 = default 250ms)")
+	sloTarget := flag.Float64("slo-target", 0, "SLO target fraction of in-budget requests (0 = default 0.99)")
+	sloWindow := flag.Int("slo-window", 0, "requests per SLO timeline window (0 = default 64)")
+	burnThreshold := flag.Float64("burn-threshold", 1.0, "burn-rate alert threshold; fires when BOTH the fast and slow windows burn above it (<=0 disables)")
+	profileCPU := flag.Duration("profile-cpu", 0, "CPU profile duration captured into alert-triggered incident bundles (0 = default 250ms)")
+	profileCooldown := flag.Duration("profile-cooldown", 0, "minimum gap between profile captures (0 = default 30s)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -99,6 +115,9 @@ func main() {
 		incidentDir: *incidentDir, incidentRows: *incidentRows,
 		incidentMax: *incidentMax, incidentSeed: *incidentSeed,
 		labelLag: *labelLag, labelPending: *labelPending, labelSeed: *labelSeed,
+		sloBudget: *sloBudget, sloTarget: *sloTarget, sloWindow: *sloWindow,
+		burnThreshold: *burnThreshold,
+		profileCPU:    *profileCPU, profileCooldown: *profileCooldown,
 	}
 	if err := run(opts, logger); err != nil {
 		logger.Error("fatal", "err", err)
@@ -121,6 +140,11 @@ type options struct {
 	incidentSeed                     int64
 	labelLag, labelSeed              int64
 	labelPending                     int
+	sloBudget                        time.Duration
+	sloTarget                        float64
+	sloWindow                        int
+	burnThreshold                    float64
+	profileCPU, profileCooldown      time.Duration
 }
 
 func run(opts options, logger *slog.Logger) error {
@@ -136,6 +160,11 @@ func run(opts options, logger *slog.Logger) error {
 		Breaker: gateway.BreakerConfig{
 			FailureThreshold: opts.breakerFailures,
 			Cooldown:         opts.breakerCooldown,
+		},
+		SLO: gateway.SLOConfig{
+			Budget:         opts.sloBudget,
+			Target:         opts.sloTarget,
+			WindowRequests: opts.sloWindow,
 		},
 	}
 
@@ -208,6 +237,14 @@ func run(opts options, logger *slog.Logger) error {
 		}
 		// The incident flight recorder samples every shadow-observed
 		// batch; alert fire transitions (below) auto-capture bundles.
+		// Alert-triggered profiling: every captured bundle embeds a
+		// bounded CPU+heap pprof pair (the profiler's cooldown bounds the
+		// cost) plus the serving SLO snapshot with its slow-request
+		// exemplars.
+		profiler := obs.NewProfiler(obs.ProfilerConfig{
+			CPUDuration: opts.profileCPU,
+			Cooldown:    opts.profileCooldown,
+		})
 		rec, err = cli.WireIncidents(cfg.Monitor, cli.IncidentOptions{
 			BundleDir:     opts.bundle,
 			Dir:           opts.incidentDir,
@@ -215,6 +252,8 @@ func run(opts options, logger *slog.Logger) error {
 			ReservoirRows: opts.incidentRows,
 			Seed:          opts.incidentSeed,
 			Labels:        lstore,
+			Profiler:      profiler,
+			Serving:       g.IncidentServing,
 			Registry:      g.Metrics().Registry(),
 			Logger:        logger,
 		})
@@ -237,6 +276,29 @@ func run(opts options, logger *slog.Logger) error {
 		if opts.alertRules != "" {
 			logger.Info("alerting on", "rules", opts.alertRules, "webhook", opts.alertWebhook)
 		}
+	}
+
+	// Burn-rate alerting on the serving SLO timeline — on by default,
+	// bundle or not: the SRE fast+slow multi-window pair from
+	// gateway.BurnRateRules, evaluated on every SLO window close. With
+	// an incident recorder wired, a firing rule auto-captures a
+	// profiled bundle.
+	if opts.burnThreshold > 0 {
+		burnCfg := alert.Config{
+			Rules:  gateway.BurnRateRules(opts.burnThreshold),
+			Logger: logger,
+		}
+		if rec != nil {
+			burnCfg.Notifier = rec.AlertNotifier()
+		}
+		burn, err := alert.New(burnCfg)
+		if err != nil {
+			return err
+		}
+		burn.RegisterMetrics(g.Metrics().Registry())
+		g.SLOTimeline().OnWindowClose(burn.Evaluate)
+		logger.Info("serving SLO observatory on", "slo", fmt.Sprintf("http://%s/slo", opts.addr),
+			"burn_threshold", opts.burnThreshold)
 	}
 
 	// The gateway handler owns /metrics (its own registry) plus the

@@ -19,6 +19,18 @@
 // due batch, under -label-policy ts|uniform. A ramp whose batches all
 // fail exits non-zero; partial failures are logged and skipped.
 //
+// With -rate R the sender switches from the default closed loop
+// (each batch waits for the previous response) to open-loop dispatch:
+// batches launch at a fixed R per second on their own goroutines and
+// latency is measured from each batch's intended start time, the
+// coordinated-omission-free convention for load testing a serving
+// SLO. Every run — either loop — ends with a latency summary line
+// (p50/p99/max and the error count). -rate cannot be combined with
+// label replay:
+//
+//	ppm-traffic send -target http://127.0.0.1:8088 -dataset income \
+//	    -batches 120 -rows 100 -rate 40
+//
 // Sink mode runs a tiny webhook receiver; point -alert-webhook at it
 // and poll GET /count (or /events) to see delivered alerts:
 //
@@ -62,7 +74,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ppm-traffic send -target URL [-targets URL,URL,...] [-dataset income] [-batches 6] [-rows 500]
                [-corrupt NAME] [-corrupt-column COL] [-max-magnitude 0.95]
-               [-clean 2] [-interval 0s] [-seed 1]
+               [-clean 2] [-interval 0s] [-rate BATCHES_PER_SEC] [-seed 1]
                [-label-lag N] [-label-budget N] [-label-policy ts|uniform]
   ppm-traffic sink -addr HOST:PORT`)
 }
@@ -78,7 +90,8 @@ func runSend(args []string) error {
 	column := fs.String("corrupt-column", "", "scale exactly this numeric column instead of the generator's random pick (attribution ground truth)")
 	maxMagnitude := fs.Float64("max-magnitude", 0.95, "final corruption magnitude of the ramp")
 	clean := fs.Int("clean", 2, "leading clean batches before the ramp")
-	interval := fs.Duration("interval", 0, "pause between batches")
+	interval := fs.Duration("interval", 0, "pause between batches (closed loop)")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate in batches/sec (0 = closed loop); latency measured from intended start")
 	seed := fs.Int64("seed", 1, "workload seed")
 	labelLag := fs.Int("label-lag", -1, "replay true labels N batches behind the ramp (-1 = no label replay)")
 	labelBudget := fs.Int("label-budget", 0, "budget mode: label only the rows GET /labels/requests asks for, N per due batch (0 = full batches)")
@@ -95,7 +108,7 @@ func runSend(args []string) error {
 	opts := cli.TrafficOptions{
 		Target: *target, Targets: targetList, Dataset: *dataset, Batches: *batches, Rows: *rows,
 		Corrupt: *corrupt, Column: *column, MaxMagnitude: *maxMagnitude,
-		CleanBatches: *clean, Interval: *interval, Seed: *seed,
+		CleanBatches: *clean, Interval: *interval, Rate: *rate, Seed: *seed,
 		LabelBudget: *labelBudget, LabelPolicy: *labelPolicy,
 	}
 	if *labelLag >= 0 {

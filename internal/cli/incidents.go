@@ -39,6 +39,13 @@ type IncidentOptions struct {
 	// Labels, when set, snapshots the label-feedback assessment into
 	// every captured bundle (see WireLabels).
 	Labels *labels.Store
+	// Profiler, when set, captures a bounded CPU+heap pprof pair into
+	// every bundle (alert-triggered profiling; the profiler's cooldown
+	// bounds cost).
+	Profiler *obs.Profiler
+	// Serving, when set, snapshots the serving SLO observatory into
+	// every bundle (the gateway passes Gateway.IncidentServing).
+	Serving func() *incident.ServingSLO
 	// Registry receives the ppm_incident_* families (nil = obs.Default()).
 	Registry *obs.Registry
 	// Logger receives capture logs (nil = slog.Default()).
@@ -74,6 +81,8 @@ func WireIncidents(mon *monitor.Monitor, opts IncidentOptions) (*incident.Record
 		ReservoirRows: opts.ReservoirRows,
 		Seed:          opts.Seed,
 		Labels:        opts.Labels,
+		Profiler:      opts.Profiler,
+		Serving:       opts.Serving,
 		Registry:      opts.Registry,
 		Logger:        opts.Logger,
 	}

@@ -22,6 +22,7 @@ import (
 	"blackboxval/internal/data"
 	"blackboxval/internal/frame"
 	"blackboxval/internal/obs"
+	"blackboxval/internal/stats"
 )
 
 // TrafficOptions configures SendTraffic.
@@ -54,8 +55,17 @@ type TrafficOptions struct {
 	// CleanBatches is how many leading batches stay uncorrupted
 	// (default 2 when Corrupt is set).
 	CleanBatches int
-	// Interval pauses between batches (default none).
+	// Interval pauses between batches (default none; closed loop only).
 	Interval time.Duration
+	// Rate, when > 0, switches to open-loop dispatch: batches are
+	// launched at a fixed arrival rate (Rate per second) on their own
+	// goroutines instead of waiting for the previous response, and each
+	// latency is measured from the batch's *intended* start time — the
+	// coordinated-omission-free convention, so a slow target inflates
+	// the recorded tail instead of silently thinning the workload.
+	// Incompatible with ReplayLabels (the replay backlog needs the
+	// closed loop's serve order).
+	Rate float64
 	// Seed makes the generated workload reproducible.
 	Seed int64
 	// ReplayLabels replays delayed ground truth: after batch i succeeds,
@@ -89,7 +99,11 @@ type TrafficOptions struct {
 // when every request failed, so a flaky target degrades the workload
 // instead of truncating it while a dead target exits non-zero with a
 // clear message. With ReplayLabels the ground truth follows the ramp
-// LabelLag batches behind (see the option docs).
+// LabelLag batches behind (see the option docs). Every run ends with
+// a latency summary line (p50/p99/max plus the error count); with
+// Rate > 0 the batches are dispatched open-loop at the fixed arrival
+// rate and the latencies are measured from each batch's intended
+// start time.
 func SendTraffic(opts TrafficOptions) error {
 	if opts.Out == nil {
 		opts.Out = os.Stdout
@@ -109,6 +123,9 @@ func SendTraffic(opts TrafficOptions) error {
 	if opts.HTTPClient == nil {
 		opts.HTTPClient = &http.Client{Timeout: 30 * time.Second}
 	}
+	if opts.Rate > 0 && opts.ReplayLabels {
+		return fmt.Errorf("cli: -rate (open loop) cannot replay labels: the backlog needs the closed loop's serve order")
+	}
 	clean, err := generateDataset(opts.Dataset, opts.Rows, opts.Seed)
 	if err != nil {
 		return err
@@ -123,34 +140,59 @@ func SendTraffic(opts TrafficOptions) error {
 		}
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	// makeBatch applies the corruption ramp to batch i. It must be
+	// called in batch order — the corruption draws come from one shared
+	// rng stream, which is what keeps a given seed's workload identical
+	// across closed- and open-loop runs.
+	makeBatch := func(i int) (*data.Dataset, float64, error) {
+		if (opts.Corrupt == "" && opts.Column == "") || i < opts.CleanBatches {
+			return clean, 0, nil
+		}
+		// Linear ramp over the corrupted tail, ending at MaxMagnitude.
+		corrupted := opts.Batches - opts.CleanBatches
+		magnitude := opts.MaxMagnitude * float64(i-opts.CleanBatches+1) / float64(corrupted)
+		if opts.Column != "" {
+			return CorruptColumn(clean, opts.Column, magnitude, rng), magnitude, nil
+		}
+		gen, err := GeneratorByName(opts.Corrupt)
+		if err != nil {
+			return nil, 0, err
+		}
+		return gen.Corrupt(clean, magnitude, rng), magnitude, nil
+	}
+	targetFor := func(i int) string {
+		if len(opts.Targets) > 0 {
+			return opts.Targets[i%len(opts.Targets)]
+		}
+		return opts.Target
+	}
+	if opts.Rate > 0 {
+		return sendOpenLoop(opts, makeBatch, targetFor)
+	}
+	return sendClosedLoop(opts, makeBatch, targetFor)
+}
+
+// sendClosedLoop is the classic request-response ramp: each batch
+// waits for the previous response (plus Interval), so a slow target
+// slows the workload down — fine for drift scenarios, wrong for
+// latency measurement (coordinated omission). Latency is still
+// recorded per request and summarized on exit.
+func sendClosedLoop(opts TrafficOptions, makeBatch func(int) (*data.Dataset, float64, error), targetFor func(int) string) error {
 	replay := newLabelReplayer(opts)
+	hist := stats.NewLatencyHist(stats.DefaultExemplarSlots)
 	succeeded, failed := 0, 0
 	var lastErr error
 	for i := 0; i < opts.Batches; i++ {
-		batch := clean
-		magnitude := 0.0
-		if (opts.Corrupt != "" || opts.Column != "") && i >= opts.CleanBatches {
-			// Linear ramp over the corrupted tail, ending at MaxMagnitude.
-			corrupted := opts.Batches - opts.CleanBatches
-			magnitude = opts.MaxMagnitude * float64(i-opts.CleanBatches+1) / float64(corrupted)
-			if opts.Column != "" {
-				batch = CorruptColumn(clean, opts.Column, magnitude, rng)
-			} else {
-				gen, err := GeneratorByName(opts.Corrupt)
-				if err != nil {
-					return err
-				}
-				batch = gen.Corrupt(clean, magnitude, rng)
-			}
+		batch, magnitude, err := makeBatch(i)
+		if err != nil {
+			return err
 		}
 		body, err := cloud.EncodeRequest(batch)
 		if err != nil {
 			return err
 		}
-		target := opts.Target
-		if len(opts.Targets) > 0 {
-			target = opts.Targets[i%len(opts.Targets)]
-		}
+		target := targetFor(i)
+		start := time.Now()
 		resp, err := opts.HTTPClient.Post(target+"/predict_proba", "application/json", bytes.NewReader(body))
 		if err != nil {
 			failed++
@@ -160,6 +202,7 @@ func SendTraffic(opts TrafficOptions) error {
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
+		latency := time.Since(start).Seconds()
 		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 			failed++
 			lastErr = fmt.Errorf("target returned %d", resp.StatusCode)
@@ -167,18 +210,113 @@ func SendTraffic(opts TrafficOptions) error {
 			continue
 		}
 		succeeded++
+		id := resp.Header.Get(obs.RequestIDHeader)
+		hist.ObserveID(latency, id)
 		fmt.Fprintf(opts.Out, "batch %d: %d rows, magnitude %.2f, status %d, request_id %s\n",
-			i, opts.Rows, magnitude, resp.StatusCode, resp.Header.Get(obs.RequestIDHeader))
-		replay.sent(opts, resp.Header.Get(obs.RequestIDHeader), batch.Labels, target)
+			i, opts.Rows, magnitude, resp.StatusCode, id)
+		replay.sent(opts, id, batch.Labels, target)
 		if opts.Interval > 0 && i < opts.Batches-1 {
 			time.Sleep(opts.Interval)
 		}
 	}
 	replay.flush(opts)
+	printLatencySummary(opts.Out, "closed loop", hist, failed)
 	if succeeded == 0 {
 		return fmt.Errorf("cli: every batch failed (%d/%d); last error: %w", failed, opts.Batches, lastErr)
 	}
 	return nil
+}
+
+// sendOpenLoop dispatches batches at the fixed arrival rate opts.Rate
+// (batches per second) regardless of how fast responses come back:
+// each batch gets its own goroutine and its latency is measured from
+// the *intended* start time, so queueing delay behind a slow target
+// shows up in the recorded tail instead of being silently absorbed by
+// the sender waiting (coordinated omission). Bodies are pre-encoded in
+// batch order to keep the corruption rng stream deterministic.
+func sendOpenLoop(opts TrafficOptions, makeBatch func(int) (*data.Dataset, float64, error), targetFor func(int) string) error {
+	type job struct {
+		i         int
+		body      []byte
+		magnitude float64
+		target    string
+	}
+	jobs := make([]job, 0, opts.Batches)
+	for i := 0; i < opts.Batches; i++ {
+		batch, magnitude, err := makeBatch(i)
+		if err != nil {
+			return err
+		}
+		body, err := cloud.EncodeRequest(batch)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, job{i: i, body: body, magnitude: magnitude, target: targetFor(i)})
+	}
+	tick := time.Duration(float64(time.Second) / opts.Rate)
+	hist := stats.NewLatencyHist(stats.DefaultExemplarSlots)
+	var (
+		mu        sync.Mutex // guards hist, counters, and Out
+		succeeded int
+		failed    int
+		lastErr   error
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for _, j := range jobs {
+		intended := start.Add(time.Duration(j.i) * tick)
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(j job, intended time.Time) {
+			defer wg.Done()
+			resp, err := opts.HTTPClient.Post(j.target+"/predict_proba", "application/json", bytes.NewReader(j.body))
+			if err != nil {
+				mu.Lock()
+				failed++
+				lastErr = err
+				fmt.Fprintf(opts.Out, "batch %d: send failed: %v\n", j.i, err)
+				mu.Unlock()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			latency := time.Since(intended).Seconds()
+			mu.Lock()
+			defer mu.Unlock()
+			if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+				failed++
+				lastErr = fmt.Errorf("target returned %d", resp.StatusCode)
+				fmt.Fprintf(opts.Out, "batch %d: send failed: status %d\n", j.i, resp.StatusCode)
+				return
+			}
+			succeeded++
+			id := resp.Header.Get(obs.RequestIDHeader)
+			hist.ObserveID(latency, id)
+			fmt.Fprintf(opts.Out, "batch %d: %d rows, magnitude %.2f, status %d, request_id %s\n",
+				j.i, opts.Rows, j.magnitude, resp.StatusCode, id)
+		}(j, intended)
+	}
+	wg.Wait()
+	printLatencySummary(opts.Out, fmt.Sprintf("open loop @ %.1f/s", opts.Rate), hist, failed)
+	if succeeded == 0 {
+		return fmt.Errorf("cli: every batch failed (%d/%d); last error: %w", failed, opts.Batches, lastErr)
+	}
+	return nil
+}
+
+// printLatencySummary emits the per-run latency line every send mode
+// ends with. Quantiles come from the same mergeable histogram the
+// gateway's SLO observatory uses, so sender-side and server-side
+// numbers share one bucketing.
+func printLatencySummary(out io.Writer, mode string, hist *stats.LatencyHist, errors int) {
+	if hist.Count() == 0 {
+		fmt.Fprintf(out, "latency (%s): no successful requests, %d errors\n", mode, errors)
+		return
+	}
+	fmt.Fprintf(out, "latency (%s): %d requests, %d errors, p50 %.1fms p99 %.1fms max %.1fms\n",
+		mode, hist.Count(), errors, hist.Quantile(0.5)*1e3, hist.Quantile(0.99)*1e3, hist.Max()*1e3)
 }
 
 // labelReplayer holds the delayed-ground-truth backlog during a ramp:

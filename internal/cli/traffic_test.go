@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"blackboxval/internal/obs"
 )
@@ -229,6 +230,99 @@ func TestSendTrafficBudgetModeAsksWorklist(t *testing.T) {
 	}
 	if len(recs[0].Rows) != 2 || recs[0].Rows[0] != 4 || recs[0].Rows[1] != 7 || len(recs[0].Labels) != 2 {
 		t.Fatalf("budget post %+v, want rows [4 7] with matching labels", recs[0])
+	}
+}
+
+// TestSendTrafficLatencySummary pins satellite (b): both loop modes
+// end with a per-run latency line carrying the request count, error
+// count, and p50/p99/max quantiles.
+func TestSendTrafficLatencySummary(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 2 {
+			http.Error(w, "flake", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set(obs.RequestIDHeader, fmt.Sprintf("req-%d", calls.Load()))
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := SendTraffic(TrafficOptions{
+		Target: srv.URL, Dataset: "income", Batches: 4, Rows: 20, Out: &out,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	log := out.String()
+	if !strings.Contains(log, "latency (closed loop): 3 requests, 1 errors, p50 ") {
+		t.Fatalf("closed-loop run missing the latency summary:\n%s", log)
+	}
+	for _, want := range []string{"p50 ", "p99 ", "max "} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("summary missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// TestSendTrafficOpenLoop pins the open-loop contract: all batches are
+// dispatched at the arrival rate without waiting for responses (a
+// deliberately slow target still sees every batch), the summary names
+// the rate, and each successful request lands in the histogram.
+func TestSendTrafficOpenLoop(t *testing.T) {
+	var calls atomic.Int64
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		n := calls.Add(1)
+		<-block // hold every response until all batches have been dispatched
+		w.Header().Set(obs.RequestIDHeader, fmt.Sprintf("req-%d", n))
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	const batches = 6
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- SendTraffic(TrafficOptions{
+			Target: srv.URL, Dataset: "income", Batches: batches, Rows: 20,
+			Rate: 500, Out: &out,
+		})
+	}()
+
+	// A closed loop would deadlock here: batch 1 would wait forever for
+	// batch 0's held response. Open loop keeps dispatching.
+	deadline := time.Now().Add(10 * time.Second)
+	for calls.Load() < batches {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d batches dispatched while responses were held", calls.Load(), batches)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	log := out.String()
+	if !strings.Contains(log, fmt.Sprintf("latency (open loop @ 500.0/s): %d requests, 0 errors", batches)) {
+		t.Fatalf("open-loop run missing the latency summary:\n%s", log)
+	}
+	for i := 1; i <= batches; i++ {
+		if !strings.Contains(log, fmt.Sprintf("request_id req-%d", i)) {
+			t.Fatalf("log missing batch with request_id req-%d:\n%s", i, log)
+		}
+	}
+}
+
+// Open loop cannot replay labels: the backlog needs the closed loop's
+// serve order.
+func TestSendTrafficOpenLoopRejectsLabelReplay(t *testing.T) {
+	err := SendTraffic(TrafficOptions{
+		Target: "http://127.0.0.1:1", Dataset: "income", Batches: 1, Rows: 10,
+		Rate: 10, ReplayLabels: true, Out: &bytes.Buffer{},
+	})
+	if err == nil || !strings.Contains(err.Error(), "open loop") {
+		t.Fatalf("want an open-loop/label-replay conflict error, got %v", err)
 	}
 }
 

@@ -1,0 +1,258 @@
+package experiments
+
+// ServingBench measures the gateway's serving hot path under the SLO
+// observatory (DESIGN.md §15): a canned-response backend isolates the
+// proxy + shadow-tap overhead from model compute, a fixed number of
+// batches is pushed through a real gateway over HTTP, and the result
+// reports the per-stage latency quantiles (p50/p99/p999 straight from
+// the observatory's mergeable histograms), end-to-end throughput
+// (requests/sec and rows/sec), and the allocation cost per request —
+// client-visible allocs/op via testing.Benchmark plus the gateway's
+// own alloc-bytes-per-request gauge. ppm-bench serializes the result
+// as BENCH_serving.json so hot-path latency or allocation regressions
+// show up in review diffs like the pipeline timings do.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"blackboxval/internal/cloud"
+	"blackboxval/internal/core"
+	"blackboxval/internal/errorgen"
+	"blackboxval/internal/gateway"
+	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
+)
+
+// ServingStageLatency is one stage row of the serving benchmark:
+// quantiles in milliseconds from the SLO observatory's histogram.
+type ServingStageLatency struct {
+	Stage  string  `json:"stage"`
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// ServingResult is the machine-readable serving benchmark
+// (BENCH_serving.json).
+type ServingResult struct {
+	Scale        string `json:"scale"`
+	Dataset      string `json:"dataset"`
+	Model        string `json:"model"`
+	Batches      int    `json:"batches"`
+	RowsPerBatch int    `json:"rows_per_batch"`
+
+	BudgetSeconds float64 `json:"budget_seconds"`
+	Target        float64 `json:"target"`
+	OverBudget    int64   `json:"over_budget"`
+	BurnFast      float64 `json:"burn_fast"`
+	BurnSlow      float64 `json:"burn_slow"`
+
+	TotalSeconds   float64 `json:"total_seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	RowsPerSec     float64 `json:"rows_per_sec"`
+
+	// Client-visible per-request cost measured by testing.Benchmark
+	// over the same gateway (includes HTTP client overhead).
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Server-side heap bytes per proxied request, from the gateway's
+	// ppm_serving_alloc_bytes_per_req gauge (process-wide TotalAlloc
+	// delta sampled at SLO window close).
+	ServerAllocBytesPerReq float64 `json:"server_alloc_bytes_per_req"`
+
+	Stages []ServingStageLatency `json:"stages"`
+}
+
+// ServingBench runs the serving hot-path benchmark at the given scale.
+func ServingBench(scale Scale) (*ServingResult, error) {
+	rows, batches := 100, 256
+	switch scale.Name {
+	case "quick": // defaults above
+	case "full":
+		rows, batches = 200, 2048
+	default: // trimmed scales used by tests
+		rows, batches = 40, 48
+	}
+	res := &ServingResult{
+		Scale: scale.Name, Dataset: "income", Model: "lr",
+		Batches: batches, RowsPerBatch: rows,
+	}
+
+	ds, err := scale.GenerateDataset("income", scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, test, serving := Splits(ds, scale.Seed)
+	model, err := scale.TrainModel("lr", train, scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := core.TrainPredictor(model, test, core.PredictorConfig{
+		Generators:  errorgen.KnownTabular(),
+		Repetitions: scale.Repetitions,
+		ForestSizes: scale.ForestSizes,
+		Workers:     scale.Workers,
+		Seed:        scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New(monitor.Config{Predictor: pred, Threshold: 0.05})
+	if err != nil {
+		return nil, err
+	}
+
+	batch := serving
+	if serving.Len() > rows {
+		idx := make([]int, rows)
+		for i := range idx {
+			idx[i] = i
+		}
+		batch = serving.SelectRows(idx)
+	}
+	res.RowsPerBatch = batch.Len()
+	reqBody, err := cloud.EncodeRequest(batch)
+	if err != nil {
+		return nil, err
+	}
+	// Canned response: the real model's output for the batch, serialized
+	// once, so the backend costs one write per request and the measured
+	// latency is the gateway hop itself (bench_test.go's protocol).
+	probe := httptest.NewServer(cloud.NewServer(model).Handler())
+	probeResp, err := http.Post(probe.URL+"/predict_proba", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		probe.Close()
+		return nil, err
+	}
+	canned, err := io.ReadAll(probeResp.Body)
+	probeResp.Body.Close()
+	probe.Close()
+	if err != nil {
+		return nil, err
+	}
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(canned)
+	}))
+	defer backend.Close()
+
+	g, err := gateway.New(gateway.Config{
+		Backend: backend.URL,
+		Monitor: mon,
+		Logger:  log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(id string) error {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/predict_proba", bytes.NewReader(reqBody))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if id != "" {
+			req.Header.Set(obs.RequestIDHeader, id)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("experiments: serving bench request returned %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	for i := 0; i < 8; i++ { // warmup: transport setup, first-hit paths
+		if err := post(""); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		if err := post(fmt.Sprintf("bench-%06d", i)); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	res.TotalSeconds = elapsed
+	if elapsed > 0 {
+		res.RequestsPerSec = float64(batches) / elapsed
+		res.RowsPerSec = float64(batches*batch.Len()) / elapsed
+	}
+
+	// Allocation cost per request, measured by the stdlib benchmark
+	// harness over the same live gateway. Runs after the timed loop so
+	// the throughput numbers above cover exactly `batches` requests.
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := post(""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res.NsPerOp = br.NsPerOp()
+	res.AllocsPerOp = br.AllocsPerOp()
+	res.BytesPerOp = br.AllocedBytesPerOp()
+
+	// Let the shadow worker drain so monitor_observe has its rows.
+	deadline := time.Now().Add(15 * time.Second)
+	for g.ShadowObserved() < int64(batches) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	doc := g.SLO()
+	res.BudgetSeconds = doc.BudgetSeconds
+	res.Target = doc.Target
+	res.OverBudget = doc.OverBudget
+	res.BurnFast = doc.BurnFast
+	res.BurnSlow = doc.BurnSlow
+	res.ServerAllocBytesPerReq = doc.AllocBytesPerReq
+	for _, s := range doc.Stages {
+		res.Stages = append(res.Stages, ServingStageLatency{
+			Stage: s.Stage, Count: s.Count,
+			P50Ms:  s.P50 * 1e3,
+			P99Ms:  s.P99 * 1e3,
+			P999Ms: s.P999 * 1e3,
+			MaxMs:  s.Max * 1e3,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the human-readable serving benchmark summary.
+func (r *ServingResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Serving SLO benchmark (scale=%s, %s/%s, %d batches x %d rows)\n",
+		r.Scale, r.Dataset, r.Model, r.Batches, r.RowsPerBatch)
+	fmt.Fprintf(w, "%-16s %8s %10s %10s %10s %10s\n", "stage", "count", "p50 ms", "p99 ms", "p999 ms", "max ms")
+	for _, s := range r.Stages {
+		fmt.Fprintf(w, "%-16s %8d %10.3f %10.3f %10.3f %10.3f\n",
+			s.Stage, s.Count, s.P50Ms, s.P99Ms, s.P999Ms, s.MaxMs)
+	}
+	fmt.Fprintf(w, "throughput  %d requests in %.3fs -> %.0f req/sec, %.0f rows/sec\n",
+		r.Batches, r.TotalSeconds, r.RequestsPerSec, r.RowsPerSec)
+	fmt.Fprintf(w, "allocation  %d allocs/op, %d B/op, %.3fms/op client-visible; %.0f server alloc bytes/req\n",
+		r.AllocsPerOp, r.BytesPerOp, float64(r.NsPerOp)/1e6, r.ServerAllocBytesPerReq)
+	fmt.Fprintf(w, "slo         budget %.0fms target %.2f, over-budget %d, burn fast %.2f slow %.2f\n",
+		r.BudgetSeconds*1e3, r.Target, r.OverBudget, r.BurnFast, r.BurnSlow)
+}

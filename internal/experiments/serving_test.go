@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func servingScale() Scale {
+	s := Quick
+	s.Name = "test" // trimmed batch count (see ServingBench)
+	s.TabularRows = 600
+	s.Repetitions = 4
+	s.Workers = 2
+	return s
+}
+
+func TestServingBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live gateway plus a testing.Benchmark calibration loop")
+	}
+	r, err := ServingBench(servingScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalSeconds <= 0 || r.RequestsPerSec <= 0 || r.RowsPerSec <= 0 {
+		t.Fatalf("degenerate throughput: %+v", r)
+	}
+	if r.AllocsPerOp <= 0 || r.BytesPerOp <= 0 || r.NsPerOp <= 0 {
+		t.Fatalf("degenerate allocation numbers: %+v", r)
+	}
+	if r.BudgetSeconds <= 0 || r.Target <= 0 {
+		t.Fatalf("missing SLO config in result: %+v", r)
+	}
+
+	// Every hot-path stage must be present with plausible quantiles; the
+	// request stage dominates its sub-stages.
+	byStage := map[string]ServingStageLatency{}
+	for _, s := range r.Stages {
+		byStage[s.Stage] = s
+	}
+	for _, stage := range []string{"request", "decode", "relay", "shadow_enqueue", "monitor_observe"} {
+		s, ok := byStage[stage]
+		if !ok {
+			t.Fatalf("stage %q missing from %+v", stage, r.Stages)
+		}
+		if s.Count <= 0 || s.P50Ms < 0 || s.P99Ms < s.P50Ms || s.MaxMs < s.P99Ms {
+			t.Fatalf("stage %q has implausible quantiles: %+v", stage, s)
+		}
+	}
+	req, relay := byStage["request"], byStage["relay"]
+	if req.Count < int64(r.Batches) {
+		t.Fatalf("request stage saw %d requests, want >= %d", req.Count, r.Batches)
+	}
+	if req.P50Ms < relay.P50Ms {
+		t.Fatalf("request p50 %.3fms below its relay sub-stage %.3fms", req.P50Ms, relay.P50Ms)
+	}
+
+	// The result is the BENCH_serving.json payload: round-trip intact.
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ServingResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Stages) != len(r.Stages) || back.RequestsPerSec != r.RequestsPerSec {
+		t.Fatalf("JSON round-trip lost data: %+v vs %+v", back, r)
+	}
+
+	var out bytes.Buffer
+	r.Print(&out)
+	for _, want := range []string{"Serving SLO benchmark", "request", "rows/sec", "allocs/op"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("Print output missing %q:\n%s", want, out.String())
+		}
+	}
+}

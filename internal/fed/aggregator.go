@@ -601,9 +601,11 @@ func (a *Aggregator) Status() Status {
 // shards, and Observed sums the replicas' watermarks.
 func (a *Aggregator) FleetDoc() Doc {
 	alarm := a.Alarming()
+	serving := a.FleetServing() // outside a.mu: FleetServing locks too
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	doc := Doc{
+		Serving:    serving,
 		Version:    DocVersion,
 		Replica:    "fleet",
 		Capacity:   a.cfg.Capacity,

@@ -58,6 +58,11 @@ type Doc struct {
 	// by their proba_class_<c> series names, shipped so the aggregator
 	// can run drift tests against merged serving distributions.
 	References map[string]*stats.KLL `json:"references,omitempty"`
+	// Serving is the replica's serving SLO state (per-stage cumulative
+	// latency histograms); absent for replicas without a gateway. The
+	// field is additive, so DocVersion is unchanged — old aggregators
+	// ignore it, old replicas simply never send it.
+	Serving *ServingDoc `json:"serving,omitempty"`
 }
 
 // BuildDoc snapshots a monitor into its /federate document.
@@ -82,14 +87,26 @@ func BuildDoc(mon *monitor.Monitor, replica string) Doc {
 // current Doc. Mounted by the gateway (top-level /federate) and
 // ppm-monitor.
 func ReplicaHandler(mon *monitor.Monitor, replica string) http.Handler {
+	return ReplicaHandlerServing(mon, replica, nil)
+}
+
+// ReplicaHandlerServing is ReplicaHandler with a serving SLO provider:
+// each GET snapshots the provider's ServingDoc into the document. The
+// gateway passes its SLO tracker's snapshot; a nil provider (bare
+// ppm-monitor) omits the section.
+func ReplicaHandlerServing(mon *monitor.Monitor, replica string, serving func() *ServingDoc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
 		}
+		doc := BuildDoc(mon, replica)
+		if serving != nil {
+			doc.Serving = serving()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Cache-Control", "no-store")
-		if err := json.NewEncoder(w).Encode(BuildDoc(mon, replica)); err != nil {
+		if err := json.NewEncoder(w).Encode(doc); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -6,6 +6,9 @@ package fed
 //	GET /timeline  merged fleet timeline, same document shape as a
 //	               replica's /timeline so existing tooling points at either
 //	GET /federate  fleet re-export of the merged view (aggregators compose)
+//	GET /slo       fleet serving SLO view (merged per-stage latency
+//	               quantiles + slowest exemplars; 404 until a gateway
+//	               replica ships serving state)
 //	GET /status    per-shard scrape health
 //	GET /healthz   200 ok / 503 when the fleet alert engine is firing
 //
@@ -70,6 +73,17 @@ func (a *Aggregator) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, a.FleetDoc())
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		if !guardGet(w, r) {
+			return
+		}
+		serving := a.FleetServing()
+		if serving == nil {
+			http.Error(w, "no serving state federated yet", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, serving.View(5))
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		if !guardGet(w, r) {
@@ -155,6 +169,15 @@ const fleetDashboardHTML = `<!doctype html>
   <thead><tr><th>window</th><th>batches</th><th>estimate</th><th>fleet ks_max</th><th>stale shards</th></tr></thead>
   <tbody id="rows"></tbody>
 </table>
+<div id="slo" style="display:none">
+<h2 style="font-size:1rem">Serving latency (fleet-merged)</h2>
+<div class="meta" id="slometa"></div>
+<table>
+  <thead><tr><th>stage</th><th>count</th><th>p50</th><th>p99</th><th>p999</th><th>max</th></tr></thead>
+  <tbody id="slorows"></tbody>
+</table>
+<div class="meta" id="sloex"></div>
+</div>
 <script>
 "use strict";
 function line(points, color) {
@@ -213,13 +236,31 @@ function renderStatus(st) {
   });
   document.getElementById("shards").innerHTML = rows.join("");
 }
+function ms(v) { return (v * 1000).toFixed(2) + "ms"; }
+function renderSLO(view) {
+  var box = document.getElementById("slo");
+  if (!view) { box.style.display = "none"; return; }
+  box.style.display = "";
+  document.getElementById("slometa").textContent =
+    view.requests + " requests · " + view.over_budget + " over a " +
+    ms(view.budget_seconds) + " budget · target " + (view.target * 100).toFixed(2) + "%";
+  document.getElementById("slorows").innerHTML = (view.stages || []).map(function (s) {
+    return '<tr><td class="name">' + s.stage + "</td><td>" + s.count + "</td><td>" +
+      ms(s.p50) + "</td><td>" + ms(s.p99) + "</td><td>" + ms(s.p999) + "</td><td>" + ms(s.max) + "</td></tr>";
+  }).join("");
+  document.getElementById("sloex").textContent = (view.exemplars || []).length
+    ? "slowest: " + view.exemplars.map(function (e) { return e.id + " (" + ms(e.v) + ")"; }).join(", ")
+    : "";
+}
 function poll() {
   Promise.all([
     fetch("timeline").then(function (r) { return r.json(); }),
-    fetch("status").then(function (r) { return r.json(); })
+    fetch("status").then(function (r) { return r.json(); }),
+    fetch("slo").then(function (r) { return r.ok ? r.json() : null; }).catch(function () { return null; })
   ]).then(function (res) {
     var refresh = renderTimeline(res[0]);
     renderStatus(res[1]);
+    renderSLO(res[2]);
     if (refresh > 0) setTimeout(poll, refresh);
   }).catch(function () { setTimeout(poll, 5000); });
 }

@@ -1,0 +1,166 @@
+package fed
+
+// serving.go: the serving SLO half of the federation document. A
+// gateway replica ships its per-stage latency histograms
+// (stats.LatencyHist — deterministic, mergeable, exemplar-carrying)
+// inside /federate, and the aggregator merges the latest document per
+// replica into fleet-wide quantiles that are bit-equal to the
+// histogram a single node would have built over the union stream.
+//
+// Unlike timeline windows, the serving histograms are CUMULATIVE since
+// process start, so the aggregator must never accumulate them across
+// scrapes: each fleet view is re-merged from scratch out of the latest
+// retained document per replica. Double-merging a cumulative histogram
+// would double-count every request.
+
+import (
+	"sort"
+
+	"blackboxval/internal/stats"
+)
+
+// ServingDoc is the serving SLO section of a /federate document:
+// per-stage cumulative latency histograms plus the scalar SLO state.
+type ServingDoc struct {
+	// BudgetSeconds is the replica's per-request latency budget.
+	BudgetSeconds float64 `json:"budget_seconds"`
+	// Target is the replica's SLO target fraction.
+	Target float64 `json:"target"`
+	// Requests counts proxied requests since process start.
+	Requests int64 `json:"requests"`
+	// OverBudget counts requests slower than the budget.
+	OverBudget int64 `json:"over_budget"`
+	// Stages maps stage name (request, decode, relay, shadow_enqueue,
+	// monitor_observe) to its cumulative latency histogram.
+	Stages map[string]*stats.LatencyHist `json:"stages,omitempty"`
+}
+
+// MergeServing merges replica serving documents in the given order into
+// one fleet document. Nil documents are skipped; budget and target are
+// adopted from the first non-nil document (shards of one fleet share an
+// SLO by construction). Stage histograms are cloned before merging —
+// the inputs are never modified.
+func MergeServing(docs ...*ServingDoc) (*ServingDoc, error) {
+	var out *ServingDoc
+	for _, d := range docs {
+		if d == nil {
+			continue
+		}
+		if out == nil {
+			out = &ServingDoc{
+				BudgetSeconds: d.BudgetSeconds,
+				Target:        d.Target,
+				Stages:        map[string]*stats.LatencyHist{},
+			}
+		}
+		out.Requests += d.Requests
+		out.OverBudget += d.OverBudget
+		for stage, h := range d.Stages {
+			if h == nil {
+				continue
+			}
+			if prev := out.Stages[stage]; prev == nil {
+				out.Stages[stage] = h.Clone()
+			} else if err := prev.Merge(h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// ServingStageView is one stage's latency summary in the fleet /slo
+// document.
+type ServingStageView struct {
+	Stage string  `json:"stage"`
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// ServingView is the dashboard-facing rendering of a ServingDoc: stage
+// quantile rows in canonical order plus the globally slowest exemplars
+// of the end-to-end request stage.
+type ServingView struct {
+	BudgetSeconds float64            `json:"budget_seconds"`
+	Target        float64            `json:"target"`
+	Requests      int64              `json:"requests"`
+	OverBudget    int64              `json:"over_budget"`
+	Stages        []ServingStageView `json:"stages"`
+	Exemplars     []stats.Exemplar   `json:"exemplars,omitempty"`
+}
+
+// servingStageOrder pins the rendering order of the known gateway
+// stages; unknown stages follow alphabetically.
+var servingStageOrder = []string{"request", "decode", "relay", "shadow_enqueue", "monitor_observe"}
+
+// View renders the document for dashboards, with up to `exemplars`
+// slowest request exemplars.
+func (s *ServingDoc) View(exemplars int) ServingView {
+	v := ServingView{
+		BudgetSeconds: s.BudgetSeconds,
+		Target:        s.Target,
+		Requests:      s.Requests,
+		OverBudget:    s.OverBudget,
+	}
+	seen := map[string]bool{}
+	names := make([]string, 0, len(s.Stages))
+	for _, name := range servingStageOrder {
+		if s.Stages[name] != nil {
+			names = append(names, name)
+			seen[name] = true
+		}
+	}
+	rest := make([]string, 0)
+	for name, h := range s.Stages {
+		if h != nil && !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	names = append(names, rest...)
+	for _, name := range names {
+		h := s.Stages[name]
+		v.Stages = append(v.Stages, ServingStageView{
+			Stage: name,
+			Count: int64(h.Count()),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+			Max:   h.Max(),
+			Mean:  h.Mean(),
+		})
+	}
+	if h := s.Stages["request"]; h != nil {
+		v.Exemplars = h.TopExemplars(exemplars)
+	}
+	return v
+}
+
+// FleetServing re-merges the latest serving documents across replicas,
+// in replica-config (stream) order. It returns nil when no replica has
+// shipped serving state yet, and nil on a merge error (incompatible
+// exemplar slot configuration — logged, not fatal: the drift half of
+// the fleet keeps working).
+func (a *Aggregator) FleetServing() *ServingDoc {
+	a.mu.Lock()
+	docs := make([]*ServingDoc, 0, len(a.shards))
+	for _, sh := range a.shards {
+		if sh.doc != nil && sh.doc.Serving != nil {
+			docs = append(docs, sh.doc.Serving)
+		}
+	}
+	a.mu.Unlock()
+	if len(docs) == 0 {
+		return nil
+	}
+	merged, err := MergeServing(docs...)
+	if err != nil {
+		a.log.Warn("federate serving merge failed", "err", err)
+		return nil
+	}
+	return merged
+}

@@ -1,0 +1,222 @@
+package fed_test
+
+// Serving SLO federation: the latency-histogram half of the
+// determinism contract. A request stream partitioned round-robin
+// across N gateway shards and federated through real /federate HTTP
+// scrapes must merge into per-stage histograms bit-equal (canonical
+// JSON) to the histogram a single node would have built over the union
+// stream — including the exemplar request IDs, whose bounded top-K
+// retention is itself a merge homomorphism.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"blackboxval/internal/fed"
+	"blackboxval/internal/stats"
+)
+
+// servingStream is a deterministic latency stream with request ids:
+// lognormal around ~5ms with a heavy 100× tail every 50th request.
+func servingStream(n int, seed int64) ([]float64, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	ids := make([]string, n)
+	for i := range vals {
+		v := 0.005 * math.Exp(0.5*rng.NormFloat64())
+		if i%50 == 17 {
+			v *= 100
+		}
+		vals[i] = v
+		ids[i] = fmt.Sprintf("req-%06d", i)
+	}
+	return vals, ids
+}
+
+// buildServingDocs partitions the stream round-robin into nShards
+// serving documents (request + relay stages; relay at 80% of the
+// request latency) and returns them plus the single-node union doc.
+func buildServingDocs(t *testing.T, nShards int) ([]*fed.ServingDoc, *fed.ServingDoc) {
+	t.Helper()
+	vals, ids := servingStream(600, 7)
+	mk := func() *fed.ServingDoc {
+		return &fed.ServingDoc{
+			BudgetSeconds: 0.025, Target: 0.99,
+			Stages: map[string]*stats.LatencyHist{
+				"request": stats.NewLatencyHist(stats.DefaultExemplarSlots),
+				"relay":   stats.NewLatencyHist(stats.DefaultExemplarSlots),
+			},
+		}
+	}
+	docs := make([]*fed.ServingDoc, nShards)
+	for i := range docs {
+		docs[i] = mk()
+	}
+	union := mk()
+	for i, v := range vals {
+		for _, d := range []*fed.ServingDoc{docs[i%nShards], union} {
+			d.Stages["request"].ObserveID(v, ids[i])
+			d.Stages["relay"].ObserveID(0.8*v, ids[i])
+			d.Requests++
+			if v > d.BudgetSeconds {
+				d.OverBudget++
+			}
+		}
+	}
+	return docs, union
+}
+
+func canonicalServing(t *testing.T, d *fed.ServingDoc) string {
+	t.Helper()
+	buf, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestFleetServingBitEqualUnion scrapes nShards replicas over real
+// /federate HTTP and checks the aggregator's merged serving state is
+// bit-equal to the union-stream document, for every shard count.
+func TestFleetServingBitEqualUnion(t *testing.T) {
+	f := getFixture(t)
+	for _, nShards := range []int{1, 3, 5} {
+		t.Run(fmt.Sprintf("shards=%d", nShards), func(t *testing.T) {
+			docs, union := buildServingDocs(t, nShards)
+			cfg := fed.Config{Interval: time.Hour, Timeout: 5 * time.Second, StaleAfter: time.Hour}
+			for i := range docs {
+				doc := docs[i]
+				srv := httptest.NewServer(fed.ReplicaHandlerServing(
+					newMonitor(t, f, 1), shardName(i), func() *fed.ServingDoc { return doc }))
+				t.Cleanup(srv.Close)
+				cfg.Replicas = append(cfg.Replicas, fed.ReplicaConfig{Name: shardName(i), URL: srv.URL})
+			}
+			agg, err := fed.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report := agg.ScrapeOnce(context.Background())
+			if len(report.Errors) != 0 {
+				t.Fatalf("scrape errors: %+v", report.Errors)
+			}
+			merged := agg.FleetServing()
+			if merged == nil {
+				t.Fatal("no fleet serving state after scrape")
+			}
+			if got, want := canonicalServing(t, merged), canonicalServing(t, union); got != want {
+				t.Fatalf("shards=%d: merged serving != union\nmerged: %s\nunion:  %s", nShards, got, want)
+			}
+			// Quantiles of the merged state are the union's, bit for bit.
+			for _, stage := range []string{"request", "relay"} {
+				for _, q := range []float64{0.5, 0.99, 0.999} {
+					got := merged.Stages[stage].Quantile(q)
+					want := union.Stages[stage].Quantile(q)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("stage %s q%v: merged %v != union %v", stage, q, got, want)
+					}
+				}
+			}
+			// The fleet re-export carries the merged serving section, so
+			// tier-2 aggregators and dashboards see it too.
+			if fd := agg.FleetDoc(); fd.Serving == nil ||
+				canonicalServing(t, fd.Serving) != canonicalServing(t, union) {
+				t.Fatal("FleetDoc serving section diverges from union")
+			}
+		})
+	}
+}
+
+// TestFleetSLOEndpoint pins the aggregator's /slo surface: 404 before
+// any serving state is federated, then a rendered view with stage rows
+// and exemplar ids after a scrape.
+func TestFleetSLOEndpoint(t *testing.T) {
+	f := getFixture(t)
+	docs, _ := buildServingDocs(t, 1)
+	var serving *fed.ServingDoc // nil until "the gateway starts serving"
+	srv := httptest.NewServer(fed.ReplicaHandlerServing(
+		newMonitor(t, f, 1), "solo", func() *fed.ServingDoc { return serving }))
+	defer srv.Close()
+	agg, err := fed.New(fed.Config{
+		Replicas: []fed.ReplicaConfig{{Name: "solo", URL: srv.URL}},
+		Interval: time.Hour, Timeout: 5 * time.Second, StaleAfter: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggSrv := httptest.NewServer(agg.Handler())
+	defer aggSrv.Close()
+
+	agg.ScrapeOnce(context.Background())
+	resp, err := http.Get(aggSrv.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/slo before serving state = %d, want 404", resp.StatusCode)
+	}
+
+	serving = docs[0]
+	agg.ScrapeOnce(context.Background())
+	resp, err = http.Get(aggSrv.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/slo = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+		t.Fatalf("/slo Cache-Control = %q", got)
+	}
+	var view fed.ServingView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Requests != 600 || len(view.Stages) != 2 {
+		t.Fatalf("view = %+v, want 600 requests over 2 stages", view)
+	}
+	if view.Stages[0].Stage != "request" {
+		t.Fatalf("stage order: first is %q, want request", view.Stages[0].Stage)
+	}
+	if len(view.Exemplars) == 0 || view.Exemplars[0].RequestID == "" {
+		t.Fatalf("view exemplars = %+v, want slowest request ids", view.Exemplars)
+	}
+}
+
+// TestMergeServingRules pins the merge conventions: nil docs skipped,
+// inputs never mutated, disjoint stage sets unioned.
+func TestMergeServingRules(t *testing.T) {
+	a := &fed.ServingDoc{BudgetSeconds: 0.1, Target: 0.99, Requests: 2,
+		Stages: map[string]*stats.LatencyHist{"request": stats.NewLatencyHist(2)}}
+	a.Stages["request"].ObserveID(0.01, "a-1")
+	a.Stages["request"].ObserveID(0.02, "a-2")
+	b := &fed.ServingDoc{BudgetSeconds: 0.1, Target: 0.99, Requests: 1, OverBudget: 1,
+		Stages: map[string]*stats.LatencyHist{"relay": stats.NewLatencyHist(2)}}
+	b.Stages["relay"].ObserveID(0.2, "b-1")
+
+	before := canonicalServing(t, a)
+	merged, err := fed.MergeServing(nil, a, nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalServing(t, a) != before {
+		t.Fatal("MergeServing mutated its input")
+	}
+	if merged.Requests != 3 || merged.OverBudget != 1 {
+		t.Fatalf("merged scalars = %+v", merged)
+	}
+	if merged.Stages["request"].Count() != 2 || merged.Stages["relay"].Count() != 1 {
+		t.Fatal("disjoint stages were not unioned")
+	}
+	if out, err := fed.MergeServing(nil, nil); err != nil || out != nil {
+		t.Fatalf("all-nil merge = (%v, %v), want (nil, nil)", out, err)
+	}
+}

@@ -79,6 +79,10 @@ type Config struct {
 	// fleet dashboards (default: the request-id prefix, which is unique
 	// per process).
 	ReplicaName string
+	// SLO tunes the serving SLO observatory (latency budget, burn-rate
+	// windows, exemplar slots). The zero value enables it with
+	// production defaults; see SLOConfig.
+	SLO SLOConfig
 	// Logger receives operational messages (nil = standard logger).
 	Logger *log.Logger
 	// Tracer retains per-request span trees for /debug/spans (nil =
@@ -126,6 +130,7 @@ type Gateway struct {
 	breaker *Breaker
 	metrics *Metrics
 	shadow  *shadowTap
+	slo     *sloTracker
 
 	// Request-id mint: a random per-process prefix plus a sequence, so
 	// ids from gateway restarts never collide in aggregated logs.
@@ -153,6 +158,7 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	g.idPrefix = fmt.Sprintf("gw-%04x", g.jitter.Intn(1<<16))
 	g.lastFailID.Store("")
+	g.slo = newSLOTracker(cfg.SLO, g.metrics.reg)
 	g.breaker = NewBreaker(cfg.Breaker)
 	g.breaker.onTransition = func(to BreakerState) {
 		g.metrics.breakerState.Set(float64(breakerGaugeValue(to)))
@@ -169,6 +175,7 @@ func New(cfg Config) (*Gateway, error) {
 			g.metrics.estimate.Set(rec.Estimate)
 			g.metrics.alarm.Set(boolGauge(cfg.Monitor.Alarming()))
 		}, cfg.RawDecoder)
+		g.shadow.observeStage = g.slo.observeStage
 		g.metrics.shadowDepth.SetFunc(func() float64 { return float64(g.shadow.Depth()) })
 	}
 	return g, nil
@@ -201,6 +208,8 @@ func (g *Gateway) ShadowObserved() int64 {
 //
 //	POST /predict_proba  — proxied to the backend, bit-identical body
 //	GET  /metrics        — Prometheus text exposition
+//	GET  /slo            — JSON: per-stage latency quantiles, burn
+//	                       rates, top exemplars (the SLO observatory)
 //	GET  /status         — JSON: breaker state, monitor summary
 //	GET  /healthz        — 200 while healthy, 503 while the performance
 //	                       alarm fires
@@ -216,6 +225,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict_proba", g.handleProxy)
 	mux.Handle("/metrics", g.metrics.Handler())
+	mux.HandleFunc("/slo", g.handleSLO)
 	mux.HandleFunc("/status", g.handleStatus)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.Handle("/debug/spans", g.cfg.Tracer.Handler())
@@ -226,7 +236,7 @@ func (g *Gateway) Handler() http.Handler {
 		if replica == "" {
 			replica = g.idPrefix
 		}
-		mux.Handle("/federate", fed.ReplicaHandler(g.cfg.Monitor, replica))
+		mux.Handle("/federate", fed.ReplicaHandlerServing(g.cfg.Monitor, replica, g.servingDoc))
 	}
 	if g.cfg.Labels != nil {
 		mux.Handle("/labels", g.cfg.Labels.Handler())
@@ -242,6 +252,8 @@ func (g *Gateway) mintRequestID() string {
 
 func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	g.slo.inflight.Add(1)
+	defer g.slo.inflight.Add(-1)
 
 	// Correlate before anything can fail: reuse the client's id or mint
 	// one, pin it on the response header (every status class, including
@@ -260,7 +272,7 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		span.SetAttr("outcome", outcome)
 		span.SetMetric("status", float64(status))
 		span.End()
-		g.finish(outcome, start)
+		g.finish(outcome, start, id)
 		slog.Debug("gateway request", "request_id", id, "outcome", outcome,
 			"status", status, "duration", time.Since(start))
 	}()
@@ -270,7 +282,9 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", status)
 		return
 	}
+	decodeStart := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	g.slo.observeStage(StageDecode, time.Since(decodeStart).Seconds(), id)
 	if err != nil {
 		status = http.StatusBadRequest
 		http.Error(w, err.Error(), status)
@@ -285,7 +299,9 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	relayStart := time.Now()
 	resp, err := g.forward(r.Context(), body, id)
+	g.slo.observeStage(StageRelay, time.Since(relayStart).Seconds(), id)
 	if err != nil {
 		g.lastFailID.Store(id)
 		g.breaker.Failure()
@@ -323,7 +339,9 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		// Tap the successful batch for shadow validation, off the hot
 		// path; the id rides along into the monitor observation, and the
 		// request body too when raw capture is on.
+		enqueueStart := time.Now()
 		g.shadow.EnqueueWithRequest(body, resp.body, id)
+		g.slo.observeStage(StageShadowEnqueue, time.Since(enqueueStart).Seconds(), id)
 	}
 }
 
@@ -419,9 +437,48 @@ func (g *Gateway) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-func (g *Gateway) finish(outcome string, start time.Time) {
+func (g *Gateway) finish(outcome string, start time.Time, id string) {
+	elapsed := time.Since(start).Seconds()
 	g.metrics.requests.Add(1, outcome)
-	g.metrics.latency.Observe(time.Since(start).Seconds(), outcome)
+	g.metrics.latency.Observe(elapsed, outcome)
+	g.slo.observeRequest(elapsed, id)
+}
+
+// SLOTimeline exposes the per-request SLO timeline, so callers can
+// wire the stock alert engine (cli.WireAlertEngine / OnWindowClose)
+// onto the burn-rate series.
+func (g *Gateway) SLOTimeline() *obs.TimeSeries { return g.slo.timeline }
+
+// SLO returns the current serving SLO document (the /slo payload).
+func (g *Gateway) SLO() SLODoc { return g.slo.doc(5) }
+
+// servingDoc snapshots the SLO tracker into the /federate serving
+// section: cloned per-stage histograms the aggregator can merge into
+// fleet quantiles bit-equal to a single-node union stream.
+func (g *Gateway) servingDoc() *fed.ServingDoc {
+	hists, total, over, _, _, _ := g.slo.snapshot()
+	return &fed.ServingDoc{
+		BudgetSeconds: g.slo.cfg.Budget.Seconds(),
+		Target:        g.slo.cfg.Target,
+		Requests:      total,
+		OverBudget:    over,
+		Stages:        hists,
+	}
+}
+
+// handleSLO serves the SLO document with the monitor endpoints' cache
+// hygiene: explicit Content-Type, Cache-Control: no-store (live
+// operational state must never be cached).
+func (g *Gateway) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	if err := json.NewEncoder(w).Encode(g.SLO()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // Status is the JSON document served at /status.

@@ -16,7 +16,6 @@ import (
 	"blackboxval/internal/obs"
 	"blackboxval/internal/obs/alert"
 	"blackboxval/internal/obs/incident"
-	"blackboxval/internal/report"
 )
 
 func readAll(t *testing.T, resp *http.Response) string {
@@ -193,15 +192,13 @@ func TestEndToEndIncidentCapture(t *testing.T) {
 	}
 
 	// The persisted JSON round-trips through ppm-diagnose's path:
-	// LoadBundle + report.Markdown.
+	// LoadBundle + Markdown (report.Markdown delegates to the bundle's
+	// own renderer for this type).
 	loaded, err := incident.LoadBundle(filepath.Join(dir, b.ID+".json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	md, err := report.Markdown(loaded)
-	if err != nil {
-		t.Fatal(err)
-	}
+	md := loaded.Markdown()
 	for _, want := range []string{"# Incident " + b.ID, "| 1 | age |", wantID} {
 		if !strings.Contains(md, want) {
 			t.Fatalf("diagnose markdown missing %q:\n%s", want, md)

@@ -63,5 +63,13 @@ func newMetrics() *Metrics {
 func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // Handler serves the Prometheus text exposition with the canonical
-// content type (shared with every other /metrics in the repository).
-func (m *Metrics) Handler() http.Handler { return m.reg.Handler() }
+// content type (shared with every other /metrics in the repository)
+// and the monitor endpoints' cache hygiene: a scrape must always see
+// live counters, never an intermediary's cached copy.
+func (m *Metrics) Handler() http.Handler {
+	inner := m.reg.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		inner.ServeHTTP(w, r)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blackboxval/internal/cloud"
 	"blackboxval/internal/data"
@@ -31,6 +32,10 @@ type shadowTap struct {
 
 	// onRecord observes each monitor record (gauge updates).
 	onRecord func(monitor.Record)
+	// observeStage, when set, times the monitor_observe stage into the
+	// serving SLO observatory (runs on the shadow worker, off the hot
+	// path).
+	observeStage func(stage string, seconds float64, requestID string)
 	// rawDecoder, when set, recovers the raw serving rows from the
 	// request body so monitor batch observers (the incident reservoir)
 	// see them. Nil = response-only tap.
@@ -166,7 +171,11 @@ func (t *shadowTap) observe(item shadowItem) {
 			batch = ds
 		}
 	}
+	observeStart := time.Now()
 	rec := t.mon.ObserveBatchProbaID(batch, proba, item.requestID)
+	if t.observeStage != nil {
+		t.observeStage(StageMonitorObserve, time.Since(observeStart).Seconds(), item.requestID)
+	}
 	t.observed.Add(1)
 	t.metrics.shadowDropped.Add(1, "observed")
 	if t.onRecord != nil {

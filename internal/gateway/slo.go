@@ -1,0 +1,424 @@
+package gateway
+
+// slo.go: the serving SLO observatory (DESIGN.md §15). Every proxied
+// request is timed per stage — decode (body read), relay (backend
+// round trip incl. retries), shadow_enqueue (tap handoff) and, off the
+// hot path, monitor_observe (the shadow worker's monitor call) — into
+// deterministic mergeable latency histograms (stats.LatencyHist) whose
+// exemplars carry X-Request-IDs, so a slow p999 bucket links straight
+// to /history and incident bundles. The same observations feed:
+//
+//   - Prometheus families (ppm_serving_*) on the gateway registry;
+//   - a per-request SLO timeline (obs.TimeSeries) carrying the
+//     burn-rate series the stock alert engine evaluates;
+//   - the /slo JSON document;
+//   - the /federate Serving section (per-stage histograms the
+//     aggregator merges into bit-exact fleet quantiles).
+//
+// Burn rate follows the SRE multi-window recipe, made deterministic by
+// defining windows in request counts instead of wall time: the fast
+// window covers the last FastRequests requests, the slow window the
+// last SlowRequests. Each window's burn is
+//
+//	burn = overBudgetFraction / (1 − Target)
+//
+// (burn 1.0 = consuming the error budget exactly as fast as the SLO
+// allows). The combined series serving_burn = min(fast, slow) exceeds
+// a threshold iff BOTH windows do — the SRE "fast AND slow" page
+// condition expressed as a single timeline series, so the stock
+// threshold-for-duration rule engine needs no AND combinator.
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blackboxval/internal/obs"
+	"blackboxval/internal/obs/alert"
+	"blackboxval/internal/obs/incident"
+	"blackboxval/internal/stats"
+)
+
+// Serving-stage names, used as histogram keys, metric label values and
+// federation document keys.
+const (
+	StageRequest        = "request"
+	StageDecode         = "decode"
+	StageRelay          = "relay"
+	StageShadowEnqueue  = "shadow_enqueue"
+	StageMonitorObserve = "monitor_observe"
+)
+
+// sloStageOrder fixes the rendering order of stage tables.
+var sloStageOrder = []string{StageRequest, StageDecode, StageRelay, StageShadowEnqueue, StageMonitorObserve}
+
+// SLO timeline series names.
+const (
+	SeriesServingLatency = "serving_latency"
+	SeriesServingOver    = "serving_over"
+	SeriesBurnFast       = "serving_burn_fast"
+	SeriesBurnSlow       = "serving_burn_slow"
+	SeriesBurn           = "serving_burn"
+)
+
+// SLOConfig tunes the serving SLO observatory. The zero value enables
+// it with production defaults; it cannot be disabled (the cost is a
+// few histogram increments per request).
+type SLOConfig struct {
+	// Budget is the per-request latency budget (default 250ms). A
+	// request slower than this consumes error budget.
+	Budget time.Duration
+	// Target is the SLO target fraction of in-budget requests (default
+	// 0.99, i.e. an error budget of 1%).
+	Target float64
+	// WindowRequests is the number of requests aggregated into one SLO
+	// timeline window (default 64). Alert rules see one evaluation per
+	// window.
+	WindowRequests int
+	// FastRequests is the fast burn-rate window in requests (default
+	// 128) — the deterministic analogue of the SRE 5-minute window.
+	FastRequests int
+	// SlowRequests is the slow burn-rate window in requests (default
+	// 1024) — the analogue of the 1-hour window.
+	SlowRequests int
+	// ExemplarSlots bounds the exemplars kept per histogram bucket
+	// (default stats.DefaultExemplarSlots).
+	ExemplarSlots int
+	// TimelineCapacity bounds the retained SLO windows (default 128).
+	TimelineCapacity int
+}
+
+func (c *SLOConfig) defaults() {
+	if c.Budget <= 0 {
+		c.Budget = 250 * time.Millisecond
+	}
+	if c.Target <= 0 || c.Target >= 1 {
+		c.Target = 0.99
+	}
+	if c.WindowRequests <= 0 {
+		c.WindowRequests = 64
+	}
+	if c.FastRequests <= 0 {
+		c.FastRequests = 128
+	}
+	if c.SlowRequests <= 0 {
+		c.SlowRequests = 1024
+	}
+	if c.ExemplarSlots <= 0 {
+		c.ExemplarSlots = stats.DefaultExemplarSlots
+	}
+	if c.TimelineCapacity <= 0 {
+		c.TimelineCapacity = 128
+	}
+}
+
+// burnRing is a fixed-size ring of over-budget bits: the rolling
+// request-count window behind one burn-rate series.
+type burnRing struct {
+	bits   []bool
+	next   int
+	filled int
+	over   int
+}
+
+func newBurnRing(n int) *burnRing { return &burnRing{bits: make([]bool, n)} }
+
+// push records one request's over-budget bit, evicting the oldest once
+// the ring is full.
+func (r *burnRing) push(over bool) {
+	if r.filled == len(r.bits) {
+		if r.bits[r.next] {
+			r.over--
+		}
+	} else {
+		r.filled++
+	}
+	r.bits[r.next] = over
+	if over {
+		r.over++
+	}
+	r.next = (r.next + 1) % len(r.bits)
+}
+
+// fraction returns the over-budget fraction of the requests currently
+// in the window (0 while empty).
+func (r *burnRing) fraction() float64 {
+	if r.filled == 0 {
+		return 0
+	}
+	return float64(r.over) / float64(r.filled)
+}
+
+// sloTracker owns the serving SLO state. Stage observation is
+// synchronous under one mutex (a map lookup plus O(log slots)
+// histogram work); the timeline commit — and therefore any alert
+// engine hooks — runs after the mutex is released.
+type sloTracker struct {
+	cfg      SLOConfig
+	timeline *obs.TimeSeries
+
+	inflight atomic.Int64
+
+	mu     sync.Mutex
+	stages map[string]*stats.LatencyHist
+	fast   *burnRing
+	slow   *burnRing
+	total  int64
+	over   int64
+	// alloc-per-request sampling state (window-close cadence).
+	lastTotalAlloc uint64
+	lastTotalReqs  int64
+	allocPerReq    float64
+
+	// Prometheus families (registered on the gateway registry).
+	stageSeconds *obs.HistogramVec
+	overTotal    *obs.Counter
+	burnGauge    *obs.GaugeVec
+	allocGauge   *obs.Gauge
+}
+
+func newSLOTracker(cfg SLOConfig, reg *obs.Registry) *sloTracker {
+	cfg.defaults()
+	timeline, err := obs.NewTimeSeries(obs.TimeSeriesConfig{
+		Capacity:      cfg.TimelineCapacity,
+		WindowBatches: cfg.WindowRequests,
+	})
+	if err != nil {
+		// Only reachable through invalid quantile config, which we never set.
+		panic(err)
+	}
+	t := &sloTracker{
+		cfg:      cfg,
+		timeline: timeline,
+		stages:   map[string]*stats.LatencyHist{},
+		fast:     newBurnRing(cfg.FastRequests),
+		slow:     newBurnRing(cfg.SlowRequests),
+		stageSeconds: reg.HistogramVec("ppm_serving_stage_duration_seconds",
+			"Serving hot-path stage latency by stage (request, decode, relay, shadow_enqueue, monitor_observe).",
+			latencyBuckets, "stage"),
+		overTotal: reg.Counter("ppm_serving_over_budget_total",
+			"Requests slower than the SLO latency budget."),
+		burnGauge: reg.GaugeVec("ppm_serving_burn_rate",
+			"Error-budget burn rate over the rolling request window (1.0 = consuming budget exactly at the SLO rate).", "window"),
+		allocGauge: reg.Gauge("ppm_serving_alloc_bytes_per_req",
+			"Heap bytes allocated per proxied request, sampled at SLO window close (process-wide TotalAlloc delta / request delta)."),
+	}
+	reg.GaugeFunc("ppm_serving_inflight",
+		"Proxied requests currently in flight.", func() float64 { return float64(t.inflight.Load()) })
+	t.burnGauge.Set(0, "fast")
+	t.burnGauge.Set(0, "slow")
+	return t
+}
+
+// hist returns (allocating if needed) the named stage histogram.
+// Callers hold t.mu.
+func (t *sloTracker) histLocked(stage string) *stats.LatencyHist {
+	h := t.stages[stage]
+	if h == nil {
+		h = stats.NewLatencyHist(t.cfg.ExemplarSlots)
+		t.stages[stage] = h
+	}
+	return h
+}
+
+// observeStage records one sub-request stage duration. Safe from any
+// goroutine (the shadow worker calls it for monitor_observe).
+func (t *sloTracker) observeStage(stage string, seconds float64, requestID string) {
+	t.stageSeconds.Observe(seconds, stage)
+	t.mu.Lock()
+	t.histLocked(stage).ObserveID(seconds, requestID)
+	t.mu.Unlock()
+}
+
+// observeRequest records one finished proxied request: the request
+// stage histogram, the burn-rate rings, and one committed batch on the
+// SLO timeline. Alert hooks fire on this goroutine once the tracker's
+// own lock is released.
+func (t *sloTracker) observeRequest(seconds float64, requestID string) {
+	t.stageSeconds.Observe(seconds, StageRequest)
+	over := seconds > t.cfg.Budget.Seconds()
+	errBudget := 1 - t.cfg.Target
+
+	t.mu.Lock()
+	t.histLocked(StageRequest).ObserveID(seconds, requestID)
+	t.total++
+	if over {
+		t.over++
+	}
+	t.fast.push(over)
+	t.slow.push(over)
+	burnFast := t.fast.fraction() / errBudget
+	burnSlow := t.slow.fraction() / errBudget
+	windowEdge := t.total%int64(t.cfg.WindowRequests) == 0
+	if windowEdge {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if dReq := t.total - t.lastTotalReqs; dReq > 0 && t.lastTotalAlloc > 0 {
+			t.allocPerReq = float64(ms.TotalAlloc-t.lastTotalAlloc) / float64(dReq)
+		}
+		t.lastTotalAlloc = ms.TotalAlloc
+		t.lastTotalReqs = t.total
+	}
+	allocPerReq := t.allocPerReq
+	t.mu.Unlock()
+
+	if over {
+		t.overTotal.Inc()
+	}
+	t.burnGauge.Set(burnFast, "fast")
+	t.burnGauge.Set(burnSlow, "slow")
+	if windowEdge {
+		t.allocGauge.Set(allocPerReq)
+	}
+
+	t.timeline.Record(SeriesServingLatency, seconds)
+	t.timeline.Record(SeriesServingOver, boolGauge(over))
+	t.timeline.Record(SeriesBurnFast, burnFast)
+	t.timeline.Record(SeriesBurnSlow, burnSlow)
+	t.timeline.Record(SeriesBurn, min(burnFast, burnSlow))
+	t.timeline.Commit()
+}
+
+// snapshot clones the per-stage histograms and scalar counters under
+// the lock.
+func (t *sloTracker) snapshot() (map[string]*stats.LatencyHist, int64, int64, float64, float64, float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hists := make(map[string]*stats.LatencyHist, len(t.stages))
+	for name, h := range t.stages {
+		hists[name] = h.Clone()
+	}
+	errBudget := 1 - t.cfg.Target
+	return hists, t.total, t.over, t.fast.fraction() / errBudget, t.slow.fraction() / errBudget, t.allocPerReq
+}
+
+// SLOStage is one stage's latency quantiles in the /slo document.
+type SLOStage struct {
+	Stage string  `json:"stage"`
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// SLODoc is the JSON document served at /slo.
+type SLODoc struct {
+	BudgetSeconds    float64          `json:"budget_seconds"`
+	Target           float64          `json:"target"`
+	Requests         int64            `json:"requests"`
+	OverBudget       int64            `json:"over_budget"`
+	BurnFast         float64          `json:"burn_fast"`
+	BurnSlow         float64          `json:"burn_slow"`
+	Inflight         int64            `json:"inflight"`
+	AllocBytesPerReq float64          `json:"alloc_bytes_per_req"`
+	Stages           []SLOStage       `json:"stages"`
+	Exemplars        []stats.Exemplar `json:"exemplars,omitempty"`
+}
+
+// stageDocs renders stage histograms as quantile rows in canonical
+// order (known stages first, any others alphabetically).
+func stageDocs(hists map[string]*stats.LatencyHist) []SLOStage {
+	seen := map[string]bool{}
+	names := make([]string, 0, len(hists))
+	for _, name := range sloStageOrder {
+		if hists[name] != nil {
+			names = append(names, name)
+			seen[name] = true
+		}
+	}
+	rest := make([]string, 0)
+	for name := range hists {
+		if !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	names = append(names, rest...)
+
+	out := make([]SLOStage, 0, len(names))
+	for _, name := range names {
+		h := hists[name]
+		out = append(out, SLOStage{
+			Stage: name,
+			Count: int64(h.Count()),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+			Max:   h.Max(),
+			Mean:  h.Mean(),
+		})
+	}
+	return out
+}
+
+// doc assembles the /slo document.
+func (t *sloTracker) doc(exemplars int) SLODoc {
+	hists, total, over, burnFast, burnSlow, allocPerReq := t.snapshot()
+	doc := SLODoc{
+		BudgetSeconds:    t.cfg.Budget.Seconds(),
+		Target:           t.cfg.Target,
+		Requests:         total,
+		OverBudget:       over,
+		BurnFast:         burnFast,
+		BurnSlow:         burnSlow,
+		Inflight:         t.inflight.Load(),
+		AllocBytesPerReq: allocPerReq,
+		Stages:           stageDocs(hists),
+	}
+	if h := hists[StageRequest]; h != nil {
+		doc.Exemplars = h.TopExemplars(exemplars)
+	}
+	return doc
+}
+
+// IncidentServing snapshots the SLO observatory in the incident
+// recorder's bundle shape (wire as incident.Config.Serving, or via
+// cli.IncidentOptions.Serving). A bundle captured by a firing
+// burn-rate rule then carries the stage quantiles and the slowest
+// request exemplars alongside the pprof profiles.
+func (g *Gateway) IncidentServing() *incident.ServingSLO {
+	doc := g.slo.doc(5)
+	out := &incident.ServingSLO{
+		BudgetSeconds: doc.BudgetSeconds,
+		Target:        doc.Target,
+		Requests:      doc.Requests,
+		OverBudget:    doc.OverBudget,
+		BurnFast:      doc.BurnFast,
+		BurnSlow:      doc.BurnSlow,
+		Exemplars:     doc.Exemplars,
+	}
+	for _, s := range doc.Stages {
+		out.Stages = append(out.Stages, incident.ServingStage{
+			Stage: s.Stage, Count: s.Count,
+			P50: s.P50, P99: s.P99, P999: s.P999, Max: s.Max,
+		})
+	}
+	return out
+}
+
+// BurnRateRules returns the multi-window burn-rate alert rules for the
+// SLO timeline: a critical page on serving_burn (= min(fast, slow) —
+// above threshold only when BOTH windows burn) and an early warning on
+// the fast window alone. threshold <= 0 defaults to 1.0 (budget
+// consumed exactly at the SLO rate).
+func BurnRateRules(threshold float64) []alert.Rule {
+	if threshold <= 0 {
+		threshold = 1.0
+	}
+	return []alert.Rule{
+		{
+			Name: "serving_burn_rate", Series: SeriesBurn,
+			Op: ">", Threshold: threshold, Reduce: "last",
+			ForWindows: 1, ClearWindows: 2, Severity: "critical",
+		},
+		{
+			Name: "serving_burn_fast", Series: SeriesBurnFast,
+			Op: ">", Threshold: threshold, Reduce: "last",
+			ForWindows: 1, ClearWindows: 2, Severity: "warning",
+		},
+	}
+}

@@ -1,0 +1,211 @@
+package gateway
+
+// The serving SLO acceptance scenario: latency over budget drives the
+// burn-rate series past threshold, the critical multi-window rule
+// fires exactly once, the firing edge captures an incident bundle that
+// embeds CPU+heap pprof profiles plus the SLO snapshot, and the
+// bundle's slowest-request exemplars carry X-Request-IDs resolvable
+// through the monitor's /history endpoint. Everything is deterministic:
+// windows are counted in requests, the budget is 1ns so every request
+// is over, and the rule breaches from the very first window.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blackboxval/internal/cloud"
+	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
+	"blackboxval/internal/obs/alert"
+	"blackboxval/internal/obs/incident"
+)
+
+func TestBurnRateAlertCapturesProfiledIncident(t *testing.T) {
+	f := getFixture(t)
+	mon, err := monitor.New(monitor.Config{Predictor: f.pred, Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, gwSrv := newGateway(t, Config{
+		Monitor: mon,
+		Logger:  log.New(io.Discard, "", 0),
+		SLO: SLOConfig{
+			Budget: time.Nanosecond, Target: 0.9,
+			WindowRequests: 4, FastRequests: 8, SlowRequests: 16,
+		},
+	}, cloud.NewServer(f.model).Handler())
+
+	// The incident recorder with alert-triggered profiling: a short CPU
+	// window keeps the test fast, the cooldown collapses the two rules'
+	// firing edges into one capture.
+	profiler := obs.NewProfiler(obs.ProfilerConfig{CPUDuration: 50 * time.Millisecond})
+	rec, err := incident.New(incident.Config{
+		Monitor:  mon,
+		Profiler: profiler,
+		Serving:  g.IncidentServing,
+		Registry: obs.NewRegistry(),
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &eventSink{}
+	engine, err := alert.New(alert.Config{
+		Rules:    BurnRateRules(1.0),
+		Notifier: alert.Notifiers(rec.AlertNotifier(), sink),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SLOTimeline().OnWindowClose(engine.Evaluate)
+
+	// 24 requests with pinned ids: 6 SLO windows of 4, all over the 1ns
+	// budget, so serving_burn = 1/(1−0.9) = 10 from the first window on.
+	body := encodeBatch(t, f.serving)
+	for i := 0; i < 24; i++ {
+		req, _ := http.NewRequest(http.MethodPost, gwSrv.URL+"/predict_proba", bytes.NewReader(body))
+		req.Header.Set(obs.RequestIDHeader, fmt.Sprintf("e2e-slo-%03d", i))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d status = %d", i, resp.StatusCode)
+		}
+	}
+	waitObserved(t, g, 24)
+
+	// The critical rule fired exactly once across six breaching windows —
+	// hysteresis, no flapping — at the very first window close.
+	events := sink.events()
+	firing := map[string]int{}
+	for _, ev := range events {
+		if ev.State == "firing" {
+			firing[ev.Rule]++
+		}
+	}
+	if firing["serving_burn_rate"] != 1 {
+		t.Fatalf("serving_burn_rate fired %d times (events %+v), want exactly 1",
+			firing["serving_burn_rate"], events)
+	}
+	if firing["serving_burn_fast"] != 1 {
+		t.Fatalf("serving_burn_fast fired %d times, want exactly 1", firing["serving_burn_fast"])
+	}
+	for _, ev := range events {
+		if ev.State == "firing" && ev.Rule == "serving_burn_rate" {
+			if ev.WindowIndex != 0 || ev.Value < 9.99 || ev.Value > 10.01 {
+				t.Fatalf("firing event = %+v, want window 0 at burn ~10", ev)
+			}
+		}
+	}
+
+	// Exactly one bundle: the cooldown collapsed the second rule's edge.
+	bundles := rec.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("bundles = %d, want exactly 1", len(bundles))
+	}
+	b := bundles[0]
+	if !strings.HasPrefix(b.Reason, "alert:serving_burn") {
+		t.Fatalf("bundle reason = %q, want an alert:serving_burn* trigger", b.Reason)
+	}
+
+	// The bundle embeds genuine pprof profiles...
+	if b.Profiles == nil {
+		t.Fatal("bundle has no profiles")
+	}
+	if len(b.Profiles.CPU) == 0 || len(b.Profiles.Heap) == 0 {
+		t.Fatalf("profiles: cpu %d bytes, heap %d bytes — want both non-empty",
+			len(b.Profiles.CPU), len(b.Profiles.Heap))
+	}
+	// ...(gzip magic: pprof protos are gzipped)...
+	for _, prof := range [][]byte{b.Profiles.CPU, b.Profiles.Heap} {
+		if len(prof) < 2 || prof[0] != 0x1f || prof[1] != 0x8b {
+			t.Fatalf("profile does not look like a gzipped pprof proto: % x", prof[:2])
+		}
+	}
+
+	// ...and the SLO snapshot with exemplar request ids.
+	if b.Serving == nil {
+		t.Fatal("bundle has no serving SLO snapshot")
+	}
+	if b.Serving.OverBudget == 0 || b.Serving.BurnFast < 1 {
+		t.Fatalf("serving snapshot = %+v, want over-budget burn state", b.Serving)
+	}
+	if len(b.Serving.Exemplars) == 0 {
+		t.Fatal("serving snapshot has no exemplars")
+	}
+
+	// Every exemplar X-Request-ID resolves through the monitor's
+	// /history endpoint (mounted under the gateway at /monitor/history).
+	histResp, err := http.Get(gwSrv.URL + "/monitor/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer histResp.Body.Close()
+	var history []monitor.Record
+	if err := json.NewDecoder(histResp.Body).Decode(&history); err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, rec := range history {
+		known[rec.RequestID] = true
+	}
+	for _, ex := range b.Serving.Exemplars {
+		if ex.RequestID == "" {
+			t.Fatalf("exemplar without request id: %+v", ex)
+		}
+		if !known[ex.RequestID] {
+			t.Fatalf("exemplar id %q not resolvable in /history (known: %v)", ex.RequestID, known)
+		}
+	}
+
+	// The markdown report surfaces the profile and exemplar sections for
+	// ppm-diagnose.
+	md := b.Markdown()
+	for _, want := range []string{"## Profiles", "## Serving SLO", b.Serving.Exemplars[0].RequestID} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("bundle markdown missing %q:\n%s", want, md)
+		}
+	}
+
+	// A second immediate capture attempt is refused by the profiler
+	// cooldown but still yields a bundle (profiles are best-effort).
+	b2, err := rec.Capture("manual-after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Profiles != nil {
+		t.Fatal("second capture inside the profiler cooldown still embedded profiles")
+	}
+}
+
+// eventSink collects alert events in order.
+type eventSink struct {
+	mu  sync.Mutex
+	evs []alert.Event
+}
+
+func (s *eventSink) Notify(ev alert.Event) {
+	s.mu.Lock()
+	s.evs = append(s.evs, ev)
+	s.mu.Unlock()
+}
+
+func (s *eventSink) events() []alert.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]alert.Event(nil), s.evs...)
+}

@@ -1,0 +1,238 @@
+package gateway
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"blackboxval/internal/obs"
+)
+
+func TestBurnRing(t *testing.T) {
+	r := newBurnRing(4)
+	if r.fraction() != 0 {
+		t.Fatal("empty ring should burn 0")
+	}
+	r.push(true)
+	r.push(false)
+	if got := r.fraction(); got != 0.5 {
+		t.Fatalf("fraction = %v, want 0.5", got)
+	}
+	r.push(true)
+	r.push(true)
+	if got := r.fraction(); got != 0.75 {
+		t.Fatalf("fraction = %v, want 0.75", got)
+	}
+	// Eviction: four under-budget requests flush the window completely.
+	for i := 0; i < 4; i++ {
+		r.push(false)
+	}
+	if got := r.fraction(); got != 0 {
+		t.Fatalf("fraction after flush = %v, want 0", got)
+	}
+}
+
+// TestSLOTrackerBurnMath drives the tracker directly: with a 1ns budget
+// every request is over, so both windows saturate at burn =
+// 1/(1−target); an in-budget stream then decays the fast window first
+// (it is shorter), exactly the asymmetry the multi-window rule exploits.
+func TestSLOTrackerBurnMath(t *testing.T) {
+	tr := newSLOTracker(SLOConfig{
+		Budget: time.Nanosecond, Target: 0.9,
+		WindowRequests: 4, FastRequests: 4, SlowRequests: 16,
+	}, obs.NewRegistry())
+
+	for i := 0; i < 16; i++ {
+		tr.observeRequest(0.010, "slow-req")
+	}
+	doc := tr.doc(3)
+	if doc.Requests != 16 || doc.OverBudget != 16 {
+		t.Fatalf("requests=%d over=%d, want 16/16", doc.Requests, doc.OverBudget)
+	}
+	wantBurn := 1 / (1 - 0.9) // 100% over / 10% budget
+	if math.Abs(doc.BurnFast-wantBurn) > 1e-12 || math.Abs(doc.BurnSlow-wantBurn) > 1e-12 {
+		t.Fatalf("burn fast=%v slow=%v, want %v", doc.BurnFast, doc.BurnSlow, wantBurn)
+	}
+	if len(doc.Exemplars) == 0 || doc.Exemplars[0].RequestID != "slow-req" {
+		t.Fatalf("exemplars = %+v, want the slow request id", doc.Exemplars)
+	}
+
+	// Four fast requests clear the fast window; the slow window still
+	// remembers 12/16 over-budget requests.
+	for i := 0; i < 4; i++ {
+		tr.observeRequest(0, "fast-req")
+	}
+	doc = tr.doc(0)
+	if doc.BurnFast != 0 {
+		t.Fatalf("fast burn = %v, want 0 after recovery", doc.BurnFast)
+	}
+	if math.Abs(doc.BurnSlow-0.75*wantBurn) > 1e-12 {
+		t.Fatalf("slow burn = %v, want %v", doc.BurnSlow, 0.75*wantBurn)
+	}
+
+	// The timeline recorded one window per WindowRequests commits, with
+	// serving_burn = min(fast, slow) as a first-class series.
+	windows := tr.timeline.Windows()
+	if len(windows) != 5 {
+		t.Fatalf("timeline windows = %d, want 5", len(windows))
+	}
+	last := windows[len(windows)-1]
+	burn, err := last.Series[SeriesBurn].Reduce("last")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burn != 0 { // min(fast=0, slow>0) = 0: the page condition needs BOTH
+		t.Fatalf("serving_burn = %v, want 0 (fast window recovered)", burn)
+	}
+	for _, series := range []string{SeriesServingLatency, SeriesServingOver, SeriesBurnFast, SeriesBurnSlow} {
+		if _, ok := last.Series[series]; !ok {
+			t.Fatalf("series %q missing from SLO window", series)
+		}
+	}
+}
+
+func TestBurnRateRulesValidate(t *testing.T) {
+	rules := BurnRateRules(0)
+	if len(rules) != 2 || rules[0].Threshold != 1 {
+		t.Fatalf("default rules = %+v", rules)
+	}
+	if rules[0].Series != SeriesBurn || rules[1].Series != SeriesBurnFast {
+		t.Fatalf("rule series = %q/%q", rules[0].Series, rules[1].Series)
+	}
+}
+
+// TestServingSLOExpositionConformance pins the satellite contract: the
+// gateway /metrics response carries the canonical content type AND
+// Cache-Control: no-store, the exposition passes obs.Lint, and the new
+// ppm_serving_* families are present alongside the nine legacy ones.
+func TestServingSLOExpositionConformance(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"proba":[[0.5,0.5]],"classes":[0,1]}`))
+	}))
+	defer backend.Close()
+	g, err := New(Config{Backend: backend.URL, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/predict_proba", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	if got := mResp.Header.Get("Content-Type"); got != obs.ContentType {
+		t.Fatalf("/metrics content type = %q, want %q", got, obs.ContentType)
+	}
+	if got := mResp.Header.Get("Cache-Control"); got != "no-store" {
+		t.Fatalf("/metrics Cache-Control = %q, want no-store", got)
+	}
+	body, err := io.ReadAll(mResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := obs.Lint(string(body)); len(errs) > 0 {
+		t.Fatalf("gateway exposition not conformant: %v", errs)
+	}
+	for _, fam := range []string{
+		"ppm_serving_stage_duration_seconds", "ppm_serving_inflight",
+		"ppm_serving_alloc_bytes_per_req", "ppm_serving_over_budget_total",
+		"ppm_serving_burn_rate",
+	} {
+		if !strings.Contains(string(body), "# TYPE "+fam+" ") {
+			t.Fatalf("family %q missing from exposition", fam)
+		}
+	}
+	if !strings.Contains(string(body), `ppm_serving_stage_duration_seconds_count{stage="request"} 1`) {
+		t.Fatalf("request stage not observed:\n%s", body)
+	}
+}
+
+// TestSLOEndpointDoc pins the /slo surface: headers (Content-Type +
+// no-store), the method guard, and a document whose per-stage
+// histograms carry the exemplar X-Request-ID of the slow request.
+func TestSLOEndpointDoc(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"proba":[[0.9,0.1]],"classes":[0,1]}`))
+	}))
+	defer backend.Close()
+	g, err := New(Config{Backend: backend.URL, Logger: log.New(io.Discard, "", 0),
+		SLO: SLOConfig{Budget: time.Nanosecond, WindowRequests: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/predict_proba", strings.NewReader(`{}`))
+	req.Header.Set(obs.RequestIDHeader, "slo-test-001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	sloResp, err := http.Get(srv.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sloResp.Body.Close()
+	if got := sloResp.Header.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("/slo content type = %q", got)
+	}
+	if got := sloResp.Header.Get("Cache-Control"); got != "no-store" {
+		t.Fatalf("/slo Cache-Control = %q, want no-store", got)
+	}
+	var doc SLODoc
+	if err := json.NewDecoder(sloResp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Requests != 1 || doc.OverBudget != 1 {
+		t.Fatalf("doc = %+v, want 1 request over a 1ns budget", doc)
+	}
+	stages := map[string]bool{}
+	for _, s := range doc.Stages {
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{StageRequest, StageDecode, StageRelay} {
+		if !stages[want] {
+			t.Fatalf("stage %q missing from doc: %+v", want, doc.Stages)
+		}
+	}
+	if doc.Stages[0].Stage != StageRequest {
+		t.Fatalf("stage order: first is %q, want request", doc.Stages[0].Stage)
+	}
+	if len(doc.Exemplars) != 1 || doc.Exemplars[0].RequestID != "slo-test-001" {
+		t.Fatalf("exemplars = %+v, want slo-test-001", doc.Exemplars)
+	}
+
+	postResp, err := http.Post(srv.URL+"/slo", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /slo = %d, want 405", postResp.StatusCode)
+	}
+}

@@ -92,6 +92,15 @@ const dashboardHTML = `<!doctype html>
   <thead><tr><th>window</th><th>batches</th><th>estimate</th><th>labeled acc [95% CI]</th><th>ks_max</th><th>alarm</th></tr></thead>
   <tbody id="rows"></tbody>
 </table>
+<div id="slo" style="display:none">
+<h2 style="font-size:1rem">Serving latency</h2>
+<div class="meta" id="slometa"></div>
+<table>
+  <thead><tr><th>stage</th><th>count</th><th>p50</th><th>p99</th><th>p999</th><th>max</th></tr></thead>
+  <tbody id="slorows"></tbody>
+</table>
+<div class="meta" id="sloex"></div>
+</div>
 <script>
 "use strict";
 function line(points, color) {
@@ -155,10 +164,33 @@ function render(doc) {
   });
   document.getElementById("rows").innerHTML = rows.join("");
 }
+function ms(v) { return (v * 1000).toFixed(2) + "ms"; }
+// The serving SLO panel reads the gateway's root /slo (absolute: this
+// dashboard is usually mounted under /monitor/). A standalone monitor
+// has no /slo — the panel stays hidden there.
+function renderSLO(doc) {
+  var box = document.getElementById("slo");
+  if (!doc) { box.style.display = "none"; return; }
+  box.style.display = "";
+  document.getElementById("slometa").textContent =
+    doc.requests + " requests · " + doc.over_budget + " over a " + ms(doc.budget_seconds) +
+    " budget · burn fast " + doc.burn_fast.toFixed(2) + " / slow " + doc.burn_slow.toFixed(2);
+  document.getElementById("slorows").innerHTML = (doc.stages || []).map(function (s) {
+    return "<tr><td>" + s.stage + "</td><td>" + s.count + "</td><td>" +
+      ms(s.p50) + "</td><td>" + ms(s.p99) + "</td><td>" + ms(s.p999) + "</td><td>" + ms(s.max) + "</td></tr>";
+  }).join("");
+  document.getElementById("sloex").textContent = (doc.exemplars || []).length
+    ? "slowest: " + doc.exemplars.map(function (e) { return e.id + " (" + ms(e.v) + ")"; }).join(", ")
+    : "";
+}
 function poll() {
-  fetch("timeline").then(function (r) { return r.json(); }).then(function (doc) {
-    render(doc);
-    if (doc.refresh_ms > 0) setTimeout(poll, doc.refresh_ms);
+  Promise.all([
+    fetch("timeline").then(function (r) { return r.json(); }),
+    fetch("/slo").then(function (r) { return r.ok ? r.json() : null; }).catch(function () { return null; })
+  ]).then(function (res) {
+    render(res[0]);
+    renderSLO(res[1]);
+    if (res[0].refresh_ms > 0) setTimeout(poll, res[0].refresh_ms);
   }).catch(function () { setTimeout(poll, 5000); });
 }
 poll();

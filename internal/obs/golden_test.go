@@ -57,6 +57,25 @@ func goldenRegistry() *Registry {
 	reg.Counter("ppm_federate_reference_mismatch_total",
 		"Scrapes that found a replica with reference distributions diverging from the fleet's.")
 
+	// The serving SLO families the gateway exports (gateway/slo.go),
+	// frozen here so their exposition shape cannot drift either.
+	reg.GaugeFunc("ppm_serving_inflight",
+		"Proxied requests currently in flight.", func() float64 { return 2 })
+	reg.Gauge("ppm_serving_alloc_bytes_per_req",
+		"Heap bytes allocated per proxied request, sampled at SLO window close (process-wide TotalAlloc delta / request delta).").Set(18432)
+	reg.Counter("ppm_serving_over_budget_total",
+		"Requests slower than the SLO latency budget.").Add(4)
+	bg := reg.GaugeVec("ppm_serving_burn_rate",
+		"Error-budget burn rate over the rolling request window (1.0 = consuming budget exactly at the SLO rate).", "window")
+	bg.Set(1.5625, "fast")
+	bg.Set(0.78125, "slow")
+	sv := reg.HistogramVec("ppm_serving_stage_duration_seconds",
+		"Serving hot-path stage latency by stage (request, decode, relay, shadow_enqueue, monitor_observe).",
+		[]float64{0.001, 0.01, 0.1}, "stage")
+	sv.Observe(0.0004, "decode")
+	sv.Observe(0.02, "relay")
+	sv.Observe(0.025, "request")
+
 	h := reg.Histogram("ppm_window_close_seconds", "Window close latency.", []float64{0.001, 0.01, 0.1})
 	for _, v := range []float64{0.0005, 0.004, 0.02, 0.5} {
 		h.Observe(v)

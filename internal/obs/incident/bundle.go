@@ -18,6 +18,7 @@ import (
 	"blackboxval/internal/labels"
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
+	"blackboxval/internal/stats"
 )
 
 // WindowSpan brackets a range of drift-timeline window indices.
@@ -89,9 +90,39 @@ type Bundle struct {
 	Timeline     []obs.Window   `json:"timeline,omitempty"`
 	WorstBatches []BatchRef     `json:"worst_batches,omitempty"`
 	Spans        []obs.SpanJSON `json:"spans,omitempty"`
+	// Serving is the serving SLO snapshot at capture time: per-stage
+	// latency quantiles plus the slowest request exemplars, whose
+	// X-Request-IDs resolve in /history and the gateway log.
+	Serving *ServingSLO `json:"serving,omitempty"`
+	// Profiles is the alert-triggered CPU+heap pprof pair (base64 pprof
+	// protos in the JSON; extract with ppm-diagnose -extract-profiles).
+	Profiles *obs.Profiles `json:"profiles,omitempty"`
 	// Metrics is a Prometheus text exposition snapshot of the process
 	// registry at capture time.
 	Metrics string `json:"metrics,omitempty"`
+}
+
+// ServingStage is one stage's latency summary inside a bundle.
+type ServingStage struct {
+	Stage string  `json:"stage"`
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+}
+
+// ServingSLO is the serving SLO observatory's snapshot embedded in a
+// bundle. The gateway fills it from its /slo tracker (Config.Serving).
+type ServingSLO struct {
+	BudgetSeconds float64          `json:"budget_seconds"`
+	Target        float64          `json:"target"`
+	Requests      int64            `json:"requests"`
+	OverBudget    int64            `json:"over_budget"`
+	BurnFast      float64          `json:"burn_fast"`
+	BurnSlow      float64          `json:"burn_slow"`
+	Stages        []ServingStage   `json:"stages,omitempty"`
+	Exemplars     []stats.Exemplar `json:"exemplars,omitempty"`
 }
 
 // TopColumn names the highest-ranked attributed column ("" when the
@@ -207,6 +238,29 @@ func (b *Bundle) Markdown() string {
 		}
 	}
 
+	if s := b.Serving; s != nil {
+		w.WriteString("\n## Serving SLO\n\n")
+		fmt.Fprintf(&w, "- budget %.1fms at target %.2f%%: %d of %d requests over budget (burn fast %.2f, slow %.2f)\n",
+			s.BudgetSeconds*1000, s.Target*100, s.OverBudget, s.Requests, s.BurnFast, s.BurnSlow)
+		if len(s.Stages) > 0 {
+			w.WriteString("\n| stage | count | p50 | p99 | p999 | max |\n")
+			w.WriteString("|-------|------:|----:|----:|-----:|----:|\n")
+			for _, st := range s.Stages {
+				fmt.Fprintf(&w, "| %s | %d | %.2fms | %.2fms | %.2fms | %.2fms |\n",
+					st.Stage, st.Count, st.P50*1000, st.P99*1000, st.P999*1000, st.Max*1000)
+			}
+		}
+		if len(s.Exemplars) > 0 {
+			w.WriteString("\nSlowest requests (X-Request-ID → /history):\n\n")
+			for _, ex := range s.Exemplars {
+				fmt.Fprintf(&w, "- %s: %.2fms\n", ex.RequestID, ex.Value*1000)
+			}
+		}
+	}
+	if p := b.Profiles; p != nil {
+		fmt.Fprintf(&w, "\n## Profiles\n\nCPU profile: %d bytes over %.0fms; heap profile: %d bytes. Extract from the bundle JSON and read with `go tool pprof`.\n",
+			len(p.CPU), p.CPUSeconds*1000, len(p.Heap))
+	}
 	if len(b.Spans) > 0 {
 		fmt.Fprintf(&w, "\n## Spans\n\n%d recent trace(s) embedded; see the bundle JSON for the trees.\n", len(b.Spans))
 	}

@@ -85,6 +85,15 @@ type Config struct {
 	// so a flapping rule cannot storm the retention ring (default 30s;
 	// manual triggers ignore it).
 	Cooldown time.Duration
+	// Profiler, when set, captures a bounded CPU+heap pprof pair into
+	// every bundle (subject to the profiler's own cooldown; a refused
+	// capture is logged, never fatal). Wire the gateway's profiler here
+	// so a firing burn-rate rule freezes what the process was doing.
+	Profiler *obs.Profiler
+	// Serving, when set, snapshots the serving SLO observatory (per-
+	// stage latency quantiles + slowest request exemplars) into every
+	// bundle. The gateway supplies this from its /slo tracker.
+	Serving func() *ServingSLO
 	// Registry is snapshotted into bundles and receives the recorder's
 	// own families via RegisterMetrics (nil = obs.Default()).
 	Registry *obs.Registry
@@ -327,6 +336,19 @@ func (r *Recorder) capture(reason string, ev *alert.Event) (*Bundle, error) {
 	}
 	if r.cfg.RefOutputs != nil && r.cfg.RefOutputs.Rows > 0 && len(servingCounts) > 0 {
 		b.ClassShift = classShift(r.cfg.RefOutputs, servingCounts, r.cfg.Classes)
+	}
+	if r.cfg.Serving != nil {
+		b.Serving = r.cfg.Serving()
+	}
+	if r.cfg.Profiler != nil {
+		profiles, err := r.cfg.Profiler.Capture()
+		if err != nil {
+			// Cooldown or a concurrent pprof session: the bundle is still
+			// valuable without profiles.
+			r.cfg.Logger.Info("incident profile capture skipped", "err", err)
+		} else {
+			b.Profiles = profiles
+		}
 	}
 	var metrics strings.Builder
 	if _, err := r.cfg.Registry.WriteTo(&metrics); err == nil {

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilerCaptureAndCooldown(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{CPUDuration: 20 * time.Millisecond, Cooldown: time.Hour})
+	prof, err := p.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.CPU) == 0 || len(prof.Heap) == 0 {
+		t.Fatalf("capture: cpu %d bytes, heap %d bytes — want both non-empty", len(prof.CPU), len(prof.Heap))
+	}
+	for _, raw := range [][]byte{prof.CPU, prof.Heap} {
+		if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+			t.Fatalf("profile is not a gzipped pprof proto: % x", raw[:2])
+		}
+	}
+	if prof.CPUSeconds != 0.02 {
+		t.Fatalf("CPUSeconds = %v, want 0.02", prof.CPUSeconds)
+	}
+
+	if _, err := p.Capture(); err == nil || !strings.Contains(err.Error(), "cooldown") {
+		t.Fatalf("second capture error = %v, want cooldown refusal", err)
+	}
+
+	// Advancing past the cooldown re-enables capture.
+	p.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	if _, err := p.Capture(); err != nil {
+		t.Fatalf("capture after cooldown: %v", err)
+	}
+}

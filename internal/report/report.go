@@ -40,6 +40,8 @@ func Markdown(result any) (string, error) {
 		return pipeline(r), nil
 	case *experiments.TimelineResult:
 		return timeline(r), nil
+	case *experiments.ServingResult:
+		return serving(r), nil
 	default:
 		return "", fmt.Errorf("report: no markdown renderer for %T", result)
 	}
@@ -202,6 +204,21 @@ func pipeline(r *experiments.PipelineResult) string {
 		r.Scale, r.Dataset, r.Model, r.Workers,
 		table([]string{"stage", "seconds", "share"}, rows),
 		r.TotalSeconds, r.RowsScored, r.RowsPerSec)
+}
+
+func serving(r *experiments.ServingResult) string {
+	var rows [][]string
+	for _, s := range r.Stages {
+		rows = append(rows, []string{
+			s.Stage, fmt.Sprintf("%d", s.Count),
+			f3(s.P50Ms), f3(s.P99Ms), f3(s.P999Ms), f3(s.MaxMs),
+		})
+	}
+	return fmt.Sprintf("### Serving SLO benchmark (scale=%s, %s/%s, %d batches x %d rows)\n\n%s\nThroughput %.0f req/sec (%.0f rows/sec); %d allocs/op, %d B/op client-visible, %.0f server alloc bytes/req; budget %.0fms target %.2f, %d over budget.\n",
+		r.Scale, r.Dataset, r.Model, r.Batches, r.RowsPerBatch,
+		table([]string{"stage", "count", "p50 ms", "p99 ms", "p999 ms", "max ms"}, rows),
+		r.RequestsPerSec, r.RowsPerSec, r.AllocsPerOp, r.BytesPerOp, r.ServerAllocBytesPerReq,
+		r.BudgetSeconds*1e3, r.Target, r.OverBudget)
 }
 
 func timeline(r *experiments.TimelineResult) string {

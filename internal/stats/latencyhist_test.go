@@ -1,0 +1,381 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// histJSON returns the canonical JSON form, failing the test on error.
+func histJSON(t testing.TB, h *LatencyHist) []byte {
+	t.Helper()
+	buf, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// latencyStream builds a deterministic latency-shaped stream (lognormal
+// around ~5ms with a heavy tail) plus request IDs.
+func latencyStream(n int, seed int64) ([]float64, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]float64, n)
+	ids := make([]string, n)
+	for i := range vs {
+		vs[i] = math.Exp(rng.NormFloat64()*1.2 - 5.3)
+		if rng.Intn(50) == 0 {
+			vs[i] *= 100 // tail outliers exercise the p999 buckets
+		}
+		ids[i] = fmt.Sprintf("req-%06d", i)
+	}
+	return vs, ids
+}
+
+func TestLatencyHistQuantileAccuracy(t *testing.T) {
+	const n = 5000
+	vs, _ := latencyStream(n, 42)
+	h := NewLatencyHist(0)
+	xs := make([]float64, n)
+	for i, v := range vs {
+		h.Observe(v)
+		xs[i] = v
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		rank := int(math.Round(q * float64(n-1)))
+		exact := xs[rank]
+		got := h.Quantile(q)
+		tol := math.Abs(exact)*1.5/kllResolution + 1e-12
+		if math.Abs(got-exact) > tol {
+			t.Errorf("q=%v: hist %v, exact %v (tol %v)", q, got, exact, tol)
+		}
+	}
+	if h.Quantile(0) != xs[0] || h.Quantile(1) != xs[n-1] {
+		t.Error("extremes not exact")
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	if math.Abs(h.Mean()-sum/n) > 1e-12*math.Abs(sum/n) {
+		t.Errorf("mean = %v, want %v", h.Mean(), sum/n)
+	}
+}
+
+// TestLatencyHistMergeBitEqualUnion is the determinism suite the ISSUE
+// names: across workers {1,2,8} × shards {1,3,5}, merged shard
+// histograms (counts, exact sums AND exemplars) must serialize to
+// canonical JSON bit-equal to a single histogram fed the union stream.
+// Workers feed shards concurrently to prove arrival order inside a
+// shard is irrelevant; the value→shard partition itself is fixed so
+// every run observes the same multisets.
+func TestLatencyHistMergeBitEqualUnion(t *testing.T) {
+	const n = 2000
+	vs, ids := latencyStream(n, 7)
+	union := NewLatencyHist(0)
+	for i, v := range vs {
+		union.ObserveID(v, ids[i])
+	}
+	want := histJSON(t, union)
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, shards := range []int{1, 3, 5} {
+			parts := make([]*LatencyHist, shards)
+			locks := make([]sync.Mutex, shards)
+			for i := range parts {
+				parts[i] = NewLatencyHist(0)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < n; i += workers {
+						s := i % shards
+						locks[s].Lock()
+						parts[s].ObserveID(vs[i], ids[i])
+						locks[s].Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			merged := NewLatencyHist(0)
+			for _, p := range parts {
+				if err := merged.Merge(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(histJSON(t, merged), want) {
+				t.Fatalf("workers=%d shards=%d: merged hist != union hist", workers, shards)
+			}
+			// Reversed merge order (commutativity).
+			rev := NewLatencyHist(0)
+			for i := shards - 1; i >= 0; i-- {
+				if err := rev.Merge(parts[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(histJSON(t, rev), want) {
+				t.Fatalf("workers=%d shards=%d: reversed merge differs", workers, shards)
+			}
+			// Tree merge (associativity).
+			if shards >= 3 {
+				left := NewLatencyHist(0)
+				left.Merge(parts[0])
+				left.Merge(parts[1])
+				right := NewLatencyHist(0)
+				for _, p := range parts[2:] {
+					right.Merge(p)
+				}
+				tree := NewLatencyHist(0)
+				tree.Merge(left)
+				tree.Merge(right)
+				if !bytes.Equal(histJSON(t, tree), want) {
+					t.Fatalf("workers=%d shards=%d: tree merge differs", workers, shards)
+				}
+			}
+			// Fleet p99/p999 bit-equal to the union stream.
+			for _, q := range []float64{0.5, 0.99, 0.999} {
+				if math.Float64bits(merged.Quantile(q)) != math.Float64bits(union.Quantile(q)) {
+					t.Fatalf("workers=%d shards=%d: q=%v diverged", workers, shards, q)
+				}
+			}
+		}
+	}
+}
+
+// TestLatencyHistExemplarBounds drives adversarial streams at the
+// exemplar slots: equal values with many distinct IDs (pure tie-break
+// pressure), ascending values into one bucket, duplicate IDs, and
+// empty IDs. Every bucket must stay within its slot bound and keep
+// canonical order.
+func TestLatencyHistExemplarBounds(t *testing.T) {
+	checkBounds := func(t *testing.T, h *LatencyHist) {
+		t.Helper()
+		var form latencyHistJSON
+		if err := json.Unmarshal(histJSON(t, h), &form); err != nil {
+			t.Fatal(err)
+		}
+		cells := form.Buckets
+		if form.Zero != nil {
+			cells = append(cells, *form.Zero)
+		}
+		for _, c := range cells {
+			if len(c.Ex) > h.Slots() {
+				t.Fatalf("bucket %d holds %d exemplars, slots %d", c.Idx, len(c.Ex), h.Slots())
+			}
+			for i := 1; i < len(c.Ex); i++ {
+				if exemplarLess(c.Ex[i], c.Ex[i-1]) {
+					t.Fatalf("bucket %d exemplars out of canonical order", c.Idx)
+				}
+			}
+		}
+	}
+
+	t.Run("equal values many ids", func(t *testing.T) {
+		h := NewLatencyHist(3)
+		for i := 0; i < 1000; i++ {
+			h.ObserveID(0.25, fmt.Sprintf("id-%03d", 999-i))
+		}
+		checkBounds(t, h)
+		top := h.TopExemplars(3)
+		if len(top) != 3 || top[0].RequestID != "id-000" {
+			t.Fatalf("tie-break should keep lowest IDs, got %+v", top)
+		}
+	})
+	t.Run("one hot bucket", func(t *testing.T) {
+		h := NewLatencyHist(4)
+		for i := 0; i < 500; i++ {
+			// All land in the same dyadic bucket: [0.5, 0.5+1/(2*res)).
+			h.ObserveID(0.5+float64(i)*1e-9, fmt.Sprintf("r%d", i))
+		}
+		checkBounds(t, h)
+		top := h.TopExemplars(4)
+		if len(top) != 4 || top[0].Value < top[3].Value {
+			t.Fatalf("top exemplars not slowest-first: %+v", top)
+		}
+	})
+	t.Run("duplicate ids and empties", func(t *testing.T) {
+		h := NewLatencyHist(2)
+		for i := 0; i < 300; i++ {
+			h.ObserveID(float64(i%7)*0.001, "dup")
+			h.Observe(float64(i%7) * 0.001)
+		}
+		checkBounds(t, h)
+		if h.Count() != 600 {
+			t.Fatalf("count = %d, want 600", h.Count())
+		}
+	})
+	t.Run("zero and negative", func(t *testing.T) {
+		h := NewLatencyHist(2)
+		for i := 0; i < 50; i++ {
+			h.ObserveID(0, fmt.Sprintf("z%d", i))
+			h.ObserveID(-1, fmt.Sprintf("n%d", i)) // clock weirdness clamps to 0
+		}
+		checkBounds(t, h)
+		if h.Min() != 0 || h.Max() != 0 || h.Count() != 100 {
+			t.Fatalf("min=%v max=%v count=%d", h.Min(), h.Max(), h.Count())
+		}
+	})
+}
+
+func TestLatencyHistMergeRules(t *testing.T) {
+	a, b := NewLatencyHist(4), NewLatencyHist(8)
+	a.Observe(1)
+	b.Observe(2)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging different exemplar bounds must fail")
+	}
+	c := NewLatencyHist(4)
+	c.ObserveID(3, "x")
+	before := histJSON(t, c)
+	if err := a.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(histJSON(t, c), before) {
+		t.Fatal("Merge mutated its operand")
+	}
+	clone := a.Clone()
+	clone.Observe(9)
+	if clone.Count() == a.Count() {
+		t.Fatal("Clone shares state with the original")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyHistSpecialInputs(t *testing.T) {
+	h := NewLatencyHist(0)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Copysign(0, -1))
+	if h.Count() != 2 || h.NaNs() != 1 {
+		t.Fatalf("count=%d nans=%d, want 2 and 1", h.Count(), h.NaNs())
+	}
+	if h.Max() != math.MaxFloat64 {
+		t.Fatalf("+Inf not clamped: %v", h.Max())
+	}
+	if math.Signbit(h.Min()) {
+		t.Fatal("-0 not normalized")
+	}
+	var zero LatencyHist // zero value usable
+	zero.ObserveID(0.01, "a")
+	if zero.Count() != 1 || zero.Slots() != DefaultExemplarSlots {
+		t.Fatalf("zero value: count=%d slots=%d", zero.Count(), zero.Slots())
+	}
+}
+
+func TestLatencyHistJSONRoundTrip(t *testing.T) {
+	vs, ids := latencyStream(700, 3)
+	h := NewLatencyHist(2)
+	for i, v := range vs {
+		h.ObserveID(v, ids[i])
+	}
+	h.Observe(math.NaN())
+	js := histJSON(t, h)
+	if !bytes.Equal(js, histJSON(t, h)) {
+		t.Fatal("JSON encoding not deterministic")
+	}
+	var back LatencyHist
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(histJSON(t, &back), js) {
+		t.Fatal("round trip not bit-equal")
+	}
+	if math.Float64bits(back.Sum()) != math.Float64bits(h.Sum()) {
+		t.Fatal("exact sum diverged through JSON")
+	}
+}
+
+func TestLatencyHistJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"future version":    `{"v":9,"slots":4,"count":0,"min":0,"max":0}`,
+		"bad slots":         `{"v":1,"slots":0,"count":0,"min":0,"max":0}`,
+		"count mismatch":    `{"v":1,"slots":4,"count":5,"min":0,"max":1,"buckets":[{"i":0,"n":1}]}`,
+		"unsorted buckets":  `{"v":1,"slots":4,"count":2,"min":0,"max":1,"buckets":[{"i":5,"n":1},{"i":3,"n":1}]}`,
+		"excess exemplars":  `{"v":1,"slots":1,"count":3,"min":0.5,"max":0.5,"buckets":[{"i":128,"n":3,"ex":[{"v":0.5,"id":"a"},{"v":0.5,"id":"b"}]}]}`,
+		"exemplar mismatch": `{"v":1,"slots":4,"count":1,"min":0.5,"max":0.5,"buckets":[{"i":128,"n":1,"ex":[{"v":99,"id":"a"}]}]}`,
+		"unordered ex":      `{"v":1,"slots":4,"count":2,"min":0.5,"max":0.6,"buckets":[{"i":128,"n":2,"ex":[{"v":0.5,"id":"a"},{"v":0.6,"id":"b"}]}]}`,
+		"negative count":    `{"v":1,"slots":4,"count":-1,"min":0,"max":0,"buckets":[{"i":1,"n":-1}]}`,
+	}
+	for name, js := range cases {
+		var h LatencyHist
+		if err := json.Unmarshal([]byte(js), &h); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// FuzzLatencyHistMerge is the satellite fuzz target wired into `make
+// fuzz`: arbitrary bytes become latency observations and request IDs,
+// split across a fuzzer-chosen shard count; the merged histogram —
+// counts, exact sum, exemplars — must be bit-equal (canonical JSON) to
+// the union-stream histogram, and the canonical form must round-trip.
+func FuzzLatencyHistMerge(f *testing.F) {
+	seed := make([]byte, 0, 64)
+	for _, v := range []float64{0, 1e-6, 0.004, 0.25, 1, 17.5, math.Inf(1), math.NaN()} {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		seed = append(seed, b[:]...)
+	}
+	f.Add(seed, uint8(3), uint8(2))
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, shardByte, slotByte uint8) {
+		shards := 1 + int(shardByte%5)
+		slots := 1 + int(slotByte%4)
+		union := NewLatencyHist(slots)
+		parts := make([]*LatencyHist, shards)
+		for i := range parts {
+			parts[i] = NewLatencyHist(slots)
+		}
+		n := 0
+		for i := 0; i+8 <= len(data) && n < 4096; i += 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[i : i+8]))
+			// Low bits double as the request ID so ties collide often.
+			id := fmt.Sprintf("r%d", data[i]%16)
+			if data[i]%5 == 0 {
+				id = ""
+			}
+			union.ObserveID(v, id)
+			parts[n%shards].ObserveID(v, id)
+			n++
+		}
+		merged := NewLatencyHist(slots)
+		for _, p := range parts {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := histJSON(t, union)
+		if !bytes.Equal(histJSON(t, merged), want) {
+			t.Fatal("merged hist not bit-equal to union-stream hist")
+		}
+		var back LatencyHist
+		if err := json.Unmarshal(want, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(histJSON(t, &back), want) {
+			t.Fatal("JSON round trip not canonical")
+		}
+		if union.Count() > 0 {
+			prev := math.Inf(-1)
+			for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+				v := union.Quantile(q)
+				if v < union.Min() || v > union.Max() || v < prev {
+					t.Fatalf("quantile q=%v broken: %v", q, v)
+				}
+				prev = v
+			}
+		}
+	})
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Smoke test for the serving stack, in five acts:
+# Smoke test for the serving stack, in six acts:
 #
 #   ppm-serve (backend model server)  <-  ppm-gateway (shadow proxy)  <-  curl / ppm-traffic
 #                                              |
@@ -27,8 +27,16 @@
 # (ppm-traffic -label-lag 1), and the act asserts the labels joined,
 # the Bayesian credible interval narrowed, the labeled-accuracy series
 # reached the drift timeline, and the gap rule fired on the corrupted
-# tail. All acts shut down gracefully (SIGTERM, exercising the shared
-# drain path). Run via `make demo`.
+# tail. Act 6 exercises the serving SLO observatory: the gateway
+# restarts with a 1ns latency budget (every request lands over budget),
+# ppm-traffic drives an open-loop ramp (-rate, coordinated-omission-free
+# arrival schedule) through it, and the act asserts the burn-rate rule
+# fired, the firing edge auto-captured an incident bundle embedding
+# CPU+heap pprof profiles plus the SLO snapshot with slow-request
+# exemplars, /slo and the ppm_serving_* metric families report the
+# over-budget state, and ppm-diagnose -extract-profiles writes a pprof
+# pair that go tool pprof can open. All acts shut down gracefully
+# (SIGTERM, exercising the shared drain path). Run via `make demo`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -440,4 +448,82 @@ echo "$sink5_events" | grep -q '"rule":"h_acc_gap"' || {
   echo "demo: sink events missing the h_acc_gap rule" >&2
   echo "$sink5_events" >&2; exit 1; }
 
-echo "demo: OK — proxying, drift timeline, alerting, request correlation, incident capture, fleet federation and label feedback all verified"
+# ---- Act 6: serving SLO observatory — burn rate triggers a profiled
+# ---- incident capture under an open-loop ramp
+
+# A 1ns budget puts every request over budget, so the burn-rate series
+# hits 1/(1-target) = 100 at the first window close and the built-in
+# serving_burn_rate rule (threshold 1.0, on by default) fires
+# deterministically. The short -slo-window closes windows quickly and
+# the short -profile-cpu keeps the capture fast.
+echo "demo: restarting the gateway with a 1ns latency budget (SLO observatory act)"
+kill -TERM "$GW_PID" && wait "$GW_PID" 2>/dev/null || true
+"$WORKDIR/ppm-gateway" -backend "http://$SERVE_ADDR" -addr "$GW_ADDR" \
+  -bundle "$WORKDIR/bundle" \
+  -incident-dir "$WORKDIR/incidents6" \
+  -slo-budget 1ns -slo-window 8 -profile-cpu 100ms \
+  >"$WORKDIR/gateway6.log" 2>&1 &
+GW_PID=$!
+wait_for "http://$GW_ADDR/healthz"
+
+echo "demo: driving an open-loop ramp (fixed arrival rate) through the gateway"
+"$WORKDIR/ppm-traffic" send -target "http://$GW_ADDR" -dataset income \
+  -batches 16 -rows 120 -rate 40 >"$WORKDIR/traffic6.log" 2>&1
+grep -q 'latency (open loop @ 40.0/s): 16 requests, 0 errors' "$WORKDIR/traffic6.log" || {
+  echo "demo: ppm-traffic open-loop latency summary missing or lossy:" >&2
+  cat "$WORKDIR/traffic6.log" >&2; exit 1; }
+
+echo "demo: asserting /slo reports the over-budget burn state"
+slo_body="$(curl -fsS "http://$GW_ADDR/slo")"
+echo "$slo_body" | grep -q '"stage":"request"' || {
+  echo "demo: /slo missing the request stage:" >&2
+  echo "$slo_body" >&2; exit 1; }
+over="$(echo "$slo_body" | sed -n 's/.*"over_budget":\([0-9]*\).*/\1/p')"
+if [ -z "$over" ] || [ "$over" -lt 16 ]; then
+  echo "demo: /slo over_budget = '$over', want >= 16 under a 1ns budget" >&2
+  echo "$slo_body" >&2; exit 1
+fi
+
+echo "demo: asserting the ppm_serving_* families on /metrics"
+gw6_metrics="$(curl -fsS "http://$GW_ADDR/metrics")"
+for fam in ppm_serving_stage_duration_seconds ppm_serving_inflight \
+           ppm_serving_over_budget_total ppm_serving_burn_rate; do
+  echo "$gw6_metrics" | grep -q "^# TYPE $fam " || {
+    echo "demo: /metrics missing the $fam family" >&2; exit 1; }
+done
+
+echo "demo: waiting for the burn-rate alert to auto-capture a profiled bundle"
+# The CPU profile takes -profile-cpu wall time after the firing edge;
+# poll until the bundle shows up with the burn-rate trigger.
+burn_ok=""
+for _ in $(seq 50); do
+  inc6_body="$(curl -fsS "http://$GW_ADDR/debug/incidents/latest" 2>/dev/null || true)"
+  if echo "$inc6_body" | grep -q '"reason":"alert:serving_burn'; then
+    burn_ok=1; break
+  fi
+  sleep 0.2
+done
+[ -n "$burn_ok" ] || {
+  echo "demo: the burn-rate rule never captured an incident bundle:" >&2
+  curl -fsS "http://$GW_ADDR/debug/incidents" >&2 || true
+  cat "$WORKDIR/gateway6.log" >&2; exit 1; }
+echo "$inc6_body" | grep -q '"cpu":"' || {
+  echo "demo: burn-rate bundle carries no CPU pprof profile:" >&2
+  echo "$inc6_body" | head -c 2000 >&2; exit 1; }
+echo "$inc6_body" | grep -q '"exemplars":\[{' || {
+  echo "demo: burn-rate bundle has no slow-request exemplars" >&2; exit 1; }
+
+echo "demo: extracting the embedded pprof pair with ppm-diagnose"
+"$WORKDIR/ppm-diagnose" -dir "$WORKDIR/incidents6" \
+  -extract-profiles "$WORKDIR/profiles6" >"$WORKDIR/incident6.md" 2>"$WORKDIR/diagnose6.log"
+grep -q '## Serving SLO' "$WORKDIR/incident6.md" || {
+  echo "demo: ppm-diagnose report missing the serving SLO section:" >&2
+  cat "$WORKDIR/incident6.md" >&2; exit 1; }
+cpu_prof="$(ls "$WORKDIR"/profiles6/*-cpu.pprof 2>/dev/null | head -n 1)"
+[ -n "$cpu_prof" ] && [ -s "$cpu_prof" ] || {
+  echo "demo: -extract-profiles wrote no CPU pprof:" >&2
+  cat "$WORKDIR/diagnose6.log" >&2; exit 1; }
+go tool pprof -top "$cpu_prof" >/dev/null 2>&1 || {
+  echo "demo: go tool pprof cannot read $cpu_prof" >&2; exit 1; }
+
+echo "demo: OK — proxying, drift timeline, alerting, request correlation, incident capture, fleet federation, label feedback and the serving SLO observatory all verified"
