@@ -51,34 +51,39 @@ bench-serving:
 	$(GO) run ./cmd/ppm-bench -exp serving
 	$(GO) test -run TestServingAllocGate -count=1 -v ./internal/gateway/
 
-# Six-act smoke test: proxying + /metrics, shadow validation with
+# Seven-act smoke test: proxying + /metrics, shadow validation with
 # alerting, incident capture with drift attribution, fleet federation
-# with stale-shard degradation, lagged label feedback, and the serving
+# with stale-shard degradation, lagged label feedback, the serving
 # SLO observatory (open-loop ramp past the burn-rate threshold,
-# alert-triggered profile capture) — see scripts/demo.sh.
+# alert-triggered profile capture), and distributed tracing (sampled
+# ramp stitched across per-process span journals) — see
+# scripts/demo.sh.
 demo:
 	bash scripts/demo.sh
 
 # Deep pass over the serving-path observability stack: format/exposition
 # lint, vet, and the race detector (full, not -short) across the
-# telemetry store + alert engine + incident flight recorder
-# (internal/obs/... includes internal/obs/incident), the gateway, the
-# monitor, the mergeable sketches (internal/stats) and the federation
-# aggregator (internal/fed, whose /federate handler and ScrapeOnce run
-# concurrently with ObserveRow in production). `make check` stays the
-# broad tier-1 gate; `audit` is the focused one to run after touching
-# the timeline, alerting, incident, correlation or federation code.
+# telemetry store + alert engine + incident flight recorder + trace
+# journal/stitcher (internal/obs/... includes internal/obs/incident;
+# the journal's concurrent append-vs-/debug/traces path runs here), the
+# gateway, the monitor, the mergeable sketches (internal/stats) and the
+# federation aggregator (internal/fed, whose /federate handler and
+# ScrapeOnce run concurrently with ObserveRow in production). `make
+# check` stays the broad tier-1 gate; `audit` is the focused one to run
+# after touching the timeline, alerting, incident, correlation, tracing
+# or federation code.
 audit: lint
 	$(GO) vet ./internal/obs/... ./internal/gateway/... ./internal/monitor/... ./internal/stats/... ./internal/fed/... ./internal/labels/...
 	$(GO) test -race ./internal/obs/... ./internal/gateway/... ./internal/monitor/... ./internal/stats/... ./internal/fed/... ./internal/labels/...
 
 # Short coverage-guided fuzz budgets for the deterministic-merge
 # invariants — sketch merge (associativity/commutativity vs the union
-# stream) and the serialized round-trips — plus the /labels ingestion
-# decoder (attacker-facing JSON on the serving mux). Seeds live in
-# testdata.
+# stream) and the serialized round-trips — plus the two attacker-facing
+# wire decoders on the serving mux: the /labels ingestion body and the
+# W3C traceparent header parser (every proxied request runs it).
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzKLLMerge -fuzztime 10s ./internal/stats
 	$(GO) test -run NONE -fuzz FuzzKLLRoundTrip -fuzztime 10s ./internal/stats
 	$(GO) test -run NONE -fuzz FuzzLatencyHistMerge -fuzztime 10s ./internal/stats
 	$(GO) test -run NONE -fuzz FuzzLabelsDecode -fuzztime 10s ./internal/labels
+	$(GO) test -run NONE -fuzz FuzzTraceparentParse -fuzztime 10s ./internal/obs

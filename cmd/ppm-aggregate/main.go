@@ -48,6 +48,8 @@ func main() {
 	alertWebhook := flag.String("alert-webhook", "", "webhook URL receiving fleet alert events as JSON POSTs")
 	incidentDir := flag.String("incident-dir", "", "directory retaining fleet incident files (empty = capture off)")
 	incidentMax := flag.Int("incident-max", 0, "retained fleet incident files (0 = default 16)")
+	traceDir := flag.String("trace-dir", "", "span journal directory for cross-process trace stitching (empty = in-memory ring only)")
+	traceSample := flag.Float64("trace-sample", 1, "deterministic head-sampling rate for federate_scrape traces (<=0 or >1 = sample everything)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -72,6 +74,7 @@ func main() {
 		AlertWebhookURL: *alertWebhook,
 		IncidentDir:     *incidentDir,
 		IncidentMax:     *incidentMax,
+		TraceSampleRate: *traceSample,
 		Logger:          logger,
 	})
 	if err != nil {
@@ -80,6 +83,12 @@ func main() {
 	}
 	defer closeAlerts()
 	obs.RegisterRuntimeMetrics(obs.Default())
+	closeTracing, err := cli.WireTracing(cli.TracingOptions{Dir: *traceDir, Logger: logger})
+	if err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+	defer closeTracing()
 	if engine != nil {
 		logger.Info("fleet alerting on", "rules", *alertRules, "webhook", *alertWebhook)
 	}

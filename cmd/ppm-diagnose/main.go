@@ -16,6 +16,17 @@
 // slowest-request exemplars), the embedded pprof profile sizes, and
 // the drift-timeline excerpt. -extract-profiles DIR additionally
 // writes each bundle's CPU+heap pprof pair to DIR for go tool pprof.
+//
+// Trace mode stitches the span journals each fleet process writes
+// under -trace-dir into one cross-process waterfall:
+//
+//	ppm-diagnose -trace 4a3f... -journals gw=tr/gw,backend=tr/be,monitor=tr/mon
+//	ppm-diagnose -trace auto -journals tr/gw,tr/be,tr/mon -html trace.html
+//
+// -trace auto picks the trace id spanning the most journals (ties
+// break toward the most spans, then lexically). The markdown waterfall
+// goes to -out/stdout; -html additionally writes a dependency-free
+// HTML rendering.
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"sort"
 	"strings"
 
+	"blackboxval/internal/obs"
 	"blackboxval/internal/obs/incident"
 	"blackboxval/internal/report"
 )
@@ -34,11 +46,22 @@ func main() {
 	dir := flag.String("dir", "", "incident retention directory; renders the newest bundle (alternative to positional files)")
 	out := flag.String("out", "", "output file (empty = stdout)")
 	extract := flag.String("extract-profiles", "", "directory receiving each bundle's embedded pprof pair as <bundle>-cpu.pprof / <bundle>-heap.pprof (open with go tool pprof)")
+	trace := flag.String("trace", "", "trace id to stitch across -journals into one waterfall (\"auto\" = the id spanning the most journals)")
+	journals := flag.String("journals", "", "comma-separated name=dir span journal directories written under -trace-dir (bare dirs use their basename as the service)")
+	htmlOut := flag.String("html", "", "trace mode: also write the waterfall as self-contained HTML to this file")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: ppm-diagnose [-dir DIR | BUNDLE.json ...] [-out FILE] [-extract-profiles DIR]")
+		fmt.Fprintln(os.Stderr, "       ppm-diagnose -trace ID|auto -journals name=dir,... [-out FILE] [-html FILE]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *trace != "" {
+		if err := runTrace(*trace, *journals, *out, *htmlOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	paths := flag.Args()
 	if *dir != "" {
@@ -112,6 +135,116 @@ func extractProfiles(dir, bundlePath string, b *incident.Bundle) error {
 		fmt.Fprintf(os.Stderr, "ppm-diagnose: wrote %s (%d bytes)\n", path, len(p.data))
 	}
 	return nil
+}
+
+// runTrace is trace mode: load every journal, resolve the trace id
+// ("auto" picks the one spanning the most journals), stitch the
+// fragments into one waterfall and render it.
+func runTrace(traceID, journalSpecs, out, htmlOut string) error {
+	frags, err := loadJournals(journalSpecs)
+	if err != nil {
+		return err
+	}
+	if traceID == "auto" {
+		traceID, err = autoTraceID(frags)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ppm-diagnose: -trace auto picked %s\n", traceID)
+	}
+	wf, err := obs.StitchTrace(traceID, frags)
+	if err != nil {
+		return err
+	}
+	md := wf.Markdown()
+	if out == "" {
+		fmt.Print(md)
+	} else if err := os.WriteFile(out, []byte(md), 0o644); err != nil {
+		return err
+	} else {
+		fmt.Printf("wrote waterfall to %s\n", out)
+	}
+	if htmlOut != "" {
+		if err := os.WriteFile(htmlOut, wf.HTML(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote HTML waterfall to %s\n", htmlOut)
+	}
+	return nil
+}
+
+// loadJournals parses the -journals flag ("name=dir,..." with bare
+// dirs named by their basename) and reads each directory's retained
+// spans-*.jsonl segments into a service-labelled trace fragment.
+func loadJournals(specs string) ([]obs.TraceFragment, error) {
+	var frags []obs.TraceFragment
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, dir := "", spec
+		if eq := strings.Index(spec, "="); eq >= 0 && !strings.Contains(spec[:eq], "/") {
+			name, dir = spec[:eq], spec[eq+1:]
+		}
+		if name == "" {
+			name = filepath.Base(dir)
+		}
+		spans, err := obs.ReadJournalDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("journal %s: %w", dir, err)
+		}
+		frags = append(frags, obs.TraceFragment{Service: name, Spans: spans})
+	}
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("-trace needs -journals name=dir,... (the -trace-dir of each fleet process)")
+	}
+	return frags, nil
+}
+
+// autoTraceID picks the most interesting trace: the id present in the
+// most journals — the one that actually crossed process boundaries —
+// with ties broken by span count and then lexically, so the pick is
+// deterministic for a fixed set of journals.
+func autoTraceID(frags []obs.TraceFragment) (string, error) {
+	journalsFor := map[string]int{}
+	spansFor := map[string]int{}
+	for _, f := range frags {
+		seen := map[string]bool{}
+		for _, s := range f.Spans {
+			if s.TraceID == "" {
+				continue
+			}
+			if !seen[s.TraceID] {
+				seen[s.TraceID] = true
+				journalsFor[s.TraceID]++
+			}
+			spansFor[s.TraceID]++
+		}
+	}
+	best := ""
+	for id := range journalsFor {
+		if best == "" {
+			best = id
+			continue
+		}
+		switch {
+		case journalsFor[id] != journalsFor[best]:
+			if journalsFor[id] > journalsFor[best] {
+				best = id
+			}
+		case spansFor[id] != spansFor[best]:
+			if spansFor[id] > spansFor[best] {
+				best = id
+			}
+		case id < best:
+			best = id
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no traced spans in any journal (were the processes run with -trace-dir and a sampled workload?)")
+	}
+	return best, nil
 }
 
 // newestBundle picks the latest inc-*.json in the retention ring; the

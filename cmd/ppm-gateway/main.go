@@ -91,6 +91,8 @@ func main() {
 	burnThreshold := flag.Float64("burn-threshold", 1.0, "burn-rate alert threshold; fires when BOTH the fast and slow windows burn above it (<=0 disables)")
 	profileCPU := flag.Duration("profile-cpu", 0, "CPU profile duration captured into alert-triggered incident bundles (0 = default 250ms)")
 	profileCooldown := flag.Duration("profile-cooldown", 0, "minimum gap between profile captures (0 = default 30s)")
+	traceDir := flag.String("trace-dir", "", "span journal directory for cross-process trace stitching (empty = in-memory ring only)")
+	traceSample := flag.Float64("trace-sample", 1, "deterministic head-sampling rate for traces this gateway mints (<=0 or >1 = sample everything); incoming traceparent flags win")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -118,6 +120,7 @@ func main() {
 		sloBudget: *sloBudget, sloTarget: *sloTarget, sloWindow: *sloWindow,
 		burnThreshold: *burnThreshold,
 		profileCPU:    *profileCPU, profileCooldown: *profileCooldown,
+		traceDir: *traceDir, traceSample: *traceSample,
 	}
 	if err := run(opts, logger); err != nil {
 		logger.Error("fatal", "err", err)
@@ -145,6 +148,8 @@ type options struct {
 	sloWindow                        int
 	burnThreshold                    float64
 	profileCPU, profileCooldown      time.Duration
+	traceDir                         string
+	traceSample                      float64
 }
 
 func run(opts options, logger *slog.Logger) error {
@@ -166,6 +171,7 @@ func run(opts options, logger *slog.Logger) error {
 			Target:         opts.sloTarget,
 			WindowRequests: opts.sloWindow,
 		},
+		TraceSampleRate: opts.traceSample,
 	}
 
 	var manifest *cli.Manifest
@@ -214,6 +220,17 @@ func run(opts options, logger *slog.Logger) error {
 	// Go runtime self-telemetry rides the same /metrics scrape as the
 	// proxy and monitor families.
 	obs.RegisterRuntimeMetrics(g.Metrics().Registry())
+	// Gateway and shadow-monitor spans share the process default
+	// tracer, so one journal carries this process's trace fragments.
+	closeTracing, err := cli.WireTracing(cli.TracingOptions{
+		Dir:      opts.traceDir,
+		Registry: g.Metrics().Registry(),
+		Logger:   logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer closeTracing()
 
 	var rec *incident.Recorder
 	var lstore *labels.Store

@@ -58,6 +58,7 @@ func main() {
 	labelLag := flag.Int64("label-lag", 0, "label join horizon in drift-timeline windows (0 = default 64)")
 	labelPending := flag.Int("label-pending", 0, "served batches retained awaiting labels (0 = default 512)")
 	labelSeed := flag.Int64("label-seed", 0, "active-sampling RNG seed (0 = default 1)")
+	traceDir := flag.String("trace-dir", "", "span journal directory for cross-process trace stitching (empty = in-memory ring only)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -84,6 +85,12 @@ func main() {
 	}
 	mon.RegisterMetrics(obs.Default())
 	obs.RegisterRuntimeMetrics(obs.Default())
+	closeTracing, err := cli.WireTracing(cli.TracingOptions{Dir: *traceDir, Logger: logger})
+	if err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+	defer closeTracing()
 	lstore, err := cli.WireLabels(mon, cli.LabelOptions{
 		MaxLagWindows: *labelLag,
 		MaxPending:    *labelPending,

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"blackboxval"
+	"blackboxval/internal/cli"
 	"blackboxval/internal/experiments"
 	"blackboxval/internal/gateway"
 	"blackboxval/internal/obs"
@@ -37,6 +38,7 @@ func main() {
 	rows := flag.Int("rows", 4000, "dataset size")
 	seed := flag.Int64("seed", 1, "random seed")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain deadline")
+	traceDir := flag.String("trace-dir", "", "span journal directory for cross-process trace stitching (empty = in-memory ring only)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -46,13 +48,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*dataset, *model, *addr, *rows, *seed, *drain, logger); err != nil {
+	if err := run(*dataset, *model, *addr, *rows, *seed, *drain, *traceDir, logger); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, modelName, addr string, rows int, seed int64, drain time.Duration, logger *slog.Logger) error {
+func run(dataset, modelName, addr string, rows int, seed int64, drain time.Duration, traceDir string, logger *slog.Logger) error {
 	scale := experiments.Quick
 	scale.TabularRows = rows
 	scale.ImageRows = rows
@@ -76,11 +78,19 @@ func run(dataset, modelName, addr string, rows int, seed int64, drain time.Durat
 	logger.Info("model trained", "model", modelName, "dataset", dataset, "rows", rows, "accuracy", acc)
 
 	// The prediction API plus the shared observability surface, with
-	// request accounting around the model endpoints.
+	// request accounting around the model endpoints. The trace
+	// middleware extracts the gateway's traceparent so sampled requests
+	// get a backend_predict span in the end-to-end waterfall.
 	mux := http.NewServeMux()
-	mux.Handle("/", obs.Middleware(obs.Default(), "ppm-serve", blackboxval.NewCloudServer(model).Handler()))
+	mux.Handle("/", obs.Middleware(obs.Default(), "ppm-serve",
+		obs.TraceMiddleware(obs.DefaultTracer(), blackboxval.NewCloudServer(model).Handler())))
 	obs.RegisterRuntimeMetrics(obs.Default())
 	obs.Mount(mux, obs.Default(), obs.DefaultTracer())
+	closeTracing, err := cli.WireTracing(cli.TracingOptions{Dir: traceDir, Logger: logger})
+	if err != nil {
+		return err
+	}
+	defer closeTracing()
 
 	logger.Info("serving", "predict", fmt.Sprintf("http://%s/predict_proba", addr),
 		"metrics", fmt.Sprintf("http://%s/metrics", addr),

@@ -76,6 +76,7 @@ func usage() {
                [-corrupt NAME] [-corrupt-column COL] [-max-magnitude 0.95]
                [-clean 2] [-interval 0s] [-rate BATCHES_PER_SEC] [-seed 1]
                [-label-lag N] [-label-budget N] [-label-policy ts|uniform]
+               [-trace-sample RATE]
   ppm-traffic sink -addr HOST:PORT`)
 }
 
@@ -93,6 +94,7 @@ func runSend(args []string) error {
 	interval := fs.Duration("interval", 0, "pause between batches (closed loop)")
 	rate := fs.Float64("rate", 0, "open-loop arrival rate in batches/sec (0 = closed loop); latency measured from intended start")
 	seed := fs.Int64("seed", 1, "workload seed")
+	traceSample := fs.Float64("trace-sample", 1, "deterministic head-sampling rate for the traceparent each batch carries; trace ids derive from -seed and the batch index (<=0 or >1 = sample everything)")
 	labelLag := fs.Int("label-lag", -1, "replay true labels N batches behind the ramp (-1 = no label replay)")
 	labelBudget := fs.Int("label-budget", 0, "budget mode: label only the rows GET /labels/requests asks for, N per due batch (0 = full batches)")
 	labelPolicy := fs.String("label-policy", "ts", "budget-mode worklist policy: ts or uniform")
@@ -110,6 +112,7 @@ func runSend(args []string) error {
 		Corrupt: *corrupt, Column: *column, MaxMagnitude: *maxMagnitude,
 		CleanBatches: *clean, Interval: *interval, Rate: *rate, Seed: *seed,
 		LabelBudget: *labelBudget, LabelPolicy: *labelPolicy,
+		TraceSampleRate: *traceSample,
 	}
 	if *labelLag >= 0 {
 		opts.ReplayLabels = true

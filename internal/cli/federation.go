@@ -41,6 +41,9 @@ type FederationOptions struct {
 	// fire; IncidentMax bounds the ring.
 	IncidentDir string
 	IncidentMax int
+	// TraceSampleRate head-samples the federate_scrape traces the
+	// aggregator mints each cycle (<=0 or >1 = sample everything).
+	TraceSampleRate float64
 	// Registry receives the ppm_federate_* and alert families
 	// (nil = obs.Default()).
 	Registry *obs.Registry
@@ -97,13 +100,14 @@ func WireFederation(opts FederationOptions) (*fed.Aggregator, *alert.Engine, fun
 		opts.Logger = slog.Default()
 	}
 	agg, err := fed.New(fed.Config{
-		Replicas:      replicas,
-		Interval:      opts.Interval,
-		Timeout:       opts.Timeout,
-		StaleAfter:    opts.StaleAfter,
-		Capacity:      opts.Capacity,
-		RefreshMillis: opts.RefreshMillis,
-		Logger:        opts.Logger,
+		Replicas:        replicas,
+		Interval:        opts.Interval,
+		Timeout:         opts.Timeout,
+		StaleAfter:      opts.StaleAfter,
+		Capacity:        opts.Capacity,
+		RefreshMillis:   opts.RefreshMillis,
+		TraceSampleRate: opts.TraceSampleRate,
+		Logger:          opts.Logger,
 	})
 	if err != nil {
 		return nil, nil, nil, err

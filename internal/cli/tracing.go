@@ -1,0 +1,72 @@
+package cli
+
+// Tracing wiring shared by the serving binaries: open the bounded
+// on-disk span journal, point the process tracers at it, and export
+// the ppm_trace_* counter families — one call in each main(), so
+// every process in the fleet persists its trace fragments the same
+// way and ppm-diagnose -trace can stitch them (DESIGN.md §16).
+
+import (
+	"log/slog"
+
+	"blackboxval/internal/obs"
+)
+
+// TracingOptions configures WireTracing.
+type TracingOptions struct {
+	// Dir is the span journal directory; "" keeps spans in the
+	// in-memory ring only (/debug/traces still serves the live ring,
+	// but fragments neither survive the process nor feed
+	// ppm-diagnose -trace).
+	Dir string
+	// SegmentBytes / Segments bound the journal (0 = obs defaults,
+	// 1 MiB × 4 segments).
+	SegmentBytes int64
+	Segments     int
+	// Tracers are the process tracers to journal and export (empty =
+	// obs.DefaultTracer()).
+	Tracers []*obs.Tracer
+	// Registry receives the ppm_trace_* families (nil = obs.Default()).
+	Registry *obs.Registry
+	// Logger receives the startup line (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+// WireTracing attaches the distributed-tracing plumbing to a process:
+// with Dir set it opens (or resumes) the bounded spans-*.jsonl journal
+// and points every tracer at it, and it always registers the
+// ppm_trace_* counter families. The returned close function detaches
+// the tracers and closes the journal; it is never nil.
+func WireTracing(opts TracingOptions) (func(), error) {
+	tracers := opts.Tracers
+	if len(tracers) == 0 {
+		tracers = []*obs.Tracer{obs.DefaultTracer()}
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	closer := func() {}
+	if opts.Dir != "" {
+		j, err := obs.OpenJournal(opts.Dir, opts.SegmentBytes, opts.Segments)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range tracers {
+			tr.SetJournal(j)
+		}
+		closer = func() {
+			for _, tr := range tracers {
+				tr.SetJournal(nil)
+			}
+			j.Close()
+		}
+		logger.Info("span journal on", "dir", opts.Dir)
+	}
+	obs.RegisterTraceMetrics(reg, tracers...)
+	return closer, nil
+}

@@ -68,6 +68,12 @@ type TrafficOptions struct {
 	Rate float64
 	// Seed makes the generated workload reproducible.
 	Seed int64
+	// TraceSampleRate is the head-sampling rate stamped into the
+	// deterministic traceparent each batch carries (DESIGN.md §16):
+	// batch n's trace id is a pure function of Seed and n, so the
+	// sampled subset is bit-identical across runs and across closed-
+	// and open-loop modes. <= 0 or > 1 means sample everything.
+	TraceSampleRate float64
 	// ReplayLabels replays delayed ground truth: after batch i succeeds,
 	// the true labels of batch i-LabelLag are POSTed to the /labels
 	// endpoint of the target that served it, and the tail is flushed when
@@ -123,6 +129,9 @@ func SendTraffic(opts TrafficOptions) error {
 	if opts.HTTPClient == nil {
 		opts.HTTPClient = &http.Client{Timeout: 30 * time.Second}
 	}
+	if opts.TraceSampleRate <= 0 || opts.TraceSampleRate > 1 {
+		opts.TraceSampleRate = 1
+	}
 	if opts.Rate > 0 && opts.ReplayLabels {
 		return fmt.Errorf("cli: -rate (open loop) cannot replay labels: the backlog needs the closed loop's serve order")
 	}
@@ -172,6 +181,24 @@ func SendTraffic(opts TrafficOptions) error {
 	return sendClosedLoop(opts, makeBatch, targetFor)
 }
 
+// postPredict posts one serving batch with its deterministic
+// traceparent: batch n of a run always carries the trace id
+// obs.DeriveTraceID(seed, n), so a replayed workload is traceable
+// end-to-end and the head-sampled subset is bit-identical across runs
+// and loop modes (DESIGN.md §16). The returned context is the one put
+// on the wire (synthetic client span id included).
+func postPredict(opts TrafficOptions, target string, body []byte, n int) (*http.Response, obs.TraceContext, error) {
+	tc := obs.DeriveTraceContext(uint64(opts.Seed), uint64(n), opts.TraceSampleRate)
+	req, err := http.NewRequest(http.MethodPost, target+"/predict_proba", bytes.NewReader(body))
+	if err != nil {
+		return nil, tc, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+	resp, err := opts.HTTPClient.Do(req)
+	return resp, tc, err
+}
+
 // sendClosedLoop is the classic request-response ramp: each batch
 // waits for the previous response (plus Interval), so a slow target
 // slows the workload down — fine for drift scenarios, wrong for
@@ -193,7 +220,7 @@ func sendClosedLoop(opts TrafficOptions, makeBatch func(int) (*data.Dataset, flo
 		}
 		target := targetFor(i)
 		start := time.Now()
-		resp, err := opts.HTTPClient.Post(target+"/predict_proba", "application/json", bytes.NewReader(body))
+		resp, tc, err := postPredict(opts, target, body, i)
 		if err != nil {
 			failed++
 			lastErr = err
@@ -212,9 +239,16 @@ func sendClosedLoop(opts TrafficOptions, makeBatch func(int) (*data.Dataset, flo
 		succeeded++
 		id := resp.Header.Get(obs.RequestIDHeader)
 		hist.ObserveID(latency, id)
-		fmt.Fprintf(opts.Out, "batch %d: %d rows, magnitude %.2f, status %d, request_id %s\n",
-			i, opts.Rows, magnitude, resp.StatusCode, id)
-		replay.sent(opts, id, batch.Labels, target)
+		fmt.Fprintf(opts.Out, "batch %d: %d rows, magnitude %.2f, status %d, request_id %s, trace_id %s sampled=%t\n",
+			i, opts.Rows, magnitude, resp.StatusCode, id, tc.TraceID, tc.Sampled())
+		// The gateway echoes the traceparent of its request span, so a
+		// replayed label lands as a child of gateway_request instead of a
+		// second root in the waterfall. Fall back to the sent context when
+		// the target predates tracing.
+		if echoed, perr := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader)); perr == nil {
+			tc = echoed
+		}
+		replay.sent(opts, id, batch.Labels, target, tc)
 		if opts.Interval > 0 && i < opts.Batches-1 {
 			time.Sleep(opts.Interval)
 		}
@@ -271,7 +305,7 @@ func sendOpenLoop(opts TrafficOptions, makeBatch func(int) (*data.Dataset, float
 		wg.Add(1)
 		go func(j job, intended time.Time) {
 			defer wg.Done()
-			resp, err := opts.HTTPClient.Post(j.target+"/predict_proba", "application/json", bytes.NewReader(j.body))
+			resp, tc, err := postPredict(opts, j.target, j.body, j.i)
 			if err != nil {
 				mu.Lock()
 				failed++
@@ -294,8 +328,8 @@ func sendOpenLoop(opts TrafficOptions, makeBatch func(int) (*data.Dataset, float
 			succeeded++
 			id := resp.Header.Get(obs.RequestIDHeader)
 			hist.ObserveID(latency, id)
-			fmt.Fprintf(opts.Out, "batch %d: %d rows, magnitude %.2f, status %d, request_id %s\n",
-				j.i, opts.Rows, j.magnitude, resp.StatusCode, id)
+			fmt.Fprintf(opts.Out, "batch %d: %d rows, magnitude %.2f, status %d, request_id %s, trace_id %s sampled=%t\n",
+				j.i, opts.Rows, j.magnitude, resp.StatusCode, id, tc.TraceID, tc.Sampled())
 		}(j, intended)
 	}
 	wg.Wait()
@@ -335,6 +369,10 @@ type labelBacklogEntry struct {
 	id     string
 	labels []int
 	target string
+	// trace is the serving batch's trace context (the gateway-echoed
+	// one when available), so the delayed label_join span lands in the
+	// same waterfall as the prediction it grounds.
+	trace obs.TraceContext
 }
 
 func newLabelReplayer(opts TrafficOptions) *labelReplayer {
@@ -343,11 +381,11 @@ func newLabelReplayer(opts TrafficOptions) *labelReplayer {
 
 // sent records a successfully served batch and replays the entry that
 // just crossed the lag horizon, if any.
-func (r *labelReplayer) sent(opts TrafficOptions, id string, labels []int, target string) {
+func (r *labelReplayer) sent(opts TrafficOptions, id string, labels []int, target string, tc obs.TraceContext) {
 	if !r.enabled || id == "" {
 		return
 	}
-	r.backlog = append(r.backlog, labelBacklogEntry{id: id, labels: labels, target: target})
+	r.backlog = append(r.backlog, labelBacklogEntry{id: id, labels: labels, target: target, trace: tc})
 	r.byID[id] = labels
 	for r.posted < len(r.backlog)-opts.LabelLag {
 		r.replay(opts, r.backlog[r.posted])
@@ -388,7 +426,16 @@ func (r *labelReplayer) replay(opts TrafficOptions, e labelBacklogEntry) {
 		r.errors++
 		return
 	}
-	resp, err := opts.HTTPClient.Post(e.target+"/labels", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, e.target+"/labels", bytes.NewReader(body))
+	if err != nil {
+		r.errors++
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if !e.trace.TraceID.IsZero() {
+		req.Header.Set(obs.TraceparentHeader, e.trace.Traceparent())
+	}
+	resp, err := opts.HTTPClient.Do(req)
 	if err != nil {
 		r.errors++
 		fmt.Fprintf(opts.Out, "labels: batch %s: post failed: %v\n", e.id, err)

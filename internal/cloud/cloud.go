@@ -21,6 +21,7 @@ import (
 	"blackboxval/internal/frame"
 	"blackboxval/internal/imgdata"
 	"blackboxval/internal/linalg"
+	"blackboxval/internal/obs"
 )
 
 // wireColumn is the JSON form of one dataframe column. Missing numeric
@@ -162,6 +163,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	// Join a sampled trace extracted upstream (obs.TraceMiddleware):
+	// the backend_predict span is what the stitched waterfall shows as
+	// the model-compute hop. Untraced requests skip all of this.
+	if tc, traced := obs.TraceFromContext(r.Context()); traced && tc.Sampled() {
+		_, span := obs.StartSpan(r.Context(), "backend_predict")
+		if id := r.Header.Get(obs.RequestIDHeader); id != "" {
+			span.SetAttr("request_id", id)
+		}
+		defer span.End()
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -238,8 +249,19 @@ func (c *Client) Predict(ds *data.Dataset) (*linalg.Matrix, error) {
 
 // PredictCtx calls the remote service under the given context, so
 // callers control per-request timeouts and cancellation. It is the
-// primitive the other predict methods delegate to.
+// primitive the other predict methods delegate to. A W3C trace context
+// carried by ctx is propagated: sampled traces get a cloud_predict
+// child span around the remote call, and the traceparent header rides
+// the request so the backend's spans join the same trace.
 func (c *Client) PredictCtx(ctx context.Context, ds *data.Dataset) (*linalg.Matrix, error) {
+	tc, traced := obs.TraceFromContext(ctx)
+	if traced && tc.Sampled() {
+		spanCtx, span := obs.StartSpan(ctx, "cloud_predict")
+		span.SetMetric("rows", float64(ds.Len()))
+		defer span.End()
+		ctx = spanCtx
+		tc = span.TraceContext()
+	}
 	payload, err := json.Marshal(encodeRequest(ds))
 	if err != nil {
 		return nil, fmt.Errorf("cloud: encoding request: %w", err)
@@ -249,6 +271,9 @@ func (c *Client) PredictCtx(ctx context.Context, ds *data.Dataset) (*linalg.Matr
 		return nil, fmt.Errorf("cloud: building request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traced {
+		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("cloud: calling service: %w", err)

@@ -70,7 +70,23 @@ type ServingResult struct {
 	// delta sampled at SLO window close).
 	ServerAllocBytesPerReq float64 `json:"server_alloc_bytes_per_req"`
 
+	// Trace is the distributed-tracing overhead split (DESIGN.md §16):
+	// the same request posted with a head-sampled vs an unsampled
+	// traceparent, so the span-creation cost and the propagate-only
+	// baseline are separable in review diffs.
+	Trace *ServingTraceOverhead `json:"trace,omitempty"`
+
 	Stages []ServingStageLatency `json:"stages"`
+}
+
+// ServingTraceOverhead compares the gateway hot path under sampled
+// (spans created, ring + journal fed) and unsampled (headers
+// propagated, no spans) traceparent flags.
+type ServingTraceOverhead struct {
+	SampledReqPerSec     float64 `json:"sampled_req_per_sec"`
+	SampledAllocsPerOp   int64   `json:"sampled_allocs_per_op"`
+	UnsampledReqPerSec   float64 `json:"unsampled_req_per_sec"`
+	UnsampledAllocsPerOp int64   `json:"unsampled_allocs_per_op"`
 }
 
 // ServingBench runs the serving hot-path benchmark at the given scale.
@@ -215,6 +231,61 @@ func ServingBench(scale Scale) (*ServingResult, error) {
 	res.AllocsPerOp = br.AllocsPerOp()
 	res.BytesPerOp = br.AllocedBytesPerOp()
 
+	// Tracing overhead: the same request with an explicit traceparent,
+	// sampled flag on vs off. The client pins the head-sampling verdict
+	// (the gateway honors incoming flags), so the two loops isolate the
+	// span-creation cost from the propagate-only baseline. Trace ids
+	// still vary per request via the deterministic derivation to keep
+	// the ring realistic.
+	var traceSeq uint64
+	postTraced := func(flags byte) error {
+		traceSeq++
+		tc := obs.TraceContext{
+			TraceID: obs.DeriveTraceID(uint64(scale.Seed), traceSeq),
+			SpanID:  obs.SpanID{1},
+			Flags:   flags,
+		}
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/predict_proba", bytes.NewReader(reqBody))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("experiments: traced bench request returned %d", resp.StatusCode)
+		}
+		return nil
+	}
+	overhead := &ServingTraceOverhead{}
+	for _, mode := range []struct {
+		flags byte
+		rps   *float64
+		aop   *int64
+	}{
+		{obs.FlagSampled, &overhead.SampledReqPerSec, &overhead.SampledAllocsPerOp},
+		{0, &overhead.UnsampledReqPerSec, &overhead.UnsampledAllocsPerOp},
+	} {
+		tb := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := postTraced(mode.flags); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if ns := tb.NsPerOp(); ns > 0 {
+			*mode.rps = 1e9 / float64(ns)
+		}
+		*mode.aop = tb.AllocsPerOp()
+	}
+	res.Trace = overhead
+
 	// Let the shadow worker drain so monitor_observe has its rows.
 	deadline := time.Now().Add(15 * time.Second)
 	for g.ShadowObserved() < int64(batches) && time.Now().Before(deadline) {
@@ -253,6 +324,11 @@ func (r *ServingResult) Print(w io.Writer) {
 		r.Batches, r.TotalSeconds, r.RequestsPerSec, r.RowsPerSec)
 	fmt.Fprintf(w, "allocation  %d allocs/op, %d B/op, %.3fms/op client-visible; %.0f server alloc bytes/req\n",
 		r.AllocsPerOp, r.BytesPerOp, float64(r.NsPerOp)/1e6, r.ServerAllocBytesPerReq)
+	if r.Trace != nil {
+		fmt.Fprintf(w, "tracing     sampled %d allocs/op at %.0f req/sec, unsampled %d allocs/op at %.0f req/sec\n",
+			r.Trace.SampledAllocsPerOp, r.Trace.SampledReqPerSec,
+			r.Trace.UnsampledAllocsPerOp, r.Trace.UnsampledReqPerSec)
+	}
 	fmt.Fprintf(w, "slo         budget %.0fms target %.2f, over-budget %d, burn fast %.2f slow %.2f\n",
 		r.BudgetSeconds*1e3, r.Target, r.OverBudget, r.BurnFast, r.BurnSlow)
 }

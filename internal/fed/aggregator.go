@@ -65,6 +65,14 @@ type Config struct {
 	HTTPClient *http.Client
 	// Logger receives structured scrape/merge events (nil = slog.Default()).
 	Logger *slog.Logger
+	// TraceSampleRate head-samples the scrape cycles' traces (<=0 or
+	// >1 = 1.0): each sampled cycle mints one trace with a
+	// federate_scrape root span and one child per replica fetch, and
+	// the traceparent rides the /federate GETs so replica-side spans
+	// join the same waterfall.
+	TraceSampleRate float64
+	// Tracer records the scrape spans (nil = obs.DefaultTracer()).
+	Tracer *obs.Tracer
 }
 
 func (c *Config) defaults() {
@@ -82,6 +90,12 @@ func (c *Config) defaults() {
 	}
 	if c.RefreshMillis == 0 {
 		c.RefreshMillis = 2000
+	}
+	if c.TraceSampleRate <= 0 || c.TraceSampleRate > 1 {
+		c.TraceSampleRate = 1
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.DefaultTracer()
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -181,13 +195,17 @@ type scrapeResult struct {
 	err error
 }
 
-// fetch retrieves and decodes one replica's document.
+// fetch retrieves and decodes one replica's document, injecting the
+// scrape cycle's traceparent when the context carries one.
 func (a *Aggregator) fetch(ctx context.Context, url string) (*Doc, error) {
 	ctx, cancel := context.WithTimeout(ctx, a.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
+	}
+	if tc, traced := obs.TraceFromContext(ctx); traced {
+		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
 	}
 	resp, err := a.client.Do(req)
 	if err != nil {
@@ -223,15 +241,34 @@ type ScrapeReport struct {
 // that is ready, fire hooks (outside the lock, in order). It is the
 // deterministic core Run loops over — tests drive it directly.
 func (a *Aggregator) ScrapeOnce(ctx context.Context) ScrapeReport {
+	// One trace per scrape cycle, head-sampled deterministically from
+	// the minted trace id: the federate_scrape root spans the cycle,
+	// one scrape_replica child per shard, and the traceparent rides
+	// every /federate GET. The trace ids are random (scrape cycles are
+	// wall-clock driven, outside the §8 replay contract), but the
+	// keep/drop decision still uses the shared pure function.
+	if tc, err := obs.NewTraceContext(a.cfg.TraceSampleRate); err == nil && tc.Sampled() {
+		cycleCtx, cycle := obs.StartSpan(obs.WithTracer(obs.ContextWithTrace(ctx, tc), a.cfg.Tracer), "federate_scrape")
+		cycle.SetMetric("replicas", float64(len(a.shards)))
+		defer cycle.End()
+		ctx = cycleCtx
+	}
 	results := make([]scrapeResult, len(a.shards))
 	var wg sync.WaitGroup
 	for i, sh := range a.shards {
 		wg.Add(1)
-		go func(i int, url string) {
+		go func(i int, name, url string) {
 			defer wg.Done()
-			doc, err := a.fetch(ctx, url)
+			fetchCtx := ctx
+			if _, traced := obs.TraceFromContext(ctx); traced {
+				var span *obs.Span
+				fetchCtx, span = obs.StartSpan(ctx, "scrape_replica")
+				span.SetAttr("replica", name)
+				defer span.End()
+			}
+			doc, err := a.fetch(fetchCtx, url)
 			results[i] = scrapeResult{doc: doc, err: err}
-		}(i, sh.cfg.URL)
+		}(i, sh.cfg.Name, sh.cfg.URL)
 	}
 	wg.Wait()
 

@@ -100,6 +100,15 @@ func ReplicaHandlerServing(mon *monitor.Monitor, replica string, serving func() 
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
 		}
+		// Join the aggregator's sampled scrape trace: the federate_serve
+		// span is the replica-side half of the scrape waterfall.
+		if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+			if tc, err := obs.ParseTraceparent(tp); err == nil && tc.Sampled() {
+				_, span := obs.StartSpan(obs.ContextWithTrace(r.Context(), tc), "federate_serve")
+				span.SetAttr("replica", replica)
+				defer span.End()
+			}
+		}
 		doc := BuildDoc(mon, replica)
 		if serving != nil {
 			doc.Serving = serving()

@@ -88,6 +88,13 @@ type Config struct {
 	// Tracer retains per-request span trees for /debug/spans (nil =
 	// obs.DefaultTracer()). Tests inject private tracers here.
 	Tracer *obs.Tracer
+	// TraceSampleRate is the deterministic head-sampling rate applied
+	// to traces this gateway mints for clients that arrive without a
+	// traceparent (<=0 or unset = 1.0, sample everything). Requests
+	// that do carry a traceparent keep the caller's sampled flag — the
+	// caller computed it with the same pure function of the trace-id
+	// bits, so the fleet agrees on every keep/drop verdict.
+	TraceSampleRate float64
 }
 
 func (c *Config) defaults() {
@@ -110,6 +117,9 @@ func (c *Config) defaults() {
 	}
 	if c.Tracer == nil {
 		c.Tracer = obs.DefaultTracer()
+	}
+	if c.TraceSampleRate <= 0 || c.TraceSampleRate > 1 {
+		c.TraceSampleRate = 1
 	}
 }
 
@@ -229,6 +239,12 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/status", g.handleStatus)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.Handle("/debug/spans", g.cfg.Tracer.Handler())
+	traceService := g.cfg.ReplicaName
+	if traceService == "" {
+		traceService = g.idPrefix
+	}
+	mux.Handle("/debug/traces", g.cfg.Tracer.TraceHandler(traceService))
+	mux.Handle("/debug/traces/", g.cfg.Tracer.TraceHandler(traceService))
 	obs.MountPprof(mux)
 	if g.cfg.Monitor != nil {
 		mux.Handle("/monitor/", http.StripPrefix("/monitor", g.cfg.Monitor.Handler()))
@@ -263,8 +279,23 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		id = g.mintRequestID()
 	}
 	w.Header().Set(obs.RequestIDHeader, id)
-	_, span := obs.StartSpan(obs.WithTracer(r.Context(), g.cfg.Tracer), "gateway_request")
+
+	// Trace context: extract the client's traceparent (a traced load
+	// generator or an upstream hop) or mint a fresh trace, head-sampled
+	// deterministically from its id bits. The span joins the trace and
+	// the response echoes the traceparent so the caller can open
+	// /debug/traces/{traceid} — trace id and X-Request-ID are linked
+	// 1:1 through the span's request_id attribute.
+	tc, traced := g.extractTrace(r)
+	ctx := r.Context()
+	if traced {
+		ctx = obs.ContextWithTrace(ctx, tc)
+	}
+	ctx, span := obs.StartSpan(obs.WithTracer(ctx, g.cfg.Tracer), "gateway_request")
 	span.SetAttr("request_id", id)
+	if traced {
+		w.Header().Set(obs.TraceparentHeader, span.TraceContext().Traceparent())
+	}
 
 	outcome := outcomeBadRequest
 	status := http.StatusOK
@@ -300,7 +331,7 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 
 	relayStart := time.Now()
-	resp, err := g.forward(r.Context(), body, id)
+	resp, err := g.forward(ctx, body, id)
 	g.slo.observeStage(StageRelay, time.Since(relayStart).Seconds(), id)
 	if err != nil {
 		g.lastFailID.Store(id)
@@ -337,12 +368,29 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		outcome = outcomeUpstream4xx
 	case g.shadow != nil:
 		// Tap the successful batch for shadow validation, off the hot
-		// path; the id rides along into the monitor observation, and the
-		// request body too when raw capture is on.
+		// path; the id and the trace context ride along into the monitor
+		// observation, and the request body too when raw capture is on.
 		enqueueStart := time.Now()
-		g.shadow.EnqueueWithRequest(body, resp.body, id)
+		g.shadow.EnqueueWithTrace(body, resp.body, id, span.TraceContext())
 		g.slo.observeStage(StageShadowEnqueue, time.Since(enqueueStart).Seconds(), id)
 	}
+}
+
+// extractTrace parses the request's traceparent, or mints a new trace
+// context under the configured head-sampling rate when none (or a
+// malformed one) arrived. The second return is false only when minting
+// failed, in which case the request proceeds untraced.
+func (g *Gateway) extractTrace(r *http.Request) (obs.TraceContext, bool) {
+	if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+		if tc, err := obs.ParseTraceparent(tp); err == nil {
+			return tc, true
+		}
+	}
+	tc, err := obs.NewTraceContext(g.cfg.TraceSampleRate)
+	if err != nil {
+		return obs.TraceContext{}, false
+	}
+	return tc, true
 }
 
 // backendResponse is a fully buffered backend reply.
@@ -393,6 +441,18 @@ func (g *Gateway) forward(ctx context.Context, body []byte, id string) (*backend
 }
 
 func (g *Gateway) attempt(ctx context.Context, body []byte, id string) (*backendResponse, error) {
+	// Propagate trace context across the hop: sampled requests get a
+	// relay child span (the parent the backend's spans attach to);
+	// unsampled ones skip the span but still carry the traceparent so
+	// the whole fleet keeps agreeing on the keep/drop verdict.
+	tc, traced := obs.TraceFromContext(ctx)
+	if traced && tc.Sampled() {
+		relayCtx, relay := obs.StartSpan(ctx, "gateway_relay")
+		relay.SetAttr("request_id", id)
+		defer relay.End()
+		ctx = relayCtx
+		tc = relay.TraceContext()
+	}
 	attemptCtx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, g.cfg.Backend+"/predict_proba", bytes.NewReader(body))
@@ -401,6 +461,9 @@ func (g *Gateway) attempt(ctx context.Context, body []byte, id string) (*backend
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(obs.RequestIDHeader, id)
+	if traced {
+		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+	}
 	client := g.cfg.HTTPClient
 	if client == nil {
 		client = http.DefaultClient

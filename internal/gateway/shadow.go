@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"log"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 	"blackboxval/internal/cloud"
 	"blackboxval/internal/data"
 	"blackboxval/internal/monitor"
+	"blackboxval/internal/obs"
 )
 
 // shadowTap feeds proxied response bodies into the performance monitor
@@ -64,11 +66,13 @@ func newShadowTap(mon *monitor.Monitor, capacity int, logger *log.Logger, metric
 // shadowItem is one queued batch: the raw backend response, optionally
 // the request body that produced it (only retained when a raw decoder
 // wants it — doubling queue memory for nothing is not worth it), plus
-// the correlation id of the serving request.
+// the correlation id and trace context of the serving request, so the
+// asynchronous monitor observation still lands in the request's trace.
 type shadowItem struct {
 	reqBody   []byte
 	body      []byte
 	requestID string
+	trace     obs.TraceContext
 }
 
 // Enqueue hands one raw response body and its request id to the tap. It
@@ -82,6 +86,14 @@ func (t *shadowTap) Enqueue(body []byte, requestID string) {
 // raw-row capture. The request body is dropped at the door when no
 // decoder is configured.
 func (t *shadowTap) EnqueueWithRequest(reqBody, body []byte, requestID string) {
+	t.EnqueueWithTrace(reqBody, body, requestID, obs.TraceContext{})
+}
+
+// EnqueueWithTrace is EnqueueWithRequest carrying the serving request's
+// trace context (the gateway_request span's coordinates): the queued
+// observation becomes a child span of the request even though it runs
+// on the shadow worker after the response was already sent.
+func (t *shadowTap) EnqueueWithTrace(reqBody, body []byte, requestID string, tc obs.TraceContext) {
 	if t.rawDecoder == nil {
 		reqBody = nil
 	}
@@ -90,7 +102,7 @@ func (t *shadowTap) EnqueueWithRequest(reqBody, body []byte, requestID string) {
 		t.queue = t.queue[1:]
 		t.metrics.shadowDropped.Add(1, "dropped")
 	}
-	t.queue = append(t.queue, shadowItem{reqBody: reqBody, body: body, requestID: requestID})
+	t.queue = append(t.queue, shadowItem{reqBody: reqBody, body: body, requestID: requestID, trace: tc})
 	t.mu.Unlock()
 	select {
 	case t.wake <- struct{}{}:
@@ -172,7 +184,11 @@ func (t *shadowTap) observe(item shadowItem) {
 		}
 	}
 	observeStart := time.Now()
-	rec := t.mon.ObserveBatchProbaID(batch, proba, item.requestID)
+	ctx := context.Background()
+	if !item.trace.TraceID.IsZero() {
+		ctx = obs.ContextWithTrace(ctx, item.trace)
+	}
+	rec := t.mon.ObserveBatchProbaCtx(ctx, batch, proba, item.requestID)
 	if t.observeStage != nil {
 		t.observeStage(StageMonitorObserve, time.Since(observeStart).Seconds(), item.requestID)
 	}

@@ -17,6 +17,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"blackboxval/internal/obs"
 )
 
 const (
@@ -95,12 +97,28 @@ func (s *Store) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	// Label joins are traced like any other hop: a labeling system that
+	// posts ground truth with a sampled traceparent gets a label_join
+	// span in its waterfall, with the joined/buffered split attached.
+	var span *obs.Span
+	if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+		if tc, err := obs.ParseTraceparent(tp); err == nil && tc.Sampled() {
+			_, span = obs.StartSpan(obs.ContextWithTrace(r.Context(), tc), "label_join")
+			defer span.End()
+		}
+	}
 	req, err := DecodeIngest(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, s.Ingest(req.Records))
+	res := s.Ingest(req.Records)
+	if span != nil {
+		span.SetMetric("posted", float64(res.Posted))
+		span.SetMetric("joined_rows", float64(res.JoinedRows))
+		span.SetMetric("buffered", float64(res.Buffered))
+	}
+	writeJSON(w, res)
 }
 
 func (s *Store) handleRequests(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -49,6 +50,11 @@ type Config struct {
 	// DashboardRefresh is the auto-refresh interval of the HTML
 	// dashboard's /timeline poll (default 5s; <0 disables auto-refresh).
 	DashboardRefresh time.Duration
+	// Tracer records the monitor_observe spans of sampled traces (nil =
+	// obs.DefaultTracer()). A monitor embedded in a gateway process may
+	// share the gateway's tracer or, behind its own journal, keep a
+	// separate per-component trace stream.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) defaults() {
@@ -72,6 +78,9 @@ func (c *Config) defaults() {
 	}
 	if c.DashboardRefresh == 0 {
 		c.DashboardRefresh = 5 * time.Second
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.DefaultTracer()
 	}
 }
 
@@ -97,6 +106,10 @@ type Record struct {
 	// that produced this batch (empty when the caller did not carry one,
 	// e.g. file-watch batches or ObserveRow windows).
 	RequestID string `json:",omitempty"`
+	// TraceID is the W3C trace id of the serving request (empty for
+	// untraced batches): the key that opens the cross-process waterfall
+	// at /debug/traces/{traceid} or via ppm-diagnose -trace.
+	TraceID string `json:",omitempty"`
 	// Window is the drift-timeline window index this batch lands in —
 	// the served-at timestamp label feedback joins against, so label lag
 	// is measured in windows rather than inferred from Seq.
@@ -239,12 +252,42 @@ func (m *Monitor) ObserveProbaID(proba *linalg.Matrix, requestID string) Record 
 // produced them (handed to batch observers for incident forensics) and
 // the end-to-end correlation id. batch may be nil.
 func (m *Monitor) ObserveBatchProbaID(batch *data.Dataset, proba *linalg.Matrix, requestID string) Record {
+	return m.ObserveBatchProbaCtx(context.Background(), batch, proba, requestID)
+}
+
+// ObserveBatchProbaCtx is ObserveBatchProbaID under a context that may
+// carry a W3C trace context (the gateway's shadow tap forwards the
+// serving request's): sampled traces get a monitor_observe span —
+// estimate, drift statistics and verdict attached — recorded into the
+// monitor's tracer, and the record carries the trace id so /history
+// rows link to their waterfalls.
+func (m *Monitor) ObserveBatchProbaCtx(ctx context.Context, batch *data.Dataset, proba *linalg.Matrix, requestID string) Record {
+	if tc, traced := obs.TraceFromContext(ctx); traced && tc.Sampled() {
+		_, span := obs.StartSpan(obs.WithTracer(obs.ContextWithTrace(ctx, tc), m.cfg.Tracer), "monitor_observe")
+		if requestID != "" {
+			span.SetAttr("request_id", requestID)
+		}
+		rec := m.observeBatchProba(batch, proba, requestID, tc.TraceID.String())
+		span.SetMetric("estimate", rec.Estimate)
+		span.SetMetric("rows", float64(rec.Size))
+		if rec.KSMax > 0 {
+			span.SetMetric("ks_max", rec.KSMax)
+		}
+		span.SetAttr("violating", fmt.Sprintf("%t", rec.Violating))
+		span.End()
+		return rec
+	}
+	return m.observeBatchProba(batch, proba, requestID, "")
+}
+
+func (m *Monitor) observeBatchProba(batch *data.Dataset, proba *linalg.Matrix, requestID, traceID string) Record {
 	estimate := m.cfg.Predictor.EstimateFromProba(proba)
 	rec := Record{
 		Size:              proba.Rows,
 		Estimate:          estimate,
 		EstimateViolation: estimate < m.line,
 		RequestID:         requestID,
+		TraceID:           traceID,
 		Window:            m.timeline.OpenIndex(),
 	}
 	if m.cfg.Validator != nil {

@@ -76,6 +76,18 @@ func goldenRegistry() *Registry {
 	sv.Observe(0.02, "relay")
 	sv.Observe(0.025, "request")
 
+	// The distributed-tracing families every serving binary exports
+	// (RegisterTraceMetrics), frozen via the same callback-counter
+	// shapes so their exposition cannot drift either.
+	reg.CounterFunc("ppm_trace_sampled_total",
+		"Sampled root spans recorded by the trace ring.", func() float64 { return 21 })
+	reg.CounterFunc("ppm_trace_unsampled_total",
+		"Root spans discarded by deterministic head sampling.", func() float64 { return 63 })
+	reg.CounterFunc("ppm_trace_dropped_total",
+		"Sampled root spans evicted from the bounded trace ring.", func() float64 { return 5 })
+	reg.CounterFunc("ppm_trace_journal_spans_total",
+		"Root spans appended to the on-disk span journal.", func() float64 { return 16 })
+
 	h := reg.Histogram("ppm_window_close_seconds", "Window close latency.", []float64{0.001, 0.01, 0.1})
 	for _, v := range []float64{0.0005, 0.004, 0.02, 0.5} {
 		h.Observe(v)

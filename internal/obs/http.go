@@ -6,9 +6,12 @@ package obs
 // export, and a request-instrumentation middleware.
 
 import (
+	"encoding/json"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -29,19 +32,105 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // Handler serves the tracer's retained span trees as JSON at GET.
+// ?limit=N truncates the dump to the N most recent traces. Live
+// operational state must never be cached (the monitor endpoints'
+// hygiene rule), hence Cache-Control: no-store.
 func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
 		}
-		out, err := t.JSON()
+		roots := t.Traces()
+		if lim := req.URL.Query().Get("limit"); lim != "" {
+			n, err := strconv.Atoi(lim)
+			if err != nil || n < 0 {
+				http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if n < len(roots) {
+				roots = roots[len(roots)-n:]
+			}
+		}
+		out := make([]SpanJSON, 0, len(roots))
+		for _, r := range roots {
+			out = append(out, r.JSON())
+		}
+		buf, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(out)
+		w.Header().Set("Cache-Control", "no-store")
+		w.Write(buf)
+	})
+}
+
+// TraceHandler serves the local fragments of stitched traces:
+//
+//	GET /debug/traces               JSON index of trace ids in the ring
+//	GET /debug/traces/{traceid}     this process's spans for the trace,
+//	                                merged from the ring and the journal
+//	GET /debug/traces/{id}?format=html  single-process waterfall page
+//
+// service names the process in the waterfall (e.g. the gateway's
+// replica name). Mount under the exact prefix "/debug/traces/".
+func (t *Tracer) TraceHandler(service string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.Trim(strings.TrimPrefix(req.URL.Path, "/debug/traces"), "/")
+		w.Header().Set("Cache-Control", "no-store")
+		if id == "" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(struct {
+				Service  string   `json:"service"`
+				TraceIDs []string `json:"trace_ids"`
+			}{service, t.TraceIDs()})
+			return
+		}
+		spans := t.FindTrace(id)
+		if j := t.Journal(); j != nil {
+			spans = append(spans, j.Find(id)...)
+		}
+		if len(spans) == 0 {
+			http.Error(w, "unknown trace id (unsampled, evicted, or never seen)", http.StatusNotFound)
+			return
+		}
+		if req.URL.Query().Get("format") == "html" {
+			wf, err := StitchTrace(id, []TraceFragment{{Service: service, Spans: spans}})
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			w.Write(wf.HTML())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(TraceFragment{Service: service, Spans: spans})
+	})
+}
+
+// TraceMiddleware extracts an incoming traceparent header into the
+// request context (and, when tr is non-nil, pins root spans started
+// under that context to tr). Requests without a traceparent pass
+// through untouched — the untraced hot path costs one header lookup.
+func TraceMiddleware(tr *Tracer, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if tp := req.Header.Get(TraceparentHeader); tp != "" {
+			if tc, err := ParseTraceparent(tp); err == nil {
+				ctx := ContextWithTrace(req.Context(), tc)
+				if tr != nil {
+					ctx = WithTracer(ctx, tr)
+				}
+				req = req.WithContext(ctx)
+			}
+		}
+		next.ServeHTTP(w, req)
 	})
 }
 
@@ -49,6 +138,7 @@ func (t *Tracer) Handler() http.Handler {
 //
 //	GET /metrics            Prometheus text exposition of reg
 //	GET /debug/spans        JSON export of the tracer's span trees
+//	GET /debug/traces/*     local trace fragments + waterfall view
 //	GET /debug/pprof/*      net/http/pprof profiling endpoints
 //
 // nil reg or tr default to the process-global instances.
@@ -61,6 +151,8 @@ func Mount(mux *http.ServeMux, reg *Registry, tr *Tracer) {
 	}
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/spans", tr.Handler())
+	mux.Handle("/debug/traces", tr.TraceHandler(""))
+	mux.Handle("/debug/traces/", tr.TraceHandler(""))
 	MountPprof(mux)
 }
 

@@ -33,9 +33,24 @@ type WindowSpan struct {
 type BatchRef struct {
 	Seq       int     `json:"seq"`
 	RequestID string  `json:"request_id,omitempty"`
+	TraceID   string  `json:"trace_id,omitempty"`
 	Estimate  float64 `json:"estimate"`
 	Size      int     `json:"size"`
 	Violating bool    `json:"violating"`
+}
+
+// TraceRef embeds one sampled trace's local span fragments in a
+// bundle: the worst-estimate batches' traces and the slowest-exemplar
+// requests' traces, so a burn-rate incident page opens directly into a
+// cross-process waterfall (stitch with ppm-diagnose -trace, merging
+// the other processes' journals).
+type TraceRef struct {
+	TraceID   string `json:"trace_id"`
+	RequestID string `json:"request_id,omitempty"`
+	// Why records what pulled the trace into the bundle:
+	// "worst_estimate" or "slowest_exemplar".
+	Why   string         `json:"why"`
+	Spans []obs.SpanJSON `json:"spans,omitempty"`
 }
 
 // ClassShift is the BBSEh-style predicted-class histogram comparison:
@@ -90,6 +105,10 @@ type Bundle struct {
 	Timeline     []obs.Window   `json:"timeline,omitempty"`
 	WorstBatches []BatchRef     `json:"worst_batches,omitempty"`
 	Spans        []obs.SpanJSON `json:"spans,omitempty"`
+	// Traces are the sampled traces of the worst-estimate batches and
+	// the slowest request exemplars at capture time (local fragments:
+	// this process's ring + journal).
+	Traces []TraceRef `json:"traces,omitempty"`
 	// Serving is the serving SLO snapshot at capture time: per-stage
 	// latency quantiles plus the slowest request exemplars, whose
 	// X-Request-IDs resolve in /history and the gateway log.

@@ -226,6 +226,7 @@ func (r *Recorder) ObserveBatch(batch *data.Dataset, proba *linalg.Matrix, rec m
 	r.offerWorst(BatchRef{
 		Seq:       rec.Seq,
 		RequestID: rec.RequestID,
+		TraceID:   rec.TraceID,
 		Estimate:  rec.Estimate,
 		Size:      rec.Size,
 		Violating: rec.Violating,
@@ -357,6 +358,7 @@ func (r *Recorder) capture(reason string, ev *alert.Event) (*Bundle, error) {
 	for _, span := range r.cfg.Tracer.Traces() {
 		b.Spans = append(b.Spans, span.JSON())
 	}
+	b.Traces = r.collectTraces(b)
 
 	r.mu.Lock()
 	r.bundles = append(r.bundles, b)
@@ -592,4 +594,84 @@ func (s *reservoir) dataset(classes []string) *data.Dataset {
 		Labels:  make([]int, n),
 		Classes: append([]string(nil), classes...),
 	}
+}
+
+// maxBundleTraces bounds the embedded traces per bundle: the worst
+// batches and slowest exemplars overlap heavily in practice, and a
+// bundle must stay small enough to POST to a webhook.
+const maxBundleTraces = 6
+
+// collectTraces resolves the bundle's worst-estimate batches and
+// slowest request exemplars to their sampled traces and embeds this
+// process's span fragments (trace ring + journal) for each. Unsampled
+// or evicted traces simply do not appear — head sampling already
+// decided they were not worth keeping.
+func (r *Recorder) collectTraces(b *Bundle) []TraceRef {
+	type candidate struct {
+		traceID, requestID, why string
+	}
+	var cands []candidate
+	for _, ref := range b.WorstBatches {
+		if ref.TraceID != "" {
+			cands = append(cands, candidate{ref.TraceID, ref.RequestID, "worst_estimate"})
+		}
+	}
+	// Exemplars carry request ids only; resolve them through the span
+	// ring, whose request spans carry both the request_id attribute and
+	// the trace id.
+	var exemplarIDs []string
+	if b.Serving != nil {
+		for _, ex := range b.Serving.Exemplars {
+			if ex.RequestID != "" {
+				exemplarIDs = append(exemplarIDs, ex.RequestID)
+			}
+		}
+	}
+	if len(exemplarIDs) > 0 {
+		byRequest := map[string]string{}
+		for _, root := range r.cfg.Tracer.Traces() {
+			js := root.JSON()
+			if js.TraceID == "" {
+				continue
+			}
+			if id, ok := js.Attrs["request_id"]; ok {
+				byRequest[id] = js.TraceID
+			}
+		}
+		for _, id := range exemplarIDs {
+			if tid, ok := byRequest[id]; ok {
+				cands = append(cands, candidate{tid, id, "slowest_exemplar"})
+			}
+		}
+	}
+
+	seen := map[string]bool{}
+	var out []TraceRef
+	for _, c := range cands {
+		if seen[c.traceID] || len(out) >= maxBundleTraces {
+			continue
+		}
+		seen[c.traceID] = true
+		spans := r.cfg.Tracer.FindTrace(c.traceID)
+		if j := r.cfg.Tracer.Journal(); j != nil {
+			// The ring and the journal overlap for recent traces; dedup
+			// by span id, preferring the ring's (fresher) copy.
+			have := map[string]bool{}
+			for _, s := range spans {
+				if s.SpanID != "" {
+					have[s.SpanID] = true
+				}
+			}
+			for _, s := range j.Find(c.traceID) {
+				if s.SpanID == "" || !have[s.SpanID] {
+					spans = append(spans, s)
+				}
+			}
+		}
+		if len(spans) == 0 {
+			continue
+		}
+		out = append(out, TraceRef{TraceID: c.traceID, RequestID: c.requestID, Why: c.why, Spans: spans})
+	}
+	return out
 }

@@ -1,0 +1,228 @@
+package obs
+
+// SpanJournal is the bounded on-disk span store behind the trace
+// stitcher: every sampled root span that carries a trace id is
+// appended as one JSON line to a spans-NNNNNN.jsonl segment, segments
+// rotate at a size threshold, and only the newest few are retained —
+// the same reload-safe ring discipline as the incident flight
+// recorder's bundle directory. Zero-padded sequence numbers make
+// lexical order chronological, so reopening a journal resumes the
+// ring exactly where the previous process left it, and
+// `ppm-diagnose -trace` can merge the journals of N processes into one
+// waterfall with nothing but a directory glob.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	journalPrefix = "spans-"
+	journalSuffix = ".jsonl"
+
+	// DefaultJournalSegmentBytes is the rotation threshold per segment.
+	DefaultJournalSegmentBytes = 1 << 20
+	// DefaultJournalSegments is the number of retained segments.
+	DefaultJournalSegments = 4
+)
+
+// SpanJournal appends span trees to a bounded jsonl ring on disk. Safe
+// for concurrent use; appends are serialized and each span is written
+// in a single O_APPEND write, so concurrent readers never observe a
+// torn line.
+type SpanJournal struct {
+	dir      string
+	maxBytes int64
+	maxFiles int
+
+	mu   sync.Mutex
+	f    *os.File
+	seq  int   // sequence number of the open segment
+	size int64 // bytes written to the open segment
+
+	appended atomic.Int64
+}
+
+// OpenJournal opens (or creates) the span journal in dir, resuming the
+// newest existing segment. segmentBytes and segments bound the ring
+// (<=0 picks the defaults).
+func OpenJournal(dir string, segmentBytes int64, segments int) (*SpanJournal, error) {
+	if segmentBytes <= 0 {
+		segmentBytes = DefaultJournalSegmentBytes
+	}
+	if segments <= 0 {
+		segments = DefaultJournalSegments
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("span journal: %w", err)
+	}
+	j := &SpanJournal{dir: dir, maxBytes: segmentBytes, maxFiles: segments, seq: 1}
+	files, err := journalSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) > 0 {
+		newest := files[len(files)-1]
+		if n, ok := segmentSeq(newest); ok {
+			j.seq = n
+		}
+		f, err := os.OpenFile(newest, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("span journal: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("span journal: %w", err)
+		}
+		j.f, j.size = f, st.Size()
+		return j, nil
+	}
+	if err := j.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Dir returns the journal directory.
+func (j *SpanJournal) Dir() string { return j.dir }
+
+// Appended returns the number of spans written by this process.
+func (j *SpanJournal) Appended() int64 { return j.appended.Load() }
+
+// Append writes one root span tree as a JSON line, rotating and
+// pruning segments as needed. Errors are swallowed after the first
+// marshal (a full disk must not take serving down with it); the append
+// counter only advances on success.
+func (j *SpanJournal) Append(span SpanJSON) {
+	line, err := json.Marshal(span)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return // closed
+	}
+	if j.size+int64(len(line)) > j.maxBytes && j.size > 0 {
+		if err := j.rotateLocked(); err != nil {
+			return
+		}
+	}
+	n, err := j.f.Write(line)
+	j.size += int64(n)
+	if err == nil {
+		j.appended.Add(1)
+	}
+}
+
+// Close closes the open segment. Further appends are dropped.
+func (j *SpanJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+func (j *SpanJournal) rotateLocked() error {
+	j.f.Close()
+	j.f = nil
+	j.seq++
+	if err := j.openSegmentLocked(); err != nil {
+		return err
+	}
+	// Prune the oldest segments beyond the retention bound.
+	files, err := journalSegments(j.dir)
+	if err == nil && len(files) > j.maxFiles {
+		for _, old := range files[:len(files)-j.maxFiles] {
+			os.Remove(old)
+		}
+	}
+	return nil
+}
+
+func (j *SpanJournal) openSegmentLocked() error {
+	path := filepath.Join(j.dir, fmt.Sprintf("%s%06d%s", journalPrefix, j.seq, journalSuffix))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("span journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("span journal: %w", err)
+	}
+	j.f, j.size = f, st.Size()
+	return nil
+}
+
+// Find returns the journaled root spans belonging to traceID, oldest
+// segment first. It reads the ring from disk on every call — trace
+// lookups are diagnostic, not hot-path.
+func (j *SpanJournal) Find(traceID string) []SpanJSON {
+	spans, _ := ReadJournalDir(j.dir)
+	out := spans[:0]
+	for _, s := range spans {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out[:len(out):len(out)]
+}
+
+// ReadJournalDir loads every span from the spans-*.jsonl ring in dir,
+// oldest segment first. Truncated or corrupt lines (a crash mid-write
+// on a non-O_APPEND filesystem) are skipped, not fatal.
+func ReadJournalDir(dir string) ([]SpanJSON, error) {
+	files, err := journalSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []SpanJSON
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 64<<10), 16<<20)
+		for sc.Scan() {
+			var s SpanJSON
+			if err := json.Unmarshal(sc.Bytes(), &s); err == nil && s.Name != "" {
+				out = append(out, s)
+			}
+		}
+		f.Close()
+	}
+	return out, nil
+}
+
+func journalSegments(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, journalPrefix+"*"+journalSuffix))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+func segmentSeq(path string) (int, bool) {
+	base := filepath.Base(path)
+	base = strings.TrimPrefix(base, journalPrefix)
+	base = strings.TrimSuffix(base, journalSuffix)
+	n, err := strconv.Atoi(base)
+	return n, err == nil && n > 0
+}

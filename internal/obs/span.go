@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,6 +30,15 @@ type tracerCtxKey struct{}
 type Span struct {
 	name  string
 	start time.Time
+
+	// Distributed-trace identity (zero for legacy in-process spans):
+	// assigned at StartSpan time from the context's TraceContext, so a
+	// span knows its trace, its own id and its parent — local or in
+	// another process — without any allocation on the untraced path.
+	traceID  TraceID
+	spanID   SpanID
+	parentID SpanID
+	flags    byte
 
 	mu       sync.Mutex
 	dur      time.Duration // 0 while running
@@ -44,16 +54,51 @@ type Span struct {
 // be recorded — on End — into the tracer carried by ctx, or the
 // process-default tracer when none is set. The returned context
 // carries the new span for further nesting.
+//
+// When ctx also carries a TraceContext (an extracted or minted
+// traceparent), the span joins that trace: it inherits the trace id
+// and flags, records the context's span id as its parent, and mints
+// its own span id; the returned context carries the updated
+// TraceContext so outbound calls inject this span as the parent.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	s := &Span{name: name, start: time.Now()}
 	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		s.traceID, s.parentID, s.flags = parent.traceID, parent.spanID, parent.flags
+		if !s.traceID.IsZero() {
+			s.spanID = newSpanID()
+		}
 		parent.addChild(s)
-	} else if tr, ok := ctx.Value(tracerCtxKey{}).(*Tracer); ok && tr != nil {
-		s.tracer = tr
 	} else {
-		s.tracer = defaultTracer
+		// A zero tc.SpanID is legal here (a freshly minted trace whose
+		// root this span becomes); the wire parser still rejects it.
+		if tc, ok := ctx.Value(traceCtxKey{}).(TraceContext); ok && !tc.TraceID.IsZero() {
+			s.traceID, s.parentID, s.flags = tc.TraceID, tc.SpanID, tc.Flags
+			s.spanID = newSpanID()
+		}
+		if tr, ok := ctx.Value(tracerCtxKey{}).(*Tracer); ok && tr != nil {
+			s.tracer = tr
+		} else {
+			s.tracer = defaultTracer
+		}
 	}
-	return context.WithValue(ctx, spanCtxKey{}, s), s
+	ctx = context.WithValue(ctx, spanCtxKey{}, s)
+	if !s.traceID.IsZero() {
+		ctx = context.WithValue(ctx, traceCtxKey{}, TraceContext{TraceID: s.traceID, SpanID: s.spanID, Flags: s.flags})
+	}
+	return ctx, s
+}
+
+// TraceContext returns the span's own trace coordinates (its span id,
+// not its parent's). The zero context is returned for untraced spans.
+func (s *Span) TraceContext() TraceContext {
+	return TraceContext{TraceID: s.traceID, SpanID: s.spanID, Flags: s.flags}
+}
+
+// Sampled reports whether the span belongs to a sampled trace. Legacy
+// spans without a trace id count as sampled: they predate head
+// sampling and are always retained.
+func (s *Span) Sampled() bool {
+	return s.traceID.IsZero() || s.flags&FlagSampled != 0
 }
 
 // WithTracer returns a context whose root spans record into tr.
@@ -160,20 +205,32 @@ func (s *Span) addChild(c *Span) {
 	s.mu.Unlock()
 }
 
-// SpanJSON is the wire form of a span tree (/debug/spans).
+// SpanJSON is the wire form of a span tree (/debug/spans, the span
+// journal, and the cross-process stitcher). The trace fields are
+// omitted for legacy in-process spans.
 type SpanJSON struct {
-	Name     string             `json:"name"`
-	Start    time.Time          `json:"start"`
-	Seconds  float64            `json:"seconds"`
-	Metrics  map[string]float64 `json:"metrics,omitempty"`
-	Attrs    map[string]string  `json:"attrs,omitempty"`
-	Children []SpanJSON         `json:"children,omitempty"`
+	Name         string             `json:"name"`
+	TraceID      string             `json:"trace_id,omitempty"`
+	SpanID       string             `json:"span_id,omitempty"`
+	ParentSpanID string             `json:"parent_span_id,omitempty"`
+	Start        time.Time          `json:"start"`
+	Seconds      float64            `json:"seconds"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+	Attrs        map[string]string  `json:"attrs,omitempty"`
+	Children     []SpanJSON         `json:"children,omitempty"`
 }
 
 // JSON converts the span tree to its exportable form.
 func (s *Span) JSON() SpanJSON {
 	s.mu.Lock()
 	out := SpanJSON{Name: s.name, Start: s.start, Seconds: s.durationLocked().Seconds()}
+	if !s.traceID.IsZero() {
+		out.TraceID = s.traceID.String()
+		out.SpanID = s.spanID.String()
+		if !s.parentID.IsZero() {
+			out.ParentSpanID = s.parentID.String()
+		}
+	}
 	if len(s.metrics) > 0 {
 		out.Metrics = make(map[string]float64, len(s.metrics))
 		for k, v := range s.metrics {
@@ -247,11 +304,22 @@ func (s *Span) report(w io.Writer, depth int, total float64) {
 }
 
 // Tracer retains the most recent completed root spans in a bounded
-// ring, newest last.
+// ring, newest last. Spans belonging to unsampled traces are counted
+// and discarded (head sampling: the keep/drop decision was already
+// made, deterministically, when the trace id was minted); sampled
+// spans are additionally appended to the on-disk journal when one is
+// attached, so they survive the ring and process restarts for the
+// cross-process stitcher.
 type Tracer struct {
 	mu    sync.Mutex
 	cap   int
 	roots []*Span
+
+	sampled   atomic.Int64 // sampled root spans recorded
+	unsampled atomic.Int64 // unsampled root spans discarded
+	dropped   atomic.Int64 // sampled root spans evicted from the ring
+
+	journal atomic.Pointer[SpanJournal]
 }
 
 // defaultTracer records root spans started without an explicit tracer.
@@ -269,12 +337,124 @@ func NewTracer(capacity int) *Tracer {
 }
 
 func (t *Tracer) record(root *Span) {
+	if !root.Sampled() {
+		// Head sampling: the deterministic keep/drop verdict for this
+		// trace id said drop. Count it (the /metrics families make the
+		// discard rate visible) and spend nothing else on it.
+		t.unsampled.Add(1)
+		return
+	}
+	t.sampled.Add(1)
 	t.mu.Lock()
 	t.roots = append(t.roots, root)
-	if len(t.roots) > t.cap {
-		t.roots = t.roots[len(t.roots)-t.cap:]
+	if over := len(t.roots) - t.cap; over > 0 {
+		t.roots = t.roots[over:]
+		t.dropped.Add(int64(over))
 	}
 	t.mu.Unlock()
+	// Journal outside the ring lock: the append serializes on the
+	// journal's own mutex and may touch disk.
+	if j := t.journal.Load(); j != nil && !root.traceID.IsZero() {
+		j.Append(root.JSON())
+	}
+}
+
+// SetJournal attaches (or, with nil, detaches) the on-disk span
+// journal receiving every sampled root span that carries a trace id.
+// Several tracers may share one journal; its appends are atomic.
+func (t *Tracer) SetJournal(j *SpanJournal) { t.journal.Store(j) }
+
+// Journal returns the attached span journal, or nil.
+func (t *Tracer) Journal() *SpanJournal { return t.journal.Load() }
+
+// TraceCounts returns the tracer's lifetime counters: sampled root
+// spans recorded, unsampled root spans discarded by head sampling, and
+// sampled spans evicted from the bounded ring.
+func (t *Tracer) TraceCounts() (sampled, unsampled, dropped int64) {
+	return t.sampled.Load(), t.unsampled.Load(), t.dropped.Load()
+}
+
+// FindTrace returns the retained root spans belonging to the given
+// trace id (oldest first): the ring's fragment of the trace, merged by
+// the /debug/traces handler with the journal's.
+func (t *Tracer) FindTrace(traceID string) []SpanJSON {
+	var out []SpanJSON
+	for _, r := range t.Traces() {
+		if !r.traceID.IsZero() && r.traceID.String() == traceID {
+			out = append(out, r.JSON())
+		}
+	}
+	return out
+}
+
+// TraceIDs returns the distinct trace ids present in the ring, oldest
+// first — the /debug/traces index.
+func (t *Tracer) TraceIDs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range t.Traces() {
+		if r.traceID.IsZero() {
+			continue
+		}
+		id := r.traceID.String()
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RegisterTraceMetrics exposes the combined trace-pipeline counters of
+// the given tracers on reg as the ppm_trace_* families:
+//
+//	ppm_trace_sampled_total    sampled root spans recorded
+//	ppm_trace_unsampled_total  root spans discarded by head sampling
+//	ppm_trace_dropped_total    sampled spans evicted from the ring
+//	ppm_trace_journal_spans_total  spans appended to the on-disk journal
+//
+// One process may run several tracers (the gateway's private ring plus
+// the default tracer); the families sum across all of them, keeping
+// the exposition cardinality flat.
+func RegisterTraceMetrics(reg *Registry, tracers ...*Tracer) {
+	sum := func(pick func(*Tracer) int64) func() float64 {
+		return func() float64 {
+			var n int64
+			for _, tr := range tracers {
+				if tr != nil {
+					n += pick(tr)
+				}
+			}
+			return float64(n)
+		}
+	}
+	reg.CounterFunc("ppm_trace_sampled_total",
+		"Sampled root spans recorded by the trace ring.",
+		sum(func(tr *Tracer) int64 { return tr.sampled.Load() }))
+	reg.CounterFunc("ppm_trace_unsampled_total",
+		"Root spans discarded by deterministic head sampling.",
+		sum(func(tr *Tracer) int64 { return tr.unsampled.Load() }))
+	reg.CounterFunc("ppm_trace_dropped_total",
+		"Sampled root spans evicted from the bounded trace ring.",
+		sum(func(tr *Tracer) int64 { return tr.dropped.Load() }))
+	reg.CounterFunc("ppm_trace_journal_spans_total",
+		"Root spans appended to the on-disk span journal.",
+		func() float64 {
+			// Several tracers may share one journal; count each journal
+			// once, not once per tracer.
+			var n int64
+			seen := map[*SpanJournal]bool{}
+			for _, tr := range tracers {
+				if tr == nil {
+					continue
+				}
+				if j := tr.journal.Load(); j != nil && !seen[j] {
+					seen[j] = true
+					n += j.Appended()
+				}
+			}
+			return float64(n)
+		})
 }
 
 // Traces returns the retained root spans, oldest first.

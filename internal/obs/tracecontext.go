@@ -1,0 +1,288 @@
+package obs
+
+// W3C Trace Context for the serving fleet: a hand-rolled, dependency
+// free implementation of the `traceparent` header (version 00) plus
+// the deterministic head sampler that decides — as a pure function of
+// the trace-id bits and the configured rate — whether a trace is kept.
+// Because the decision depends on nothing but the id, every process in
+// the fleet reaches the same verdict independently, and a replayed
+// workload (ppm-traffic derives trace ids from its seed) yields a
+// bit-identical sampled set across runs and worker counts, honoring
+// the determinism contract of DESIGN.md §8.
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceparentHeader is the W3C Trace Context request header carrying
+// trace-id, parent span-id and the sampled flag across process
+// boundaries. It rides next to X-Request-ID: the request id names the
+// request, the trace id names its causal tree.
+const TraceparentHeader = "traceparent"
+
+// FlagSampled is the trace-flags bit marking a sampled trace.
+const FlagSampled byte = 0x01
+
+// TraceID is the 16-byte W3C trace identifier.
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C span (parent) identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as 32 lowercase hex characters.
+func (t TraceID) String() string { return hexEncode(t[:]) }
+
+// String renders the id as 16 lowercase hex characters.
+func (s SpanID) String() string { return hexEncode(s[:]) }
+
+// TraceContext is one parsed traceparent: the trace the request
+// belongs to, the caller's span, and the trace flags.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// Valid reports whether both ids are non-zero (the W3C invariant).
+func (tc TraceContext) Valid() bool { return !tc.TraceID.IsZero() && !tc.SpanID.IsZero() }
+
+// Sampled reports whether the sampled flag bit is set.
+func (tc TraceContext) Sampled() bool { return tc.Flags&FlagSampled != 0 }
+
+// Traceparent renders the context as a version-00 traceparent value:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+func (tc TraceContext) Traceparent() string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, '0', '0', '-')
+	buf = appendHex(buf, tc.TraceID[:])
+	buf = append(buf, '-')
+	buf = appendHex(buf, tc.SpanID[:])
+	buf = append(buf, '-')
+	buf = appendHex(buf, []byte{tc.Flags})
+	return string(buf)
+}
+
+var (
+	errTraceparentLength  = errors.New("traceparent: malformed length")
+	errTraceparentVersion = errors.New("traceparent: invalid version")
+	errTraceparentHex     = errors.New("traceparent: non-lowercase-hex field")
+	errTraceparentDelim   = errors.New("traceparent: missing field delimiter")
+	errTraceparentZeroID  = errors.New("traceparent: all-zero trace-id or parent-id")
+)
+
+// ParseTraceparent parses a traceparent header value. It is strict for
+// version 00 (exactly 55 lowercase-hex-and-dash characters) and
+// forward-compatible for higher versions (trailing fields after the
+// 00-shaped prefix are ignored, per the W3C spec). The all-zero
+// trace-id and parent-id are rejected, as is version ff.
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) < 55 {
+		return tc, errTraceparentLength
+	}
+	ver, ok := hexByte(s[0], s[1])
+	if !ok {
+		return tc, errTraceparentHex
+	}
+	if ver == 0xff {
+		return tc, errTraceparentVersion
+	}
+	if ver == 0 && len(s) != 55 {
+		return tc, errTraceparentLength
+	}
+	if ver != 0 && len(s) > 55 && s[55] != '-' {
+		return tc, errTraceparentDelim
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, errTraceparentDelim
+	}
+	for i := 0; i < 16; i++ {
+		b, ok := hexByte(s[3+2*i], s[4+2*i])
+		if !ok {
+			return tc, errTraceparentHex
+		}
+		tc.TraceID[i] = b
+	}
+	for i := 0; i < 8; i++ {
+		b, ok := hexByte(s[36+2*i], s[37+2*i])
+		if !ok {
+			return tc, errTraceparentHex
+		}
+		tc.SpanID[i] = b
+	}
+	flags, ok := hexByte(s[53], s[54])
+	if !ok {
+		return tc, errTraceparentHex
+	}
+	tc.Flags = flags
+	if tc.TraceID.IsZero() || tc.SpanID.IsZero() {
+		return tc, errTraceparentZeroID
+	}
+	return tc, nil
+}
+
+// hexByte decodes two lowercase hex characters into one byte. The W3C
+// spec requires lowercase; uppercase input is rejected.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+const hexDigits = "0123456789abcdef"
+
+func appendHex(dst, src []byte) []byte {
+	for _, b := range src {
+		dst = append(dst, hexDigits[b>>4], hexDigits[b&0x0f])
+	}
+	return dst
+}
+
+func hexEncode(src []byte) string {
+	return string(appendHex(make([]byte, 0, 2*len(src)), src))
+}
+
+// splitmix64 is the finalizing scrambler shared with the parallel
+// builder's per-worker seeding (internal/core): a bijective avalanche
+// over uint64, so consecutive derived states map to well-spread ids.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SampleTrace is the deterministic head-sampling decision: keep iff
+// splitmix64(low 8 bytes of the trace id) falls below rate·2^64. Every
+// process computes the same verdict for the same id, so a trace is
+// either collected by the whole fleet or by nobody — there are no
+// half-sampled waterfalls — and replays reproduce the exact sampled
+// set bit-for-bit.
+func SampleTrace(id TraceID, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	x := splitmix64(binary.BigEndian.Uint64(id[8:]))
+	// rate·2^64 is exact in float64 for the rates that matter; the
+	// comparison is pure integer→float math, identical on every host.
+	return float64(x) < rate*(1<<64)
+}
+
+// DeriveTraceID returns the n-th trace id of the deterministic stream
+// keyed by seed — the id ppm-traffic stamps on its n-th request, so a
+// replay with the same workload seed produces the same ids and (via
+// SampleTrace) the same sampled set. Distinct ids are guaranteed by
+// feeding disjoint counter values through the splitmix64 bijection.
+func DeriveTraceID(seed, n uint64) TraceID {
+	var id TraceID
+	base := seed ^ 0xd6e8feb86659fd93
+	binary.BigEndian.PutUint64(id[:8], splitmix64(base+2*n))
+	binary.BigEndian.PutUint64(id[8:], splitmix64(base+2*n+1))
+	if id.IsZero() { // astronomically unlikely; keep the W3C invariant
+		id[15] = 1
+	}
+	return id
+}
+
+// DeriveTraceContext builds the full deterministic client context for
+// request n: trace id from the seed stream, a synthetic client span id
+// derived from the trace id, and the sampled flag from the
+// deterministic sampler at rate.
+func DeriveTraceContext(seed, n uint64, rate float64) TraceContext {
+	tc := TraceContext{TraceID: DeriveTraceID(seed, n)}
+	binary.BigEndian.PutUint64(tc.SpanID[:], splitmix64(binary.BigEndian.Uint64(tc.TraceID[:8])^0xa0761d6478bd642f))
+	if tc.SpanID.IsZero() {
+		tc.SpanID[7] = 1
+	}
+	if SampleTrace(tc.TraceID, rate) {
+		tc.Flags = FlagSampled
+	}
+	return tc
+}
+
+// spanIDBase randomizes per-process span ids so two processes never
+// mint the same id inside one trace; the counter keeps them unique
+// within the process.
+var (
+	spanIDBase uint64
+	spanIDSeq  atomic.Uint64
+)
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		spanIDBase = binary.BigEndian.Uint64(b[:])
+	} else {
+		spanIDBase = 0x9e3779b97f4a7c15 // degraded but functional
+	}
+}
+
+// newSpanID mints a process-unique span id.
+func newSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], splitmix64(spanIDBase+spanIDSeq.Add(1)))
+	if id.IsZero() {
+		id[7] = 1
+	}
+	return id
+}
+
+// NewTraceContext mints a fresh root context with a random trace id,
+// applying the deterministic sampler at rate. This is what the gateway
+// uses for clients that arrive without a traceparent; traced load
+// generators use DeriveTraceContext instead. The span id is left zero:
+// the first span started under the context becomes the trace root.
+func NewTraceContext(rate float64) (TraceContext, error) {
+	var tc TraceContext
+	if _, err := crand.Read(tc.TraceID[:]); err != nil {
+		return tc, fmt.Errorf("minting trace id: %w", err)
+	}
+	if tc.TraceID.IsZero() {
+		tc.TraceID[15] = 1
+	}
+	if SampleTrace(tc.TraceID, rate) {
+		tc.Flags = FlagSampled
+	}
+	return tc, nil
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches a trace context to ctx; StartSpan links
+// the next span into that trace and outbound helpers (the gateway
+// relay, cloud.Client, the /federate scraper) inject it as a
+// traceparent header.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the trace context carried by ctx, if any.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustParse(t *testing.T, s string) TraceContext {
+	t.Helper()
+	tc, err := ParseTraceparent(s)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", s, err)
+	}
+	return tc
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	const wire = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc := mustParse(t, wire)
+	if got := tc.Traceparent(); got != wire {
+		t.Fatalf("round trip: got %q want %q", got, wire)
+	}
+	if !tc.Sampled() {
+		t.Fatal("flag 01 should be sampled")
+	}
+	if tc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id: %s", tc.TraceID)
+	}
+	if tc.SpanID.String() != "00f067aa0ba902b7" {
+		t.Fatalf("span id: %s", tc.SpanID)
+	}
+	unsampled := mustParse(t, "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if unsampled.Sampled() {
+		t.Fatal("flag 00 should be unsampled")
+	}
+}
+
+func TestTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",     // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", // trailing junk on v00
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",  // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",  // non-hex
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // forbidden version
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // wrong delimiter
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) should fail", s)
+		}
+	}
+	// A higher version may append fields after the v00 prefix; the
+	// prefix must still parse (W3C forward compatibility).
+	future := "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"
+	if _, err := ParseTraceparent(future); err != nil {
+		t.Fatalf("future version with extra field should parse: %v", err)
+	}
+}
+
+func FuzzTraceparentParse(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-rest")
+	f.Add(strings.Repeat("0", 55))
+	f.Fuzz(func(t *testing.T, s string) {
+		tc, err := ParseTraceparent(s)
+		if err != nil {
+			return
+		}
+		// Anything accepted must round-trip through the v00 formatter
+		// and re-parse to the same context.
+		again, err := ParseTraceparent(tc.Traceparent())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", tc.Traceparent(), s, err)
+		}
+		if again != tc {
+			t.Fatalf("round trip drift: %+v vs %+v", tc, again)
+		}
+		if tc.TraceID.IsZero() || tc.SpanID.IsZero() {
+			t.Fatalf("parser accepted zero id in %q", s)
+		}
+	})
+}
+
+// TestSampleTraceDeterministic is the §16 contract: the sampled subset
+// of a derived workload is a pure function of (seed, rate) — identical
+// when computed serially, in parallel, or partitioned across any
+// number of workers.
+func TestSampleTraceDeterministic(t *testing.T) {
+	const seed, n = uint64(42), 4096
+	const rate = 0.25
+	serial := make([]bool, n)
+	for i := range serial {
+		serial[i] = SampleTrace(DeriveTraceID(seed, uint64(i)), rate)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got := make([]bool, n)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += workers {
+					got[i] = SampleTrace(DeriveTraceID(seed, uint64(i)), rate)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: verdict for trace %d diverged", workers, i)
+			}
+		}
+	}
+	sampled := 0
+	for _, s := range serial {
+		if s {
+			sampled++
+		}
+	}
+	frac := float64(sampled) / n
+	if frac < rate-0.05 || frac > rate+0.05 {
+		t.Fatalf("sampled fraction %.3f far from rate %.2f", frac, rate)
+	}
+	for i := 0; i < 64; i++ {
+		id := DeriveTraceID(seed, uint64(i))
+		if !SampleTrace(id, 1) {
+			t.Fatal("rate 1 must sample everything")
+		}
+		if SampleTrace(id, 0) {
+			t.Fatal("rate 0 must sample nothing")
+		}
+	}
+}
+
+func TestDeriveTraceContext(t *testing.T) {
+	a := DeriveTraceContext(7, 3, 0.5)
+	b := DeriveTraceContext(7, 3, 0.5)
+	if a != b {
+		t.Fatal("derivation must be deterministic")
+	}
+	if !a.Valid() {
+		t.Fatal("derived context must carry non-zero ids")
+	}
+	if a.Sampled() != SampleTrace(a.TraceID, 0.5) {
+		t.Fatal("derived flags must match the fleet sampling verdict")
+	}
+	if DeriveTraceContext(7, 4, 0.5).TraceID == a.TraceID {
+		t.Fatal("distinct batch indices must get distinct trace ids")
+	}
+	if DeriveTraceContext(8, 3, 0.5).TraceID == a.TraceID {
+		t.Fatal("distinct seeds must get distinct trace ids")
+	}
+	// Wire-parseable: a synthetic client context must survive the
+	// strict parser.
+	if _, err := ParseTraceparent(a.Traceparent()); err != nil {
+		t.Fatalf("derived traceparent rejected: %v", err)
+	}
+}
+
+func TestSpanJoinsWireTrace(t *testing.T) {
+	tr := NewTracer(8)
+	wire := mustParse(t, "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	ctx := ContextWithTrace(WithTracer(context.Background(), tr), wire)
+	ctx, root := StartSpan(ctx, "root")
+	_, child := StartSpan(ctx, "child")
+	child.End()
+	root.End()
+	rj, cj := root.JSON(), child.JSON()
+	if rj.TraceID != wire.TraceID.String() || cj.TraceID != rj.TraceID {
+		t.Fatalf("trace id not inherited: root %q child %q", rj.TraceID, cj.TraceID)
+	}
+	if rj.ParentSpanID != wire.SpanID.String() {
+		t.Fatalf("root parent = %q, want wire span id %q", rj.ParentSpanID, wire.SpanID)
+	}
+	if cj.ParentSpanID != rj.SpanID {
+		t.Fatalf("child parent = %q, want root span id %q", cj.ParentSpanID, rj.SpanID)
+	}
+	if rj.SpanID == cj.SpanID || rj.SpanID == "" {
+		t.Fatalf("span ids must be distinct and non-empty: %q %q", rj.SpanID, cj.SpanID)
+	}
+	// A minted root context (NewTraceContext) has a zero span id: the
+	// first span becomes the true root, with no phantom parent.
+	minted, err := NewTraceContext(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := ContextWithTrace(WithTracer(context.Background(), tr), minted)
+	_, top := StartSpan(ctx2, "top")
+	top.End()
+	if tj := top.JSON(); tj.ParentSpanID != "" {
+		t.Fatalf("minted trace root should have no parent, got %q", tj.ParentSpanID)
+	}
+	sampled, unsampled, _ := tr.TraceCounts()
+	if sampled != 2 || unsampled != 0 {
+		t.Fatalf("trace counts = %d sampled %d unsampled, want 2/0", sampled, unsampled)
+	}
+}
+
+func TestUnsampledTraceSkipsRing(t *testing.T) {
+	tr := NewTracer(8)
+	wire := mustParse(t, "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	ctx := ContextWithTrace(WithTracer(context.Background(), tr), wire)
+	_, root := StartSpan(ctx, "root")
+	root.End()
+	if got := len(tr.Traces()); got != 0 {
+		t.Fatalf("unsampled root landed in the ring (%d traces)", got)
+	}
+	sampled, unsampled, _ := tr.TraceCounts()
+	if sampled != 0 || unsampled != 1 {
+		t.Fatalf("trace counts = %d/%d, want 0 sampled / 1 unsampled", sampled, unsampled)
+	}
+	// Legacy spans without any trace context still count as sampled
+	// and land in the ring (the training pipeline's spans).
+	_, legacy := StartSpan(WithTracer(context.Background(), tr), "legacy")
+	legacy.End()
+	if got := len(tr.Traces()); got != 1 {
+		t.Fatalf("legacy span missing from ring (%d traces)", got)
+	}
+}
+
+func TestDerivedTraceIDsUnique(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 10000; i++ {
+		id := DeriveTraceID(1, uint64(i))
+		if seen[id] {
+			t.Fatalf("duplicate derived trace id at %d", i)
+		}
+		seen[id] = true
+	}
+	ids := map[SpanID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := newSpanID()
+		if id.IsZero() || ids[id] {
+			t.Fatalf("span id %s zero or repeated at %d", id, i)
+		}
+		ids[id] = true
+	}
+}
+
+func TestTraceContextString(t *testing.T) {
+	tc := DeriveTraceContext(1, 1, 1)
+	want := fmt.Sprintf("00-%s-%s-01", tc.TraceID, tc.SpanID)
+	if got := tc.Traceparent(); got != want {
+		t.Fatalf("Traceparent() = %q want %q", got, want)
+	}
+}

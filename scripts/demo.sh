@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Smoke test for the serving stack, in six acts:
+# Smoke test for the serving stack, in seven acts:
 #
 #   ppm-serve (backend model server)  <-  ppm-gateway (shadow proxy)  <-  curl / ppm-traffic
 #                                              |
@@ -35,8 +35,16 @@
 # CPU+heap pprof profiles plus the SLO snapshot with slow-request
 # exemplars, /slo and the ppm_serving_* metric families report the
 # over-budget state, and ppm-diagnose -extract-profiles writes a pprof
-# pair that go tool pprof can open. All acts shut down gracefully
-# (SIGTERM, exercising the shared drain path). Run via `make demo`.
+# pair that go tool pprof can open. Act 7 turns on distributed tracing:
+# backend and gateway restart with span journals (-trace-dir),
+# ppm-traffic drives a half-sampled ramp (-trace-sample 0.5, the
+# deterministic head-sampling verdict is a pure function of the
+# seed-derived trace id), and ppm-diagnose -trace stitches the two
+# on-disk journals into one waterfall that must carry the gateway
+# relay, backend predict and shadow monitor observe spans under a
+# single shared trace id — while the unsampled trace ids left no spans
+# anywhere. All acts shut down gracefully (SIGTERM, exercising the
+# shared drain path). Run via `make demo`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -526,4 +534,96 @@ cpu_prof="$(ls "$WORKDIR"/profiles6/*-cpu.pprof 2>/dev/null | head -n 1)"
 go tool pprof -top "$cpu_prof" >/dev/null 2>&1 || {
   echo "demo: go tool pprof cannot read $cpu_prof" >&2; exit 1; }
 
-echo "demo: OK — proxying, drift timeline, alerting, request correlation, incident capture, fleet federation, label feedback and the serving SLO observatory all verified"
+# ---- Act 7: distributed tracing — a half-sampled ramp stitched into
+# ---- one cross-process waterfall
+
+# The head-sampling verdict is a pure function of the trace id, and
+# ppm-traffic derives batch n's trace id from the workload seed — so at
+# -trace-sample 0.5 the same batches sample on every run, and every
+# process (gateway, backend, shadow monitor tap) agrees per trace with
+# no coordination. Each process journals its sampled spans to its own
+# -trace-dir; ppm-diagnose -trace merges the journals offline.
+echo "demo: restarting the backend with a span journal (tracing act)"
+kill -TERM "$SERVE_PID" && wait "$SERVE_PID" 2>/dev/null || true
+"$WORKDIR/ppm-serve" -dataset income -model lr -rows 1200 -addr "$SERVE_ADDR" \
+  -trace-dir "$WORKDIR/traces/backend" \
+  >"$WORKDIR/serve7.log" 2>&1 &
+SERVE_PID=$!
+wait_for "http://$SERVE_ADDR/healthz" 300
+
+echo "demo: restarting the gateway with a span journal"
+kill -TERM "$GW_PID" && wait "$GW_PID" 2>/dev/null || true
+"$WORKDIR/ppm-gateway" -backend "http://$SERVE_ADDR" -addr "$GW_ADDR" \
+  -bundle "$WORKDIR/bundle" \
+  -trace-dir "$WORKDIR/traces/gateway" \
+  >"$WORKDIR/gateway7.log" 2>&1 &
+GW_PID=$!
+wait_for "http://$GW_ADDR/healthz"
+
+echo "demo: driving a half-sampled clean ramp (-trace-sample 0.5)"
+"$WORKDIR/ppm-traffic" send -target "http://$GW_ADDR" -dataset income \
+  -batches 8 -rows 120 -trace-sample 0.5 | tee "$WORKDIR/traffic7.log"
+grep -q 'sampled=true' "$WORKDIR/traffic7.log" || {
+  echo "demo: no batch sampled at rate 0.5" >&2; exit 1; }
+grep -q 'sampled=false' "$WORKDIR/traffic7.log" || {
+  echo "demo: every batch sampled at rate 0.5" >&2; exit 1; }
+tid="$(sed -n 's/.* trace_id \([0-9a-f]\{32\}\) sampled=true$/\1/p' "$WORKDIR/traffic7.log" | head -n 1)"
+utid="$(sed -n 's/.* trace_id \([0-9a-f]\{32\}\) sampled=false$/\1/p' "$WORKDIR/traffic7.log" | head -n 1)"
+[ -n "$tid" ] && [ -n "$utid" ] || {
+  echo "demo: could not extract trace ids from the traffic log" >&2; exit 1; }
+
+echo "demo: asserting the ppm_trace_* families on /metrics"
+gw7_metrics="$(curl -fsS "http://$GW_ADDR/metrics")"
+echo "$gw7_metrics" | grep -q '^# TYPE ppm_trace_sampled_total counter$' || {
+  echo "demo: ppm_trace_sampled_total family missing from /metrics" >&2; exit 1; }
+echo "$gw7_metrics" | grep -q '^ppm_trace_sampled_total [1-9]' || {
+  echo "demo: no sampled traces accounted:" >&2
+  echo "$gw7_metrics" | grep ppm_trace >&2 || true; exit 1; }
+
+echo "demo: stitching the journals into the waterfall of trace $tid"
+# Journals append live (one O_APPEND write per sampled root), so the
+# stitcher runs against the running fleet; the monitor tap observes
+# asynchronously, so poll until its span lands in the gateway journal.
+JOURNALS7="gateway=$WORKDIR/traces/gateway,backend=$WORKDIR/traces/backend"
+stitch_ok=""
+for _ in $(seq 50); do
+  if "$WORKDIR/ppm-diagnose" -trace "$tid" -journals "$JOURNALS7" \
+       >"$WORKDIR/trace7.md" 2>/dev/null \
+     && grep -q 'monitor_observe' "$WORKDIR/trace7.md"; then
+    stitch_ok=1; break
+  fi
+  sleep 0.2
+done
+[ -n "$stitch_ok" ] || {
+  echo "demo: trace $tid never stitched into a full waterfall:" >&2
+  cat "$WORKDIR/trace7.md" >&2 || true
+  cat "$WORKDIR/gateway7.log" >&2; exit 1; }
+
+echo "demo: asserting the waterfall covers every hop under the shared trace id"
+for span in gateway_request gateway_relay backend_predict monitor_observe; do
+  grep -q "$span" "$WORKDIR/trace7.md" || {
+    echo "demo: stitched waterfall missing the $span span:" >&2
+    cat "$WORKDIR/trace7.md" >&2; exit 1; }
+done
+grep -q "$tid" "$WORKDIR/trace7.md" || {
+  echo "demo: waterfall does not carry the shared trace id" >&2; exit 1; }
+
+echo "demo: asserting the unsampled trace $utid left no spans in any journal"
+if "$WORKDIR/ppm-diagnose" -trace "$utid" -journals "$JOURNALS7" >/dev/null 2>&1; then
+  echo "demo: unsampled trace $utid has journaled spans" >&2; exit 1
+fi
+
+echo "demo: rendering the auto-picked waterfall as standalone HTML"
+"$WORKDIR/ppm-diagnose" -trace auto -journals "$JOURNALS7" \
+  -html "$WORKDIR/trace7.html" >/dev/null 2>"$WORKDIR/diagnose7.log"
+grep -q '<html' "$WORKDIR/trace7.html" || {
+  echo "demo: -html wrote no waterfall page:" >&2
+  cat "$WORKDIR/diagnose7.log" >&2; exit 1; }
+
+echo "demo: fetching the gateway's local fragment via /debug/traces"
+frag_body="$(curl -fsS "http://$GW_ADDR/debug/traces/$tid")"
+echo "$frag_body" | grep -q '"gateway_request"' || {
+  echo "demo: /debug/traces/$tid missing the request span:" >&2
+  echo "$frag_body" >&2; exit 1; }
+
+echo "demo: OK — proxying, drift timeline, alerting, request correlation, incident capture, fleet federation, label feedback, the serving SLO observatory and cross-process trace stitching all verified"
