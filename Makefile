@@ -4,13 +4,13 @@
 # trainer, the serving-path packages (gateway proxy + monitor, whose
 # shadow tap, /metrics scrape and dashboard are hit concurrently in
 # production), and the telemetry registry/span tree plus the alert
-# engine and incident flight recorder (internal/obs/...), and the
-# label-feedback store (internal/labels) under the race detector in
-# short mode.
+# engine, incident flight recorder and durable timeline store
+# (internal/obs/...), and the label-feedback store (internal/labels)
+# under the race detector in short mode.
 
 GO ?= go
 
-.PHONY: check lint vet build test race bench bench-gateway bench-serving demo audit fuzz
+.PHONY: check lint vet build test race bench bench-gateway bench-serving bench-tsdb demo audit fuzz
 
 check: vet build test race
 
@@ -51,21 +51,32 @@ bench-serving:
 	$(GO) run ./cmd/ppm-bench -exp serving
 	$(GO) test -run TestServingAllocGate -count=1 -v ./internal/gateway/
 
-# Seven-act smoke test: proxying + /metrics, shadow validation with
+# Durable timeline store benchmark ("Telemetry history" in
+# EXPERIMENTS.md): regenerates BENCH_tsdb.json (append windows/sec,
+# cold segment decode + re-aggregate throughput, range-query p50/p99,
+# the eager-vs-lazy compaction determinism check) via ppm-bench -exp
+# tsdb, then runs the compaction determinism suite itself.
+bench-tsdb:
+	$(GO) run ./cmd/ppm-bench -exp tsdb -log-level warn
+	$(GO) test -run 'TestCompaction|TestBacktest' -count=1 -v ./internal/obs/tsdb/
+
+# Eight-act smoke test: proxying + /metrics, shadow validation with
 # alerting, incident capture with drift attribution, fleet federation
 # with stale-shard degradation, lagged label feedback, the serving
 # SLO observatory (open-loop ramp past the burn-rate threshold,
-# alert-triggered profile capture), and distributed tracing (sampled
-# ramp stitched across per-process span journals) — see
-# scripts/demo.sh.
+# alert-triggered profile capture), distributed tracing (sampled
+# ramp stitched across per-process span journals), and the durable
+# timeline store (history surviving a restart, ppm-backtest
+# bit-reproducing the live alert events) — see scripts/demo.sh.
 demo:
 	bash scripts/demo.sh
 
 # Deep pass over the serving-path observability stack: format/exposition
 # lint, vet, and the race detector (full, not -short) across the
 # telemetry store + alert engine + incident flight recorder + trace
-# journal/stitcher (internal/obs/... includes internal/obs/incident;
-# the journal's concurrent append-vs-/debug/traces path runs here), the
+# journal/stitcher + durable timeline store (internal/obs/... includes
+# internal/obs/incident and internal/obs/tsdb, whose concurrent
+# append-vs-query path runs here), the
 # gateway, the monitor, the mergeable sketches (internal/stats) and the
 # federation aggregator (internal/fed, whose /federate handler and
 # ScrapeOnce run concurrently with ObserveRow in production). `make
@@ -78,12 +89,15 @@ audit: lint
 
 # Short coverage-guided fuzz budgets for the deterministic-merge
 # invariants — sketch merge (associativity/commutativity vs the union
-# stream) and the serialized round-trips — plus the two attacker-facing
-# wire decoders on the serving mux: the /labels ingestion body and the
-# W3C traceparent header parser (every proxied request runs it).
+# stream) and the serialized round-trips — plus the attacker-facing
+# wire decoders: the /labels ingestion body, the W3C traceparent
+# header parser (every proxied request runs it), and the on-disk
+# segment decoder (which must keep the valid prefix of any torn or
+# corrupted segment file without panicking).
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzKLLMerge -fuzztime 10s ./internal/stats
 	$(GO) test -run NONE -fuzz FuzzKLLRoundTrip -fuzztime 10s ./internal/stats
 	$(GO) test -run NONE -fuzz FuzzLatencyHistMerge -fuzztime 10s ./internal/stats
 	$(GO) test -run NONE -fuzz FuzzLabelsDecode -fuzztime 10s ./internal/labels
 	$(GO) test -run NONE -fuzz FuzzTraceparentParse -fuzztime 10s ./internal/obs
+	$(GO) test -run NONE -fuzz FuzzSegmentDecode -fuzztime 10s ./internal/obs/tsdb

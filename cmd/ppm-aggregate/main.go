@@ -19,6 +19,9 @@
 //
 // GET / serves the fleet dashboard; /timeline, /federate, /status,
 // /healthz, /metrics, /debug/pprof/* and /debug/spans sit beside it.
+// -tsdb-dir persists every merged fleet window to an on-disk segment
+// store (GET /timeline/range serves the durable history; see
+// ppm-backtest).
 package main
 
 import (
@@ -50,6 +53,8 @@ func main() {
 	incidentMax := flag.Int("incident-max", 0, "retained fleet incident files (0 = default 16)")
 	traceDir := flag.String("trace-dir", "", "span journal directory for cross-process trace stitching (empty = in-memory ring only)")
 	traceSample := flag.Float64("trace-sample", 1, "deterministic head-sampling rate for federate_scrape traces (<=0 or >1 = sample everything)")
+	var tsdbFlags cli.TSDBFlags
+	tsdbFlags.RegisterFlags(flag.CommandLine)
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -92,6 +97,18 @@ func main() {
 	if engine != nil {
 		logger.Info("fleet alerting on", "rules", *alertRules, "webhook", *alertWebhook)
 	}
+	// The merged fleet windows persist the same way a single monitor's
+	// do: the aggregator is a WindowSource, so the durable store sees
+	// each fleet window exactly once, at close.
+	tsdbDB, closeTSDB, err := cli.WireTSDB(agg, tsdbFlags.Options(obs.Default(), logger))
+	if err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+	defer closeTSDB()
+	if tsdbDB != nil {
+		logger.Info("durable fleet timeline on", "dir", tsdbFlags.Dir, "retention", tsdbFlags.Retention)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -99,6 +116,9 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", agg.Handler())
+	if tsdbDB != nil {
+		mux.Handle("/timeline/range", tsdbDB.RangeHandler())
+	}
 	obs.Mount(mux, obs.Default(), obs.DefaultTracer())
 	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {

@@ -1,0 +1,186 @@
+// Command ppm-backtest replays the durable drift timeline a monitoring
+// process persisted under -tsdb-dir (ppm-monitor, ppm-gateway or
+// ppm-aggregate) through the stock alert engine, offline:
+//
+//	ppm-backtest -tsdb-dir tsdb -rules rules.json
+//	ppm-backtest -tsdb-dir tsdb -rules rules.json -json
+//	ppm-backtest -tsdb-dir tsdb -rules rules.json \
+//	    -sweep-rule accuracy_alarm -thresholds 0.5,0.8,0.9,1.0
+//
+// Replay mode (default) feeds the persisted windows, in index order,
+// through a fresh engine running the given rules and prints the edge
+// events — over an uncompacted range the sequence is bit-identical to
+// what fired live, so the store doubles as an alert audit log. Sweep
+// mode substitutes each candidate threshold into one named rule from
+// the file and reports would-have-fired counts and excursion durations
+// per candidate, turning threshold tuning into a measured exercise
+// instead of a guess.
+//
+// The store opens read-only: nothing is written, deleted or compacted,
+// so pointing ppm-backtest at a live process's -tsdb-dir is safe.
+// -from/-to restrict the replayed window-index range. Fidelity caveat:
+// ranges already downsampled by compaction replay one merged window
+// per bucket, so hysteresis counts buckets there — run the producer
+// with -tsdb-downsample 1 when audits must stay bit-exact forever
+// (DESIGN.md §17).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"blackboxval/internal/obs/alert"
+	"blackboxval/internal/obs/tsdb"
+)
+
+func main() {
+	dir := flag.String("tsdb-dir", "", "segment directory written by a -tsdb-dir monitoring process (required)")
+	rulesPath := flag.String("rules", "", "JSON alert rule file to replay (required; same format as -alert-rules)")
+	from := flag.Int64("from", -1, "first window index to replay (-1 = start of history)")
+	to := flag.Int64("to", -1, "last window index to replay (-1 = end of history)")
+	sweepRule := flag.String("sweep-rule", "", "sweep mode: name of the rule in -rules whose threshold is swept")
+	thresholds := flag.String("thresholds", "", "sweep mode: comma-separated candidate thresholds")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ppm-backtest -tsdb-dir DIR -rules FILE [-from N] [-to N] [-json]")
+		fmt.Fprintln(os.Stderr, "       ppm-backtest -tsdb-dir DIR -rules FILE -sweep-rule NAME -thresholds a,b,c [-json]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *dir == "" || *rulesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	rules, err := alert.LoadRules(*rulesPath)
+	if err != nil {
+		fatal(err)
+	}
+	// Read-only: never mutate a store another process may be appending
+	// to (no temp-file cleanup, no active segment, no retention).
+	db, err := tsdb.OpenReadOnly(tsdb.Config{Dir: *dir})
+	if err != nil {
+		fatal(err)
+	}
+	entries, err := selectEntries(db, *from, *to)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *sweepRule != "" {
+		if err := runSweep(entries, rules, *sweepRule, *thresholds, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := runReplay(entries, rules, *jsonOut); err != nil {
+		fatal(err)
+	}
+}
+
+// selectEntries loads the effective persisted records clipped to the
+// requested index range (-1 bounds mean "whatever the store holds").
+func selectEntries(db *tsdb.DB, from, to int64) ([]tsdb.Entry, error) {
+	min, max, ok := db.Bounds()
+	if !ok {
+		return nil, fmt.Errorf("store holds no windows")
+	}
+	if from < 0 {
+		from = min
+	}
+	if to < 0 {
+		to = max
+	}
+	if from > to {
+		return nil, fmt.Errorf("-from %d is past -to %d", from, to)
+	}
+	entries := db.Entries(from, to)
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no windows in [%d, %d] (store holds [%d, %d])", from, to, min, max)
+	}
+	return entries, nil
+}
+
+// runReplay feeds the selected history through the rules and prints
+// the edge-event sequence production would have emitted.
+func runReplay(entries []tsdb.Entry, rules []alert.Rule, jsonOut bool) error {
+	events, err := tsdb.ReplayEntries(entries, rules, nil)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Windows int           `json:"windows"`
+			Events  []alert.Event `json:"events"`
+		}{len(entries), events})
+	}
+	fmt.Printf("replayed %d persisted windows through %d rule(s): %d event(s)\n",
+		len(entries), len(rules), len(events))
+	for _, ev := range events {
+		fmt.Printf("  window %-5d %-8s %-24s %s %s %g  value=%g  severity=%s\n",
+			ev.WindowIndex, ev.State, ev.Rule, ev.Series, ev.Op,
+			ev.Threshold, ev.Value, ev.Severity)
+	}
+	return nil
+}
+
+// runSweep substitutes each candidate threshold into the named rule
+// and reports the would-have-fired outcome per candidate.
+func runSweep(entries []tsdb.Entry, rules []alert.Rule, name, list string, jsonOut bool) error {
+	var base *alert.Rule
+	for i := range rules {
+		if rules[i].Name == name {
+			base = &rules[i]
+			break
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("rule %q not in the rules file", name)
+	}
+	var candidates []float64
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("-thresholds: %w", err)
+		}
+		candidates = append(candidates, v)
+	}
+	if len(candidates) == 0 {
+		return fmt.Errorf("-sweep-rule needs -thresholds a,b,c")
+	}
+	rows, err := tsdb.SweepEntries(entries, *base, candidates, nil)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Rule    string          `json:"rule"`
+			Windows int             `json:"windows"`
+			Rows    []tsdb.SweepRow `json:"rows"`
+		}{name, len(entries), rows})
+	}
+	fmt.Printf("swept rule %s (%s %s <threshold>, reduce=%s) over %d persisted windows\n",
+		name, base.Series, base.Op, base.Reduce, len(entries))
+	fmt.Printf("  %-12s %-8s %-16s %s\n", "threshold", "firings", "firing_windows", "longest")
+	for _, r := range rows {
+		fmt.Printf("  %-12g %-8d %-16d %d\n", r.Threshold, r.Firings, r.FiringWindows, r.Longest)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppm-backtest:", err)
+	os.Exit(1)
+}

@@ -11,7 +11,7 @@
 // Experiments: fig2a fig2b fig2c fig2d fig3 fig4 val-known fig5 fig6 fig7
 // fig2a-auc fig2c-auc gen-matrix ablation-step ablation-regressor
 // ablation-size ablation-ks stability pipeline timeline federate labels
-// serving all
+// serving tsdb all
 //
 // The pipeline experiment times the end-to-end training pipeline with
 // internal/obs spans and writes the machine-readable breakdown to
@@ -28,6 +28,10 @@
 // The serving experiment drives a canned-backend gateway through the
 // serving SLO observatory (per-stage p50/p99/p999, rows/sec, allocs/op)
 // and writes -serving-out (default BENCH_serving.json).
+// The tsdb experiment measures the durable timeline store (append
+// windows/sec, cold segment decode + re-aggregate throughput, range
+// query p50/p99, the eager-vs-lazy compaction determinism check) and
+// writes -tsdb-out (default BENCH_tsdb.json).
 // -trace prints a span
 // report of every traced training run; -log-level and -log-format
 // control structured logging.
@@ -66,6 +70,8 @@ func main() {
 		"file for the machine-readable label-feedback benchmark (empty disables; written by -exp labels)")
 	servingOut := flag.String("serving-out", "BENCH_serving.json",
 		"file for the machine-readable serving hot-path benchmark (empty disables; written by -exp serving)")
+	tsdbOut := flag.String("tsdb-out", "BENCH_tsdb.json",
+		"file for the machine-readable durable-timeline benchmark (empty disables; written by -exp tsdb)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -92,7 +98,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*exp, scale, *format, *pipelineOut, *timelineOut, *federateOut, *labelsOut, *servingOut); err != nil {
+	if err := run(*exp, scale, *format, *pipelineOut, *timelineOut, *federateOut, *labelsOut, *servingOut, *tsdbOut); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -142,6 +148,7 @@ func runners(scale experiments.Scale) map[string]func() (any, error) {
 		"federate": wrap(func() (any, error) { return experiments.FederateBench(scale) }),
 		"labels":   wrap(func() (any, error) { return experiments.LabelsBench(scale) }),
 		"serving":  wrap(func() (any, error) { return experiments.ServingBench(scale) }),
+		"tsdb":     wrap(func() (any, error) { return experiments.TSDBBench(scale) }),
 	}
 }
 
@@ -152,6 +159,7 @@ var order = []string{
 	"fig2a-auc", "fig2c-auc", "gen-matrix-lr", "gen-matrix-xgb",
 	"ablation-step", "ablation-regressor", "ablation-size", "ablation-ks",
 	"stability", "pipeline", "timeline", "federate", "labels", "serving",
+	"tsdb",
 }
 
 // aliases map legacy/composite ids to runner ids.
@@ -159,7 +167,7 @@ var aliases = map[string][]string{
 	"gen-matrix": {"gen-matrix-lr", "gen-matrix-xgb"},
 }
 
-func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut, federateOut, labelsOut, servingOut string) error {
+func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut, federateOut, labelsOut, servingOut, tsdbOut string) error {
 	byID := runners(scale)
 	ids := []string{exp}
 	if exp == "all" {
@@ -215,6 +223,12 @@ func run(exp string, scale experiments.Scale, format, pipelineOut, timelineOut, 
 				return fmt.Errorf("%s: %w", id, err)
 			}
 			fmt.Printf("serving benchmark written to %s\n", servingOut)
+		}
+		if dr, ok := result.(*experiments.TSDBResult); ok && tsdbOut != "" {
+			if err := writeJSON(tsdbOut, dr); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Printf("tsdb benchmark written to %s\n", tsdbOut)
 		}
 		if exp == "all" {
 			fmt.Printf("--- %s done in %s ---\n\n", id, time.Since(start).Round(time.Millisecond))

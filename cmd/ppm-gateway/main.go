@@ -38,8 +38,13 @@
 // feedback loop is also on: POST /labels ingests delayed ground truth
 // joined by X-Request-ID, GET /labels/requests serves the active
 // (Thompson) labeling worklist, GET /labels/status the Bayesian
-// assessment (-label-lag/-label-pending/-label-seed tune it).
-// -log-level and -log-format control structured logging.
+// assessment (-label-lag/-label-pending/-label-seed tune it). With
+// -bundle, -tsdb-dir persists every closed drift-timeline window to
+// an on-disk segment store: GET /monitor/timeline/range serves range
+// queries over the durable history, which survives restarts and
+// replays offline via ppm-backtest (-tsdb-retention and friends bound
+// the footprint). -log-level and -log-format control structured
+// logging.
 package main
 
 import (
@@ -59,6 +64,7 @@ import (
 	"blackboxval/internal/obs"
 	"blackboxval/internal/obs/alert"
 	"blackboxval/internal/obs/incident"
+	"blackboxval/internal/obs/tsdb"
 )
 
 func main() {
@@ -93,6 +99,8 @@ func main() {
 	profileCooldown := flag.Duration("profile-cooldown", 0, "minimum gap between profile captures (0 = default 30s)")
 	traceDir := flag.String("trace-dir", "", "span journal directory for cross-process trace stitching (empty = in-memory ring only)")
 	traceSample := flag.Float64("trace-sample", 1, "deterministic head-sampling rate for traces this gateway mints (<=0 or >1 = sample everything); incoming traceparent flags win")
+	var tsdbFlags cli.TSDBFlags
+	tsdbFlags.RegisterFlags(flag.CommandLine)
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -121,6 +129,7 @@ func main() {
 		burnThreshold: *burnThreshold,
 		profileCPU:    *profileCPU, profileCooldown: *profileCooldown,
 		traceDir: *traceDir, traceSample: *traceSample,
+		tsdb: tsdbFlags,
 	}
 	if err := run(opts, logger); err != nil {
 		logger.Error("fatal", "err", err)
@@ -150,6 +159,7 @@ type options struct {
 	profileCPU, profileCooldown      time.Duration
 	traceDir                         string
 	traceSample                      float64
+	tsdb                             cli.TSDBFlags
 }
 
 func run(opts options, logger *slog.Logger) error {
@@ -234,6 +244,7 @@ func run(opts options, logger *slog.Logger) error {
 
 	var rec *incident.Recorder
 	var lstore *labels.Store
+	var tsdbDB *tsdb.DB
 	if cfg.Monitor != nil {
 		// Surface the monitor's own families (estimate, alarm line,
 		// batch/violation counters) on the gateway's /metrics endpoint.
@@ -293,6 +304,23 @@ func run(opts options, logger *slog.Logger) error {
 		if opts.alertRules != "" {
 			logger.Info("alerting on", "rules", opts.alertRules, "webhook", opts.alertWebhook)
 		}
+		// Durable drift history: every closed timeline window is
+		// persisted to the segment store so history survives restarts
+		// and ppm-backtest can replay it offline. The deferred close
+		// runs after the drain in ListenAndServe returns, sealing the
+		// active segment on SIGTERM.
+		var closeTSDB func()
+		tsdbDB, closeTSDB, err = cli.WireTSDB(cfg.Monitor.Timeline(), opts.tsdb.Options(g.Metrics().Registry(), logger))
+		if err != nil {
+			return err
+		}
+		defer closeTSDB()
+		if tsdbDB != nil {
+			logger.Info("durable timeline on", "dir", opts.tsdb.Dir,
+				"range", fmt.Sprintf("http://%s/monitor/timeline/range", opts.addr))
+		}
+	} else if opts.tsdb.Dir != "" {
+		return fmt.Errorf("-tsdb-dir needs -bundle (no monitor, no drift timeline)")
 	}
 
 	// Burn-rate alerting on the serving SLO timeline — on by default,
@@ -336,6 +364,12 @@ func run(opts options, logger *slog.Logger) error {
 		mux.Handle("/labels/", lstore.Handler())
 		logger.Info("label feedback on", "ingest", "POST /labels",
 			"worklist", "GET /labels/requests", "status", "GET /labels/status")
+	}
+	if tsdbDB != nil {
+		// Exact path beats both the "/" catch-all and the /monitor/
+		// subtree, so the durable range endpoint sits where the
+		// dashboard's relative "timeline/range" fetch resolves.
+		mux.Handle("/monitor/timeline/range", tsdbDB.RangeHandler())
 	}
 
 	logger.Info("proxying", "from", fmt.Sprintf("http://%s/predict_proba", opts.addr),

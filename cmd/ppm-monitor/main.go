@@ -23,7 +23,12 @@
 // worklist and GET /labels/status the Bayesian assessment
 // (-label-lag/-label-pending/-label-seed tune it; distinct from the
 // -labels bool, which marks CSVs that already carry labels).
-// -log-level and -log-format control structured logging.
+// -tsdb-dir persists every closed timeline window to an on-disk
+// segment store so history survives restarts: GET /timeline/range
+// serves range queries with server-side re-aggregation
+// (-tsdb-retention and friends bound the footprint; replay it with
+// ppm-backtest). -log-level and -log-format control structured
+// logging.
 package main
 
 import (
@@ -59,6 +64,8 @@ func main() {
 	labelPending := flag.Int("label-pending", 0, "served batches retained awaiting labels (0 = default 512)")
 	labelSeed := flag.Int64("label-seed", 0, "active-sampling RNG seed (0 = default 1)")
 	traceDir := flag.String("trace-dir", "", "span journal directory for cross-process trace stitching (empty = in-memory ring only)")
+	var tsdbFlags cli.TSDBFlags
+	tsdbFlags.RegisterFlags(flag.CommandLine)
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -126,6 +133,15 @@ func main() {
 	if *alertRules != "" {
 		logger.Info("alerting on", "rules", *alertRules, "webhook", *alertWebhook)
 	}
+	tsdbDB, closeTSDB, err := cli.WireTSDB(mon.Timeline(), tsdbFlags.Options(obs.Default(), logger))
+	if err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+	defer closeTSDB()
+	if tsdbDB != nil {
+		logger.Info("durable timeline on", "dir", tsdbFlags.Dir, "retention", tsdbFlags.Retention)
+	}
 	if *addr != "" {
 		go func() {
 			// The dashboard (HTML at /, JSON endpoints beside it) shares
@@ -136,6 +152,11 @@ func main() {
 			mux.Handle(incident.MountPath+"/", rec.Handler())
 			mux.Handle("/labels", lstore.Handler())
 			mux.Handle("/labels/", lstore.Handler())
+			if tsdbDB != nil {
+				// Durable history beside the live ring: the exact path wins
+				// over the monitor's "/" catch-all.
+				mux.Handle("/timeline/range", tsdbDB.RangeHandler())
+			}
 			obs.Mount(mux, obs.Default(), obs.DefaultTracer())
 			logger.Info("dashboard up",
 				"dashboard", fmt.Sprintf("http://%s/", *addr),

@@ -1,0 +1,70 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"blackboxval/internal/obs"
+	"blackboxval/internal/obs/tsdb"
+)
+
+func TestWireTSDBNoDir(t *testing.T) {
+	ts, err := obs.NewTimeSeries(obs.TimeSeriesConfig{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, closer, err := WireTSDB(ts, TSDBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db != nil {
+		t.Fatal("empty Dir must not open a store")
+	}
+	if closer == nil {
+		t.Fatal("closer must never be nil")
+	}
+	closer()
+}
+
+func TestWireTSDBPersistsClosedWindows(t *testing.T) {
+	dir := t.TempDir()
+	ts, err := obs.NewTimeSeries(obs.TimeSeriesConfig{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	db, closer, err := WireTSDB(ts, TSDBOptions{Dir: dir, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db == nil {
+		t.Fatal("expected an open store")
+	}
+	for i := 0; i < 5; i++ {
+		ts.Record("estimate", 0.9)
+		ts.Commit()
+	}
+	if got := db.Appended(); got != 5 {
+		t.Fatalf("appended %d windows, want 5", got)
+	}
+	// The registry carries the store's families after wiring.
+	var expo strings.Builder
+	if _, err := reg.WriteTo(&expo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo.String(), "ppm_tsdb_appended_windows_total") {
+		t.Fatal("ppm_tsdb_* families missing from the wired registry")
+	}
+	closer()
+
+	// The sealed history survives the process: a fresh read-only open
+	// sees every closed window.
+	ro, err := tsdb.OpenReadOnly(tsdb.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max, ok := ro.Bounds()
+	if !ok || min != 0 || max != 4 {
+		t.Fatalf("reopened bounds %d..%d ok=%v, want 0..4", min, max, ok)
+	}
+}

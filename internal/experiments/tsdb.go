@@ -1,0 +1,277 @@
+package experiments
+
+// TSDBBench measures the durable timeline store (internal/obs/tsdb) on
+// the paths production exercises: append (one closed window persisted
+// per OnWindowClose, segments rotating and fsyncing), cold decode +
+// re-aggregate (a fresh open over the full on-disk history answering a
+// step-query, the /timeline/range path), range-query latency
+// (p50/p99 over seeded subrange queries against a warm store) and the
+// compaction associativity contract (eager vs lazy schedules must
+// produce bit-equal effective histories — DESIGN.md §17). ppm-bench
+// serializes the result as BENCH_tsdb.json.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"blackboxval/internal/obs"
+	"blackboxval/internal/obs/tsdb"
+)
+
+// TSDBResult is the machine-readable durable-store benchmark
+// (BENCH_tsdb.json). Latencies are in milliseconds.
+type TSDBResult struct {
+	Scale           string `json:"scale"`
+	Windows         int    `json:"windows"`
+	SeriesPerWindow int    `json:"series_per_window"`
+
+	AppendSeconds       float64 `json:"append_seconds"`
+	AppendWindowsPerSec float64 `json:"append_windows_per_sec"`
+	Segments            int     `json:"segments"`
+	BytesOnDisk         int64   `json:"bytes_on_disk"`
+
+	// Cold decode + re-aggregate: fresh open, one step-8 range query
+	// over the whole history (the /timeline/range path end to end).
+	DecodeSeconds       float64 `json:"decode_seconds"`
+	DecodeWindowsPerSec float64 `json:"decode_windows_per_sec"`
+	ReaggBuckets        int     `json:"reagg_buckets"`
+
+	Queries    int     `json:"queries"`
+	QueryP50Ms float64 `json:"query_p50_ms"`
+	QueryP99Ms float64 `json:"query_p99_ms"`
+
+	// CompactionDeterministic is the eager-vs-lazy bit-equality check;
+	// a false here is a correctness regression, not a slowdown.
+	CompactionDeterministic bool `json:"compaction_deterministic"`
+	CompactedWindows        int  `json:"compacted_windows"`
+}
+
+// TSDBBench persists a synthetic monitor workload into an on-disk
+// store under a temp dir, then measures the read paths against it.
+func TSDBBench(scale Scale) (*TSDBResult, error) {
+	windows, queries := 4096, 200
+	if scale.Name == "full" {
+		windows, queries = 32768, 500
+	}
+
+	dir, err := os.MkdirTemp("", "ppm-tsdb-bench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	ws, err := benchWindows(windows, scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &TSDBResult{
+		Scale:           scale.Name,
+		Windows:         windows,
+		SeriesPerWindow: len(timelineSeries),
+		Queries:         queries,
+	}
+
+	// Append path: one Append per closed window, exactly what the
+	// OnWindowClose hook delivers in production.
+	appendDir := dir + "/append"
+	db, err := tsdb.Open(tsdb.Config{Dir: appendDir, SegmentBytes: 1 << 20, Downsample: 1})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, w := range ws {
+		db.Append(w)
+	}
+	res.AppendSeconds = time.Since(start).Seconds()
+	if err := db.Close(); err != nil {
+		return nil, err
+	}
+	if res.AppendSeconds > 0 {
+		res.AppendWindowsPerSec = float64(windows) / res.AppendSeconds
+	}
+
+	// Cold decode + re-aggregate: a fresh read-only open answering the
+	// full-history step query — segment decode, shadow resolution and
+	// mergeable re-aggregation in one measured pass.
+	cold, err := tsdb.OpenReadOnly(tsdb.Config{Dir: appendDir})
+	if err != nil {
+		return nil, err
+	}
+	st := cold.Stats()
+	res.Segments, res.BytesOnDisk = st.Segments, st.Bytes
+	min, max, ok := cold.Bounds()
+	if !ok {
+		return nil, fmt.Errorf("experiments: benchmark store is empty")
+	}
+	start = time.Now()
+	buckets, _, err := cold.Range(min, max, 8)
+	if err != nil {
+		return nil, err
+	}
+	res.DecodeSeconds = time.Since(start).Seconds()
+	res.ReaggBuckets = len(buckets)
+	if res.DecodeSeconds > 0 {
+		res.DecodeWindowsPerSec = float64(windows) / res.DecodeSeconds
+	}
+
+	// Query latency: seeded subrange quantile queries against the now
+	// warm store, the repeated-dashboard-poll shape.
+	rng := rand.New(rand.NewSource(scale.Seed + 1))
+	lat := make([]float64, 0, queries)
+	for i := 0; i < queries; i++ {
+		span := int64(64 + rng.Intn(192))
+		from := min + rng.Int63n(max-min+1)
+		to := from + span
+		if to > max {
+			to = max
+		}
+		t0 := time.Now()
+		if _, err := cold.Query("estimate", from, to, 4); err != nil {
+			return nil, err
+		}
+		lat = append(lat, time.Since(t0).Seconds()*1000)
+	}
+	sort.Float64s(lat)
+	res.QueryP50Ms = lat[len(lat)/2]
+	res.QueryP99Ms = lat[min99(len(lat))]
+
+	// Compaction associativity: an eager schedule (tiny segments,
+	// frequent passes) and a lazy one (one pass at the end) over the
+	// same windows must be bit-equal in their effective history.
+	det, compacted, err := compactionCheck(dir, ws)
+	if err != nil {
+		return nil, err
+	}
+	res.CompactionDeterministic = det
+	res.CompactedWindows = compacted
+	return res, nil
+}
+
+// benchWindows closes n windows of monitor-shaped series through a
+// real TimeSeries so the persisted aggregates carry genuine sketches
+// and exact sums.
+func benchWindows(n int, seed int64) ([]obs.Window, error) {
+	ts, err := obs.NewTimeSeries(obs.TimeSeriesConfig{Capacity: n + 1})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]obs.Window, 0, n)
+	ts.OnWindowClose(func(w obs.Window) { out = append(out, w) })
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for _, name := range timelineSeries {
+			ts.Record(name, rng.Float64())
+		}
+		ts.Commit()
+	}
+	return out, nil
+}
+
+// compactionCheck replays ws through an eager and a lazy compaction
+// schedule and compares the canonical serialization of everything a
+// reader can observe.
+func compactionCheck(dir string, ws []obs.Window) (bool, int, error) {
+	open := func(sub string, segBytes int64) (*tsdb.DB, error) {
+		return tsdb.Open(tsdb.Config{
+			Dir: dir + "/" + sub, SegmentBytes: segBytes,
+			Downsample: 8, CompactAfter: 8,
+		})
+	}
+	eager, err := open("eager", 64<<10)
+	if err != nil {
+		return false, 0, err
+	}
+	for i, w := range ws {
+		eager.Append(w)
+		if i%64 == 63 {
+			eager.Compact()
+		}
+	}
+	lazy, err := open("lazy", 16<<20)
+	if err != nil {
+		return false, 0, err
+	}
+	for _, w := range ws {
+		lazy.Append(w)
+	}
+	// Restart both stores so every raw window sits in a sealed segment
+	// (the active segment is never compactable), then run one final
+	// pass each. Up to here the schedules could not differ more: eager
+	// compacted 64 times over tiny segments, lazy not once.
+	if err := eager.Close(); err != nil {
+		return false, 0, err
+	}
+	if eager, err = open("eager", 64<<10); err != nil {
+		return false, 0, err
+	}
+	eager.Compact()
+	if err := lazy.Close(); err != nil {
+		return false, 0, err
+	}
+	if lazy, err = open("lazy", 16<<20); err != nil {
+		return false, 0, err
+	}
+	lazy.Compact()
+	a, err := effective(eager)
+	if err != nil {
+		return false, 0, err
+	}
+	b, err := effective(lazy)
+	if err != nil {
+		return false, 0, err
+	}
+	compacted := len(eager.Entries(0, int64(len(ws))))
+	if err := eager.Close(); err != nil {
+		return false, 0, err
+	}
+	if err := lazy.Close(); err != nil {
+		return false, 0, err
+	}
+	return bytes.Equal(a, b), compacted, nil
+}
+
+// effective serializes the reader-observable state of a store: the
+// shadow-resolved records plus a step query over them.
+func effective(db *tsdb.DB) ([]byte, error) {
+	min, max, ok := db.Bounds()
+	if !ok {
+		return nil, fmt.Errorf("experiments: compaction store is empty")
+	}
+	q, err := db.Query("estimate", min, max, 8)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(map[string]any{
+		"entries": db.Entries(min, max),
+		"q":       q,
+	})
+}
+
+// min99 is the index of the p99 order statistic.
+func min99(n int) int {
+	i := (n * 99) / 100
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Print renders the human-readable durable-store summary.
+func (r *TSDBResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "TSDB benchmark (scale=%s, %d windows x %d series)\n",
+		r.Scale, r.Windows, r.SeriesPerWindow)
+	fmt.Fprintf(w, "append  %8.3fs  %12.0f windows/sec  -> %d segments, %d bytes\n",
+		r.AppendSeconds, r.AppendWindowsPerSec, r.Segments, r.BytesOnDisk)
+	fmt.Fprintf(w, "decode+re-aggregate (cold, step=8)  %8.3fs  %12.0f windows/sec  -> %d buckets\n",
+		r.DecodeSeconds, r.DecodeWindowsPerSec, r.ReaggBuckets)
+	fmt.Fprintf(w, "query   p50 %.3fms  p99 %.3fms over %d subrange queries\n",
+		r.QueryP50Ms, r.QueryP99Ms, r.Queries)
+	fmt.Fprintf(w, "compaction determinism (eager vs lazy, %d effective records): %v\n",
+		r.CompactedWindows, r.CompactionDeterministic)
+}

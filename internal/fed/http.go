@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"blackboxval/internal/monitor"
 	"blackboxval/internal/obs"
@@ -66,7 +67,20 @@ func (a *Aggregator) Handler() http.Handler {
 		if !guardGet(w, r) {
 			return
 		}
-		writeJSON(w, a.TimelineDoc())
+		doc := a.TimelineDoc()
+		// The shared ?limit= contract (monitor /timeline, /debug/spans):
+		// non-numeric or negative is a 400, never a silent default.
+		if raw := r.URL.Query().Get("limit"); raw != "" {
+			limit, err := strconv.Atoi(raw)
+			if err != nil || limit < 0 {
+				http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if limit < len(doc.Windows) {
+				doc.Windows = doc.Windows[len(doc.Windows)-limit:]
+			}
+		}
+		writeJSON(w, doc)
 	})
 	mux.HandleFunc("/federate", func(w http.ResponseWriter, r *http.Request) {
 		if !guardGet(w, r) {
@@ -149,6 +163,7 @@ const fleetDashboardHTML = `<!doctype html>
   td.bad { background: #f6d5d5; }
   td.name { text-align: left; }
   .meta { color: #666; font-size: .85rem; }
+  button { font: inherit; padding: .1rem .5rem; }
 </style>
 </head>
 <body>
@@ -156,6 +171,7 @@ const fleetDashboardHTML = `<!doctype html>
 <div class="status">
   state: <span id="state" class="badge ok">loading…</span>
   <span id="stale" class="badge stale" style="display:none"></span>
+  <span id="gaps" class="badge stale" style="display:none"></span>
   <span class="meta" id="meta"></span>
 </div>
 <svg id="chart" width="720" height="160" viewBox="0 0 720 160"></svg>
@@ -178,19 +194,69 @@ const fleetDashboardHTML = `<!doctype html>
 </table>
 <div class="meta" id="sloex"></div>
 </div>
+<div id="hist" style="display:none">
+<h2 style="font-size:1rem">Durable history</h2>
+<div class="meta">
+  <button id="older">&laquo; older</button>
+  <button id="newer">newer &raquo;</button>
+  <span id="histmeta"></span>
+</div>
+<svg id="histchart" width="720" height="160" viewBox="0 0 720 160"></svg>
+</div>
 <script>
 "use strict";
+// line breaks its path wherever a point follows a gap, so the
+// sparkline never strokes across missing windows.
 function line(points, color) {
   if (!points.length) return "";
-  var d = points.map(function (p, i) { return (i ? "L" : "M") + p[0].toFixed(1) + " " + p[1].toFixed(1); }).join(" ");
+  var d = points.map(function (p, i) { return (i && !p.gap ? "L" : "M") + p.x.toFixed(1) + " " + p.y.toFixed(1); }).join(" ");
   return '<path d="' + d + '" fill="none" stroke="' + color + '" stroke-width="1.5"/>';
 }
 function seriesMean(w, name) {
   var a = w.series && w.series[name];
   return a && a.count ? a.sum / a.count : null;
 }
+// drawDrift renders a gap-aware fleet drift chart: x is proportional
+// to window index, missing index ranges are shaded and break the
+// series lines. spans is null for the live ring or the
+// /timeline/range spans array for compacted history. Returns the
+// number of missing window indices.
+function drawDrift(el, windows, spans, alarmLine) {
+  var W = 720, H = 160, pad = 8;
+  var alarmY = H - pad - Math.max(0, Math.min(1, alarmLine)) * (H - 2 * pad);
+  if (!windows.length) {
+    el.innerHTML = '<line x1="0" x2="' + W + '" y1="' + alarmY + '" y2="' + alarmY + '" stroke="#b02a2a" stroke-dasharray="4 3"/>';
+    return 0;
+  }
+  var spanOf = function (i) { return spans && spans[i] > 1 ? spans[i] : 1; };
+  var first = windows[0].index;
+  var last = windows[windows.length - 1].index + spanOf(windows.length - 1) - 1;
+  var range = Math.max(1, last - first);
+  var xs = function (idx) { return last === first ? W / 2 : pad + (idx - first) * (W - 2 * pad) / range; };
+  var ys = function (v) { return H - pad - Math.max(0, Math.min(1, v)) * (H - 2 * pad); };
+  var est = [], ks = [], gapRects = "", missing = 0, prevEnd = null;
+  windows.forEach(function (w, i) {
+    var gap = prevEnd !== null && w.index > prevEnd + 1;
+    if (gap) {
+      missing += w.index - prevEnd - 1;
+      gapRects += '<rect x="' + xs(prevEnd).toFixed(1) + '" y="0" width="' +
+        (xs(w.index) - xs(prevEnd)).toFixed(1) + '" height="' + H + '" fill="#b07a2a" fill-opacity="0.15"/>';
+    }
+    var x = xs(w.index + (spanOf(i) - 1) / 2);
+    var e = seriesMean(w, "estimate"); if (e !== null) est.push({x: x, y: ys(e), gap: gap});
+    var k = seriesMean(w, "fleet_ks_max"); if (k !== null) ks.push({x: x, y: ys(k), gap: gap});
+    prevEnd = w.index + spanOf(i) - 1;
+  });
+  el.innerHTML =
+    gapRects +
+    '<line x1="0" x2="' + W + '" y1="' + alarmY + '" y2="' + alarmY + '" stroke="#b02a2a" stroke-dasharray="4 3"/>' +
+    line(est, "#2255aa") + line(ks, "#cc8800");
+  return missing;
+}
+var lastAlarmLine = 0;
 function renderTimeline(doc) {
   var windows = doc.windows || [];
+  lastAlarmLine = doc.alarm_line;
   var state = document.getElementById("state");
   state.textContent = doc.alarming ? "ALARM" : "ok";
   state.className = "badge " + (doc.alarming ? "alarm" : "ok");
@@ -198,18 +264,14 @@ function renderTimeline(doc) {
     windows.length + " merged windows · " + doc.window_batches + " batch(es)/window · alarm line " +
     doc.alarm_line.toFixed(4) + (doc.refresh_ms > 0 ? " · refresh " + doc.refresh_ms + "ms" : "");
 
-  var W = 720, H = 160, pad = 8;
-  var xs = function (i) { return windows.length < 2 ? W / 2 : pad + i * (W - 2 * pad) / (windows.length - 1); };
-  var ys = function (v) { return H - pad - v * (H - 2 * pad); };
-  var est = [], ks = [];
-  windows.forEach(function (w, i) {
-    var e = seriesMean(w, "estimate"); if (e !== null) est.push([xs(i), ys(Math.max(0, Math.min(1, e)))]);
-    var k = seriesMean(w, "fleet_ks_max"); if (k !== null) ks.push([xs(i), ys(Math.max(0, Math.min(1, k)))]);
-  });
-  var alarmY = ys(Math.max(0, Math.min(1, doc.alarm_line)));
-  document.getElementById("chart").innerHTML =
-    '<line x1="0" x2="' + W + '" y1="' + alarmY + '" y2="' + alarmY + '" stroke="#b02a2a" stroke-dasharray="4 3"/>' +
-    line(est, "#2255aa") + line(ks, "#cc8800");
+  var missing = drawDrift(document.getElementById("chart"), windows, null, doc.alarm_line);
+  var gapBadge = document.getElementById("gaps");
+  if (missing > 0) {
+    gapBadge.style.display = "";
+    gapBadge.textContent = "STALE · " + missing + " missing window" + (missing > 1 ? "s" : "");
+  } else {
+    gapBadge.style.display = "none";
+  }
 
   var rows = windows.slice(-12).reverse().map(function (w) {
     var e = seriesMean(w, "estimate"), k = seriesMean(w, "fleet_ks_max"), s = seriesMean(w, "fleet_stale_shards");
@@ -265,6 +327,44 @@ function poll() {
   }).catch(function () { setTimeout(poll, 5000); });
 }
 poll();
+// Durable history: pages through the aggregator's -tsdb-dir store at
+// timeline/range; the panel stays hidden when the store is off (the
+// probe fetch 404s).
+var histState = { page: 96, from: 0, to: 0, min: 0, max: 0 };
+function renderHist(doc) {
+  histState.min = doc.min_index; histState.max = doc.max_index;
+  histState.from = doc.from; histState.to = doc.to;
+  var missing = drawDrift(document.getElementById("histchart"), doc.windows || [], doc.spans || null, lastAlarmLine);
+  document.getElementById("histmeta").textContent =
+    "windows " + doc.from + "–" + doc.to + " of " + doc.min_index + "–" + doc.max_index +
+    " · " + (doc.windows || []).length + " persisted" +
+    (missing > 0 ? " · " + missing + " missing" : "");
+  document.getElementById("older").disabled = doc.from <= doc.min_index;
+  document.getElementById("newer").disabled = doc.to >= doc.max_index;
+}
+function loadHist(from, to) {
+  fetch("timeline/range?from=" + from + "&to=" + to)
+    .then(function (r) { if (!r.ok) throw 0; return r.json(); })
+    .then(renderHist).catch(function () {});
+}
+function histPage(to) {
+  loadHist(Math.max(histState.min, to - histState.page + 1), to);
+}
+function initHist() {
+  fetch("timeline/range?from=0&to=0")
+    .then(function (r) { if (!r.ok) throw 0; return r.json(); })
+    .then(function (doc) {
+      document.getElementById("hist").style.display = "";
+      document.getElementById("older").onclick = function () {
+        histPage(Math.max(histState.min + histState.page - 1, histState.from - 1));
+      };
+      document.getElementById("newer").onclick = function () {
+        histPage(Math.min(histState.max, histState.to + histState.page));
+      };
+      histPage(doc.max_index);
+    }).catch(function () {});
+}
+initHist();
 </script>
 </body>
 </html>

@@ -72,18 +72,21 @@ const dashboardHTML = `<!doctype html>
   .badge { padding: .15rem .5rem; border-radius: .25rem; color: #fff; }
   .ok { background: #2a7d2a; }
   .alarm { background: #b02a2a; }
+  .stale { background: #b07a2a; }
   svg { border: 1px solid #ddd; background: #fafafa; }
   table { border-collapse: collapse; margin-top: 1rem; }
   th, td { border: 1px solid #ccc; padding: .25rem .6rem; text-align: right; }
   th { background: #f0f0f0; }
   td.alarming { background: #f6d5d5; }
   .meta { color: #666; font-size: .85rem; }
+  button { font: inherit; padding: .1rem .5rem; }
 </style>
 </head>
 <body>
 <h1>Performance-predictor drift timeline</h1>
 <div class="status">
   state: <span id="state" class="badge ok">loading…</span>
+  <span id="gaps" class="badge stale" style="display:none"></span>
   <span class="meta" id="meta"></span>
   <span class="meta"><a href="/debug/incidents/view">incidents</a></span>
 </div>
@@ -101,11 +104,23 @@ const dashboardHTML = `<!doctype html>
 </table>
 <div class="meta" id="sloex"></div>
 </div>
+<div id="hist" style="display:none">
+<h2 style="font-size:1rem">Durable history</h2>
+<div class="meta">
+  <button id="older">&laquo; older</button>
+  <button id="newer">newer &raquo;</button>
+  <span id="histmeta"></span>
+</div>
+<svg id="histchart" width="720" height="160" viewBox="0 0 720 160"></svg>
+</div>
 <script>
 "use strict";
+// line breaks its path wherever a point is flagged as following a gap,
+// so a sparkline never draws a connecting stroke across missing
+// windows.
 function line(points, color) {
   if (!points.length) return "";
-  var d = points.map(function (p, i) { return (i ? "L" : "M") + p[0].toFixed(1) + " " + p[1].toFixed(1); }).join(" ");
+  var d = points.map(function (p, i) { return (i && !p.gap ? "L" : "M") + p.x.toFixed(1) + " " + p.y.toFixed(1); }).join(" ");
   return '<path d="' + d + '" fill="none" stroke="' + color + '" stroke-width="1.5"/>';
 }
 function seriesMean(w, name) {
@@ -119,11 +134,62 @@ function seriesLast(w, name) {
 function band(los, his, color) {
   if (los.length < 2) return "";
   var pts = los.concat(his.slice().reverse());
-  var d = pts.map(function (p, i) { return (i ? "L" : "M") + p[0].toFixed(1) + " " + p[1].toFixed(1); }).join(" ") + " Z";
+  var d = pts.map(function (p, i) { return (i ? "L" : "M") + p.x.toFixed(1) + " " + p.y.toFixed(1); }).join(" ") + " Z";
   return '<path d="' + d + '" fill="' + color + '" fill-opacity="0.25" stroke="none"/>';
 }
+// drawDrift renders a gap-aware drift chart into an svg element. The x
+// axis is proportional to window INDEX, not array position, so
+// non-contiguous windows (ring evictions, a restarted producer, a
+// compacted bucket followed by raw windows) leave visible holes:
+// shaded gap rects, broken series lines. spans may be null (live ring,
+// every window spans one index) or the /timeline/range spans array.
+// Returns the number of missing window indices.
+function drawDrift(el, windows, spans, alarmLine) {
+  var W = 720, H = 160, pad = 8;
+  var alarmY = H - pad - Math.max(0, Math.min(1, alarmLine)) * (H - 2 * pad);
+  if (!windows.length) {
+    el.innerHTML = '<line x1="0" x2="' + W + '" y1="' + alarmY + '" y2="' + alarmY + '" stroke="#b02a2a" stroke-dasharray="4 3"/>';
+    return 0;
+  }
+  var spanOf = function (i) { return spans && spans[i] > 1 ? spans[i] : 1; };
+  var first = windows[0].index;
+  var last = windows[windows.length - 1].index + spanOf(windows.length - 1) - 1;
+  var range = Math.max(1, last - first);
+  var xs = function (idx) { return last === first ? W / 2 : pad + (idx - first) * (W - 2 * pad) / range; };
+  var ys = function (v) { return H - pad - Math.max(0, Math.min(1, v)) * (H - 2 * pad); };
+  var est = [], ks = [], lab = [], lablo = [], labhi = [];
+  var gapRects = "", missing = 0, prevEnd = null;
+  windows.forEach(function (w, i) {
+    var gap = prevEnd !== null && w.index > prevEnd + 1;
+    if (gap) {
+      missing += w.index - prevEnd - 1;
+      gapRects += '<rect x="' + xs(prevEnd).toFixed(1) + '" y="0" width="' +
+        (xs(w.index) - xs(prevEnd)).toFixed(1) + '" height="' + H + '" fill="#b07a2a" fill-opacity="0.15"/>';
+    }
+    var x = xs(w.index + (spanOf(i) - 1) / 2); // bucket midpoint
+    var e = seriesMean(w, "estimate"); if (e !== null) est.push({x: x, y: ys(e), gap: gap});
+    var k = seriesMean(w, "ks_max"); if (k !== null) ks.push({x: x, y: ys(k), gap: gap});
+    // The labeled-accuracy posterior: last value per window is the most
+    // recent Beta interval the label joins produced there.
+    var m = seriesLast(w, "labeled_acc_mean"), lo = seriesLast(w, "labeled_acc_lo95"), hi = seriesLast(w, "labeled_acc_hi95");
+    if (m !== null && lo !== null && hi !== null) {
+      lab.push({x: x, y: ys(m), gap: gap});
+      lablo.push({x: x, y: ys(lo)});
+      labhi.push({x: x, y: ys(hi)});
+    }
+    prevEnd = w.index + spanOf(i) - 1;
+  });
+  el.innerHTML =
+    gapRects +
+    '<line x1="0" x2="' + W + '" y1="' + alarmY + '" y2="' + alarmY + '" stroke="#b02a2a" stroke-dasharray="4 3"/>' +
+    band(lablo, labhi, "#2a7d2a") + line(lab, "#2a7d2a") +
+    line(est, "#2255aa") + line(ks, "#cc8800");
+  return missing;
+}
+var lastAlarmLine = 0;
 function render(doc) {
   var windows = doc.windows || [];
+  lastAlarmLine = doc.alarm_line;
   var state = document.getElementById("state");
   state.textContent = doc.alarming ? "ALARM" : "ok";
   state.className = "badge " + (doc.alarming ? "alarm" : "ok");
@@ -131,27 +197,14 @@ function render(doc) {
     windows.length + " windows · " + doc.window_batches + " batch(es)/window · alarm line " +
     doc.alarm_line.toFixed(4) + (doc.refresh_ms > 0 ? " · refresh " + doc.refresh_ms + "ms" : "");
 
-  var W = 720, H = 160, pad = 8;
-  var xs = function (i) { return windows.length < 2 ? W / 2 : pad + i * (W - 2 * pad) / (windows.length - 1); };
-  var ys = function (v) { return H - pad - v * (H - 2 * pad); }; // scores live in [0,1]
-  var est = [], ks = [], lab = [], lablo = [], labhi = [];
-  windows.forEach(function (w, i) {
-    var e = seriesMean(w, "estimate"); if (e !== null) est.push([xs(i), ys(Math.max(0, Math.min(1, e)))]);
-    var k = seriesMean(w, "ks_max"); if (k !== null) ks.push([xs(i), ys(Math.max(0, Math.min(1, k)))]);
-    // The labeled-accuracy posterior: last value per window is the most
-    // recent Beta interval the label joins produced there.
-    var m = seriesLast(w, "labeled_acc_mean"), lo = seriesLast(w, "labeled_acc_lo95"), hi = seriesLast(w, "labeled_acc_hi95");
-    if (m !== null && lo !== null && hi !== null) {
-      lab.push([xs(i), ys(Math.max(0, Math.min(1, m)))]);
-      lablo.push([xs(i), ys(Math.max(0, Math.min(1, lo)))]);
-      labhi.push([xs(i), ys(Math.max(0, Math.min(1, hi)))]);
-    }
-  });
-  var alarmY = ys(Math.max(0, Math.min(1, doc.alarm_line)));
-  document.getElementById("chart").innerHTML =
-    '<line x1="0" x2="' + W + '" y1="' + alarmY + '" y2="' + alarmY + '" stroke="#b02a2a" stroke-dasharray="4 3"/>' +
-    band(lablo, labhi, "#2a7d2a") + line(lab, "#2a7d2a") +
-    line(est, "#2255aa") + line(ks, "#cc8800");
+  var missing = drawDrift(document.getElementById("chart"), windows, null, doc.alarm_line);
+  var gapBadge = document.getElementById("gaps");
+  if (missing > 0) {
+    gapBadge.style.display = "";
+    gapBadge.textContent = "STALE · " + missing + " missing window" + (missing > 1 ? "s" : "");
+  } else {
+    gapBadge.style.display = "none";
+  }
 
   var rows = windows.slice(-12).reverse().map(function (w) {
     var e = seriesMean(w, "estimate"), k = seriesMean(w, "ks_max"), a = seriesMean(w, "alarm");
@@ -194,6 +247,45 @@ function poll() {
   }).catch(function () { setTimeout(poll, 5000); });
 }
 poll();
+// Durable history: pages through the on-disk window store at the
+// relative timeline/range endpoint (same page works standalone and
+// behind the gateway's /monitor/ mount). The panel only appears when
+// the producer ran with -tsdb-dir — the probe fetch 404s otherwise.
+var histState = { page: 96, from: 0, to: 0, min: 0, max: 0 };
+function renderHist(doc) {
+  histState.min = doc.min_index; histState.max = doc.max_index;
+  histState.from = doc.from; histState.to = doc.to;
+  var missing = drawDrift(document.getElementById("histchart"), doc.windows || [], doc.spans || null, lastAlarmLine);
+  document.getElementById("histmeta").textContent =
+    "windows " + doc.from + "–" + doc.to + " of " + doc.min_index + "–" + doc.max_index +
+    " · " + (doc.windows || []).length + " persisted" +
+    (missing > 0 ? " · " + missing + " missing" : "");
+  document.getElementById("older").disabled = doc.from <= doc.min_index;
+  document.getElementById("newer").disabled = doc.to >= doc.max_index;
+}
+function loadHist(from, to) {
+  fetch("timeline/range?from=" + from + "&to=" + to)
+    .then(function (r) { if (!r.ok) throw 0; return r.json(); })
+    .then(renderHist).catch(function () {});
+}
+function histPage(to) {
+  loadHist(Math.max(histState.min, to - histState.page + 1), to);
+}
+function initHist() {
+  fetch("timeline/range?from=0&to=0")
+    .then(function (r) { if (!r.ok) throw 0; return r.json(); })
+    .then(function (doc) {
+      document.getElementById("hist").style.display = "";
+      document.getElementById("older").onclick = function () {
+        histPage(Math.max(histState.min + histState.page - 1, histState.from - 1));
+      };
+      document.getElementById("newer").onclick = function () {
+        histPage(Math.min(histState.max, histState.to + histState.page));
+      };
+      histPage(doc.max_index);
+    }).catch(function () {});
+}
+initHist();
 </script>
 </body>
 </html>

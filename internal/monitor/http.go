@@ -10,12 +10,15 @@ import (
 // Handler exposes the monitor's state over HTTP for dashboards and
 // scrapers:
 //
-//	GET /                 -> HTML drift dashboard (auto-refreshing)
-//	GET /summary          -> Summary as JSON
-//	GET /history?limit=N  -> the most recent N records (default all retained)
-//	GET /alarming         -> {"alarming": bool, "alarm_line": x}
-//	GET /timeline         -> TimelineDoc: the windowed drift timeline as JSON
-//	GET /healthz          -> 200 ok
+//	GET /                  -> HTML drift dashboard (auto-refreshing)
+//	GET /summary           -> Summary as JSON
+//	GET /history?limit=N   -> the most recent N records (default all retained)
+//	GET /alarming          -> {"alarming": bool, "alarm_line": x}
+//	GET /timeline?limit=N  -> TimelineDoc clipped to the most recent N windows
+//	GET /healthz           -> 200 ok
+//
+// Every ?limit= shares one validation contract with /debug/spans:
+// non-numeric or negative input is a 400, never a silent default.
 //
 // Mount it next to the prediction service so the validation state ships
 // with the model.
@@ -27,7 +30,15 @@ func (m *Monitor) Handler() http.Handler {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, m.TimelineDoc())
+		doc := m.TimelineDoc()
+		limit, ok := parseLimit(w, r, len(doc.Windows))
+		if !ok {
+			return
+		}
+		if limit < len(doc.Windows) {
+			doc.Windows = doc.Windows[len(doc.Windows)-limit:]
+		}
+		writeJSON(w, doc)
 	})
 	mux.HandleFunc("/summary", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -42,15 +53,12 @@ func (m *Monitor) Handler() http.Handler {
 			return
 		}
 		history := m.History()
-		if limitStr := r.URL.Query().Get("limit"); limitStr != "" {
-			limit, err := strconv.Atoi(limitStr)
-			if err != nil || limit < 0 {
-				http.Error(w, "invalid limit", http.StatusBadRequest)
-				return
-			}
-			if limit < len(history) {
-				history = history[len(history)-limit:]
-			}
+		limit, ok := parseLimit(w, r, len(history))
+		if !ok {
+			return
+		}
+		if limit < len(history) {
+			history = history[len(history)-limit:]
 		}
 		writeJSON(w, history)
 	})
@@ -69,6 +77,23 @@ func (m *Monitor) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// parseLimit reads ?limit= with the validation contract every limit
+// parameter in this repository shares (/history, /timeline,
+// /debug/spans): absent means def, non-numeric or negative writes a
+// 400 and reports ok=false.
+func parseLimit(w http.ResponseWriter, r *http.Request, def int) (int, bool) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return def, true
+	}
+	limit, err := strconv.Atoi(raw)
+	if err != nil || limit < 0 {
+		http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+		return 0, false
+	}
+	return limit, true
 }
 
 // setMonitorHeaders applies the shared response hygiene of every

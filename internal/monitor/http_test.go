@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"blackboxval/internal/errorgen"
+	"blackboxval/internal/obs"
 )
 
 func dashboardFixture(t *testing.T) (*Monitor, *httptest.Server) {
@@ -224,6 +226,72 @@ func TestConcurrentObserveRowAndHandlerReads(t *testing.T) {
 	}
 	if s.Batches != wantBatches {
 		t.Fatalf("batches = %d, want %d", s.Batches, wantBatches)
+	}
+}
+
+// TestLimitValidationContract pins the shared ?limit= contract across
+// GET /timeline and GET /debug/spans: absent means everything,
+// non-numeric or negative input is a 400 (never a silent default), and
+// a valid limit clips to the most recent entries.
+func TestLimitValidationContract(t *testing.T) {
+	_, monSrv := dashboardFixture(t)
+	tr := obs.NewTracer(8)
+	for i := 0; i < 3; i++ {
+		_, sp := obs.StartSpan(obs.WithTracer(context.Background(), tr), "op")
+		sp.End()
+	}
+	spanSrv := httptest.NewServer(tr.Handler())
+	t.Cleanup(spanSrv.Close)
+
+	endpoints := []struct {
+		name  string
+		url   string
+		count func(t *testing.T, body []byte) int
+		total int
+	}{
+		{"timeline", monSrv.URL + "/timeline", func(t *testing.T, body []byte) int {
+			var doc TimelineDoc
+			if err := json.Unmarshal(body, &doc); err != nil {
+				t.Fatal(err)
+			}
+			return len(doc.Windows)
+		}, 2},
+		{"debug/spans", spanSrv.URL + "/debug/spans", func(t *testing.T, body []byte) int {
+			var spans []json.RawMessage
+			if err := json.Unmarshal(body, &spans); err != nil {
+				t.Fatal(err)
+			}
+			return len(spans)
+		}, 3},
+	}
+	for _, ep := range endpoints {
+		for _, bad := range []string{"?limit=abc", "?limit=-1", "?limit=1.5", "?limit=%20"} {
+			resp, err := http.Get(ep.url + bad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s%s status = %d, want 400", ep.name, bad, resp.StatusCode)
+			}
+		}
+		for limit, want := range map[string]int{"": ep.total, "?limit=1": 1, "?limit=0": 0, "?limit=9999": ep.total} {
+			resp, err := http.Get(ep.url + limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s%s status = %d", ep.name, limit, resp.StatusCode)
+			}
+			if got := ep.count(t, body); got != want {
+				t.Errorf("%s%s returned %d entries, want %d", ep.name, limit, got, want)
+			}
+		}
 	}
 }
 

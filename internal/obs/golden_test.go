@@ -76,6 +76,30 @@ func goldenRegistry() *Registry {
 	sv.Observe(0.02, "relay")
 	sv.Observe(0.025, "request")
 
+	// The durable-timeline families a -tsdb-dir process exports
+	// (tsdb.RegisterMetrics), frozen via the same callback shapes so
+	// their exposition cannot drift either.
+	reg.CounterFunc("ppm_tsdb_appended_windows_total",
+		"Timeline windows persisted to the on-disk store.", func() float64 { return 48 })
+	reg.CounterFunc("ppm_tsdb_append_errors_total",
+		"Windows dropped by the on-disk store (write failure or out-of-order index).",
+		func() float64 { return 1 })
+	reg.CounterFunc("ppm_tsdb_corrupt_segments_total",
+		"Torn or unreadable segments detected and skipped at open.", func() float64 { return 1 })
+	reg.CounterFunc("ppm_tsdb_compactions_total",
+		"Downsampling compaction passes that produced a compacted segment.",
+		func() float64 { return 3 })
+	reg.CounterFunc("ppm_tsdb_compacted_windows_total",
+		"Raw windows folded into compacted buckets.", func() float64 { return 32 })
+	reg.CounterFunc("ppm_tsdb_retention_segments_total",
+		"Segments deleted by the size or age retention bounds.", func() float64 { return 2 })
+	reg.CounterFunc("ppm_tsdb_queries_total",
+		"Range queries served from the on-disk store.", func() float64 { return 17 })
+	reg.GaugeFunc("ppm_tsdb_segments",
+		"Segment files currently on disk, including the active one.", func() float64 { return 4 })
+	reg.GaugeFunc("ppm_tsdb_bytes",
+		"Bytes currently on disk across all segments.", func() float64 { return 262144 })
+
 	// The distributed-tracing families every serving binary exports
 	// (RegisterTraceMetrics), frozen via the same callback-counter
 	// shapes so their exposition cannot drift either.

@@ -1,0 +1,122 @@
+package tsdb
+
+// backtest.go: retrospective alerting over persisted history. Replay
+// feeds the effective persisted windows, in index order, through a
+// fresh stock alert.Engine — the exact state machine that ran live — so
+// over an uncompacted range the replayed event sequence is
+// bit-identical to what fired in production (same rules, same firing
+// window indices, same values). Sweep turns alert tuning into a
+// measured exercise: it evaluates a grid of candidate thresholds over
+// the same history and reports would-have-fired counts and excursion
+// durations per candidate.
+//
+// Fidelity caveat: once compaction has downsampled a range, replay over
+// it sees one merged window per bucket (with the bucket's merged
+// reduce values), so hysteresis counts buckets, not raw windows. Audits
+// that must be bit-exact should run inside the retention/compaction
+// head guard or with -tsdb-downsample 1.
+
+import (
+	"io"
+	"log/slog"
+
+	"blackboxval/internal/obs/alert"
+)
+
+// ReplayEntries runs persisted records through a fresh alert engine and
+// returns the edge events in emission order. logger may be nil (replay
+// is usually about the returned events, not live log noise).
+func ReplayEntries(entries []Entry, rules []alert.Rule, logger *slog.Logger) ([]alert.Event, error) {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	var events []alert.Event
+	eng, err := alert.New(alert.Config{
+		Rules:    rules,
+		Logger:   logger,
+		Notifier: alert.NotifierFunc(func(ev alert.Event) { events = append(events, ev) }),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		eng.Evaluate(e.Window)
+	}
+	return events, nil
+}
+
+// Replay replays the store's whole persisted history through rules.
+func (db *DB) Replay(rules []alert.Rule, logger *slog.Logger) ([]alert.Event, error) {
+	min, max, ok := db.Bounds()
+	if !ok {
+		return nil, nil
+	}
+	return ReplayEntries(db.Entries(min, max), rules, logger)
+}
+
+// SweepRow is the outcome of one candidate threshold.
+type SweepRow struct {
+	Threshold float64 `json:"threshold"`
+	// Firings counts firing edges (one per excursion).
+	Firings int `json:"firings"`
+	// FiringWindows is the total time spent firing, in window indices
+	// from each firing edge to its resolved edge (excursions still open
+	// at the end of history count through the last window).
+	FiringWindows int64 `json:"firing_windows"`
+	// Longest is the longest single excursion, same unit.
+	Longest int64 `json:"longest"`
+}
+
+// Sweep evaluates base with each candidate threshold substituted,
+// replaying the persisted history once per candidate over a single
+// loaded snapshot.
+func (db *DB) Sweep(base alert.Rule, thresholds []float64, logger *slog.Logger) ([]SweepRow, error) {
+	min, max, ok := db.Bounds()
+	var entries []Entry
+	if ok {
+		entries = db.Entries(min, max)
+	}
+	return SweepEntries(entries, base, thresholds, logger)
+}
+
+// SweepEntries is Sweep over an already-selected record range (e.g. a
+// -from/-to clip of a read-only store).
+func SweepEntries(entries []Entry, base alert.Rule, thresholds []float64, logger *slog.Logger) ([]SweepRow, error) {
+	rows := make([]SweepRow, 0, len(thresholds))
+	for _, t := range thresholds {
+		rule := base
+		rule.Threshold = t
+		events, err := ReplayEntries(entries, []alert.Rule{rule}, logger)
+		if err != nil {
+			return nil, err
+		}
+		row := SweepRow{Threshold: t}
+		var openAt int64 = -1
+		for _, ev := range events {
+			switch ev.State {
+			case "firing":
+				row.Firings++
+				openAt = ev.WindowIndex
+			case "resolved":
+				if openAt >= 0 {
+					d := ev.WindowIndex - openAt
+					row.FiringWindows += d
+					if d > row.Longest {
+						row.Longest = d
+					}
+					openAt = -1
+				}
+			}
+		}
+		if openAt >= 0 && len(entries) > 0 {
+			last := entries[len(entries)-1]
+			d := last.end() - openAt
+			row.FiringWindows += d
+			if d > row.Longest {
+				row.Longest = d
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

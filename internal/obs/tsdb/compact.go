@@ -1,0 +1,151 @@
+package tsdb
+
+// compact.go: deterministic downsampling. Old raw windows are folded
+// into one record per K-aligned index bucket [b*K, (b+1)*K) by
+// obs.MergeWindowSet — the same associative merge the federation layer
+// uses — so the compacted record is a pure function of the raw windows
+// in the bucket, independent of when (or in how many passes) compaction
+// ran. That is the associativity contract of DESIGN.md §8/§13 extended
+// to the time axis (§17): eager, lazy and randomized compaction
+// schedules produce bit-identical canonical JSON, which the determinism
+// suite asserts.
+//
+// Eligibility keeps the contract schedule-free: a bucket compacts only
+// when it is sealed — every index it covers is (a) in a closed segment
+// (the active segment is still being written) and (b) older than the
+// CompactAfter head guard, so no future append can land inside it.
+// Crash safety: the compacted segment is written complete to a temp
+// file, synced, then renamed into place before any covered raw segment
+// is deleted; a crash in between leaves shadowed duplicates that the
+// next Open resolves via the compactedThrough watermark.
+
+import (
+	"os"
+	"path/filepath"
+
+	"blackboxval/internal/obs"
+)
+
+// Compact runs one compaction pass followed by retention enforcement.
+// It is called automatically on every segment rotation; calling it
+// explicitly (tests, ppm-backtest maintenance) is safe at any time and
+// cannot change what queries observe, only how it is stored.
+func (db *DB) Compact() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return
+	}
+	db.compactLocked()
+	db.retainLocked()
+}
+
+// compactLocked folds every sealed, not-yet-compacted bucket into a new
+// level-1 segment.
+func (db *DB) compactLocked() {
+	k := int64(db.cfg.Downsample)
+	if k <= 1 {
+		return
+	}
+	// Raw windows are compactable only below both caps: the closed-
+	// segment frontier and the head guard of full-resolution windows.
+	var closedEnd int64
+	for _, info := range db.segments {
+		if info.level == 0 && info.records > 0 && info.endIndex > closedEnd {
+			closedEnd = info.endIndex
+		}
+	}
+	limit := closedEnd
+	if head := db.lastIndex + 1 - int64(db.cfg.CompactAfter); head < limit {
+		limit = head
+	}
+	bucketEnd := (limit / k) * k
+	start := ((db.compactedThrough + k - 1) / k) * k
+	if start >= bucketEnd {
+		return
+	}
+	raw := db.loadEntriesLocked(start, bucketEnd-1, true)
+	var out []Entry
+	var folded uint64
+	for b := start; b < bucketEnd; b += k {
+		var ws []obs.Window
+		for _, e := range raw {
+			if e.Window.Index >= b && e.Window.Index < b+k {
+				ws = append(ws, e.Window)
+			}
+		}
+		if len(ws) == 0 {
+			continue // an empty bucket never becomes a record
+		}
+		merged, _ := obs.MergeWindowSet(ws, db.cfg.Quantiles)
+		merged.Index = b
+		out = append(out, Entry{Span: k, Windows: int64(len(ws)), Window: merged})
+		folded += uint64(len(ws))
+	}
+	if len(out) > 0 {
+		info, err := db.writeCompactedLocked(out)
+		if err != nil {
+			db.cfg.Logger.Warn("tsdb: compaction failed", "err", err)
+			return
+		}
+		db.segments = append(db.segments, info)
+		db.compactions.Add(1)
+		db.compactedWindows.Add(folded)
+	}
+	db.compactedThrough = bucketEnd
+	db.dropShadowedLocked()
+}
+
+// writeCompactedLocked durably writes one level-1 segment: complete
+// temp file, fsync, atomic rename.
+func (db *DB) writeCompactedLocked(entries []Entry) (*segmentInfo, error) {
+	seq := db.nextSeq
+	db.nextSeq++
+	path := filepath.Join(db.cfg.Dir, segmentName(1, seq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info := &segmentInfo{path: path, level: 1, seq: seq}
+	buf := []byte(segmentMagic)
+	for _, e := range entries {
+		rec, err := encodeRecord(e)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return nil, err
+		}
+		buf = append(buf, rec...)
+		if info.records == 0 || e.Window.Index < info.minIndex {
+			info.minIndex = e.Window.Index
+		}
+		if e.end() > info.endIndex {
+			info.endIndex = e.end()
+		}
+		if e.Window.End.After(info.maxEnd) {
+			info.maxEnd = e.Window.End
+		}
+		info.records++
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	info.bytes = int64(len(buf))
+	return info, nil
+}

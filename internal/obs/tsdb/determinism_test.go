@@ -1,0 +1,231 @@
+package tsdb
+
+// The compaction associativity contract (DESIGN.md §17): the persisted,
+// downsampled history is a pure function of the appended window
+// multiset — when compaction ran, how many passes it took, and how the
+// raw windows were cut into segments must all be unobservable in the
+// data. The suite drives identical window streams through eager, lazy
+// and seeded-random compaction schedules and asserts the effective
+// records and query outputs are bit-equal in canonical JSON.
+
+import (
+	"math/rand"
+	"testing"
+
+	"blackboxval/internal/obs"
+	"blackboxval/internal/obs/alert"
+)
+
+// effectiveState renders everything a reader can observe: the shadow-
+// resolved records and a few re-aggregated queries over them.
+func effectiveState(t *testing.T, db *DB) string {
+	t.Helper()
+	min, max, ok := db.Bounds()
+	if !ok {
+		return "empty"
+	}
+	entries := db.Entries(min, max)
+	q1, err := db.Query("estimate", min, max, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8, err := db.Query("ks_max", min, max, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, spans, err := db.Range(min, max, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canonical(t, map[string]any{
+		"entries": entries, "q1": q1, "q8": q8, "range": ws, "spans": spans,
+	})
+}
+
+func TestCompactionDeterminism(t *testing.T) {
+	windows := makeWindows(t, 96, 42)
+	const k, guard = 8, 8
+
+	// Eager: tiny segments, compaction on every rotation plus an
+	// explicit pass after every append.
+	eager := openTestDB(t, t.TempDir(), func(c *Config) {
+		c.SegmentBytes = 4 << 10
+		c.Downsample = k
+		c.CompactAfter = guard
+	})
+	for _, w := range windows {
+		eager.Append(w)
+		eager.Compact()
+	}
+
+	// Lazy: huge segments, nothing compacts until one final pass after
+	// a restart seals the lone segment.
+	lazyDir := t.TempDir()
+	lazy := openTestDB(t, lazyDir, func(c *Config) {
+		c.Downsample = k
+		c.CompactAfter = guard
+	})
+	for _, w := range windows {
+		lazy.Append(w)
+	}
+	if lazy.compactions.Load() != 0 {
+		t.Fatal("lazy schedule compacted early; the comparison would be vacuous")
+	}
+	if err := lazy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lazy = openTestDB(t, lazyDir, func(c *Config) {
+		c.Downsample = k
+		c.CompactAfter = guard
+	})
+	lazy.Compact()
+
+	// Randomized: seeded-random segment size and compaction points,
+	// with a restart in the middle.
+	rng := rand.New(rand.NewSource(7))
+	randDir := t.TempDir()
+	open := func() *DB {
+		return openTestDB(t, randDir, func(c *Config) {
+			c.SegmentBytes = int64(2<<10 + rng.Intn(16<<10))
+			c.Downsample = k
+			c.CompactAfter = guard
+		})
+	}
+	randomized := open()
+	for i, w := range windows {
+		randomized.Append(w)
+		if rng.Intn(5) == 0 {
+			randomized.Compact()
+		}
+		if i == 48 {
+			if err := randomized.Close(); err != nil {
+				t.Fatal(err)
+			}
+			randomized = open()
+		}
+	}
+	randomized.Compact()
+
+	want := effectiveState(t, eager)
+	if eager.compactions.Load() == 0 {
+		t.Fatal("eager schedule never compacted; the comparison would be vacuous")
+	}
+	for name, db := range map[string]*DB{"lazy": lazy, "randomized": randomized} {
+		if got := effectiveState(t, db); got != want {
+			t.Errorf("%s schedule diverged from eager:\n got %.400s\nwant %.400s", name, got, want)
+		}
+		db.Close()
+	}
+	eager.Close()
+}
+
+// A range query at step=K over raw history must equal the compacted
+// bucket bit-for-bit — compaction is re-aggregation, persisted.
+func TestCompactionEqualsStepQuery(t *testing.T) {
+	windows := makeWindows(t, 40, 43)
+	raw := openTestDB(t, t.TempDir(), func(c *Config) { c.Downsample = 1 })
+	defer raw.Close()
+	compacted := openTestDB(t, t.TempDir(), func(c *Config) {
+		c.SegmentBytes = 4 << 10
+		c.Downsample = 8
+		c.CompactAfter = 8
+	})
+	defer compacted.Close()
+	for _, w := range windows {
+		raw.Append(w)
+		compacted.Append(w)
+	}
+	compacted.Compact()
+	if compacted.compactions.Load() == 0 {
+		t.Fatal("nothing compacted")
+	}
+	rawQ, err := raw.Query("estimate", 0, 23, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compQ, err := compacted.Query("estimate", 0, 23, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonical(t, compQ), canonical(t, rawQ); got != want {
+		t.Fatalf("compacted step-8 query != raw step-8 query:\n got %s\nwant %s", got, want)
+	}
+}
+
+// Backtest parity: replaying persisted windows through a fresh stock
+// alert engine reproduces the live event sequence bit-for-bit.
+func TestBacktestReproducesLiveAlerts(t *testing.T) {
+	rules := []alert.Rule{{
+		Name: "estimate_low", Series: "estimate", Op: "<", Threshold: 0.82,
+		Reduce: "mean", ForWindows: 2, ClearWindows: 2, Severity: "critical",
+	}}
+	var liveEvents []alert.Event
+	live, err := alert.New(alert.Config{
+		Rules:    rules,
+		Notifier: alert.NotifierFunc(func(ev alert.Event) { liveEvents = append(liveEvents, ev) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db := openTestDB(t, t.TempDir(), func(c *Config) {
+		c.SegmentBytes = 8 << 10
+		c.Downsample = 1 // full resolution: bit-exact replay
+	})
+	defer db.Close()
+	for _, w := range makeWindows(t, 64, 44) {
+		live.Evaluate(w) // what production did
+		db.Append(w)     // what the store persisted
+	}
+	if len(liveEvents) == 0 {
+		t.Fatal("workload produced no live alert events; test is vacuous")
+	}
+
+	replayed, err := db.Replay(rules, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonical(t, replayed), canonical(t, liveEvents); got != want {
+		t.Fatalf("replayed events != live events:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestSweepCountsExcursions(t *testing.T) {
+	db := openTestDB(t, t.TempDir(), func(c *Config) { c.Downsample = 1 })
+	defer db.Close()
+	// Deterministic sawtooth on "alarm": windows 10-19 and 40-44 sit at
+	// 1, everything else at 0.
+	ts, err := obs.NewTimeSeries(obs.TimeSeriesConfig{Capacity: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.OnWindowClose(db.Append)
+	for i := 0; i < 60; i++ {
+		v := 0.0
+		if (i >= 10 && i < 20) || (i >= 40 && i < 45) {
+			v = 1
+		}
+		ts.Record("alarm", v)
+		ts.Commit()
+	}
+	base := alert.Rule{Name: "alarm_on", Series: "alarm", Op: ">=", Reduce: "max"}
+	rows, err := db.Sweep(base, []float64{0.5, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Firings != 2 {
+		t.Fatalf("threshold 0.5: %d firings, want 2", rows[0].Firings)
+	}
+	// Excursions run from the firing edge (windows 10 and 40) to the
+	// resolved edge one clear window after each plateau (20 and 45).
+	if rows[0].FiringWindows != (20-10)+(45-40) || rows[0].Longest != 10 {
+		t.Fatalf("threshold 0.5: firing_windows=%d longest=%d, want 15/10",
+			rows[0].FiringWindows, rows[0].Longest)
+	}
+	if rows[1].Firings != 0 || rows[1].FiringWindows != 0 {
+		t.Fatalf("threshold 2 should never fire: %+v", rows[1])
+	}
+}

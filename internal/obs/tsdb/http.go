@@ -1,0 +1,129 @@
+package tsdb
+
+// http.go: GET /timeline/range — the durable counterpart of the live
+// /timeline snapshot. The handler ignores the request path so the same
+// http.Handler mounts at /timeline/range on a standalone monitor and at
+// /monitor/timeline/range behind the gateway. Parameters:
+//
+//	from, to  window index range (default: the store's bounds)
+//	step      re-aggregation factor, >= 1 (default 1)
+//	series    optional; restricts the response to per-series points
+//
+// Non-numeric or negative parameters are a 400, matching the
+// validation contract of /timeline?limit= and /debug/spans?limit=.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"blackboxval/internal/obs"
+)
+
+// RangeDoc is the full-window response of GET /timeline/range.
+type RangeDoc struct {
+	From     int64        `json:"from"`
+	To       int64        `json:"to"`
+	Step     int64        `json:"step"`
+	MinIndex int64        `json:"min_index"`
+	MaxIndex int64        `json:"max_index"`
+	Windows  []obs.Window `json:"windows"`
+	// Spans[i] is how many raw window indices Windows[i] covers; a
+	// following window whose index exceeds index+span reveals a gap.
+	Spans []int64 `json:"spans"`
+}
+
+// SeriesRangeDoc is the per-series response of GET /timeline/range.
+type SeriesRangeDoc struct {
+	Series   string  `json:"series"`
+	From     int64   `json:"from"`
+	To       int64   `json:"to"`
+	Step     int64   `json:"step"`
+	MinIndex int64   `json:"min_index"`
+	MaxIndex int64   `json:"max_index"`
+	Points   []Point `json:"points"`
+}
+
+// RangeHandler serves the range-query API over the store.
+func (db *DB) RangeHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		min, max, ok := db.Bounds()
+		if !ok {
+			min, max = 0, 0
+		}
+		from, err := queryInt(r, "from", min)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		to, err := queryInt(r, "to", max)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		step, err := queryInt(r, "step", 1)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if step < 1 {
+			http.Error(w, "step must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		if to < from {
+			http.Error(w, fmt.Sprintf("empty range: to=%d < from=%d", to, from), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		enc := json.NewEncoder(w)
+		if series := r.URL.Query().Get("series"); series != "" {
+			points, err := db.Query(series, from, to, step)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if points == nil {
+				points = []Point{}
+			}
+			enc.Encode(SeriesRangeDoc{
+				Series: series, From: from, To: to, Step: step,
+				MinIndex: min, MaxIndex: max, Points: points,
+			})
+			return
+		}
+		windows, spans, err := db.Range(from, to, step)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if windows == nil {
+			windows = []obs.Window{}
+			spans = []int64{}
+		}
+		enc.Encode(RangeDoc{
+			From: from, To: to, Step: step,
+			MinIndex: min, MaxIndex: max, Windows: windows, Spans: spans,
+		})
+	})
+}
+
+// queryInt parses a non-negative integer query parameter, returning
+// def when the parameter is absent or empty.
+func queryInt(r *http.Request, name string, def int64) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative integer", name)
+	}
+	return v, nil
+}

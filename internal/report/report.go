@@ -42,6 +42,8 @@ func Markdown(result any) (string, error) {
 		return timeline(r), nil
 	case *experiments.ServingResult:
 		return serving(r), nil
+	case *experiments.TSDBResult:
+		return tsdbReport(r), nil
 	default:
 		return "", fmt.Errorf("report: no markdown renderer for %T", result)
 	}
@@ -231,5 +233,23 @@ func timeline(r *experiments.TimelineResult) string {
 	}
 	return fmt.Sprintf("### Timeline benchmark (scale=%s, %d batches x %d series, window=%d, capacity=%d)\n\n%s",
 		r.Scale, r.Batches, r.SeriesPerBatch, r.WindowBatches, r.Capacity,
+		table([]string{"metric", "value"}, rows))
+}
+
+func tsdbReport(r *experiments.TSDBResult) string {
+	det := "yes"
+	if !r.CompactionDeterministic {
+		det = "NO (regression)"
+	}
+	rows := [][]string{
+		{"append windows/sec", fmt.Sprintf("%.0f", r.AppendWindowsPerSec)},
+		{"segments / bytes on disk", fmt.Sprintf("%d / %d", r.Segments, r.BytesOnDisk)},
+		{"cold decode+re-aggregate windows/sec", fmt.Sprintf("%.0f", r.DecodeWindowsPerSec)},
+		{"query p50 ms", f3(r.QueryP50Ms)},
+		{"query p99 ms", f3(r.QueryP99Ms)},
+		{"compaction deterministic (eager vs lazy)", det},
+	}
+	return fmt.Sprintf("### TSDB benchmark (scale=%s, %d windows x %d series, %d queries)\n\n%s",
+		r.Scale, r.Windows, r.SeriesPerWindow, r.Queries,
 		table([]string{"metric", "value"}, rows))
 }

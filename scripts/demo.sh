@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Smoke test for the serving stack, in seven acts:
+# Smoke test for the serving stack, in eight acts:
 #
 #   ppm-serve (backend model server)  <-  ppm-gateway (shadow proxy)  <-  curl / ppm-traffic
 #                                              |
@@ -43,7 +43,13 @@
 # on-disk journals into one waterfall that must carry the gateway
 # relay, backend predict and shadow monitor observe spans under a
 # single shared trace id — while the unsampled trace ids left no spans
-# anywhere. All acts shut down gracefully (SIGTERM, exercising the
+# anywhere. Act 8 turns on the durable timeline store: the gateway
+# restarts with -tsdb-dir and the act-2 alert rule, a corruption ramp
+# fires the alert live, and the act asserts /monitor/timeline/range
+# serves the persisted windows, that the history survives a gateway
+# restart onto the same directory, and that ppm-backtest replaying the
+# on-disk windows reproduces the live webhook alert event byte for
+# byte. All acts shut down gracefully (SIGTERM, exercising the
 # shared drain path). Run via `make demo`.
 set -euo pipefail
 
@@ -90,6 +96,7 @@ go build -o "$WORKDIR/ppm-validate" ./cmd/ppm-validate
 go build -o "$WORKDIR/ppm-traffic" ./cmd/ppm-traffic
 go build -o "$WORKDIR/ppm-diagnose" ./cmd/ppm-diagnose
 go build -o "$WORKDIR/ppm-aggregate" ./cmd/ppm-aggregate
+go build -o "$WORKDIR/ppm-backtest" ./cmd/ppm-backtest
 
 echo "demo: starting ppm-serve on $SERVE_ADDR (small lr model, quick to train)"
 "$WORKDIR/ppm-serve" -dataset income -model lr -rows 1200 -addr "$SERVE_ADDR" \
@@ -626,4 +633,90 @@ echo "$frag_body" | grep -q '"gateway_request"' || {
   echo "demo: /debug/traces/$tid missing the request span:" >&2
   echo "$frag_body" >&2; exit 1; }
 
-echo "demo: OK — proxying, drift timeline, alerting, request correlation, incident capture, fleet federation, label feedback, the serving SLO observatory and cross-process trace stitching all verified"
+# ---- Act 8: durable timeline — history survives a restart and
+# ---- ppm-backtest bit-reproduces the live alert events
+
+sink_before8="$(curl -fsS "http://$SINK_ADDR/count" | sed 's/[^0-9]//g')"
+
+echo "demo: restarting the gateway with the durable timeline store (-tsdb-dir)"
+kill -TERM "$GW_PID" && wait "$GW_PID" 2>/dev/null || true
+"$WORKDIR/ppm-gateway" -backend "http://$SERVE_ADDR" -addr "$GW_ADDR" \
+  -bundle "$WORKDIR/bundle" \
+  -alert-rules "$WORKDIR/rules.json" -alert-webhook "http://$SINK_ADDR/" \
+  -tsdb-dir "$WORKDIR/tsdb" \
+  >"$WORKDIR/gateway8.log" 2>&1 &
+GW_PID=$!
+wait_for "http://$GW_ADDR/healthz"
+
+echo "demo: driving the act-2 corruption ramp so the alert fires live"
+"$WORKDIR/ppm-traffic" send -target "http://$GW_ADDR" -dataset income \
+  -batches 6 -rows 300 -corrupt scaling -max-magnitude 0.95 -clean 2 \
+  >"$WORKDIR/traffic8.log" 2>&1
+
+echo "demo: waiting for the live alert to reach the webhook sink"
+live_fire=""
+for _ in $(seq 50); do
+  events8="$(curl -fsS "http://$SINK_ADDR/events" 2>/dev/null || true)"
+  live_fire="$(echo "$events8" | grep -o '{"rule":"accuracy_alarm"[^}]*"state":"firing"[^}]*}' | tail -n 1)"
+  count="$(curl -fsS "http://$SINK_ADDR/count" | sed 's/[^0-9]//g')"
+  if [ -n "$live_fire" ] && [ -n "$count" ] && [ "$count" -gt "${sink_before8:-0}" ]; then break; fi
+  live_fire=""
+  sleep 0.2
+done
+[ -n "$live_fire" ] || {
+  echo "demo: the act-8 ramp never produced a live firing event:" >&2
+  curl -fsS "http://$SINK_ADDR/events" >&2 || true
+  cat "$WORKDIR/gateway8.log" >&2; exit 1; }
+fire_widx="$(echo "$live_fire" | sed -n 's/.*"window_index":\([0-9]*\).*/\1/p')"
+
+echo "demo: waiting for the alerting window to persist to /monitor/timeline/range"
+range_ok=""
+for _ in $(seq 50); do
+  probe="$(curl -fsS "http://$GW_ADDR/monitor/timeline/range?from=0&to=0" 2>/dev/null || true)"
+  max_idx="$(echo "$probe" | sed -n 's/.*"max_index":\([0-9]*\).*/\1/p')"
+  if [ -n "$max_idx" ] && [ "$max_idx" -ge "${fire_widx:-0}" ]; then range_ok=1; break; fi
+  sleep 0.2
+done
+[ -n "$range_ok" ] || {
+  echo "demo: the durable store never caught up to window $fire_widx:" >&2
+  echo "$probe" >&2
+  cat "$WORKDIR/gateway8.log" >&2; exit 1; }
+range_body="$(curl -fsS "http://$GW_ADDR/monitor/timeline/range?from=0&to=$max_idx")"
+echo "$range_body" | grep -q '"estimate"' || {
+  echo "demo: /monitor/timeline/range served no re-aggregated series:" >&2
+  echo "$range_body" >&2; exit 1; }
+
+echo "demo: restarting the gateway onto the same -tsdb-dir (history must survive)"
+kill -TERM "$GW_PID" && wait "$GW_PID" 2>/dev/null || true
+"$WORKDIR/ppm-gateway" -backend "http://$SERVE_ADDR" -addr "$GW_ADDR" \
+  -bundle "$WORKDIR/bundle" \
+  -tsdb-dir "$WORKDIR/tsdb" \
+  >"$WORKDIR/gateway8b.log" 2>&1 &
+GW_PID=$!
+wait_for "http://$GW_ADDR/healthz"
+survive="$(curl -fsS "http://$GW_ADDR/monitor/timeline/range?from=0&to=0")"
+echo "$survive" | grep -q "\"max_index\":$max_idx" || {
+  echo "demo: pre-restart history (through window $max_idx) did not survive:" >&2
+  echo "$survive" >&2
+  cat "$WORKDIR/gateway8b.log" >&2; exit 1; }
+
+echo "demo: replaying the persisted windows with ppm-backtest"
+"$WORKDIR/ppm-backtest" -tsdb-dir "$WORKDIR/tsdb" -rules "$WORKDIR/rules.json" \
+  -json >"$WORKDIR/backtest8.json"
+# The replay is deterministic: Event.At is the persisted window-close
+# time, so the replayed firing event must equal the live webhook body
+# byte for byte (the sink stored it verbatim; flattening whitespace
+# only undoes -json's indentation).
+tr -d ' \n' <"$WORKDIR/backtest8.json" | grep -qF "$live_fire" || {
+  echo "demo: ppm-backtest did not reproduce the live firing event:" >&2
+  echo "live: $live_fire" >&2
+  cat "$WORKDIR/backtest8.json" >&2; exit 1; }
+
+echo "demo: sweeping candidate thresholds over the persisted history"
+"$WORKDIR/ppm-backtest" -tsdb-dir "$WORKDIR/tsdb" -rules "$WORKDIR/rules.json" \
+  -sweep-rule accuracy_alarm -thresholds 0.5,1,2 >"$WORKDIR/sweep8.txt"
+grep -q 'threshold' "$WORKDIR/sweep8.txt" || {
+  echo "demo: threshold sweep produced no table:" >&2
+  cat "$WORKDIR/sweep8.txt" >&2; exit 1; }
+
+echo "demo: OK — proxying, drift timeline, alerting, request correlation, incident capture, fleet federation, label feedback, the serving SLO observatory, cross-process trace stitching and the durable timeline store (restart-surviving history + bit-exact alert backtesting) all verified"
